@@ -1,0 +1,28 @@
+# Convenience targets for the 2W-FD reproduction.
+
+PY ?= python3
+SCALE ?= 0.02
+
+.PHONY: install test bench experiments report examples clean
+
+install:
+	$(PY) -m pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro run all --scale $(SCALE)
+
+report:
+	$(PY) -m repro report -o report.md --scale $(SCALE)
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples OK"
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

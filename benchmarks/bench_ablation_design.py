@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Why two windows (vs one)** — the 2W-FD against each of its own
+   components at the shared margin: the max rule must dominate both
+   (Eq. 13), quantifying what each window contributes per regime.
+2. **Why estimation at all** — the fixed-timeout control against Chen(1):
+   Eq. 2's normalization absorbs slow delay drift that raw timeouts pay
+   for in mistakes.
+3. **Why window 1000 and not more** — marginal effect of the long window
+   size at the aggressive operating point.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.replay.engine import replay_detector
+from repro.replay.kernels import make_kernel
+from repro.replay.sweep import calibrate_to_detection_time
+from repro.traces.wan import make_wan_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scale = float(os.environ.get("REPRO_SCALE", "0.02"))
+    return make_wan_trace(scale=scale, seed=2015)
+
+
+def test_ablation_two_windows_vs_components(benchmark, trace, capsys):
+    def run():
+        margin = calibrate_to_detection_time(
+            make_kernel("2w-fd", trace, window_sizes=(1, 1000)), trace, 0.215
+        )
+        rows = {}
+        for label, name, kwargs in [
+            ("2w(1,1000)", "2w-fd", {"window_sizes": (1, 1000)}),
+            ("short-only (chen 1)", "chen", {"window_size": 1}),
+            ("long-only (chen 1000)", "chen", {"window_size": 1000}),
+        ]:
+            r = replay_detector(make_kernel(name, trace, **kwargs), trace, margin)
+            rows[label] = (r.metrics.n_mistakes, r.metrics.query_accuracy)
+        return rows
+
+    rows = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: 2W-FD vs its own components (shared margin) ===")
+        for label, (n, pa) in rows.items():
+            print(f"  {label:>22}: mistakes={n:>6}  P_A={pa:.6f}")
+    n2w = rows["2w(1,1000)"][0]
+    assert n2w <= rows["short-only (chen 1)"][0]
+    assert n2w <= rows["long-only (chen 1000)"][0]
+
+
+def test_ablation_estimation_vs_fixed_timeout(benchmark, trace, capsys):
+    def run():
+        target = 0.4
+        rows = {}
+        for label, name, kwargs in [
+            ("chen(1)", "chen", {"window_size": 1}),
+            ("fixed-timeout", "fixed-timeout", {}),
+        ]:
+            kernel = make_kernel(name, trace, **kwargs)
+            param = calibrate_to_detection_time(kernel, trace, target)
+            r = replay_detector(kernel, trace, param)
+            rows[label] = (r.metrics.n_mistakes, r.metrics.query_accuracy)
+        return rows
+
+    rows = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: Eq. 2 estimation vs raw timeout at T_D = 0.4s ===")
+        for label, (n, pa) in rows.items():
+            print(f"  {label:>14}: mistakes={n:>6}  P_A={pa:.6f}")
+    # The fixed timeout has no sequence-number normalization: losses and
+    # drift cost it accuracy relative to Chen's estimator.
+    assert rows["chen(1)"][1] >= rows["fixed-timeout"][1] - 1e-4
+
+
+def test_ablation_long_window_size(benchmark, trace, capsys):
+    def run():
+        rows = {}
+        for long_w in (10, 100, 1000, 10_000):
+            kernel = make_kernel("2w-fd", trace, window_sizes=(1, long_w))
+            margin = calibrate_to_detection_time(kernel, trace, 0.25)
+            r = replay_detector(kernel, trace, margin)
+            rows[long_w] = r.metrics.n_mistakes
+        return rows
+
+    rows = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: long-window size at T_D = 0.25s ===")
+        for w, n in rows.items():
+            print(f"  long window {w:>6}: mistakes={n}")
+    # 1000 captures almost all of the benefit (the paper's choice).
+    assert rows[1000] <= rows[10] * 1.02

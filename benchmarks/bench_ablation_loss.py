@@ -1,0 +1,67 @@
+"""Ablation: sensitivity to message loss and the opportunity-count cliff.
+
+Thins a fixed trace with increasing background loss and replays the 2W-FD
+at two margins straddling the heartbeat interval:
+
+- with ``Δto < Δi`` a *single* lost heartbeat exhausts the detection window
+  — the mistake count tracks the loss count almost 1:1;
+- with ``Δto > Δi`` every potential mistake gets a second heartbeat
+  opportunity, and the mistake count collapses to ~p_L² of the losses.
+
+This is Eq. 16's ``⌈T_D/Δi⌉`` term made empirical, and the reason the
+configurator's Fig. 11 curve moves in discrete steps.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.net.delays import LogNormalDelay
+from repro.net.link import Link
+from repro.replay.engine import replay_detector
+from repro.replay.kernels import MultiWindowKernel
+from repro.traces.synth import generate_trace
+from repro.traces.transform import thin_loss
+
+LOSS_RATES = (0.0, 0.005, 0.02, 0.05)
+
+
+@pytest.fixture(scope="module")
+def clean_trace():
+    n = max(50_000, int(float(os.environ.get("REPRO_SCALE", "0.02")) * 2_000_000))
+    link = Link(delay_model=LogNormalDelay(log_mu=-2.3, log_sigma=0.08))
+    return generate_trace(n, 0.1, link, rng=5)
+
+
+def test_ablation_loss_sensitivity(benchmark, clean_trace, capsys):
+    def run():
+        rows = {}
+        for p in LOSS_RATES:
+            trace = thin_loss(clean_trace, p, rng=7) if p else clean_trace
+            kernel = MultiWindowKernel(trace, window_sizes=(1, 1000))
+            tight = replay_detector(kernel, trace, 0.05, collect_gaps=False)
+            roomy = replay_detector(kernel, trace, 0.15, collect_gaps=False)
+            n_lost = clean_trace.n_received - trace.n_received
+            rows[p] = (n_lost, tight.metrics.n_mistakes, roomy.metrics.n_mistakes)
+        return rows
+
+    rows = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: loss sensitivity vs margin (Δi = 0.1s) ===")
+        print(f"{'p_L':>6} | {'lost':>6} | {'mistakes Δto=0.05':>18} | {'mistakes Δto=0.15':>18}")
+        for p, (lost, tight, roomy) in rows.items():
+            print(f"{p:>6} | {lost:>6} | {tight:>18} | {roomy:>18}")
+
+    # Monotone in loss for both margins.
+    tight_counts = [rows[p][1] for p in LOSS_RATES]
+    roomy_counts = [rows[p][2] for p in LOSS_RATES]
+    assert tight_counts == sorted(tight_counts)
+    assert roomy_counts == sorted(roomy_counts)
+    # The cliff: below Δi, ~every loss is a mistake; above Δi, only
+    # back-to-back losses are (≈ p_L² of opportunities).
+    for p in LOSS_RATES[1:]:
+        lost, tight, roomy = rows[p]
+        assert tight > 0.7 * lost
+        assert roomy < 0.3 * tight

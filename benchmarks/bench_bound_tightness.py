@@ -1,0 +1,81 @@
+"""How conservative is Eq. 16's Chebyshev bound?
+
+For NFD-S under i.i.d. exponential delays + Bernoulli loss, three numbers
+exist for the per-freshness-point suspicion probability:
+
+1. the **measured** value (replay over a generated trace),
+2. the **exact** closed form (`repro.qos.analytic` — valid because fates
+   are independent),
+3. the **Eq. 16 bound** (one-sided Chebyshev on (p_L, V(D)) only — what
+   the configurator must use in the field, where the distribution is
+   unknown).
+
+The chain measured ≈ exact ≤ bound quantifies the configurator's
+conservatism: the price of knowing only two moments.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.net.delays import ExponentialDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.qos.analytic import measured_trust_at, nfds_suspect_probability
+from repro.qos.configurator import mistake_rate_bound
+from repro.qos.estimators import NetworkBehavior
+from repro.replay.kernels import ChenSyncKernel
+from repro.traces.synth import generate_trace
+
+INTERVAL = 0.1
+SCALE = 0.03
+LOSS = 0.05
+SHIFTS = (0.05, 0.12, 0.2, 0.35)
+
+
+def exp_cdf(x):
+    return 1.0 - np.exp(-np.asarray(x, dtype=float) / SCALE)
+
+
+def test_bound_vs_exact_vs_measured(benchmark, capsys):
+    def run():
+        trace = generate_trace(
+            300_000,
+            INTERVAL,
+            Link(delay_model=ExponentialDelay(SCALE), loss_model=BernoulliLoss(LOSS)),
+            rng=11,
+        )
+        kernel = ChenSyncKernel(trace, clock_offset=0.0)
+        behavior = NetworkBehavior(
+            loss_probability=LOSS, delay_variance=SCALE**2
+        )
+        rows = []
+        for shift in SHIFTS:
+            d = kernel.deadlines(shift)
+            i = np.arange(10, trace.n_sent - 10)
+            trusted = measured_trust_at(kernel.t, d, i * INTERVAL + shift)
+            measured = 1.0 - trusted.mean()
+            exact = nfds_suspect_probability(INTERVAL, shift, LOSS, exp_cdf)
+            # Eq. 16's f is a rate (per Δi); convert to a per-point probability.
+            bound = min(
+                1.0,
+                mistake_rate_bound(INTERVAL, INTERVAL + shift, behavior) * INTERVAL,
+            )
+            rows.append((shift, measured, exact, bound))
+        return rows
+
+    rows = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Eq. 16 conservatism (per-freshness-point suspicion prob.) ===")
+        print(f"{'Δto':>6} | {'measured':>10} | {'exact':>10} | {'Eq.16 bound':>11} | {'slack':>6}")
+        for shift, measured, exact, bound in rows:
+            slack = bound / exact if exact > 0 else float("inf")
+            print(
+                f"{shift:>6} | {measured:>10.3e} | {exact:>10.3e} | "
+                f"{bound:>11.3e} | {slack:>5.1f}x"
+            )
+
+    for shift, measured, exact, bound in rows:
+        assert measured == pytest.approx(exact, abs=0.005)
+        assert bound >= exact * (1 - 1e-9)

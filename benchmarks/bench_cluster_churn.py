@@ -1,0 +1,64 @@
+"""Workload-level benchmark: membership churn per detector.
+
+The paper motivates T_MR with group-membership workloads where every
+mistake is a costly interrupt.  This benchmark runs the same five-node
+cluster (identical links, seeds and a real crash) under each detector and
+reports the number of spurious view changes — T_MR priced in interrupts —
+and the crash-removal latency.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster import MemberSpec, simulate_cluster
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+from repro.net.delays import LogNormalDelay, ParetoDelay, SpikeDelay
+from repro.net.loss import BernoulliLoss
+
+MARGIN = 0.12
+
+
+def _members(n=5, crash=600.0):
+    link = SpikeDelay(
+        base=LogNormalDelay(log_mu=np.log(0.07), log_sigma=0.5),
+        spike_model=ParetoDelay(alpha=1.4, minimum=0.15),
+        spike_rate=1.5e-3,
+        spike_run=8.0,
+    )
+    return [
+        MemberSpec(f"n{i}", link, BernoulliLoss(0.003),
+                   crash_time=crash if i == 0 else None)
+        for i in range(n)
+    ]
+
+
+def test_membership_churn_by_detector(benchmark, capsys):
+    def run():
+        members = _members()
+        out = {}
+        for label, factory in [
+            ("2W-FD(1,1000)", lambda dt: TwoWindowFailureDetector(dt, MARGIN)),
+            ("Chen(1)", lambda dt: ChenFailureDetector(dt, MARGIN, window_size=1)),
+            ("Chen(1000)", lambda dt: ChenFailureDetector(dt, MARGIN, window_size=1000)),
+        ]:
+            rep = simulate_cluster(
+                members, factory, interval=0.1, duration=900.0, seed=11
+            )
+            out[label] = rep
+        return out
+
+    reports = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Membership churn (5 nodes, flaky links, one crash) ===")
+        for label, rep in reports.items():
+            print(
+                f"  {label:>14}: view changes={rep.n_view_changes:>5}  "
+                f"false removals={rep.total_false_removals:>5}  "
+                f"crash T_D={rep.detection_time('n0'):.3f}s"
+            )
+    churn = {k: r.total_false_removals for k, r in reports.items()}
+    assert churn["2W-FD(1,1000)"] <= min(churn["Chen(1)"], churn["Chen(1000)"])
+    assert all(r.all_crashes_detected for r in reports.values())

@@ -1,0 +1,77 @@
+"""Beyond the paper's comparison set: every detector in the library.
+
+The paper compares five algorithms (Fig. 6/7).  This benchmark adds the
+extensions on the same axes — the non-parametric histogram accrual (what
+production systems ship), the naive fixed timeout (what ad-hoc code
+ships), and Chen's synchronized-clock NFD-S as the oracle-ish bound — all
+calibrated to the same detection-time grid over the WAN trace.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.replay.engine import replay_detector
+from repro.replay.kernels import make_kernel
+from repro.replay.sweep import calibrate_to_detection_time
+from repro.traces.wan import make_wan_trace
+
+TD_GRID = (0.25, 0.4, 0.7, 1.5)
+
+CONTENDERS = [
+    ("2W-FD(1,1000)", "2w-fd", {"window_sizes": (1, 1000)}),
+    ("Chen(1000)", "chen", {"window_size": 1000}),
+    ("histogram(1000)", "histogram", {"window_size": 1000, "margin_factor": 2.0}),
+    ("fixed-timeout", "fixed-timeout", {}),
+    ("NFD-S (sync oracle)", "chen-sync", {}),
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scale = min(float(os.environ.get("REPRO_SCALE", "0.02")), 0.05)
+    return make_wan_trace(scale=scale, seed=2015)
+
+
+def test_extended_comparison(benchmark, trace, capsys):
+    def run():
+        table = {}
+        for label, name, kwargs in CONTENDERS:
+            kernel = make_kernel(name, trace, **kwargs)
+            row = []
+            for td in TD_GRID:
+                try:
+                    param = calibrate_to_detection_time(kernel, trace, td)
+                    r = replay_detector(kernel, trace, param, collect_gaps=False)
+                    row.append(r.metrics.n_mistakes)
+                except ValueError:
+                    row.append(None)
+            table[label] = row
+        return table
+
+    table = run_once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("=== Extended comparison: mistakes at matched T_D (WAN) ===")
+        print(f"{'detector':>20} | " + " | ".join(f"{td:>7}" for td in TD_GRID))
+        for label, row in table.items():
+            cells = " | ".join(f"{'—' if v is None else v:>7}" for v in row)
+            print(f"{label:>20} | {cells}")
+
+    # Structural expectations: the 2W-FD beats the naive timeout at every
+    # reachable point (counting-noise slack), and the histogram variant —
+    # empirically strong in the mid-range, which is consistent with its
+    # production adoption — cannot reach the conservative end (its H=1
+    # quantile ceilings at factor × the largest recent gap).
+    for ours, theirs in zip(table["2W-FD(1,1000)"], table["fixed-timeout"]):
+        if ours is None or theirs is None:
+            continue
+        assert ours <= theirs + 3 * max(theirs, 1) ** 0.5
+    assert table["histogram(1000)"][-1] is None  # quantile ceiling
+    # Every tunable detector reaches the aggressive end; NFD-S (which
+    # ignores observed delays entirely) is the weakest there.
+    aggressive = {k: v[0] for k, v in table.items() if v[0] is not None}
+    assert aggressive["2W-FD(1,1000)"] <= min(
+        aggressive[k] for k in aggressive if k != "2W-FD(1,1000)"
+    ) + 3 * max(aggressive["2W-FD(1,1000)"], 1) ** 0.5

@@ -1,0 +1,34 @@
+"""Figure 4: 2W-FD window-size sweep — T_MR vs T_D (WAN).
+
+Regenerates the mistake-rate rows for every window pair and asserts the
+paper's orderings (smaller small window better; bigger big window better;
+saturation beyond 1000; clustering by small window).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_05
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.report import format_series_table, render_result
+
+
+def test_fig4_window_sizes_tmr(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig04_05.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Figure 4: T_MR [1/s] vs T_D per window pair (WAN) ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.meta.get("figure") == 4]
+            )
+        )
+        print()
+        print(
+            ascii_plot(
+                [s for s in result.series if s.meta.get("figure") == 4],
+                log_y=True, log_x=True,
+                title="Figure 4 (T_MR [1/s] vs T_D [s], log-log)",
+            )
+        )
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

@@ -1,0 +1,19 @@
+"""Figure 5: 2W-FD window-size sweep — P_A vs T_D (WAN)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_05
+from repro.experiments.report import format_series_table
+
+
+def test_fig5_window_sizes_pa(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig04_05.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Figure 5: P_A vs T_D per window pair (WAN) ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.meta.get("figure") == 5]
+            )
+        )
+    # P_A orderings mirror the T_MR ones; the runner checks them jointly.
+    assert result.all_checks_passed, [str(c) for c in result.checks]

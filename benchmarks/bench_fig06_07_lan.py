@@ -1,0 +1,34 @@
+"""Figures 6-7, LAN scenario.
+
+The paper reports LAN results "present the same behaviour" as WAN and omits
+the plots; this benchmark regenerates them anyway over the synthetic JAIST
+trace and asserts the structural checks that remain meaningful there (the
+Eq. 13 dominance and curve monotonicity — on a no-loss trace with µs jitter
+most detectors make essentially no mistakes at any plotted T_D).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_07
+from repro.experiments.report import format_series_table
+
+
+def test_fig6_7_lan(benchmark, scale, seed, capsys):
+    result = run_once(
+        benchmark, fig06_07.run, scale=scale, seed=seed, scenario="lan"
+    )
+    with capsys.disabled():
+        print()
+        print("=== Figures 6-7 on the LAN trace ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("TMR")]
+            )
+        )
+        for check in result.checks:
+            print(f"  {check}")
+    essential = [
+        c
+        for c in result.checks
+        if "Eq. 13" in c.name or "decreasing" in c.name
+    ]
+    assert essential and all(c.passed for c in essential), [str(c) for c in essential]

@@ -1,0 +1,34 @@
+"""Figure 6: detector comparison — T_MR vs T_D (WAN).
+
+The headline figure: 2W-FD(1,1000) against Chen(1), Chen(1000),
+Bertier(1000) (single point), φ(1000) and ED(1000), replayed over the same
+synthetic WAN trace, mistake rate per detection time.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_07
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.report import format_series_table
+
+
+def test_fig6_comparison_tmr(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig06_07.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Figure 6: T_MR [1/s] vs T_D per detector (WAN) ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("TMR")]
+            )
+        )
+        print()
+        print(
+            ascii_plot(
+                [s for s in result.series if s.label.startswith("TMR")],
+                log_y=True, log_x=True,
+                title="Figure 6 (T_MR [1/s] vs T_D [s], log-log)",
+            )
+        )
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

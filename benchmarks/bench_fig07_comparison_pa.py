@@ -1,0 +1,27 @@
+"""Figure 7: detector comparison — P_A vs T_D (WAN)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_07
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.report import format_series_table
+
+
+def test_fig7_comparison_pa(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig06_07.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Figure 7: P_A vs T_D per detector (WAN) ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("PA")]
+            )
+        )
+        print()
+        print(
+            ascii_plot(
+                [s for s in result.series if s.label.startswith("PA")],
+                log_x=True,
+                title="Figure 7 (P_A vs T_D [s])",
+            )
+        )
+    assert result.all_checks_passed, [str(c) for c in result.checks]

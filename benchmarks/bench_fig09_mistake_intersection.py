@@ -1,0 +1,16 @@
+"""Figure 9: Mistakes(2W) = Mistakes(Chen_1) ∩ Mistakes(Chen_1000) (Eq. 13)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_intersection
+from repro.experiments.report import format_table
+
+
+def test_fig9_mistake_intersection(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig09_intersection.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Figure 9: mistake-set decomposition at T_D = 215 ms ===")
+        print(format_table(result.tables["mistake_sets"]))
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

@@ -1,0 +1,22 @@
+"""Figure 10: configured (Δi, Δto) as the detection-time bound T_D^U varies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_11_12
+from repro.experiments.report import format_series_table
+
+
+def test_fig10_vary_detection_time(benchmark, capsys):
+    result = run_once(benchmark, fig10_11_12.run)
+    with capsys.disabled():
+        print()
+        print("=== Figure 10: Δi, Δto vs T_D^U ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("fig10")]
+            )
+        )
+        for check in result.checks:
+            if "fig10" in check.name:
+                print(f"  {check}")
+    fig10 = [c for c in result.checks if "fig10" in c.name]
+    assert fig10 and all(c.passed for c in fig10), [str(c) for c in fig10]

@@ -1,0 +1,22 @@
+"""Figure 11: configured (Δi, Δto) as the mistake-recurrence bound varies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_11_12
+from repro.experiments.report import format_series_table
+
+
+def test_fig11_vary_mistake_recurrence(benchmark, capsys):
+    result = run_once(benchmark, fig10_11_12.run)
+    with capsys.disabled():
+        print()
+        print("=== Figure 11: Δi, Δto vs required mistake recurrence ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("fig11")]
+            )
+        )
+        for check in result.checks:
+            if "fig11" in check.name:
+                print(f"  {check}")
+    fig11 = [c for c in result.checks if "fig11" in c.name]
+    assert fig11 and all(c.passed for c in fig11), [str(c) for c in fig11]

@@ -1,0 +1,22 @@
+"""Figure 12: configured (Δi, Δto) as the mistake-duration bound T_M^U varies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_11_12
+from repro.experiments.report import format_series_table
+
+
+def test_fig12_vary_mistake_duration(benchmark, capsys):
+    result = run_once(benchmark, fig10_11_12.run)
+    with capsys.disabled():
+        print()
+        print("=== Figure 12: Δi, Δto vs T_M^U ===")
+        print(
+            format_series_table(
+                [s for s in result.series if s.label.startswith("fig12")]
+            )
+        )
+        for check in result.checks:
+            if "fig12" in check.name:
+                print(f"  {check}")
+    fig12 = [c for c in result.checks if "fig12" in c.name]
+    assert fig12 and all(c.passed for c in fig12), [str(c) for c in fig12]

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the replay hot paths.
+
+These quantify what makes the paper-scale evaluation interactive: the
+vectorized kernels process millions of heartbeats per second, and a Δto
+sweep point costs one fused add plus the metrics kernel.  The online
+detector is benchmarked for contrast (it is the live-service path, not the
+evaluation path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.replay.engine import replay_online
+from repro.replay.kernels import MultiWindowKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.traces.wan import make_wan_trace
+
+
+@pytest.fixture(scope="module")
+def bench_trace(scale=None):
+    import os
+
+    scale = float(os.environ.get("REPRO_SCALE", "0.02"))
+    return make_wan_trace(scale=max(scale, 0.02), seed=2015)
+
+
+def test_kernel_construction(benchmark, bench_trace):
+    """One-time cost: windowed statistics over the whole trace."""
+    kernel = benchmark(lambda: MultiWindowKernel(bench_trace, window_sizes=(1, 1000)))
+    assert len(kernel.t) > 1000
+
+
+def test_sweep_point(benchmark, bench_trace):
+    """Per-sweep-point cost: deadlines + metrics for one Δto value."""
+    kernel = MultiWindowKernel(bench_trace, window_sizes=(1, 1000))
+
+    def one_point():
+        d = kernel.deadlines(0.115)
+        return replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False)
+
+    outcome = benchmark(one_point)
+    assert outcome.metrics.duration > 0
+
+
+def test_online_replay(benchmark, bench_trace):
+    """Per-message online path (the live simulator/service cost)."""
+    sub = bench_trace.slice_samples(0, min(20_000, bench_trace.n_received))
+
+    def run():
+        det = TwoWindowFailureDetector(sub.interval, 0.115)
+        return replay_online(det, sub)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3, warmup_rounds=1)
+    assert result.metrics.duration > 0

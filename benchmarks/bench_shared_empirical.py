@@ -1,0 +1,17 @@
+"""§VI extension: empirical shared-vs-dedicated comparison by replay."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import shared_empirical
+from repro.experiments.report import format_table
+
+
+def test_shared_vs_dedicated_empirical(benchmark, scale, capsys):
+    result = run_once(benchmark, shared_empirical.run, scale=scale)
+    with capsys.disabled():
+        print()
+        print("=== Empirical shared vs dedicated (measured QoS) ===")
+        print(format_table(result.tables["per_application"]))
+        print(format_table(result.tables["traffic"]))
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

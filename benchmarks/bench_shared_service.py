@@ -1,0 +1,17 @@
+"""§V-C: shared-service combination of multiple QoS requirements."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import shared_service
+from repro.experiments.report import format_table
+
+
+def test_shared_service_combination(benchmark, capsys):
+    result = run_once(benchmark, shared_service.run)
+    with capsys.disabled():
+        print()
+        print("=== §V-C: combined (Δi, Δto) per application ===")
+        print(format_table(result.tables["per_application"]))
+        print(format_table(result.tables["traffic"]))
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

@@ -1,0 +1,19 @@
+"""Table I + Figure 8: per-sub-period mistakes at fixed T_D = 215 ms (WAN)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_subsamples
+from repro.experiments.report import format_table
+
+
+def test_table1_fig8_subsample_mistakes(benchmark, scale, seed, capsys):
+    result = run_once(benchmark, fig08_subsamples.run, scale=scale, seed=seed)
+    with capsys.disabled():
+        print()
+        print("=== Table I: WAN sub-sample boundaries (rescaled) ===")
+        print(format_table(result.tables["table1_segments"]))
+        print()
+        print("=== Figure 8: mistakes per sub-period at T_D = 215 ms ===")
+        print(format_table(result.tables["fig8_mistakes"]))
+        for check in result.checks:
+            print(f"  {check}")
+    assert result.all_checks_passed, [str(c) for c in result.checks]

@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Every figure/table benchmark regenerates its experiment at the trace scale
+given by the ``REPRO_SCALE`` environment variable (default 0.02 — about
+117k received WAN samples; set ``REPRO_SCALE=1.0`` for the paper's full
+5.8M/7.1M-sample traces) and prints the regenerated rows/series alongside
+the timing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "0.02"))
+    except ValueError:  # pragma: no cover - defensive
+        return 0.02
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Trace scale for benchmark runs (REPRO_SCALE env var)."""
+    return _env_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "2015"))
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full regeneration of an experiment (no warmup repeats).
+
+    Figure experiments are macro-benchmarks: a single timed round reflects
+    what a user pays; repeated rounds would hit the in-process trace cache
+    and measure nothing interesting.
+    """
+    return benchmark.pedantic(
+        lambda: fn(**kwargs), iterations=1, rounds=1, warmup_rounds=0
+    )

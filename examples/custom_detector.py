@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Extending the library: plug a custom failure detector into the harness.
+
+Implements a *median*-based variant of Chen's detector (robust location
+estimate instead of the windowed mean of Eq. 2), wires it into the same
+online machinery every built-in detector uses, and benchmarks it against
+the 2W-FD on a bursty trace via the online replay engine.
+
+This is the integration surface a downstream researcher would use to test
+a new FD algorithm under the paper's methodology.
+
+Run:  python examples/custom_detector.py
+"""
+
+import statistics
+from collections import deque
+
+from repro import TwoWindowFailureDetector
+from repro.core.base import HeartbeatFailureDetector
+from repro.net.delays import LogNormalDelay, ParetoDelay, SpikeDelay
+from repro.net.link import Link
+from repro.net.loss import BurstLoss
+from repro.replay import replay_online
+from repro.traces import generate_trace
+
+
+class MedianFailureDetector(HeartbeatFailureDetector):
+    """Chen-style detector using a windowed *median* normalized arrival.
+
+    The median ignores outlier delays entirely, so it is even less
+    sensitive to spikes than a long mean window — but, unlike the 2W-FD,
+    it has no fast component and cannot stretch its freshness points
+    during a sustained burst.
+    """
+
+    name = "median"
+
+    def __init__(self, interval: float, safety_margin: float, window_size: int = 101):
+        super().__init__(interval)
+        self._margin = float(safety_margin)
+        self._window = deque(maxlen=int(window_size))
+
+    def _update(self, seq: int, arrival: float) -> None:
+        self._window.append(arrival - self.interval * seq)
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        center = statistics.median(self._window)
+        return center + self.interval * (seq + 1) + self._margin
+
+
+def main() -> None:
+    interval = 0.1
+    link = Link(
+        delay_model=SpikeDelay(
+            base=LogNormalDelay(log_mu=-2.14, log_sigma=0.1),
+            spike_model=ParetoDelay(alpha=1.3, minimum=0.3),
+            spike_rate=2e-3,
+            spike_run=15.0,
+        ),
+        loss_model=BurstLoss(mean_gap=2000.0, mean_burst=10.0, p_base=0.002),
+    )
+    trace = generate_trace(40_000, interval, link, rng=3)
+    print(f"bursty trace: {trace}")
+
+    margin = 0.15
+    contenders = {
+        "median(101)": MedianFailureDetector(interval, margin),
+        "2w-fd(1,1000)": TwoWindowFailureDetector(interval, margin),
+    }
+    print(f"\nshared safety margin Δto = {margin}s")
+    print(f"{'detector':>14} | {'T_D [s]':>8} | {'mistakes':>8} | {'P_A':>9} | {'T_M [s]':>8}")
+    for name, det in contenders.items():
+        r = replay_online(det, trace)
+        print(
+            f"{name:>14} | {r.detection_time:>8.3f} | {r.metrics.n_mistakes:>8} "
+            f"| {r.metrics.query_accuracy:>9.6f} | {r.metrics.mistake_duration:>8.4f}"
+        )
+    print(
+        "\nThe median resists isolated spikes but, lacking a short-term "
+        "window, keeps making mistakes through sustained bursts — the "
+        "failure mode the 2W-FD's max-of-two-estimates rule addresses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``pip install -e .`` (legacy editable mode via ``setup.py develop``)
+in offline environments that lack the ``wheel`` package required by
+PEP 517 editable installs.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

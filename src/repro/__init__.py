@@ -1,0 +1,71 @@
+"""repro — reproduction of "2W-FD: A Failure Detector Algorithm with QoS".
+
+Public API highlights:
+
+- :class:`repro.TwoWindowFailureDetector` — the paper's contribution;
+- :mod:`repro.detectors` — Chen, Bertier, φ, ED baselines;
+- :mod:`repro.traces` — synthetic WAN/LAN heartbeat traces;
+- :mod:`repro.replay` — vectorized trace replay, sweeps, mistake algebra;
+- :mod:`repro.qos` — QoS metrics, Chen's configurator, shared service;
+- :mod:`repro.sim` — discrete-event simulation with real crash injection;
+- :mod:`repro.service` — failure detection as a shared service;
+- :mod:`repro.cluster` — group membership on top of the detectors;
+- :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.core import (
+    HeartbeatFailureDetector,
+    MultiWindowFailureDetector,
+    TwoWindowFailureDetector,
+)
+from repro.detectors import (
+    AdaptiveTwoWindowFailureDetector,
+    BertierFailureDetector,
+    ChenFailureDetector,
+    EDFailureDetector,
+    FixedTimeoutFailureDetector,
+    HistogramAccrualFailureDetector,
+    PhiAccrualFailureDetector,
+    SynchronizedChenFailureDetector,
+    available_detectors,
+    make_detector,
+)
+from repro.qos import (
+    NetworkBehavior,
+    QoSMetrics,
+    QoSSpec,
+    combine,
+    compute_metrics,
+    configure,
+    estimate_network_behavior,
+)
+from repro.traces import HeartbeatTrace, make_lan_trace, make_wan_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTwoWindowFailureDetector",
+    "BertierFailureDetector",
+    "ChenFailureDetector",
+    "EDFailureDetector",
+    "FixedTimeoutFailureDetector",
+    "HeartbeatFailureDetector",
+    "HeartbeatTrace",
+    "HistogramAccrualFailureDetector",
+    "MultiWindowFailureDetector",
+    "NetworkBehavior",
+    "PhiAccrualFailureDetector",
+    "QoSMetrics",
+    "QoSSpec",
+    "SynchronizedChenFailureDetector",
+    "TwoWindowFailureDetector",
+    "__version__",
+    "available_detectors",
+    "combine",
+    "compute_metrics",
+    "configure",
+    "estimate_network_behavior",
+    "make_detector",
+    "make_lan_trace",
+    "make_wan_trace",
+]

@@ -1,0 +1,100 @@
+"""Shared argument-validation helpers.
+
+Small, dependency-free checks used across the package so that error messages
+are uniform and validation logic is written once.  All helpers raise
+:class:`ValueError` (or :class:`TypeError` for wrong types) with the offending
+parameter name in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_probability",
+    "ensure_int_at_least",
+    "ensure_1d_float_array",
+    "ensure_1d_int_array",
+    "ensure_same_length",
+    "ensure_sorted",
+]
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_int_at_least(value: int, minimum: int, name: str) -> int:
+    """Return ``value`` as an int if it is an integer ``>= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def ensure_1d_float_array(value: Any, name: str) -> np.ndarray:
+    """Coerce ``value`` to a 1-D float64 array, rejecting higher dimensions."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_1d_int_array(value: Any, name: str) -> np.ndarray:
+    """Coerce ``value`` to a 1-D int64 array, rejecting higher dimensions."""
+    arr = np.asarray(value)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        rounded = np.rint(arr)
+        if not np.allclose(arr, rounded):
+            raise ValueError(f"{name} must contain integers")
+        arr = rounded
+    return arr.astype(np.int64, copy=False)
+
+
+def ensure_same_length(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Raise unless the two arrays have identical length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def ensure_sorted(arr: np.ndarray, name: str, *, strict: bool = False) -> None:
+    """Raise unless ``arr`` is sorted ascending (strictly if ``strict``)."""
+    if arr.size < 2:
+        return
+    diffs = np.diff(arr)
+    if strict:
+        if not np.all(diffs > 0):
+            raise ValueError(f"{name} must be strictly increasing")
+    elif not np.all(diffs >= 0):
+        raise ValueError(f"{name} must be non-decreasing")

@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+::
+
+    repro-fd list                      # available experiments
+    repro-fd run fig6 --scale 0.02     # regenerate one figure/table
+    repro-fd run all --scale 0.01      # regenerate everything
+    repro-fd trace wan --scale 0.01 -o wan.npz   # export a synthetic trace
+    repro-fd configure --td 30 --recurrence 600 --tm 10 --loss 0.01 --vd 1e-3
+    repro-fd simulate --detector 2w-fd --param 0.2 --crash 60 --duration 90
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fd",
+        description=(
+            "Reproduction of '2W-FD: A Failure Detector Algorithm with QoS' — "
+            "experiment runner and utilities."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    p_run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fraction of the paper's trace sizes to generate (default 0.02)",
+    )
+    p_run.add_argument("--seed", type=int, default=None, help="RNG seed")
+    p_run.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each result as <DIR>/<experiment>.json",
+    )
+
+    p_trace = sub.add_parser("trace", help="generate and save a synthetic trace")
+    p_trace.add_argument("scenario", choices=["wan", "lan"])
+    p_trace.add_argument("--scale", type=float, default=0.01)
+    p_trace.add_argument("--seed", type=int, default=2015)
+    p_trace.add_argument("-o", "--output", required=True, help="output .npz path")
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a live monitoring simulation with crash injection"
+    )
+    p_sim.add_argument(
+        "--detector", default="2w-fd", help="detector name (see repro.detectors)"
+    )
+    p_sim.add_argument(
+        "--param",
+        type=float,
+        default=None,
+        help="tuning parameter (safety margin / threshold / timeout)",
+    )
+    p_sim.add_argument("--interval", type=float, default=0.1, help="Δi [s]")
+    p_sim.add_argument("--duration", type=float, default=60.0, help="run length [s]")
+    p_sim.add_argument("--crash", type=float, default=None, help="crash time [s]")
+    p_sim.add_argument("--delay", type=float, default=0.1, help="mean one-way delay [s]")
+    p_sim.add_argument(
+        "--jitter", type=float, default=0.1, help="log-normal sigma of the delay"
+    )
+    p_sim.add_argument("--loss", type=float, default=0.01, help="loss probability")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every experiment into one Markdown report"
+    )
+    p_rep.add_argument("-o", "--output", required=True, help="output .md path")
+    p_rep.add_argument("--scale", type=float, default=None)
+    p_rep.add_argument("--seed", type=int, default=None)
+
+    p_cfg = sub.add_parser(
+        "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
+    )
+    p_cfg.add_argument("--td", type=float, required=True, help="T_D^U [s]")
+    p_cfg.add_argument(
+        "--recurrence", type=float, required=True, help="required mistake recurrence [s]"
+    )
+    p_cfg.add_argument("--tm", type=float, required=True, help="T_M^U [s]")
+    p_cfg.add_argument("--loss", type=float, default=0.0, help="p_L")
+    p_cfg.add_argument("--vd", type=float, default=0.0, help="V(D) [s^2]")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for key in sorted(EXPERIMENTS):
+        print(f"{key.ljust(width)}  {EXPERIMENTS[key][1]}")
+    return 0
+
+
+def _cmd_run(
+    experiment: str,
+    scale: float | None,
+    seed: int | None,
+    json_dir: str | None = None,
+) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.experiments.report import render_result
+
+    kwargs: dict = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    ids = sorted(EXPERIMENTS) if experiment == "all" else [experiment]
+    # Figure pairs share a runner; avoid running the same runner twice.
+    seen = set()
+    failed = False
+    for exp_id in ids:
+        runner = EXPERIMENTS.get(exp_id, (None,))[0] if exp_id in EXPERIMENTS else None
+        if runner is not None and runner in seen:
+            continue
+        result = run_experiment(exp_id, **kwargs)
+        seen.add(EXPERIMENTS[exp_id][0])
+        print(render_result(result))
+        print()
+        if json_dir is not None:
+            out = Path(json_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"{exp_id}.json"
+            path.write_text(json.dumps(result.as_dict(), indent=2))
+            print(f"(wrote {path})\n")
+        failed |= not result.all_checks_passed
+    return 1 if failed else 0
+
+
+def _cmd_trace(scenario: str, scale: float, seed: int, output: str) -> int:
+    from repro.traces import make_lan_trace, make_wan_trace, save_trace
+
+    maker = make_wan_trace if scenario == "wan" else make_lan_trace
+    trace = maker(scale=scale, seed=seed)
+    path = save_trace(trace, output)
+    print(f"wrote {trace} to {path}")
+    return 0
+
+
+def _cmd_configure(td: float, recurrence: float, tm: float, loss: float, vd: float) -> int:
+    from repro.qos import NetworkBehavior, QoSSpec, configure
+    from repro.qos.configurator import ConfigurationError
+
+    spec = QoSSpec.from_recurrence_time(td, recurrence, tm)
+    behavior = NetworkBehavior(loss_probability=loss, delay_variance=vd)
+    try:
+        cfg = configure(spec, behavior)
+    except ConfigurationError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    print(f"Δi  = {cfg.interval:.6g} s   ({cfg.message_rate:.4g} heartbeats/s)")
+    print(f"Δto = {cfg.safety_margin:.6g} s")
+    print(f"guaranteed mistake-rate bound f(Δi) = {cfg.mistake_rate_bound:.4g} /s")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    import math
+
+    from repro.detectors.registry import make_detector, tuning_parameter
+    from repro.experiments.ascii_plot import ascii_timeline
+    from repro.net.delays import LogNormalDelay
+    from repro.net.loss import BernoulliLoss
+    from repro.sim import simulate
+
+    knob = tuning_parameter(args.detector)
+    kwargs = {}
+    if knob is not None:
+        if args.param is None:
+            print(
+                f"detector {args.detector!r} needs --param (its {knob})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs[knob] = args.param
+    if args.detector == "adaptive-2w-fd":
+        kwargs["max_mistake_rate"] = args.param if args.param else 1e-3
+
+    result = simulate(
+        {args.detector: lambda dt: make_detector(args.detector, dt, **kwargs)},
+        interval=args.interval,
+        duration=args.duration,
+        delay_model=LogNormalDelay(
+            log_mu=math.log(args.delay), log_sigma=max(args.jitter, 1e-6)
+        ),
+        loss_model=BernoulliLoss(args.loss),
+        crash_time=args.crash,
+        seed=args.seed,
+    )
+    metrics = result.metrics[args.detector]
+    print(
+        f"{result.n_sent} heartbeats sent, {result.n_lost} lost; "
+        f"monitored for {metrics.duration:.1f}s"
+    )
+    print(
+        f"accuracy: P_A={metrics.query_accuracy:.6f}  "
+        f"mistakes={metrics.n_mistakes}  T_MR={metrics.mistake_rate:.3g}/s  "
+        f"T_M={metrics.mistake_duration:.3f}s"
+    )
+    print(ascii_timeline(result.timelines[args.detector]))
+    if args.crash is not None:
+        report = result.crash_reports[args.detector]
+        if report.permanently_suspecting:
+            print(
+                f"crash at {report.crash_time:.1f}s detected at "
+                f"{report.suspected_at:.3f}s (T_D = {report.detection_time:.3f}s)"
+            )
+        else:
+            print("crash NOT (permanently) detected within the horizon")
+            return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.seed, args.json)
+    if args.command == "trace":
+        return _cmd_trace(args.scenario, args.scale, args.seed, args.output)
+    if args.command == "configure":
+        return _cmd_configure(args.td, args.recurrence, args.tm, args.loss, args.vd)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "report":
+        from pathlib import Path
+
+        from repro.experiments.full_report import build_report
+
+        text = build_report(scale=args.scale, seed=args.seed)
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path} ({len(text.splitlines())} lines)")
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Group membership on top of the failure detectors.
+
+The paper motivates QoS failure detection with "group membership protocols
+and cluster management", where every false suspicion "results in a costly
+interrupt" (a view change that the whole group must process).  This
+subpackage builds that consumer:
+
+- :mod:`repro.cluster.membership` — a coordinator-style membership monitor:
+  one failure detector per member, a versioned membership view, and a view-
+  change log (the costly interrupts the T_MR metric prices);
+- :mod:`repro.cluster.simulation` — a whole-cluster simulation: N member
+  processes heartbeat a coordinator over independent lossy links, some
+  crash, and the run reports view churn (false removals/rejoins) and the
+  detection latency of each real crash per detector type.
+
+This is the workload-level view of the paper's headline claim: a lower
+T_MR at equal T_D translates directly into fewer spurious view changes.
+"""
+
+from repro.cluster.membership import MembershipEvent, MembershipMonitor, MembershipView
+from repro.cluster.simulation import ClusterReport, MemberSpec, simulate_cluster
+
+__all__ = [
+    "ClusterReport",
+    "MemberSpec",
+    "MembershipEvent",
+    "MembershipMonitor",
+    "MembershipView",
+    "simulate_cluster",
+]

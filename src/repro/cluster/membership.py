@@ -1,0 +1,166 @@
+"""Coordinator-style group membership driven by failure detectors.
+
+A :class:`MembershipMonitor` runs one online failure detector per member.
+Whenever a member's detector output flips, the membership *view* changes:
+an S-transition removes the member (a suspicion), a T-transition restores
+it (a rejoin).  Each view carries a version number — in a real system every
+view change is broadcast and processed by all members, which is why the
+paper calls mistakes "costly interrupts" for this workload.
+
+The monitor is transport-agnostic: feed it ``(member, seq, arrival)``
+heartbeats from any source (the cluster simulator, recorded traces, or a
+real receiver loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from repro.core.base import HeartbeatFailureDetector
+
+__all__ = ["MembershipEvent", "MembershipView", "MembershipMonitor"]
+
+DetectorFactory = Callable[[], HeartbeatFailureDetector]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One view change: a member left (suspected) or (re)joined."""
+
+    time: float
+    version: int
+    member: str
+    joined: bool  # True = added to the view, False = removed
+
+    def __str__(self) -> str:
+        verb = "JOIN" if self.joined else "REMOVE"
+        return f"[v{self.version} @ {self.time:.3f}s] {verb} {self.member}"
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """An immutable versioned snapshot of the live set."""
+
+    version: int
+    members: FrozenSet[str]
+    since: float
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+
+class MembershipMonitor:
+    """Tracks a membership view from per-member failure detectors.
+
+    Members start *outside* the view (their detectors suspect vacuously
+    until the first heartbeat, per the QoS model) and join on their first
+    trusted heartbeat.
+
+    Time discipline: calls to :meth:`receive` and :meth:`advance_to` must
+    carry non-decreasing times, as with any online detector.
+    """
+
+    def __init__(self, detector_factory: DetectorFactory):
+        self._factory = detector_factory
+        self._detectors: Dict[str, HeartbeatFailureDetector] = {}
+        self._in_view: Dict[str, bool] = {}
+        self._consumed: Dict[str, int] = {}
+        self._events: List[MembershipEvent] = []
+        self._version = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """All registered members (in or out of the current view)."""
+        return tuple(self._detectors)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def events(self) -> List[MembershipEvent]:
+        """The view-change log (the workload's costly interrupts)."""
+        return list(self._events)
+
+    def view(self) -> MembershipView:
+        """The current membership view."""
+        alive = frozenset(m for m, ok in self._in_view.items() if ok)
+        since = self._events[-1].time if self._events else 0.0
+        return MembershipView(version=self._version, members=alive, since=since)
+
+    # ------------------------------------------------------------------
+    def add_member(self, member: str) -> None:
+        """Register a member (starts suspected / outside the view)."""
+        if member in self._detectors:
+            raise ValueError(f"member {member!r} already registered")
+        self._detectors[member] = self._factory()
+        self._in_view[member] = False
+        self._consumed[member] = 0
+
+    def receive(self, member: str, seq: int, arrival: float) -> None:
+        """Deliver one heartbeat from ``member``.
+
+        Every other member's detector is advanced to ``arrival`` too, so
+        the view-change log stays globally time-ordered (an expiry of a
+        silent member is stamped before a later heartbeat of a chatty one).
+        """
+        det = self._require(member)
+        self._advance_clock(arrival)
+        det.receive(seq, arrival)
+        self.advance_to(arrival)
+
+    def advance_to(self, now: float) -> None:
+        """Materialize deadline expiries up to ``now`` (periodic poll)."""
+        self._advance_clock(now)
+        for member, det in self._detectors.items():
+            det.advance_to(now)
+            self._reconcile(member, now)
+
+    def finalize(self, end_time: float) -> List[MembershipEvent]:
+        """Close the run and return the full view-change log."""
+        self.advance_to(end_time)
+        return self.events
+
+    # ------------------------------------------------------------------
+    def n_view_changes(self) -> int:
+        return len(self._events)
+
+    def removals_of(self, member: str) -> List[MembershipEvent]:
+        return [e for e in self._events if e.member == member and not e.joined]
+
+    # ------------------------------------------------------------------
+    def _require(self, member: str) -> HeartbeatFailureDetector:
+        try:
+            return self._detectors[member]
+        except KeyError:
+            raise KeyError(
+                f"unknown member {member!r}; registered: {list(self._detectors)}"
+            ) from None
+
+    def _advance_clock(self, now: float) -> None:
+        if now < self._now:
+            raise ValueError(f"time went backwards ({now} < {self._now})")
+        self._now = now
+
+    def _reconcile(self, member: str, now: float) -> None:
+        """Fold the member's detector transitions into view changes.
+
+        Uses the detector's transition log rather than point-in-time
+        queries so that expiries *between* heartbeats are stamped at their
+        true instants.
+        """
+        det = self._detectors[member]
+        trans = det.transitions
+        for time, trust in trans[self._consumed[member]:]:
+            if trust != self._in_view[member]:
+                self._version += 1
+                self._in_view[member] = trust
+                self._events.append(
+                    MembershipEvent(
+                        time=time, version=self._version, member=member, joined=trust
+                    )
+                )
+        self._consumed[member] = len(trans)

@@ -1,0 +1,28 @@
+"""The paper's contribution: the Two-Window / Multiple-Windows FD.
+
+- :mod:`repro.core.windows` — O(1) sliding-window accumulators,
+- :mod:`repro.core.estimation` — Chen's expected-arrival estimator (Eq. 2),
+  online and vectorized,
+- :mod:`repro.core.freshness` — freshness-point output semantics shared by
+  every detector (trust iff a fresh message exists),
+- :mod:`repro.core.twofd` — :class:`TwoWindowFailureDetector` (2W-FD,
+  Alg. 1 with two windows, Eq. 12) and the generalized
+  :class:`MultiWindowFailureDetector`.
+"""
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.estimation import ArrivalEstimator, expected_arrivals, windowed_means
+from repro.core.freshness import FreshnessOutput
+from repro.core.twofd import MultiWindowFailureDetector, TwoWindowFailureDetector
+from repro.core.windows import SlidingWindow
+
+__all__ = [
+    "ArrivalEstimator",
+    "FreshnessOutput",
+    "HeartbeatFailureDetector",
+    "MultiWindowFailureDetector",
+    "SlidingWindow",
+    "TwoWindowFailureDetector",
+    "expected_arrivals",
+    "windowed_means",
+]

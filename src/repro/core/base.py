@@ -1,0 +1,126 @@
+"""Abstract base class for online heartbeat failure detectors.
+
+The QoS model (§II-A) is a two-process system: the monitor q runs the
+detector; the monitored process p sends heartbeats ``m_1, m_2, ...`` every
+``Δi`` on its own clock.  Every concrete detector (Chen, Bertier, φ, ED,
+2W-FD, fixed-timeout) shares this per-message skeleton:
+
+1. ignore messages that do not carry the largest sequence number seen so
+   far (Alg. 1 line 13);
+2. update its estimator state from the accepted message;
+3. compute the *suspicion deadline* — the freshness point after which,
+   absent fresher heartbeats, the output becomes S;
+4. hand ``(arrival, deadline)`` to a :class:`FreshnessOutput` that maintains
+   the T/S output and the transition log.
+
+Subclasses implement :meth:`_update` (step 2) and :meth:`_deadline`
+(step 3) only.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro._validation import ensure_positive
+from repro.core.freshness import FreshnessOutput
+
+__all__ = ["HeartbeatFailureDetector"]
+
+
+class HeartbeatFailureDetector(ABC):
+    """Online failure detector at monitor q observing one process p.
+
+    Parameters
+    ----------
+    interval:
+        The sender's heartbeat interval Δi in seconds (a protocol parameter
+        known to both sides, per the paper's model).
+    """
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, interval: float):
+        self._interval = ensure_positive(interval, "interval")
+        self._largest_seq = 0  # paper's l (with l = -1 represented as 0: seqs start at 1)
+        self._last_arrival: float | None = None
+        self._current_deadline: float | None = None
+        self._output = FreshnessOutput()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> float:
+        """Heartbeat interval Δi (seconds)."""
+        return self._interval
+
+    @property
+    def largest_seq(self) -> int:
+        """Largest sequence number accepted so far (0 before any)."""
+        return self._largest_seq
+
+    @property
+    def last_arrival(self) -> float | None:
+        """Arrival time of the last accepted heartbeat."""
+        return self._last_arrival
+
+    @property
+    def suspicion_deadline(self) -> float | None:
+        """Current freshness point: the output turns S at this instant."""
+        return self._current_deadline
+
+    def receive(self, seq: int, arrival: float) -> bool:
+        """Deliver heartbeat ``m_seq`` received at time ``arrival``.
+
+        Returns ``True`` if the message was accepted (sequence-fresh),
+        ``False`` if it was discarded as stale/duplicate.
+        """
+        seq = int(seq)
+        if seq <= self._largest_seq:
+            return False
+        self._largest_seq = seq
+        self._update(seq, arrival)
+        deadline = self._deadline(seq, arrival)
+        self._last_arrival = arrival
+        self._current_deadline = deadline
+        self._output.on_heartbeat(arrival, deadline)
+        return True
+
+    def is_trusting(self, now: float) -> bool:
+        """Detector output at time ``now``: ``True`` = trust, ``False`` = suspect.
+
+        Before the first heartbeat the output is suspect (Alg. 1 sets the
+        initial freshness point to 0).
+        """
+        if self._current_deadline is None:
+            return False
+        return now < self._current_deadline
+
+    def advance_to(self, now: float) -> None:
+        """Materialize any deadline expiry up to ``now`` in the transition log."""
+        self._output.advance_to(now)
+
+    def finalize(self, end_time: float) -> List[Tuple[float, bool]]:
+        """Close the run at ``end_time``; return the ``(time, trust)`` transitions."""
+        return self._output.finalize(end_time)
+
+    @property
+    def transitions(self) -> List[Tuple[float, bool]]:
+        """Transition log so far (time, new output; ``True`` = T-transition)."""
+        return list(self._output.transitions)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _update(self, seq: int, arrival: float) -> None:
+        """Fold the accepted heartbeat into the estimator state."""
+
+    @abstractmethod
+    def _deadline(self, seq: int, arrival: float) -> float:
+        """Suspicion deadline established by the accepted heartbeat."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(interval={self._interval})"

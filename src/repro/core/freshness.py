@@ -1,0 +1,108 @@
+"""Freshness-point output semantics (paper §II-B1, Alg. 1 lines 10-22).
+
+Every detector in this package reduces to the same output rule: after each
+accepted heartbeat the detector holds a *suspicion deadline* (the freshness
+point for the next expected heartbeat); it **trusts** p at time t iff the
+deadline computed at the latest accepted heartbeat lies strictly in the
+future (``t < τ``), and **suspects** otherwise.  :class:`FreshnessOutput`
+turns the stream of ``(arrival, deadline)`` pairs into the detector's output
+timeline — the alternating T/S transitions on which every QoS metric in
+§II-A is defined.
+
+Three cases per heartbeat (mirroring Fig. 3):
+
+a. the previous deadline had not expired and the new one is in the future —
+   output stays T, no transition;
+b. the previous deadline expired before this arrival — an S-transition is
+   recorded at the expiry instant, and a T-transition at this arrival
+   (provided the new deadline is in the future);
+c. the new deadline is already in the past (a very stale message) — output
+   is (or becomes) S.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["FreshnessOutput"]
+
+
+@dataclass
+class FreshnessOutput:
+    """Incremental T/S output tracker for deadline-based detectors.
+
+    Per the QoS model (§II-A) the output before the first heartbeat is
+    *suspect* (Alg. 1 initializes the first freshness point to 0); metric
+    computation conventionally starts the observation window at the first
+    heartbeat, which :mod:`repro.qos.metrics` handles.
+    """
+
+    trusting: bool = False
+    deadline: float | None = None
+    start_time: float | None = None
+    last_event_time: float | None = None
+    transitions: List[Tuple[float, bool]] = None  # (time, new-output-is-trust)
+
+    def __post_init__(self) -> None:
+        if self.transitions is None:
+            self.transitions = []
+
+    def _transition(self, time: float, trust: bool) -> None:
+        self.transitions.append((time, trust))
+        self.trusting = trust
+
+    def on_heartbeat(self, arrival: float, deadline: float) -> None:
+        """Record an accepted heartbeat and the deadline it establishes.
+
+        Calls must be in non-decreasing ``arrival`` order.
+        """
+        if self.last_event_time is not None and arrival < self.last_event_time:
+            raise ValueError(
+                f"heartbeats must be fed in time order "
+                f"({arrival} < {self.last_event_time})"
+            )
+        if self.start_time is None:
+            self.start_time = arrival
+        # Did the previous deadline expire strictly before this arrival?
+        # (A message arriving exactly at the freshness point renews trust
+        # without a measurable suspicion period.)
+        if self.trusting and self.deadline is not None and self.deadline < arrival:
+            self._transition(self.deadline, False)
+        # Apply the new deadline (Alg. 1 line 20: trust iff t < τ_{l+1}).
+        if arrival < deadline:
+            if not self.trusting:
+                self._transition(arrival, True)
+        else:
+            if self.trusting:
+                self._transition(arrival, False)
+        self.deadline = deadline
+        self.last_event_time = arrival
+
+    def advance_to(self, now: float) -> None:
+        """Apply any deadline expiry that happened up to time ``now``.
+
+        Online users (the simulator, the service) call this before querying
+        the output so an expiry between heartbeats is materialized as an
+        S-transition at the expiry instant, exactly as Alg. 1 line 10 does.
+        """
+        if self.last_event_time is not None and now < self.last_event_time:
+            raise ValueError(f"cannot advance backwards ({now} < {self.last_event_time})")
+        # Strict: a deadline landing exactly on ``now`` opens a zero-length
+        # suspicion interval, which contributes no transition (matching the
+        # vectorized metrics kernel and the measure-zero convention).
+        if self.trusting and self.deadline is not None and self.deadline < now:
+            self._transition(self.deadline, False)
+        if self.start_time is not None:
+            self.last_event_time = max(self.last_event_time or now, now)
+
+    def output_at(self, now: float) -> bool:
+        """Current output: ``True`` = trust.  Does not mutate state."""
+        if self.deadline is None:
+            return False
+        return now < self.deadline
+
+    def finalize(self, end_time: float) -> List[Tuple[float, bool]]:
+        """Close the observation window at ``end_time`` and return transitions."""
+        self.advance_to(end_time)
+        return list(self.transitions)

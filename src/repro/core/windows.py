@@ -1,0 +1,136 @@
+"""Sliding-window accumulators with O(1) updates.
+
+Every detector in the paper keeps the last *n* observations (arrival times or
+interarrival gaps) and needs their mean — and, for the accrual detectors,
+their variance — after every heartbeat.  Recomputing over the window would
+cost O(n) per heartbeat (ruinous at n = 10,000 and millions of heartbeats),
+so :class:`SlidingWindow` maintains running sums over a ring buffer.
+
+Floating-point hygiene: values are accumulated relative to a *baseline* (the
+first value pushed), which keeps the running sums small even when absolute
+times grow to ~10^5 s over a multi-day trace; and the sums are recomputed
+exactly from the buffer once per wrap-around, bounding drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import ensure_int_at_least
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """Fixed-capacity window of floats with O(1) mean and variance.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained values (the paper's window size *n*).
+    """
+
+    __slots__ = (
+        "_buffer",
+        "_capacity",
+        "_count",
+        "_next",
+        "_baseline",
+        "_sum",
+        "_sumsq",
+        "_pushes_since_rebuild",
+    )
+
+    def __init__(self, capacity: int):
+        self._capacity = ensure_int_at_least(capacity, 1, "capacity")
+        self._buffer = np.empty(self._capacity, dtype=np.float64)
+        self._count = 0
+        self._next = 0
+        self._baseline = 0.0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._pushes_since_rebuild = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self._capacity
+
+    # ------------------------------------------------------------------
+    def push(self, value: float) -> None:
+        """Insert ``value``, evicting the oldest if the window is full."""
+        value = float(value)
+        if self._count == 0:
+            self._baseline = value
+        rel = value - self._baseline
+        if self._count == self._capacity:
+            old = self._buffer[self._next] - self._baseline
+            self._sum -= old
+            self._sumsq -= old * old
+        else:
+            self._count += 1
+        self._buffer[self._next] = value
+        self._sum += rel
+        self._sumsq += rel * rel
+        self._next = (self._next + 1) % self._capacity
+        self._pushes_since_rebuild += 1
+        if self._pushes_since_rebuild >= self._capacity:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute the running sums exactly, resetting accumulated drift."""
+        values = self.values()
+        if values.size:
+            self._baseline = float(values[0])
+            rel = values - self._baseline
+            self._sum = float(rel.sum())
+            self._sumsq = float((rel * rel).sum())
+        else:
+            self._sum = 0.0
+            self._sumsq = 0.0
+        self._pushes_since_rebuild = 0
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Mean of the retained values."""
+        if self._count == 0:
+            raise ValueError("mean() of an empty window")
+        return self._baseline + self._sum / self._count
+
+    def variance(self) -> float:
+        """Population variance of the retained values (clamped at 0)."""
+        if self._count == 0:
+            raise ValueError("variance() of an empty window")
+        m = self._sum / self._count
+        return max(0.0, self._sumsq / self._count - m * m)
+
+    def std(self) -> float:
+        """Population standard deviation of the retained values."""
+        return float(np.sqrt(self.variance()))
+
+    def values(self) -> np.ndarray:
+        """Retained values, oldest first (copies; O(n))."""
+        if self._count < self._capacity:
+            return self._buffer[: self._count].copy()
+        return np.concatenate(
+            [self._buffer[self._next :], self._buffer[: self._next]]
+        )
+
+    def clear(self) -> None:
+        """Drop all retained values."""
+        self._count = 0
+        self._next = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._pushes_since_rebuild = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlidingWindow(capacity={self._capacity}, count={self._count})"

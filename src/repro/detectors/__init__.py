@@ -1,0 +1,43 @@
+"""Baseline failure detectors the paper compares against (§II-B).
+
+- :mod:`repro.detectors.chen` — Chen et al.'s NFD-E detector (Eq. 1-2),
+- :mod:`repro.detectors.chen_sync` — Chen's NFD-S variant for synchronized
+  clocks (exact freshness points from known send times),
+- :mod:`repro.detectors.bertier` — Bertier et al.'s detector with
+  Jacobson-adapted safety margin (Eq. 3-6),
+- :mod:`repro.detectors.accrual` — the φ accrual detector (Eq. 7-9),
+- :mod:`repro.detectors.exponential` — the ED accrual detector (Eq. 10-11),
+- :mod:`repro.detectors.timeout` — a naive fixed-timeout detector (not in
+  the paper; included as an experimental control),
+- :mod:`repro.detectors.adaptive` — extension: a 2W-FD whose margin tracks
+  an accuracy bound via periodic reconfiguration (§V-A closing remark),
+- :mod:`repro.detectors.registry` — name → constructor lookup used by the
+  CLI and experiment harness.
+
+The paper's own contribution lives in :mod:`repro.core.twofd`.
+"""
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.detectors.accrual import PhiAccrualFailureDetector
+from repro.detectors.adaptive import AdaptiveTwoWindowFailureDetector
+from repro.detectors.bertier import BertierFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+from repro.detectors.chen_sync import SynchronizedChenFailureDetector
+from repro.detectors.exponential import EDFailureDetector
+from repro.detectors.histogram import HistogramAccrualFailureDetector
+from repro.detectors.registry import available_detectors, make_detector
+from repro.detectors.timeout import FixedTimeoutFailureDetector
+
+__all__ = [
+    "AdaptiveTwoWindowFailureDetector",
+    "BertierFailureDetector",
+    "ChenFailureDetector",
+    "EDFailureDetector",
+    "FixedTimeoutFailureDetector",
+    "HistogramAccrualFailureDetector",
+    "HeartbeatFailureDetector",
+    "PhiAccrualFailureDetector",
+    "SynchronizedChenFailureDetector",
+    "available_detectors",
+    "make_detector",
+]

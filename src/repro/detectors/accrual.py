@@ -1,0 +1,139 @@
+"""The φ accrual failure detector (paper §II-B3; Hayashibara et al. 2004).
+
+Instead of a binary output, the φ detector exposes a continuous suspicion
+level (Eq. 7):
+
+    φ(T_now) = −log10( P_later(T_now − T_last) )
+
+where ``P_later(t) = 1 − F(t)`` and F is the CDF of a normal distribution
+fitted (mean μ, variance σ²) to the interarrival times of the last *n*
+heartbeats (Eq. 8-9).  A binary detector is recovered by suspecting when
+``φ ≥ Φ`` for a threshold Φ; the probability of such a suspicion being a
+mistake is about ``10^−Φ``.
+
+For the deadline-based machinery this package uses, crossing ``φ ≥ Φ`` is
+equivalent to a suspicion deadline
+
+    d = T_last + μ + σ·z(Φ),   z(Φ) = Normal.ppf(1 − 10^−Φ)
+
+which is how both the online class and the vectorized replay kernel compute
+it.  When ``1 − 10^−Φ`` rounds to 1.0 in double precision (Φ ≳ 15.95) the
+quantile is infinite and the detector can never suspect — the exact
+"rounding error" that makes the φ curve stop early on the conservative side
+of the paper's figures (§IV-C2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro._validation import ensure_int_at_least, ensure_non_negative
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.windows import SlidingWindow
+
+__all__ = ["PhiAccrualFailureDetector", "phi_quantile"]
+
+
+def phi_quantile(threshold: float) -> float:
+    """z(Φ): the standard-normal quantile at probability ``1 − 10^−Φ``.
+
+    Returns ``inf`` when the probability rounds to 1.0 in float64 — the φ
+    detector is then unable to suspect at any finite time.
+    """
+    p = 1.0 - 10.0 ** (-float(threshold))
+    if p >= 1.0:
+        return math.inf
+    if p <= 0.0:
+        return -math.inf
+    return float(ndtri(p))
+
+
+class PhiAccrualFailureDetector(HeartbeatFailureDetector):
+    """φ accrual detector with a normal interarrival model.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi (seconds); used only as the warm-up mean
+        before two heartbeats have been observed.
+    threshold:
+        The suspicion threshold Φ (the paper's tuning parameter).
+    window_size:
+        Number of retained interarrival samples (paper uses 1000).
+    min_std:
+        Optional floor on the estimated standard deviation; 0 keeps the
+        textbook behaviour (a perfectly regular trace yields σ = 0 and an
+        instant deadline at T_last + μ).
+    """
+
+    name = "phi"
+
+    def __init__(
+        self,
+        interval: float,
+        threshold: float,
+        window_size: int = 1000,
+        min_std: float = 0.0,
+    ):
+        super().__init__(interval)
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        ensure_int_at_least(window_size, 1, "window_size")
+        ensure_non_negative(min_std, "min_std")
+        self._threshold = float(threshold)
+        self._quantile = phi_quantile(threshold)
+        self._gaps = SlidingWindow(window_size)
+        self._min_std = float(min_std)
+        self._prev_arrival: float | None = None
+
+    @property
+    def threshold(self) -> float:
+        """The suspicion threshold Φ."""
+        return self._threshold
+
+    @property
+    def window_size(self) -> int:
+        return self._gaps.capacity
+
+    def interarrival_stats(self) -> tuple[float, float]:
+        """Current (μ, σ) of the fitted normal interarrival distribution."""
+        if len(self._gaps) == 0:
+            # Warm-up: no gap observed yet; assume the nominal interval.
+            return self.interval, max(self._min_std, 0.0)
+        return self._gaps.mean(), max(self._gaps.std(), self._min_std)
+
+    def phi(self, now: float) -> float:
+        """The suspicion level φ(now) (Eq. 7)."""
+        if self._last_arrival is None:
+            return math.inf
+        mu, sigma = self.interarrival_stats()
+        elapsed = now - self._last_arrival
+        if sigma == 0.0:
+            return math.inf if elapsed >= mu else 0.0
+        # P_later = 1 - F(elapsed); use the complementary CDF for accuracy.
+        from scipy.special import ndtr
+
+        p_later = float(ndtr(-(elapsed - mu) / sigma))
+        if p_later <= 0.0:
+            return math.inf
+        return -math.log10(p_later)
+
+    def _update(self, seq: int, arrival: float) -> None:
+        if self._prev_arrival is not None:
+            self._gaps.push(arrival - self._prev_arrival)
+        self._prev_arrival = arrival
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        mu, sigma = self.interarrival_stats()
+        if not math.isfinite(self._quantile):
+            return math.inf
+        return arrival + mu + sigma * self._quantile
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhiAccrualFailureDetector(interval={self.interval}, "
+            f"threshold={self._threshold}, window_size={self.window_size})"
+        )

@@ -1,0 +1,82 @@
+"""Adaptive-margin Two-Window detector (extension; §V-A closing remark).
+
+Combines the 2W-FD's per-heartbeat burst tolerance with configuration-scale
+adaptivity: the safety margin is not a constant Δto but the output of an
+:class:`~repro.qos.adaptive.AdaptiveMarginController`, which re-runs the
+accuracy-bound inversion of Chen's Eq. 16 on fresh (p_L, V(D)) estimates
+every ``update_period`` of traffic.  The detector therefore tracks a target
+*mistake rate* instead of a target detection time: detection is as fast as
+the current network permits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro._validation import ensure_int_at_least
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.estimation import ArrivalEstimator
+from repro.qos.adaptive import AdaptiveMarginController
+
+__all__ = ["AdaptiveTwoWindowFailureDetector"]
+
+
+class AdaptiveTwoWindowFailureDetector(HeartbeatFailureDetector):
+    """2W-FD whose margin tracks an accuracy bound (T_MR^U) adaptively.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi.
+    max_mistake_rate:
+        The accuracy bound the margin is chosen to guarantee (per the
+        Eq. 16 bound, not merely empirically).
+    window_sizes:
+        The 2W-FD estimation windows (default (1, 1000), the paper's best).
+    update_period, estimator_window, initial_margin:
+        Forwarded to :class:`AdaptiveMarginController`.
+    """
+
+    name = "adaptive-2w-fd"
+
+    def __init__(
+        self,
+        interval: float,
+        max_mistake_rate: float,
+        window_sizes: Sequence[int] = (1, 1000),
+        *,
+        update_period: float = 60.0,
+        estimator_window: int = 2000,
+        initial_margin: float | None = None,
+    ):
+        super().__init__(interval)
+        sizes = tuple(ensure_int_at_least(w, 1, "window size") for w in window_sizes)
+        if not sizes:
+            raise ValueError("at least one window size is required")
+        self._estimators = tuple(ArrivalEstimator(w, interval) for w in sizes)
+        self._window_sizes = sizes
+        self.controller = AdaptiveMarginController(
+            interval,
+            max_mistake_rate,
+            update_period=update_period,
+            estimator_window=estimator_window,
+            initial_margin=initial_margin,
+        )
+
+    @property
+    def window_sizes(self) -> Tuple[int, ...]:
+        return self._window_sizes
+
+    @property
+    def safety_margin(self) -> float:
+        """The margin currently in force (changes over time)."""
+        return self.controller.margin
+
+    def _update(self, seq: int, arrival: float) -> None:
+        for est in self._estimators:
+            est.observe(seq, arrival)
+        self.controller.observe(seq, arrival)
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        ea = max(est.expected_arrival(seq + 1) for est in self._estimators)
+        return ea + self.controller.margin

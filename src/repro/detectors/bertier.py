@@ -1,0 +1,101 @@
+"""Bertier et al.'s failure detector (paper §II-B2).
+
+Bertier's detector estimates expected arrivals exactly as Chen does (Eq. 2)
+but replaces the constant safety margin with one adapted per heartbeat by
+Jacobson's TCP RTO estimation (Eq. 3-6).  On accepting message ``m_l``:
+
+    error_l     = A_l − EA_l − delay_l
+    delay_{l+1} = delay_l + γ·error_l
+    var_{l+1}   = var_l + γ·(|error_l| − var_l)
+    Δto_{l+1}   = β·delay_{l+1} + φ·var_{l+1}
+
+and the next freshness point is ``τ_{l+1} = EA_{l+1} + Δto_{l+1}``.
+
+Because the margin adapts on its own, Bertier's detector has **no tuning
+parameter**: it contributes a single point — not a curve — to the paper's
+detection-time/accuracy plots (§IV-C2).
+
+Typical constants, per the paper: γ = 0.1 (importance of a new measure),
+β = 1 and φ = 4 (variance weighting, Jacobson's values).
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_int_at_least, ensure_non_negative
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.estimation import ArrivalEstimator
+
+__all__ = ["BertierFailureDetector"]
+
+
+class BertierFailureDetector(HeartbeatFailureDetector):
+    """Bertier's adaptive-margin failure detector.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi (seconds).
+    window_size:
+        Eq. 2 estimation window (paper uses 1000).
+    gamma:
+        Weight of a new error measurement (Eq. 4-5).
+    beta, phi:
+        Margin weighting of the smoothed error and its variability (Eq. 6).
+    """
+
+    name = "bertier"
+
+    def __init__(
+        self,
+        interval: float,
+        window_size: int = 1000,
+        gamma: float = 0.1,
+        beta: float = 1.0,
+        phi: float = 4.0,
+    ):
+        super().__init__(interval)
+        ensure_int_at_least(window_size, 1, "window_size")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must lie in (0, 1], got {gamma}")
+        ensure_non_negative(beta, "beta")
+        ensure_non_negative(phi, "phi")
+        self._estimator = ArrivalEstimator(window_size, interval)
+        self._gamma = float(gamma)
+        self._beta = float(beta)
+        self._phi = float(phi)
+        self._delay = 0.0
+        self._var = 0.0
+        self._have_prediction = False
+
+    @property
+    def window_size(self) -> int:
+        return self._estimator.window_size
+
+    @property
+    def safety_margin(self) -> float:
+        """Current adaptive margin Δto (Eq. 6)."""
+        return self._beta * self._delay + self._phi * self._var
+
+    def _update(self, seq: int, arrival: float) -> None:
+        if self._have_prediction:
+            # EA for *this* message, from the window state before folding it
+            # in (the prediction the detector actually held).
+            predicted = self._estimator.expected_arrival(seq)
+            error = arrival - predicted - self._delay
+        else:
+            # No prediction exists for the very first message.
+            error = 0.0
+        self._delay += self._gamma * error
+        self._var += self._gamma * (abs(error) - self._var)
+        self._estimator.observe(seq, arrival)
+        self._have_prediction = True
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        return self._estimator.expected_arrival(seq + 1) + self.safety_margin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BertierFailureDetector(interval={self.interval}, "
+            f"window_size={self.window_size}, gamma={self._gamma}, "
+            f"beta={self._beta}, phi={self._phi})"
+        )

@@ -1,0 +1,70 @@
+"""Chen et al.'s failure detector (paper §II-B1; NFD-E of Chen et al. 2002).
+
+The monitor shifts each expected arrival forward by a constant safety margin
+Δto to obtain freshness points (Eq. 1):
+
+    τ_{l+1} = EA_{l+1} + Δto
+
+with EA estimated over a window of the last *n* received heartbeats (Eq. 2).
+q trusts p at time t iff some received message is still fresh at t.
+
+This is exactly the 2W-FD restricted to a single window, and the
+implementation says so: one :class:`~repro.core.estimation.ArrivalEstimator`
+drives the deadline.  The separate class exists because the paper sweeps
+Chen's window size independently and the mistake-intersection experiment
+(Fig. 9) compares Chen(n1), Chen(n2) and 2W-FD(n1, n2) side by side.
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_int_at_least, ensure_non_negative
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.estimation import ArrivalEstimator
+
+__all__ = ["ChenFailureDetector"]
+
+
+class ChenFailureDetector(HeartbeatFailureDetector):
+    """Chen's QoS failure detector with a single estimation window.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi (seconds).
+    safety_margin:
+        Constant margin Δto (seconds) added to each expected arrival; the
+        tuning knob the paper sweeps to trade detection time for accuracy.
+    window_size:
+        Number of past heartbeats kept for Eq. 2 (paper default 1000).
+    """
+
+    name = "chen"
+
+    def __init__(self, interval: float, safety_margin: float, window_size: int = 1000):
+        super().__init__(interval)
+        self._safety_margin = ensure_non_negative(safety_margin, "safety_margin")
+        ensure_int_at_least(window_size, 1, "window_size")
+        self._estimator = ArrivalEstimator(window_size, interval)
+
+    @property
+    def safety_margin(self) -> float:
+        """The constant safety margin Δto (seconds)."""
+        return self._safety_margin
+
+    @property
+    def window_size(self) -> int:
+        """The estimation window size n."""
+        return self._estimator.window_size
+
+    def _update(self, seq: int, arrival: float) -> None:
+        self._estimator.observe(seq, arrival)
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        return self._estimator.expected_arrival(seq + 1) + self._safety_margin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChenFailureDetector(interval={self.interval}, "
+            f"safety_margin={self._safety_margin}, "
+            f"window_size={self.window_size})"
+        )

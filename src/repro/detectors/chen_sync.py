@@ -1,0 +1,63 @@
+"""Chen's synchronized-clock detector (NFD-S; paper §II-B1, first part).
+
+Before introducing expected-arrival estimation, §II-B1 describes Chen's
+algorithm for the case where q can compute p's send times directly: the
+monitor "shifts the σ_i forward by δ to obtain the sequence of freshness
+points τ_i = σ_i + δ".  With heartbeat m_i sent at ``i·Δi`` (Alg. 1) and
+clocks synchronized (or with a known offset), the freshness point after
+accepting ``m_l`` is simply
+
+    τ_{l+1} = (l + 1)·Δi + δ + offset
+
+No window, no estimation — the deadline is exact, making NFD-S the ideal
+baseline for testing the estimation layer: on a skew-free trace, NFD-E's
+estimates converge to NFD-S's exact freshness points as the window grows
+over clean traffic, and the worst-case detection-time bound
+``T_D ≤ Δi + δ`` holds deterministically.
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_non_negative
+from repro.core.base import HeartbeatFailureDetector
+
+__all__ = ["SynchronizedChenFailureDetector"]
+
+
+class SynchronizedChenFailureDetector(HeartbeatFailureDetector):
+    """Chen's NFD-S: exact freshness points from known send times.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi (seconds).
+    shift:
+        The forward shift δ (plays the role Δto plays in NFD-E).
+    clock_offset:
+        Known offset of p's clock as seen by q (0 for synchronized clocks):
+        ``m_i`` is taken to have been sent at ``i·Δi + clock_offset`` on
+        q's clock.
+    """
+
+    name = "chen-sync"
+
+    def __init__(self, interval: float, shift: float, clock_offset: float = 0.0):
+        super().__init__(interval)
+        self._shift = ensure_non_negative(shift, "shift")
+        self._clock_offset = float(clock_offset)
+
+    @property
+    def shift(self) -> float:
+        """The forward shift δ."""
+        return self._shift
+
+    @property
+    def clock_offset(self) -> float:
+        return self._clock_offset
+
+    def _update(self, seq: int, arrival: float) -> None:
+        pass  # no estimation state: send times are known exactly
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        send_next = (seq + 1) * self.interval + self._clock_offset
+        return send_next + self._shift

@@ -1,0 +1,95 @@
+"""The Exponential Distribution failure detector (paper §II-B4; ED FD).
+
+Same accrual principle as the φ detector, but the interarrival distribution
+is modelled as exponential (Eq. 10-11):
+
+    e_d = F(T_now − T_last),    F(t) = 1 − e^{−t/μ}
+
+with μ the windowed mean interarrival time.  Suspecting when ``e_d ≥ E``
+for a threshold ``E ∈ (0, 1)`` is equivalent to the suspicion deadline
+
+    d = T_last − μ · ln(1 − E)
+
+The exponential CDF approaches 1 much more slowly than the normal's, so the
+ED curve extends into the conservative range where φ's quantile has already
+saturated — visible in the paper's Fig. 6-7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._validation import ensure_int_at_least
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.windows import SlidingWindow
+
+__all__ = ["EDFailureDetector", "ed_timeout_factor"]
+
+
+def ed_timeout_factor(threshold: float) -> float:
+    """``−ln(1 − E)``: the timeout in units of the mean interarrival μ."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+    return -math.log1p(-threshold)
+
+
+class EDFailureDetector(HeartbeatFailureDetector):
+    """Exponential-distribution accrual detector.
+
+    Parameters
+    ----------
+    interval:
+        Heartbeat interval Δi (seconds); warm-up value for μ.
+    threshold:
+        Suspicion threshold E ∈ (0, 1).
+    window_size:
+        Number of retained interarrival samples (paper uses 1000).
+    """
+
+    name = "ed"
+
+    def __init__(self, interval: float, threshold: float, window_size: int = 1000):
+        super().__init__(interval)
+        self._factor = ed_timeout_factor(threshold)
+        self._threshold = float(threshold)
+        ensure_int_at_least(window_size, 1, "window_size")
+        self._gaps = SlidingWindow(window_size)
+        self._prev_arrival: float | None = None
+
+    @property
+    def threshold(self) -> float:
+        """The suspicion threshold E."""
+        return self._threshold
+
+    @property
+    def window_size(self) -> int:
+        return self._gaps.capacity
+
+    def mean_interarrival(self) -> float:
+        """Current windowed μ (the nominal interval during warm-up)."""
+        if len(self._gaps) == 0:
+            return self.interval
+        return self._gaps.mean()
+
+    def suspicion_level(self, now: float) -> float:
+        """e_d(now) ∈ [0, 1) per Eq. 10-11."""
+        if self._last_arrival is None:
+            return 1.0
+        mu = self.mean_interarrival()
+        if mu <= 0.0:
+            return 1.0
+        return -math.expm1(-(now - self._last_arrival) / mu)
+
+    def _update(self, seq: int, arrival: float) -> None:
+        if self._prev_arrival is not None:
+            self._gaps.push(arrival - self._prev_arrival)
+        self._prev_arrival = arrival
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        return arrival + self.mean_interarrival() * self._factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EDFailureDetector(interval={self.interval}, "
+            f"threshold={self._threshold}, window_size={self.window_size})"
+        )

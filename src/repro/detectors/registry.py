@@ -1,0 +1,83 @@
+"""Name → detector-constructor registry.
+
+Gives the CLI, the experiment harness, and downstream users a uniform way to
+instantiate any detector from a name and keyword parameters, and documents
+which parameter each algorithm exposes as its accuracy/speed tuning knob
+(the quantity swept on the x-axis of the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.twofd import MultiWindowFailureDetector, TwoWindowFailureDetector
+from repro.detectors.accrual import PhiAccrualFailureDetector
+from repro.detectors.adaptive import AdaptiveTwoWindowFailureDetector
+from repro.detectors.bertier import BertierFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+from repro.detectors.chen_sync import SynchronizedChenFailureDetector
+from repro.detectors.exponential import EDFailureDetector
+from repro.detectors.histogram import HistogramAccrualFailureDetector
+from repro.detectors.timeout import FixedTimeoutFailureDetector
+
+__all__ = ["available_detectors", "make_detector", "tuning_parameter"]
+
+_FACTORIES: Dict[str, Callable[..., HeartbeatFailureDetector]] = {
+    "2w-fd": TwoWindowFailureDetector,
+    "adaptive-2w-fd": AdaptiveTwoWindowFailureDetector,
+    "mw-fd": MultiWindowFailureDetector,
+    "chen": ChenFailureDetector,
+    "chen-sync": SynchronizedChenFailureDetector,
+    "bertier": BertierFailureDetector,
+    "phi": PhiAccrualFailureDetector,
+    "ed": EDFailureDetector,
+    "histogram": HistogramAccrualFailureDetector,
+    "fixed-timeout": FixedTimeoutFailureDetector,
+}
+
+#: The per-algorithm tuning knob the paper sweeps (None = not tunable).
+_TUNING: Dict[str, str | None] = {
+    "2w-fd": "safety_margin",
+    "adaptive-2w-fd": None,
+    "mw-fd": "safety_margin",
+    "chen": "safety_margin",
+    "chen-sync": "shift",
+    "bertier": None,
+    "phi": "threshold",
+    "ed": "threshold",
+    "histogram": "threshold",
+    "fixed-timeout": "timeout",
+}
+
+
+def available_detectors() -> tuple[str, ...]:
+    """Registered detector names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def tuning_parameter(name: str) -> str | None:
+    """The keyword argument swept to trade detection time for accuracy."""
+    _require(name)
+    return _TUNING[name]
+
+
+def make_detector(
+    name: str, interval: float, /, **params: object
+) -> HeartbeatFailureDetector:
+    """Instantiate detector ``name`` with the given heartbeat interval.
+
+    ``params`` are passed to the constructor verbatim, e.g.::
+
+        make_detector("2w-fd", 0.1, safety_margin=0.115)
+        make_detector("phi", 0.1, threshold=3.0, window_size=1000)
+    """
+    _require(name)
+    return _FACTORIES[name](interval, **params)
+
+
+def _require(name: str) -> None:
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown detector {name!r}; available: {', '.join(available_detectors())}"
+        )

@@ -1,0 +1,42 @@
+"""A naive fixed-timeout failure detector (experimental control).
+
+Not part of the paper's comparison, but the obvious ad-hoc baseline the
+introduction argues against: suspect whenever no heartbeat has arrived for
+a fixed ``timeout`` seconds, with no arrival-time estimation at all.  It is
+equivalent to the φ/ED accruals with a degenerate (constant) interarrival
+model, and is useful in ablations to show how much the Eq. 2 estimation —
+let alone the two-window max — buys over raw timeouts.
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_positive
+from repro.core.base import HeartbeatFailureDetector
+
+__all__ = ["FixedTimeoutFailureDetector"]
+
+
+class FixedTimeoutFailureDetector(HeartbeatFailureDetector):
+    """Suspect when ``timeout`` seconds pass since the last fresh heartbeat."""
+
+    name = "fixed-timeout"
+
+    def __init__(self, interval: float, timeout: float):
+        super().__init__(interval)
+        self._timeout = ensure_positive(timeout, "timeout")
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
+
+    def _update(self, seq: int, arrival: float) -> None:
+        pass  # stateless beyond the base class
+
+    def _deadline(self, seq: int, arrival: float) -> float:
+        return arrival + self._timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FixedTimeoutFailureDetector(interval={self.interval}, "
+            f"timeout={self._timeout})"
+        )

@@ -1,0 +1,23 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each module exposes ``run(scale=..., seed=...) -> ExperimentResult``; the
+registry maps experiment ids (``fig4`` ... ``fig12``, ``table1``,
+``shared``, ``shared-empirical``) to runners.  Benchmarks and the CLI are
+thin wrappers over these.
+
+``scale`` is the fraction of the original trace sizes to generate (the
+paper's WAN trace has 5.8M samples; CI runs use a small fraction, results
+keep the same Table I segment structure at any scale).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.results import Check, ExperimentResult, Series
+
+__all__ = [
+    "Check",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Series",
+    "get_experiment",
+    "run_experiment",
+]

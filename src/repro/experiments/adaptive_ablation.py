@@ -1,0 +1,120 @@
+"""Extension experiment: static vs adaptive safety margin (§V-A remark).
+
+Runs the adaptive-margin 2W-FD (periodic (p_L, V(D)) re-estimation, margin
+re-derived from the Eq. 16 accuracy bound) over the regime-changing WAN
+trace, then calibrates a *static* 2W-FD to the same mean detection time and
+compares mistake counts.  Reported series: the margin trajectory per Table I
+regime — where the adaptive policy chose to spend its detection-time budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, wan_trace
+from repro.experiments.results import ExperimentResult, Series
+from repro.replay.adaptive import adaptive_margin_deadlines
+from repro.replay.detection import measured_detection_time
+from repro.replay.engine import replay_detector
+from repro.replay.kernels import MultiWindowKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.sweep import calibrate_to_detection_time
+from repro.traces.segments import WAN_SEGMENTS, segment_slices
+
+__all__ = ["run", "DEFAULT_BOUND"]
+
+#: Guaranteed accuracy target: at most one mistake per 10 minutes.
+DEFAULT_BOUND: float = 1.0 / 600.0
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    bound: float = DEFAULT_BOUND,
+    update_period: float = 60.0,
+) -> ExperimentResult:
+    """Run the static-vs-adaptive ablation."""
+    trace = wan_trace(scale, seed)
+    adaptive = adaptive_margin_deadlines(
+        trace, bound, update_period=update_period
+    )
+    a_metrics = replay_metrics(
+        adaptive.t, adaptive.deadlines, adaptive.end_time, collect_gaps=False
+    ).metrics
+
+    kernel = MultiWindowKernel(trace, window_sizes=(1, 1000))
+    mean_td = measured_detection_time(
+        adaptive.t, adaptive.deadlines, kernel.seq, trace.interval,
+        trace.send_offset_estimate(),
+    )
+    static = replay_detector(
+        kernel, trace, calibrate_to_detection_time(kernel, trace, mean_td),
+        collect_gaps=False,
+    ).metrics
+
+    result = ExperimentResult(
+        experiment_id="adaptive",
+        title="Extension: static vs adaptive safety margin at equal mean T_D",
+        description=(
+            "The §V-A closing remark implemented: periodic (p_L, V(D)) "
+            "re-estimation drives the smallest margin meeting the Eq. 16 "
+            "mistake-rate bound; compared against a statically calibrated "
+            "2W-FD at the same mean detection time."
+        ),
+        params={
+            "scale": scale,
+            "seed": seed,
+            "bound": bound,
+            "update_period": update_period,
+            "mean_td": mean_td,
+            "n_updates": adaptive.n_updates,
+        },
+    )
+    result.tables["comparison"] = [
+        {
+            "policy": "static",
+            "mistakes": static.n_mistakes,
+            "T_MR [1/s]": static.mistake_rate,
+            "P_A": static.query_accuracy,
+        },
+        {
+            "policy": "adaptive",
+            "mistakes": a_metrics.n_mistakes,
+            "T_MR [1/s]": a_metrics.mistake_rate,
+            "P_A": a_metrics.query_accuracy,
+        },
+    ]
+
+    # Margin trajectory per Table I regime.
+    accepted_pos = np.flatnonzero(trace.accepted_mask())
+    slices = segment_slices(WAN_SEGMENTS, n_total=trace.n_received)
+    names, means = [], []
+    for name, (start, stop) in slices.items():
+        mask = (accepted_pos >= start) & (accepted_pos < stop)
+        if mask.any():
+            names.append(name)
+            means.append(float(adaptive.margins[mask].mean()))
+    result.series.append(
+        Series(
+            "mean adaptive margin", "segment index", "Δto [s]",
+            list(range(len(names))), means, meta={"segments": names},
+        )
+    )
+
+    result.add_check(
+        "margin stretches in the worm period vs stable1",
+        means[names.index("worm")] > means[names.index("stable1")],
+        ", ".join(f"{n}={m * 1000:.0f}ms" for n, m in zip(names, means)),
+    )
+    result.add_check(
+        "adaptive beats static at equal mean T_D (within counting noise)",
+        a_metrics.n_mistakes
+        <= static.n_mistakes + 3.0 * max(static.n_mistakes, 1) ** 0.5,
+        f"static={static.n_mistakes}, adaptive={a_metrics.n_mistakes}",
+    )
+    result.add_check(
+        "reconfigurations actually happened",
+        adaptive.n_updates >= 3,
+        f"{adaptive.n_updates} updates",
+    )
+    return result

@@ -1,0 +1,142 @@
+"""Terminal rendering of figure series (log/linear axes, multi-series).
+
+The benchmark harness prints each regenerated figure as an ASCII chart so a
+run's output is visually comparable with the paper's plots without any
+plotting dependency.  Marks are single characters per series; collisions
+show the later series' mark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.experiments.results import Series
+
+__all__ = ["ascii_plot", "ascii_timeline"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-300))
+    return value
+
+
+def _format_tick(value: float, log: bool) -> str:
+    v = 10.0**value if log else value
+    return f"{v:.3g}"
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = False,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render series as an ASCII chart with a legend.
+
+    Points with non-positive values on a log axis are dropped.  Series
+    order fixes mark assignment (first = 'o', second = 'x', ...).
+    """
+    pts: List[tuple] = []  # (mark_index, x, y) in transformed coordinates
+    kept_series: List[Series] = []
+    for s in series_list:
+        usable = [
+            (float(x), float(y))
+            for x, y in zip(s.x, s.y)
+            if (not log_x or x > 0) and (not log_y or y > 0)
+        ]
+        if not usable:
+            continue
+        idx = len(kept_series)
+        kept_series.append(s)
+        for x, y in usable:
+            pts.append((idx, _transform(x, log_x), _transform(y, log_y)))
+    if not pts:
+        return "(nothing to plot)"
+
+    xs = [p[1] for p in pts]
+    ys = [p[2] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, x, y in pts:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = _MARKS[idx % len(_MARKS)]
+
+    y_top = _format_tick(y_hi, log_y)
+    y_bot = _format_tick(y_lo, log_y)
+    label_w = max(len(y_top), len(y_bot))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(label_w)
+        elif r == height - 1:
+            label = y_bot.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    x_left = _format_tick(x_lo, log_x)
+    x_right = _format_tick(x_hi, log_x)
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w
+        + "  "
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    axes = f"(y {'log' if log_y else 'linear'}, x {'log' if log_x else 'linear'})"
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {s.label}" for i, s in enumerate(kept_series)
+    )
+    lines.append(f"{axes}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    timeline,
+    start: float | None = None,
+    stop: float | None = None,
+    width: int = 72,
+) -> str:
+    """Render a T/S output timeline as a bar: ``█`` trust, ``░`` suspect.
+
+    Accepts a :class:`repro.qos.timeline.OutputTimeline`; ``start``/``stop``
+    default to the timeline's window.
+    """
+    lo = timeline.start if start is None else max(start, timeline.start)
+    hi = timeline.end if stop is None else min(stop, timeline.end)
+    if hi <= lo:
+        return "(empty window)"
+    cells = []
+    for i in range(width):
+        # Clamp against float round-off pushing an edge past the window.
+        a = min(max(lo + (hi - lo) * i / width, lo), hi)
+        b = min(max(lo + (hi - lo) * (i + 1) / width, a), hi)
+        sub = timeline.restricted(a, b)
+        frac = sub.trust_time() / max(sub.duration, 1e-300)
+        cells.append("█" if frac > 0.99 else ("░" if frac < 0.01 else "▒"))
+    left, right = f"{lo:.2f}s", f"{hi:.2f}s"
+    pad = " " * max(1, width - len(left) - len(right))
+    return (
+        "".join(cells)
+        + "\n"
+        + left
+        + pad
+        + right
+        + "\n(█ trust, ░ suspect, ▒ mixed)"
+    )

@@ -1,0 +1,99 @@
+"""Shared plumbing for the experiment runners.
+
+Caches generated traces per (scenario, scale, seed) so a benchmark session
+regenerating several figures pays trace synthesis once, and provides the
+standard detection-time grid used across the comparison figures.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.replay.detection import measured_detection_time
+from repro.replay.kernels import DeadlineKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.sweep import QoSCurve, calibrate_to_detection_time
+from repro.traces.lan import make_lan_trace
+from repro.traces.trace import HeartbeatTrace
+from repro.traces.wan import make_wan_trace
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "TD_TARGETS_WAN",
+    "TD_TARGETS_LAN",
+    "curve_at_targets",
+    "lan_trace",
+    "wan_trace",
+]
+
+#: Default trace scale for interactive runs (fraction of the original
+#: 5.8M/7.1M samples).  Benchmarks override via the REPRO_SCALE env var.
+DEFAULT_SCALE: float = 0.02
+DEFAULT_SEED: int = 2015
+
+#: Detection-time grid for the WAN figures, anchored on the paper's
+#: aggressive operating point T_D = 215 ms (§IV-C3).
+TD_TARGETS_WAN: tuple = (0.215, 0.25, 0.30, 0.35, 0.40, 0.50, 0.70, 1.0, 1.5, 2.0)
+
+#: Detection-time grid for the LAN scenario (Δi = 20 ms).
+TD_TARGETS_LAN: tuple = (0.025, 0.03, 0.04, 0.06, 0.1, 0.2, 0.5, 1.0)
+
+
+@lru_cache(maxsize=8)
+def wan_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> HeartbeatTrace:
+    """Cached synthetic WAN trace."""
+    return make_wan_trace(scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def lan_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> HeartbeatTrace:
+    """Cached synthetic LAN trace."""
+    return make_lan_trace(scale=scale, seed=seed)
+
+
+def curve_at_targets(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    targets: Sequence[float],
+    label: str,
+) -> QoSCurve:
+    """QoS curve sampled at given *detection-time* targets.
+
+    Each target is realized by calibrating the kernel's tuning parameter;
+    unreachable targets (below the detector's floor, or beyond φ's
+    threshold saturation) are skipped, which is how the φ curve ends early
+    exactly as in the paper's figures.
+    """
+    offset = trace.send_offset_estimate()
+    rows = []
+    for target in targets:
+        try:
+            param = calibrate_to_detection_time(kernel, trace, target)
+        except ValueError:
+            continue
+        d = kernel.deadlines(param)
+        td = measured_detection_time(kernel.t, d, kernel.seq, kernel.interval, offset)
+        m = replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False).metrics
+        rows.append(
+            (param, td, m.mistake_rate, m.query_accuracy, m.mistake_duration,
+             m.n_mistakes, target)
+        )
+    if not rows:
+        raise ValueError(f"no reachable detection-time target for {label!r}")
+    cols = list(zip(*rows))
+    return QoSCurve(
+        label=label,
+        detector=kernel.name,
+        param_name=kernel.param_name,
+        params=np.asarray(cols[0]),
+        detection_time=np.asarray(cols[1]),
+        mistake_rate=np.asarray(cols[2]),
+        query_accuracy=np.asarray(cols[3]),
+        mistake_duration=np.asarray(cols[4]),
+        n_mistakes=np.asarray(cols[5], dtype=np.int64),
+        targets=np.asarray(cols[6]),
+    )

@@ -1,0 +1,116 @@
+"""Table I and Figure 8: per-sub-period mistakes at fixed T_D = 215 ms.
+
+The paper fixes an aggressive detection time (215 ms), splits the WAN trace
+into the four Table I periods (Stable 1 / Burst / Worm / Stable 2), and
+counts each detector's mistakes per period.  Bertier cannot be parametrized
+to hit a chosen T_D and is excluded, as in the paper.
+
+Shape checks: the 2W-FD has the fewest mistakes of the Chen family in every
+period, with its largest relative margin over Chen(1000) in the Burst
+period ("performs better in all scenarios, but particularly better during
+the Burst period", §IV-C3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, wan_trace
+from repro.experiments.results import ExperimentResult, Series
+from repro.replay.kernels import ChenKernel, EDKernel, MultiWindowKernel, PhiKernel
+from repro.replay.mistakes import mistake_gaps, mistakes_by_segment
+from repro.replay.sweep import calibrate_to_detection_time
+from repro.traces.segments import WAN_SEGMENTS, scale_segments
+
+__all__ = ["run", "TARGET_TD"]
+
+#: The paper's fixed aggressive detection time (seconds).
+TARGET_TD: float = 0.215
+
+_SEGMENT_ORDER = ("stable1", "burst", "worm", "stable2")
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    target_td: float = TARGET_TD,
+) -> ExperimentResult:
+    """Regenerate Table I (segment boundaries) and Fig. 8 (mistake counts)."""
+    trace = wan_trace(scale, seed)
+    kernels = {
+        "2W-FD(1,1000)": MultiWindowKernel(trace, window_sizes=(1, 1000)),
+        "Chen(1)": ChenKernel(trace, window_size=1),
+        "Chen(1000)": ChenKernel(trace, window_size=1000),
+        "phi(1000)": PhiKernel(trace, window_size=1000),
+        "ED(1000)": EDKernel(trace, window_size=1000),
+    }
+
+    per_segment: Dict[str, Dict[str, int]] = {}
+    for label, kernel in kernels.items():
+        try:
+            param = calibrate_to_detection_time(kernel, trace, target_td)
+        except ValueError:
+            continue  # cannot reach the aggressive T_D — excluded like Bertier
+        record = mistake_gaps(kernel, trace, param)
+        per_segment[label] = mistakes_by_segment(record, trace)
+
+    result = ExperimentResult(
+        experiment_id="table1-fig8",
+        title=f"Mistakes per WAN sub-period at T_D = {target_td*1000:.0f} ms",
+        description=(
+            "Table I's division of the WAN sample into Stable 1 / Burst / "
+            "Worm / Stable 2 (boundaries rescaled to the generated trace), "
+            "and Fig. 8's total mistakes per sub-period per detector."
+        ),
+        params={"scale": scale, "seed": seed, "target_td": target_td},
+    )
+
+    scaled = scale_segments(WAN_SEGMENTS, trace.n_received)
+    result.tables["table1_segments"] = [
+        {"name": seg.name, "from_sample": seg.start, "to_sample": seg.stop}
+        for seg in scaled
+    ]
+    result.tables["fig8_mistakes"] = [
+        {"detector": label, **{s: counts.get(s, 0) for s in _SEGMENT_ORDER}, "total": sum(counts.values())}
+        for label, counts in per_segment.items()
+    ]
+    for label, counts in per_segment.items():
+        result.series.append(
+            Series(
+                label=label,
+                x_label="sub-period",
+                y_label="mistakes",
+                x=list(range(len(_SEGMENT_ORDER))),
+                y=[counts.get(s, 0) for s in _SEGMENT_ORDER],
+                meta={"segments": _SEGMENT_ORDER},
+            )
+        )
+
+    chen_family = [l for l in ("2W-FD(1,1000)", "Chen(1)", "Chen(1000)") if l in per_segment]
+    if len(chen_family) == 3:
+        for seg in _SEGMENT_ORDER:
+            counts = {l: per_segment[l][seg] for l in chen_family}
+            best_other = min(v for k, v in counts.items() if k != "2W-FD(1,1000)")
+            # Counting noise at reduced scale: allow ~3σ Poisson slack on
+            # top of the best competitor (exact dominance holds at equal
+            # margins — Eq. 13 — but each detector is calibrated to its own
+            # margin here, so ties wobble by a few counts in quiet periods).
+            slack = max(3.0, 3.0 * best_other**0.5)
+            result.add_check(
+                f"2W-FD fewest (within counting noise) in {seg}",
+                counts["2W-FD(1,1000)"] <= best_other + slack,
+                ", ".join(f"{k}={v}" for k, v in counts.items()),
+            )
+        # The burst period is where the advantage is biggest vs the
+        # long-window Chen detector (the paper's motivating regime).
+        def ratio(seg: str) -> float:
+            a = per_segment["Chen(1000)"][seg]
+            b = per_segment["2W-FD(1,1000)"][seg]
+            return a / b if b else float("inf")
+
+        result.add_check(
+            "advantage over Chen(1000) largest in the Burst period",
+            ratio("burst") >= max(ratio(s) for s in ("stable1", "worm", "stable2")),
+            ", ".join(f"{s}:{ratio(s):.2f}x" for s in _SEGMENT_ORDER),
+        )
+    return result

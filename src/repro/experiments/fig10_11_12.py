@@ -1,0 +1,151 @@
+"""Figures 10-12: how each QoS bound shapes the configured (Δi, Δto).
+
+§V-B1 studies Chen's configuration procedure by varying one requirement at
+a time and plotting the resulting heartbeat interval Δi and safety margin
+Δto:
+
+- **Fig. 10** (vary T_D^U): both grow; their sum is exactly T_D^U, so each
+  is (piecewise) linear in T_D^U;
+- **Fig. 11** (vary the mistake-recurrence bound): a more demanding bound
+  (longer required time between mistakes) forces a smaller Δi and hence a
+  larger Δto, with plateaus where the binding constraint is the discrete
+  number of heartbeat opportunities ⌈T_D/Δi⌉ (the paper's "remain constant
+  after a certain point");
+- **Fig. 12** (vary T_M^U): T_M^U caps Δi directly (Step 1's
+  Δi_max = min(γ'·T_D, T_M^U)), so Δi grows with T_M^U until the other
+  constraints bind, then stays constant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.results import ExperimentResult, Series
+from repro.qos.configurator import ConfigurationError, configure
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+
+__all__ = ["run", "DEFAULT_BEHAVIOR"]
+
+#: Default network behaviour for the sweeps: mild loss, WAN-like delay
+#: variance (V(D) in s²; ~30 ms delay std).
+DEFAULT_BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.001)
+
+
+def _sweep(
+    specs: Sequence[QoSSpec], behavior: NetworkBehavior
+) -> tuple[list, list, list]:
+    xs_ok, etas, margins = [], [], []
+    for spec in specs:
+        try:
+            cfg = configure(spec, behavior)
+        except ConfigurationError:
+            continue
+        xs_ok.append(spec)
+        etas.append(cfg.interval)
+        margins.append(cfg.safety_margin)
+    return xs_ok, etas, margins
+
+
+def run(
+    behavior: NetworkBehavior = DEFAULT_BEHAVIOR,
+    td_values: Sequence[float] = tuple(np.linspace(6.0, 60.0, 25)),
+    recurrence_values: Sequence[float] = tuple(np.geomspace(60.0, 1e9, 40)),
+    tm_values: Sequence[float] = tuple(np.geomspace(0.05, 100.0, 30)),
+    base_td: float = 30.0,
+    base_recurrence: float = 1e6,
+    base_tm: float = 1000.0,
+    scale: float | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Regenerate the three configuration-sweep figures.
+
+    ``scale``/``seed`` are accepted (and ignored) for harness uniformity —
+    these sweeps are analytic and use no trace.
+    """
+    result = ExperimentResult(
+        experiment_id="fig10-12",
+        title="Configured Δi and Δto vs each QoS bound",
+        description=(
+            "Chen's configuration procedure (Eq. 14-16) swept one QoS "
+            "parameter at a time around the operating point "
+            f"(T_D={base_td}s, recurrence≥{base_recurrence}s, T_M≤{base_tm}s) "
+            f"under {behavior}."
+        ),
+        params={
+            "behavior": str(behavior),
+            "base_td": base_td,
+            "base_recurrence": base_recurrence,
+            "base_tm": base_tm,
+        },
+    )
+
+    # Fig. 10: vary T_D^U.  T_M^U is kept non-binding (base_tm large) and the
+    # recurrence requirement strong enough that the number of heartbeat
+    # opportunities per detection window stays constant across the sweep —
+    # the regime in which the paper's figure shows both Δi and Δto growing
+    # linearly (their ratio "determined by the remaining QoS parameters").
+    specs = [
+        QoSSpec.from_recurrence_time(td, base_recurrence, base_tm) for td in td_values
+    ]
+    ok, etas, margins = _sweep(specs, behavior)
+    xs = [s.detection_time for s in ok]
+    result.series.append(Series("fig10 Δi", "T_D^U [s]", "Δi [s]", xs, etas))
+    result.series.append(Series("fig10 Δto", "T_D^U [s]", "Δto [s]", xs, margins))
+    sums_ok = np.allclose(np.array(etas) + np.array(margins), np.array(xs))
+    result.add_check("fig10: Δi + Δto == T_D^U exactly", bool(sums_ok))
+    result.add_check(
+        "fig10: both Δi and Δto grow with T_D^U",
+        bool(np.all(np.diff(etas) >= -1e-9) and np.all(np.diff(margins) >= -1e-9)),
+    )
+
+    # Fig. 11: vary the mistake-recurrence requirement.
+    specs = [
+        QoSSpec.from_recurrence_time(base_td, rec, base_tm)
+        for rec in recurrence_values
+    ]
+    ok, etas, margins = _sweep(specs, behavior)
+    xs = [s.recurrence_time for s in ok]
+    result.series.append(
+        Series("fig11 Δi", "required recurrence [s]", "Δi [s]", xs, etas)
+    )
+    result.series.append(
+        Series("fig11 Δto", "required recurrence [s]", "Δto [s]", xs, margins)
+    )
+    result.add_check(
+        "fig11: Δi non-increasing / Δto non-decreasing as the requirement tightens",
+        bool(np.all(np.diff(etas) <= 1e-9) and np.all(np.diff(margins) >= -1e-9)),
+    )
+    diffs = np.diff(etas)
+    plateaus = int(np.isclose(diffs, 0.0, atol=1e-6).sum())
+    decreases = int((diffs < -1e-6).sum())
+    result.add_check(
+        "fig11: Δi declines in steps with plateau regions "
+        "(discrete heartbeat-count constraint)",
+        plateaus >= 1 and decreases >= 1,
+        f"{plateaus} flat steps, {decreases} drops of {len(etas) - 1}",
+    )
+
+    # Fig. 12: vary T_M^U (it caps Δi_max directly; the sweep extends past
+    # the point where the other constraints take over, exposing saturation).
+    specs = [
+        QoSSpec.from_recurrence_time(base_td, base_recurrence, tm) for tm in tm_values
+    ]
+    ok, etas, margins = _sweep(specs, behavior)
+    xs = [s.mistake_duration for s in ok]
+    result.series.append(Series("fig12 Δi", "T_M^U [s]", "Δi [s]", xs, etas))
+    result.series.append(Series("fig12 Δto", "T_M^U [s]", "Δto [s]", xs, margins))
+    result.add_check(
+        "fig12: Δi non-decreasing in T_M^U (T_M^U caps Δi_max)",
+        bool(np.all(np.diff(etas) >= -1e-9)),
+    )
+    # Once T_M^U exceeds the other binding constraints, Δi saturates.
+    tail = np.array(etas[-5:])
+    result.add_check(
+        "fig12: Δi saturates for loose T_M^U",
+        bool(np.allclose(tail, tail[-1], rtol=1e-3)),
+        f"tail Δi = {tail.round(6).tolist()}",
+    )
+    return result

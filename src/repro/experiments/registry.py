@@ -1,0 +1,66 @@
+"""Experiment registry: id → runner.
+
+Every table and figure in the paper's evaluation maps to one entry; the
+CLI (``repro-fd run <id>``) and the benchmark suite dispatch through here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    adaptive_ablation,
+    fig04_05,
+    fig06_07,
+    fig08_subsamples,
+    fig09_intersection,
+    fig10_11_12,
+    shared_empirical,
+    shared_service,
+)
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: id -> (runner, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig4": (fig04_05.run, "2W-FD window sizes: T_MR vs T_D (WAN)"),
+    "fig5": (fig04_05.run, "2W-FD window sizes: P_A vs T_D (WAN)"),
+    "fig6": (fig06_07.run, "detector comparison: T_MR vs T_D (WAN)"),
+    "fig7": (fig06_07.run, "detector comparison: P_A vs T_D (WAN)"),
+    "fig6-lan": (
+        lambda **kw: fig06_07.run(scenario="lan", **kw),
+        "detector comparison on the LAN trace (paper: 'same behavior')",
+    ),
+    "table1": (fig08_subsamples.run, "Table I sub-sample boundaries"),
+    "fig8": (fig08_subsamples.run, "mistakes per sub-period at T_D = 215 ms"),
+    "fig9": (fig09_intersection.run, "mistake-set intersection (Eq. 13)"),
+    "fig10": (fig10_11_12.run, "Δi, Δto vs T_D^U"),
+    "fig11": (fig10_11_12.run, "Δi, Δto vs mistake-recurrence bound"),
+    "fig12": (fig10_11_12.run, "Δi, Δto vs T_M^U"),
+    "shared": (shared_service.run, "§V-C shared-service combination"),
+    "shared-empirical": (
+        shared_empirical.run,
+        "§VI extension: empirical shared-vs-dedicated replay",
+    ),
+    "adaptive": (
+        adaptive_ablation.run,
+        "§V-A extension: static vs adaptive safety margin",
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for ``experiment_id`` (figures sharing a runner collapse)."""
+    try:
+        return EXPERIMENTS[experiment_id][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,91 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them as aligned ASCII tables so diffs against
+EXPERIMENTS.md stay readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.experiments.results import ExperimentResult, Series
+
+__all__ = ["format_table", "format_series_table", "render_result"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-4:
+            return f"{value:.4g}"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(c.rjust(w) for c, w in zip(columns, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_series_table(series_list: Sequence[Series]) -> str:
+    """Render several series sharing an x-axis as one wide table.
+
+    Rows are the union of x values; a series without a point at some x
+    shows a blank (e.g. φ's truncated conservative range).
+    """
+    if not series_list:
+        return "(no series)"
+    xs: List[float] = sorted({float(x) for s in series_list for x in s.x})
+    rows = []
+    for x in xs:
+        row = {series_list[0].x_label: x}
+        for s in series_list:
+            lookup = {float(a): b for a, b in zip(s.x, s.y)}
+            row[s.label] = lookup.get(x, "")
+        rows.append(row)
+    return format_table(rows)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Full plain-text report for one experiment."""
+    lines = [
+        f"=== {result.experiment_id}: {result.title} ===",
+        result.description,
+        "",
+    ]
+    if result.params:
+        lines.append(
+            "parameters: "
+            + ", ".join(f"{k}={_fmt(v)}" for k, v in result.params.items())
+        )
+        lines.append("")
+    if result.series:
+        lines.append(format_series_table(result.series))
+        lines.append("")
+    for name, rows in result.tables.items():
+        lines.append(f"-- {name} --")
+        lines.append(format_table(rows))
+        lines.append("")
+    if result.checks:
+        lines.append("paper-shape checks:")
+        lines.extend(f"  {check}" for check in result.checks)
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Structured experiment results.
+
+An :class:`ExperimentResult` carries the regenerated figure/table content —
+named :class:`Series` of (x, y) points or table rows — together with
+:class:`Check` records asserting the paper's qualitative claims (the
+"shape" EXPERIMENTS.md tracks: who wins, orderings, monotonicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Check", "Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified qualitative claim from the paper."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve / table column group."""
+
+    label: str
+    x_label: str
+    y_label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} != {len(self.y)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated content of one paper table/figure."""
+
+    experiment_id: str
+    title: str
+    description: str
+    series: List[Series] = field(default_factory=list)
+    tables: Dict[str, List[dict]] = field(default_factory=dict)
+    checks: List[Check] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def add_check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r}; available: {[s.label for s in self.series]}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable dump of the full result (for external plotting tools)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "description": self.description,
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+            "series": [
+                {
+                    "label": s.label,
+                    "x_label": s.x_label,
+                    "y_label": s.y_label,
+                    "x": [float(v) for v in s.x],
+                    "y": [float(v) for v in s.y],
+                    "meta": {k: _jsonable(v) for k, v in s.meta.items()},
+                }
+                for s in self.series
+            ],
+            "tables": {
+                name: [
+                    {k: _jsonable(v) for k, v in row.items()} for row in rows
+                ]
+                for name, rows in self.tables.items()
+            },
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+
+def _jsonable(value):
+    """Coerce NumPy scalars / containers to plain JSON types."""
+    import numpy as _np
+
+    if isinstance(value, (_np.integer,)):
+        return int(value)
+    if isinstance(value, (_np.floating,)):
+        return float(value)
+    if isinstance(value, _np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

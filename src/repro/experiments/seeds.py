@@ -1,0 +1,117 @@
+"""Seed sweeps: statistical robustness of the reproduced results.
+
+A single synthetic trace is one draw from the generator; mistake counts at
+any operating point carry Poisson-scale noise.  :func:`sweep_seeds` runs an
+experiment across several seeds and aggregates:
+
+- per-check pass rates (an *exact* claim — Eq. 13, monotonicity of P_A —
+  must pass on every seed; a *statistical* one — strict orderings of noisy
+  counts — is expected to pass on most),
+- per-series point statistics (mean/min/max of each y at each x), which is
+  how EXPERIMENTS.md distinguishes robust orderings from seed-dependent
+  ones (e.g. φ vs 2W-FD at the aggressive end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["SeedSweepResult", "sweep_seeds"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Across-seed statistics of one series point."""
+
+    label: str
+    x: float
+    mean: float
+    minimum: float
+    maximum: float
+    n: int
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregate of one experiment across seeds."""
+
+    experiment_id: str
+    seeds: Tuple[int, ...]
+    results: List[ExperimentResult]
+    check_passes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    def pass_rate(self, check_name: str) -> float:
+        """Fraction of seeds on which the named check passed."""
+        if check_name not in self.check_passes:
+            raise KeyError(
+                f"unknown check {check_name!r}; known: "
+                f"{sorted(self.check_passes)}"
+            )
+        return self.check_passes[check_name] / self.n_runs
+
+    def checks_always_passing(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(k for k, v in self.check_passes.items() if v == self.n_runs)
+        )
+
+    def checks_sometimes_failing(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(k for k, v in self.check_passes.items() if v < self.n_runs)
+        )
+
+    def series_stats(self, label: str) -> List[SeriesStats]:
+        """Across-seed stats of the series named ``label``, per x value."""
+        by_x: Dict[float, List[float]] = {}
+        for result in self.results:
+            try:
+                series = result.series_by_label(label)
+            except KeyError:
+                continue
+            for x, y in zip(series.x, series.y):
+                by_x.setdefault(float(x), []).append(float(y))
+        if not by_x:
+            raise KeyError(f"series {label!r} appears in no run")
+        return [
+            SeriesStats(
+                label=label,
+                x=x,
+                mean=float(np.mean(ys)),
+                minimum=float(np.min(ys)),
+                maximum=float(np.max(ys)),
+                n=len(ys),
+            )
+            for x, ys in sorted(by_x.items())
+        ]
+
+
+def sweep_seeds(
+    experiment_id: str,
+    seeds: Sequence[int],
+    **kwargs: object,
+) -> SeedSweepResult:
+    """Run ``experiment_id`` once per seed and aggregate the outcomes."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    results: List[ExperimentResult] = []
+    passes: Dict[str, int] = {}
+    for seed in seeds:
+        result = run_experiment(experiment_id, seed=int(seed), **kwargs)
+        results.append(result)
+        for check in result.checks:
+            passes[check.name] = passes.get(check.name, 0) + int(check.passed)
+    return SeedSweepResult(
+        experiment_id=experiment_id,
+        seeds=tuple(int(s) for s in seeds),
+        results=results,
+        check_passes=passes,
+    )

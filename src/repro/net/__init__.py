@@ -1,0 +1,67 @@
+"""Simulated network substrate.
+
+The paper's experiments run failure detectors over logged heartbeat arrival
+times collected on real WAN/LAN links.  Those trace files are not available
+offline, so this subpackage provides the network models used to synthesize
+statistically equivalent traces (see ``DESIGN.md``, Substitutions):
+
+- :mod:`repro.net.delays` — one-way message-delay distributions,
+- :mod:`repro.net.loss` — message-loss processes (Bernoulli and bursty
+  Gilbert–Elliott),
+- :mod:`repro.net.clock` — unsynchronized clocks with offset and drift,
+- :mod:`repro.net.link` — a composable unidirectional link combining the
+  three, which maps send times to (delivered?, arrival-time) pairs,
+- :mod:`repro.net.queue` — a FIFO bottleneck-queue path whose congestion
+  episodes *emerge* from offered load (Lindley recursion, vectorized).
+"""
+
+from repro.net.clock import ClockModel, DriftingClock, PerfectClock
+from repro.net.delays import (
+    ConstantDelay,
+    DelayModel,
+    EmpiricalDelay,
+    ExponentialDelay,
+    GammaDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    NormalDelay,
+    ParetoDelay,
+    ShiftedDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+from repro.net.link import Link, LinkTransmission
+from repro.net.queue import QueueingLink
+from repro.net.loss import (
+    BernoulliLoss,
+    BurstLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "BurstLoss",
+    "ClockModel",
+    "ConstantDelay",
+    "DelayModel",
+    "DriftingClock",
+    "EmpiricalDelay",
+    "ExponentialDelay",
+    "GammaDelay",
+    "GilbertElliottLoss",
+    "Link",
+    "LinkTransmission",
+    "LogNormalDelay",
+    "LossModel",
+    "MixtureDelay",
+    "NoLoss",
+    "NormalDelay",
+    "ParetoDelay",
+    "PerfectClock",
+    "QueueingLink",
+    "ShiftedDelay",
+    "SpikeDelay",
+    "UniformDelay",
+]

@@ -1,0 +1,60 @@
+"""Unsynchronized clock models.
+
+The paper's estimation machinery (Eq. 2 and §V-A1) is explicitly designed to
+work when the clocks of the monitored process *p* and the monitor *q* are not
+synchronized: a constant skew shifts every normalized arrival by the same
+amount and cancels out of freshness-point *differences*, and the variance of
+``A - S`` equals the delay variance regardless of skew.
+
+These models let trace generators and the discrete-event simulator express
+"time at q" as a function of "time at p", so tests can assert the
+skew-invariance properties (DESIGN.md invariant 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClockModel", "PerfectClock", "DriftingClock"]
+
+
+class ClockModel(ABC):
+    """Maps an instant on the reference (p's) clock to q's clock."""
+
+    @abstractmethod
+    def to_local(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Convert reference time(s) to local (q) time(s)."""
+
+
+@dataclass(frozen=True)
+class PerfectClock(ClockModel):
+    """Identity clock: q's clock equals p's clock."""
+
+    def to_local(self, t: np.ndarray | float) -> np.ndarray | float:
+        return t
+
+
+@dataclass(frozen=True)
+class DriftingClock(ClockModel):
+    """Affine clock: ``local = offset + (1 + drift) * t``.
+
+    ``offset`` is the skew in seconds; ``drift`` the frequency error (e.g.
+    50e-6 for a 50 ppm crystal).  A pure offset leaves every QoS metric
+    unchanged; a drift changes the *effective* heartbeat interval seen by q
+    by a factor ``1 + drift``, which the windowed estimators absorb.
+    """
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.offset):
+            raise ValueError("offset must be finite")
+        if not np.isfinite(self.drift) or self.drift <= -1.0:
+            raise ValueError("drift must be finite and > -1")
+
+    def to_local(self, t: np.ndarray | float) -> np.ndarray | float:
+        return self.offset + (1.0 + self.drift) * np.asarray(t, dtype=np.float64)

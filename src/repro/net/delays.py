@@ -1,0 +1,333 @@
+"""One-way message-delay models.
+
+Each model draws vectors of independent (or, for :class:`SpikeDelay`,
+positively correlated) one-way delays in seconds.  Models are small frozen
+dataclasses so they can be embedded in trace-generation specs, compared in
+tests, and repr-ed into experiment reports.
+
+All sampling is vectorized: ``sample(rng, n)`` returns an ``(n,)`` float64
+array and never loops in Python, following the HPC guide's
+"vectorize the hot path" rule (trace synthesis touches millions of samples).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import ensure_non_negative, ensure_positive, ensure_probability
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "NormalDelay",
+    "LogNormalDelay",
+    "EmpiricalDelay",
+    "ExponentialDelay",
+    "GammaDelay",
+    "ParetoDelay",
+    "MixtureDelay",
+    "SpikeDelay",
+    "ShiftedDelay",
+]
+
+
+class DelayModel(ABC):
+    """A distribution of one-way message delays (seconds, always >= 0)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` delays as a float64 array."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected delay in seconds."""
+
+    def __call__(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.sample(rng, n)
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.delay, "delay")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, float(self.delay))
+
+    def mean(self) -> float:
+        return float(self.delay)
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Delays uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.low, "low")
+        if self.high < self.low:
+            raise ValueError(f"high ({self.high}) must be >= low ({self.low})")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class NormalDelay(DelayModel):
+    """Normal delays truncated below at ``minimum`` (rejection-free clip)."""
+
+    mu: float
+    sigma: float
+    minimum: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.mu, "mu")
+        ensure_non_negative(self.sigma, "sigma")
+        ensure_non_negative(self.minimum, "minimum")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = rng.normal(self.mu, self.sigma, size=n)
+        np.maximum(out, self.minimum, out=out)
+        return out
+
+    def mean(self) -> float:
+        # The clip bias is negligible for mu >> sigma, which is how this model
+        # is used (LAN-style tightly concentrated delays).
+        return float(self.mu)
+
+
+@dataclass(frozen=True)
+class LogNormalDelay(DelayModel):
+    """Log-normal delays: ``exp(N(log_mu, log_sigma))`` — heavy right tail.
+
+    ``log_mu``/``log_sigma`` are the parameters of the underlying normal.
+    This is the base model for WAN one-way delays, whose empirical
+    distributions are right-skewed.
+    """
+
+    log_mu: float
+    log_sigma: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.log_sigma, "log_sigma")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.log_mu, self.log_sigma, size=n)
+
+    def mean(self) -> float:
+        return float(np.exp(self.log_mu + 0.5 * self.log_sigma**2))
+
+
+@dataclass(frozen=True)
+class ExponentialDelay(DelayModel):
+    """Exponential delays with mean ``scale`` (the ED FD's assumed model)."""
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.scale, "scale")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.scale, size=n)
+
+    def mean(self) -> float:
+        return float(self.scale)
+
+
+@dataclass(frozen=True)
+class GammaDelay(DelayModel):
+    """Gamma delays with given ``shape`` and ``scale`` (mean = shape*scale)."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.shape, "shape")
+        ensure_positive(self.scale, "scale")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.scale, size=n)
+
+    def mean(self) -> float:
+        return float(self.shape * self.scale)
+
+
+@dataclass(frozen=True)
+class ParetoDelay(DelayModel):
+    """Pareto (power-law tail) delays: ``minimum * (1 + Pareto(alpha))``.
+
+    Used to inject the rare multi-second delay spikes the WAN trace exhibits.
+    """
+
+    alpha: float
+    minimum: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.alpha, "alpha")
+        ensure_positive(self.minimum, "minimum")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.minimum * (1.0 + rng.pareto(self.alpha, size=n))
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return float("inf")
+        return float(self.minimum * self.alpha / (self.alpha - 1.0))
+
+
+@dataclass(frozen=True)
+class MixtureDelay(DelayModel):
+    """Finite mixture of delay models with given selection probabilities.
+
+    The canonical WAN regime is ``MixtureDelay([(0.999, base), (0.001,
+    spike)])``: almost all messages see the base log-normal delay, a small
+    fraction see a heavy-tailed spike.
+    """
+
+    components: Tuple[Tuple[float, DelayModel], ...]
+
+    def __init__(self, components: Sequence[Tuple[float, DelayModel]]):
+        comps = tuple((float(w), m) for w, m in components)
+        if not comps:
+            raise ValueError("MixtureDelay requires at least one component")
+        total = sum(w for w, _ in comps)
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"mixture weights must sum to 1, got {total}")
+        for w, _ in comps:
+            ensure_probability(w, "mixture weight")
+        object.__setattr__(self, "components", comps)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        weights = np.array([w for w, _ in self.components])
+        choice = rng.choice(len(self.components), size=n, p=weights)
+        out = np.empty(n, dtype=np.float64)
+        for idx, (_, model) in enumerate(self.components):
+            mask = choice == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = model.sample(rng, count)
+        return out
+
+    def mean(self) -> float:
+        return float(sum(w * m.mean() for w, m in self.components))
+
+
+@dataclass(frozen=True)
+class SpikeDelay(DelayModel):
+    """Base delays plus *clustered* spikes (positively correlated congestion).
+
+    With probability ``spike_rate`` a message *starts* a congestion episode;
+    the episode then affects a geometric number of consecutive messages
+    (mean ``spike_run``), each receiving an extra delay drawn from
+    ``spike_model`` and decaying linearly over the episode.  This models
+    queue build-up and drain, which independent mixtures cannot: bursty
+    traffic delays *runs* of heartbeats, which is precisely the behaviour
+    the two-window detector is designed to survive (paper §III-A).
+    """
+
+    base: DelayModel
+    spike_model: DelayModel
+    spike_rate: float
+    spike_run: float = 5.0
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.spike_rate, "spike_rate")
+        ensure_positive(self.spike_run, "spike_run")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = self.base.sample(rng, n)
+        if self.spike_rate == 0.0 or n == 0:
+            return out
+        starts = np.flatnonzero(rng.random(n) < self.spike_rate)
+        if starts.size == 0:
+            return out
+        runs = rng.geometric(1.0 / self.spike_run, size=starts.size)
+        peaks = self.spike_model.sample(rng, starts.size)
+        extra = np.zeros(n, dtype=np.float64)
+        for start, run, peak in zip(starts, runs, peaks):
+            stop = min(start + int(run), n)
+            length = stop - start
+            # Linear drain of the congestion queue over the episode.
+            profile = peak * (1.0 - np.arange(length) / max(length, 1))
+            np.maximum(extra[start:stop], profile, out=extra[start:stop])
+        return out + extra
+
+    def mean(self) -> float:
+        # Expected extra delay per message: each episode contributes roughly
+        # spike_run * peak/2 spread over spike_run messages.
+        return float(self.base.mean() + 0.5 * self.spike_rate * self.spike_run * self.spike_model.mean())
+
+
+class EmpiricalDelay(DelayModel):
+    """Bootstrap delays: i.i.d. resampling from an observed sample.
+
+    Closes the loop between measurement and synthesis: extract relative
+    delays from any recorded trace (``trace.normalized_arrivals() - min``)
+    and generate new traffic with exactly that marginal distribution —
+    useful when the paper's probabilistic models are too clean for a
+    network you actually care about.  Correlations are *not* preserved
+    (resampling is i.i.d.); wrap in :class:`SpikeDelay` to reintroduce
+    clustered episodes.
+    """
+
+    __slots__ = ("_sample",)
+
+    def __init__(self, sample):
+        arr = np.asarray(sample, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("EmpiricalDelay needs a non-empty 1-D sample")
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ValueError("sample delays must be finite and non-negative")
+        self._sample = arr.copy()
+        self._sample.setflags(write=False)
+
+    @classmethod
+    def from_trace(cls, trace) -> "EmpiricalDelay":
+        """Build from a recorded trace's relative one-way delays."""
+        normalized = trace.normalized_arrivals()
+        return cls(normalized - normalized.min())
+
+    @property
+    def observations(self) -> np.ndarray:
+        """The (read-only) observed sample being resampled."""
+        return self._sample
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self._sample, size=n, replace=True)
+
+    def mean(self) -> float:
+        return float(self._sample.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EmpiricalDelay(n={self._sample.size}, mean={self.mean():.4g})"
+
+
+@dataclass(frozen=True)
+class ShiftedDelay(DelayModel):
+    """A delay model shifted right by a constant propagation latency."""
+
+    base: DelayModel
+    shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.shift, "shift")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.base.sample(rng, n) + self.shift
+
+    def mean(self) -> float:
+        return float(self.base.mean() + self.shift)

@@ -1,0 +1,84 @@
+"""A composable unidirectional link.
+
+:class:`Link` bundles a delay model, a loss model, and the receiver's clock
+model into the single object trace generators and the simulator need: given
+the send times of a batch of messages (on the sender's clock), it decides
+which are delivered and when they arrive (on the receiver's clock).
+
+UDP semantics are modelled faithfully: messages may be lost and may be
+*reordered* (a message sent later can arrive earlier if its delay is smaller
+by more than the sending gap).  The failure-detector algorithms in the paper
+all discard non-sequence-increasing messages (Alg. 1 line 13), so reordering
+matters and must be representable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from repro._validation import ensure_1d_float_array
+from repro.net.clock import ClockModel, PerfectClock
+from repro.net.delays import ConstantDelay, DelayModel
+from repro.net.loss import LossModel, NoLoss
+
+__all__ = ["Link", "LinkTransmission"]
+
+
+class LinkTransmission(NamedTuple):
+    """The outcome of pushing a batch of messages through a link.
+
+    Attributes
+    ----------
+    delivered:
+        Boolean mask over the input batch; ``True`` where the message arrived.
+    arrival:
+        Arrival times (receiver clock) for delivered messages only, in
+        *send order* (not arrival order — callers sort when building traces).
+    delay:
+        One-way delays experienced by delivered messages (same order).
+    """
+
+    delivered: np.ndarray
+    arrival: np.ndarray
+    delay: np.ndarray
+
+
+@dataclass(frozen=True)
+class Link:
+    """A lossy, delaying, clock-skewed unidirectional channel."""
+
+    delay_model: DelayModel = field(default_factory=ConstantDelay)
+    loss_model: LossModel = field(default_factory=NoLoss)
+    receiver_clock: ClockModel = field(default_factory=PerfectClock)
+
+    def transmit(self, send_times: np.ndarray, rng: np.random.Generator) -> LinkTransmission:
+        """Send a batch of messages at ``send_times`` (sender clock).
+
+        Loss is sampled for *every* message (the loss process is positional,
+        so bursty models drop consecutive messages); delays are sampled only
+        for delivered ones.
+        """
+        send_times = ensure_1d_float_array(send_times, "send_times")
+        n = len(send_times)
+        delivered = self.loss_model.sample(rng, n)
+        n_delivered = int(delivered.sum())
+        delays = self.delay_model.sample(rng, n_delivered)
+        if np.any(delays < 0):
+            raise ValueError(
+                f"delay model {self.delay_model!r} produced negative delays"
+            )
+        arrival = np.asarray(
+            self.receiver_clock.to_local(send_times[delivered]), dtype=np.float64
+        ) + delays
+        return LinkTransmission(delivered=delivered, arrival=arrival, delay=delays)
+
+    def mean_delay(self) -> float:
+        """Expected one-way delay of a delivered message."""
+        return self.delay_model.mean()
+
+    def loss_rate(self) -> float:
+        """Stationary message-loss probability."""
+        return self.loss_model.loss_rate()

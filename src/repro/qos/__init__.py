@@ -1,0 +1,44 @@
+"""QoS machinery for failure detectors (paper §II-A and §V).
+
+- :mod:`repro.qos.timeline` — T/S output timelines and transitions (the
+  objects Fig. 1-2 are drawn over),
+- :mod:`repro.qos.metrics` — the QoS metrics T_D, T_MR, T_M, P_A,
+- :mod:`repro.qos.spec` — application QoS requirement tuples
+  (T_D^U, T_MR^U, T_M^U),
+- :mod:`repro.qos.configurator` — Chen's configuration procedure mapping a
+  QoS spec + network behaviour to (Δi, Δto) (Eq. 14-16, §V-A),
+- :mod:`repro.qos.estimators` — estimating p_L and V(D) from heartbeats
+  (§V-A1),
+- :mod:`repro.qos.shared` — combining multiple applications' requirements
+  onto one heartbeat stream (§V-B/§V-C),
+- :mod:`repro.qos.analytic` — exact closed-form QoS of NFD-S under i.i.d.
+  behaviour (the test suite's theory-vs-measurement oracle),
+- :mod:`repro.qos.adaptive` — periodic reconfiguration (§V-A remark).
+"""
+
+from repro.qos.adaptive import AdaptiveMarginController, margin_for_accuracy
+from repro.qos.analytic import nfds_query_accuracy, nfds_suspect_probability
+from repro.qos.configurator import ConfigurationError, FDConfiguration, configure
+from repro.qos.estimators import NetworkBehavior, estimate_network_behavior
+from repro.qos.metrics import QoSMetrics, compute_metrics
+from repro.qos.shared import SharedConfiguration, combine
+from repro.qos.spec import QoSSpec
+from repro.qos.timeline import OutputTimeline
+
+__all__ = [
+    "AdaptiveMarginController",
+    "ConfigurationError",
+    "FDConfiguration",
+    "NetworkBehavior",
+    "OutputTimeline",
+    "QoSMetrics",
+    "QoSSpec",
+    "SharedConfiguration",
+    "combine",
+    "compute_metrics",
+    "configure",
+    "estimate_network_behavior",
+    "margin_for_accuracy",
+    "nfds_query_accuracy",
+    "nfds_suspect_probability",
+]

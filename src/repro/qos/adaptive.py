@@ -1,0 +1,152 @@
+"""Adaptive reconfiguration (paper §V-A, closing remark).
+
+Chen's procedure is static: it maps one (p_L, V(D)) estimate to one
+(Δi, Δto).  The paper notes "it is possible to run the configuration
+procedure periodically in order to make the algorithm adaptive to changes
+in the probabilistic behaviour of the network."  This module implements
+that loop for the quantity a monitor can adapt *unilaterally* — the safety
+margin Δto (changing Δi requires re-coordinating with the sender; see
+:mod:`repro.service`):
+
+- :func:`margin_for_accuracy` inverts Eq. 16 in the Δto direction: the
+  smallest margin whose implied detection time ``T_D = Δi + Δto`` keeps the
+  guaranteed mistake-rate bound ``f`` under the application's T_MR^U.
+  Detection is then *as aggressive as the current network allows*.
+- :class:`AdaptiveMarginController` re-estimates (p_L, V(D)) from a sliding
+  window of heartbeats and refreshes that margin every ``update_period``
+  seconds of observed traffic.
+
+During a loss/jitter episode the estimates worsen, the margin stretches,
+and accuracy is preserved at the price of slower detection; when the
+network calms down the margin contracts again — the same react-fast /
+stay-conservative tension the 2W-FD resolves at the per-heartbeat scale,
+applied at the configuration scale.
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_int_at_least, ensure_positive
+from repro.qos.configurator import mistake_rate_bound
+from repro.qos.estimators import NetworkBehavior, OnlineNetworkEstimator
+
+__all__ = ["margin_for_accuracy", "AdaptiveMarginController"]
+
+
+def margin_for_accuracy(
+    interval: float,
+    behavior: NetworkBehavior,
+    max_mistake_rate: float,
+    *,
+    margin_cap_intervals: float = 100.0,
+    tol: float = 1e-9,
+) -> float:
+    """Smallest Δto with ``f(Δi; T_D = Δi + Δto) ≤ max_mistake_rate``.
+
+    ``f`` is non-increasing in Δto (a larger margin adds heartbeat
+    opportunities and slack to every existing one), so bisection applies.
+    Returns the cap (``margin_cap_intervals · Δi``) when even that margin
+    cannot meet the bound — the caller decides whether to degrade or alarm.
+    """
+    ensure_positive(interval, "interval")
+    ensure_positive(max_mistake_rate, "max_mistake_rate")
+    cap = margin_cap_intervals * interval
+
+    def ok(margin: float) -> bool:
+        return (
+            mistake_rate_bound(interval, interval + margin, behavior)
+            <= max_mistake_rate
+        )
+
+    if ok(0.0):
+        return 0.0
+    if not ok(cap):
+        return cap
+    lo, hi = 0.0, cap
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+class AdaptiveMarginController:
+    """Periodically refreshed safety margin for a fixed heartbeat interval.
+
+    Parameters
+    ----------
+    interval:
+        The (fixed) heartbeat interval Δi.
+    max_mistake_rate:
+        The application's T_MR^U accuracy bound.
+    update_period:
+        Re-run the margin computation after this much observed time.
+    estimator_window:
+        Heartbeats retained for the (p_L, V(D)) estimate.
+    initial_margin:
+        Margin used until enough traffic has been observed.
+    margin_cap_intervals:
+        Upper bound on the margin, in units of Δi.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        max_mistake_rate: float,
+        *,
+        update_period: float = 60.0,
+        estimator_window: int = 2000,
+        initial_margin: float | None = None,
+        margin_cap_intervals: float = 100.0,
+    ):
+        ensure_positive(interval, "interval")
+        ensure_positive(max_mistake_rate, "max_mistake_rate")
+        ensure_positive(update_period, "update_period")
+        ensure_int_at_least(estimator_window, 2, "estimator_window")
+        self._interval = float(interval)
+        self._bound = float(max_mistake_rate)
+        self._period = float(update_period)
+        self._cap_intervals = float(margin_cap_intervals)
+        self._estimator = OnlineNetworkEstimator(interval, estimator_window)
+        self._margin = float(initial_margin) if initial_margin is not None else interval
+        self._next_update: float | None = None
+        self.n_updates = 0
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def margin(self) -> float:
+        """The margin currently in force."""
+        return self._margin
+
+    @property
+    def detection_time_bound(self) -> float:
+        """The T_D currently implied (Δi + current margin)."""
+        return self._interval + self._margin
+
+    def current_behavior(self) -> NetworkBehavior:
+        """The latest (p_L, V(D)) estimate (raises before 2 heartbeats)."""
+        return self._estimator.behavior()
+
+    def observe(self, seq: int, arrival: float) -> bool:
+        """Feed one received heartbeat; returns True if the margin changed."""
+        self._estimator.observe(seq, arrival)
+        if self._next_update is None:
+            self._next_update = arrival + self._period
+            return False
+        if arrival < self._next_update or self._estimator.n_observed < 2:
+            return False
+        self._next_update = arrival + self._period
+        new_margin = margin_for_accuracy(
+            self._interval,
+            self._estimator.behavior(),
+            self._bound,
+            margin_cap_intervals=self._cap_intervals,
+        )
+        changed = abs(new_margin - self._margin) > 1e-12
+        self._margin = new_margin
+        self.n_updates += 1
+        return changed

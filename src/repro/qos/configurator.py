@@ -1,0 +1,215 @@
+"""Chen's QoS configuration procedure (paper §V-A, Eq. 14-16).
+
+Given an application's QoS requirement tuple ``(T_D^U, T_MR^U, T_M^U)`` and
+the probabilistic behaviour of heartbeats — loss probability ``p_L`` and
+delay variance ``V(D)`` — the procedure outputs the heartbeat interval Δi
+and safety margin Δto that satisfy the requirement while *maximizing* Δi
+(minimizing network load):
+
+- **Step 1**:  γ' = (1 − p_L)·(T_D^U)² / (V(D) + (T_D^U)²)  and
+  Δi_max = min(γ'·T_D^U, T_M^U).  If Δi_max = 0 the QoS cannot be achieved.
+- **Step 2**:  find the largest Δi ≤ Δi_max with f(Δi) ≤ T_MR^U, where
+
+      f(Δi) = (1/Δi) · ∏_{j=1}^{⌈T_D^U/Δi⌉ − 1}
+                  (V(D) + p_L·x_j²) / (V(D) + x_j²),
+      x_j   = T_D^U − j·Δi.
+
+  Each factor is the one-sided-Chebyshev upper bound on the probability
+  that heartbeat j fails to arrive in time to prevent a false suspicion
+  (lost with probability p_L, or delayed beyond ``x_j`` with probability at
+  most ``V/(V + x_j²)``), so f bounds the expected mistake rate: at most
+  one potential mistake per Δi, realized only if *every* heartbeat with a
+  chance misses it.  Such a Δi always exists because f → 0 as Δi → 0.
+- **Step 3**:  Δto = T_D^U − Δi.
+
+The search uses a logarithmic grid plus bisection refinement; f is evaluated
+in log space so deep products neither under- nor overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import ensure_int_at_least
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+
+__all__ = [
+    "ConfigurationError",
+    "FDConfiguration",
+    "configure",
+    "mistake_rate_bound",
+]
+
+
+class ConfigurationError(ValueError):
+    """Raised when a QoS requirement cannot be achieved (Step 1 failure)."""
+
+
+@dataclass(frozen=True)
+class FDConfiguration:
+    """The configurator's output for one application.
+
+    ``interval``/``safety_margin`` are the paper's Δi/Δto;
+    ``mistake_rate_bound`` is f(Δi), the guaranteed upper bound on the
+    achieved average mistake rate; ``interval_max`` is Step 1's Δi_max.
+    """
+
+    spec: QoSSpec
+    behavior: NetworkBehavior
+    interval: float
+    safety_margin: float
+    mistake_rate_bound: float
+    interval_max: float
+    gamma: float
+
+    @property
+    def detection_time(self) -> float:
+        """The detection-time bound this configuration realizes (Δi + Δto)."""
+        return self.interval + self.safety_margin
+
+    @property
+    def message_rate(self) -> float:
+        """Heartbeats per second on the network (1/Δi)."""
+        return 1.0 / self.interval
+
+    def __str__(self) -> str:
+        return (
+            f"FDConfiguration(Δi={self.interval:.6g}s, Δto={self.safety_margin:.6g}s, "
+            f"f(Δi)={self.mistake_rate_bound:.3g}/s)"
+        )
+
+
+def mistake_rate_bound(
+    interval: float,
+    detection_time: float,
+    behavior: NetworkBehavior,
+) -> float:
+    """Evaluate f(Δi): the Eq. 16 upper bound on the average mistake rate."""
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if detection_time <= 0:
+        raise ValueError(f"detection_time must be positive, got {detection_time}")
+    n_terms = math.ceil(detection_time / interval) - 1
+    if n_terms <= 0:
+        return 1.0 / interval
+    v = behavior.delay_variance
+    p_l = behavior.loss_probability
+    log_f = -math.log(interval)
+    # Evaluate the product in log space, chunked, with early exit: once the
+    # running log drops below the float64 underflow point the bound is 0,
+    # and tiny Δi (huge n_terms) must not materialize a giant array.
+    chunk = 1_000_000
+    for start in range(1, n_terms + 1, chunk):
+        stop = min(start + chunk, n_terms + 1)
+        j = np.arange(start, stop, dtype=np.float64)
+        x = detection_time - j * interval
+        num = v + p_l * x * x
+        den = v + x * x
+        if np.any(den == 0.0):
+            # V(D) = 0 and some x_j = 0: that heartbeat provides no slack
+            # at all; the factor is the bare loss probability.
+            num = np.where(den == 0.0, p_l, num)
+            den = np.where(den == 0.0, 1.0, den)
+        factors = num / den
+        if np.any(factors == 0.0):
+            return 0.0
+        log_f += float(np.log(factors).sum())
+        if log_f < -745.0:
+            return 0.0
+    return math.exp(log_f)
+
+
+def configure(
+    spec: QoSSpec,
+    behavior: NetworkBehavior,
+    *,
+    grid_points: int = 2048,
+    refine_iters: int = 60,
+) -> FDConfiguration:
+    """Run Steps 1-3 of the configuration procedure for one application.
+
+    Parameters
+    ----------
+    spec:
+        The QoS requirement tuple (T_D^U, T_MR^U, T_M^U).
+    behavior:
+        Estimated network behaviour (p_L, V(D)); see
+        :func:`repro.qos.estimators.estimate_network_behavior`.
+    grid_points:
+        Size of the logarithmic Δi search grid (Step 2's numerical method).
+    refine_iters:
+        Bisection iterations refining the feasibility boundary.
+
+    Raises
+    ------
+    ConfigurationError
+        If Step 1 yields Δi_max = 0 (the QoS cannot be achieved).
+    """
+    ensure_int_at_least(grid_points, 8, "grid_points")
+    td = spec.detection_time
+    v = behavior.delay_variance
+    p_l = behavior.loss_probability
+
+    # Step 1.
+    gamma = (1.0 - p_l) * td * td / (v + td * td)
+    interval_max = min(gamma * td, spec.mistake_duration)
+    if interval_max <= 0.0:
+        raise ConfigurationError(
+            f"QoS {spec} cannot be achieved under {behavior}: Δi_max = {interval_max}"
+        )
+
+    bound = spec.mistake_rate
+
+    def feasible(eta: float) -> bool:
+        return mistake_rate_bound(eta, td, behavior) <= bound
+
+    # Step 2: largest Δi ≤ Δi_max with f(Δi) ≤ bound.  Scan the log grid
+    # from the largest Δi downward, stopping at the first feasible point
+    # (f → 0 as Δi → 0, so the scan terminates quickly for any realistic
+    # requirement and never evaluates tiny Δi unnecessarily).
+    if feasible(interval_max):
+        best = interval_max
+        upper = None
+    else:
+        grid = np.geomspace(interval_max / 1e6, interval_max, grid_points)
+        best = None
+        upper = interval_max
+        for eta in grid[::-1]:
+            if feasible(float(eta)):
+                best = float(eta)
+                break
+            upper = float(eta)
+        if best is None:
+            raise ConfigurationError(
+                f"no feasible Δi found for {spec} under {behavior} "
+                f"(tightest grid point f = "
+                f"{mistake_rate_bound(float(grid[0]), td, behavior):.3g}/s)"
+            )
+
+    # Bisection refinement toward the exact boundary of the last feasible
+    # grid cell (f is piecewise smooth between ⌈T_D/Δi⌉ jumps).
+    if upper is not None:
+        lo, hi = best, upper
+        for _ in range(refine_iters):
+            mid = 0.5 * (lo + hi)
+            if feasible(mid):
+                lo = mid
+            else:
+                hi = mid
+        best = lo
+
+    # Step 3.
+    safety_margin = td - best
+    return FDConfiguration(
+        spec=spec,
+        behavior=behavior,
+        interval=best,
+        safety_margin=safety_margin,
+        mistake_rate_bound=mistake_rate_bound(best, td, behavior),
+        interval_max=interval_max,
+        gamma=gamma,
+    )

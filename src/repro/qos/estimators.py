@@ -1,0 +1,111 @@
+"""Estimating the network's probabilistic behaviour (paper §V-A1).
+
+The configuration procedure needs two inputs about the network: the message
+loss probability ``p_L`` and the variance of message delays ``V(D)``.  Both
+are estimable from heartbeats alone, without synchronized clocks:
+
+- ``p_L``: count missing sequence numbers and divide by the highest
+  sequence number received so far;
+- ``V(D)``: the variance of ``A − S`` (receipt time on q's clock minus send
+  time stamped by p).  An unknown clock skew shifts every ``A − S`` by the
+  same constant, so the *variance* is unaffected.  With heartbeats sent
+  every Δi, ``S = Δi·s`` and ``A − S`` is exactly the trace's normalized
+  arrival column.
+
+Both a batch function over a recorded trace and an O(1)-per-message online
+estimator (for the live service) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import ensure_int_at_least, ensure_non_negative, ensure_probability
+from repro.core.windows import SlidingWindow
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = [
+    "NetworkBehavior",
+    "estimate_network_behavior",
+    "OnlineNetworkEstimator",
+]
+
+
+@dataclass(frozen=True)
+class NetworkBehavior:
+    """The (p_L, V(D)) pair the configurator consumes."""
+
+    loss_probability: float
+    delay_variance: float
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.loss_probability, "loss_probability")
+        ensure_non_negative(self.delay_variance, "delay_variance")
+
+    def __str__(self) -> str:
+        return f"(p_L={self.loss_probability:.4g}, V(D)={self.delay_variance:.4g}s²)"
+
+
+def estimate_network_behavior(trace: HeartbeatTrace) -> NetworkBehavior:
+    """Estimate (p_L, V(D)) from a recorded heartbeat trace.
+
+    Loss is measured against the highest sequence number received (not
+    ``n_sent``, which q cannot observe); the delay variance is the variance
+    of normalized arrivals, which equals V(D) under any constant clock skew.
+    """
+    highest = int(trace.seq.max())
+    received_unique = len(np.unique(trace.seq))
+    p_l = (highest - received_unique) / highest if highest else 0.0
+    v_d = float(trace.normalized_arrivals().var())
+    return NetworkBehavior(loss_probability=p_l, delay_variance=v_d)
+
+
+class OnlineNetworkEstimator:
+    """Windowed online estimator of (p_L, V(D)).
+
+    Feed every received heartbeat via :meth:`observe`.  Loss is tracked over
+    the *sequence-number* span covered by the retained window (so old
+    behaviour ages out, letting a periodically re-run configurator adapt to
+    changing conditions, as §V-A suggests); delay variance over the retained
+    normalized arrivals.
+    """
+
+    __slots__ = ("_interval", "_normalized", "_seqs", "_received_in_window")
+
+    def __init__(self, interval: float, window_size: int = 10_000):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        ensure_int_at_least(window_size, 2, "window_size")
+        self._interval = float(interval)
+        self._normalized = SlidingWindow(window_size)
+        self._seqs = SlidingWindow(window_size)
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._normalized)
+
+    def observe(self, seq: int, arrival: float) -> None:
+        """Record a received heartbeat (any order; duplicates allowed)."""
+        self._normalized.push(arrival - self._interval * seq)
+        self._seqs.push(float(seq))
+
+    def behavior(self) -> NetworkBehavior:
+        """Current (p_L, V(D)) estimate.
+
+        Requires at least two observations; with fewer, the estimate is
+        degenerate (no variance information).
+        """
+        n = len(self._seqs)
+        if n < 2:
+            raise ValueError("need at least two heartbeats to estimate behaviour")
+        seqs = self._seqs.values()
+        span = float(seqs.max() - seqs.min()) + 1.0
+        # Duplicates in the window should not drive the estimate negative.
+        distinct = len(np.unique(seqs))
+        p_l = max(0.0, 1.0 - distinct / span)
+        return NetworkBehavior(
+            loss_probability=min(1.0, p_l),
+            delay_variance=self._normalized.variance(),
+        )

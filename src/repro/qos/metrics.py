@@ -1,0 +1,112 @@
+"""QoS metrics for failure detectors (paper §II-A2).
+
+In the QoS model p never crashes while accuracy is measured, so every
+S-output is a *mistake*.  Over an :class:`~repro.qos.timeline.OutputTimeline`:
+
+- **Average mistake rate** λ_MR — S-transitions per unit time (the paper
+  plots this as T_MR on a log axis); its reciprocal is the *mistake
+  recurrence time*.
+- **Average mistake duration** T_M — mean time from an S-transition to the
+  next T-transition.
+- **Query accuracy probability** P_A — probability the output is correct
+  (= T) at a uniformly random query time.
+
+Detection time T_D is measured separately, by replaying crashes
+(:mod:`repro.replay.detection`), since it needs the heartbeat trace and not
+just the output timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.qos.timeline import OutputTimeline
+
+__all__ = ["QoSMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class QoSMetrics:
+    """Accuracy metrics of one detector run over one observation window."""
+
+    duration: float
+    n_mistakes: int
+    mistake_rate: float
+    mistake_recurrence_time: float
+    mistake_duration: float
+    query_accuracy: float
+    trust_time: float
+    suspect_time: float
+
+    def satisfies(
+        self,
+        *,
+        max_mistake_rate: float | None = None,
+        max_mistake_duration: float | None = None,
+        min_query_accuracy: float | None = None,
+    ) -> bool:
+        """Check this run against (a subset of) a QoS requirement tuple."""
+        if max_mistake_rate is not None and self.mistake_rate > max_mistake_rate:
+            return False
+        if (
+            max_mistake_duration is not None
+            and self.mistake_duration > max_mistake_duration
+        ):
+            return False
+        if min_query_accuracy is not None and self.query_accuracy < min_query_accuracy:
+            return False
+        return True
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+def compute_metrics(timeline: OutputTimeline) -> QoSMetrics:
+    """Compute all §II-A2 accuracy metrics from an output timeline.
+
+    Conventions for degenerate windows: with zero mistakes the mistake rate
+    is 0, the recurrence time infinite, and the mistake duration 0.  Initial
+    suspicion time (before any T-transition) counts against P_A but — having
+    no preceding S-transition inside the window — not toward T_M, matching
+    the definitions drawn in Fig. 2.
+    """
+    duration = timeline.duration
+    if duration <= 0:
+        raise ValueError("cannot compute metrics over an empty observation window")
+    n_mistakes = timeline.n_s_transitions
+    trust = timeline.trust_time()
+    suspect = timeline.suspect_time()
+
+    # Average time from each S-transition to the following T-transition (or
+    # window end).  Equivalently: total S-time attributable to in-window
+    # S-transitions, divided by their count.
+    if n_mistakes:
+        s_times = timeline.s_transition_times()
+        # S-time not preceded by an in-window S-transition is the initial
+        # suspicion segment (if the window opens in S).
+        initial_suspect = 0.0
+        if not timeline.initial_trust:
+            first_t = (
+                timeline.times[timeline.states][0]
+                if timeline.n_t_transitions
+                else timeline.end
+            )
+            initial_suspect = float(first_t) - timeline.start
+        # Clamp: with denormal-scale segments the initial-suspicion length
+        # can exceed the float-absorbed total, going negative by an ulp.
+        mistake_duration = max(0.0, suspect - initial_suspect) / n_mistakes
+    else:
+        mistake_duration = 0.0
+
+    rate = n_mistakes / duration
+    return QoSMetrics(
+        duration=duration,
+        n_mistakes=n_mistakes,
+        mistake_rate=rate,
+        mistake_recurrence_time=(duration / n_mistakes) if n_mistakes else math.inf,
+        mistake_duration=mistake_duration,
+        query_accuracy=trust / duration,
+        trust_time=trust,
+        suspect_time=suspect,
+    )

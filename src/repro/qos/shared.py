@@ -1,0 +1,133 @@
+"""Combining multiple applications' QoS onto one heartbeat stream (§V-C).
+
+When n applications (or VMs) on one physical machine all monitor the same
+remote host, running one failure detector per application wastes network
+bandwidth: each would send its own heartbeat stream.  The paper's shared
+service sends **one** stream and gives each application its own freshness
+points:
+
+- **Step 1**: configure each application independently with Chen's
+  procedure → (Δi_j, Δto_j);
+- **Step 2**: the machine-wide heartbeat interval is Δi_min = min_j Δi_j;
+- **Step 3**: each application's margin is re-derived to hit its exact
+  detection-time bound: Δto'_j = T_D,j − Δi_min;
+- **Step 4**: the FD service sends heartbeats every Δi_min and evaluates a
+  per-application freshness point using Δto'_j.
+
+Consequences (§V-C1), which :class:`SharedConfiguration` quantifies and the
+test suite asserts: every application's detection time is preserved exactly
+(T_D = Δi + Δto); applications whose dedicated Δi exceeded Δi_min receive
+*more frequent* heartbeats with a *larger* margin, so their guaranteed
+mistake-rate bound f and their expected mistake duration can only improve;
+and the network carries 1/Δi_min messages per second instead of
+Σ_j 1/Δi_j.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.qos.configurator import FDConfiguration, configure, mistake_rate_bound
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+
+__all__ = ["SharedApplication", "SharedConfiguration", "combine"]
+
+
+@dataclass(frozen=True)
+class SharedApplication:
+    """One application's view of the shared service.
+
+    ``dedicated`` is the configuration it would use alone (Step 1);
+    ``safety_margin`` is its adapted Δto'_j (Step 3); the two bounds let
+    callers verify the §V-C1 improvement claims.
+    """
+
+    spec: QoSSpec
+    dedicated: FDConfiguration
+    safety_margin: float
+    mistake_rate_bound: float
+
+    @property
+    def detection_time(self) -> float:
+        """T_D under the shared service (must equal the dedicated one)."""
+        return self.spec.detection_time
+
+    @property
+    def dedicated_mistake_rate_bound(self) -> float:
+        return self.dedicated.mistake_rate_bound
+
+    @property
+    def improvement_factor(self) -> float:
+        """Dedicated / shared mistake-rate bound (≥ 1 per §V-C1)."""
+        if self.mistake_rate_bound == 0.0:
+            return float("inf")
+        return self.dedicated.mistake_rate_bound / self.mistake_rate_bound
+
+
+@dataclass(frozen=True)
+class SharedConfiguration:
+    """The shared service's machine-wide configuration."""
+
+    behavior: NetworkBehavior
+    interval: float  # Δi_min, the single heartbeat interval (Step 2)
+    applications: Tuple[SharedApplication, ...]
+
+    @property
+    def message_rate(self) -> float:
+        """Heartbeats per second the shared service sends (1/Δi_min)."""
+        return 1.0 / self.interval
+
+    @property
+    def dedicated_message_rate(self) -> float:
+        """Heartbeats per second n dedicated detectors would send (Σ 1/Δi_j)."""
+        return sum(app.dedicated.message_rate for app in self.applications)
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fraction of network load saved by sharing (0 = none)."""
+        dedicated = self.dedicated_message_rate
+        return 1.0 - self.message_rate / dedicated if dedicated else 0.0
+
+    def margin_for(self, name: str) -> float:
+        """Adapted Δto' of the application named ``name``."""
+        for app in self.applications:
+            if app.spec.name == name:
+                return app.safety_margin
+        raise KeyError(f"no application named {name!r}")
+
+
+def combine(
+    specs: Sequence[QoSSpec],
+    behavior: NetworkBehavior,
+    **configure_kwargs: object,
+) -> SharedConfiguration:
+    """Run Steps 1-4 of §V-C for ``specs`` under ``behavior``.
+
+    Raises :class:`~repro.qos.configurator.ConfigurationError` if any single
+    application's QoS is unachievable on its own (sharing never rescues an
+    individually infeasible requirement).
+    """
+    if not specs:
+        raise ValueError("at least one application spec is required")
+    dedicated = [configure(spec, behavior, **configure_kwargs) for spec in specs]
+    interval_min = min(cfg.interval for cfg in dedicated)
+    apps = []
+    for spec, cfg in zip(specs, dedicated):
+        margin = spec.detection_time - interval_min  # Step 3
+        apps.append(
+            SharedApplication(
+                spec=spec,
+                dedicated=cfg,
+                safety_margin=margin,
+                mistake_rate_bound=mistake_rate_bound(
+                    interval_min, spec.detection_time, behavior
+                ),
+            )
+        )
+    return SharedConfiguration(
+        behavior=behavior,
+        interval=interval_min,
+        applications=tuple(apps),
+    )

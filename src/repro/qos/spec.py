@@ -1,0 +1,92 @@
+"""Application QoS requirement tuples (paper §V-A).
+
+Applications express failure-detection requirements as a tuple
+``(T_D^U, T_MR^U, T_M^U)``:
+
+- ``T_D^U`` — upper bound on detection time,
+- ``T_MR^U`` — upper bound on the average mistake *rate* (equivalently a
+  lower bound ``1/T_MR^U`` on the mistake recurrence time),
+- ``T_M^U`` — upper bound on the average mistake duration.
+
+:class:`QoSSpec` is the value object consumed by the configurator (§V-A)
+and the shared-service combiner (§V-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._validation import ensure_positive
+
+__all__ = ["QoSSpec"]
+
+
+@dataclass(frozen=True, order=True)
+class QoSSpec:
+    """An application's failure-detection QoS requirement.
+
+    Parameters
+    ----------
+    detection_time:
+        T_D^U, seconds.
+    mistake_rate:
+        T_MR^U, mistakes per second (use :meth:`from_recurrence_time` to
+        specify a minimum time *between* mistakes instead).
+    mistake_duration:
+        T_M^U, seconds.
+    name:
+        Optional label used in shared-service reports.
+    """
+
+    detection_time: float
+    mistake_rate: float
+    mistake_duration: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.detection_time, "detection_time")
+        ensure_positive(self.mistake_rate, "mistake_rate")
+        ensure_positive(self.mistake_duration, "mistake_duration")
+
+    @classmethod
+    def from_recurrence_time(
+        cls,
+        detection_time: float,
+        recurrence_time: float,
+        mistake_duration: float,
+        name: str = "",
+    ) -> "QoSSpec":
+        """Build a spec bounding the mistake recurrence time from below.
+
+        ``recurrence_time`` seconds between mistakes corresponds to a rate
+        bound of ``1/recurrence_time`` (the paper presents the two forms as
+        equivalent).
+        """
+        ensure_positive(recurrence_time, "recurrence_time")
+        return cls(
+            detection_time=detection_time,
+            mistake_rate=1.0 / recurrence_time,
+            mistake_duration=mistake_duration,
+            name=name,
+        )
+
+    @property
+    def recurrence_time(self) -> float:
+        """The equivalent lower bound on mistake recurrence time."""
+        return 1.0 / self.mistake_rate if self.mistake_rate else math.inf
+
+    def is_met_by(self, detection_time: float, mistake_rate: float, mistake_duration: float) -> bool:
+        """Does an achieved (T_D, T_MR, T_M) triple satisfy this requirement?"""
+        return (
+            detection_time <= self.detection_time
+            and mistake_rate <= self.mistake_rate
+            and mistake_duration <= self.mistake_duration
+        )
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return (
+            f"{label}(T_D≤{self.detection_time:g}s, "
+            f"T_MR≤{self.mistake_rate:g}/s, T_M≤{self.mistake_duration:g}s)"
+        )

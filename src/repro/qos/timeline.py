@@ -1,0 +1,185 @@
+"""Failure-detector output timelines (paper §II-A1).
+
+At any instant the detector output is either T (trust) or S (suspect); an
+*S-transition* switches T→S and a *T-transition* switches S→T, and only
+finitely many transitions occur in finite time.  :class:`OutputTimeline`
+stores one realized output as a step function over an observation window —
+the object on which all QoS metrics (Fig. 1-2) are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import ensure_1d_float_array, ensure_sorted
+
+__all__ = ["OutputTimeline"]
+
+
+@dataclass(frozen=True)
+class OutputTimeline:
+    """A T/S step function over ``[start, end]``.
+
+    Parameters
+    ----------
+    start, end:
+        Observation window bounds.
+    initial_trust:
+        Output at ``start``.
+    times:
+        Transition instants, non-decreasing, all within ``[start, end]``.
+    states:
+        Output *after* each transition (``True`` = T).  Must alternate.
+    """
+
+    start: float
+    end: float
+    initial_trust: bool
+    times: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    states: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+
+    def __post_init__(self) -> None:
+        times = ensure_1d_float_array(self.times, "times")
+        states = np.asarray(self.states, dtype=bool)
+        if times.shape != states.shape:
+            raise ValueError("times and states must have equal length")
+        if self.end < self.start:
+            raise ValueError(f"end ({self.end}) precedes start ({self.start})")
+        ensure_sorted(times, "times")
+        if times.size:
+            if times[0] < self.start or times[-1] > self.end:
+                raise ValueError("transition times must lie within [start, end]")
+            expected = ~np.concatenate([[self.initial_trust], states[:-1]])
+            if not np.array_equal(states, expected):
+                raise ValueError("states must strictly alternate starting from initial_trust")
+        times.setflags(write=False)
+        states.setflags(write=False)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "states", states)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transitions(
+        cls,
+        transitions: Iterable[Tuple[float, bool]],
+        start: float,
+        end: float,
+        initial_trust: bool = False,
+    ) -> "OutputTimeline":
+        """Build from a ``(time, new_state)`` log (e.g. a detector's).
+
+        Transitions outside ``[start, end]`` are folded into the boundary
+        state; redundant entries (no state change) are dropped.
+        """
+        state = initial_trust
+        times: List[float] = []
+        states: List[bool] = []
+        for t, s in transitions:
+            if s == state:
+                continue
+            if t <= start:
+                # Happened before the window: only the final pre-window
+                # state matters.
+                state = s
+                if not times:
+                    initial_trust = s
+                continue
+            if t > end:
+                break
+            times.append(float(t))
+            states.append(bool(s))
+            state = s
+        return cls(
+            start=float(start),
+            end=float(end),
+            initial_trust=bool(initial_trust),
+            times=np.asarray(times, dtype=np.float64),
+            states=np.asarray(states, dtype=bool),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        return float(self.end - self.start)
+
+    @property
+    def n_transitions(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def n_s_transitions(self) -> int:
+        """Number of T→S transitions (the paper's mistake events when p is up)."""
+        return int(np.count_nonzero(~self.states))
+
+    @property
+    def n_t_transitions(self) -> int:
+        return int(np.count_nonzero(self.states))
+
+    def state_at(self, t: float) -> bool:
+        """Output at time ``t`` (right-continuous step function)."""
+        if not self.start <= t <= self.end:
+            raise ValueError(f"t={t} outside observation window [{self.start}, {self.end}]")
+        idx = int(np.searchsorted(self.times, t, side="right"))
+        if idx == 0:
+            return bool(self.initial_trust)
+        return bool(self.states[idx - 1])
+
+    def _segment_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Segment edges and the state within each segment."""
+        edges = np.concatenate([[self.start], self.times, [self.end]])
+        seg_states = np.concatenate([[self.initial_trust], self.states]).astype(bool)
+        return edges, seg_states
+
+    def trust_time(self) -> float:
+        """Total time the output is T."""
+        edges, seg_states = self._segment_bounds()
+        lengths = np.diff(edges)
+        return float(lengths[seg_states].sum())
+
+    def suspect_time(self) -> float:
+        """Total time the output is S."""
+        return self.duration - self.trust_time()
+
+    def suspicion_intervals(self) -> List[Tuple[float, float]]:
+        """Maximal [lo, hi) intervals with output S (Fig. 2's mistake spans)."""
+        edges, seg_states = self._segment_bounds()
+        out: List[Tuple[float, float]] = []
+        for lo, hi, state in zip(edges[:-1], edges[1:], seg_states):
+            if state or hi <= lo:
+                continue
+            if out and out[-1][1] == lo:
+                out[-1] = (out[-1][0], float(hi))
+            else:
+                out.append((float(lo), float(hi)))
+        return out
+
+    def s_transition_times(self) -> np.ndarray:
+        """Instants of the T→S transitions."""
+        return self.times[~self.states]
+
+    def restricted(self, start: float, end: float) -> "OutputTimeline":
+        """The same output restricted to a sub-window."""
+        if not self.start <= start <= end <= self.end:
+            raise ValueError("sub-window must lie within the timeline")
+        mask = (self.times > start) & (self.times <= end)
+        return OutputTimeline(
+            start=start,
+            end=end,
+            initial_trust=self.state_at(start),
+            times=self.times[mask].copy(),
+            states=self.states[mask].copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OutputTimeline([{self.start:.3f}, {self.end:.3f}], "
+            f"{self.n_transitions} transitions, "
+            f"{self.n_s_transitions} S-transitions)"
+        )

@@ -1,0 +1,69 @@
+"""Trace replay: the paper's evaluation methodology (§IV-A).
+
+The paper compares detectors by *replaying* each over the same logged
+heartbeat arrival times.  This subpackage provides:
+
+- :mod:`repro.replay.kernels` — vectorized per-detector suspicion-deadline
+  computations (every detector reduces to "a deadline after each accepted
+  heartbeat"; see DESIGN.md "Architectural unification"),
+- :mod:`repro.replay.metrics_kernel` — the shared NumPy kernel turning
+  ``(arrival, deadline)`` pairs into QoS metrics and mistake sets,
+- :mod:`repro.replay.detection` — measured detection time T_D via virtual
+  crash injection,
+- :mod:`repro.replay.engine` — uniform entry points for replaying online
+  detector objects and vectorized kernels,
+- :mod:`repro.replay.sweep` — parameter sweeps producing the QoS curves of
+  the paper's figures, plus calibration to a target T_D,
+- :mod:`repro.replay.mistakes` — mistake-set algebra (Eq. 13 / Fig. 9) and
+  per-segment mistake counts (Fig. 8).
+"""
+
+from repro.replay.adaptive import AdaptiveReplay, adaptive_margin_deadlines
+from repro.replay.detection import measured_detection_time
+from repro.replay.engine import replay_detector, replay_online
+from repro.replay.kernels import (
+    BertierKernel,
+    ChenKernel,
+    DeadlineKernel,
+    EDKernel,
+    FixedTimeoutKernel,
+    MultiWindowKernel,
+    PhiKernel,
+    make_kernel,
+)
+from repro.replay.metrics_kernel import ReplayOutcome, replay_metrics, timeline_from_deadlines
+from repro.replay.mistakes import MistakeRecord, mistake_gaps, mistakes_by_segment
+from repro.replay.reaction import EpisodeReaction, episode_reactions
+from repro.replay.sweep import (
+    QoSCurve,
+    bertier_point,
+    calibrate_to_detection_time,
+    sweep,
+)
+
+__all__ = [
+    "AdaptiveReplay",
+    "BertierKernel",
+    "adaptive_margin_deadlines",
+    "ChenKernel",
+    "DeadlineKernel",
+    "EDKernel",
+    "EpisodeReaction",
+    "FixedTimeoutKernel",
+    "MistakeRecord",
+    "MultiWindowKernel",
+    "PhiKernel",
+    "QoSCurve",
+    "ReplayOutcome",
+    "calibrate_to_detection_time",
+    "episode_reactions",
+    "make_kernel",
+    "measured_detection_time",
+    "mistake_gaps",
+    "mistakes_by_segment",
+    "replay_detector",
+    "replay_metrics",
+    "replay_online",
+    "sweep",
+    "timeline_from_deadlines",
+]

@@ -1,0 +1,72 @@
+"""Replay support for the adaptive-margin extension.
+
+:func:`adaptive_margin_deadlines` reproduces, over a recorded trace, the
+exact deadline sequence the online
+:class:`~repro.detectors.adaptive.AdaptiveTwoWindowFailureDetector` would
+hold — the margin is piecewise-constant (re-derived from windowed
+(p_L, V(D)) estimates every ``update_period`` of observed traffic), so the
+deadline is the 2W base plus a per-heartbeat margin vector.
+
+The Eq. 2 bases come from the vectorized kernel; the controller walk is a
+Python loop over accepted heartbeats (its sliding-window state is cheap but
+inherently sequential) — fine up to a few hundred thousand samples, which
+is what the adaptive ablation benchmark uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qos.adaptive import AdaptiveMarginController
+from repro.replay.kernels import MultiWindowKernel
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = ["AdaptiveReplay", "adaptive_margin_deadlines"]
+
+
+@dataclass(frozen=True)
+class AdaptiveReplay:
+    """Deadlines plus the margin trajectory of an adaptive replay."""
+
+    t: np.ndarray
+    deadlines: np.ndarray
+    margins: np.ndarray
+    n_updates: int
+    end_time: float
+
+    @property
+    def mean_margin(self) -> float:
+        return float(self.margins.mean())
+
+
+def adaptive_margin_deadlines(
+    trace: HeartbeatTrace,
+    max_mistake_rate: float,
+    window_sizes=(1, 1000),
+    *,
+    update_period: float = 60.0,
+    estimator_window: int = 2000,
+    initial_margin: float | None = None,
+) -> AdaptiveReplay:
+    """Replay the adaptive-margin 2W-FD over ``trace``."""
+    kernel = MultiWindowKernel(trace, window_sizes=window_sizes)
+    controller = AdaptiveMarginController(
+        trace.interval,
+        max_mistake_rate,
+        update_period=update_period,
+        estimator_window=estimator_window,
+        initial_margin=initial_margin,
+    )
+    margins = np.empty(len(kernel.t))
+    for i, (s, a) in enumerate(zip(kernel.seq.tolist(), kernel.t.tolist())):
+        controller.observe(s, a)
+        margins[i] = controller.margin
+    return AdaptiveReplay(
+        t=kernel.t,
+        deadlines=kernel.base + margins,
+        margins=margins,
+        n_updates=controller.n_updates,
+        end_time=kernel.end_time,
+    )

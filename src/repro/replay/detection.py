@@ -1,0 +1,78 @@
+"""Measured detection time T_D via virtual crash injection.
+
+T_D (§II-A2, Fig. 1) is the time from p's crash to the final S-transition
+at q.  On a trace where p never actually crashed, T_D is measured the way
+the trace-replay literature does: inject a *virtual* crash immediately
+after each heartbeat send and see when the detector — whose state evolved
+only from messages sent before the crash — would suspect.
+
+If p crashes right after sending ``m_{s_k}`` and the detector's last
+accepted heartbeat is the k-th one (arrival ``t_k``, deadline ``d_k``),
+then no later message ever raises the largest-sequence bound, so suspicion
+starts (and is final) at ``d_k``:
+
+    T_D(k) = d_k − σ(s_k)
+
+where ``σ(s_k)`` is the send instant of ``m_{s_k}`` expressed on q's clock.
+q cannot observe send instants directly; they are placed as
+``offset + Δi·s`` with ``offset = min(A − Δi·s)`` (the fastest message is
+assumed near-instant), a constant that affects every detector identically
+and cancels from comparisons.  Averaging over all k yields the mean
+worst-case detection time — the x-axis of the paper's Fig. 4-7.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._validation import ensure_1d_float_array, ensure_same_length
+
+__all__ = ["measured_detection_time", "detection_times"]
+
+
+def detection_times(
+    t: np.ndarray,
+    d: np.ndarray,
+    seq: np.ndarray,
+    interval: float,
+    send_offset: float,
+) -> np.ndarray:
+    """Per-crash-point detection times ``d_k − σ(s_k)``.
+
+    Parameters
+    ----------
+    t, d:
+        Accepted arrivals and their deadlines.
+    seq:
+        Accepted sequence numbers.
+    interval:
+        Heartbeat interval Δi.
+    send_offset:
+        Clock offset placing virtual send times on q's clock
+        (see :meth:`repro.traces.trace.HeartbeatTrace.send_offset_estimate`).
+    """
+    t = ensure_1d_float_array(t, "t")
+    d = ensure_1d_float_array(d, "d")
+    ensure_same_length(t, d, "t", "d")
+    sends = send_offset + interval * np.asarray(seq, dtype=np.float64)
+    return d - sends
+
+
+def measured_detection_time(
+    t: np.ndarray,
+    d: np.ndarray,
+    seq: np.ndarray,
+    interval: float,
+    send_offset: float,
+) -> float:
+    """Mean detection time over all virtual crash points.
+
+    Returns ``inf`` if any deadline is infinite (a detector that can never
+    suspect — e.g. φ with a saturated threshold — has unbounded T_D).
+    """
+    td = detection_times(t, d, seq, interval, send_offset)
+    if np.any(np.isinf(td)):
+        return math.inf
+    return float(td.mean())

@@ -1,0 +1,106 @@
+"""Mistake-set algebra (Eq. 13 / Fig. 9) and per-segment counts (Fig. 8).
+
+A *mistake* is identified by the accepted-heartbeat gap in which the
+detector's output was S: gap k spans from accepted arrival ``t_k`` to the
+next accepted arrival.  Because the 2W-FD's deadline is the pointwise max
+of the two Chen deadlines over the same accepted heartbeats, its mistake
+set is exactly the intersection of the two Chen mistake sets (Eq. 13):
+
+    Mistakes(2W_{n1,n2}) = Mistakes(Chen_{n1}) ∩ Mistakes(Chen_{n2})
+
+:func:`mistake_gaps` extracts the set; plain :func:`numpy.intersect1d` /
+``setdiff1d`` implement the algebra; :func:`mistakes_by_segment` buckets
+mistakes into the Table I sub-periods for the Fig. 8 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.replay.kernels import DeadlineKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.traces.segments import Segment, WAN_SEGMENTS, segment_slices
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = ["MistakeRecord", "mistake_gaps", "mistakes_by_segment"]
+
+
+@dataclass(frozen=True)
+class MistakeRecord:
+    """The mistakes of one detector configuration over one trace.
+
+    ``gap_index`` — indices into the accepted-heartbeat sequence;
+    ``received_index`` — the same mistakes located in the raw received
+    stream (0-based), the coordinate Table I's segment boundaries use;
+    ``time`` — the arrival time opening each mistake's gap.
+    """
+
+    detector: str
+    gap_index: np.ndarray
+    received_index: np.ndarray
+    time: np.ndarray
+
+    @property
+    def n_mistakes(self) -> int:
+        return int(len(self.gap_index))
+
+    def intersect(self, other: "MistakeRecord") -> np.ndarray:
+        """Gap indices mistaken by both detectors (same trace required)."""
+        return np.intersect1d(self.gap_index, other.gap_index)
+
+    def difference(self, other: "MistakeRecord") -> np.ndarray:
+        """Gap indices mistaken by self but not by other."""
+        return np.setdiff1d(self.gap_index, other.gap_index)
+
+
+def mistake_gaps(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    param: float | None = None,
+    *,
+    kind: str = "suspicion",
+) -> MistakeRecord:
+    """Extract the mistake set of ``kernel`` at parameter ``param``.
+
+    ``kind='suspicion'`` identifies mistakes as gaps with any S-output
+    (the Eq. 13 set, exactly closed under the max-deadline argument);
+    ``kind='s-transition'`` restricts to gaps containing a T→S transition
+    (§II-A's mistake events — a subset, since a mistake spanning several
+    gaps transitions only once).
+    """
+    if kind not in ("suspicion", "s-transition"):
+        raise ValueError(f"kind must be 'suspicion' or 's-transition', got {kind!r}")
+    d = kernel.deadlines(param) if kernel.param_name else kernel.deadlines()
+    outcome = replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=True)
+    gaps = outcome.suspicion_gaps if kind == "suspicion" else outcome.s_transition_gaps
+    accepted_pos = np.flatnonzero(trace.accepted_mask())
+    return MistakeRecord(
+        detector=kernel.name,
+        gap_index=gaps,
+        received_index=accepted_pos[gaps],
+        time=kernel.t[gaps],
+    )
+
+
+def mistakes_by_segment(
+    record: MistakeRecord,
+    trace: HeartbeatTrace,
+    segments: Tuple[Segment, ...] = WAN_SEGMENTS,
+) -> Dict[str, int]:
+    """Count mistakes per Table I sub-period (rescaled to the trace size).
+
+    Mistakes are bucketed by the received-stream index of the heartbeat
+    opening their gap.
+    """
+    slices = segment_slices(segments, n_total=trace.n_received)
+    return {
+        name: int(
+            np.count_nonzero(
+                (record.received_index >= start) & (record.received_index < stop)
+            )
+        )
+        for name, (start, stop) in slices.items()
+    }

@@ -1,0 +1,101 @@
+"""Per-episode reaction analysis.
+
+Given a trace with *known* disturbance episodes (injected via
+:mod:`repro.traces.transform`, or taken from generator metadata), measure
+how each detector behaves around each episode:
+
+- did it make a mistake at the episode's onset (usually unavoidable — no
+  detector can distinguish the first late heartbeat from a crash)?
+- how much suspicion time did the episode cost in total?
+- when did the detector *recover* — produce its last in-episode suspicion —
+  relative to the onset?
+
+This is the per-event view behind the paper's §III-A rationale: the 2W-FD's
+short window should confine an episode's damage to its onset, while a
+single long window keeps paying through the entire episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.replay.kernels import DeadlineKernel
+from repro.replay.metrics_kernel import replay_metrics
+
+__all__ = ["EpisodeReaction", "episode_reactions"]
+
+
+@dataclass(frozen=True)
+class EpisodeReaction:
+    """One detector's behaviour around one known episode."""
+
+    start: float
+    stop: float
+    n_mistakes: int
+    suspicion_time: float
+    first_suspicion: float | None
+    last_suspicion_end: float | None
+
+    @property
+    def recovery_time(self) -> float:
+        """Time from episode onset until suspicion last ended (0 if clean)."""
+        if self.last_suspicion_end is None:
+            return 0.0
+        return max(0.0, self.last_suspicion_end - self.start)
+
+    @property
+    def clean(self) -> bool:
+        return self.n_mistakes == 0 and self.suspicion_time == 0.0
+
+
+def episode_reactions(
+    kernel: DeadlineKernel,
+    param: float | None,
+    episodes: Sequence[Tuple[float, float]],
+    *,
+    slack: float = 0.0,
+) -> List[EpisodeReaction]:
+    """Analyse ``kernel`` (at ``param``) around each ``(start, stop)`` episode.
+
+    ``slack`` widens each episode's attribution window on both sides
+    (suspicion caused by an episode's last heartbeats materializes slightly
+    after ``stop``).
+    """
+    d = kernel.deadlines(param) if kernel.param_name else kernel.deadlines()
+    t = kernel.t
+    outcome = replay_metrics(t, d, kernel.end_time, collect_gaps=True)
+    # Suspicion interval of gap k: [max(t_k, d_k), next arrival).
+    next_t = np.empty_like(t)
+    next_t[:-1] = t[1:]
+    next_t[-1] = kernel.end_time
+    sus_start = np.maximum(t, d)[outcome.suspicion_gaps]
+    sus_stop = next_t[outcome.suspicion_gaps]
+    trans_times = np.maximum(t, d)[outcome.s_transition_gaps]
+
+    reactions = []
+    for start, stop in episodes:
+        lo, hi = start - slack, stop + slack
+        inside = (sus_stop > lo) & (sus_start < hi)
+        clipped = np.clip(sus_stop[inside], lo, hi) - np.clip(
+            sus_start[inside], lo, hi
+        )
+        n_mist = int(np.count_nonzero((trans_times >= lo) & (trans_times < hi)))
+        firsts = sus_start[inside]
+        reactions.append(
+            EpisodeReaction(
+                start=float(start),
+                stop=float(stop),
+                n_mistakes=n_mist,
+                suspicion_time=float(clipped.sum()),
+                first_suspicion=float(firsts.min()) if firsts.size else None,
+                last_suspicion_end=(
+                    float(np.clip(sus_stop[inside], lo, hi).max())
+                    if inside.any()
+                    else None
+                ),
+            )
+        )
+    return reactions

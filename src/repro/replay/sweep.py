@@ -1,0 +1,228 @@
+"""Parameter sweeps → QoS curves, and calibration to a target T_D.
+
+The paper's central figures plot accuracy metrics against detection time,
+produced by varying each algorithm's tuning parameter (Δto for the Chen
+family, the threshold for the accruals; Bertier contributes a single
+point).  :func:`sweep` builds one such curve; :func:`calibrate_to_detection_time`
+finds the parameter value that realizes a given measured T_D (used by the
+fixed-T_D experiments, Fig. 8-9, at T_D = 215 ms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.replay.detection import measured_detection_time
+from repro.replay.kernels import DeadlineKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = ["QoSCurve", "sweep", "bertier_point", "calibrate_to_detection_time"]
+
+
+@dataclass(frozen=True)
+class QoSCurve:
+    """One detector's accuracy-vs-detection-time curve.
+
+    Points are sorted by detection time.  Sweep values whose detector can
+    never suspect (infinite deadlines — φ's saturated threshold) are
+    dropped, which is exactly why the φ curve "stops early" in the paper's
+    figures.
+    """
+
+    label: str
+    detector: str
+    param_name: str | None
+    params: np.ndarray
+    detection_time: np.ndarray
+    mistake_rate: np.ndarray
+    query_accuracy: np.ndarray
+    mistake_duration: np.ndarray
+    n_mistakes: np.ndarray
+    #: When the curve was sampled at a shared detection-time grid, the grid
+    #: values realized per point (lines up points across detectors even
+    #: though measured T_D differs in the 4th decimal).  None for raw sweeps.
+    targets: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def point(self, i: int) -> dict:
+        """The i-th curve point as a plain dict (for reports)."""
+        return {
+            "param": float(self.params[i]),
+            "detection_time": float(self.detection_time[i]),
+            "mistake_rate": float(self.mistake_rate[i]),
+            "query_accuracy": float(self.query_accuracy[i]),
+            "mistake_duration": float(self.mistake_duration[i]),
+            "n_mistakes": int(self.n_mistakes[i]),
+        }
+
+    def as_rows(self) -> list[dict]:
+        return [self.point(i) for i in range(len(self))]
+
+
+def sweep(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    params: Sequence[float],
+    label: str | None = None,
+) -> QoSCurve:
+    """Replay ``kernel`` at every parameter value, producing a QoS curve."""
+    if kernel.param_name is None:
+        raise ValueError(
+            f"detector {kernel.name!r} has no tuning parameter; use bertier_point()"
+        )
+    offset = trace.send_offset_estimate()
+    rows = []
+    for p in params:
+        d = kernel.deadlines(float(p))
+        td = measured_detection_time(kernel.t, d, kernel.seq, kernel.interval, offset)
+        if math.isinf(td):
+            continue  # un-plottable point (detector can never suspect)
+        outcome = replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False)
+        m = outcome.metrics
+        rows.append(
+            (float(p), td, m.mistake_rate, m.query_accuracy, m.mistake_duration, m.n_mistakes)
+        )
+    if not rows:
+        raise ValueError("no usable sweep points (all produced infinite detection time)")
+    rows.sort(key=lambda r: r[1])
+    cols = list(zip(*rows))
+    return QoSCurve(
+        label=label or kernel.name,
+        detector=kernel.name,
+        param_name=kernel.param_name,
+        params=np.asarray(cols[0]),
+        detection_time=np.asarray(cols[1]),
+        mistake_rate=np.asarray(cols[2]),
+        query_accuracy=np.asarray(cols[3]),
+        mistake_duration=np.asarray(cols[4]),
+        n_mistakes=np.asarray(cols[5], dtype=np.int64),
+    )
+
+
+def bertier_point(
+    kernel: DeadlineKernel, trace: HeartbeatTrace, label: str = "bertier"
+) -> QoSCurve:
+    """The single (T_D, accuracy) point of a non-tunable detector."""
+    d = kernel.deadlines()
+    td = measured_detection_time(
+        kernel.t, d, kernel.seq, kernel.interval, trace.send_offset_estimate()
+    )
+    m = replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False).metrics
+    return QoSCurve(
+        label=label,
+        detector=kernel.name,
+        param_name=None,
+        params=np.asarray([math.nan]),
+        detection_time=np.asarray([td]),
+        mistake_rate=np.asarray([m.mistake_rate]),
+        query_accuracy=np.asarray([m.query_accuracy]),
+        mistake_duration=np.asarray([m.mistake_duration]),
+        n_mistakes=np.asarray([m.n_mistakes], dtype=np.int64),
+    )
+
+
+def calibrate_to_detection_time(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    target_td: float,
+    *,
+    param_lo: float = 1e-6,
+    param_hi: float | None = None,
+    tol: float = 1e-9,
+    max_iters: int = 100,
+) -> float:
+    """Find the tuning parameter realizing measured T_D = ``target_td``.
+
+    For the Chen family the measured T_D is exactly linear in Δto, so the
+    answer is closed-form; for the accruals (monotone but nonlinear in the
+    threshold) bisection is used.
+
+    Raises :class:`ValueError` if the target is unreachable — below the
+    detector's minimum achievable T_D, or (for φ) beyond the threshold
+    saturation point.
+    """
+    if kernel.param_name is None:
+        raise ValueError(f"detector {kernel.name!r} is not tunable")
+    offset = trace.send_offset_estimate()
+    sends = offset + kernel.interval * kernel.seq.astype(np.float64)
+
+    # Kernels with expensive per-parameter deadlines may provide their own
+    # closed-form calibration (e.g. the histogram kernel's order-statistic
+    # path, which makes a whole T_D grid cost one sliding sort).
+    custom = getattr(kernel, "calibrate_param_for_td", None)
+    if custom is not None:
+        return float(custom(target_td, sends))
+
+    if kernel.linear_base is not None:
+        base_td = float((kernel.linear_base - sends).mean())
+        param = target_td - base_td
+        if param < 0:
+            raise ValueError(
+                f"target T_D {target_td:.4g}s is below the minimum achievable "
+                f"{base_td:.4g}s for {kernel.name!r}"
+            )
+        return param
+
+    def td_at(p: float) -> float:
+        return measured_detection_time(kernel.t, kernel.deadlines(p), kernel.seq, kernel.interval, offset)
+
+    lo = param_lo
+    td_lo = td_at(lo)
+    if td_lo > target_td:
+        raise ValueError(
+            f"target T_D {target_td:.4g}s is below the minimum achievable "
+            f"{td_lo:.4g}s for {kernel.name!r}"
+        )
+    # The parameter domain may be bounded above (the ED threshold lives in
+    # (0, 1)); expand toward, but never onto, the supremum.
+    sup = kernel.param_max
+    cap = sup if math.isinf(sup) else math.nextafter(sup, 0.0)
+    hi = param_hi if param_hi is not None else min(cap, max(1.0, 2.0 * lo))
+    td_hi = td_at(hi)
+    expansions = 0
+    while not math.isinf(td_hi) and td_hi < target_td:
+        if hi >= cap:
+            raise ValueError(
+                f"target T_D {target_td:.4g}s unreachable for {kernel.name!r}: "
+                f"T_D at the parameter supremum is {td_hi:.4g}s"
+            )
+        lo, td_lo = hi, td_hi
+        hi = min(cap, 2.0 * hi) if math.isinf(sup) else min(cap, 0.5 * (hi + sup))
+        td_hi = td_at(hi)
+        expansions += 1
+        if expansions > 200:
+            raise ValueError(
+                f"target T_D {target_td:.4g}s unreachable for {kernel.name!r}"
+            )
+    if math.isinf(td_hi):
+        # Shrink hi back inside the finite region before bisecting.
+        finite_hi = hi
+        for _ in range(200):
+            finite_hi = 0.5 * (lo + finite_hi)
+            if not math.isinf(td_at(finite_hi)):
+                break
+        else:
+            raise ValueError(f"no finite-T_D parameter found for {kernel.name!r}")
+        if td_at(finite_hi) < target_td:
+            raise ValueError(
+                f"target T_D {target_td:.4g}s unreachable for {kernel.name!r}: "
+                f"the threshold saturates first"
+            )
+        hi = finite_hi
+    for _ in range(max_iters):
+        mid = 0.5 * (lo + hi)
+        td_mid = td_at(mid)
+        if math.isinf(td_mid) or td_mid > target_td:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)

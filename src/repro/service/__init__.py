@@ -1,0 +1,35 @@
+"""Failure detection as a service (paper §V).
+
+Multiple applications on one host monitor the same remote process with
+*one* heartbeat stream while each sees a dedicated-looking failure detector
+honouring its own QoS tuple:
+
+- :mod:`repro.service.application` — application handles and QoS specs,
+- :mod:`repro.service.fdservice` — the shared monitor: one estimation
+  state, one heartbeat stream at Δi_min, per-application freshness points,
+- :mod:`repro.service.multihost` — the full §V picture: applications
+  subscribe to the hosts they monitor; a crash is reported to every
+  subscriber of the failed host,
+- :mod:`repro.service.analysis` — empirical shared-vs-dedicated comparison
+  (the paper's §VI future-work study, implemented here as an extension).
+"""
+
+from repro.service.application import Application
+from repro.service.analysis import (
+    ApplicationComparison,
+    SharedServiceComparison,
+    compare_shared_vs_dedicated,
+)
+from repro.service.fdservice import FDService, SharedFDMonitor
+from repro.service.multihost import MultiHostFDService, Subscription
+
+__all__ = [
+    "Application",
+    "ApplicationComparison",
+    "FDService",
+    "SharedFDMonitor",
+    "MultiHostFDService",
+    "SharedServiceComparison",
+    "Subscription",
+    "compare_shared_vs_dedicated",
+]

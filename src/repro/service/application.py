@@ -1,0 +1,41 @@
+"""Application handles for the shared failure-detection service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qos.spec import QoSSpec
+
+__all__ = ["Application"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """An application (or VM) registered with the shared FD service.
+
+    Each application brings its own QoS requirement tuple (§V-B: "we
+    propose that applications express their QoS requirements as a tuple
+    (T_D^U, T_MR^U, T_M^U)").  The ``name`` keys per-application outputs.
+    """
+
+    name: str
+    spec: QoSSpec
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an application needs a non-empty name")
+        # Propagate the name into the spec label for readable reports.
+        if not self.spec.name:
+            object.__setattr__(
+                self,
+                "spec",
+                QoSSpec(
+                    detection_time=self.spec.detection_time,
+                    mistake_rate=self.spec.mistake_rate,
+                    mistake_duration=self.spec.mistake_duration,
+                    name=self.name,
+                ),
+            )
+
+    def __str__(self) -> str:
+        return f"Application({self.spec})"

@@ -1,0 +1,185 @@
+"""Multi-host failure-detection service (§V, the full service picture).
+
+§V's opening scenario is broader than one monitored process: "a crash of a
+remote host (or process) should be reported by the FD module to all
+applications monitoring the failed one."  This module provides that FD
+module: applications *subscribe* to the hosts they care about, each with
+their own QoS tuple; the service runs, per host, one §V-C combination over
+the specs of that host's subscribers and one shared monitor
+(:class:`~repro.service.fdservice.SharedFDMonitor`) — so each (app, host)
+pair sees a dedicated-looking detector while the machine sends a single
+heartbeat stream per monitored host.
+
+Notifications are push-based: subscribers may attach a callback invoked on
+every output flip of their (app, host) view, which is how "reported … to
+all applications monitoring the failed one" is realized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.shared import SharedConfiguration, combine
+from repro.service.application import Application
+from repro.service.fdservice import SharedFDMonitor
+
+__all__ = ["Subscription", "HostMonitorState", "MultiHostFDService"]
+
+#: Callback signature: (app, host, now, trusted) on every output flip.
+Notification = Callable[[str, str, float, bool], None]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One application's interest in one host, with its QoS tuple."""
+
+    app: Application
+    host: str
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("a subscription needs a non-empty host name")
+
+
+@dataclass
+class HostMonitorState:
+    """Per-host runtime state (configuration + shared monitor)."""
+
+    host: str
+    configuration: SharedConfiguration
+    monitor: SharedFDMonitor
+    last_output: Dict[str, bool]
+
+
+class MultiHostFDService:
+    """One failure-detection module serving many (app, host) pairs.
+
+    Parameters
+    ----------
+    subscriptions:
+        Which application monitors which host (one QoS spec per pair — the
+        same application may subscribe to several hosts, possibly with
+        different specs by registering distinct :class:`Application`
+        objects sharing a name only if their specs agree).
+    behavior:
+        Per-service network behaviour estimate fed to the configurator.
+        (A refinement would estimate per host; the configurator interface
+        accepts that by constructing one service per behaviour domain.)
+    window_sizes:
+        Detector windows for every host monitor (default: the 2W-FD).
+    """
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        behavior: NetworkBehavior,
+        window_sizes: Sequence[int] = (1, 1000),
+        **configure_kwargs: object,
+    ):
+        if not subscriptions:
+            raise ValueError("at least one subscription is required")
+        by_host: Dict[str, List[Application]] = {}
+        for sub in subscriptions:
+            apps = by_host.setdefault(sub.host, [])
+            if any(a.name == sub.app.name for a in apps):
+                raise ValueError(
+                    f"application {sub.app.name!r} subscribed to host "
+                    f"{sub.host!r} twice"
+                )
+            apps.append(sub.app)
+        self._hosts: Dict[str, HostMonitorState] = {}
+        for host, apps in by_host.items():
+            config = combine(
+                [a.spec for a in apps], behavior, **configure_kwargs
+            )
+            monitor = SharedFDMonitor(
+                config.interval,
+                {a.spec.name: a.safety_margin for a in config.applications},
+                window_sizes=window_sizes,
+            )
+            self._hosts[host] = HostMonitorState(
+                host=host,
+                configuration=config,
+                monitor=monitor,
+                last_output={a.name: False for a in apps},
+            )
+        self._listeners: List[Notification] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self) -> Tuple[str, ...]:
+        return tuple(self._hosts)
+
+    def subscribers_of(self, host: str) -> Tuple[str, ...]:
+        return self._state(host).monitor.application_names
+
+    def heartbeat_interval(self, host: str) -> float:
+        """Δi_min the service asks ``host`` to send at."""
+        return self._state(host).configuration.interval
+
+    def total_message_rate(self) -> float:
+        """Heartbeats per second across all monitored hosts."""
+        return sum(s.configuration.message_rate for s in self._hosts.values())
+
+    def dedicated_message_rate(self) -> float:
+        """What per-(app, host) dedicated detectors would send in total."""
+        return sum(
+            s.configuration.dedicated_message_rate for s in self._hosts.values()
+        )
+
+    def traffic_reduction(self) -> float:
+        dedicated = self.dedicated_message_rate()
+        return 1.0 - self.total_message_rate() / dedicated if dedicated else 0.0
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def subscribe_notifications(self, callback: Notification) -> None:
+        """Attach a callback fired on every (app, host) output flip."""
+        self._listeners.append(callback)
+
+    def receive(self, host: str, seq: int, arrival: float) -> bool:
+        """Deliver a heartbeat from ``host``; notify affected subscribers."""
+        state = self._state(host)
+        accepted = state.monitor.receive(seq, arrival)
+        self._notify(state, arrival)
+        return accepted
+
+    def poll(self, now: float) -> None:
+        """Materialize deadline expiries on every host monitor."""
+        for state in self._hosts.values():
+            self._notify(state, now)
+
+    def is_trusting(self, app: str, host: str, now: float) -> bool:
+        """The (app, host) view at ``now``."""
+        return self._state(host).monitor.is_trusting(app, now)
+
+    def crashed_hosts(self, app: str, now: float) -> Tuple[str, ...]:
+        """Hosts ``app`` currently suspects (its crash report set)."""
+        return tuple(
+            host
+            for host, state in self._hosts.items()
+            if app in state.monitor.application_names
+            and not state.monitor.is_trusting(app, now)
+        )
+
+    # ------------------------------------------------------------------
+    def _state(self, host: str) -> HostMonitorState:
+        try:
+            return self._hosts[host]
+        except KeyError:
+            raise KeyError(
+                f"unknown host {host!r}; monitored: {list(self._hosts)}"
+            ) from None
+
+    def _notify(self, state: HostMonitorState, now: float) -> None:
+        for app in state.monitor.application_names:
+            current = state.monitor.is_trusting(app, now)
+            if current != state.last_output[app]:
+                state.last_output[app] = current
+                for listener in self._listeners:
+                    listener(app, state.host, now, current)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation of the two-process monitoring system.
+
+The paper's QoS model (§II-A1) is a monitored process p and a monitor q
+joined by a lossy, delaying channel.  This subpackage simulates that system
+*live* (virtual time, seeded randomness): p emits heartbeats until an
+optional crash; the channel delays/drops them; q runs any number of online
+detectors and logs their outputs.  Unlike :mod:`repro.replay`, which recombs
+recorded arrival times, the simulator exercises the detectors' online code
+paths — including real crash detection, which trace replay can only
+approximate with virtual crashes.
+
+- :mod:`repro.sim.scheduler` — the event loop (virtual time, heapq),
+- :mod:`repro.sim.processes` — heartbeat sender, channel, monitor,
+- :mod:`repro.sim.runner` — one-call experiment driver returning the
+  recorded trace, per-detector QoS metrics, and crash-detection outcomes.
+"""
+
+from repro.sim.processes import Channel, HeartbeatSender, Monitor
+from repro.sim.runner import CrashReport, SimulationResult, simulate
+from repro.sim.scheduler import EventScheduler
+
+__all__ = [
+    "Channel",
+    "CrashReport",
+    "EventScheduler",
+    "HeartbeatSender",
+    "Monitor",
+    "SimulationResult",
+    "simulate",
+]

@@ -1,0 +1,149 @@
+"""Simulated processes: heartbeat sender, channel, and monitor.
+
+Mirrors the paper's model exactly: process p sends heartbeat ``m_i`` at time
+``i·Δi`` on its own (possibly skewed/drifting) clock (Alg. 1 lines 1-3);
+the channel applies per-message loss and delay; the monitor q timestamps
+arrivals with *its* clock and forwards them to its online detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro._validation import ensure_positive
+from repro.core.base import HeartbeatFailureDetector
+from repro.net.clock import ClockModel, PerfectClock
+from repro.net.delays import DelayModel
+from repro.net.loss import LossModel, NoLoss
+from repro.sim.scheduler import EventScheduler
+
+__all__ = ["Channel", "HeartbeatSender", "Monitor"]
+
+
+class Channel:
+    """A unidirectional lossy/delaying channel inside the event loop.
+
+    ``send`` decides the message's fate immediately (one loss-stream step,
+    one delay draw) and schedules delivery; messages may overtake each other
+    (UDP reordering) since each draws an independent delay.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        delay_model: DelayModel,
+        rng: np.random.Generator,
+        loss_model: LossModel | None = None,
+    ):
+        self._scheduler = scheduler
+        self._delay_model = delay_model
+        self._loss_stream: Iterator[bool] = (loss_model or NoLoss()).stream(rng)
+        self._rng = rng
+        self.n_sent = 0
+        self.n_lost = 0
+
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay_model
+
+    def send(self, send_time: float, deliver: Callable[[float], None]) -> None:
+        """Push one message; ``deliver(arrival_time)`` fires if not lost."""
+        self.n_sent += 1
+        if not next(self._loss_stream):
+            self.n_lost += 1
+            return
+        delay = float(self._delay_model.sample(self._rng, 1)[0])
+        if delay < 0:
+            raise ValueError("delay model produced a negative delay")
+        arrival = send_time + delay
+        self._scheduler.schedule(arrival, lambda: deliver(arrival))
+
+
+class HeartbeatSender:
+    """Process p: sends ``m_i`` at ``i·Δi`` (its clock) until it crashes.
+
+    The channel sees *receiver-clock* send instants via ``clock`` so that
+    delays compose with skew exactly as in :class:`repro.net.link.Link`.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        channel: Channel,
+        interval: float,
+        receive: Callable[[int, float], None],
+        clock: ClockModel | None = None,
+        crash_time: float | None = None,
+    ):
+        self._scheduler = scheduler
+        self._channel = channel
+        self._interval = ensure_positive(interval, "interval")
+        self._receive = receive
+        self._clock = clock or PerfectClock()
+        self.crash_time = crash_time
+        self.crashed = False
+        self.n_heartbeats = 0
+        self._next_seq = 1
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def start(self) -> None:
+        """Schedule the first heartbeat (at Δi, per Alg. 1 line 2)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        send_local = self._next_seq * self._interval  # p's clock
+        if self.crash_time is not None and send_local > self.crash_time:
+            self.crashed = True
+            return
+        send_global = float(self._clock.to_local(send_local))
+        self._scheduler.schedule(send_global, self._emit)
+
+    def _emit(self) -> None:
+        seq = self._next_seq
+        self.n_heartbeats += 1
+        send_global = self._scheduler.now
+        self._channel.send(
+            send_global, lambda arrival, s=seq: self._receive(s, arrival)
+        )
+        self._next_seq += 1
+        self._schedule_next()
+
+
+class Monitor:
+    """Process q: fans received heartbeats out to named online detectors.
+
+    Also logs the raw ``(seq, arrival)`` stream so a simulation can be
+    re-analysed offline with :mod:`repro.replay` (the paper's methodology:
+    log once, replay every algorithm over identical conditions).
+    """
+
+    def __init__(self, detectors: Dict[str, HeartbeatFailureDetector]):
+        if not detectors:
+            raise ValueError("a monitor needs at least one detector")
+        self._detectors = dict(detectors)
+        self.log: List[Tuple[int, float]] = []
+
+    @property
+    def detectors(self) -> Dict[str, HeartbeatFailureDetector]:
+        return dict(self._detectors)
+
+    def receive(self, seq: int, arrival: float) -> None:
+        """Deliver one heartbeat to every detector and the log."""
+        self.log.append((seq, arrival))
+        for det in self._detectors.values():
+            det.receive(seq, arrival)
+
+    def outputs_at(self, now: float) -> Dict[str, bool]:
+        """Each detector's current output (True = trust)."""
+        return {name: det.is_trusting(now) for name, det in self._detectors.items()}
+
+    def finalize(self, end_time: float) -> Dict[str, list]:
+        """Close all detectors' observation windows; return transitions."""
+        return {
+            name: det.finalize(end_time) for name, det in self._detectors.items()
+        }

@@ -1,0 +1,89 @@
+"""A minimal, deterministic discrete-event scheduler.
+
+Virtual time only — no wall-clock sleeps.  Events at equal times fire in
+schedule order (a monotone tie-break counter guarantees stability, so
+seeded simulations are exactly reproducible).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Tuple
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Priority-queue event loop over virtual time."""
+
+    __slots__ = ("_queue", "_counter", "_now", "_cancelled")
+
+    def __init__(self, start_time: float = 0.0):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = float(start_time)
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, time: float, action: Callable[[], None]) -> int:
+        """Schedule ``action()`` at virtual ``time``; returns a handle.
+
+        Scheduling in the past is an error — it would silently reorder
+        causality.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now ({self._now})")
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        handle = next(self._counter)
+        heapq.heappush(self._queue, (float(time), handle, action))
+        return handle
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> int:
+        """Schedule ``action()`` ``delay`` seconds from now."""
+        return self.schedule(self._now + delay, action)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(handle)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None when empty."""
+        while self._queue and self._queue[0][1] in self._cancelled:
+            _, handle, _ = heapq.heappop(self._queue)
+            self._cancelled.discard(handle)
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, handle, action = heapq.heappop(self._queue)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._now = time
+            action()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with time ≤ ``end_time``; advance now to it."""
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > end_time:
+                break
+            self.step()
+        self._now = max(self._now, float(end_time))
+
+    def run(self, max_events: int = 100_000_000) -> None:
+        """Drain the queue (bounded by ``max_events`` as a runaway guard)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")

@@ -1,0 +1,66 @@
+"""Heartbeat traces: the paper's experimental substrate.
+
+All experiments in the paper run on *traces*: logs of ``(sequence number,
+arrival time)`` pairs recorded by the monitor q while the monitored process p
+sends a heartbeat every Δi seconds (§IV-A: "these logged arrival times are
+used to replay the execution for each FD algorithm. Therefore, all failure
+detectors were compared in the same experimental conditions").
+
+- :mod:`repro.traces.trace` — the :class:`HeartbeatTrace` container,
+- :mod:`repro.traces.synth` — segment-based synthetic trace generation,
+- :mod:`repro.traces.wan` / :mod:`repro.traces.lan` — calibrated generators
+  reproducing the statistics of the Défago et al. WAN and LAN traces used by
+  the paper (see DESIGN.md, Substitutions),
+- :mod:`repro.traces.segments` — the Table I sub-sample boundaries,
+- :mod:`repro.traces.stats` — descriptive statistics (loss rate, delay
+  variance, interarrival moments),
+- :mod:`repro.traces.transform` — controlled fault injection (ground-truth
+  loss bursts / delay episodes) and trace composition,
+- :mod:`repro.traces.io` — (de)serialization.
+"""
+
+from repro.traces.lan import LAN_SAMPLES, make_lan_trace
+from repro.traces.segments import (
+    WAN_SEGMENTS,
+    Segment,
+    scale_segments,
+    segment_slices,
+    split_by_segments,
+)
+from repro.traces.stats import TraceStats, compute_stats
+from repro.traces.synth import SegmentSpec, generate_segmented_trace, generate_trace
+from repro.traces.trace import HeartbeatTrace
+from repro.traces.transform import (
+    concat_traces,
+    crop_time,
+    delay_span,
+    drop_span,
+    thin_loss,
+)
+from repro.traces.wan import WAN_SAMPLES, make_wan_trace
+from repro.traces.io import load_trace, save_trace
+
+__all__ = [
+    "HeartbeatTrace",
+    "LAN_SAMPLES",
+    "Segment",
+    "SegmentSpec",
+    "TraceStats",
+    "WAN_SAMPLES",
+    "WAN_SEGMENTS",
+    "compute_stats",
+    "concat_traces",
+    "crop_time",
+    "delay_span",
+    "drop_span",
+    "generate_segmented_trace",
+    "generate_trace",
+    "load_trace",
+    "make_lan_trace",
+    "make_wan_trace",
+    "save_trace",
+    "scale_segments",
+    "segment_slices",
+    "split_by_segments",
+    "thin_loss",
+]

@@ -1,0 +1,84 @@
+"""Trace (de)serialization.
+
+Traces are stored as NumPy ``.npz`` archives (compact, loads in one call) or
+exported to the two-column CSV format of the original public trace files
+(sequence number, arrival time).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = ["save_trace", "load_trace", "export_csv", "import_csv"]
+
+
+def save_trace(trace: HeartbeatTrace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        seq=trace.seq,
+        arrival=trace.arrival,
+        interval=np.float64(trace.interval),
+        n_sent=np.int64(trace.n_sent),
+        end_time=np.float64(trace.end_time),
+        meta=np.bytes_(json.dumps(trace.meta, default=repr).encode()),
+    )
+    # np.savez appends .npz when missing; report the real file name.
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_trace(path: str | Path) -> HeartbeatTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode()) if "meta" in data else {}
+        return HeartbeatTrace(
+            seq=data["seq"],
+            arrival=data["arrival"],
+            interval=float(data["interval"]),
+            n_sent=int(data["n_sent"]),
+            end_time=float(data["end_time"]),
+            meta=meta,
+        )
+
+
+def export_csv(trace: HeartbeatTrace, path: str | Path) -> Path:
+    """Write ``seq,arrival`` rows (the original traces' two-column format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(
+        path,
+        np.column_stack([trace.seq.astype(np.float64), trace.arrival]),
+        fmt=("%d", "%.9f"),
+        delimiter=",",
+        header=f"interval={trace.interval} n_sent={trace.n_sent} end_time={trace.end_time}",
+    )
+    return path
+
+
+def import_csv(
+    path: str | Path,
+    interval: float,
+    n_sent: int = 0,
+    end_time: float = 0.0,
+) -> HeartbeatTrace:
+    """Read a two-column ``seq,arrival`` CSV into a trace.
+
+    ``interval`` must be supplied (the original trace files record it in
+    their accompanying READMEs, not in the data).
+    """
+    data = np.loadtxt(Path(path), delimiter=",", ndmin=2)
+    return HeartbeatTrace(
+        seq=data[:, 0],
+        arrival=data[:, 1],
+        interval=interval,
+        n_sent=n_sent,
+        end_time=end_time,
+        meta={"source": str(path)},
+    )

@@ -1,0 +1,105 @@
+"""Table I: the WAN trace's sub-sample decomposition.
+
+The paper splits the WAN sample space into four named periods (Table I),
+indexed by *received-sample* number (1-based, inclusive):
+
+=============  ===========  ==========
+Name           From sample  To sample
+=============  ===========  ==========
+Stable 1       1            2,900,000
+Burst          2,900,001    2,930,000
+Worm Period    2,930,001    4,860,000
+Stable 2       4,860,001    5,845,712
+=============  ===========  ==========
+
+This module defines those boundaries, scales them proportionally when
+experiments run on reduced-size traces, and slices traces accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = [
+    "Segment",
+    "WAN_SEGMENTS",
+    "scale_segments",
+    "segment_slices",
+    "split_by_segments",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named span of received samples, 1-based inclusive as in Table I."""
+
+    name: str
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.stop < self.start:
+            raise ValueError(f"invalid segment bounds [{self.start}, {self.stop}]")
+
+    @property
+    def n_samples(self) -> int:
+        return self.stop - self.start + 1
+
+
+#: Table I of the paper, verbatim.
+WAN_SEGMENTS: Tuple[Segment, ...] = (
+    Segment("stable1", 1, 2_900_000),
+    Segment("burst", 2_900_001, 2_930_000),
+    Segment("worm", 2_930_001, 4_860_000),
+    Segment("stable2", 4_860_001, 5_845_712),
+)
+
+
+def scale_segments(segments: Tuple[Segment, ...], n_total: int) -> Tuple[Segment, ...]:
+    """Rescale segment boundaries to a trace of ``n_total`` received samples.
+
+    Boundaries are placed at the same *fractions* of the trace as in the
+    original, so reduced-scale reproductions keep the Table I structure.
+    """
+    if n_total < len(segments):
+        raise ValueError(
+            f"cannot scale {len(segments)} segments onto {n_total} samples"
+        )
+    original_total = segments[-1].stop
+    out: List[Segment] = []
+    prev_stop = 0
+    for i, seg in enumerate(segments):
+        if i == len(segments) - 1:
+            stop = n_total
+        else:
+            stop = max(prev_stop + 1, round(seg.stop * n_total / original_total))
+            stop = min(stop, n_total - (len(segments) - 1 - i))
+        out.append(Segment(seg.name, prev_stop + 1, stop))
+        prev_stop = stop
+    return tuple(out)
+
+
+def segment_slices(
+    segments: Tuple[Segment, ...], n_total: int | None = None
+) -> Dict[str, Tuple[int, int]]:
+    """0-based half-open ``[start, stop)`` index ranges per segment name."""
+    if n_total is not None:
+        segments = scale_segments(segments, n_total)
+    return {seg.name: (seg.start - 1, seg.stop) for seg in segments}
+
+
+def split_by_segments(
+    trace: HeartbeatTrace, segments: Tuple[Segment, ...] = WAN_SEGMENTS
+) -> Dict[str, HeartbeatTrace]:
+    """Slice ``trace`` into the named sub-traces of ``segments``.
+
+    Boundaries are rescaled to the trace's actual length, so this works for
+    full-size and reduced-scale WAN traces alike.
+    """
+    slices = segment_slices(segments, n_total=trace.n_received)
+    return {
+        name: trace.slice_samples(start, stop) for name, (start, stop) in slices.items()
+    }

@@ -1,0 +1,205 @@
+"""The :class:`HeartbeatTrace` container.
+
+A trace records what the monitor q observed: for each *received* heartbeat,
+its sequence number (stamped by the sender p) and its arrival time on q's
+clock.  Sequence numbers start at 1 and heartbeat ``m_j`` is sent at time
+``j * interval`` on p's clock (Alg. 1 line 2), so losses appear as gaps in
+the sequence-number column and reordering as non-monotone sequence numbers.
+
+Arrival times are stored in arrival order (non-decreasing).  Times are
+float64 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro._validation import (
+    ensure_1d_float_array,
+    ensure_1d_int_array,
+    ensure_positive,
+    ensure_same_length,
+    ensure_sorted,
+)
+
+__all__ = ["HeartbeatTrace"]
+
+
+@dataclass(frozen=True)
+class HeartbeatTrace:
+    """Immutable log of received heartbeats.
+
+    Parameters
+    ----------
+    seq:
+        Sequence numbers of received heartbeats, in arrival order (>= 1).
+    arrival:
+        Arrival times at q (q's clock, seconds), non-decreasing.
+    interval:
+        The sender's heartbeat interval Δi (p's clock, seconds).
+    n_sent:
+        Total number of heartbeats sent during the experiment.  Defaults to
+        the largest sequence number received.
+    end_time:
+        End of the observation window (q's clock).  Metrics are computed on
+        ``[arrival[0], end_time]``.  Defaults to the last arrival time.
+    meta:
+        Free-form generator metadata (seed, segment layout, ground-truth
+        clock offset, ...).  Not used by any algorithm.
+    """
+
+    seq: np.ndarray
+    arrival: np.ndarray
+    interval: float
+    n_sent: int = 0
+    end_time: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seq = ensure_1d_int_array(self.seq, "seq")
+        arrival = ensure_1d_float_array(self.arrival, "arrival")
+        ensure_same_length(seq, arrival, "seq", "arrival")
+        ensure_positive(self.interval, "interval")
+        if len(seq) == 0:
+            raise ValueError("a trace must contain at least one heartbeat")
+        if seq.min() < 1:
+            raise ValueError("sequence numbers must be >= 1")
+        ensure_sorted(arrival, "arrival")
+        seq.setflags(write=False)
+        arrival.setflags(write=False)
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "arrival", arrival)
+        n_sent = int(self.n_sent) if self.n_sent else int(seq.max())
+        if n_sent < seq.max():
+            raise ValueError(
+                f"n_sent ({n_sent}) smaller than the largest received sequence "
+                f"number ({seq.max()})"
+            )
+        object.__setattr__(self, "n_sent", n_sent)
+        end_time = float(self.end_time) if self.end_time else float(arrival[-1])
+        if end_time < arrival[-1]:
+            raise ValueError("end_time must not precede the last arrival")
+        object.__setattr__(self, "end_time", end_time)
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    @property
+    def n_received(self) -> int:
+        """Number of heartbeats that reached q (possibly out of order)."""
+        return len(self.seq)
+
+    @property
+    def duration(self) -> float:
+        """Observation window length: ``end_time - arrival[0]``."""
+        return float(self.end_time - self.arrival[0])
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent heartbeats never received."""
+        lost = self.n_sent - len(np.unique(self.seq))
+        return lost / self.n_sent if self.n_sent else 0.0
+
+    # ------------------------------------------------------------------
+    # Algorithm-facing views
+    # ------------------------------------------------------------------
+    def accepted_mask(self) -> np.ndarray:
+        """Mask of heartbeats a sequence-filtering detector processes.
+
+        All algorithms in the paper ignore a received message unless its
+        sequence number exceeds the largest seen so far (Alg. 1 line 13);
+        this returns ``True`` exactly for the messages that pass that test.
+        """
+        if len(self.seq) == 0:
+            return np.zeros(0, dtype=bool)
+        running_max = np.maximum.accumulate(self.seq)
+        mask = np.empty(len(self.seq), dtype=bool)
+        mask[0] = True
+        # A message is accepted iff it strictly raises the running max.
+        mask[1:] = self.seq[1:] > running_max[:-1]
+        return mask
+
+    def accepted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(seq, arrival)`` restricted to accepted heartbeats."""
+        mask = self.accepted_mask()
+        return self.seq[mask], self.arrival[mask]
+
+    def normalized_arrivals(self) -> np.ndarray:
+        """``arrival - interval * seq``: Eq. 2's normalization.
+
+        For synchronized clocks this equals the one-way delay of each
+        message; an unknown clock skew adds a constant, which cancels out of
+        every freshness-point computation.
+        """
+        return self.arrival - self.interval * self.seq.astype(np.float64)
+
+    def send_offset_estimate(self) -> float:
+        """Estimated clock offset such that ``j*interval + offset`` ≈ σ_j on q's clock.
+
+        Computed as the minimum normalized arrival, i.e. assuming the fastest
+        message had (close to) zero delay.  Used to place *virtual send
+        times* when measuring detection times on a trace (q cannot observe
+        real send times; see ``repro.replay.detection``).
+        """
+        return float(self.normalized_arrivals().min())
+
+    def virtual_send_times(self, seq: np.ndarray | None = None) -> np.ndarray:
+        """Estimated send instants (q's clock) for the given sequence numbers."""
+        if seq is None:
+            seq = self.seq
+        offset = self.send_offset_estimate()
+        return offset + self.interval * np.asarray(seq, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Slicing / combination
+    # ------------------------------------------------------------------
+    def slice_samples(self, start: int, stop: int) -> "HeartbeatTrace":
+        """Sub-trace of received samples ``[start, stop)`` (0-based indices).
+
+        Times and sequence numbers are kept absolute so sub-traces replay
+        exactly as the corresponding span of the full trace does.
+        """
+        if not 0 <= start < stop <= len(self.seq):
+            raise ValueError(
+                f"invalid sample range [{start}, {stop}) for trace of length {len(self.seq)}"
+            )
+        sub_seq = self.seq[start:stop]
+        return replace(
+            self,
+            seq=sub_seq.copy(),
+            arrival=self.arrival[start:stop].copy(),
+            n_sent=int(sub_seq.max()),
+            end_time=float(self.arrival[stop - 1]),
+            meta=dict(self.meta, parent_span=(start, stop)),
+        )
+
+    def with_time_offset(self, offset: float) -> "HeartbeatTrace":
+        """A copy with every arrival (and the horizon) shifted by ``offset``.
+
+        Used by skew-invariance tests: QoS metrics must not change.
+        """
+        return replace(
+            self,
+            seq=self.seq.copy(),
+            arrival=self.arrival + offset,
+            end_time=self.end_time + offset,
+            meta=dict(self.meta),
+        )
+
+    def iter_heartbeats(self) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(seq, arrival)`` pairs in arrival order (online feeds)."""
+        for s, a in zip(self.seq.tolist(), self.arrival.tolist()):
+            yield s, a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HeartbeatTrace(n_received={self.n_received}, n_sent={self.n_sent}, "
+            f"interval={self.interval}, duration={self.duration:.3f}s, "
+            f"loss_rate={self.loss_rate:.5f})"
+        )

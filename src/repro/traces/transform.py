@@ -1,0 +1,160 @@
+"""Trace transformations: controlled fault injection and composition.
+
+The synthetic generators draw faults at random; these helpers instead
+*inject them at known places* into an existing trace, giving experiments a
+ground truth to measure against ("a loss burst starts at t=100.0 — which
+detectors make a mistake, and how fast do they recover?").  Used by the
+behavioural tests and the episode-reaction analysis
+(:mod:`repro.replay.reaction`).
+
+All transforms are pure: they return new traces, leaving the input intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import ensure_non_negative, ensure_positive
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = [
+    "drop_span",
+    "delay_span",
+    "crop_time",
+    "concat_traces",
+    "thin_loss",
+]
+
+
+def _span_mask(trace: HeartbeatTrace, start: float, stop: float) -> np.ndarray:
+    if stop <= start:
+        raise ValueError(f"empty time span [{start}, {stop})")
+    return (trace.arrival >= start) & (trace.arrival < stop)
+
+
+def drop_span(trace: HeartbeatTrace, start: float, stop: float) -> HeartbeatTrace:
+    """Drop every heartbeat arriving in ``[start, stop)`` (a loss burst).
+
+    Sequence numbers of the dropped messages simply never arrive, exactly
+    as a network outage would look to the monitor.
+    """
+    keep = ~_span_mask(trace, start, stop)
+    if not keep.any():
+        raise ValueError("the span would drop every heartbeat")
+    return replace(
+        trace,
+        seq=trace.seq[keep].copy(),
+        arrival=trace.arrival[keep].copy(),
+        meta=dict(trace.meta, injected_loss_span=(start, stop)),
+    )
+
+
+def delay_span(
+    trace: HeartbeatTrace,
+    start: float,
+    stop: float,
+    extra: float,
+    *,
+    drain: bool = True,
+) -> HeartbeatTrace:
+    """Add ``extra`` seconds of delay to heartbeats arriving in ``[start, stop)``.
+
+    With ``drain=True`` (a congested queue emptying) the extra delay decays
+    linearly across the span, so held-up messages release in a burst; with
+    ``drain=False`` every affected message is shifted by the full ``extra``.
+    Arrivals are re-sorted afterwards (delayed messages may be overtaken —
+    the sequence-filtering semantics then discard them naturally).
+    """
+    ensure_positive(extra, "extra")
+    mask = _span_mask(trace, start, stop)
+    arrival = trace.arrival.copy()
+    if mask.any():
+        if drain:
+            frac = (stop - arrival[mask]) / (stop - start)
+            arrival[mask] += extra * frac
+        else:
+            arrival[mask] += extra
+    order = np.argsort(arrival, kind="stable")
+    return replace(
+        trace,
+        seq=trace.seq[order].copy(),
+        arrival=arrival[order],
+        end_time=float(max(trace.end_time, arrival.max())),
+        meta=dict(trace.meta, injected_delay_span=(start, stop, extra)),
+    )
+
+
+def crop_time(trace: HeartbeatTrace, start: float, stop: float) -> HeartbeatTrace:
+    """The sub-trace of heartbeats arriving in ``[start, stop)``."""
+    mask = _span_mask(trace, start, stop)
+    if not mask.any():
+        raise ValueError(f"no heartbeats arrive in [{start}, {stop})")
+    return replace(
+        trace,
+        seq=trace.seq[mask].copy(),
+        arrival=trace.arrival[mask].copy(),
+        n_sent=int(trace.seq[mask].max()),
+        end_time=float(stop),
+        meta=dict(trace.meta, cropped=(start, stop)),
+    )
+
+
+def concat_traces(first: HeartbeatTrace, second: HeartbeatTrace) -> HeartbeatTrace:
+    """Concatenate two traces of the same interval into one experiment.
+
+    The second trace's sequence numbers and times are shifted to follow the
+    first (its heartbeat ``m_1`` becomes ``m_{n_sent+1}`` sent one interval
+    after the first trace's last send).  Useful for splicing generated
+    regimes together with exact, known boundaries.
+    """
+    if first.interval != second.interval:
+        raise ValueError(
+            f"intervals differ ({first.interval} != {second.interval})"
+        )
+    seq_shift = first.n_sent
+    # Align p's send clock: m_1 of `second` was sent at interval*1; it
+    # becomes m_{seq_shift+1} sent at interval*(seq_shift+1).
+    time_shift = first.interval * seq_shift
+    seq = np.concatenate([first.seq, second.seq + seq_shift])
+    arrival = np.concatenate([first.arrival, second.arrival + time_shift])
+    order = np.argsort(arrival, kind="stable")
+    return HeartbeatTrace(
+        seq=seq[order],
+        arrival=arrival[order],
+        interval=first.interval,
+        n_sent=first.n_sent + second.n_sent,
+        end_time=float(second.end_time + time_shift),
+        meta={
+            "generator": "concat_traces",
+            "boundary_seq": seq_shift,
+            "boundary_time": time_shift,
+        },
+    )
+
+
+def thin_loss(
+    trace: HeartbeatTrace,
+    probability: float,
+    rng: np.random.Generator | int | None = None,
+) -> HeartbeatTrace:
+    """Independently drop each received heartbeat with ``probability``.
+
+    Adds uniform background loss on top of whatever the trace already has
+    (ablation knob: how does each detector's curve move as p_L grows?).
+    """
+    ensure_non_negative(probability, "probability")
+    if probability >= 1.0:
+        raise ValueError("probability must be < 1 (cannot drop everything)")
+    rng = np.random.default_rng(rng)
+    keep = rng.random(trace.n_received) >= probability
+    if not keep.any():
+        raise ValueError("thinning removed every heartbeat; lower the probability")
+    return replace(
+        trace,
+        seq=trace.seq[keep].copy(),
+        arrival=trace.arrival[keep].copy(),
+        meta=dict(trace.meta, thinned=probability),
+    )

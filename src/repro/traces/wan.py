@@ -1,0 +1,132 @@
+"""Calibrated synthetic WAN trace (substitute for the Défago et al. trace).
+
+The paper's WAN experiment (§IV-B1) used a one-week heartbeat log between a
+machine in Switzerland and one in Japan (Δi ≈ 100 ms, 5,845,712 received
+samples) containing, in order: a long stable period, a short intense loss
+burst, a ~2M-sample degraded period coinciding with the W32/Netsky.T@mm worm
+outbreak, and a final stable period (Table I).
+
+:func:`make_wan_trace` reproduces that *regime structure* with a seeded
+generator.  Per regime:
+
+- **stable1 / stable2** — log-normal one-way delays (mean ≈ 120 ms, σ ≈ a
+  few ms), sparse independent loss (~0.1%), very rare small delay spikes.
+  This matches an uncongested intercontinental path.
+- **burst** — clustered congestion: Gilbert–Elliott loss bursts (mean ~15
+  consecutive drops) plus correlated multi-hundred-ms delay spikes.  This
+  is the "bursty traffic" regime of §III-A where conditions change faster
+  than any single estimation window can track.
+- **worm** — elevated independent loss (~2%), extra jitter, and more
+  frequent medium spikes: a path under sustained background attack load.
+
+The boundaries between regimes sit at the same received-sample fractions as
+Table I.  Absolute QoS numbers will differ from the paper's (different
+hardware, different week of Internet weather); EXPERIMENTS.md tracks shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._validation import ensure_positive
+from repro.net.delays import LogNormalDelay, ParetoDelay, SpikeDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss, BurstLoss
+from repro.traces.segments import WAN_SEGMENTS
+from repro.traces.synth import SegmentSpec, generate_segmented_trace
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = ["WAN_SAMPLES", "WAN_INTERVAL", "make_wan_trace"]
+
+#: Received-sample count of the original WAN trace (Table I last boundary).
+WAN_SAMPLES: int = 5_845_712
+
+#: Heartbeat interval of the WAN experiment (seconds).
+WAN_INTERVAL: float = 0.1
+
+# Base one-way delay: ~120 ms with a right-skewed few-ms spread.
+_BASE_DELAY = LogNormalDelay(log_mu=math.log(0.118), log_sigma=0.10)
+_WORM_DELAY = LogNormalDelay(log_mu=math.log(0.122), log_sigma=0.12)
+
+_STABLE_LOSS = 0.001
+_WORM_LOSS = 0.02
+
+
+def _stable_link() -> Link:
+    return Link(
+        delay_model=SpikeDelay(
+            base=_BASE_DELAY,
+            spike_model=ParetoDelay(alpha=1.6, minimum=0.12),
+            spike_rate=5e-5,
+            spike_run=8.0,
+        ),
+        loss_model=BernoulliLoss(_STABLE_LOSS),
+    )
+
+
+def _burst_link() -> Link:
+    return Link(
+        delay_model=SpikeDelay(
+            base=_BASE_DELAY,
+            spike_model=ParetoDelay(alpha=1.3, minimum=0.4),
+            spike_rate=8e-3,
+            spike_run=30.0,
+        ),
+        loss_model=BurstLoss(mean_gap=900.0, mean_burst=20.0, p_base=0.004),
+    )
+
+
+def _worm_link() -> Link:
+    return Link(
+        delay_model=SpikeDelay(
+            base=_WORM_DELAY,
+            spike_model=ParetoDelay(alpha=1.2, minimum=0.15),
+            spike_rate=4e-3,
+            spike_run=6.0,
+        ),
+        loss_model=BurstLoss(mean_gap=4000.0, mean_burst=6.0, p_base=_WORM_LOSS),
+    )
+
+
+def make_wan_trace(
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = 2015,
+) -> HeartbeatTrace:
+    """Generate the synthetic WAN trace.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the original 5,845,712 received samples to target
+        (``scale=1.0`` reproduces the full size; tests use much less).
+        Segment boundaries keep their Table I fractions at any scale.
+    seed:
+        RNG seed (default 2015, the paper's year) for full determinism.
+    """
+    ensure_positive(scale, "scale")
+    n_target = max(2000, round(WAN_SAMPLES * scale))
+    total = WAN_SEGMENTS[-1].stop
+    loss_by_name = {
+        "stable1": _STABLE_LOSS,
+        "burst": BurstLoss(900.0, 20.0, 0.004).loss_rate(),
+        "worm": BurstLoss(4000.0, 6.0, _WORM_LOSS).loss_rate(),
+        "stable2": _STABLE_LOSS,
+    }
+    link_by_name = {
+        "stable1": _stable_link(),
+        "burst": _burst_link(),
+        "worm": _worm_link(),
+        "stable2": _stable_link(),
+    }
+    specs = []
+    for seg in WAN_SEGMENTS:
+        frac = seg.n_samples / total
+        n_received_target = max(200, round(n_target * frac))
+        n_sent = max(1, round(n_received_target / (1.0 - loss_by_name[seg.name])))
+        specs.append(SegmentSpec(seg.name, n_sent, link_by_name[seg.name]))
+    trace = generate_segmented_trace(specs, WAN_INTERVAL, rng=seed)
+    trace.meta["scenario"] = "wan"
+    trace.meta["scale"] = scale
+    return trace

@@ -1,0 +1,105 @@
+"""Tests for the group-membership monitor."""
+
+import pytest
+
+from repro.cluster.membership import MembershipMonitor
+from repro.detectors.timeout import FixedTimeoutFailureDetector
+
+
+def monitor(timeout=1.5):
+    return MembershipMonitor(lambda: FixedTimeoutFailureDetector(1.0, timeout=timeout))
+
+
+class TestRegistration:
+    def test_members_start_outside_view(self):
+        mon = monitor()
+        mon.add_member("a")
+        assert mon.view().members == frozenset()
+        assert mon.version == 0
+
+    def test_duplicate_member_rejected(self):
+        mon = monitor()
+        mon.add_member("a")
+        with pytest.raises(ValueError):
+            mon.add_member("a")
+
+    def test_unknown_member(self):
+        mon = monitor()
+        with pytest.raises(KeyError):
+            mon.receive("ghost", 1, 1.0)
+
+
+class TestViewChanges:
+    def test_join_on_first_heartbeat(self):
+        mon = monitor()
+        mon.add_member("a")
+        mon.receive("a", 1, 1.0)
+        view = mon.view()
+        assert view.members == frozenset({"a"})
+        assert view.version == 1
+        assert mon.events[0].joined
+
+    def test_removal_on_expiry(self):
+        mon = monitor(timeout=1.5)
+        mon.add_member("a")
+        mon.receive("a", 1, 1.0)
+        mon.advance_to(5.0)
+        assert mon.view().members == frozenset()
+        remove = mon.events[-1]
+        assert not remove.joined
+        assert remove.time == pytest.approx(2.5)  # stamped at the deadline
+
+    def test_rejoin_after_late_heartbeat(self):
+        mon = monitor(timeout=1.5)
+        mon.add_member("a")
+        mon.receive("a", 1, 1.0)
+        mon.receive("a", 2, 4.0)  # deadline 2.5 expired
+        events = mon.events
+        assert [e.joined for e in events] == [True, False, True]
+        assert mon.view().members == frozenset({"a"})
+
+    def test_versions_monotone(self):
+        mon = monitor(timeout=1.2)
+        for name in ("a", "b"):
+            mon.add_member(name)
+        mon.receive("a", 1, 1.0)
+        mon.receive("b", 1, 1.1)
+        mon.receive("a", 2, 4.0)
+        mon.advance_to(10.0)
+        versions = [e.version for e in mon.events]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+    def test_event_log_time_ordered_across_members(self):
+        mon = monitor(timeout=1.0)
+        for name in ("a", "b"):
+            mon.add_member(name)
+        mon.receive("a", 1, 1.0)   # a's deadline: 2.0
+        mon.receive("b", 1, 1.5)   # b's deadline: 2.5
+        mon.receive("b", 2, 3.0)   # materializes a@2.0 and b@2.5 removals first
+        times = [e.time for e in mon.events]
+        assert times == sorted(times)
+
+    def test_silent_member_never_joins(self):
+        mon = monitor()
+        mon.add_member("a")
+        mon.add_member("quiet")
+        mon.receive("a", 1, 1.0)
+        mon.advance_to(20.0)
+        assert "quiet" not in mon.view()
+        assert mon.removals_of("quiet") == []  # never joined → never removed
+
+    def test_time_discipline(self):
+        mon = monitor()
+        mon.add_member("a")
+        mon.receive("a", 1, 5.0)
+        with pytest.raises(ValueError):
+            mon.receive("a", 2, 4.0)
+
+    def test_finalize(self):
+        mon = monitor(timeout=1.0)
+        mon.add_member("a")
+        mon.receive("a", 1, 1.0)
+        events = mon.finalize(10.0)
+        assert [e.joined for e in events] == [True, False]
+        assert mon.n_view_changes() == 2

@@ -1,0 +1,115 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.net.delays import LogNormalDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.traces.synth import generate_trace
+from repro.traces.trace import HeartbeatTrace
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def wan_small() -> HeartbeatTrace:
+    """A small WAN trace shared across the session (expensive to build)."""
+    from repro.traces.wan import make_wan_trace
+
+    return make_wan_trace(scale=0.002, seed=2015)
+
+
+@pytest.fixture(scope="session")
+def lan_small() -> HeartbeatTrace:
+    from repro.traces.lan import make_lan_trace
+
+    return make_lan_trace(scale=0.002, seed=2015)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def simple_trace() -> HeartbeatTrace:
+    """A deterministic 10-heartbeat trace: Δi=1, constant delay 0.1, seq 7 lost."""
+    seqs = [1, 2, 3, 4, 5, 6, 8, 9, 10]
+    return HeartbeatTrace(
+        seq=np.array(seqs, dtype=np.int64),
+        arrival=np.array([s + 0.1 for s in seqs]),
+        interval=1.0,
+        n_sent=10,
+        end_time=11.0,
+    )
+
+
+@pytest.fixture()
+def lossy_trace(rng) -> HeartbeatTrace:
+    """A moderately noisy 5000-heartbeat trace for replay tests."""
+    link = Link(
+        delay_model=LogNormalDelay(log_mu=np.log(0.1), log_sigma=0.2),
+        loss_model=BernoulliLoss(0.02),
+    )
+    return generate_trace(5000, 0.1, link, rng=rng)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def heartbeat_traces(
+    draw,
+    min_heartbeats: int = 5,
+    max_heartbeats: int = 120,
+    interval: float = 1.0,
+):
+    """Random heartbeat traces: random losses, bounded random delays.
+
+    Sequence numbers are a random subset of 1..n_sent; arrival times are
+    send time + a delay in [0, 3·Δi] (so reordering across more than a few
+    heartbeats is possible), sorted by arrival.
+    """
+    n_sent = draw(st.integers(min_heartbeats, max_heartbeats))
+    keep = draw(
+        st.lists(st.booleans(), min_size=n_sent, max_size=n_sent).filter(
+            lambda ks: sum(ks) >= 2
+        )
+    )
+    seqs = np.flatnonzero(keep) + 1
+    delays = np.array(
+        draw(
+            st.lists(
+                st.floats(0.0, 3.0 * interval, allow_nan=False),
+                min_size=len(seqs),
+                max_size=len(seqs),
+            )
+        )
+    )
+    arrival = interval * seqs.astype(float) + delays
+    order = np.argsort(arrival, kind="stable")
+    trace = HeartbeatTrace(
+        seq=seqs[order],
+        arrival=arrival[order],
+        interval=interval,
+        n_sent=n_sent,
+        # 1.37·Δi: deliberately NOT aligned with any deadline arithmetic —
+        # a horizon at exactly last-arrival + Δi collides (to the ulp) with
+        # the window-1, margin-0 deadline, making the online and vectorized
+        # paths disagree about a zero-length boundary mistake.
+        end_time=float(arrival.max() + 1.37 * interval),
+    )
+    # Detector kernels need at least two *accepted* (sequence-fresh)
+    # heartbeats; heavy reordering can leave only one.
+    from hypothesis import assume
+
+    assume(int(trace.accepted_mask().sum()) >= 2)
+    return trace

@@ -1,0 +1,89 @@
+"""Contract tests for the HeartbeatFailureDetector base class."""
+
+import pytest
+
+from repro.core.base import HeartbeatFailureDetector
+
+
+class _Probe(HeartbeatFailureDetector):
+    """Minimal concrete detector: deadline = arrival + 1."""
+
+    name = "probe"
+
+    def __init__(self, interval=1.0):
+        super().__init__(interval)
+        self.updates = []
+
+    def _update(self, seq, arrival):
+        self.updates.append((seq, arrival))
+
+    def _deadline(self, seq, arrival):
+        return arrival + 1.0
+
+
+class TestReceiveContract:
+    def test_accept_returns_true(self):
+        det = _Probe()
+        assert det.receive(1, 1.0) is True
+        assert det.largest_seq == 1
+        assert det.last_arrival == 1.0
+        assert det.suspicion_deadline == 2.0
+
+    def test_stale_returns_false_and_no_update(self):
+        det = _Probe()
+        det.receive(5, 5.0)
+        assert det.receive(5, 5.1) is False
+        assert det.receive(3, 5.2) is False
+        assert det.updates == [(5, 5.0)]
+        assert det.suspicion_deadline == 6.0
+
+    def test_update_called_before_deadline(self):
+        calls = []
+
+        class Ordered(_Probe):
+            def _update(self, seq, arrival):
+                calls.append("update")
+
+            def _deadline(self, seq, arrival):
+                calls.append("deadline")
+                return arrival + 1.0
+
+        Ordered().receive(1, 1.0)
+        assert calls == ["update", "deadline"]
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            _Probe(interval=0.0)
+
+
+class TestOutputContract:
+    def test_initially_suspecting(self):
+        det = _Probe()
+        assert det.is_trusting(0.0) is False
+        assert det.suspicion_deadline is None
+        assert det.last_arrival is None
+
+    def test_strict_deadline_boundary(self):
+        det = _Probe()
+        det.receive(1, 1.0)
+        assert det.is_trusting(1.999999)
+        assert not det.is_trusting(2.0)
+
+    def test_transitions_returns_copy(self):
+        det = _Probe()
+        det.receive(1, 1.0)
+        trans = det.transitions
+        trans.append(("bogus", True))
+        assert det.transitions != trans
+
+    def test_finalize_then_transitions_stable(self):
+        det = _Probe()
+        det.receive(1, 1.0)
+        out = det.finalize(5.0)
+        assert out == [(1.0, True), (2.0, False)]
+
+    def test_advance_to_materializes_expiry(self):
+        det = _Probe()
+        det.receive(1, 1.0)
+        det.advance_to(3.0)
+        assert det.transitions == [(1.0, True), (2.0, False)]

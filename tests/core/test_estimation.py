@@ -1,0 +1,109 @@
+"""Tests for the Eq. 2 expected-arrival estimator (online and vectorized)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ArrivalEstimator, expected_arrivals, windowed_means
+
+
+class TestWindowedMeans:
+    def test_warmup_uses_all_so_far(self):
+        out = windowed_means(np.array([1.0, 3.0, 5.0]), window=10)
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_window_applies_after_fill(self):
+        out = windowed_means(np.array([1.0, 2.0, 3.0, 4.0]), window=2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_window_one_is_identity(self):
+        x = np.array([5.0, 1.0, 9.0])
+        np.testing.assert_allclose(windowed_means(x, 1), x)
+
+    def test_empty(self):
+        assert windowed_means(np.array([]), 3).shape == (0,)
+
+    def test_large_baseline_precision(self):
+        """A week of absolute timestamps: round-off stays ~ns (DESIGN note)."""
+        n = 100_000
+        t = 6e5 + np.random.default_rng(0).normal(0, 0.01, n)
+        out = windowed_means(t, 1000)
+        ref = np.mean(t[-1000:])
+        assert out[-1] == pytest.approx(ref, abs=1e-8)
+
+    @given(
+        values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=80),
+        window=st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, values, window):
+        out = windowed_means(np.asarray(values), window)
+        for k in range(len(values)):
+            ref = np.mean(values[max(0, k - window + 1) : k + 1])
+            assert out[k] == pytest.approx(ref, rel=1e-9, abs=1e-9)
+
+
+class TestArrivalEstimator:
+    def test_eq2_single_window(self):
+        """Reproduce Eq. 2 by hand for a 3-message window."""
+        est = ArrivalEstimator(window_size=3, interval=1.0)
+        observations = [(1, 1.10), (2, 2.30), (3, 3.20)]
+        for s, a in observations:
+            est.observe(s, a)
+        normalized = [a - s * 1.0 for s, a in observations]
+        expected = np.mean(normalized) + 4 * 1.0
+        assert est.expected_arrival(4) == pytest.approx(expected)
+
+    def test_window_eviction(self):
+        est = ArrivalEstimator(window_size=1, interval=1.0)
+        est.observe(1, 1.5)
+        est.observe(2, 2.9)
+        # Only the last normalized arrival (0.9) should remain.
+        assert est.expected_arrival(3) == pytest.approx(0.9 + 3.0)
+
+    def test_handles_missing_sequence_numbers(self):
+        """Losses leave sequence gaps; normalization keeps EA aligned."""
+        est = ArrivalEstimator(window_size=10, interval=1.0)
+        est.observe(1, 1.1)
+        est.observe(5, 5.1)  # seqs 2-4 lost
+        assert est.expected_arrival(6) == pytest.approx(6.1)
+
+    def test_raises_before_first_observation(self):
+        est = ArrivalEstimator(window_size=2, interval=1.0)
+        with pytest.raises(ValueError):
+            est.expected_arrival(1)
+
+    def test_reset(self):
+        est = ArrivalEstimator(window_size=2, interval=1.0)
+        est.observe(1, 1.0)
+        est.reset()
+        assert est.n_observed == 0
+
+    def test_skew_invariance_of_differences(self):
+        """A constant clock offset shifts EA by exactly that offset."""
+        obs = [(1, 1.2), (2, 2.25), (3, 3.18)]
+        e1 = ArrivalEstimator(3, 1.0)
+        e2 = ArrivalEstimator(3, 1.0)
+        for s, a in obs:
+            e1.observe(s, a)
+            e2.observe(s, a + 500.0)
+        assert e2.expected_arrival(4) - e1.expected_arrival(4) == pytest.approx(500.0)
+
+
+class TestExpectedArrivalsVectorized:
+    def test_matches_online(self):
+        rng = np.random.default_rng(1)
+        seq = np.arange(1, 201)
+        arrival = seq * 0.5 + rng.uniform(0, 0.1, 200)
+        vec = expected_arrivals(seq, arrival, 0.5, window=16)
+        est = ArrivalEstimator(16, 0.5)
+        for k, (s, a) in enumerate(zip(seq, arrival)):
+            est.observe(int(s), float(a))
+            assert vec[k] == pytest.approx(est.expected_arrival(int(s) + 1), abs=1e-9)
+
+    def test_with_losses(self):
+        seq = np.array([1, 3, 4, 8])
+        arrival = seq * 1.0 + 0.2
+        vec = expected_arrivals(seq, arrival, 1.0, window=2)
+        np.testing.assert_allclose(vec, arrival + 1.0)

@@ -1,0 +1,103 @@
+"""Tests for the freshness-output semantics (Alg. 1 / Fig. 3 cases)."""
+
+import pytest
+
+from repro.core.freshness import FreshnessOutput
+
+
+class TestInitialState:
+    def test_suspecting_before_first_heartbeat(self):
+        out = FreshnessOutput()
+        assert not out.trusting
+        assert not out.output_at(0.0)
+
+    def test_first_heartbeat_trust_transition(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(arrival=1.0, deadline=2.0)
+        assert out.transitions == [(1.0, True)]
+        assert out.output_at(1.5)
+        assert not out.output_at(2.0)  # t < τ is strict
+
+
+class TestFigure3Cases:
+    """The three per-interval cases of Chen's output rule (Fig. 3 a/b/c)."""
+
+    def test_case_a_fresh_message_keeps_trusting(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.5)
+        out.on_heartbeat(2.0, 3.5)  # arrives before 2.5: no transition
+        assert out.transitions == [(1.0, True)]
+
+    def test_case_b_late_message_restores_trust(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        out.on_heartbeat(2.7, 3.7)  # deadline 2.0 expired at 2.0
+        assert out.transitions == [(1.0, True), (2.0, False), (2.7, True)]
+
+    def test_case_c_expiry_materialized_by_advance(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        out.advance_to(5.0)
+        assert out.transitions == [(1.0, True), (2.0, False)]
+        assert not out.output_at(5.0)
+
+
+class TestEdgeCases:
+    def test_arrival_exactly_at_deadline_renews_without_blip(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        out.on_heartbeat(2.0, 3.0)  # exactly at the freshness point
+        assert out.transitions == [(1.0, True)]
+
+    def test_stale_message_keeps_suspecting(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        out.on_heartbeat(5.0, 4.0)  # new deadline already past
+        # S at 2.0 (expiry); arrival at 5.0 does not restore trust.
+        assert out.transitions == [(1.0, True), (2.0, False)]
+        assert not out.output_at(5.0)
+
+    def test_out_of_order_feed_rejected(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(2.0, 3.0)
+        with pytest.raises(ValueError, match="time order"):
+            out.on_heartbeat(1.0, 2.0)
+
+    def test_advance_backwards_rejected(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(2.0, 3.0)
+        out.advance_to(4.0)
+        with pytest.raises(ValueError):
+            out.advance_to(3.0)
+
+    def test_advance_is_idempotent(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        out.advance_to(3.0)
+        out.advance_to(4.0)
+        assert out.transitions.count((2.0, False)) == 1
+
+
+class TestFinalize:
+    def test_finalize_closes_open_trust(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        transitions = out.finalize(10.0)
+        assert transitions == [(1.0, True), (2.0, False)]
+
+    def test_finalize_before_deadline_keeps_trust(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 20.0)
+        transitions = out.finalize(10.0)
+        assert transitions == [(1.0, True)]
+
+    def test_alternation_invariant(self):
+        out = FreshnessOutput()
+        feed = [(1.0, 2.0), (3.0, 3.5), (4.0, 10.0), (5.0, 5.5), (7.0, 9.0)]
+        for a, d in feed:
+            out.on_heartbeat(a, d)
+        trans = out.finalize(20.0)
+        states = [s for _, s in trans]
+        assert all(a != b for a, b in zip(states, states[1:]))
+        times = [t for t, _ in trans]
+        assert times == sorted(times)

@@ -1,0 +1,105 @@
+"""Tests for the 2W-FD / MW-FD (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.twofd import MultiWindowFailureDetector, TwoWindowFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        det = TwoWindowFailureDetector(0.1, safety_margin=0.1)
+        assert det.short_window == 1
+        assert det.long_window == 1000
+        assert det.window_sizes == (1, 1000)
+
+    def test_rejects_short_longer_than_long(self):
+        with pytest.raises(ValueError):
+            TwoWindowFailureDetector(0.1, 0.1, short_window=100, long_window=10)
+
+    def test_multi_window_requires_windows(self):
+        with pytest.raises(ValueError):
+            MultiWindowFailureDetector(0.1, (), 0.1)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ValueError):
+            TwoWindowFailureDetector(0.1, safety_margin=-0.1)
+
+    def test_name(self):
+        assert TwoWindowFailureDetector(0.1, 0.1).name == "2w-fd"
+
+
+class TestEquation12:
+    def test_deadline_is_max_of_estimates_plus_margin(self):
+        det = TwoWindowFailureDetector(1.0, safety_margin=0.5, short_window=1, long_window=3)
+        feed = [(1, 1.05), (2, 2.40), (3, 3.10)]
+        for s, a in feed:
+            det.receive(s, a)
+        normalized = [a - s for s, a in feed]
+        ea_short = normalized[-1] + 4.0
+        ea_long = np.mean(normalized) + 4.0
+        assert det.suspicion_deadline == pytest.approx(max(ea_short, ea_long) + 0.5)
+        assert det.expected_arrivals(4) == pytest.approx((ea_short, ea_long))
+
+    def test_single_window_equals_chen(self):
+        """MW with one window must behave exactly like Chen's FD."""
+        mw = MultiWindowFailureDetector(1.0, (5,), 0.3)
+        chen = ChenFailureDetector(1.0, safety_margin=0.3, window_size=5)
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for s in range(1, 50):
+            t = s + rng.uniform(0, 0.5)
+            mw.receive(s, t)
+            chen.receive(s, t)
+            assert mw.suspicion_deadline == pytest.approx(chen.suspicion_deadline)
+
+    def test_deadline_dominates_each_chen(self):
+        """2W deadline >= each single-window Chen deadline, pointwise."""
+        rng = np.random.default_rng(1)
+        two = TwoWindowFailureDetector(1.0, 0.2, 1, 8)
+        c1 = ChenFailureDetector(1.0, 0.2, window_size=1)
+        c8 = ChenFailureDetector(1.0, 0.2, window_size=8)
+        for s in range(1, 100):
+            a = s + rng.uniform(0.0, 0.9)
+            two.receive(s, a)
+            c1.receive(s, a)
+            c8.receive(s, a)
+            assert two.suspicion_deadline >= c1.suspicion_deadline - 1e-12
+            assert two.suspicion_deadline >= c8.suspicion_deadline - 1e-12
+
+
+class TestSequenceFiltering:
+    def test_stale_messages_ignored(self):
+        det = TwoWindowFailureDetector(1.0, 0.5)
+        assert det.receive(2, 2.1)
+        assert not det.receive(1, 2.2)  # older sequence number
+        assert not det.receive(2, 2.3)  # duplicate
+        assert det.largest_seq == 2
+
+    def test_gap_jump_accepted(self):
+        det = TwoWindowFailureDetector(1.0, 0.5)
+        det.receive(1, 1.1)
+        assert det.receive(10, 10.1)
+        assert det.largest_seq == 10
+
+
+class TestOutput:
+    def test_trust_window(self):
+        det = TwoWindowFailureDetector(1.0, 0.5, 1, 4)
+        det.receive(1, 1.1)
+        assert det.is_trusting(1.2)
+        assert not det.is_trusting(det.suspicion_deadline + 0.001)
+
+    def test_suspect_before_any_heartbeat(self):
+        det = TwoWindowFailureDetector(1.0, 0.5)
+        assert not det.is_trusting(0.0)
+
+    def test_transitions_recorded(self):
+        det = TwoWindowFailureDetector(1.0, 0.1, 1, 2)
+        det.receive(1, 1.0)
+        det.receive(2, 5.0)  # far past the deadline: mistake in between
+        trans = det.finalize(6.0)
+        states = [s for _, s in trans]
+        assert states[0] is True
+        assert False in states  # the expiry was recorded

@@ -1,0 +1,109 @@
+"""Tests for the sliding-window accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import SlidingWindow
+
+
+class TestBasics:
+    def test_empty(self):
+        w = SlidingWindow(3)
+        assert len(w) == 0
+        assert not w.is_full
+        with pytest.raises(ValueError):
+            w.mean()
+        with pytest.raises(ValueError):
+            w.variance()
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_partial_fill_mean(self):
+        w = SlidingWindow(5)
+        w.push(1.0)
+        w.push(3.0)
+        assert w.mean() == pytest.approx(2.0)
+        assert len(w) == 2
+
+    def test_eviction(self):
+        w = SlidingWindow(2)
+        for x in [1.0, 2.0, 3.0]:
+            w.push(x)
+        assert w.mean() == pytest.approx(2.5)
+        assert w.is_full
+
+    def test_values_oldest_first(self):
+        w = SlidingWindow(3)
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            w.push(x)
+        assert w.values().tolist() == [2.0, 3.0, 4.0]
+
+    def test_variance(self):
+        w = SlidingWindow(4)
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            w.push(x)
+        assert w.variance() == pytest.approx(np.var([1, 2, 3, 4]))
+        assert w.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_clear(self):
+        w = SlidingWindow(3)
+        w.push(1.0)
+        w.clear()
+        assert len(w) == 0
+        w.push(5.0)
+        assert w.mean() == 5.0
+
+    def test_window_of_one_tracks_last(self):
+        w = SlidingWindow(1)
+        for x in [10.0, 20.0, 30.0]:
+            w.push(x)
+            assert w.mean() == x
+            assert w.variance() == 0.0
+
+
+class TestNumericalStability:
+    def test_large_baseline(self):
+        """Absolute times ~1e6 s with µs-scale differences stay accurate."""
+        w = SlidingWindow(100)
+        base = 1.0e6
+        values = base + np.linspace(0, 1e-3, 500)
+        for v in values:
+            w.push(v)
+        expected = values[-100:]
+        assert w.mean() == pytest.approx(expected.mean(), abs=1e-9)
+        assert w.variance() == pytest.approx(expected.var(), rel=1e-6)
+
+    def test_long_run_no_drift(self):
+        """Running sums are rebuilt periodically; drift stays bounded."""
+        rng = np.random.default_rng(0)
+        w = SlidingWindow(64)
+        values = 5e5 + rng.normal(0, 1e-4, 10_000)
+        for v in values:
+            w.push(v)
+        expected = values[-64:]
+        assert w.mean() == pytest.approx(expected.mean(), abs=1e-10)
+
+    def test_variance_never_negative(self):
+        w = SlidingWindow(8)
+        for _ in range(100):
+            w.push(123456.789)
+        assert w.variance() == 0.0
+
+
+@given(
+    values=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=200),
+    capacity=st.integers(1, 50),
+)
+@settings(max_examples=80, deadline=None)
+def test_matches_numpy_reference(values, capacity):
+    w = SlidingWindow(capacity)
+    for v in values:
+        w.push(v)
+    ref = np.asarray(values[-capacity:])
+    assert w.mean() == pytest.approx(ref.mean(), rel=1e-9, abs=1e-9)
+    assert w.variance() == pytest.approx(ref.var(), rel=1e-6, abs=1e-9)
+    np.testing.assert_allclose(w.values(), ref)

@@ -1,0 +1,125 @@
+"""Tests for the φ accrual failure detector (Eq. 7-9)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.detectors.accrual import PhiAccrualFailureDetector, phi_quantile
+
+
+class TestPhiQuantile:
+    def test_matches_scipy(self):
+        for threshold in [0.5, 1.0, 3.0, 8.0]:
+            assert phi_quantile(threshold) == pytest.approx(
+                norm.ppf(1 - 10**-threshold), rel=1e-9
+            )
+
+    def test_saturation(self):
+        """1 − 10^−Φ rounds to 1.0 ⇒ infinite quantile (the paper's early
+        curve stop)."""
+        assert math.isinf(phi_quantile(17.0))
+        assert math.isfinite(phi_quantile(15.0))
+
+    def test_monotone(self):
+        qs = [phi_quantile(t) for t in (0.5, 1, 2, 4, 8, 12)]
+        assert all(a < b for a, b in zip(qs, qs[1:]))
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            PhiAccrualFailureDetector(0.1, threshold=0.0)
+
+    def test_defaults(self):
+        det = PhiAccrualFailureDetector(0.1, threshold=3.0)
+        assert det.window_size == 1000
+        assert det.threshold == 3.0
+
+
+class TestSuspicionLevel:
+    def _fed(self, gaps, threshold=3.0, min_std=0.0):
+        det = PhiAccrualFailureDetector(1.0, threshold=threshold, min_std=min_std)
+        t = 0.0
+        for s, g in enumerate(gaps, start=1):
+            t += g
+            det.receive(s, t)
+        return det, t
+
+    def test_phi_grows_with_elapsed_time(self):
+        det, t_last = self._fed([1.0, 1.1, 0.9, 1.0, 1.05, 0.95])
+        phis = [det.phi(t_last + dt) for dt in (0.5, 1.0, 1.5, 2.0)]
+        assert all(a <= b for a, b in zip(phis, phis[1:]))
+
+    def test_phi_equation7(self):
+        """φ = −log10(1 − F(elapsed)) with the fitted normal.
+
+        The first feed only establishes T_last; observed gaps start with
+        the second heartbeat.
+        """
+        gaps = [1.0, 1.2, 0.8, 1.1, 0.9]
+        det, t_last = self._fed(gaps)
+        observed = gaps[1:]
+        mu, sigma = det.interarrival_stats()
+        assert mu == pytest.approx(np.mean(observed))
+        assert sigma == pytest.approx(np.std(observed))
+        elapsed = 1.5
+        expected = -math.log10(norm.sf(elapsed, loc=mu, scale=sigma))
+        assert det.phi(t_last + elapsed) == pytest.approx(expected, rel=1e-6)
+
+    def test_deadline_is_quantile_crossing(self):
+        gaps = [1.0, 1.2, 0.8, 1.1, 0.9]
+        det, t_last = self._fed(gaps, threshold=2.0)
+        mu, sigma = det.interarrival_stats()
+        expected = t_last + mu + sigma * phi_quantile(2.0)
+        assert det.suspicion_deadline == pytest.approx(expected)
+        # φ at the deadline is exactly the threshold.
+        assert det.phi(det.suspicion_deadline) == pytest.approx(2.0, rel=1e-6)
+
+    def test_saturated_threshold_never_suspects(self):
+        det, t_last = self._fed([1.0, 1.1, 0.9], threshold=17.0)
+        assert math.isinf(det.suspicion_deadline)
+        assert det.is_trusting(t_last + 1e9)
+
+    def test_zero_variance_degenerate(self):
+        det, t_last = self._fed([1.0, 1.0, 1.0])
+        mu, sigma = det.interarrival_stats()
+        assert sigma == 0.0
+        # Deadline collapses to t_last + mu.
+        assert det.suspicion_deadline == pytest.approx(t_last + 1.0)
+        assert math.isinf(det.phi(t_last + 1.0))
+        assert det.phi(t_last + 0.5) == 0.0
+
+    def test_min_std_floor(self):
+        det, t_last = self._fed([1.0, 1.0, 1.0], threshold=2.0, min_std=0.1)
+        mu, sigma = det.interarrival_stats()
+        assert sigma == 0.1
+
+    def test_warmup_uses_nominal_interval(self):
+        det = PhiAccrualFailureDetector(1.0, threshold=2.0)
+        det.receive(1, 1.1)
+        mu, sigma = det.interarrival_stats()
+        assert mu == 1.0 and sigma == 0.0
+
+    def test_phi_infinite_before_any_heartbeat(self):
+        det = PhiAccrualFailureDetector(1.0, threshold=2.0)
+        assert math.isinf(det.phi(0.0))
+
+
+class TestMistakeProbabilityInterpretation:
+    def test_higher_threshold_fewer_mistakes(self):
+        """Empirically: Φ up ⇒ fewer S-transitions on the same jittery feed."""
+        rng = np.random.default_rng(3)
+        gaps = rng.normal(1.0, 0.15, 400).clip(0.2)
+
+        def mistakes(threshold):
+            det = PhiAccrualFailureDetector(1.0, threshold=threshold, window_size=100)
+            t = 0.0
+            for s, g in enumerate(gaps, start=1):
+                t += g
+                det.receive(s, t)
+            return sum(1 for _, trust in det.finalize(t + 1) if not trust)
+
+        m = [mistakes(th) for th in (0.5, 1.5, 4.0)]
+        assert m[0] >= m[1] >= m[2]

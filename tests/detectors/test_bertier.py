@@ -1,0 +1,74 @@
+"""Tests for Bertier's failure detector (Jacobson margin, Eq. 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.bertier import BertierFailureDetector
+
+
+class TestConstruction:
+    def test_defaults(self):
+        det = BertierFailureDetector(0.1)
+        assert det.window_size == 1000
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            BertierFailureDetector(0.1, gamma=0.0)
+        with pytest.raises(ValueError):
+            BertierFailureDetector(0.1, gamma=1.5)
+
+
+class TestJacobsonRecursion:
+    def test_hand_computed_two_steps(self):
+        """Replicate Eq. 3-6 by hand for the first messages."""
+        gamma, beta, phi = 0.1, 1.0, 4.0
+        det = BertierFailureDetector(1.0, window_size=10, gamma=gamma, beta=beta, phi=phi)
+
+        det.receive(1, 1.2)  # first message: error defined as 0
+        assert det.safety_margin == pytest.approx(0.0)
+        # EA_2 = normalized mean (0.2) + 2.
+        assert det.suspicion_deadline == pytest.approx(2.2)
+
+        det.receive(2, 2.4)
+        # Prediction for m_2 was 2.2 (window state before folding m_2 in).
+        error = 2.4 - 2.2 - 0.0
+        delay = 0.0 + gamma * error
+        var = 0.0 + gamma * (abs(error) - 0.0)
+        margin = beta * delay + phi * var
+        assert det.safety_margin == pytest.approx(margin)
+        ea3 = np.mean([0.2, 0.4]) + 3.0
+        assert det.suspicion_deadline == pytest.approx(ea3 + margin)
+
+    def test_margin_adapts_upward_on_jitter(self):
+        det = BertierFailureDetector(1.0, window_size=50, gamma=0.2)
+        rng = np.random.default_rng(0)
+        for s in range(1, 30):
+            det.receive(s, s + 0.1)
+        calm_margin = det.safety_margin
+        for s in range(30, 60):
+            det.receive(s, s + 0.1 + rng.uniform(0, 0.5))
+        assert det.safety_margin > calm_margin
+
+    def test_margin_shrinks_back_when_calm(self):
+        det = BertierFailureDetector(1.0, window_size=200, gamma=0.2)
+        rng = np.random.default_rng(1)
+        for s in range(1, 30):
+            det.receive(s, s + 0.1 + rng.uniform(0, 0.5))
+        noisy_margin = det.safety_margin
+        for s in range(30, 150):
+            det.receive(s, s + 0.1)
+        assert det.safety_margin < noisy_margin
+
+
+class TestOutput:
+    def test_no_tuning_parameter_exposed(self):
+        from repro.detectors.registry import tuning_parameter
+
+        assert tuning_parameter("bertier") is None
+
+    def test_basic_trust_cycle(self):
+        det = BertierFailureDetector(1.0, window_size=10)
+        for s in range(1, 10):
+            det.receive(s, s + 0.1)
+        assert det.is_trusting(9.2)
+        assert not det.is_trusting(det.suspicion_deadline + 10.0)

@@ -1,0 +1,104 @@
+"""Tests for Chen's failure detector, including the Fig. 3 scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.chen import ChenFailureDetector
+
+
+class TestConstruction:
+    def test_defaults(self):
+        det = ChenFailureDetector(0.1, safety_margin=0.2)
+        assert det.window_size == 1000
+        assert det.safety_margin == 0.2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ChenFailureDetector(0.1, 0.1, window_size=0)
+
+    def test_zero_margin_allowed(self):
+        det = ChenFailureDetector(0.1, safety_margin=0.0)
+        assert det.safety_margin == 0.0
+
+
+class TestFreshnessPoints:
+    def test_eq1_deadline(self):
+        """τ_{l+1} = EA_{l+1} + Δto with EA from Eq. 2."""
+        det = ChenFailureDetector(1.0, safety_margin=0.5, window_size=3)
+        feed = [(1, 1.2), (2, 2.1), (3, 3.3)]
+        for s, a in feed:
+            det.receive(s, a)
+        normalized = [a - s for s, a in feed]
+        ea4 = np.mean(normalized) + 4.0
+        assert det.suspicion_deadline == pytest.approx(ea4 + 0.5)
+
+    def test_window_one_tracks_last_arrival(self):
+        det = ChenFailureDetector(1.0, safety_margin=0.25, window_size=1)
+        det.receive(1, 1.4)
+        det.receive(2, 2.1)
+        # EA_3 = (2.1 - 2) + 3 = 3.1.
+        assert det.suspicion_deadline == pytest.approx(3.35)
+
+
+class TestFigure3Scenarios:
+    """The three behaviours drawn in the paper's Fig. 3.
+
+    A fixed-rate heartbeat stream with Δi = 1, delays ~0.1, margin 0.3:
+    freshness points land at ≈ k + 1.1 + 0.3.
+    """
+
+    def _detector(self):
+        det = ChenFailureDetector(1.0, safety_margin=0.3, window_size=100)
+        det.receive(1, 1.1)
+        det.receive(2, 2.1)
+        return det
+
+    def test_case_a_timely_heartbeat_continuous_trust(self):
+        det = self._detector()
+        deadline = det.suspicion_deadline
+        det.receive(3, 3.1)  # before the freshness point
+        assert det.transitions == [(1.1, True)]
+        assert det.suspicion_deadline > deadline
+
+    def test_case_b_heartbeat_after_freshness_point_restores_trust(self):
+        det = self._detector()
+        deadline = det.suspicion_deadline
+        late = deadline + 0.2
+        det.receive(3, late)
+        trans = det.transitions
+        assert (pytest.approx(deadline), False) in [
+            (pytest.approx(t), s) for t, s in trans
+        ]
+        assert trans[-1] == (late, True)
+
+    def test_case_c_no_heartbeat_suspect_through_period(self):
+        det = self._detector()
+        deadline = det.suspicion_deadline
+        det.advance_to(deadline + 5.0)
+        assert det.transitions[-1] == (deadline, False)
+        assert not det.is_trusting(deadline + 5.0)
+
+    def test_only_fresh_sequence_numbers_affect_output(self):
+        """Messages m_j with j <= l are discarded (freshness property)."""
+        det = self._detector()
+        deadline = det.suspicion_deadline
+        assert not det.receive(1, 2.5)  # duplicate of an old heartbeat
+        assert det.suspicion_deadline == deadline
+
+
+class TestLossBehaviour:
+    def test_single_loss_with_small_margin_causes_mistake(self):
+        det = ChenFailureDetector(1.0, safety_margin=0.3, window_size=10)
+        det.receive(1, 1.1)
+        det.receive(2, 2.1)
+        # seq 3 lost; next arrival at 4.1 > deadline ≈ 3.4.
+        det.receive(4, 4.1)
+        s_times = [t for t, s in det.transitions if not s]
+        assert len(s_times) == 1
+
+    def test_single_loss_with_margin_above_interval_tolerated(self):
+        det = ChenFailureDetector(1.0, safety_margin=1.5, window_size=10)
+        det.receive(1, 1.1)
+        det.receive(2, 2.1)
+        det.receive(4, 4.1)  # deadline ≈ 4.6 > 4.1: no mistake
+        assert [s for _, s in det.transitions] == [True]

@@ -1,0 +1,91 @@
+"""Tests for Chen's synchronized-clock variant (NFD-S)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.chen import ChenFailureDetector
+from repro.detectors.chen_sync import SynchronizedChenFailureDetector
+from repro.replay.kernels import ChenSyncKernel
+from repro.sim.runner import simulate
+
+
+class TestFreshnessPoints:
+    def test_exact_deadline(self):
+        det = SynchronizedChenFailureDetector(1.0, shift=0.5)
+        det.receive(3, 3.2)
+        assert det.suspicion_deadline == pytest.approx(4.5)  # (3+1)·1 + 0.5
+
+    def test_deadline_independent_of_arrival_time(self):
+        """NFD-S freshness points depend only on sequence numbers."""
+        a = SynchronizedChenFailureDetector(1.0, shift=0.5)
+        b = SynchronizedChenFailureDetector(1.0, shift=0.5)
+        a.receive(2, 2.01)
+        b.receive(2, 2.9)  # very slow message: same freshness point
+        assert a.suspicion_deadline == b.suspicion_deadline
+
+    def test_clock_offset(self):
+        det = SynchronizedChenFailureDetector(1.0, shift=0.5, clock_offset=100.0)
+        det.receive(1, 101.2)
+        assert det.suspicion_deadline == pytest.approx(102.5)
+
+    def test_worst_case_detection_bound(self):
+        """T_D ≤ Δi + δ holds deterministically for NFD-S."""
+        res = simulate(
+            {"nfds": lambda dt: SynchronizedChenFailureDetector(dt, shift=0.5)},
+            interval=0.5,
+            duration=40.0,
+            delay_model=__import__("repro.net.delays", fromlist=["ConstantDelay"]).ConstantDelay(0.05),
+            crash_time=20.0,
+            seed=0,
+        )
+        report = res.crash_reports["nfds"]
+        assert report.permanently_suspecting
+        assert report.detection_time <= 0.5 + 0.5 + 1e-9
+
+
+class TestAgainstEstimatingVariant:
+    def test_nfde_converges_to_nfds_on_clean_traffic(self):
+        """With constant delay D, NFD-E's estimated freshness point equals
+        NFD-S's exact one shifted by D (the estimator absorbs the delay)."""
+        delay = 0.07
+        nfds = SynchronizedChenFailureDetector(1.0, shift=0.5)
+        nfde = ChenFailureDetector(1.0, safety_margin=0.5, window_size=100)
+        for s in range(1, 50):
+            nfds.receive(s, s + delay)
+            nfde.receive(s, s + delay)
+        assert nfde.suspicion_deadline == pytest.approx(
+            nfds.suspicion_deadline + delay
+        )
+
+
+class TestKernel:
+    def test_matches_online(self, lossy_trace):
+        from repro.replay.engine import replay_detector, replay_online
+
+        offset = lossy_trace.send_offset_estimate()
+        online = replay_online(
+            SynchronizedChenFailureDetector(
+                lossy_trace.interval, shift=0.3, clock_offset=offset
+            ),
+            lossy_trace,
+        )
+        vec = replay_detector(
+            ChenSyncKernel(lossy_trace, clock_offset=offset), lossy_trace, 0.3
+        )
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-9)
+        assert online.metrics.n_mistakes == vec.metrics.n_mistakes
+
+    def test_linear_base_calibration(self, lossy_trace):
+        from repro.replay.engine import replay_detector
+        from repro.replay.sweep import calibrate_to_detection_time
+
+        kernel = ChenSyncKernel(lossy_trace)
+        shift = calibrate_to_detection_time(kernel, lossy_trace, 0.5)
+        assert replay_detector(kernel, lossy_trace, shift).detection_time == pytest.approx(0.5, abs=1e-9)
+
+    def test_registry(self):
+        from repro.detectors.registry import make_detector, tuning_parameter
+
+        det = make_detector("chen-sync", 0.1, shift=0.2)
+        assert isinstance(det, SynchronizedChenFailureDetector)
+        assert tuning_parameter("chen-sync") == "shift"

@@ -1,0 +1,71 @@
+"""Tests for the ED failure detector (Eq. 10-11)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detectors.exponential import EDFailureDetector, ed_timeout_factor
+
+
+class TestTimeoutFactor:
+    def test_formula(self):
+        assert ed_timeout_factor(0.5) == pytest.approx(math.log(2))
+        assert ed_timeout_factor(1 - math.exp(-2)) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_domain(self, bad):
+        with pytest.raises(ValueError):
+            ed_timeout_factor(bad)
+
+    def test_unbounded_growth(self):
+        assert ed_timeout_factor(1 - 1e-12) > 25.0
+
+
+class TestSuspicionLevel:
+    def _fed(self, gaps, threshold=0.9):
+        det = EDFailureDetector(1.0, threshold=threshold, window_size=100)
+        t = 0.0
+        for s, g in enumerate(gaps, start=1):
+            t += g
+            det.receive(s, t)
+        return det, t
+
+    def test_eq10_11(self):
+        """e_d = 1 − exp(−elapsed/μ) with μ the windowed mean gap."""
+        gaps = [1.0, 1.4, 0.6, 1.0]
+        det, t_last = self._fed(gaps)
+        mu = det.mean_interarrival()
+        assert mu == pytest.approx(np.mean(gaps))
+        elapsed = 2.0
+        assert det.suspicion_level(t_last + elapsed) == pytest.approx(
+            1 - math.exp(-elapsed / mu)
+        )
+
+    def test_deadline_is_threshold_crossing(self):
+        gaps = [1.0, 1.4, 0.6, 1.0]
+        det, t_last = self._fed(gaps, threshold=0.95)
+        assert det.suspicion_level(det.suspicion_deadline) == pytest.approx(0.95)
+
+    def test_level_in_unit_interval(self):
+        det, t_last = self._fed([1.0, 1.0])
+        for dt in (0.0, 0.5, 3.0, 100.0):
+            assert 0.0 <= det.suspicion_level(t_last + dt) < 1.0 or dt > 50
+
+    def test_warmup(self):
+        det = EDFailureDetector(2.0, threshold=0.9)
+        det.receive(1, 2.1)
+        assert det.mean_interarrival() == 2.0
+
+    def test_higher_threshold_longer_timeout(self):
+        gaps = [1.0] * 10
+        d1, t1 = self._fed(gaps, threshold=0.5)
+        d2, t2 = self._fed(gaps, threshold=0.99)
+        assert d2.suspicion_deadline > d1.suspicion_deadline
+
+    def test_extends_into_conservative_range_unlike_phi(self):
+        """ED keeps producing finite deadlines where φ has saturated."""
+        gaps = [1.0, 1.05, 0.95] * 5
+        det, t_last = self._fed(gaps, threshold=1 - 1e-15)
+        assert math.isfinite(det.suspicion_deadline)
+        assert det.suspicion_deadline - t_last > 30.0

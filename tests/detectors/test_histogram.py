@@ -1,0 +1,120 @@
+"""Tests for the histogram-based accrual detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.histogram import HistogramAccrualFailureDetector
+from repro.replay.engine import replay_detector, replay_online
+from repro.replay.kernels import HistogramKernel, make_kernel
+
+
+def fed(gaps, threshold=0.9, window=100, factor=1.0):
+    det = HistogramAccrualFailureDetector(
+        1.0, threshold=threshold, window_size=window, margin_factor=factor
+    )
+    t = 0.0
+    for s, g in enumerate(gaps, start=1):
+        t += g
+        det.receive(s, t)
+    return det, t
+
+
+class TestQuantileSemantics:
+    def test_inverted_cdf_quantile(self):
+        det, _ = fed([1.0, 2.0, 3.0, 4.0, 5.0])  # gaps observed: 2,3,4,5
+        # H = 0.5 over 4 gaps: smallest g with count/4 >= 0.5 → rank 2 → 3.0.
+        det._threshold = 0.5
+        assert det.quantile() == pytest.approx(3.0)
+
+    def test_h1_is_window_max(self):
+        det, t = fed([1.0, 1.5, 0.8, 2.5], threshold=1.0)
+        assert det.quantile() == pytest.approx(2.5)
+        assert det.suspicion_deadline == pytest.approx(t + 2.5)
+
+    def test_matches_numpy_inverted_cdf(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.uniform(0.5, 1.5, 60).tolist()
+        for h in (0.25, 0.5, 0.9, 1.0):
+            det, _ = fed([1.0] + gaps, threshold=h)
+            ref = np.quantile(gaps[-det.window_size:], h, method="inverted_cdf")
+            assert det.quantile() == pytest.approx(float(ref))
+
+    def test_window_eviction(self):
+        det, _ = fed([1.0] + [9.0] + [1.0] * 5, threshold=1.0, window=3)
+        # The 9.0 gap has been evicted from the window of 3.
+        assert det.quantile() == pytest.approx(1.0)
+
+    def test_margin_factor(self):
+        det, t = fed([1.0, 1.0, 1.0], threshold=1.0, factor=2.0)
+        assert det.suspicion_deadline == pytest.approx(t + 2.0)
+
+    def test_warmup(self):
+        det = HistogramAccrualFailureDetector(0.5, threshold=0.9)
+        det.receive(1, 0.6)
+        assert det.quantile() == 0.5  # nominal interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramAccrualFailureDetector(1.0, threshold=0.0)
+        with pytest.raises(ValueError):
+            HistogramAccrualFailureDetector(1.0, threshold=1.5)
+        with pytest.raises(ValueError):
+            HistogramAccrualFailureDetector(1.0, threshold=0.5, margin_factor=0.0)
+
+
+class TestSuspicionLevel:
+    def test_empirical_fraction(self):
+        det, t = fed([1.0, 1.0, 2.0, 3.0])  # gaps 1, 2, 3
+        assert det.suspicion_level(t + 0.5) == pytest.approx(0.0)
+        assert det.suspicion_level(t + 1.0) == pytest.approx(1 / 3)
+        assert det.suspicion_level(t + 2.5) == pytest.approx(2 / 3)
+        assert det.suspicion_level(t + 10.0) == pytest.approx(1.0)
+
+    def test_level_crosses_threshold_at_deadline(self):
+        det, t = fed([1.0, 1.0, 2.0, 3.0], threshold=2 / 3)
+        d = det.suspicion_deadline
+        assert det.suspicion_level(d) >= 2 / 3
+
+
+class TestKernelParity:
+    def test_online_equals_vectorized(self, lossy_trace):
+        online = replay_online(
+            HistogramAccrualFailureDetector(
+                lossy_trace.interval, threshold=0.95, window_size=64,
+                margin_factor=1.3,
+            ),
+            lossy_trace,
+        )
+        vec = replay_detector(
+            HistogramKernel(lossy_trace, window_size=64, margin_factor=1.3),
+            lossy_trace,
+            0.95,
+        )
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-9)
+        assert online.metrics.n_mistakes == vec.metrics.n_mistakes
+
+    def test_chunking_boundary(self, lossy_trace):
+        small = HistogramKernel(lossy_trace, window_size=64, chunk_rows=7)
+        big = HistogramKernel(lossy_trace, window_size=64, chunk_rows=100000)
+        np.testing.assert_allclose(small.deadlines(0.9), big.deadlines(0.9))
+
+    def test_registry(self):
+        from repro.detectors.registry import make_detector, tuning_parameter
+
+        det = make_detector("histogram", 0.1, threshold=0.99)
+        assert isinstance(det, HistogramAccrualFailureDetector)
+        assert tuning_parameter("histogram") == "threshold"
+
+    def test_kernel_param_domain(self, lossy_trace):
+        k = make_kernel("histogram", lossy_trace, window_size=32)
+        with pytest.raises(ValueError):
+            k.deadlines(0.0)
+        with pytest.raises(ValueError):
+            k.deadlines(1.5)
+        assert k.param_max == 1.0
+
+    def test_monotone_in_threshold(self, lossy_trace):
+        k = HistogramKernel(lossy_trace, window_size=64)
+        lo = replay_detector(k, lossy_trace, 0.5, collect_gaps=False)
+        hi = replay_detector(k, lossy_trace, 0.99, collect_gaps=False)
+        assert hi.metrics.query_accuracy >= lo.metrics.query_accuracy - 1e-12

@@ -1,0 +1,47 @@
+"""Tests for the detector registry."""
+
+import pytest
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.detectors.registry import available_detectors, make_detector, tuning_parameter
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = available_detectors()
+        assert set(names) >= {"2w-fd", "mw-fd", "chen", "bertier", "phi", "ed", "fixed-timeout"}
+
+    def test_make_each(self):
+        specimens = {
+            "2w-fd": {"safety_margin": 0.1},
+            "mw-fd": {"window_sizes": (1, 10), "safety_margin": 0.1},
+            "chen": {"safety_margin": 0.1},
+            "bertier": {},
+            "phi": {"threshold": 2.0},
+            "ed": {"threshold": 0.9},
+            "fixed-timeout": {"timeout": 0.5},
+        }
+        for name, kwargs in specimens.items():
+            det = make_detector(name, 0.1, **kwargs)
+            assert isinstance(det, HeartbeatFailureDetector)
+            assert det.interval == 0.1
+
+    def test_2w_type(self):
+        det = make_detector("2w-fd", 0.1, safety_margin=0.2)
+        assert isinstance(det, TwoWindowFailureDetector)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown detector"):
+            make_detector("nope", 0.1)
+
+    def test_tuning_parameters(self):
+        assert tuning_parameter("2w-fd") == "safety_margin"
+        assert tuning_parameter("phi") == "threshold"
+        assert tuning_parameter("bertier") is None
+        with pytest.raises(KeyError):
+            tuning_parameter("nope")
+
+    def test_params_forwarded(self):
+        det = make_detector("chen", 0.1, safety_margin=0.3, window_size=7)
+        assert det.window_size == 7

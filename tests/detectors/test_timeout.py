@@ -1,0 +1,29 @@
+"""Tests for the fixed-timeout control detector."""
+
+import pytest
+
+from repro.detectors.timeout import FixedTimeoutFailureDetector
+
+
+class TestFixedTimeout:
+    def test_deadline(self):
+        det = FixedTimeoutFailureDetector(1.0, timeout=2.5)
+        det.receive(1, 1.0)
+        assert det.suspicion_deadline == pytest.approx(3.5)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            FixedTimeoutFailureDetector(1.0, timeout=0.0)
+
+    def test_ignores_network_statistics(self):
+        """Deadline depends only on the last arrival, never on history."""
+        det = FixedTimeoutFailureDetector(1.0, timeout=1.0)
+        det.receive(1, 1.0)
+        det.receive(2, 2.9)  # very late
+        assert det.suspicion_deadline == pytest.approx(3.9)
+
+    def test_trust_cycle(self):
+        det = FixedTimeoutFailureDetector(1.0, timeout=0.5)
+        det.receive(1, 1.0)
+        assert det.is_trusting(1.4)
+        assert not det.is_trusting(1.5)

@@ -1,0 +1,87 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.results import Series
+
+
+def series(label, x, y):
+    return Series(label, "x", "y", x, y)
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot([series("a", [0, 1, 2], [1, 2, 3])], width=20, height=5)
+        assert "o" in out
+        assert "a" in out
+        assert out.count("\n") >= 6
+
+    def test_multiple_series_marks(self):
+        out = ascii_plot(
+            [series("a", [0, 1], [1, 2]), series("b", [0, 1], [2, 1])],
+            width=20,
+            height=5,
+        )
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out and "x" in out
+
+    def test_log_axis_drops_nonpositive(self):
+        out = ascii_plot(
+            [series("a", [1, 2, 3], [0.0, 10.0, 100.0])],
+            log_y=True,
+            width=20,
+            height=5,
+        )
+        assert "log" in out
+
+    def test_empty(self):
+        assert ascii_plot([]) == "(nothing to plot)"
+        assert ascii_plot([series("a", [1], [0.0])], log_y=True) == "(nothing to plot)"
+
+    def test_title(self):
+        out = ascii_plot([series("a", [0, 1], [0, 1])], title="Fig X")
+        assert out.splitlines()[0] == "Fig X"
+
+    def test_constant_series(self):
+        out = ascii_plot([series("a", [1, 2], [5, 5])], width=10, height=4)
+        assert "o" in out
+
+    def test_tick_labels(self):
+        out = ascii_plot(
+            [series("a", [0.1, 2.0], [1e-4, 1e-1])], log_y=True, width=20, height=6
+        )
+        assert "0.0001" in out and "0.1" in out
+
+    def test_marks_cycle_beyond_palette(self):
+        many = [series(f"s{i}", [0, 1], [i, i + 1]) for i in range(10)]
+        out = ascii_plot(many, width=30, height=8)
+        assert "s9" in out
+
+
+class TestAsciiTimeline:
+    def _timeline(self):
+        from repro.qos.timeline import OutputTimeline
+
+        return OutputTimeline.from_transitions(
+            [(1.0, True), (5.0, False), (7.0, True)], start=0.0, end=10.0
+        )
+
+    def test_render(self):
+        from repro.experiments.ascii_plot import ascii_timeline
+
+        out = ascii_timeline(self._timeline(), width=20)
+        assert "█" in out and "░" in out
+        assert "0.00s" in out and "10.00s" in out
+
+    def test_windowed(self):
+        from repro.experiments.ascii_plot import ascii_timeline
+
+        out = ascii_timeline(self._timeline(), start=2.0, stop=4.0, width=10)
+        # Fully trusting inside [2, 4].
+        assert "░" not in out.splitlines()[0]
+
+    def test_empty_window(self):
+        from repro.experiments.ascii_plot import ascii_timeline
+
+        assert ascii_timeline(self._timeline(), start=9.0, stop=9.0) == "(empty window)"

@@ -1,0 +1,48 @@
+"""Tests for the experiment plumbing (trace cache, target-grid curves)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import curve_at_targets, lan_trace, wan_trace
+from repro.replay.kernels import ChenKernel, PhiKernel
+
+
+class TestTraceCache:
+    def test_same_object_returned(self):
+        a = wan_trace(0.002, 2015)
+        b = wan_trace(0.002, 2015)
+        assert a is b  # lru_cache: one synthesis per (scale, seed)
+
+    def test_distinct_keys_distinct_traces(self):
+        a = wan_trace(0.002, 2015)
+        b = wan_trace(0.002, 7)
+        assert a is not b
+
+    def test_lan_cache(self):
+        assert lan_trace(0.002, 2015) is lan_trace(0.002, 2015)
+
+
+class TestCurveAtTargets:
+    def test_points_land_on_targets(self, lossy_trace):
+        kernel = ChenKernel(lossy_trace, window_size=10)
+        targets = (0.3, 0.5, 0.9)
+        curve = curve_at_targets(kernel, lossy_trace, targets, "chen")
+        np.testing.assert_allclose(curve.targets, targets)
+        np.testing.assert_allclose(curve.detection_time, targets, rtol=1e-6)
+
+    def test_unreachable_targets_skipped(self, lossy_trace):
+        kernel = ChenKernel(lossy_trace, window_size=10)
+        curve = curve_at_targets(kernel, lossy_trace, (0.0001, 0.5), "chen")
+        assert len(curve) == 1
+
+    def test_all_unreachable_raises(self, lossy_trace):
+        kernel = PhiKernel(lossy_trace, window_size=10)
+        with pytest.raises(ValueError, match="no reachable"):
+            curve_at_targets(kernel, lossy_trace, (1e6,), "phi")
+
+    def test_curve_metadata(self, lossy_trace):
+        kernel = ChenKernel(lossy_trace, window_size=10)
+        curve = curve_at_targets(kernel, lossy_trace, (0.4,), "lbl")
+        assert curve.label == "lbl"
+        assert curve.detector == "chen"
+        assert curve.param_name == "safety_margin"

@@ -1,0 +1,48 @@
+"""Tests for the Markdown report builder."""
+
+import pytest
+
+from repro.experiments.full_report import render_result_markdown
+from repro.experiments.results import ExperimentResult, Series
+
+
+def sample_result():
+    res = ExperimentResult(
+        "figX",
+        "Sample title",
+        "Sample description.",
+        series=[
+            Series("TMR a", "T_D [s]", "T_MR [1/s]", [0.1, 0.2], [1e-2, 1e-4]),
+            Series("PA a", "T_D [s]", "P_A", [0.1, 0.2], [0.9, 0.99]),
+        ],
+        tables={"numbers": [{"k": 1, "v": 2.5}]},
+        params={"scale": 0.01},
+    )
+    res.add_check("good", True)
+    res.add_check("bad", False, "why")
+    return res
+
+
+class TestRenderMarkdown:
+    def test_section_structure(self):
+        text = render_result_markdown(sample_result())
+        assert text.startswith("## figX — Sample title")
+        assert "`scale=0.01`" in text
+        assert "**numbers**" in text
+        assert "```" in text
+
+    def test_checks_rendered(self):
+        text = render_result_markdown(sample_result())
+        assert "✅ good" in text
+        assert "❌ bad — why" in text
+
+    def test_log_axis_heuristic(self):
+        # The TMR series spans 100x → log chart; PA doesn't.
+        text = render_result_markdown(sample_result())
+        assert "(y log" in text
+        assert "(y linear" in text
+
+    def test_no_series_no_chart(self):
+        res = ExperimentResult("y", "t", "d")
+        text = render_result_markdown(res)
+        assert "vs" not in text.split("\n")[0]

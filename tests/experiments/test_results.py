@@ -1,0 +1,85 @@
+"""Tests for experiment result containers and reporting."""
+
+import pytest
+
+from repro.experiments.report import format_series_table, format_table, render_result
+from repro.experiments.results import Check, ExperimentResult, Series
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", "x", "y", [1, 2], [1])
+
+    def test_len(self):
+        assert len(Series("s", "x", "y", [1, 2], [3, 4])) == 2
+
+
+class TestExperimentResult:
+    def test_checks(self):
+        res = ExperimentResult("id", "t", "d")
+        res.add_check("ok", True)
+        res.add_check("bad", False, "detail")
+        assert not res.all_checks_passed
+        assert str(res.checks[0]).startswith("[PASS]")
+        assert "detail" in str(res.checks[1])
+
+    def test_series_lookup(self):
+        res = ExperimentResult("id", "t", "d", series=[Series("a", "x", "y", [1], [2])])
+        assert res.series_by_label("a").y == [2]
+        with pytest.raises(KeyError):
+            res.series_by_label("b")
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_series_table_merges_x(self):
+        s1 = Series("s1", "x", "y", [1.0, 2.0], [10, 20])
+        s2 = Series("s2", "x", "y", [2.0, 3.0], [200, 300])
+        out = format_series_table([s1, s2])
+        assert "s1" in out and "s2" in out
+        assert out.count("\n") == 4  # header, sep, 3 x-rows
+
+    def test_render_result(self):
+        res = ExperimentResult(
+            "fig0",
+            "Title",
+            "Description",
+            series=[Series("a", "x", "y", [1], [2])],
+            tables={"t": [{"k": 1}]},
+            params={"scale": 0.1},
+        )
+        res.add_check("c", True)
+        text = render_result(res)
+        assert "fig0" in text and "Title" in text and "[PASS]" in text
+        assert "scale" in text
+
+
+class TestAsDict:
+    def test_json_roundtrip(self):
+        import json
+
+        import numpy as np
+
+        res = ExperimentResult(
+            "x",
+            "t",
+            "d",
+            series=[Series("s", "x", "y", [np.float64(1.0)], [np.int64(2)])],
+            tables={"t": [{"count": np.int64(3), "arr": np.array([1.0])}]},
+            params={"nested": {"tuple": (1, np.float64(2.5))}},
+        )
+        res.add_check("c", True, "ok")
+        text = json.dumps(res.as_dict())
+        data = json.loads(text)
+        assert data["series"][0]["y"] == [2.0]
+        assert data["tables"]["t"][0]["count"] == 3
+        assert data["params"]["nested"]["tuple"] == [1, 2.5]

@@ -1,0 +1,59 @@
+"""Tests for seed sweeps (statistical robustness machinery)."""
+
+import pytest
+
+from repro.experiments.seeds import sweep_seeds
+
+SEEDS = (2015, 7, 99)
+
+
+@pytest.fixture(scope="module")
+def fig9_sweep():
+    return sweep_seeds("fig9", SEEDS, scale=0.004)
+
+
+class TestSweepSeeds:
+    def test_runs_per_seed(self, fig9_sweep):
+        assert fig9_sweep.n_runs == 3
+        assert fig9_sweep.seeds == SEEDS
+
+    def test_exact_theorem_passes_on_every_seed(self, fig9_sweep):
+        """Eq. 13 is a theorem: its check must never fail, any seed."""
+        exact = [
+            name
+            for name in fig9_sweep.check_passes
+            if "exact" in name or "avoids" in name
+        ]
+        assert exact
+        for name in exact:
+            assert fig9_sweep.pass_rate(name) == 1.0
+
+    def test_always_vs_sometimes_partition(self, fig9_sweep):
+        always = set(fig9_sweep.checks_always_passing())
+        sometimes = set(fig9_sweep.checks_sometimes_failing())
+        assert always.isdisjoint(sometimes)
+        assert always | sometimes == set(fig9_sweep.check_passes)
+
+    def test_unknown_check(self, fig9_sweep):
+        with pytest.raises(KeyError):
+            fig9_sweep.pass_rate("nope")
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            sweep_seeds("fig9", [])
+
+
+class TestSeriesStats:
+    def test_config_sweep_deterministic_across_seeds(self):
+        """fig10-12 are analytic: every seed gives identical series."""
+        sweep = sweep_seeds("fig10", (1, 2))
+        stats = sweep.series_stats("fig10 Δi")
+        assert stats
+        for point in stats:
+            assert point.n == 2
+            assert point.minimum == point.maximum == pytest.approx(point.mean)
+
+    def test_unknown_series(self):
+        sweep = sweep_seeds("fig10", (1,))
+        with pytest.raises(KeyError):
+            sweep.series_stats("nope")

@@ -1,0 +1,43 @@
+"""Tests for the clock models."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import DriftingClock, PerfectClock
+
+
+class TestPerfectClock:
+    def test_identity_scalar(self):
+        assert PerfectClock().to_local(5.0) == 5.0
+
+    def test_identity_array(self):
+        arr = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(PerfectClock().to_local(arr), arr)
+
+
+class TestDriftingClock:
+    def test_pure_offset(self):
+        clk = DriftingClock(offset=3.0)
+        assert clk.to_local(10.0) == pytest.approx(13.0)
+
+    def test_drift(self):
+        clk = DriftingClock(offset=0.0, drift=50e-6)
+        assert clk.to_local(1000.0) == pytest.approx(1000.05)
+
+    def test_offset_and_drift_compose(self):
+        clk = DriftingClock(offset=2.0, drift=0.01)
+        np.testing.assert_allclose(clk.to_local(np.array([0.0, 100.0])), [2.0, 103.0])
+
+    def test_rejects_nonfinite_offset(self):
+        with pytest.raises(ValueError):
+            DriftingClock(offset=float("nan"))
+
+    def test_rejects_extreme_drift(self):
+        with pytest.raises(ValueError):
+            DriftingClock(drift=-1.0)
+
+    def test_monotone_mapping(self):
+        clk = DriftingClock(offset=-5.0, drift=0.1)
+        t = np.linspace(0, 100, 50)
+        out = clk.to_local(t)
+        assert np.all(np.diff(out) > 0)

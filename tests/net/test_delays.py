@@ -1,0 +1,237 @@
+"""Tests for the delay models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    GammaDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    NormalDelay,
+    ParetoDelay,
+    ShiftedDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+
+ALL_MODELS = [
+    ConstantDelay(0.05),
+    UniformDelay(0.01, 0.02),
+    NormalDelay(mu=0.1, sigma=0.01),
+    LogNormalDelay(log_mu=-2.0, log_sigma=0.2),
+    ExponentialDelay(0.05),
+    GammaDelay(shape=4.0, scale=2.5e-5),
+    ParetoDelay(alpha=1.5, minimum=0.1),
+    MixtureDelay([(0.9, ConstantDelay(0.1)), (0.1, ConstantDelay(0.5))]),
+    SpikeDelay(ConstantDelay(0.1), ConstantDelay(1.0), spike_rate=0.01),
+    ShiftedDelay(ExponentialDelay(0.01), shift=0.1),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestCommonContract:
+    def test_shape_and_dtype(self, model, rng):
+        out = model.sample(rng, 100)
+        assert out.shape == (100,)
+        assert out.dtype == np.float64
+
+    def test_non_negative(self, model, rng):
+        assert np.all(model.sample(rng, 5000) >= 0.0)
+
+    def test_empty_draw(self, model, rng):
+        assert model.sample(rng, 0).shape == (0,)
+
+    def test_deterministic_given_seed(self, model):
+        a = model.sample(np.random.default_rng(7), 50)
+        b = model.sample(np.random.default_rng(7), 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_is_finite_positive_or_inf(self, model):
+        assert model.mean() >= 0.0
+
+
+class TestConstantDelay:
+    def test_exact(self, rng):
+        np.testing.assert_array_equal(
+            ConstantDelay(0.25).sample(rng, 3), [0.25, 0.25, 0.25]
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+
+class TestUniformDelay:
+    def test_bounds(self, rng):
+        out = UniformDelay(0.1, 0.2).sample(rng, 10_000)
+        assert out.min() >= 0.1 and out.max() <= 0.2
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDelay(0.2, 0.1)
+
+    def test_mean(self):
+        assert UniformDelay(0.1, 0.3).mean() == pytest.approx(0.2)
+
+
+class TestNormalDelay:
+    def test_clipped_at_minimum(self, rng):
+        out = NormalDelay(mu=0.0, sigma=1.0, minimum=0.5).sample(rng, 1000)
+        assert out.min() >= 0.5
+
+    def test_empirical_mean(self, rng):
+        out = NormalDelay(mu=0.1, sigma=0.001).sample(rng, 20_000)
+        assert out.mean() == pytest.approx(0.1, rel=1e-3)
+
+
+class TestLogNormalDelay:
+    def test_mean_formula(self, rng):
+        model = LogNormalDelay(log_mu=np.log(0.1), log_sigma=0.3)
+        out = model.sample(rng, 200_000)
+        assert out.mean() == pytest.approx(model.mean(), rel=0.02)
+
+    def test_right_skew(self, rng):
+        out = LogNormalDelay(log_mu=0.0, log_sigma=1.0).sample(rng, 50_000)
+        assert np.median(out) < out.mean()
+
+
+class TestExponentialAndGamma:
+    def test_exponential_mean(self, rng):
+        out = ExponentialDelay(0.05).sample(rng, 100_000)
+        assert out.mean() == pytest.approx(0.05, rel=0.03)
+
+    def test_gamma_mean(self, rng):
+        model = GammaDelay(shape=4.0, scale=2.5e-5)
+        out = model.sample(rng, 100_000)
+        assert out.mean() == pytest.approx(model.mean(), rel=0.03)
+
+
+class TestParetoDelay:
+    def test_minimum_respected(self, rng):
+        out = ParetoDelay(alpha=1.5, minimum=0.2).sample(rng, 10_000)
+        assert out.min() >= 0.2
+
+    def test_infinite_mean_for_alpha_le_1(self):
+        assert ParetoDelay(alpha=0.9, minimum=0.1).mean() == float("inf")
+
+    def test_heavy_tail(self, rng):
+        out = ParetoDelay(alpha=1.2, minimum=0.1).sample(rng, 100_000)
+        assert out.max() > 10 * 0.1
+
+
+class TestMixtureDelay:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            MixtureDelay([(0.5, ConstantDelay(1.0))])
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            MixtureDelay([])
+
+    def test_component_proportions(self, rng):
+        model = MixtureDelay([(0.8, ConstantDelay(0.1)), (0.2, ConstantDelay(0.9))])
+        out = model.sample(rng, 50_000)
+        frac_fast = np.mean(out == 0.1)
+        assert frac_fast == pytest.approx(0.8, abs=0.01)
+
+    def test_mean(self):
+        model = MixtureDelay([(0.8, ConstantDelay(0.1)), (0.2, ConstantDelay(0.9))])
+        assert model.mean() == pytest.approx(0.26)
+
+
+class TestSpikeDelay:
+    def test_no_spikes_at_zero_rate(self, rng):
+        model = SpikeDelay(ConstantDelay(0.1), ConstantDelay(5.0), spike_rate=0.0)
+        np.testing.assert_array_equal(model.sample(rng, 100), np.full(100, 0.1))
+
+    def test_spikes_cluster(self, rng):
+        # With long runs, delays above base should appear in consecutive runs.
+        model = SpikeDelay(
+            ConstantDelay(0.1), ConstantDelay(5.0), spike_rate=0.002, spike_run=20.0
+        )
+        out = model.sample(rng, 50_000)
+        spiked = out > 0.1
+        assert spiked.any()
+        # Mean run length of spiked samples should exceed 2 (clustering).
+        changes = np.diff(spiked.astype(int))
+        n_runs = (changes == 1).sum() + int(spiked[0])
+        assert spiked.sum() / max(n_runs, 1) > 2.0
+
+    def test_decaying_profile(self, rng):
+        model = SpikeDelay(
+            ConstantDelay(0.0), ConstantDelay(1.0), spike_rate=1.0, spike_run=5.0
+        )
+        out = model.sample(np.random.default_rng(0), 10)
+        assert np.all(out <= 1.0)
+
+
+class TestShiftedDelay:
+    def test_shift_applied(self, rng):
+        out = ShiftedDelay(ConstantDelay(0.1), shift=0.05).sample(rng, 10)
+        np.testing.assert_allclose(out, 0.15)
+
+
+@given(n=st.integers(0, 200), seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_sample_length_property(n, seed):
+    rng = np.random.default_rng(seed)
+    out = LogNormalDelay(log_mu=-2.0, log_sigma=0.1).sample(rng, n)
+    assert len(out) == n and np.all(out >= 0)
+
+
+class TestEmpiricalDelay:
+    def test_resamples_only_observed_values(self, rng):
+        from repro.net.delays import EmpiricalDelay
+
+        model = EmpiricalDelay([0.1, 0.2, 0.3])
+        out = model.sample(rng, 1000)
+        assert set(np.round(out, 10)) <= {0.1, 0.2, 0.3}
+        assert model.mean() == pytest.approx(0.2)
+
+    def test_from_trace_roundtrip(self, rng):
+        """Delays bootstrapped from a trace reproduce its delay statistics."""
+        from repro.net.delays import EmpiricalDelay, LogNormalDelay
+        from repro.net.link import Link
+        from repro.traces.synth import generate_trace
+
+        source = generate_trace(
+            5000, 0.1, Link(delay_model=LogNormalDelay(-2.0, 0.3)), rng=1
+        )
+        model = EmpiricalDelay.from_trace(source)
+        resampled = model.sample(rng, 50_000)
+        original = source.normalized_arrivals()
+        original = original - original.min()
+        assert resampled.mean() == pytest.approx(original.mean(), rel=0.05)
+        assert resampled.std() == pytest.approx(original.std(), rel=0.1)
+
+    def test_observations_read_only(self):
+        from repro.net.delays import EmpiricalDelay
+
+        model = EmpiricalDelay([0.1])
+        with pytest.raises(ValueError):
+            model.observations[0] = 9.0
+
+    def test_validation(self):
+        from repro.net.delays import EmpiricalDelay
+
+        with pytest.raises(ValueError):
+            EmpiricalDelay([])
+        with pytest.raises(ValueError):
+            EmpiricalDelay([-0.1])
+        with pytest.raises(ValueError):
+            EmpiricalDelay([float("nan")])
+
+    def test_usable_in_link(self, rng):
+        from repro.net.delays import EmpiricalDelay
+        from repro.net.link import Link
+        from repro.traces.synth import generate_trace
+
+        trace = generate_trace(
+            100, 0.1, Link(delay_model=EmpiricalDelay([0.01, 0.02])), rng=rng
+        )
+        normalized = trace.normalized_arrivals()
+        assert set(np.round(normalized, 10)) <= {0.01, 0.02}

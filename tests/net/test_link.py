@@ -1,0 +1,68 @@
+"""Tests for the composable link."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import DriftingClock
+from repro.net.delays import ConstantDelay, UniformDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss, NoLoss
+
+
+class TestTransmit:
+    def test_lossless_constant(self, rng):
+        link = Link(delay_model=ConstantDelay(0.1))
+        sends = np.array([1.0, 2.0, 3.0])
+        tx = link.transmit(sends, rng)
+        assert tx.delivered.all()
+        np.testing.assert_allclose(tx.arrival, sends + 0.1)
+        np.testing.assert_allclose(tx.delay, 0.1)
+
+    def test_loss_mask_shape(self, rng):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.5))
+        sends = np.arange(1000, dtype=float)
+        tx = link.transmit(sends, rng)
+        assert tx.delivered.shape == (1000,)
+        assert tx.arrival.shape == (int(tx.delivered.sum()),)
+        assert 300 < tx.delivered.sum() < 700
+
+    def test_clock_skew_applied(self, rng):
+        link = Link(
+            delay_model=ConstantDelay(0.1),
+            receiver_clock=DriftingClock(offset=100.0),
+        )
+        tx = link.transmit(np.array([1.0]), rng)
+        assert tx.arrival[0] == pytest.approx(101.1)
+
+    def test_reordering_possible(self, rng):
+        link = Link(delay_model=UniformDelay(0.0, 5.0))
+        sends = np.arange(0, 100, 0.5)
+        tx = link.transmit(sends, rng)
+        # Arrivals in send order must not be globally sorted (overtaking).
+        assert not np.all(np.diff(tx.arrival) >= 0)
+
+    def test_deterministic_given_seed(self):
+        link = Link(delay_model=UniformDelay(0.0, 1.0), loss_model=BernoulliLoss(0.1))
+        sends = np.arange(100, dtype=float)
+        a = link.transmit(sends, np.random.default_rng(3))
+        b = link.transmit(sends, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.delivered, b.delivered)
+        np.testing.assert_array_equal(a.arrival, b.arrival)
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            Link().transmit(np.zeros((2, 2)), rng)
+
+
+class TestAccessors:
+    def test_mean_delay(self):
+        assert Link(delay_model=ConstantDelay(0.2)).mean_delay() == 0.2
+
+    def test_loss_rate(self):
+        assert Link(loss_model=BernoulliLoss(0.07)).loss_rate() == 0.07
+
+    def test_defaults(self):
+        link = Link()
+        assert link.mean_delay() == 0.0
+        assert link.loss_rate() == 0.0
+        assert isinstance(link.loss_model, NoLoss)

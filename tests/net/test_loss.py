@@ -1,0 +1,100 @@
+"""Tests for the loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BernoulliLoss, BurstLoss, GilbertElliottLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_all_delivered(self, rng):
+        assert NoLoss().sample(rng, 1000).all()
+
+    def test_rate(self):
+        assert NoLoss().loss_rate() == 0.0
+
+    def test_stream(self, rng):
+        stream = NoLoss().stream(rng)
+        assert all(next(stream) for _ in range(100))
+
+
+class TestBernoulliLoss:
+    def test_empirical_rate(self, rng):
+        delivered = BernoulliLoss(0.1).sample(rng, 100_000)
+        assert 1 - delivered.mean() == pytest.approx(0.1, abs=0.005)
+
+    def test_rate_property(self):
+        assert BernoulliLoss(0.25).loss_rate() == 0.25
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+    def test_zero_loss(self, rng):
+        assert BernoulliLoss(0.0).sample(rng, 1000).all()
+
+    def test_total_loss(self, rng):
+        assert not BernoulliLoss(1.0).sample(rng, 1000).any()
+
+    def test_stream_rate(self, rng):
+        stream = BernoulliLoss(0.2).stream(rng)
+        delivered = sum(next(stream) for _ in range(20_000))
+        assert delivered / 20_000 == pytest.approx(0.8, abs=0.02)
+
+
+class TestGilbertElliott:
+    def test_stationary_rate_formula(self):
+        model = GilbertElliottLoss(p_gb=0.01, p_bg=0.2, p_good=0.0, p_bad=1.0)
+        pi_bad = 0.01 / 0.21
+        assert model.loss_rate() == pytest.approx(pi_bad)
+
+    def test_empirical_rate_close_to_stationary(self, rng):
+        model = GilbertElliottLoss(p_gb=0.01, p_bg=0.2)
+        delivered = model.sample(rng, 500_000)
+        assert 1 - delivered.mean() == pytest.approx(model.loss_rate(), abs=0.01)
+
+    def test_losses_are_bursty(self, rng):
+        model = BurstLoss(mean_gap=500.0, mean_burst=10.0)
+        delivered = model.sample(rng, 200_000)
+        lost = ~delivered
+        assert lost.any()
+        changes = np.diff(lost.astype(int))
+        n_runs = (changes == 1).sum() + int(lost[0])
+        mean_run = lost.sum() / max(n_runs, 1)
+        assert mean_run > 3.0  # far burstier than Bernoulli at equal rate
+
+    def test_degenerate_stays_good(self, rng):
+        model = GilbertElliottLoss(p_gb=0.0, p_bg=0.0, p_good=0.0)
+        assert model.sample(rng, 1000).all()
+        assert model.loss_rate() == 0.0
+
+    def test_rejects_unleavable_bad_state(self):
+        with pytest.raises(ValueError, match="leavable"):
+            GilbertElliottLoss(p_gb=0.1, p_bg=0.0)
+
+    def test_stream_matches_stationary_rate(self, rng):
+        model = GilbertElliottLoss(p_gb=0.02, p_bg=0.2)
+        stream = model.stream(rng)
+        delivered = sum(next(stream) for _ in range(100_000))
+        assert 1 - delivered / 100_000 == pytest.approx(model.loss_rate(), abs=0.02)
+
+    def test_empty_sample(self, rng):
+        assert GilbertElliottLoss(0.01, 0.2).sample(rng, 0).shape == (0,)
+
+    def test_start_in_bad_state(self, rng):
+        model = GilbertElliottLoss(p_gb=0.0, p_bg=0.0, p_bad=1.0, start_good=False)
+        assert not model.sample(rng, 100).any()
+        assert model.loss_rate() == 1.0
+
+
+class TestBurstLossFactory:
+    def test_parameters(self):
+        model = BurstLoss(mean_gap=100.0, mean_burst=5.0, p_base=0.01)
+        assert model.p_gb == pytest.approx(0.01)
+        assert model.p_bg == pytest.approx(0.2)
+        assert model.p_good == 0.01
+        assert model.p_bad == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BurstLoss(mean_gap=0.0, mean_burst=5.0)

@@ -1,0 +1,196 @@
+"""Property-based tests of the DESIGN.md invariants (hypothesis).
+
+These run every detector over randomly generated traces (random loss
+patterns, random bounded delays, reordering possible) and assert the
+paper's structural claims hold on *every* one of them, not just the
+calibrated WAN/LAN scenarios.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.registry import make_detector
+from repro.replay.engine import replay_detector, replay_online
+from repro.replay.kernels import ChenKernel, MultiWindowKernel, make_kernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.mistakes import mistake_gaps
+from tests.conftest import heartbeat_traces
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestIntersectionTheorem:
+    """Invariant 1: Eq. 13 holds exactly on arbitrary traces."""
+
+    @given(trace=heartbeat_traces(), margin=st.floats(0.0, 3.0))
+    @settings(**SETTINGS)
+    def test_mistake_set_equality(self, trace, margin):
+        k2w = MultiWindowKernel(trace, window_sizes=(1, 16))
+        kc1 = ChenKernel(trace, window_size=1)
+        kc2 = ChenKernel(trace, window_size=16)
+        m2w = mistake_gaps(k2w, trace, margin).gap_index
+        mc1 = mistake_gaps(kc1, trace, margin).gap_index
+        mc2 = mistake_gaps(kc2, trace, margin).gap_index
+        np.testing.assert_array_equal(np.sort(m2w), np.intersect1d(mc1, mc2))
+
+    @given(trace=heartbeat_traces(), margin=st.floats(0.0, 3.0))
+    @settings(**SETTINGS)
+    def test_deadline_is_pointwise_max(self, trace, margin):
+        k2w = MultiWindowKernel(trace, window_sizes=(1, 16))
+        kc1 = ChenKernel(trace, window_size=1)
+        kc2 = ChenKernel(trace, window_size=16)
+        np.testing.assert_allclose(
+            k2w.deadlines(margin),
+            np.maximum(kc1.deadlines(margin), kc2.deadlines(margin)),
+            atol=1e-9,
+        )
+
+
+class TestDominance:
+    """Invariant 2: the 2W-FD never does worse than either Chen window.
+
+    The exact theorems are (a) the 2W suspicion-gap set is a subset of each
+    Chen one and (b) trust time / query accuracy dominate pointwise.  The
+    raw S-*transition* count is NOT a theorem: a later deadline can split
+    one long merged Chen mistake into several shorter 2W ones (hypothesis
+    found this; see the stale-arrival case in metrics_kernel).
+    """
+
+    @given(
+        trace=heartbeat_traces(),
+        margin=st.floats(0.0, 3.0),
+        w=st.integers(2, 32),
+    )
+    @settings(**SETTINGS)
+    def test_suspicion_subset_and_accuracy(self, trace, margin, w):
+        r2w = replay_detector(
+            make_kernel("2w-fd", trace, window_sizes=(1, w)), trace, margin
+        )
+        for single in (1, w):
+            rc = replay_detector(
+                make_kernel("chen", trace, window_size=single), trace, margin
+            )
+            assert np.isin(
+                r2w.outcome.suspicion_gaps, rc.outcome.suspicion_gaps
+            ).all()
+            assert r2w.metrics.query_accuracy >= rc.metrics.query_accuracy - 1e-12
+            assert r2w.metrics.suspect_time <= rc.metrics.suspect_time + 1e-9
+
+
+class TestOnlineVectorizedEquivalence:
+    """Invariant 3: the incremental and NumPy paths agree everywhere."""
+
+    @given(trace=heartbeat_traces(), margin=st.floats(0.0, 2.0))
+    @settings(**SETTINGS)
+    def test_two_window(self, trace, margin):
+        online = replay_online(
+            make_detector(
+                "2w-fd", trace.interval, safety_margin=margin, short_window=1,
+                long_window=8,
+            ),
+            trace,
+        )
+        vec = replay_detector(
+            make_kernel("2w-fd", trace, window_sizes=(1, 8)), trace, margin
+        )
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-9)
+        assert online.metrics.n_mistakes == vec.metrics.n_mistakes
+        assert online.metrics.query_accuracy == pytest.approx(
+            vec.metrics.query_accuracy, abs=1e-9
+        )
+
+    @given(trace=heartbeat_traces(), threshold=st.floats(0.2, 6.0))
+    @settings(**SETTINGS)
+    def test_phi(self, trace, threshold):
+        online = replay_online(
+            make_detector("phi", trace.interval, threshold=threshold, window_size=8),
+            trace,
+        )
+        vec = replay_detector(
+            make_kernel("phi", trace, window_size=8), trace, threshold
+        )
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-8)
+        assert online.metrics.n_mistakes == vec.metrics.n_mistakes
+
+    @given(trace=heartbeat_traces())
+    @settings(**SETTINGS)
+    def test_bertier(self, trace):
+        online = replay_online(
+            make_detector("bertier", trace.interval, window_size=8), trace
+        )
+        vec = replay_detector(make_kernel("bertier", trace, window_size=8), trace)
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-8)
+
+
+class TestSkewInvariance:
+    """Invariant 4: a constant clock offset changes no QoS metric."""
+
+    @given(
+        trace=heartbeat_traces(),
+        margin=st.floats(0.1, 2.0),
+        offset=st.floats(-1e5, 1e5),
+    )
+    @settings(**SETTINGS)
+    def test_chen_family(self, trace, margin, offset):
+        shifted = trace.with_time_offset(offset)
+        for name, kwargs in [
+            ("2w-fd", {"window_sizes": (1, 8)}),
+            ("chen", {"window_size": 8}),
+        ]:
+            a = replay_detector(make_kernel(name, trace, **kwargs), trace, margin)
+            b = replay_detector(make_kernel(name, shifted, **kwargs), shifted, margin)
+            assert a.metrics.n_mistakes == b.metrics.n_mistakes
+            assert a.metrics.query_accuracy == pytest.approx(
+                b.metrics.query_accuracy, abs=1e-6
+            )
+            assert a.detection_time == pytest.approx(b.detection_time, abs=1e-6)
+
+
+class TestMonotonicity:
+    """Invariant 5: accuracy improves monotonically with the tuning knob."""
+
+    @given(trace=heartbeat_traces(), m1=st.floats(0.0, 1.0), m2=st.floats(0.0, 1.0))
+    @settings(**SETTINGS)
+    def test_chen_margin(self, trace, m1, m2):
+        lo, hi = sorted((m1, m2))
+        k = ChenKernel(trace, window_size=4)
+        r_lo = replay_detector(k, trace, lo)
+        r_hi = replay_detector(k, trace, hi)
+        # Suspicion gaps shrink (set-wise) and accuracy improves; the raw
+        # S-transition count may split/merge (see TestDominance docstring).
+        assert np.isin(
+            r_hi.outcome.suspicion_gaps, r_lo.outcome.suspicion_gaps
+        ).all()
+        assert r_hi.metrics.query_accuracy >= r_lo.metrics.query_accuracy - 1e-12
+
+    @given(trace=heartbeat_traces(), t1=st.floats(0.3, 8.0), t2=st.floats(0.3, 8.0))
+    @settings(**SETTINGS)
+    def test_phi_threshold(self, trace, t1, t2):
+        lo, hi = sorted((t1, t2))
+        k = make_kernel("phi", trace, window_size=8)
+        r_lo = replay_detector(k, trace, lo)
+        r_hi = replay_detector(k, trace, hi)
+        assert np.isin(
+            r_hi.outcome.suspicion_gaps, r_lo.outcome.suspicion_gaps
+        ).all()
+        assert r_hi.metrics.query_accuracy >= r_lo.metrics.query_accuracy - 1e-12
+
+
+class TestTimelineSanity:
+    """Invariant 8: metric identities on arbitrary (t, d) pairs."""
+
+    @given(trace=heartbeat_traces(), margin=st.floats(0.0, 3.0))
+    @settings(**SETTINGS)
+    def test_metric_identities(self, trace, margin):
+        k = MultiWindowKernel(trace, window_sizes=(1, 8))
+        out = replay_metrics(k.t, k.deadlines(margin), k.end_time)
+        m = out.metrics
+        assert 0.0 <= m.query_accuracy <= 1.0
+        assert m.trust_time + m.suspect_time == pytest.approx(m.duration, rel=1e-9)
+        assert m.mistake_rate >= 0.0
+        assert m.n_mistakes <= out.n_gaps + 1
+        if m.n_mistakes:
+            assert m.mistake_rate * m.mistake_recurrence_time == pytest.approx(1.0)
+            assert m.mistake_duration * m.n_mistakes <= m.suspect_time + 1e-9

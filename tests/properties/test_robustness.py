@@ -1,0 +1,117 @@
+"""Failure-injection / robustness tests for the online detectors.
+
+These feed every registered detector pathological but *possible* inputs —
+duplicate floods, huge sequence jumps, decade-long silences, extreme clock
+offsets, microsecond bursts — and assert the structural contract survives:
+no exceptions, alternating transitions, finite (or +inf) deadlines, and
+sequence monotonicity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import available_detectors, make_detector
+
+SPECIMENS = {
+    "2w-fd": {"safety_margin": 0.2, "long_window": 50},
+    "adaptive-2w-fd": {"max_mistake_rate": 1e-3, "window_sizes": (1, 50)},
+    "mw-fd": {"window_sizes": (1, 5, 50), "safety_margin": 0.2},
+    "chen": {"safety_margin": 0.2, "window_size": 50},
+    "chen-sync": {"shift": 0.2},
+    "bertier": {"window_size": 50},
+    "phi": {"threshold": 2.0, "window_size": 50},
+    "ed": {"threshold": 0.9, "window_size": 50},
+    "histogram": {"threshold": 0.95, "window_size": 50, "margin_factor": 1.2},
+    "fixed-timeout": {"timeout": 0.5},
+}
+
+
+def fresh(name):
+    return make_detector(name, 1.0, **SPECIMENS[name])
+
+
+def assert_contract(det, end_time):
+    trans = det.finalize(end_time)
+    states = [s for _, s in trans]
+    assert all(a != b for a, b in zip(states, states[1:])), "non-alternating output"
+    times = [t for t, _ in trans]
+    assert times == sorted(times), "transitions out of order"
+    d = det.suspicion_deadline
+    assert d is None or d == d  # not NaN
+
+
+@pytest.mark.parametrize("name", sorted(SPECIMENS))
+class TestPathologicalFeeds:
+    def test_specimens_cover_registry(self, name):
+        assert set(SPECIMENS) == set(available_detectors())
+
+    def test_duplicate_flood(self, name):
+        det = fresh(name)
+        det.receive(1, 1.1)
+        for _ in range(500):
+            assert det.receive(1, 1.2) is False
+        assert det.largest_seq == 1
+        assert_contract(det, 10.0)
+
+    def test_huge_sequence_jump(self, name):
+        det = fresh(name)
+        det.receive(1, 1.1)
+        det.receive(10_000_000, 10_000_000.1)
+        assert det.largest_seq == 10_000_000
+        d = det.suspicion_deadline
+        assert math.isinf(d) or d > 10_000_000.0
+        assert_contract(det, 10_000_001.0)
+
+    def test_decade_of_silence_then_recovery(self, name):
+        det = fresh(name)
+        for s in range(1, 20):
+            det.receive(s, s + 0.1)
+        det.advance_to(3.2e8)  # ~10 years
+        assert not det.is_trusting(3.2e8)
+        det.receive(20, 3.2e8 + 1.0)
+        assert_contract(det, 3.2e8 + 10.0)
+
+    def test_extreme_clock_offset(self, name):
+        offset = 1.7e9  # epoch-style timestamps
+        if name == "chen-sync":
+            # NFD-S requires synchronized clocks: the offset must be given
+            # explicitly (every estimating detector absorbs it instead).
+            det = make_detector(name, 1.0, shift=0.2, clock_offset=offset)
+        else:
+            det = fresh(name)
+        for s in range(1, 50):
+            det.receive(s, offset + s + 0.1)
+        assert det.is_trusting(offset + 49.2)
+        assert_contract(det, offset + 60.0)
+
+    def test_microsecond_burst_arrivals(self, name):
+        """Heartbeats bunched together (queue drain) must not break state."""
+        det = fresh(name)
+        det.receive(1, 1.1)
+        base = 5.0
+        for k in range(2, 40):
+            det.receive(k, base + k * 1e-6)
+        assert_contract(det, 10.0)
+
+    def test_every_other_heartbeat_lost(self, name):
+        det = fresh(name)
+        for s in range(1, 200, 2):
+            det.receive(s, s + 0.1)
+        assert det.largest_seq == 199
+        assert_contract(det, 210.0)
+
+    def test_interleaved_stale_traffic(self, name):
+        """Old duplicates arriving between fresh heartbeats are inert."""
+        det = fresh(name)
+        reference = fresh(name)
+        t = 0.0
+        rng = np.random.default_rng(0)
+        for s in range(1, 60):
+            t = s + rng.uniform(0, 0.4)
+            det.receive(s, t)
+            reference.receive(s, t)
+            if s > 3:
+                det.receive(s - 3, t + 0.01)  # stale duplicate
+        assert det.suspicion_deadline == pytest.approx(reference.suspicion_deadline)

@@ -1,0 +1,114 @@
+"""Tests for the adaptive-margin extension (§V-A closing remark)."""
+
+import numpy as np
+import pytest
+
+from repro.qos.adaptive import AdaptiveMarginController, margin_for_accuracy
+from repro.qos.configurator import mistake_rate_bound
+from repro.qos.estimators import NetworkBehavior
+
+
+class TestMarginForAccuracy:
+    def test_bound_satisfied_and_minimal(self):
+        behavior = NetworkBehavior(loss_probability=0.01, delay_variance=1e-3)
+        interval, bound = 0.1, 1e-3
+        margin = margin_for_accuracy(interval, behavior, bound)
+        assert mistake_rate_bound(interval, interval + margin, behavior) <= bound
+        if margin > 1e-6:
+            shrunk = margin * 0.9
+            assert (
+                mistake_rate_bound(interval, interval + shrunk, behavior) > bound
+            )
+
+    def test_zero_when_bound_trivial(self):
+        behavior = NetworkBehavior(0.0, 0.0)
+        # f(Δi; Δi+0) = 1/Δi = 10 > 100? No: bound 100 ≥ 10 ⇒ margin 0.
+        assert margin_for_accuracy(0.1, behavior, 100.0) == 0.0
+
+    def test_cap_when_unreachable(self):
+        # Total loss: no margin can help; the cap is returned.
+        behavior = NetworkBehavior(1.0, 1e-3)
+        margin = margin_for_accuracy(0.1, behavior, 1e-6, margin_cap_intervals=50)
+        assert margin == pytest.approx(5.0)
+
+    def test_worse_network_needs_bigger_margin(self):
+        interval, bound = 0.1, 1e-3
+        quiet = NetworkBehavior(0.001, 1e-5)
+        noisy = NetworkBehavior(0.05, 1e-2)
+        assert margin_for_accuracy(interval, noisy, bound) > margin_for_accuracy(
+            interval, quiet, bound
+        )
+
+    def test_tighter_bound_needs_bigger_margin(self):
+        behavior = NetworkBehavior(0.01, 1e-3)
+        loose = margin_for_accuracy(0.1, behavior, 1e-2)
+        tight = margin_for_accuracy(0.1, behavior, 1e-8)
+        assert tight >= loose
+
+    def test_validation(self):
+        behavior = NetworkBehavior(0.01, 1e-3)
+        with pytest.raises(ValueError):
+            margin_for_accuracy(0.0, behavior, 1e-3)
+        with pytest.raises(ValueError):
+            margin_for_accuracy(0.1, behavior, 0.0)
+
+
+class TestAdaptiveMarginController:
+    def _feed_regular(self, ctl, n, jitter=0.0, loss_every=0, start_seq=1, rng=None):
+        seq = start_seq
+        for _ in range(n):
+            if loss_every and seq % loss_every == 0:
+                seq += 1
+                continue
+            arrival = seq * ctl.interval + (rng.uniform(0, jitter) if jitter else 0.001)
+            ctl.observe(seq, arrival)
+            seq += 1
+        return seq
+
+    def test_initial_margin_until_first_update(self):
+        ctl = AdaptiveMarginController(0.1, 1e-3, update_period=10.0, initial_margin=0.5)
+        assert ctl.margin == 0.5
+        self._feed_regular(ctl, 50)  # 5 seconds of traffic: no update yet
+        assert ctl.margin == 0.5
+        assert ctl.n_updates == 0
+
+    def test_updates_fire_per_period(self):
+        ctl = AdaptiveMarginController(0.1, 1e-3, update_period=5.0)
+        self._feed_regular(ctl, 600)  # 60 s of traffic
+        assert 10 <= ctl.n_updates <= 13
+
+    def test_margin_grows_when_loss_appears(self):
+        rng = np.random.default_rng(0)
+        ctl = AdaptiveMarginController(0.1, 1e-4, update_period=5.0,
+                                       estimator_window=500)
+        nxt = self._feed_regular(ctl, 1000, jitter=0.005, rng=rng)
+        calm = ctl.margin
+        self._feed_regular(ctl, 1000, jitter=0.005, loss_every=5, start_seq=nxt, rng=rng)
+        assert ctl.margin > calm
+
+    def test_margin_recovers_when_calm(self):
+        rng = np.random.default_rng(1)
+        ctl = AdaptiveMarginController(0.1, 1e-4, update_period=5.0,
+                                       estimator_window=300)
+        nxt = self._feed_regular(ctl, 600, jitter=0.005, rng=rng)
+        nxt = self._feed_regular(ctl, 600, jitter=0.005, loss_every=4, start_seq=nxt, rng=rng)
+        noisy = ctl.margin
+        self._feed_regular(ctl, 1200, jitter=0.005, start_seq=nxt, rng=rng)
+        assert ctl.margin < noisy
+
+    def test_detection_time_bound_identity(self):
+        ctl = AdaptiveMarginController(0.1, 1e-3, initial_margin=0.3)
+        assert ctl.detection_time_bound == pytest.approx(0.4)
+
+    def test_current_behavior_requires_samples(self):
+        ctl = AdaptiveMarginController(0.1, 1e-3)
+        with pytest.raises(ValueError):
+            ctl.current_behavior()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveMarginController(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            AdaptiveMarginController(0.1, 1e-3, update_period=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMarginController(0.1, 1e-3, estimator_window=1)

@@ -1,0 +1,112 @@
+"""Theory vs measurement: exact NFD-S formulas against the replay pipeline.
+
+Generates i.i.d. traffic (exponential delays, Bernoulli loss) where the
+closed forms of :mod:`repro.qos.analytic` are exact, replays Chen's NFD-S
+through the full measurement pipeline, and requires agreement to within
+sampling error.  A disagreement here would implicate trace generation, the
+kernels, or the metric definitions — it is the suite's end-to-end oracle.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.delays import ConstantDelay, ExponentialDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.qos.analytic import (
+    measured_trust_at,
+    nfds_query_accuracy,
+    nfds_suspect_probability,
+)
+from repro.replay.kernels import ChenSyncKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.traces.synth import generate_trace
+
+INTERVAL = 0.1
+SCALE = 0.03  # exponential delay mean
+
+
+def exp_cdf(x):
+    return 1.0 - np.exp(-np.asarray(x, dtype=float) / SCALE)
+
+
+def make_iid_trace(loss, n=200_000, seed=0):
+    link = Link(
+        delay_model=ExponentialDelay(SCALE), loss_model=BernoulliLoss(loss)
+    )
+    return generate_trace(n, INTERVAL, link, rng=seed)
+
+
+class TestClosedForms:
+    def test_no_loss_no_shift(self):
+        # With δ = 0 only the heartbeat m_i itself can help at τ_i:
+        # P(suspect) = P(D > 0) = 1 (continuous delays).
+        p = nfds_suspect_probability(INTERVAL, 0.0, 0.0, exp_cdf)
+        assert p == pytest.approx(1.0)
+
+    def test_single_opportunity(self):
+        # δ < Δi: only m_i helps; P(suspect at τ_i) = p + (1-p)e^{-δ/scale}.
+        shift, loss = 0.05, 0.1
+        expected = loss + (1 - loss) * math.exp(-shift / SCALE)
+        assert nfds_suspect_probability(INTERVAL, shift, loss, exp_cdf) == pytest.approx(expected)
+
+    def test_two_opportunities(self):
+        # Δi ≤ δ < 2Δi: m_i and m_{i+1} both help.
+        shift, loss = 0.15, 0.1
+        f1 = loss + (1 - loss) * math.exp(-shift / SCALE)
+        f2 = loss + (1 - loss) * math.exp(-(shift - INTERVAL) / SCALE)
+        assert nfds_suspect_probability(INTERVAL, shift, loss, exp_cdf) == pytest.approx(f1 * f2)
+
+    def test_monotone_in_shift(self):
+        ps = [
+            nfds_suspect_probability(INTERVAL, s, 0.05, exp_cdf)
+            for s in (0.02, 0.08, 0.15, 0.3, 0.6)
+        ]
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+
+    def test_query_accuracy_bounds(self):
+        pa = nfds_query_accuracy(INTERVAL, 0.2, 0.05, exp_cdf)
+        assert 0.0 < pa < 1.0
+        # More margin → better accuracy.
+        assert nfds_query_accuracy(INTERVAL, 0.4, 0.05, exp_cdf) > pa
+
+    def test_deterministic_delay_degenerate(self):
+        # Constant delay 0.03 < δ: the first heartbeat always saves; P_A = 1.
+        cdf = lambda x: (np.asarray(x, dtype=float) >= 0.03).astype(float)
+        assert nfds_query_accuracy(INTERVAL, 0.05, 0.0, cdf) == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("loss,shift", [(0.0, 0.05), (0.1, 0.05), (0.05, 0.18)])
+class TestTheoryVsMeasurement:
+    def test_query_accuracy_matches(self, loss, shift):
+        trace = make_iid_trace(loss, seed=42)
+        kernel = ChenSyncKernel(trace, clock_offset=0.0)
+        d = kernel.deadlines(shift)
+        measured = replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False).metrics
+        predicted = nfds_query_accuracy(INTERVAL, shift, loss, exp_cdf)
+        assert measured.query_accuracy == pytest.approx(predicted, abs=0.004)
+
+    def test_freshness_point_suspicion_matches(self, loss, shift):
+        trace = make_iid_trace(loss, seed=43)
+        kernel = ChenSyncKernel(trace, clock_offset=0.0)
+        d = kernel.deadlines(shift)
+        # Sample the output at every freshness point τ_i = i·Δi + δ
+        # (skip the warm-up and the horizon tail).
+        i = np.arange(10, trace.n_sent - 10)
+        taus = i * INTERVAL + shift
+        trusted = measured_trust_at(kernel.t, d, taus)
+        measured_p = 1.0 - trusted.mean()
+        predicted_p = nfds_suspect_probability(INTERVAL, shift, loss, exp_cdf)
+        assert measured_p == pytest.approx(predicted_p, abs=0.005)
+
+
+class TestMeasuredTrustAt:
+    def test_before_first_heartbeat(self):
+        out = measured_trust_at([1.0], [2.0], [0.5, 1.5, 2.5])
+        assert out.tolist() == [False, True, False]
+
+    def test_strict_deadline(self):
+        out = measured_trust_at([1.0], [2.0], [2.0])
+        assert not out[0]

@@ -1,0 +1,129 @@
+"""Tests for Chen's configuration procedure (Eq. 14-16, §V-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.configurator import (
+    ConfigurationError,
+    configure,
+    mistake_rate_bound,
+)
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.001)
+
+
+class TestMistakeRateBound:
+    def test_hand_computed(self):
+        """f(Δi) for two heartbeat opportunities, by hand."""
+        v, p = 0.001, 0.01
+        b = NetworkBehavior(loss_probability=p, delay_variance=v)
+        td, eta = 3.0, 1.0
+        # ceil(3/1) - 1 = 2 terms, x = 2, 1.
+        u = [(v + p * x * x) / (v + x * x) for x in (2.0, 1.0)]
+        assert mistake_rate_bound(eta, td, b) == pytest.approx(u[0] * u[1] / eta)
+
+    def test_no_opportunities(self):
+        b = NetworkBehavior(0.1, 0.0)
+        assert mistake_rate_bound(2.0, 2.0, b) == pytest.approx(0.5)
+
+    def test_zero_loss_zero_variance_is_zero(self):
+        b = NetworkBehavior(0.0, 0.0)
+        assert mistake_rate_bound(0.5, 2.0, b) == 0.0
+
+    def test_deep_product_underflows_to_zero(self):
+        b = NetworkBehavior(0.5, 0.0)
+        assert mistake_rate_bound(1e-4, 1.0, b) == 0.0
+
+    def test_tiny_interval_does_not_blow_memory(self):
+        """Huge ⌈T_D/Δi⌉ must evaluate lazily (chunked, early exit)."""
+        b = NetworkBehavior(0.5, 1e-6)
+        assert mistake_rate_bound(1e-9, 10.0, b) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            mistake_rate_bound(0.0, 1.0, BEHAVIOR)
+        with pytest.raises(ValueError):
+            mistake_rate_bound(1.0, 0.0, BEHAVIOR)
+
+
+class TestConfigure:
+    def test_step3_detection_time_identity(self):
+        spec = QoSSpec.from_recurrence_time(30.0, 600.0, 10.0)
+        cfg = configure(spec, BEHAVIOR)
+        assert cfg.interval + cfg.safety_margin == pytest.approx(30.0)
+        assert cfg.detection_time == pytest.approx(30.0)
+
+    def test_bound_satisfied(self):
+        spec = QoSSpec.from_recurrence_time(30.0, 1e6, 10.0)
+        cfg = configure(spec, BEHAVIOR)
+        assert cfg.mistake_rate_bound <= spec.mistake_rate * (1 + 1e-9)
+
+    def test_interval_respects_step1_cap(self):
+        spec = QoSSpec.from_recurrence_time(30.0, 60.0, 2.0)
+        cfg = configure(spec, BEHAVIOR)
+        assert cfg.interval <= 2.0 + 1e-12  # T_M^U caps Δi_max
+        assert cfg.interval_max == pytest.approx(2.0)
+
+    def test_gamma_formula(self):
+        spec = QoSSpec.from_recurrence_time(10.0, 600.0, 100.0)
+        cfg = configure(spec, BEHAVIOR)
+        expected = (1 - 0.01) * 100.0 / (0.001 + 100.0)
+        assert cfg.gamma == pytest.approx(expected)
+
+    def test_maximality_on_grid(self):
+        """No Δi 5% larger can satisfy the bound (unless capped)."""
+        spec = QoSSpec.from_recurrence_time(30.0, 1e6, 1000.0)
+        cfg = configure(spec, BEHAVIOR)
+        if cfg.interval < cfg.interval_max * 0.99:
+            bigger = cfg.interval * 1.05
+            assert mistake_rate_bound(bigger, 30.0, BEHAVIOR) > spec.mistake_rate
+
+    def test_tighter_requirement_smaller_interval(self):
+        loose = configure(QoSSpec.from_recurrence_time(30.0, 1e4, 1000.0), BEHAVIOR)
+        tight = configure(QoSSpec.from_recurrence_time(30.0, 1e12, 1000.0), BEHAVIOR)
+        assert tight.interval <= loose.interval
+
+    def test_message_rate(self):
+        spec = QoSSpec.from_recurrence_time(30.0, 600.0, 10.0)
+        cfg = configure(spec, BEHAVIOR)
+        assert cfg.message_rate == pytest.approx(1.0 / cfg.interval)
+
+    def test_lossless_perfect_network_maximal_interval(self):
+        b = NetworkBehavior(0.0, 0.0)
+        spec = QoSSpec.from_recurrence_time(10.0, 1e9, 100.0)
+        cfg = configure(spec, b)
+        # γ' = 1, Δi_max = min(10, 100) = 10; f(10)=1/10 > bound, but any
+        # Δi < 10 gives f = 0, so the search lands just below Δi_max.
+        assert 9.0 < cfg.interval <= 10.0
+
+    def test_infeasible_raises(self):
+        # Loss probability 1: γ' = 0 ⇒ Δi_max = 0.
+        b = NetworkBehavior(1.0, 0.001)
+        with pytest.raises(ConfigurationError):
+            configure(QoSSpec.from_recurrence_time(1.0, 10.0, 1.0), b)
+
+    @given(
+        td=st.floats(0.5, 60.0),
+        rec=st.floats(10.0, 1e8),
+        tm=st.floats(0.05, 50.0),
+        p=st.floats(0.0, 0.3),
+        v=st.floats(0.0, 0.01),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_always_valid(self, td, rec, tm, p, v):
+        spec = QoSSpec.from_recurrence_time(td, rec, tm)
+        behavior = NetworkBehavior(p, v)
+        try:
+            cfg = configure(spec, behavior, grid_points=128, refine_iters=20)
+        except ConfigurationError:
+            return
+        assert 0 < cfg.interval <= min(cfg.interval_max, td) + 1e-9
+        assert cfg.safety_margin >= -1e-9
+        assert cfg.interval + cfg.safety_margin == pytest.approx(td)
+        assert cfg.mistake_rate_bound <= spec.mistake_rate * (1 + 1e-6)

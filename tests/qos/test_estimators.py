@@ -1,0 +1,103 @@
+"""Tests for the p_L / V(D) estimators (§V-A1)."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import DriftingClock
+from repro.net.delays import NormalDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.qos.estimators import (
+    NetworkBehavior,
+    OnlineNetworkEstimator,
+    estimate_network_behavior,
+)
+from repro.traces.synth import generate_trace
+
+
+class TestNetworkBehavior:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkBehavior(loss_probability=1.5, delay_variance=0.0)
+        with pytest.raises(ValueError):
+            NetworkBehavior(loss_probability=0.1, delay_variance=-1.0)
+
+    def test_str(self):
+        s = str(NetworkBehavior(0.01, 0.002))
+        assert "p_L" in s and "V(D)" in s
+
+
+class TestBatchEstimator:
+    def _trace(self, loss, sigma, seed=0, skew=0.0, n=40_000):
+        link = Link(
+            delay_model=NormalDelay(mu=0.1, sigma=sigma),
+            loss_model=BernoulliLoss(loss),
+            receiver_clock=DriftingClock(offset=skew),
+        )
+        return generate_trace(n, 0.1, link, rng=seed)
+
+    def test_loss_estimate(self):
+        b = estimate_network_behavior(self._trace(loss=0.05, sigma=0.001))
+        assert b.loss_probability == pytest.approx(0.05, abs=0.01)
+
+    def test_variance_estimate(self):
+        b = estimate_network_behavior(self._trace(loss=0.0, sigma=0.01))
+        assert b.delay_variance == pytest.approx(1e-4, rel=0.1)
+
+    def test_skew_invariance(self):
+        """§V-A1: clock skew must not change the V(D) estimate."""
+        plain = estimate_network_behavior(self._trace(0.02, 0.01, seed=4))
+        skewed = estimate_network_behavior(self._trace(0.02, 0.01, seed=4, skew=1e6))
+        assert skewed.delay_variance == pytest.approx(plain.delay_variance, rel=1e-6)
+        assert skewed.loss_probability == plain.loss_probability
+
+    def test_lossless(self, simple_trace):
+        b = estimate_network_behavior(simple_trace)
+        assert b.loss_probability == pytest.approx(0.1)  # seq 7 never arrived
+        assert b.delay_variance == pytest.approx(0.0, abs=1e-15)
+
+
+class TestOnlineEstimator:
+    def test_requires_two_observations(self):
+        est = OnlineNetworkEstimator(1.0)
+        est.observe(1, 1.1)
+        with pytest.raises(ValueError):
+            est.behavior()
+
+    def test_matches_batch_on_window(self):
+        rng = np.random.default_rng(5)
+        est = OnlineNetworkEstimator(1.0, window_size=1000)
+        seqs = np.arange(1, 501)
+        keep = rng.random(500) > 0.1
+        arrivals = seqs + rng.normal(0.1, 0.01, 500)
+        for s, a in zip(seqs[keep], arrivals[keep]):
+            est.observe(int(s), float(a))
+        b = est.behavior()
+        assert b.loss_probability == pytest.approx(0.1, abs=0.05)
+        assert b.delay_variance == pytest.approx(1e-4, rel=0.3)
+
+    def test_windowed_forgetting(self):
+        """Old loss ages out of the estimate when the window slides."""
+        est = OnlineNetworkEstimator(1.0, window_size=50)
+        # First 50 observations: every other heartbeat lost.
+        for s in range(1, 101, 2):
+            est.observe(s, s + 0.1)
+        lossy = est.behavior().loss_probability
+        assert lossy == pytest.approx(0.5, abs=0.05)
+        # Next 100: no loss; the window now only holds dense seqs.
+        for s in range(101, 201):
+            est.observe(s, s + 0.1)
+        assert est.behavior().loss_probability == pytest.approx(0.0, abs=0.03)
+
+    def test_duplicates_do_not_go_negative(self):
+        est = OnlineNetworkEstimator(1.0, window_size=10)
+        for _ in range(5):
+            est.observe(1, 1.1)
+            est.observe(2, 2.1)
+        assert 0.0 <= est.behavior().loss_probability <= 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            OnlineNetworkEstimator(0.0)
+        with pytest.raises(ValueError):
+            OnlineNetworkEstimator(1.0, window_size=1)

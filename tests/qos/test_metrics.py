@@ -1,0 +1,103 @@
+"""Tests for the QoS metrics (§II-A2; Fig. 1 and Fig. 2 definitions)."""
+
+import math
+
+import pytest
+
+from repro.qos.metrics import compute_metrics
+from repro.qos.timeline import OutputTimeline
+
+
+def timeline(start, end, initial, *transitions):
+    return OutputTimeline.from_transitions(transitions, start, end, initial)
+
+
+class TestFigure2Definitions:
+    """T_M is S→next-T duration; T_MR counts S-transitions per time."""
+
+    def test_single_mistake(self):
+        # Trust 0-4, suspect 4-6, trust 6-10.
+        tl = timeline(0.0, 10.0, True, (4.0, False), (6.0, True))
+        m = compute_metrics(tl)
+        assert m.n_mistakes == 1
+        assert m.mistake_rate == pytest.approx(0.1)
+        assert m.mistake_recurrence_time == pytest.approx(10.0)
+        assert m.mistake_duration == pytest.approx(2.0)
+        assert m.query_accuracy == pytest.approx(0.8)
+
+    def test_multiple_mistakes_average_duration(self):
+        tl = timeline(
+            0.0, 20.0, True, (2.0, False), (3.0, True), (10.0, False), (13.0, True)
+        )
+        m = compute_metrics(tl)
+        assert m.n_mistakes == 2
+        assert m.mistake_duration == pytest.approx((1.0 + 3.0) / 2)
+        assert m.mistake_rate == pytest.approx(0.1)
+
+    def test_no_mistakes(self):
+        tl = timeline(0.0, 10.0, True)
+        m = compute_metrics(tl)
+        assert m.n_mistakes == 0
+        assert m.mistake_rate == 0.0
+        assert math.isinf(m.mistake_recurrence_time)
+        assert m.mistake_duration == 0.0
+        assert m.query_accuracy == 1.0
+
+    def test_mistake_open_at_window_end(self):
+        tl = timeline(0.0, 10.0, True, (8.0, False))
+        m = compute_metrics(tl)
+        assert m.n_mistakes == 1
+        assert m.mistake_duration == pytest.approx(2.0)
+
+    def test_initial_suspicion_counts_against_pa_not_tm(self):
+        """The window opening in S has no S-transition: it hurts P_A only."""
+        tl = timeline(0.0, 10.0, False, (4.0, True), (6.0, False), (7.0, True))
+        m = compute_metrics(tl)
+        assert m.n_mistakes == 1
+        assert m.query_accuracy == pytest.approx(5.0 / 10.0)
+        assert m.mistake_duration == pytest.approx(1.0)
+
+    def test_always_suspecting(self):
+        tl = timeline(0.0, 10.0, False)
+        m = compute_metrics(tl)
+        assert m.query_accuracy == 0.0
+        assert m.n_mistakes == 0
+        assert m.mistake_duration == 0.0
+
+
+class TestInvariants:
+    def test_trust_plus_suspect_equals_duration(self):
+        tl = timeline(0.0, 7.0, False, (1.0, True), (2.5, False), (6.0, True))
+        m = compute_metrics(tl)
+        assert m.trust_time + m.suspect_time == pytest.approx(m.duration)
+
+    def test_rate_times_recurrence_is_one(self):
+        tl = timeline(0.0, 8.0, True, (1.0, False), (2.0, True), (5.0, False), (6.0, True))
+        m = compute_metrics(tl)
+        assert m.mistake_rate * m.mistake_recurrence_time == pytest.approx(1.0)
+
+    def test_zero_duration_rejected(self):
+        tl = timeline(3.0, 3.0, True)
+        with pytest.raises(ValueError):
+            compute_metrics(tl)
+
+
+class TestSatisfies:
+    def test_all_bounds(self):
+        tl = timeline(0.0, 10.0, True, (4.0, False), (6.0, True))
+        m = compute_metrics(tl)
+        assert m.satisfies(
+            max_mistake_rate=0.2, max_mistake_duration=3.0, min_query_accuracy=0.7
+        )
+        assert not m.satisfies(max_mistake_rate=0.05)
+        assert not m.satisfies(max_mistake_duration=1.0)
+        assert not m.satisfies(min_query_accuracy=0.9)
+
+    def test_no_bounds_trivially_true(self):
+        tl = timeline(0.0, 10.0, True)
+        assert compute_metrics(tl).satisfies()
+
+    def test_as_dict(self):
+        tl = timeline(0.0, 10.0, True)
+        d = compute_metrics(tl).as_dict()
+        assert d["query_accuracy"] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for the §V-C multi-application combiner."""
+
+import numpy as np
+import pytest
+
+from repro.qos.configurator import ConfigurationError
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.shared import combine
+from repro.qos.spec import QoSSpec
+
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.001)
+
+SPECS = [
+    QoSSpec.from_recurrence_time(2.0, 1800.0, 1.0, name="fast"),
+    QoSSpec.from_recurrence_time(8.0, 600.0, 4.0, name="mid"),
+    QoSSpec.from_recurrence_time(30.0, 300.0, 15.0, name="slow"),
+]
+
+
+class TestCombine:
+    def test_step2_minimum_interval(self):
+        shared = combine(SPECS, BEHAVIOR)
+        dedicated = [app.dedicated.interval for app in shared.applications]
+        assert shared.interval == pytest.approx(min(dedicated))
+
+    def test_step3_detection_time_preserved(self):
+        shared = combine(SPECS, BEHAVIOR)
+        for app in shared.applications:
+            assert shared.interval + app.safety_margin == pytest.approx(
+                app.spec.detection_time
+            )
+
+    def test_margins_never_shrink(self):
+        shared = combine(SPECS, BEHAVIOR)
+        for app in shared.applications:
+            assert app.safety_margin >= app.dedicated.safety_margin - 1e-12
+
+    def test_consequence_mistake_bound_improves(self):
+        """§V-C1: adapted applications get a no-worse (usually better) bound."""
+        shared = combine(SPECS, BEHAVIOR)
+        for app in shared.applications:
+            assert app.mistake_rate_bound <= app.dedicated.mistake_rate_bound * (1 + 1e-9)
+        adapted = [
+            a
+            for a in shared.applications
+            if not np.isclose(a.dedicated.interval, shared.interval)
+        ]
+        assert adapted, "the heterogeneous mix must produce adapted apps"
+        for app in adapted:
+            assert app.mistake_rate_bound < app.dedicated.mistake_rate_bound
+
+    def test_traffic_reduction(self):
+        shared = combine(SPECS, BEHAVIOR)
+        assert shared.message_rate < shared.dedicated_message_rate
+        assert 0.0 < shared.traffic_reduction < 1.0
+
+    def test_improvement_factor(self):
+        shared = combine(SPECS, BEHAVIOR)
+        for app in shared.applications:
+            assert app.improvement_factor >= 1.0
+
+    def test_single_app_is_noop(self):
+        shared = combine(SPECS[:1], BEHAVIOR)
+        app = shared.applications[0]
+        assert shared.interval == pytest.approx(app.dedicated.interval)
+        assert app.safety_margin == pytest.approx(app.dedicated.safety_margin)
+        assert shared.traffic_reduction == pytest.approx(0.0)
+
+    def test_margin_lookup(self):
+        shared = combine(SPECS, BEHAVIOR)
+        assert shared.margin_for("mid") == pytest.approx(
+            8.0 - shared.interval
+        )
+        with pytest.raises(KeyError):
+            shared.margin_for("nope")
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            combine([], BEHAVIOR)
+
+    def test_individually_infeasible_app_propagates(self):
+        bad = QoSSpec.from_recurrence_time(1.0, 10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            combine([SPECS[0], bad], NetworkBehavior(1.0, 0.001))
+
+    def test_identical_apps_identical_outcome(self):
+        twins = [
+            QoSSpec.from_recurrence_time(5.0, 600.0, 2.0, name="a"),
+            QoSSpec.from_recurrence_time(5.0, 600.0, 2.0, name="b"),
+        ]
+        shared = combine(twins, BEHAVIOR)
+        a, b = shared.applications
+        assert a.safety_margin == pytest.approx(b.safety_margin)
+        # Sharing halves traffic for identical apps.
+        assert shared.traffic_reduction == pytest.approx(0.5)

@@ -1,0 +1,55 @@
+"""Tests for QoSSpec."""
+
+import pytest
+
+from repro.qos.spec import QoSSpec
+
+
+class TestConstruction:
+    def test_basic(self):
+        spec = QoSSpec(detection_time=2.0, mistake_rate=0.01, mistake_duration=1.0)
+        assert spec.recurrence_time == pytest.approx(100.0)
+
+    def test_from_recurrence_time(self):
+        spec = QoSSpec.from_recurrence_time(2.0, 500.0, 1.0, name="app")
+        assert spec.mistake_rate == pytest.approx(0.002)
+        assert spec.name == "app"
+
+    @pytest.mark.parametrize("field", ["detection_time", "mistake_rate", "mistake_duration"])
+    def test_rejects_nonpositive(self, field):
+        kwargs = {"detection_time": 1.0, "mistake_rate": 0.1, "mistake_duration": 1.0}
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            QoSSpec(**kwargs)
+
+    def test_frozen(self):
+        spec = QoSSpec(1.0, 0.1, 1.0)
+        with pytest.raises(AttributeError):
+            spec.detection_time = 2.0
+
+
+class TestIsMetBy:
+    def test_met(self):
+        spec = QoSSpec(2.0, 0.01, 1.0)
+        assert spec.is_met_by(1.5, 0.005, 0.5)
+
+    def test_each_bound_enforced(self):
+        spec = QoSSpec(2.0, 0.01, 1.0)
+        assert not spec.is_met_by(2.5, 0.005, 0.5)
+        assert not spec.is_met_by(1.5, 0.02, 0.5)
+        assert not spec.is_met_by(1.5, 0.005, 1.5)
+
+    def test_boundary_inclusive(self):
+        spec = QoSSpec(2.0, 0.01, 1.0)
+        assert spec.is_met_by(2.0, 0.01, 1.0)
+
+
+class TestPresentation:
+    def test_str_contains_bounds(self):
+        s = str(QoSSpec.from_recurrence_time(2.0, 100.0, 1.0, name="x"))
+        assert "x" in s and "T_D" in s
+
+    def test_ordering_usable(self):
+        a = QoSSpec(1.0, 0.1, 1.0)
+        b = QoSSpec(2.0, 0.1, 1.0)
+        assert a < b

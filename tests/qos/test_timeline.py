@@ -1,0 +1,115 @@
+"""Tests for OutputTimeline (the §II-A output model, Fig. 1-2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.qos.timeline import OutputTimeline
+
+
+def make(start, end, initial, *transitions):
+    return OutputTimeline.from_transitions(transitions, start, end, initial)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tl = OutputTimeline(start=0.0, end=10.0, initial_trust=True)
+        assert tl.n_transitions == 0
+        assert tl.trust_time() == 10.0
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            OutputTimeline(start=5.0, end=1.0, initial_trust=True)
+
+    def test_rejects_non_alternating(self):
+        with pytest.raises(ValueError, match="alternate"):
+            OutputTimeline(
+                start=0.0,
+                end=10.0,
+                initial_trust=True,
+                times=np.array([1.0, 2.0]),
+                states=np.array([False, False]),
+            )
+
+    def test_rejects_out_of_window_times(self):
+        with pytest.raises(ValueError):
+            OutputTimeline(
+                start=0.0,
+                end=1.0,
+                initial_trust=False,
+                times=np.array([5.0]),
+                states=np.array([True]),
+            )
+
+
+class TestFromTransitions:
+    def test_drops_redundant(self):
+        tl = make(0.0, 10.0, False, (1.0, False), (2.0, True), (3.0, True))
+        assert tl.n_transitions == 1
+        assert tl.times.tolist() == [2.0]
+
+    def test_folds_pre_window_state(self):
+        tl = make(5.0, 10.0, False, (1.0, True), (7.0, False))
+        assert tl.initial_trust is True
+        assert tl.times.tolist() == [7.0]
+
+    def test_truncates_post_window(self):
+        tl = make(0.0, 5.0, False, (1.0, True), (9.0, False))
+        assert tl.times.tolist() == [1.0]
+
+    def test_transition_exactly_at_start_becomes_initial(self):
+        tl = make(1.0, 5.0, False, (1.0, True))
+        assert tl.initial_trust is True
+        assert tl.n_transitions == 0
+
+
+class TestQueries:
+    def test_state_at(self):
+        tl = make(0.0, 10.0, False, (2.0, True), (5.0, False))
+        assert not tl.state_at(1.0)
+        assert tl.state_at(2.0)  # right-continuous
+        assert tl.state_at(4.9)
+        assert not tl.state_at(5.0)
+
+    def test_state_at_out_of_window(self):
+        tl = make(0.0, 10.0, True)
+        with pytest.raises(ValueError):
+            tl.state_at(11.0)
+
+    def test_trust_and_suspect_time(self):
+        tl = make(0.0, 10.0, False, (2.0, True), (5.0, False), (6.0, True))
+        assert tl.trust_time() == pytest.approx(3.0 + 4.0)
+        assert tl.suspect_time() == pytest.approx(3.0)
+
+    def test_transition_counts(self):
+        tl = make(0.0, 10.0, True, (1.0, False), (2.0, True), (3.0, False))
+        assert tl.n_s_transitions == 2
+        assert tl.n_t_transitions == 1
+        np.testing.assert_array_equal(tl.s_transition_times(), [1.0, 3.0])
+
+    def test_suspicion_intervals(self):
+        tl = make(0.0, 10.0, False, (2.0, True), (5.0, False), (7.0, True))
+        assert tl.suspicion_intervals() == [(0.0, 2.0), (5.0, 7.0)]
+
+    def test_open_suspicion_interval_closed_by_end(self):
+        tl = make(0.0, 10.0, True, (4.0, False))
+        assert tl.suspicion_intervals() == [(4.0, 10.0)]
+
+
+class TestRestricted:
+    def test_restrict_preserves_state(self):
+        tl = make(0.0, 10.0, False, (2.0, True), (5.0, False))
+        sub = tl.restricted(3.0, 6.0)
+        assert sub.initial_trust is True
+        assert sub.times.tolist() == [5.0]
+        assert sub.trust_time() == pytest.approx(2.0)
+
+    def test_restrict_validates_window(self):
+        tl = make(0.0, 10.0, True)
+        with pytest.raises(ValueError):
+            tl.restricted(-1.0, 5.0)
+
+    def test_restriction_partitions_time(self):
+        tl = make(0.0, 10.0, False, (1.0, True), (4.0, False), (6.0, True))
+        a = tl.restricted(0.0, 5.0)
+        b = tl.restricted(5.0, 10.0)
+        assert a.trust_time() + b.trust_time() == pytest.approx(tl.trust_time())

@@ -1,0 +1,88 @@
+"""Property-based tests of the OutputTimeline invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.metrics import compute_metrics
+from repro.qos.timeline import OutputTimeline
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+@st.composite
+def raw_transitions(draw):
+    """Unnormalized transition logs: arbitrary times/states within [0, 100]."""
+    n = draw(st.integers(0, 30))
+    times = sorted(
+        draw(st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=n, max_size=n))
+    )
+    states = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    initial = draw(st.booleans())
+    return list(zip(times, states)), initial
+
+
+class TestFromTransitionsInvariants:
+    @given(data=raw_transitions())
+    @settings(**SETTINGS)
+    def test_always_alternating(self, data):
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        states = tl.states.tolist()
+        expected_first = not tl.initial_trust
+        for i, s in enumerate(states):
+            assert s == (expected_first if i % 2 == 0 else not expected_first)
+
+    @given(data=raw_transitions())
+    @settings(**SETTINGS)
+    def test_times_sorted_within_window(self, data):
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        assert np.all(np.diff(tl.times) >= 0)
+        if tl.times.size:
+            assert tl.times[0] >= 0.0 and tl.times[-1] <= 100.0
+
+    @given(data=raw_transitions())
+    @settings(**SETTINGS)
+    def test_state_at_matches_raw_log(self, data):
+        """The normalized timeline agrees with a naive scan of the raw log."""
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        for probe in (0.0, 13.37, 50.0, 99.9):
+            naive = initial
+            for t, s in transitions:
+                if t <= probe:
+                    naive = s
+            assert tl.state_at(probe) == naive
+
+    @given(data=raw_transitions())
+    @settings(**SETTINGS)
+    def test_trust_plus_suspect_is_duration(self, data):
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        assert tl.trust_time() + tl.suspect_time() == pytest.approx(100.0)
+
+    @given(data=raw_transitions(), split=st.floats(1.0, 99.0))
+    @settings(**SETTINGS)
+    def test_restriction_partitions_metrics(self, data, split):
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        a = tl.restricted(0.0, split)
+        b = tl.restricted(split, 100.0)
+        assert a.trust_time() + b.trust_time() == pytest.approx(tl.trust_time())
+        assert (
+            a.n_s_transitions + b.n_s_transitions
+            in (tl.n_s_transitions, tl.n_s_transitions + 1)
+        )  # a boundary split can add at most one (S at exactly `split`)
+
+    @given(data=raw_transitions())
+    @settings(**SETTINGS)
+    def test_metrics_never_crash(self, data):
+        transitions, initial = data
+        tl = OutputTimeline.from_transitions(transitions, 0.0, 100.0, initial)
+        m = compute_metrics(tl)
+        assert 0.0 <= m.query_accuracy <= 1.0
+        assert m.mistake_duration >= 0.0
+        if m.n_mistakes:
+            assert m.mistake_duration * m.n_mistakes <= m.suspect_time + 1e-9

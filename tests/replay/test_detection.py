@@ -1,0 +1,61 @@
+"""Tests for measured detection time (virtual crash injection)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.replay.detection import detection_times, measured_detection_time
+
+
+class TestDetectionTimes:
+    def test_formula(self):
+        seq = np.array([1, 2, 3])
+        t = np.array([1.1, 2.1, 3.1])
+        d = t + 0.5
+        td = detection_times(t, d, seq, interval=1.0, send_offset=0.0)
+        # σ(s) = s; TD = d − s = 0.6 for each.
+        np.testing.assert_allclose(td, 0.6)
+
+    def test_offset_shifts_uniformly(self):
+        seq = np.array([1, 2])
+        t = np.array([1.1, 2.1])
+        d = t + 0.3
+        a = detection_times(t, d, seq, 1.0, 0.0)
+        b = detection_times(t, d, seq, 1.0, 0.05)
+        np.testing.assert_allclose(a - b, 0.05)
+
+    def test_losses_extend_detection(self):
+        """After a loss the last accepted heartbeat is older: larger TD."""
+        seq = np.array([1, 2, 5])
+        t = np.array([1.1, 2.1, 5.1])
+        d = t + 0.5
+        td = detection_times(t, d, seq, 1.0, 0.0)
+        np.testing.assert_allclose(td, [0.6, 0.6, 0.6])  # per accepted-k crash
+
+
+class TestMeasuredDetectionTime:
+    def test_mean(self):
+        seq = np.array([1, 2])
+        t = np.array([1.0, 2.0])
+        d = np.array([2.5, 3.1])
+        out = measured_detection_time(t, d, seq, 1.0, 0.0)
+        assert out == pytest.approx(np.mean([1.5, 1.1]))
+
+    def test_infinite_when_never_suspecting(self):
+        seq = np.array([1, 2])
+        t = np.array([1.0, 2.0])
+        d = np.array([2.5, np.inf])
+        assert math.isinf(measured_detection_time(t, d, seq, 1.0, 0.0))
+
+    def test_uses_trace_offset_convention(self, simple_trace):
+        from repro.replay.kernels import ChenKernel
+
+        k = ChenKernel(simple_trace, window_size=3)
+        d = k.deadlines(0.5)
+        td = measured_detection_time(
+            k.t, d, k.seq, simple_trace.interval, simple_trace.send_offset_estimate()
+        )
+        # Constant 0.1 delay: offset = 0.1, σ(s) = s + 0.1,
+        # d = s + 1.6 ⇒ TD = 1.5 exactly.
+        assert td == pytest.approx(1.5)

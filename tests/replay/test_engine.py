@@ -1,0 +1,83 @@
+"""Online ≡ vectorized cross-validation (DESIGN.md invariant 3)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import make_detector
+from repro.replay.engine import replay_detector, replay_online
+from repro.replay.kernels import make_kernel
+
+CASES = [
+    ("2w-fd", {"safety_margin": 0.15}, {"window_sizes": (1, 100)}, 0.15,
+     {"short_window": 1, "long_window": 100}),
+    ("chen", {"safety_margin": 0.15, "window_size": 1}, {"window_size": 1}, 0.15, {}),
+    ("chen", {"safety_margin": 0.15, "window_size": 50}, {"window_size": 50}, 0.15, {}),
+    ("bertier", {"window_size": 50}, {"window_size": 50}, None, {}),
+    ("phi", {"threshold": 1.5, "window_size": 50}, {"window_size": 50}, 1.5, {}),
+    ("ed", {"threshold": 0.9, "window_size": 50}, {"window_size": 50}, 0.9, {}),
+    ("fixed-timeout", {"timeout": 0.25}, {}, 0.25, {}),
+]
+
+
+@pytest.mark.parametrize(
+    "name,det_kwargs,kernel_kwargs,param,extra", CASES,
+    ids=[f"{c[0]}-{i}" for i, c in enumerate(CASES)],
+)
+class TestOnlineEqualsVectorized:
+    def test_deadlines_and_metrics_agree(
+        self, lossy_trace, name, det_kwargs, kernel_kwargs, param, extra
+    ):
+        kwargs = dict(det_kwargs)
+        kwargs.update(extra)
+        online = replay_online(make_detector(name, lossy_trace.interval, **kwargs), lossy_trace)
+        vec = replay_detector(
+            make_kernel(name, lossy_trace, **kernel_kwargs), lossy_trace, param
+        )
+        np.testing.assert_allclose(online.deadlines, vec.deadlines, atol=1e-8)
+        mo, mv = online.metrics, vec.metrics
+        assert mo.n_mistakes == mv.n_mistakes
+        assert mo.query_accuracy == pytest.approx(mv.query_accuracy, abs=1e-9)
+        assert mo.mistake_duration == pytest.approx(mv.mistake_duration, abs=1e-7)
+        assert mo.mistake_rate == pytest.approx(mv.mistake_rate, abs=1e-12)
+        assert online.detection_time == pytest.approx(vec.detection_time, abs=1e-8)
+
+
+class TestReplayOnline:
+    def test_requires_fresh_detector(self, simple_trace):
+        det = make_detector("chen", 1.0, safety_margin=0.5)
+        det.receive(1, 1.0)
+        with pytest.raises(ValueError, match="freshly constructed"):
+            replay_online(det, simple_trace)
+
+    def test_accepted_arrays(self, simple_trace):
+        res = replay_online(make_detector("chen", 1.0, safety_margin=0.5), simple_trace)
+        assert res.accepted_seq.tolist() == [1, 2, 3, 4, 5, 6, 8, 9, 10]
+        assert len(res.deadlines) == 9
+
+    def test_stale_messages_skipped(self):
+        from repro.traces.trace import HeartbeatTrace
+
+        trace = HeartbeatTrace(
+            seq=np.array([1, 3, 2, 4]),
+            arrival=np.array([1.1, 3.1, 3.2, 4.1]),
+            interval=1.0,
+        )
+        res = replay_online(make_detector("chen", 1.0, safety_margin=0.5), trace)
+        assert res.accepted_seq.tolist() == [1, 3, 4]
+
+
+class TestReplayDetector:
+    def test_by_name(self, lossy_trace):
+        res = replay_detector("chen", lossy_trace, 0.2, window_size=10)
+        assert res.metrics.duration > 0
+
+    def test_kernel_reuse(self, lossy_trace):
+        kernel = make_kernel("chen", lossy_trace, window_size=10)
+        a = replay_detector(kernel, lossy_trace, 0.2)
+        b = replay_detector(kernel, lossy_trace, 0.4)
+        assert b.metrics.n_mistakes <= a.metrics.n_mistakes
+
+    def test_kernel_with_kwargs_rejected(self, lossy_trace):
+        kernel = make_kernel("chen", lossy_trace)
+        with pytest.raises(ValueError):
+            replay_detector(kernel, lossy_trace, 0.2, window_size=10)

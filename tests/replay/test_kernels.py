@@ -1,0 +1,163 @@
+"""Tests for the vectorized deadline kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.replay.kernels import (
+    BertierKernel,
+    ChenKernel,
+    EDKernel,
+    FixedTimeoutKernel,
+    MultiWindowKernel,
+    PhiKernel,
+    make_kernel,
+    windowed_mean_var,
+)
+
+
+class TestWindowedMeanVar:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 500)
+        mean, var = windowed_mean_var(x, 32)
+        for k in (0, 10, 31, 32, 100, 499):
+            ref = x[max(0, k - 31) : k + 1]
+            assert mean[k] == pytest.approx(ref.mean(), abs=1e-10)
+            assert var[k] == pytest.approx(ref.var(), abs=1e-10)
+
+    def test_never_negative_variance(self):
+        x = np.full(100, 12345.678)
+        _, var = windowed_mean_var(x, 10)
+        assert (var >= 0).all()
+
+    def test_empty(self):
+        m, v = windowed_mean_var(np.array([]), 5)
+        assert m.size == 0 and v.size == 0
+
+
+class TestChenKernel:
+    def test_deadline_formula(self, simple_trace):
+        k = ChenKernel(simple_trace, window_size=3)
+        d = k.deadlines(0.5)
+        # Constant 0.1 delay: EA_{l+1} = (l+1) + 0.1, so d = (l+1) + 0.6.
+        expected = simple_trace.accepted()[0] + 1 + 0.1 + 0.5
+        np.testing.assert_allclose(d, expected)
+
+    def test_margin_shifts_linearly(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=100)
+        np.testing.assert_allclose(k.deadlines(0.3), k.deadlines(0.1) + 0.2)
+        assert k.linear_base is not None
+
+    def test_rejects_negative_margin(self, simple_trace):
+        with pytest.raises(ValueError):
+            ChenKernel(simple_trace).deadlines(-0.1)
+
+
+class TestMultiWindowKernel:
+    def test_max_over_windows(self, lossy_trace):
+        k2 = MultiWindowKernel(lossy_trace, window_sizes=(1, 100))
+        k_short = ChenKernel(lossy_trace, window_size=1)
+        k_long = ChenKernel(lossy_trace, window_size=100)
+        np.testing.assert_allclose(
+            k2.deadlines(0.2),
+            np.maximum(k_short.deadlines(0.2), k_long.deadlines(0.2)),
+        )
+
+    def test_single_window_equals_chen(self, lossy_trace):
+        np.testing.assert_allclose(
+            MultiWindowKernel(lossy_trace, window_sizes=(7,)).deadlines(0.1),
+            ChenKernel(lossy_trace, window_size=7).deadlines(0.1),
+        )
+
+    def test_requires_windows(self, simple_trace):
+        with pytest.raises(ValueError):
+            MultiWindowKernel(simple_trace, window_sizes=())
+
+
+class TestBertierKernel:
+    def test_matches_online(self, lossy_trace):
+        from repro.detectors.bertier import BertierFailureDetector
+        from repro.replay.engine import replay_online
+
+        kernel = BertierKernel(lossy_trace, window_size=50)
+        online = replay_online(
+            BertierFailureDetector(lossy_trace.interval, window_size=50), lossy_trace
+        )
+        np.testing.assert_allclose(kernel.deadlines(), online.deadlines, atol=1e-9)
+
+    def test_no_parameter(self, simple_trace):
+        k = BertierKernel(simple_trace)
+        with pytest.raises(ValueError):
+            k.deadlines(0.5)
+
+
+class TestAccrualKernels:
+    def test_phi_matches_online(self, lossy_trace):
+        from repro.detectors.accrual import PhiAccrualFailureDetector
+        from repro.replay.engine import replay_online
+
+        kernel = PhiKernel(lossy_trace, window_size=64)
+        online = replay_online(
+            PhiAccrualFailureDetector(lossy_trace.interval, threshold=2.0, window_size=64),
+            lossy_trace,
+        )
+        np.testing.assert_allclose(kernel.deadlines(2.0), online.deadlines, atol=1e-8)
+
+    def test_phi_saturation_returns_inf(self, simple_trace):
+        k = PhiKernel(simple_trace, window_size=8)
+        assert np.isinf(k.deadlines(17.0)).all()
+
+    def test_phi_requires_threshold(self, simple_trace):
+        with pytest.raises(ValueError):
+            PhiKernel(simple_trace).deadlines()
+
+    def test_ed_matches_online(self, lossy_trace):
+        from repro.detectors.exponential import EDFailureDetector
+        from repro.replay.engine import replay_online
+
+        kernel = EDKernel(lossy_trace, window_size=64)
+        online = replay_online(
+            EDFailureDetector(lossy_trace.interval, threshold=0.9, window_size=64),
+            lossy_trace,
+        )
+        np.testing.assert_allclose(kernel.deadlines(0.9), online.deadlines, atol=1e-8)
+
+    def test_ed_param_domain(self, simple_trace):
+        k = EDKernel(simple_trace)
+        assert k.param_max == 1.0
+        with pytest.raises(ValueError):
+            k.deadlines(1.0)
+
+
+class TestFixedTimeoutKernel:
+    def test_deadline(self, simple_trace):
+        k = FixedTimeoutKernel(simple_trace)
+        np.testing.assert_allclose(k.deadlines(0.7), k.t + 0.7)
+
+
+class TestMakeKernel:
+    def test_dispatch(self, simple_trace):
+        assert isinstance(make_kernel("chen", simple_trace), ChenKernel)
+        assert isinstance(make_kernel("2w-fd", simple_trace), MultiWindowKernel)
+        assert isinstance(make_kernel("mw-fd", simple_trace), MultiWindowKernel)
+        assert isinstance(make_kernel("bertier", simple_trace), BertierKernel)
+        assert isinstance(make_kernel("phi", simple_trace), PhiKernel)
+        assert isinstance(make_kernel("ed", simple_trace), EDKernel)
+        assert isinstance(make_kernel("fixed-timeout", simple_trace), FixedTimeoutKernel)
+
+    def test_unknown(self, simple_trace):
+        with pytest.raises(KeyError):
+            make_kernel("nope", simple_trace)
+
+    def test_kwargs_forwarded(self, simple_trace):
+        k = make_kernel("chen", simple_trace, window_size=4)
+        assert k.window_size == 4
+
+    def test_needs_two_heartbeats(self):
+        from repro.traces.trace import HeartbeatTrace
+
+        t = HeartbeatTrace(seq=np.array([1]), arrival=np.array([1.0]), interval=1.0)
+        with pytest.raises(ValueError):
+            make_kernel("chen", t)

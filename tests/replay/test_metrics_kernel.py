@@ -1,0 +1,99 @@
+"""Tests for the shared vectorized metrics kernel."""
+
+import numpy as np
+import pytest
+
+from repro.qos.metrics import compute_metrics
+from repro.replay.metrics_kernel import replay_metrics, timeline_from_deadlines
+
+
+class TestGapSemantics:
+    def test_trust_then_expiry(self):
+        t = np.array([1.0, 3.0])
+        d = np.array([2.0, 4.0])
+        out = replay_metrics(t, d, end_time=5.0)
+        m = out.metrics
+        # Trust [1,2) S [2,3) trust [3,4) S [4,5): two S-transitions.
+        assert m.n_mistakes == 2
+        assert m.query_accuracy == pytest.approx(0.5)
+        assert m.mistake_duration == pytest.approx(1.0)
+        np.testing.assert_array_equal(out.suspicion_gaps, [0, 1])
+
+    def test_fresh_chain_no_mistakes(self):
+        t = np.array([1.0, 2.0, 3.0])
+        d = np.array([2.5, 3.5, 4.5])
+        m = replay_metrics(t, d, end_time=4.0).metrics
+        assert m.n_mistakes == 0
+        assert m.query_accuracy == 1.0
+
+    def test_stale_arrival_gap(self):
+        """d_k <= t_k: the whole gap is suspect."""
+        t = np.array([1.0, 2.0])
+        d = np.array([1.5, 1.8])
+        out = replay_metrics(t, d, end_time=3.0)
+        # Gap 0: T [1,1.5) S [1.5,2); gap 1: all S (stale deadline).
+        assert out.metrics.trust_time == pytest.approx(0.5)
+        assert out.metrics.n_mistakes == 1  # single S-transition at 1.5
+
+    def test_deadline_exactly_at_next_arrival(self):
+        t = np.array([1.0, 2.0])
+        d = np.array([2.0, 3.0])
+        m = replay_metrics(t, d, end_time=3.0).metrics
+        assert m.n_mistakes == 0
+        assert m.query_accuracy == 1.0
+
+    def test_initial_suspicion_excluded_from_tm(self):
+        t = np.array([1.0, 2.0])
+        d = np.array([0.5, 3.0])  # first heartbeat already stale
+        m = replay_metrics(t, d, end_time=3.0).metrics
+        assert m.n_mistakes == 0
+        assert m.mistake_duration == 0.0
+        assert m.query_accuracy == pytest.approx(0.5)
+
+    def test_infinite_deadlines(self):
+        t = np.array([1.0, 2.0])
+        d = np.array([np.inf, np.inf])
+        m = replay_metrics(t, d, end_time=10.0).metrics
+        assert m.n_mistakes == 0
+        assert m.query_accuracy == 1.0
+
+    def test_collect_gaps_flag(self):
+        t = np.array([1.0, 3.0])
+        d = np.array([2.0, 4.0])
+        out = replay_metrics(t, d, 5.0, collect_gaps=False)
+        assert out.suspicion_gaps.size == 0
+        assert out.metrics.n_mistakes == 2  # metrics unaffected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_metrics(np.array([]), np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            replay_metrics(np.array([1.0]), np.array([2.0]), 0.5)
+        with pytest.raises(ValueError):
+            replay_metrics(np.array([1.0, 2.0]), np.array([2.0]), 3.0)
+
+
+class TestTimelineEquivalence:
+    """timeline_from_deadlines must agree with replay_metrics exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_deadlines(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 200
+        t = np.cumsum(rng.uniform(0.5, 1.5, n)) + 1.0
+        d = t + rng.uniform(0.1, 2.5, n)
+        end = float(t[-1] + 2.0)
+        out = replay_metrics(t, d, end)
+        tl = timeline_from_deadlines(t, d, end)
+        m = compute_metrics(tl)
+        assert m.n_mistakes == out.metrics.n_mistakes
+        assert m.query_accuracy == pytest.approx(out.metrics.query_accuracy, abs=1e-12)
+        assert m.mistake_duration == pytest.approx(out.metrics.mistake_duration, abs=1e-9)
+        assert m.trust_time == pytest.approx(out.metrics.trust_time, abs=1e-9)
+
+    def test_timeline_alternates(self):
+        t = np.array([1.0, 3.0, 4.0])
+        d = np.array([2.0, 5.0, 4.5])
+        tl = timeline_from_deadlines(t, d, 6.0)
+        states = tl.states.tolist()
+        assert all(a != b for a, b in zip(states, states[1:]))

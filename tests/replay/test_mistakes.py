@@ -1,0 +1,77 @@
+"""Tests for mistake-set extraction and segment bucketing (Fig. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.replay.kernels import ChenKernel, MultiWindowKernel
+from repro.replay.mistakes import mistake_gaps, mistakes_by_segment
+from repro.traces.segments import Segment
+
+
+class TestMistakeGaps:
+    def test_kinds(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        susp = mistake_gaps(k, lossy_trace, 0.12, kind="suspicion")
+        trans = mistake_gaps(k, lossy_trace, 0.12, kind="s-transition")
+        # Every S-transition gap has positive suspicion time.
+        assert np.isin(trans.gap_index, susp.gap_index).all()
+        assert trans.n_mistakes <= susp.n_mistakes
+
+    def test_invalid_kind(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        with pytest.raises(ValueError):
+            mistake_gaps(k, lossy_trace, 0.1, kind="bogus")
+
+    def test_received_index_mapping(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        rec = mistake_gaps(k, lossy_trace, 0.12)
+        # Received indices must point at accepted messages in the raw stream.
+        accepted_pos = np.flatnonzero(lossy_trace.accepted_mask())
+        assert np.isin(rec.received_index, accepted_pos).all()
+        # Times are the accepted arrivals of those gaps.
+        np.testing.assert_allclose(
+            rec.time, lossy_trace.arrival[rec.received_index]
+        )
+
+    def test_set_algebra(self, lossy_trace):
+        k1 = ChenKernel(lossy_trace, window_size=1)
+        k2 = ChenKernel(lossy_trace, window_size=100)
+        m1 = mistake_gaps(k1, lossy_trace, 0.1)
+        m2 = mistake_gaps(k2, lossy_trace, 0.1)
+        inter = m1.intersect(m2)
+        only1 = m1.difference(m2)
+        assert inter.size + only1.size == m1.n_mistakes
+
+
+class TestEq13Intersection:
+    @pytest.mark.parametrize("margin", [0.05, 0.12, 0.3])
+    def test_exact_intersection(self, lossy_trace, margin):
+        """Mistakes(2W) == Mistakes(Chen_w1) ∩ Mistakes(Chen_w2), exactly."""
+        k2w = MultiWindowKernel(lossy_trace, window_sizes=(1, 100))
+        kc1 = ChenKernel(lossy_trace, window_size=1)
+        kc2 = ChenKernel(lossy_trace, window_size=100)
+        m2w = mistake_gaps(k2w, lossy_trace, margin)
+        mc1 = mistake_gaps(kc1, lossy_trace, margin)
+        mc2 = mistake_gaps(kc2, lossy_trace, margin)
+        np.testing.assert_array_equal(
+            np.sort(m2w.gap_index), np.intersect1d(mc1.gap_index, mc2.gap_index)
+        )
+
+
+class TestSegmentBucketing:
+    def test_counts_partition(self, wan_small):
+        k = ChenKernel(wan_small, window_size=10)
+        rec = mistake_gaps(k, wan_small, 0.05)
+        counts = mistakes_by_segment(rec, wan_small)
+        assert sum(counts.values()) == rec.n_mistakes
+        assert set(counts) == {"stable1", "burst", "worm", "stable2"}
+
+    def test_custom_segments(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        rec = mistake_gaps(k, lossy_trace, 0.05)
+        halves = (
+            Segment("first", 1, 2500),
+            Segment("second", 2501, 5000),
+        )
+        counts = mistakes_by_segment(rec, lossy_trace, halves)
+        assert sum(counts.values()) == rec.n_mistakes

@@ -1,0 +1,104 @@
+"""Behavioural tests: detector reaction to *known* injected episodes.
+
+These encode the paper's §III-A/§III-D rationale as concrete, ground-truth
+assertions: with a sustained delay episode injected at a known instant,
+
+- every detector pays at the onset (the first late heartbeat is
+  indistinguishable from a crash),
+- the short window confines the damage: the 2W-FD (and Chen(1)) recover
+  within a couple of heartbeats, while Chen(long) keeps suspecting through
+  the episode,
+- outside the episode, nobody makes a mistake.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.delays import ConstantDelay
+from repro.net.link import Link
+from repro.replay.kernels import ChenKernel, MultiWindowKernel
+from repro.replay.reaction import episode_reactions
+from repro.traces.synth import generate_trace
+from repro.traces.transform import delay_span, drop_span
+
+INTERVAL = 1.0
+MARGIN = 0.5
+EPISODE = (300.0, 340.0)  # 40 heartbeats of congestion
+
+
+@pytest.fixture(scope="module")
+def congested_trace():
+    clean = generate_trace(1000, INTERVAL, Link(delay_model=ConstantDelay(0.1)), rng=0)
+    # Sustained congestion: every heartbeat in the window held up by 3 s,
+    # draining linearly (queue empties by the episode's end).
+    return delay_span(clean, *EPISODE, extra=3.0, drain=True)
+
+
+def reactions(trace, kernel, slack=10.0):
+    return episode_reactions(kernel, MARGIN, [EPISODE], slack=slack)[0]
+
+
+class TestDelayEpisode:
+    def test_everyone_pays_at_onset(self, congested_trace):
+        for kernel in (
+            MultiWindowKernel(congested_trace, window_sizes=(1, 100)),
+            ChenKernel(congested_trace, window_size=1),
+            ChenKernel(congested_trace, window_size=100),
+        ):
+            r = reactions(congested_trace, kernel)
+            assert r.n_mistakes >= 1
+            assert r.first_suspicion is not None
+            # The first suspicion materializes right at the onset.
+            assert r.first_suspicion == pytest.approx(EPISODE[0] + 1 + MARGIN, abs=2.0)
+
+    def test_short_window_confines_the_damage(self, congested_trace):
+        two_w = reactions(
+            congested_trace, MultiWindowKernel(congested_trace, window_sizes=(1, 100))
+        )
+        long_w = reactions(congested_trace, ChenKernel(congested_trace, window_size=100))
+        # The long window keeps paying through the episode...
+        assert long_w.suspicion_time > 3 * two_w.suspicion_time
+        assert long_w.n_mistakes > two_w.n_mistakes
+        # ...while the 2W-FD recovers within a couple of heartbeats.
+        assert two_w.recovery_time < 0.2 * (EPISODE[1] - EPISODE[0])
+        assert long_w.recovery_time > 0.5 * (EPISODE[1] - EPISODE[0])
+
+    def test_two_w_equals_its_short_component_here(self, congested_trace):
+        two_w = reactions(
+            congested_trace, MultiWindowKernel(congested_trace, window_sizes=(1, 100))
+        )
+        short = reactions(congested_trace, ChenKernel(congested_trace, window_size=1))
+        assert two_w.suspicion_time <= short.suspicion_time + 1e-9
+
+    def test_clean_outside_episode(self, congested_trace):
+        kernel = MultiWindowKernel(congested_trace, window_sizes=(1, 100))
+        before = episode_reactions(kernel, MARGIN, [(50.0, 250.0)])[0]
+        after = episode_reactions(kernel, MARGIN, [(420.0, 900.0)])[0]
+        assert before.clean
+        assert after.clean
+
+
+class TestLossBurst:
+    def test_single_unavoidable_mistake(self):
+        clean = generate_trace(
+            600, INTERVAL, Link(delay_model=ConstantDelay(0.1)), rng=1
+        )
+        lossy = drop_span(clean, 200.0, 215.0)  # 15 heartbeats vanish
+        for window_sizes in ((1, 100),):
+            kernel = MultiWindowKernel(lossy, window_sizes=window_sizes)
+            r = episode_reactions(kernel, MARGIN, [(200.0, 215.0)], slack=5.0)[0]
+            # A total outage is one mistake, however long: suspicion starts
+            # at the deadline and ends at the first post-outage heartbeat.
+            assert r.n_mistakes == 1
+            assert r.suspicion_time == pytest.approx(
+                15.0 - 1 - MARGIN, abs=1.0
+            )
+
+    def test_recovery_is_immediate_after_outage(self):
+        clean = generate_trace(
+            600, INTERVAL, Link(delay_model=ConstantDelay(0.1)), rng=1
+        )
+        lossy = drop_span(clean, 200.0, 215.0)
+        kernel = MultiWindowKernel(lossy, window_sizes=(1, 100))
+        post = episode_reactions(kernel, MARGIN, [(216.0, 550.0)])[0]
+        assert post.clean

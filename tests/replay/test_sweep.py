@@ -1,0 +1,110 @@
+"""Tests for sweeps and detection-time calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.replay.kernels import ChenKernel, EDKernel, MultiWindowKernel, PhiKernel, BertierKernel
+from repro.replay.sweep import (
+    QoSCurve,
+    bertier_point,
+    calibrate_to_detection_time,
+    sweep,
+)
+
+
+class TestSweep:
+    def test_curve_sorted_by_td(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        curve = sweep(k, lossy_trace, [0.5, 0.1, 0.3])
+        assert np.all(np.diff(curve.detection_time) >= 0)
+        assert len(curve) == 3
+
+    def test_monotone_accuracy_in_margin(self, lossy_trace):
+        k = MultiWindowKernel(lossy_trace, window_sizes=(1, 50))
+        curve = sweep(k, lossy_trace, np.linspace(0.05, 1.0, 8))
+        assert np.all(np.diff(curve.mistake_rate) <= 1e-12)
+        assert np.all(np.diff(curve.query_accuracy) >= -1e-12)
+
+    def test_saturated_phi_points_dropped(self, lossy_trace):
+        k = PhiKernel(lossy_trace, window_size=50)
+        curve = sweep(k, lossy_trace, [1.0, 3.0, 17.0])
+        assert len(curve) == 2  # Φ=17 produces infinite deadlines
+
+    def test_rejects_untunable(self, lossy_trace):
+        with pytest.raises(ValueError):
+            sweep(BertierKernel(lossy_trace), lossy_trace, [0.1])
+
+    def test_rows(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        curve = sweep(k, lossy_trace, [0.2])
+        rows = curve.as_rows()
+        assert rows[0]["param"] == 0.2
+        assert "mistake_rate" in rows[0]
+
+
+class TestBertierPoint:
+    def test_single_point(self, lossy_trace):
+        curve = bertier_point(BertierKernel(lossy_trace, window_size=50), lossy_trace)
+        assert len(curve) == 1
+        assert curve.param_name is None
+        assert math.isnan(curve.params[0])
+
+
+class TestCalibration:
+    def test_linear_kernel_exact(self, lossy_trace):
+        from repro.replay.engine import replay_detector
+
+        k = ChenKernel(lossy_trace, window_size=10)
+        margin = calibrate_to_detection_time(k, lossy_trace, 0.45)
+        res = replay_detector(k, lossy_trace, margin)
+        assert res.detection_time == pytest.approx(0.45, abs=1e-9)
+
+    def test_two_window_exact(self, lossy_trace):
+        from repro.replay.engine import replay_detector
+
+        k = MultiWindowKernel(lossy_trace, window_sizes=(1, 50))
+        margin = calibrate_to_detection_time(k, lossy_trace, 0.5)
+        assert replay_detector(k, lossy_trace, margin).detection_time == pytest.approx(0.5, abs=1e-9)
+
+    def test_phi_bisection(self, lossy_trace):
+        from repro.replay.engine import replay_detector
+
+        k = PhiKernel(lossy_trace, window_size=50)
+        th = calibrate_to_detection_time(k, lossy_trace, 0.3)
+        assert replay_detector(k, lossy_trace, th).detection_time == pytest.approx(0.3, rel=1e-3)
+
+    def test_phi_quantized_near_saturation(self, lossy_trace):
+        """Near Φ ≈ 15 the quantile is float-quantized (1 − 10^−Φ moves in
+        ulp steps), so T_D(Φ) is a staircase: calibration can only land
+        within a quantization step — the numerical root of the paper's
+        'curve stops early because of rounding error' remark."""
+        from repro.replay.engine import replay_detector
+
+        k = PhiKernel(lossy_trace, window_size=50)
+        th = calibrate_to_detection_time(k, lossy_trace, 0.4)
+        got = replay_detector(k, lossy_trace, th).detection_time
+        assert got == pytest.approx(0.4, abs=2e-3)
+
+    def test_ed_bisection_respects_domain(self, lossy_trace):
+        from repro.replay.engine import replay_detector
+
+        k = EDKernel(lossy_trace, window_size=50)
+        th = calibrate_to_detection_time(k, lossy_trace, 0.6)
+        assert 0 < th < 1
+        assert replay_detector(k, lossy_trace, th).detection_time == pytest.approx(0.6, rel=1e-4)
+
+    def test_below_floor_raises(self, lossy_trace):
+        k = ChenKernel(lossy_trace, window_size=10)
+        with pytest.raises(ValueError, match="below the minimum"):
+            calibrate_to_detection_time(k, lossy_trace, 0.001)
+
+    def test_phi_saturation_unreachable(self, lossy_trace):
+        k = PhiKernel(lossy_trace, window_size=50)
+        with pytest.raises(ValueError):
+            calibrate_to_detection_time(k, lossy_trace, 1e6)
+
+    def test_untunable_rejected(self, lossy_trace):
+        with pytest.raises(ValueError):
+            calibrate_to_detection_time(BertierKernel(lossy_trace), lossy_trace, 0.3)

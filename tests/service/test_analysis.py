@@ -1,0 +1,75 @@
+"""Tests for the empirical shared-vs-dedicated comparison (§VI extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.delays import LogNormalDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+from repro.service.analysis import compare_shared_vs_dedicated
+from repro.service.application import Application
+
+LINK = Link(
+    delay_model=LogNormalDelay(log_mu=math.log(0.118), log_sigma=0.1),
+    loss_model=BernoulliLoss(0.01),
+)
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.0002)
+
+APPS = [
+    Application("fast", QoSSpec.from_recurrence_time(2.0, 1800.0, 1.0)),
+    Application("mid", QoSSpec.from_recurrence_time(8.0, 600.0, 4.0)),
+    Application("slow", QoSSpec.from_recurrence_time(30.0, 300.0, 15.0)),
+]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_shared_vs_dedicated(
+        APPS, LINK, duration=1200.0, behavior=BEHAVIOR, seed=0
+    )
+
+
+class TestComparison:
+    def test_all_apps_compared(self, comparison):
+        assert [a.name for a in comparison.applications] == ["fast", "mid", "slow"]
+
+    def test_detection_time_preserved(self, comparison):
+        assert all(a.detection_time_preserved for a in comparison.applications)
+
+    def test_shared_interval_is_minimum(self, comparison):
+        cfg = comparison.configuration
+        assert cfg.interval == pytest.approx(
+            min(a.dedicated.interval for a in cfg.applications)
+        )
+        for app in comparison.applications:
+            assert app.shared_interval <= app.dedicated_interval + 1e-12
+
+    def test_adapted_apps_no_worse(self, comparison):
+        adapted = [
+            a
+            for a in comparison.applications
+            if not np.isclose(a.dedicated_interval, a.shared_interval)
+        ]
+        assert adapted
+        for app in adapted:
+            assert app.mistake_rate_improved
+            assert (
+                app.shared_metrics.query_accuracy
+                >= app.dedicated_metrics.query_accuracy - 1e-9
+            )
+
+    def test_traffic_reduced(self, comparison):
+        assert comparison.shared_messages_sent < comparison.dedicated_messages_sent
+        assert comparison.measured_traffic_reduction == pytest.approx(
+            comparison.configuration.traffic_reduction, abs=0.05
+        )
+
+    def test_behavior_estimated_when_omitted(self):
+        result = compare_shared_vs_dedicated(APPS[:2], LINK, duration=600.0, seed=1)
+        assert result.configuration.behavior.loss_probability == pytest.approx(
+            0.01, abs=0.01
+        )

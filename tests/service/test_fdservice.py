@@ -1,0 +1,134 @@
+"""Tests for the shared FD service (monitor side, §V-C Step 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+from repro.service.application import Application
+from repro.service.fdservice import FDService, SharedFDMonitor
+
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.001)
+
+
+class TestSharedFDMonitor:
+    def test_per_app_deadlines_differ_by_margins(self):
+        mon = SharedFDMonitor(1.0, {"fast": 0.2, "slow": 1.2}, window_sizes=(1, 10))
+        mon.receive(1, 1.1)
+        d_fast = mon.suspicion_deadline("fast")
+        d_slow = mon.suspicion_deadline("slow")
+        assert d_slow - d_fast == pytest.approx(1.0)
+
+    def test_matches_dedicated_detector_exactly(self):
+        """Each app's output equals a dedicated 2W-FD with its margin."""
+        margins = {"a": 0.3, "b": 0.9}
+        mon = SharedFDMonitor(1.0, margins, window_sizes=(1, 10))
+        dedicated = {
+            name: TwoWindowFailureDetector(1.0, m, 1, 10) for name, m in margins.items()
+        }
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for s in range(1, 60):
+            t = s + rng.uniform(0, 0.8)
+            mon.receive(s, t)
+            for det in dedicated.values():
+                det.receive(s, t)
+            for name in margins:
+                assert mon.suspicion_deadline(name) == pytest.approx(
+                    dedicated[name].suspicion_deadline
+                )
+                probe = t + 0.35
+                assert mon.is_trusting(name, probe) == dedicated[name].is_trusting(probe)
+
+    def test_single_window_matches_chen(self):
+        mon = SharedFDMonitor(1.0, {"x": 0.5}, window_sizes=(5,))
+        chen = ChenFailureDetector(1.0, 0.5, window_size=5)
+        for s in range(1, 20):
+            mon.receive(s, s + 0.1)
+            chen.receive(s, s + 0.1)
+        assert mon.suspicion_deadline("x") == pytest.approx(chen.suspicion_deadline)
+
+    def test_stale_messages_ignored(self):
+        mon = SharedFDMonitor(1.0, {"x": 0.5})
+        assert mon.receive(2, 2.1)
+        assert not mon.receive(1, 2.2)
+
+    def test_suspect_before_first_heartbeat(self):
+        mon = SharedFDMonitor(1.0, {"x": 0.5})
+        assert not mon.is_trusting("x", 0.0)
+
+    def test_unknown_application(self):
+        mon = SharedFDMonitor(1.0, {"x": 0.5})
+        with pytest.raises(KeyError):
+            mon.is_trusting("nope", 0.0)
+        with pytest.raises(KeyError):
+            mon.suspicion_deadline("nope")
+
+    def test_finalize_per_app_transitions(self):
+        mon = SharedFDMonitor(1.0, {"tight": 0.1, "loose": 5.0})
+        mon.receive(1, 1.0)
+        mon.receive(2, 4.0)  # 3-second gap: mistake for tight, not loose
+        trans = mon.finalize(5.0)
+        tight_s = [t for t, s in trans["tight"] if not s]
+        loose_s = [t for t, s in trans["loose"] if not s]
+        assert len(tight_s) >= 1
+        assert len([t for t in loose_s if t < 4.0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedFDMonitor(1.0, {})
+        with pytest.raises(ValueError):
+            SharedFDMonitor(1.0, {"x": -0.1})
+        with pytest.raises(ValueError):
+            SharedFDMonitor(1.0, {"x": 0.1}, window_sizes=())
+
+
+class TestFDService:
+    APPS = [
+        Application("fast", QoSSpec.from_recurrence_time(2.0, 1800.0, 1.0)),
+        Application("slow", QoSSpec.from_recurrence_time(30.0, 300.0, 15.0)),
+    ]
+
+    def test_configuration_flows_to_monitor(self):
+        svc = FDService(self.APPS, BEHAVIOR)
+        cfg = svc.configuration
+        assert svc.heartbeat_interval == cfg.interval
+        for app in cfg.applications:
+            assert svc.monitor.margin(app.spec.name) == pytest.approx(app.safety_margin)
+
+    def test_detection_time_identity(self):
+        svc = FDService(self.APPS, BEHAVIOR)
+        for app in self.APPS:
+            assert svc.heartbeat_interval + svc.monitor.margin(app.name) == pytest.approx(
+                app.spec.detection_time
+            )
+
+    def test_traffic_accounting(self):
+        svc = FDService(self.APPS, BEHAVIOR)
+        assert svc.message_rate == pytest.approx(1.0 / svc.heartbeat_interval)
+        assert 0.0 <= svc.traffic_reduction < 1.0
+
+    def test_unique_names_required(self):
+        dup = [self.APPS[0], Application("fast", self.APPS[1].spec)]
+        with pytest.raises(ValueError, match="unique"):
+            FDService(dup, BEHAVIOR)
+
+    def test_describe(self):
+        text = FDService(self.APPS, BEHAVIOR).describe()
+        assert "fast" in text and "slow" in text and "Δi" in text
+
+    def test_requires_applications(self):
+        with pytest.raises(ValueError):
+            FDService([], BEHAVIOR)
+
+
+class TestApplication:
+    def test_name_propagates_to_spec(self):
+        app = Application("db", QoSSpec(2.0, 0.01, 1.0))
+        assert app.spec.name == "db"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Application("", QoSSpec(2.0, 0.01, 1.0))

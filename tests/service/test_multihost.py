@@ -1,0 +1,115 @@
+"""Tests for the multi-host FD service."""
+
+import pytest
+
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+from repro.service.application import Application
+from repro.service.multihost import MultiHostFDService, Subscription
+
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=0.001)
+
+
+def app(name, td, rec=600.0, tm=None):
+    return Application(name, QoSSpec.from_recurrence_time(td, rec, tm or td / 2))
+
+
+def service():
+    subs = [
+        Subscription(app("scheduler", 2.0, 1800.0, 1.0), "db-host"),
+        Subscription(app("dashboard", 30.0, 300.0, 15.0), "db-host"),
+        Subscription(app("scheduler", 2.0, 1800.0, 1.0), "cache-host"),
+    ]
+    return MultiHostFDService(subs, BEHAVIOR, window_sizes=(1, 50))
+
+
+class TestConfiguration:
+    def test_per_host_combination(self):
+        svc = service()
+        assert set(svc.hosts) == {"db-host", "cache-host"}
+        assert set(svc.subscribers_of("db-host")) == {"scheduler", "dashboard"}
+        assert svc.subscribers_of("cache-host") == ("scheduler",)
+
+    def test_heartbeat_interval_is_min_of_subscribers(self):
+        svc = service()
+        # db-host's interval is driven by the aggressive scheduler.
+        assert svc.heartbeat_interval("db-host") <= 2.0
+        assert svc.heartbeat_interval("db-host") == pytest.approx(
+            svc.heartbeat_interval("cache-host"), rel=0.01
+        )
+
+    def test_traffic_accounting(self):
+        svc = service()
+        assert svc.total_message_rate() < svc.dedicated_message_rate()
+        assert 0.0 < svc.traffic_reduction() < 1.0
+
+    def test_duplicate_subscription_rejected(self):
+        subs = [
+            Subscription(app("a", 2.0), "h"),
+            Subscription(app("a", 2.0), "h"),
+        ]
+        with pytest.raises(ValueError, match="twice"):
+            MultiHostFDService(subs, BEHAVIOR)
+
+    def test_requires_subscriptions(self):
+        with pytest.raises(ValueError):
+            MultiHostFDService([], BEHAVIOR)
+
+    def test_unknown_host(self):
+        svc = service()
+        with pytest.raises(KeyError):
+            svc.receive("ghost", 1, 1.0)
+
+
+class TestRuntime:
+    def test_per_host_isolation(self):
+        """Heartbeats from one host never affect another host's views."""
+        svc = service()
+        interval = svc.heartbeat_interval("db-host")
+        for s in range(1, 10):
+            svc.receive("db-host", s, s * interval + 0.05)
+        now = 9 * interval + 0.1
+        assert svc.is_trusting("scheduler", "db-host", now)
+        assert not svc.is_trusting("scheduler", "cache-host", now)
+
+    def test_crash_reported_to_all_subscribers(self):
+        """§V: a host crash reaches every application monitoring it."""
+        svc = service()
+        events = []
+        svc.subscribe_notifications(
+            lambda a, h, t, trusted: events.append((a, h, trusted))
+        )
+        interval = svc.heartbeat_interval("db-host")
+        t = 0.0
+        for s in range(1, 20):
+            t = s * interval + 0.05
+            svc.receive("db-host", s, t)
+        # JOIN notifications for both subscribers.
+        assert ("scheduler", "db-host", True) in events
+        assert ("dashboard", "db-host", True) in events
+        # Host dies: poll far past every margin.
+        svc.poll(t + 100.0)
+        assert ("scheduler", "db-host", False) in events
+        assert ("dashboard", "db-host", False) in events
+        # And the pull-style crash report agrees.
+        assert "db-host" in svc.crashed_hosts("scheduler", t + 100.0)
+        assert "db-host" in svc.crashed_hosts("dashboard", t + 100.0)
+
+    def test_aggressive_app_notified_before_relaxed_one(self):
+        """Different QoS ⇒ different suspicion instants for the same crash."""
+        svc = service()
+        interval = svc.heartbeat_interval("db-host")
+        t = 0.0
+        for s in range(1, 20):
+            t = s * interval + 0.05
+            svc.receive("db-host", s, t)
+        sched_deadline = svc._state("db-host").monitor.suspicion_deadline("scheduler")
+        dash_deadline = svc._state("db-host").monitor.suspicion_deadline("dashboard")
+        assert sched_deadline < dash_deadline
+        probe = 0.5 * (sched_deadline + dash_deadline)
+        assert not svc.is_trusting("scheduler", "db-host", probe)
+        assert svc.is_trusting("dashboard", "db-host", probe)
+
+    def test_crashed_hosts_only_lists_subscribed(self):
+        svc = service()
+        assert svc.crashed_hosts("dashboard", 0.0) == ("db-host",)

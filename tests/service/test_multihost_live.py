@@ -1,0 +1,121 @@
+"""Live integration: the multi-host service driven by the simulator.
+
+Three hosts heartbeat one monitoring machine; two applications subscribe
+to overlapping host sets.  One host crashes: every subscriber of that host
+— and only of that host — gets notified, each within its own QoS bound.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.delays import LogNormalDelay
+from repro.net.loss import BernoulliLoss
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.spec import QoSSpec
+from repro.service.application import Application
+from repro.service.multihost import MultiHostFDService, Subscription
+from repro.sim.processes import Channel, HeartbeatSender
+from repro.sim.scheduler import EventScheduler
+
+BEHAVIOR = NetworkBehavior(loss_probability=0.01, delay_variance=2e-4)
+
+
+@pytest.fixture(scope="module")
+def run():
+    sched = Application("scheduler", QoSSpec.from_recurrence_time(2.0, 1800.0, 1.0))
+    dash = Application("dashboard", QoSSpec.from_recurrence_time(10.0, 300.0, 5.0))
+    service = MultiHostFDService(
+        [
+            Subscription(sched, "alpha"),
+            Subscription(sched, "beta"),
+            Subscription(dash, "beta"),
+            Subscription(dash, "gamma"),
+        ],
+        BEHAVIOR,
+        window_sizes=(1, 100),
+    )
+    events = []
+    service.subscribe_notifications(
+        lambda app, host, t, trusted: events.append((app, host, round(t, 3), trusted))
+    )
+
+    scheduler = EventScheduler()
+    crash_time = 120.0
+    duration = 160.0
+    for i, host in enumerate(service.hosts):
+        rng = np.random.default_rng(10 + i)
+        channel = Channel(
+            scheduler,
+            LogNormalDelay(log_mu=math.log(0.05), log_sigma=0.15),
+            rng,
+            BernoulliLoss(0.01),
+        )
+        sender = HeartbeatSender(
+            scheduler,
+            channel,
+            service.heartbeat_interval(host),
+            lambda seq, arrival, h=host: service.receive(h, seq, arrival),
+            crash_time=crash_time if host == "beta" else None,
+        )
+        sender.start()
+    # Poll every second so expiries fire without traffic.
+    t = 1.0
+    while t < duration:
+        scheduler.schedule(t, lambda now=t: service.poll(now))
+        t += 1.0
+    scheduler.run_until(duration)
+    service.poll(duration)
+    return service, events, crash_time, duration
+
+
+class TestLiveMultiHost:
+    def test_all_views_joined(self, run):
+        service, events, crash, duration = run
+        joins = {(a, h) for a, h, _, trusted in events if trusted}
+        assert joins == {
+            ("scheduler", "alpha"),
+            ("scheduler", "beta"),
+            ("dashboard", "beta"),
+            ("dashboard", "gamma"),
+        }
+
+    def test_crash_reported_to_both_subscribers_of_beta(self, run):
+        service, events, crash, duration = run
+        removals = [
+            (a, h, t) for a, h, t, trusted in events if not trusted and t > crash
+        ]
+        assert {("scheduler", "beta"), ("dashboard", "beta")} <= {
+            (a, h) for a, h, _ in removals
+        }
+
+    def test_detection_within_each_apps_bound(self, run):
+        service, events, crash, duration = run
+        for app, bound in (("scheduler", 2.0), ("dashboard", 10.0)):
+            t_detect = min(
+                t
+                for a, h, t, trusted in events
+                if a == app and h == "beta" and not trusted and t > crash
+            )
+            # Bound plus the mean one-way delay convention.
+            assert t_detect - crash <= bound + 0.2
+
+    def test_healthy_hosts_untouched(self, run):
+        service, events, crash, duration = run
+        assert service.is_trusting("scheduler", "alpha", duration)
+        assert service.is_trusting("dashboard", "gamma", duration)
+        assert service.crashed_hosts("scheduler", duration) == ("beta",)
+        assert service.crashed_hosts("dashboard", duration) == ("beta",)
+
+    def test_aggressive_app_detects_first(self, run):
+        service, events, crash, duration = run
+        first = {
+            a: min(
+                t
+                for a2, h, t, trusted in events
+                if a2 == a and h == "beta" and not trusted and t > crash
+            )
+            for a in ("scheduler", "dashboard")
+        }
+        assert first["scheduler"] < first["dashboard"]

@@ -1,0 +1,100 @@
+"""Tests for the simulated sender, channel and monitor."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.chen import ChenFailureDetector
+from repro.net.clock import DriftingClock
+from repro.net.delays import ConstantDelay
+from repro.net.loss import BernoulliLoss
+from repro.sim.processes import Channel, HeartbeatSender, Monitor
+from repro.sim.scheduler import EventScheduler
+
+
+def run_sender(duration=5.0, interval=1.0, delay=0.1, crash_time=None, clock=None,
+               loss=None, seed=0):
+    sched = EventScheduler()
+    rng = np.random.default_rng(seed)
+    received = []
+    channel = Channel(sched, ConstantDelay(delay), rng, loss)
+    sender = HeartbeatSender(
+        sched, channel, interval,
+        lambda s, a: received.append((s, a)),
+        clock=clock, crash_time=crash_time,
+    )
+    sender.start()
+    sched.run_until(duration)
+    return sender, channel, received
+
+
+class TestHeartbeatSender:
+    def test_alg1_send_times(self):
+        _, _, received = run_sender(duration=4.5)
+        assert [s for s, _ in received] == [1, 2, 3, 4]
+        np.testing.assert_allclose([a for _, a in received], [1.1, 2.1, 3.1, 4.1])
+
+    def test_crash_stops_heartbeats(self):
+        sender, _, received = run_sender(duration=10.0, crash_time=3.5)
+        assert [s for s, _ in received] == [1, 2, 3]
+        assert sender.crashed
+
+    def test_crash_time_inclusive_send(self):
+        # A heartbeat exactly at the crash instant is still sent.
+        _, _, received = run_sender(duration=10.0, crash_time=3.0)
+        assert [s for s, _ in received] == [1, 2, 3]
+
+    def test_clock_skew_applied(self):
+        _, _, received = run_sender(clock=DriftingClock(offset=2.0), duration=6.0)
+        np.testing.assert_allclose(received[0][1], 3.1)  # 1 + 2 offset + 0.1
+
+
+class TestChannel:
+    def test_loss_counted(self):
+        _, channel, received = run_sender(
+            duration=2000.0, loss=BernoulliLoss(0.5), seed=1
+        )
+        assert channel.n_lost > 0
+        assert channel.n_sent == channel.n_lost + len(received)
+        assert channel.n_lost / channel.n_sent == pytest.approx(0.5, abs=0.05)
+
+    def test_negative_delay_rejected(self):
+        class Negative(ConstantDelay):
+            def sample(self, rng, n):
+                return np.full(n, -1.0)
+
+        sched = EventScheduler()
+        channel = Channel(sched, Negative(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            channel.send(1.0, lambda a: None)
+        sched.run()
+
+
+class TestMonitor:
+    def test_fans_out_to_all_detectors(self):
+        dets = {
+            "a": ChenFailureDetector(1.0, 0.5, window_size=5),
+            "b": ChenFailureDetector(1.0, 1.5, window_size=5),
+        }
+        mon = Monitor(dets)
+        mon.receive(1, 1.1)
+        mon.receive(2, 2.1)
+        assert dets["a"].largest_seq == 2
+        assert dets["b"].largest_seq == 2
+        assert mon.log == [(1, 1.1), (2, 2.1)]
+
+    def test_outputs_at(self):
+        mon = Monitor({"a": ChenFailureDetector(1.0, 0.5, window_size=5)})
+        mon.receive(1, 1.1)
+        out = mon.outputs_at(1.2)
+        assert out == {"a": True}
+
+    def test_requires_detectors(self):
+        with pytest.raises(ValueError):
+            Monitor({})
+
+    def test_finalize(self):
+        mon = Monitor({"a": ChenFailureDetector(1.0, 0.5, window_size=5)})
+        mon.receive(1, 1.1)
+        trans = mon.finalize(10.0)
+        assert trans["a"][0] == (1.1, True)
+        assert trans["a"][-1][1] is False

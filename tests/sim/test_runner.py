@@ -1,0 +1,136 @@
+"""Tests for the end-to-end simulation driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detectors.chen import ChenFailureDetector
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.net.clock import DriftingClock
+from repro.net.delays import ConstantDelay, LogNormalDelay
+from repro.net.loss import BernoulliLoss
+from repro.sim.runner import simulate
+
+
+def factories(margin=0.5):
+    return {
+        "chen": lambda dt: ChenFailureDetector(dt, safety_margin=margin, window_size=100),
+        "2w": lambda dt: TwoWindowFailureDetector(dt, safety_margin=margin, long_window=100),
+    }
+
+
+class TestBasicRun:
+    def test_trace_recorded(self):
+        res = simulate(
+            factories(),
+            interval=0.5,
+            duration=30.0,
+            delay_model=ConstantDelay(0.05),
+            seed=0,
+        )
+        # 60 heartbeats sent; the last (sent exactly at the horizon) is
+        # still in flight when the observation window closes.
+        assert res.n_sent == 60
+        assert res.trace.n_received == 59
+        assert res.trace.interval == 0.5
+        assert res.crash_time is None
+        assert set(res.detector_names) == {"chen", "2w"}
+
+    def test_stable_run_no_mistakes(self):
+        res = simulate(
+            factories(),
+            interval=0.5,
+            duration=60.0,
+            delay_model=ConstantDelay(0.05),
+            seed=0,
+        )
+        for name in res.detector_names:
+            assert res.metrics[name].n_mistakes == 0
+            assert res.metrics[name].query_accuracy == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        kwargs = dict(
+            interval=0.2,
+            duration=30.0,
+            delay_model=LogNormalDelay(log_mu=np.log(0.05), log_sigma=0.3),
+            loss_model=BernoulliLoss(0.05),
+            seed=7,
+        )
+        a = simulate(factories(), **kwargs)
+        b = simulate(factories(), **kwargs)
+        np.testing.assert_array_equal(a.trace.arrival, b.trace.arrival)
+        assert a.metrics["chen"].n_mistakes == b.metrics["chen"].n_mistakes
+
+    def test_trace_replayable(self):
+        """Logged trace replays to the same metrics as the live run."""
+        from repro.replay.engine import replay_online
+
+        res = simulate(
+            factories(margin=0.2),
+            interval=0.2,
+            duration=60.0,
+            delay_model=LogNormalDelay(log_mu=np.log(0.05), log_sigma=0.5),
+            loss_model=BernoulliLoss(0.05),
+            seed=3,
+        )
+        online = replay_online(
+            ChenFailureDetector(0.2, safety_margin=0.2, window_size=100), res.trace
+        )
+        assert online.metrics.n_mistakes == res.metrics["chen"].n_mistakes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate(factories(), interval=0.0, duration=1.0, delay_model=ConstantDelay())
+        with pytest.raises(ValueError):
+            simulate(
+                factories(),
+                interval=0.1,
+                duration=1.0,
+                delay_model=ConstantDelay(),
+                crash_time=-1.0,
+            )
+
+
+class TestCrashDetection:
+    def _crash_run(self, margin=0.5, crash=20.0, duration=40.0, seed=1):
+        return simulate(
+            factories(margin=margin),
+            interval=0.5,
+            duration=duration,
+            delay_model=ConstantDelay(0.05),
+            crash_time=crash,
+            seed=seed,
+        )
+
+    def test_crash_detected_permanently(self):
+        res = self._crash_run()
+        for name in res.detector_names:
+            report = res.crash_reports[name]
+            assert report.permanently_suspecting
+            assert math.isfinite(report.detection_time)
+
+    def test_detection_time_near_bound(self):
+        """T_D ≈ Δi + Δto + delay for a constant-delay channel."""
+        res = self._crash_run(margin=0.5, crash=20.0)
+        report = res.crash_reports["chen"]
+        assert report.detection_time == pytest.approx(0.5 + 0.5 + 0.05, abs=0.06)
+
+    def test_metrics_truncated_at_crash(self):
+        res = self._crash_run(crash=20.0, duration=40.0)
+        assert res.metrics["chen"].duration <= 20.0
+
+    def test_crash_with_skewed_clock(self):
+        res = simulate(
+            factories(),
+            interval=0.5,
+            duration=60.0,
+            delay_model=ConstantDelay(0.01),
+            sender_clock=DriftingClock(offset=5.0, drift=1e-4),
+            crash_time=30.0,
+            seed=2,
+        )
+        # Crash at 30 on p's clock is ~35 on q's; detection after that.
+        report = res.crash_reports["2w"]
+        assert report.permanently_suspecting
+        assert report.suspected_at > 35.0

@@ -1,0 +1,111 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import EventScheduler
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_stable_ties(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abc":
+            sched.schedule(1.0, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0]
+        assert sched.now == 5.0
+
+    def test_rejects_past(self):
+        sched = EventScheduler(start_time=10.0)
+        with pytest.raises(ValueError):
+            sched.schedule(5.0, lambda: None)
+
+    def test_rejects_infinite(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(float("inf"), lambda: None)
+
+    def test_schedule_after(self):
+        sched = EventScheduler(start_time=2.0)
+        seen = []
+        sched.schedule_after(1.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [3.5]
+
+    def test_events_scheduling_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append(("first", sched.now))
+            sched.schedule_after(1.0, lambda: fired.append(("second", sched.now)))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(5.0, lambda: fired.append(5))
+        sched.run_until(3.0)
+        assert fired == [1]
+        assert sched.now == 3.0
+        sched.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_boundary_inclusive(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda: fired.append(3))
+        sched.run_until(3.0)
+        assert fired == [3]
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append("x"))
+        sched.schedule(2.0, lambda: fired.append("y"))
+        sched.cancel(handle)
+        sched.run()
+        assert fired == ["y"]
+
+    def test_peek_skips_cancelled(self):
+        sched = EventScheduler()
+        h = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        sched.cancel(h)
+        assert sched.peek_time() == 2.0
+
+
+class TestRunawayGuard:
+    def test_max_events(self):
+        sched = EventScheduler()
+
+        def rearm():
+            sched.schedule_after(1.0, rearm)
+
+        sched.schedule(1.0, rearm)
+        with pytest.raises(RuntimeError, match="runaway"):
+            sched.run(max_events=100)

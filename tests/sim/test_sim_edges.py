@@ -1,0 +1,78 @@
+"""Edge cases across the simulation stack."""
+
+import pytest
+
+from repro.core.twofd import TwoWindowFailureDetector
+from repro.detectors.adaptive import AdaptiveTwoWindowFailureDetector
+from repro.cluster.membership import MembershipMonitor
+from repro.net.delays import ConstantDelay
+from repro.sim.runner import simulate
+from repro.sim.scheduler import EventScheduler
+
+
+class TestSchedulerEdges:
+    def test_start_time(self):
+        sched = EventScheduler(start_time=100.0)
+        assert sched.now == 100.0
+        fired = []
+        sched.schedule(100.0, lambda: fired.append(sched.now))  # now is legal
+        sched.run()
+        assert fired == [100.0]
+
+    def test_run_until_advances_even_without_events(self):
+        sched = EventScheduler()
+        sched.run_until(42.0)
+        assert sched.now == 42.0
+
+    def test_step_on_empty(self):
+        assert EventScheduler().step() is False
+
+    def test_cancel_unknown_handle_harmless(self):
+        sched = EventScheduler()
+        sched.cancel(12345)
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+
+
+class TestCrashBeforeFirstHeartbeat:
+    def test_no_heartbeat_ever_raises(self):
+        with pytest.raises(RuntimeError, match="no heartbeat"):
+            simulate(
+                {"d": lambda dt: TwoWindowFailureDetector(dt, 0.2)},
+                interval=1.0,
+                duration=10.0,
+                delay_model=ConstantDelay(0.1),
+                crash_time=0.5,  # dies before sending m_1 (sent at 1.0)
+                seed=0,
+            )
+
+    def test_crash_after_single_heartbeat(self):
+        res = simulate(
+            {"d": lambda dt: TwoWindowFailureDetector(dt, 0.2)},
+            interval=1.0,
+            duration=30.0,
+            delay_model=ConstantDelay(0.1),
+            crash_time=1.5,
+            seed=0,
+        )
+        assert res.trace.n_received == 1
+        report = res.crash_reports["d"]
+        assert report.permanently_suspecting
+
+
+class TestMembershipWithAdaptiveDetector:
+    def test_adaptive_detector_in_membership(self):
+        mon = MembershipMonitor(
+            lambda: AdaptiveTwoWindowFailureDetector(
+                1.0, 1e-3, window_sizes=(1, 20), update_period=10.0,
+                initial_margin=0.5,
+            )
+        )
+        mon.add_member("a")
+        for s in range(1, 60):
+            mon.receive("a", s, s + 0.05)
+        assert "a" in mon.view()
+        mon.advance_to(200.0)
+        assert "a" not in mon.view()
+        events = mon.events
+        assert events[0].joined and not events[-1].joined

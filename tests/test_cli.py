@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig9", "--scale", "0.01"])
+        assert args.experiment == "fig9"
+        assert args.scale == 0.01
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "shared" in out
+
+    def test_run_fig9(self, capsys):
+        code = main(["run", "fig9", "--scale", "0.005"])
+        out = capsys.readouterr().out
+        assert "Mistake sets" in out
+        assert code == 0  # all shape checks pass
+
+    def test_run_unknown(self):
+        with pytest.raises(KeyError):
+            main(["run", "nope"])
+
+    def test_trace_export(self, tmp_path, capsys):
+        out_file = tmp_path / "wan.npz"
+        assert main(["trace", "wan", "--scale", "0.001", "-o", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.traces import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.interval == 0.1
+
+    def test_configure_feasible(self, capsys):
+        code = main(
+            ["configure", "--td", "30", "--recurrence", "600", "--tm", "10",
+             "--loss", "0.01", "--vd", "0.001"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Δi" in out and "Δto" in out
+
+    def test_configure_infeasible(self, capsys):
+        code = main(
+            ["configure", "--td", "1", "--recurrence", "10", "--tm", "1",
+             "--loss", "1.0", "--vd", "0.001"]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(
+            ["simulate", "--detector", "2w-fd", "--param", "0.3",
+             "--duration", "20", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy" in out and "heartbeats sent" in out
+
+    def test_crash_detected(self, capsys):
+        code = main(
+            ["simulate", "--detector", "chen", "--param", "0.3",
+             "--duration", "30", "--crash", "20", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T_D =" in out
+
+    def test_missing_param(self, capsys):
+        code = main(["simulate", "--detector", "chen", "--duration", "5"])
+        assert code == 2
+        assert "needs --param" in capsys.readouterr().err
+
+    def test_bertier_needs_no_param(self, capsys):
+        code = main(
+            ["simulate", "--detector", "bertier", "--duration", "20", "--seed", "2"]
+        )
+        assert code == 0
+
+    def test_adaptive_detector(self, capsys):
+        code = main(
+            ["simulate", "--detector", "adaptive-2w-fd", "--duration", "20",
+             "--seed", "2"]
+        )
+        assert code == 0
+
+
+class TestJsonExport:
+    def test_run_writes_json(self, tmp_path, capsys):
+        code = main(["run", "fig9", "--scale", "0.004", "--json", str(tmp_path)])
+        assert code == 0
+        import json
+
+        data = json.loads((tmp_path / "fig9.json").read_text())
+        assert data["experiment_id"] == "fig9"
+        assert data["checks"] and all(c["passed"] for c in data["checks"])
+        assert "mistake_sets" in data["tables"]
+
+
+class TestReport:
+    def test_full_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "-o", str(out), "--scale", "0.004"])
+        assert code == 0
+        text = out.read_text()
+        assert "# 2W-FD reproduction report" in text
+        assert "Shape checks:" in text
+        # Every distinct experiment section is present.
+        for exp_id in ("fig4-5", "fig6-7", "fig9", "fig10-12", "shared", "adaptive"):
+            assert exp_id in text
+        # Checks rendered with pass marks.
+        assert "✅" in text
+
+
+class TestTraceLan:
+    def test_lan_trace_export(self, tmp_path, capsys):
+        out_file = tmp_path / "lan.npz"
+        code = main(["trace", "lan", "--scale", "0.0005", "-o", str(out_file)])
+        assert code == 0
+        from repro.traces import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.interval == 0.02
+        assert trace.loss_rate == 0.0

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's doorstep; a broken one is a broken deliverable.
+Each runs in a subprocess exactly as a user would invoke it (a couple of
+the heavier ones get reduced inputs via argv where supported).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("wan_comparison.py", ["0.005"]),
+    ("burst_anatomy.py", []),
+    ("shared_service_demo.py", []),
+    ("adaptive_monitoring.py", []),
+    ("adaptive_margin.py", ["0.005"]),
+    ("custom_detector.py", []),
+    ("cluster_membership.py", []),
+    ("bring_your_own_trace.py", []),
+]
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == {name for name, _ in CASES}
+
+
+@pytest.mark.parametrize("name,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(name, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they demonstrate"

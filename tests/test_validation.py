@@ -1,0 +1,107 @@
+"""Tests for repro._validation."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    ensure_1d_float_array,
+    ensure_1d_int_array,
+    ensure_int_at_least,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+    ensure_same_length,
+    ensure_sorted,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(1.5, "x") == 1.5
+
+    def test_coerces_int(self):
+        assert ensure_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(bad, "x")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("-inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_non_negative(bad, "x")
+
+
+class TestEnsureProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert ensure_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_probability(bad, "p")
+
+
+class TestEnsureIntAtLeast:
+    def test_accepts(self):
+        assert ensure_int_at_least(5, 1, "n") == 5
+
+    def test_accepts_numpy_int(self):
+        assert ensure_int_at_least(np.int64(4), 1, "n") == 4
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError):
+            ensure_int_at_least(0, 1, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_int_at_least(True, 0, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_int_at_least(2.0, 1, "n")
+
+
+class TestArrayHelpers:
+    def test_float_array_passthrough(self):
+        out = ensure_1d_float_array([1, 2, 3], "a")
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_float_array_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ensure_1d_float_array([[1.0, 2.0]], "a")
+
+    def test_int_array_accepts_whole_floats(self):
+        out = ensure_1d_int_array([1.0, 2.0], "a")
+        assert out.dtype == np.int64
+
+    def test_int_array_rejects_fractions(self):
+        with pytest.raises(ValueError, match="integers"):
+            ensure_1d_int_array([1.5], "a")
+
+    def test_same_length(self):
+        ensure_same_length(np.zeros(3), np.zeros(3), "a", "b")
+        with pytest.raises(ValueError, match="same length"):
+            ensure_same_length(np.zeros(3), np.zeros(2), "a", "b")
+
+    def test_sorted(self):
+        ensure_sorted(np.array([1.0, 1.0, 2.0]), "a")
+        with pytest.raises(ValueError):
+            ensure_sorted(np.array([2.0, 1.0]), "a")
+
+    def test_strictly_sorted(self):
+        ensure_sorted(np.array([1.0, 2.0]), "a", strict=True)
+        with pytest.raises(ValueError, match="strictly"):
+            ensure_sorted(np.array([1.0, 1.0]), "a", strict=True)
+
+    def test_empty_and_singleton_ok(self):
+        ensure_sorted(np.array([]), "a", strict=True)
+        ensure_sorted(np.array([5.0]), "a", strict=True)

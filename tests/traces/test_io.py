@@ -1,0 +1,50 @@
+"""Tests for trace (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import export_csv, import_csv, load_trace, save_trace
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, simple_trace, tmp_path):
+        path = save_trace(simple_trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.seq, simple_trace.seq)
+        np.testing.assert_array_equal(loaded.arrival, simple_trace.arrival)
+        assert loaded.interval == simple_trace.interval
+        assert loaded.n_sent == simple_trace.n_sent
+        assert loaded.end_time == simple_trace.end_time
+
+    def test_meta_roundtrip(self, simple_trace, tmp_path):
+        simple_trace.meta["scenario"] = "unit"
+        path = save_trace(simple_trace, tmp_path / "t2.npz")
+        assert load_trace(path).meta["scenario"] == "unit"
+
+    def test_suffix_appended(self, simple_trace, tmp_path):
+        path = save_trace(simple_trace, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_creates_parent_dirs(self, simple_trace, tmp_path):
+        path = save_trace(simple_trace, tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, simple_trace, tmp_path):
+        path = export_csv(simple_trace, tmp_path / "t.csv")
+        loaded = import_csv(
+            path,
+            interval=simple_trace.interval,
+            n_sent=simple_trace.n_sent,
+            end_time=simple_trace.end_time,
+        )
+        np.testing.assert_array_equal(loaded.seq, simple_trace.seq)
+        np.testing.assert_allclose(loaded.arrival, simple_trace.arrival)
+
+    def test_import_defaults(self, simple_trace, tmp_path):
+        path = export_csv(simple_trace, tmp_path / "t.csv")
+        loaded = import_csv(path, interval=1.0)
+        assert loaded.n_sent == int(simple_trace.seq.max())
+        assert loaded.meta["source"] == str(path)

@@ -1,0 +1,81 @@
+"""Tests for the Table I segment machinery."""
+
+import pytest
+
+from repro.traces.segments import (
+    WAN_SEGMENTS,
+    Segment,
+    scale_segments,
+    segment_slices,
+    split_by_segments,
+)
+
+
+class TestTableI:
+    def test_verbatim_boundaries(self):
+        assert [s.name for s in WAN_SEGMENTS] == ["stable1", "burst", "worm", "stable2"]
+        assert WAN_SEGMENTS[0].start == 1
+        assert WAN_SEGMENTS[0].stop == 2_900_000
+        assert WAN_SEGMENTS[1] == Segment("burst", 2_900_001, 2_930_000)
+        assert WAN_SEGMENTS[2] == Segment("worm", 2_930_001, 4_860_000)
+        assert WAN_SEGMENTS[3].stop == 5_845_712
+
+    def test_contiguous(self):
+        for prev, nxt in zip(WAN_SEGMENTS, WAN_SEGMENTS[1:]):
+            assert nxt.start == prev.stop + 1
+
+    def test_n_samples(self):
+        assert WAN_SEGMENTS[1].n_samples == 30_000
+
+
+class TestScaleSegments:
+    def test_identity_at_full_size(self):
+        scaled = scale_segments(WAN_SEGMENTS, WAN_SEGMENTS[-1].stop)
+        assert [s.stop for s in scaled] == [s.stop for s in WAN_SEGMENTS]
+
+    def test_proportions_preserved(self):
+        scaled = scale_segments(WAN_SEGMENTS, 100_000)
+        assert scaled[-1].stop == 100_000
+        frac = scaled[0].stop / 100_000
+        assert frac == pytest.approx(2_900_000 / 5_845_712, abs=0.001)
+
+    def test_contiguity_after_scaling(self):
+        scaled = scale_segments(WAN_SEGMENTS, 12_345)
+        assert scaled[0].start == 1
+        for prev, nxt in zip(scaled, scaled[1:]):
+            assert nxt.start == prev.stop + 1
+        assert scaled[-1].stop == 12_345
+
+    def test_every_segment_nonempty_even_tiny(self):
+        scaled = scale_segments(WAN_SEGMENTS, 10)
+        assert all(s.n_samples >= 1 for s in scaled)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            scale_segments(WAN_SEGMENTS, 3)
+
+
+class TestSegmentSlices:
+    def test_zero_based_half_open(self):
+        slices = segment_slices(WAN_SEGMENTS)
+        assert slices["stable1"] == (0, 2_900_000)
+        assert slices["burst"] == (2_900_000, 2_930_000)
+
+    def test_with_rescale(self):
+        slices = segment_slices(WAN_SEGMENTS, n_total=1000)
+        assert slices["stable2"][1] == 1000
+
+
+class TestSplitBySegments:
+    def test_partition_covers_trace(self, wan_small):
+        parts = split_by_segments(wan_small)
+        assert sum(p.n_received for p in parts.values()) == wan_small.n_received
+
+    def test_segments_ordered_in_time(self, wan_small):
+        parts = split_by_segments(wan_small)
+        assert parts["stable1"].arrival[-1] <= parts["burst"].arrival[0]
+        assert parts["burst"].arrival[-1] <= parts["worm"].arrival[0]
+
+    def test_invalid_segment(self):
+        with pytest.raises(ValueError):
+            Segment("bad", 5, 4)

@@ -1,0 +1,49 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.net.delays import ConstantDelay, NormalDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.traces.stats import compute_stats
+from repro.traces.synth import generate_trace
+
+
+class TestComputeStats:
+    def test_constant_delay_zero_variance(self):
+        trace = generate_trace(200, 0.1, Link(delay_model=ConstantDelay(0.05)), rng=0)
+        stats = compute_stats(trace)
+        assert stats.delay_variance == pytest.approx(0.0, abs=1e-18)
+        assert stats.delay_mean == pytest.approx(0.0)  # relative to fastest
+        assert stats.interarrival_mean == pytest.approx(0.1, rel=1e-9)
+        assert stats.loss_rate == 0.0
+
+    def test_delay_variance_matches_model(self):
+        model = NormalDelay(mu=0.1, sigma=0.01)
+        trace = generate_trace(50_000, 0.1, Link(delay_model=model), rng=1)
+        stats = compute_stats(trace)
+        assert stats.delay_variance == pytest.approx(0.01**2, rel=0.05)
+
+    def test_loss_rate(self):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.2))
+        trace = generate_trace(20_000, 0.1, link, rng=2)
+        stats = compute_stats(trace)
+        assert stats.loss_rate == pytest.approx(0.2, abs=0.01)
+
+    def test_interarrival_reflects_losses(self):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.5))
+        trace = generate_trace(20_000, 0.1, link, rng=3)
+        stats = compute_stats(trace)
+        # Mean accepted gap ≈ Δi / (1 - p_L).
+        assert stats.interarrival_mean == pytest.approx(0.2, rel=0.05)
+
+    def test_as_dict_roundtrip(self, simple_trace):
+        d = compute_stats(simple_trace).as_dict()
+        assert d["n_received"] == 9
+        assert set(d) >= {"loss_rate", "delay_variance", "interarrival_max"}
+
+    def test_max_interarrival(self, simple_trace):
+        stats = compute_stats(simple_trace)
+        # seq 7 missing: gap of 2 s between arrivals of 6 and 8.
+        assert stats.interarrival_max == pytest.approx(2.0)

@@ -1,0 +1,97 @@
+"""Tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import DriftingClock
+from repro.net.delays import ConstantDelay, UniformDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.traces.synth import SegmentSpec, generate_segmented_trace, generate_trace
+
+
+class TestGenerateTrace:
+    def test_lossless_constant_delay(self):
+        link = Link(delay_model=ConstantDelay(0.05))
+        trace = generate_trace(100, 0.1, link, rng=0)
+        assert trace.n_received == 100
+        assert trace.n_sent == 100
+        np.testing.assert_allclose(trace.normalized_arrivals(), 0.05)
+
+    def test_send_times_follow_alg1(self):
+        # m_i is sent at i*Δi: arrival of seq j with zero delay is j*Δi.
+        link = Link(delay_model=ConstantDelay(0.0))
+        trace = generate_trace(10, 0.5, link, rng=0)
+        np.testing.assert_allclose(trace.arrival, 0.5 * np.arange(1, 11))
+
+    def test_loss_reflected_in_seq_gaps(self):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.3))
+        trace = generate_trace(10_000, 0.1, link, rng=1)
+        assert trace.n_received < 10_000
+        assert trace.loss_rate == pytest.approx(0.3, abs=0.02)
+
+    def test_arrivals_sorted_despite_reordering(self):
+        link = Link(delay_model=UniformDelay(0.0, 2.0))
+        trace = generate_trace(1000, 0.1, link, rng=2)
+        assert np.all(np.diff(trace.arrival) >= 0)
+        # And reordering actually happened (seq non-monotone).
+        assert np.any(np.diff(trace.seq) < 0)
+
+    def test_deterministic(self):
+        link = Link(delay_model=UniformDelay(0.0, 1.0), loss_model=BernoulliLoss(0.1))
+        a = generate_trace(500, 0.1, link, rng=42)
+        b = generate_trace(500, 0.1, link, rng=42)
+        np.testing.assert_array_equal(a.seq, b.seq)
+        np.testing.assert_array_equal(a.arrival, b.arrival)
+
+    def test_clock_skew_shifts_arrivals(self):
+        skewed = Link(
+            delay_model=ConstantDelay(0.0),
+            receiver_clock=DriftingClock(offset=50.0),
+        )
+        trace = generate_trace(10, 1.0, skewed, rng=0)
+        np.testing.assert_allclose(trace.normalized_arrivals(), 50.0)
+
+    def test_rejects_total_loss(self):
+        link = Link(loss_model=BernoulliLoss(1.0))
+        with pytest.raises(ValueError, match="lost every heartbeat"):
+            generate_trace(10, 0.1, link, rng=0)
+
+    def test_end_time_covers_last_send(self):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.5))
+        trace = generate_trace(1000, 0.1, link, rng=3)
+        assert trace.end_time >= 0.1 * 1000
+
+
+class TestSegmentedTrace:
+    def test_sequence_continuity_across_segments(self):
+        link = Link(delay_model=ConstantDelay(0.0))
+        trace = generate_segmented_trace(
+            [SegmentSpec("a", 50, link), SegmentSpec("b", 50, link)], 0.1, rng=0
+        )
+        assert trace.seq.tolist() == list(range(1, 101))
+        assert trace.meta["segments"][1]["first_seq"] == 51
+
+    def test_per_segment_metadata(self):
+        link = Link(delay_model=ConstantDelay(0.0), loss_model=BernoulliLoss(0.5))
+        trace = generate_segmented_trace(
+            [SegmentSpec("x", 1000, link)], 0.1, rng=1
+        )
+        meta = trace.meta["segments"][0]
+        assert meta["n_sent"] == 1000
+        assert meta["n_received"] == trace.n_received
+
+    def test_different_regimes_visible(self):
+        quiet = Link(delay_model=ConstantDelay(0.01))
+        noisy = Link(delay_model=UniformDelay(0.5, 1.0))
+        trace = generate_segmented_trace(
+            [SegmentSpec("quiet", 200, quiet), SegmentSpec("noisy", 200, noisy)],
+            0.1,
+            rng=2,
+        )
+        normalized = trace.normalized_arrivals()
+        assert normalized[:150].mean() < 0.1 < normalized[-150:].mean()
+
+    def test_requires_segments(self):
+        with pytest.raises(ValueError):
+            generate_segmented_trace([], 0.1, rng=0)

@@ -1,0 +1,129 @@
+"""Tests for HeartbeatTrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.traces.trace import HeartbeatTrace
+from tests.conftest import heartbeat_traces
+
+
+def make(seqs, arrivals, **kw):
+    return HeartbeatTrace(
+        seq=np.asarray(seqs, dtype=np.int64),
+        arrival=np.asarray(arrivals, dtype=float),
+        interval=kw.pop("interval", 1.0),
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_basic(self, simple_trace):
+        assert simple_trace.n_received == 9
+        assert simple_trace.n_sent == 10
+        assert simple_trace.loss_rate == pytest.approx(0.1)
+
+    def test_defaults_n_sent_to_max_seq(self):
+        t = make([1, 2, 5], [1.1, 2.1, 5.1])
+        assert t.n_sent == 5
+
+    def test_defaults_end_time_to_last_arrival(self):
+        t = make([1, 2], [1.1, 2.1])
+        assert t.end_time == pytest.approx(2.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make([], [])
+
+    def test_rejects_zero_seq(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            make([0, 1], [0.1, 1.1])
+
+    def test_rejects_unsorted_arrivals(self):
+        with pytest.raises(ValueError):
+            make([1, 2], [2.0, 1.0])
+
+    def test_rejects_n_sent_below_max_seq(self):
+        with pytest.raises(ValueError):
+            make([1, 5], [1.0, 5.0], n_sent=3)
+
+    def test_rejects_end_time_before_last_arrival(self):
+        with pytest.raises(ValueError):
+            make([1, 2], [1.0, 2.0], end_time=1.5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make([1, 2, 3], [1.0, 2.0])
+
+    def test_arrays_frozen(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.seq[0] = 99
+
+
+class TestAcceptedView:
+    def test_in_order_all_accepted(self, simple_trace):
+        assert simple_trace.accepted_mask().all()
+
+    def test_reordered_and_duplicates_filtered(self):
+        t = make([1, 3, 2, 3, 4], [1.0, 3.0, 3.1, 3.2, 4.0])
+        mask = t.accepted_mask()
+        np.testing.assert_array_equal(mask, [True, True, False, False, True])
+        seq, arr = t.accepted()
+        assert seq.tolist() == [1, 3, 4]
+        assert np.all(np.diff(seq) > 0)
+
+    def test_first_always_accepted(self):
+        t = make([5, 1, 2], [5.0, 5.1, 5.2])
+        assert t.accepted_mask()[0]
+
+    @given(trace=heartbeat_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_accepted_seq_strictly_increasing(self, trace):
+        seq, arr = trace.accepted()
+        assert np.all(np.diff(seq) > 0)
+        assert np.all(np.diff(arr) >= 0)
+
+
+class TestNormalization:
+    def test_normalized_equals_delay_plus_offset(self):
+        t = make([1, 2, 3], [1.25, 2.25, 3.25])
+        np.testing.assert_allclose(t.normalized_arrivals(), 0.25)
+
+    def test_send_offset_estimate_is_min_normalized(self):
+        t = make([1, 2], [1.2, 2.05])
+        assert t.send_offset_estimate() == pytest.approx(0.05)
+
+    def test_virtual_send_times(self):
+        t = make([1, 2], [1.2, 2.05])
+        np.testing.assert_allclose(t.virtual_send_times(), [1.05, 2.05])
+
+
+class TestSlicing:
+    def test_slice_samples(self, simple_trace):
+        sub = simple_trace.slice_samples(2, 5)
+        assert sub.n_received == 3
+        assert sub.seq.tolist() == [3, 4, 5]
+        assert sub.meta["parent_span"] == (2, 5)
+
+    def test_slice_preserves_absolute_times(self, simple_trace):
+        sub = simple_trace.slice_samples(2, 5)
+        np.testing.assert_array_equal(sub.arrival, simple_trace.arrival[2:5])
+
+    def test_slice_rejects_bad_range(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.slice_samples(5, 2)
+        with pytest.raises(ValueError):
+            simple_trace.slice_samples(0, 100)
+
+    def test_with_time_offset(self, simple_trace):
+        shifted = simple_trace.with_time_offset(10.0)
+        np.testing.assert_allclose(shifted.arrival, simple_trace.arrival + 10.0)
+        assert shifted.end_time == pytest.approx(simple_trace.end_time + 10.0)
+        assert shifted.duration == pytest.approx(simple_trace.duration)
+
+
+class TestIteration:
+    def test_iter_heartbeats(self, simple_trace):
+        pairs = list(simple_trace.iter_heartbeats())
+        assert pairs[0] == (1, pytest.approx(1.1))
+        assert len(pairs) == 9

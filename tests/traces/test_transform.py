@@ -1,0 +1,133 @@
+"""Tests for trace transformations (controlled fault injection)."""
+
+import numpy as np
+import pytest
+
+from repro.net.delays import ConstantDelay
+from repro.net.link import Link
+from repro.traces.synth import generate_trace
+from repro.traces.transform import (
+    concat_traces,
+    crop_time,
+    delay_span,
+    drop_span,
+    thin_loss,
+)
+
+
+@pytest.fixture()
+def clean_trace():
+    return generate_trace(200, 1.0, Link(delay_model=ConstantDelay(0.1)), rng=0)
+
+
+class TestDropSpan:
+    def test_drops_exactly_the_span(self, clean_trace):
+        out = drop_span(clean_trace, 50.0, 60.0)
+        assert not np.any((out.arrival >= 50.0) & (out.arrival < 60.0))
+        assert out.n_received == clean_trace.n_received - 10
+        assert out.n_sent == clean_trace.n_sent  # the sends still happened
+
+    def test_seq_gap_visible_to_detectors(self, clean_trace):
+        out = drop_span(clean_trace, 50.0, 60.0)
+        gaps = np.diff(out.accepted()[0])
+        assert gaps.max() == 11  # 10 consecutive losses
+
+    def test_original_untouched(self, clean_trace):
+        before = clean_trace.n_received
+        drop_span(clean_trace, 50.0, 60.0)
+        assert clean_trace.n_received == before
+
+    def test_rejects_total_drop(self, clean_trace):
+        with pytest.raises(ValueError):
+            drop_span(clean_trace, 0.0, 1e9)
+
+    def test_rejects_empty_span(self, clean_trace):
+        with pytest.raises(ValueError):
+            drop_span(clean_trace, 10.0, 10.0)
+
+
+class TestDelaySpan:
+    def test_full_shift(self, clean_trace):
+        out = delay_span(clean_trace, 50.0, 55.0, extra=2.0, drain=False)
+        mask = (clean_trace.arrival >= 50.0) & (clean_trace.arrival < 55.0)
+        affected_seqs = set(clean_trace.seq[mask].tolist())
+        for s, a in zip(out.seq, out.arrival):
+            if s in affected_seqs:
+                orig = clean_trace.arrival[clean_trace.seq == s][0]
+                assert a == pytest.approx(orig + 2.0)
+
+    def test_drain_profile_decays(self, clean_trace):
+        out = delay_span(clean_trace, 50.0, 60.0, extra=3.0, drain=True)
+        # First affected heartbeat gets almost the full extra delay, the
+        # last almost none.
+        orig = clean_trace.arrival
+        extras = {}
+        for s, a in zip(out.seq, out.arrival):
+            o = orig[clean_trace.seq == s][0]
+            extras[int(s)] = a - o
+        affected = [s for s, e in extras.items() if e > 1e-9]
+        first, last = min(affected), max(affected)
+        assert extras[first] > extras[last]
+
+    def test_arrivals_stay_sorted(self, clean_trace):
+        out = delay_span(clean_trace, 50.0, 55.0, extra=10.0, drain=False)
+        assert np.all(np.diff(out.arrival) >= 0)
+
+    def test_horizon_extends_if_needed(self, clean_trace):
+        out = delay_span(
+            clean_trace, clean_trace.arrival[-1] - 0.5, clean_trace.arrival[-1] + 0.1,
+            extra=100.0, drain=False,
+        )
+        assert out.end_time >= clean_trace.arrival[-1] + 100.0 - 1.0
+
+
+class TestCropTime:
+    def test_crop(self, clean_trace):
+        out = crop_time(clean_trace, 50.0, 100.0)
+        assert out.arrival.min() >= 50.0
+        assert out.arrival.max() < 100.0
+        assert out.end_time == 100.0
+
+    def test_empty_crop_rejected(self, clean_trace):
+        with pytest.raises(ValueError):
+            crop_time(clean_trace, 1e6, 2e6)
+
+
+class TestConcat:
+    def test_seq_and_time_shift(self, clean_trace):
+        other = generate_trace(100, 1.0, Link(delay_model=ConstantDelay(0.1)), rng=1)
+        out = concat_traces(clean_trace, other)
+        assert out.n_sent == 300
+        assert out.n_received == 300
+        assert out.seq.max() == 300
+        # Second part's first heartbeat lands after the first part ends.
+        assert out.meta["boundary_seq"] == 200
+        np.testing.assert_allclose(np.diff(out.accepted()[1]), 1.0, atol=1e-9)
+
+    def test_interval_mismatch(self, clean_trace):
+        other = generate_trace(10, 0.5, Link(delay_model=ConstantDelay(0.1)), rng=1)
+        with pytest.raises(ValueError):
+            concat_traces(clean_trace, other)
+
+    def test_replayable(self, clean_trace):
+        from repro.replay import make_kernel, replay_detector
+
+        other = generate_trace(100, 1.0, Link(delay_model=ConstantDelay(0.1)), rng=1)
+        out = concat_traces(clean_trace, other)
+        r = replay_detector(make_kernel("chen", out, window_size=10), out, 0.5)
+        assert r.metrics.n_mistakes == 0  # still a clean constant-delay trace
+
+
+class TestThinLoss:
+    def test_rate(self, clean_trace):
+        big = generate_trace(20_000, 1.0, Link(delay_model=ConstantDelay(0.1)), rng=2)
+        out = thin_loss(big, 0.2, rng=3)
+        assert 1 - out.n_received / big.n_received == pytest.approx(0.2, abs=0.02)
+
+    def test_zero_is_identity(self, clean_trace):
+        out = thin_loss(clean_trace, 0.0, rng=0)
+        assert out.n_received == clean_trace.n_received
+
+    def test_rejects_certain_loss(self, clean_trace):
+        with pytest.raises(ValueError):
+            thin_loss(clean_trace, 1.0)

@@ -1,0 +1,92 @@
+"""Property-based tests of the trace transforms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.traces.transform import concat_traces, crop_time, drop_span, thin_loss
+from tests.conftest import heartbeat_traces
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestDropSpanProperties:
+    @given(trace=heartbeat_traces(), lo=st.floats(1.0, 60.0), width=st.floats(0.5, 10.0))
+    @settings(**SETTINGS)
+    def test_survivors_unchanged(self, trace, lo, width):
+        hi = lo + width
+        in_span = (trace.arrival >= lo) & (trace.arrival < hi)
+        assume(in_span.any() and not in_span.all())
+        out = drop_span(trace, lo, hi)
+        # Every surviving heartbeat appears with its original arrival time.
+        survivors = dict(zip(out.seq.tolist(), out.arrival.tolist()))
+        original = dict(zip(trace.seq.tolist(), trace.arrival.tolist()))
+        for s, a in survivors.items():
+            # (duplicated seqs map to some original arrival of that seq)
+            assert any(
+                np.isclose(a, oa)
+                for os_, oa in zip(trace.seq.tolist(), trace.arrival.tolist())
+                if os_ == s
+            )
+        assert out.n_received + int(in_span.sum()) == trace.n_received
+
+    @given(trace=heartbeat_traces(), lo=st.floats(1.0, 60.0), width=st.floats(0.5, 10.0))
+    @settings(**SETTINGS)
+    def test_metrics_never_crash_after_injection(self, trace, lo, width):
+        from repro.replay.engine import replay_detector
+        from repro.replay.kernels import make_kernel
+
+        hi = lo + width
+        in_span = (trace.arrival >= lo) & (trace.arrival < hi)
+        assume(in_span.any() and not in_span.all())
+        out = drop_span(trace, lo, hi)
+        assume(int(out.accepted_mask().sum()) >= 2)
+        r = replay_detector(make_kernel("chen", out, window_size=4), out, 0.5)
+        assert 0.0 <= r.metrics.query_accuracy <= 1.0
+
+
+class TestConcatProperties:
+    @given(a=heartbeat_traces(), b=heartbeat_traces())
+    @settings(**SETTINGS)
+    def test_counts_add(self, a, b):
+        out = concat_traces(a, b)
+        assert out.n_received == a.n_received + b.n_received
+        assert out.n_sent == a.n_sent + b.n_sent
+        assert np.all(np.diff(out.arrival) >= 0)
+
+    @given(a=heartbeat_traces(), b=heartbeat_traces())
+    @settings(**SETTINGS)
+    def test_second_part_preserves_gaps(self, a, b):
+        """Normalized arrivals of the second part are translation-invariant."""
+        out = concat_traces(a, b)
+        shifted = out.normalized_arrivals()[out.seq > a.n_sent]
+        # Same multiset as b's normalized arrivals (order may differ after
+        # the global sort; translation cancels in normalization).
+        assert np.allclose(
+            np.sort(shifted), np.sort(b.normalized_arrivals()), atol=1e-9
+        )
+
+
+class TestThinLossProperties:
+    @given(trace=heartbeat_traces(min_heartbeats=20), p=st.floats(0.0, 0.6), seed=st.integers(0, 100))
+    @settings(**SETTINGS)
+    def test_subset_of_original(self, trace, p, seed):
+        try:
+            out = thin_loss(trace, p, rng=seed)
+        except ValueError:
+            return  # everything dropped: rejected explicitly
+        assert out.n_received <= trace.n_received
+        assert out.n_sent == trace.n_sent
+        pairs = set(zip(trace.seq.tolist(), np.round(trace.arrival, 12).tolist()))
+        for s, a in zip(out.seq.tolist(), np.round(out.arrival, 12).tolist()):
+            assert (s, a) in pairs
+
+
+class TestCropProperties:
+    @given(trace=heartbeat_traces(min_heartbeats=10))
+    @settings(**SETTINGS)
+    def test_crop_everything_is_identity_on_rows(self, trace):
+        out = crop_time(trace, float(trace.arrival[0]), float(trace.arrival[-1]) + 1.0)
+        np.testing.assert_array_equal(out.seq, trace.seq)
+        np.testing.assert_array_equal(out.arrival, trace.arrival)

@@ -1,0 +1,94 @@
+"""Tests for the calibrated WAN/LAN trace generators (the paper's traces)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.lan import LAN_INTERVAL, LAN_SAMPLES, make_lan_trace
+from repro.traces.segments import split_by_segments
+from repro.traces.stats import compute_stats
+from repro.traces.wan import WAN_INTERVAL, WAN_SAMPLES, make_wan_trace
+
+
+class TestWanTrace:
+    def test_original_sample_count_constant(self):
+        assert WAN_SAMPLES == 5_845_712  # Table I's last boundary
+
+    def test_interval(self, wan_small):
+        assert wan_small.interval == WAN_INTERVAL == 0.1
+
+    def test_scaled_size(self, wan_small):
+        target = round(WAN_SAMPLES * 0.002)
+        assert wan_small.n_received == pytest.approx(target, rel=0.05)
+
+    def test_deterministic(self):
+        a = make_wan_trace(scale=0.001, seed=9)
+        b = make_wan_trace(scale=0.001, seed=9)
+        np.testing.assert_array_equal(a.arrival, b.arrival)
+
+    def test_seed_changes_trace(self):
+        a = make_wan_trace(scale=0.001, seed=1)
+        b = make_wan_trace(scale=0.001, seed=2)
+        assert not np.array_equal(a.arrival, b.arrival)
+
+    def test_regime_structure(self, wan_small):
+        """Burst/worm periods must be measurably worse than stable ones."""
+        parts = split_by_segments(wan_small)
+        stats = {name: compute_stats(p) for name, p in parts.items()}
+        assert stats["burst"].loss_rate > 2 * stats["stable1"].loss_rate
+        assert stats["worm"].loss_rate > 2 * stats["stable1"].loss_rate
+        assert stats["burst"].interarrival_max > stats["stable1"].interarrival_max * 0.5
+        assert stats["worm"].delay_variance > stats["stable1"].delay_variance
+
+    def test_delay_scale_matches_wan(self, wan_small):
+        # ~120 ms mean one-way delay; normalized spread modest.
+        stats = compute_stats(wan_small)
+        assert 0.0 < stats.delay_mean < 1.0
+        assert stats.interarrival_mean == pytest.approx(
+            WAN_INTERVAL / (1 - wan_small.loss_rate), rel=0.02
+        )
+
+    def test_meta(self, wan_small):
+        assert wan_small.meta["scenario"] == "wan"
+        assert [s["name"] for s in wan_small.meta["segments"]] == [
+            "stable1",
+            "burst",
+            "worm",
+            "stable2",
+        ]
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_wan_trace(scale=0.0)
+
+
+class TestLanTrace:
+    def test_original_sample_count_constant(self):
+        assert LAN_SAMPLES == 7_104_446
+
+    def test_no_loss(self, lan_small):
+        assert lan_small.loss_rate == 0.0
+        assert lan_small.n_received == lan_small.n_sent
+
+    def test_interval(self, lan_small):
+        assert lan_small.interval == LAN_INTERVAL == 0.02
+
+    def test_delay_statistics_match_paper(self):
+        # ~100 µs mean delay with small variance (§IV-B2).
+        trace = make_lan_trace(scale=0.01, seed=0)
+        stats = compute_stats(trace)
+        normalized = trace.normalized_arrivals()
+        # Median is robust to the rare stall runs; typical delay ≈ 100 µs.
+        typical_delay = np.median(normalized) - normalized.min()
+        assert 5e-5 < typical_delay < 5e-4
+        assert stats.interarrival_max < 1.6  # largest gap ≈ 1.5 s
+
+    def test_deterministic(self):
+        a = make_lan_trace(scale=0.001, seed=5)
+        b = make_lan_trace(scale=0.001, seed=5)
+        np.testing.assert_array_equal(a.arrival, b.arrival)
+
+    def test_stall_events_exist_at_scale(self):
+        # At a few hundred thousand samples the rare stalls should appear.
+        trace = make_lan_trace(scale=0.05, seed=2015)
+        gaps = np.diff(trace.accepted()[1])
+        assert gaps.max() > 0.2  # at least one multi-hundred-ms stall
