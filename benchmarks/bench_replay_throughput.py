@@ -1,28 +1,41 @@
 """Micro-benchmarks of the replay hot paths.
 
 These quantify what makes the paper-scale evaluation interactive: the
-vectorized kernels process millions of heartbeats per second, and a Δto
-sweep point costs one fused add plus the metrics kernel.  The online
-detector is benchmarked for contrast (it is the live-service path, not the
-evaluation path).
+vectorized kernels process millions of heartbeats per second, a Δto sweep
+point costs one fused add plus the metrics kernel, and a whole sweep can be
+batched (bitwise-identical chunked replay) or fused (closed-form, O(log m)
+per point — see ``docs/performance.md``).  The online detector is
+benchmarked for contrast (it is the live-service path, not the evaluation
+path).  ``benchmarks/snapshot.py`` distills these paths into the committed
+``BENCH_sweep.json``.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.twofd import TwoWindowFailureDetector
+from repro.experiments.seeds import sweep_seeds
 from repro.replay.engine import replay_online
 from repro.replay.kernels import MultiWindowKernel
 from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.sweep import sweep
 from repro.traces.wan import make_wan_trace
+
+#: The 32-parameter Δto grid used by the sweep benchmarks.
+SWEEP_PARAMS_32 = tuple(np.linspace(0.05, 1.6, 32))
 
 
 @pytest.fixture(scope="module")
-def bench_trace(scale=None):
-    import os
-
+def bench_trace():
     scale = float(os.environ.get("REPRO_SCALE", "0.02"))
     return make_wan_trace(scale=max(scale, 0.02), seed=2015)
+
+
+@pytest.fixture(scope="module")
+def bench_kernel(bench_trace):
+    return MultiWindowKernel(bench_trace, window_sizes=(1, 1000))
 
 
 def test_kernel_construction(benchmark, bench_trace):
@@ -31,9 +44,9 @@ def test_kernel_construction(benchmark, bench_trace):
     assert len(kernel.t) > 1000
 
 
-def test_sweep_point(benchmark, bench_trace):
+def test_sweep_point(benchmark, bench_kernel):
     """Per-sweep-point cost: deadlines + metrics for one Δto value."""
-    kernel = MultiWindowKernel(bench_trace, window_sizes=(1, 1000))
+    kernel = bench_kernel
 
     def one_point():
         d = kernel.deadlines(0.115)
@@ -41,6 +54,43 @@ def test_sweep_point(benchmark, bench_trace):
 
     outcome = benchmark(one_point)
     assert outcome.metrics.duration > 0
+
+
+def test_sweep_serial_32(benchmark, bench_trace, bench_kernel):
+    """32 sweep points through the legacy per-point loop (the baseline)."""
+    curve = benchmark(
+        lambda: sweep(bench_kernel, bench_trace, SWEEP_PARAMS_32, mode="points")
+    )
+    assert len(curve) == 32
+
+
+def test_sweep_batch_32(benchmark, bench_trace, bench_kernel):
+    """32 sweep points through the chunked batch path (bitwise-identical)."""
+    curve = benchmark(
+        lambda: sweep(bench_kernel, bench_trace, SWEEP_PARAMS_32, mode="batch")
+    )
+    assert len(curve) == 32
+
+
+def test_sweep_fused_32(benchmark, bench_trace, bench_kernel):
+    """32 sweep points through the closed-form fused evaluator (warm)."""
+    bench_kernel.fused_sweep_evaluator(bench_trace)  # build once, outside timing
+    curve = benchmark(
+        lambda: sweep(bench_kernel, bench_trace, SWEEP_PARAMS_32, mode="fused")
+    )
+    assert len(curve) == 32
+
+
+def test_parallel_seed_sweep(benchmark, scale):
+    """4-seed experiment sweep at the REPRO_JOBS-configured parallelism."""
+    jobs = int(os.environ.get("REPRO_JOBS", "2"))
+    result = benchmark.pedantic(
+        lambda: sweep_seeds("fig10", (1, 2, 3, 4), jobs=jobs, scale=min(scale, 0.004)),
+        iterations=1,
+        rounds=1,
+        warmup_rounds=0,
+    )
+    assert result.n_runs == 4
 
 
 def test_online_replay(benchmark, bench_trace):

@@ -1,0 +1,137 @@
+"""Emit the BENCH_sweep.json performance snapshot.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py [-o BENCH_sweep.json]
+
+Measures the replay/sweep hot paths on the default WAN bench trace
+(REPRO_SCALE, floored at 0.02 like the pytest benchmarks) and a 4-seed
+experiment sweep serial vs parallel, and writes one JSON document with
+seconds-per-operation, ops/sec, and the derived speedups.  Committed at the
+repo root so future PRs have a perf trajectory; numbers are machine-honest
+(host core count is recorded — parallel speedups require actual cores).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.seeds import sweep_seeds
+from repro.replay.kernels import MultiWindowKernel
+from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.sweep import sweep
+from repro.traces.wan import make_wan_trace
+
+SWEEP_PARAMS_32 = tuple(np.linspace(0.05, 1.6, 32))
+SEEDS = (1, 2, 3, 4)
+SEED_SWEEP_SCALE = 0.004
+
+
+def best_of(fn: Callable[[], object], rounds: int = 3) -> float:
+    """Best wall-clock seconds over ``rounds`` runs (first run included)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def entry(seconds: float) -> dict:
+    return {"seconds": seconds, "ops_per_sec": (1.0 / seconds) if seconds > 0 else None}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_sweep.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args()
+
+    scale = max(float(os.environ.get("REPRO_SCALE", "0.02")), 0.02)
+    trace = make_wan_trace(scale=scale, seed=2015)
+
+    results: dict = {}
+
+    results["kernel_construction"] = entry(
+        best_of(lambda: MultiWindowKernel(trace, window_sizes=(1, 1000)), args.rounds)
+    )
+    kernel = MultiWindowKernel(trace, window_sizes=(1, 1000))
+
+    def one_point():
+        d = kernel.deadlines(0.115)
+        return replay_metrics(kernel.t, d, kernel.end_time, collect_gaps=False)
+
+    results["sweep_point"] = entry(best_of(one_point, args.rounds))
+
+    serial_s = best_of(
+        lambda: sweep(kernel, trace, SWEEP_PARAMS_32, mode="points"), args.rounds
+    )
+    batch_s = best_of(
+        lambda: sweep(kernel, trace, SWEEP_PARAMS_32, mode="batch"), args.rounds
+    )
+    t0 = time.perf_counter()
+    kernel.fused_sweep_evaluator(trace)
+    fused_build_s = time.perf_counter() - t0
+    fused_s = best_of(
+        lambda: sweep(kernel, trace, SWEEP_PARAMS_32, mode="fused"), args.rounds
+    )
+    results["sweep_serial_32"] = entry(serial_s)
+    results["sweep_batch_32"] = {**entry(batch_s), "speedup_vs_serial": serial_s / batch_s}
+    results["sweep_fused_32"] = {
+        **entry(fused_s),
+        "speedup_vs_serial": serial_s / fused_s,
+        "evaluator_build_seconds": fused_build_s,
+        "speedup_vs_serial_including_build": serial_s / (fused_s + fused_build_s),
+    }
+
+    seeds_serial_s = best_of(
+        lambda: sweep_seeds("fig10", SEEDS, jobs=1, scale=SEED_SWEEP_SCALE), 1
+    )
+    seeds_jobs4_s = best_of(
+        lambda: sweep_seeds("fig10", SEEDS, jobs=4, scale=SEED_SWEEP_SCALE), 1
+    )
+    results["seed_sweep_4seeds_serial"] = entry(seeds_serial_s)
+    results["seed_sweep_4seeds_jobs4"] = {
+        **entry(seeds_jobs4_s),
+        "speedup_vs_serial": seeds_serial_s / seeds_jobs4_s,
+    }
+
+    snapshot = {
+        "schema": "repro-fd/bench-sweep/v1",
+        "context": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "scale": scale,
+            "n_received": trace.n_received,
+            "n_accepted_gaps": int(len(kernel.t)),
+            "sweep_params": len(SWEEP_PARAMS_32),
+            "seed_sweep": {
+                "experiment": "fig10",
+                "seeds": list(SEEDS),
+                "scale": SEED_SWEEP_SCALE,
+            },
+        },
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    for name, res in results.items():
+        extra = "".join(
+            f"  {k}={v:.3g}" for k, v in res.items() if k.startswith("speedup")
+        )
+        print(f"  {name}: {res['seconds'] * 1e3:.2f} ms{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,12 @@
     repro-fd trace wan --scale 0.01 -o wan.npz   # export a synthetic trace
     repro-fd configure --td 30 --recurrence 600 --tm 10 --loss 0.01 --vd 1e-3
     repro-fd simulate --detector 2w-fd --param 0.2 --crash 60 --duration 90
+    repro-fd report -o report.md --jobs 4      # parallel over experiments
+    repro-fd cache info                        # on-disk trace/kernel cache
+
+``--jobs`` (or the REPRO_JOBS environment variable) sets the worker-process
+count for seed sweeps, multi-curve sweeps, and the full report; 0 means all
+cores.  See docs/performance.md.
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -48,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as <DIR>/<experiment>.json",
     )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for parallelizable stages (0 = all cores)",
+    )
 
     p_trace = sub.add_parser("trace", help="generate and save a synthetic trace")
     p_trace.add_argument("scenario", choices=["wan", "lan"])
@@ -83,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("-o", "--output", required=True, help="output .md path")
     p_rep.add_argument("--scale", type=float, default=None)
     p_rep.add_argument("--seed", type=int, default=None)
+    p_rep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes, one experiment each (0 = all cores)",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk trace/kernel cache"
+    )
+    p_cache.add_argument("action", choices=["info", "clear"])
 
     p_cfg = sub.add_parser(
         "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
@@ -143,6 +166,24 @@ def _cmd_run(
             print(f"(wrote {path})\n")
         failed |= not result.all_checks_passed
     return 1 if failed else 0
+
+
+def _cmd_cache(action: str) -> int:
+    from repro.runtime.cache import cache_info, clear_cache
+
+    if action == "clear":
+        freed = clear_cache()
+        print(f"cleared cache ({freed / 1e6:.1f} MB freed)")
+        return 0
+    info = cache_info()
+    state = "enabled" if info["enabled"] else "disabled (set REPRO_CACHE=1)"
+    print(f"cache dir: {info['dir']}  [{state}]")
+    if not info["categories"]:
+        print("(empty)")
+    for name, stats in info["categories"].items():
+        print(f"  {name}: {stats['entries']} entries, {stats['bytes'] / 1e6:.1f} MB")
+    print(f"total: {info['total_bytes'] / 1e6:.1f} MB")
+    return 0
 
 
 def _cmd_trace(scenario: str, scale: float, seed: int, output: str) -> int:
@@ -231,7 +272,29 @@ def _cmd_simulate(args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", None) is not None:
+        # Route --jobs through the environment so every pmap() call site
+        # (seed sweeps, multi-curve sweeps, nested runners) picks it up.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    else:
+        # Fail fast on a malformed REPRO_JOBS instead of deep in a sweep.
+        from repro.runtime.parallel import resolve_jobs
+
+        try:
+            resolve_jobs(None)
+        except ValueError as exc:
+            parser.error(str(exc))
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:  # e.g. `repro-fd cache info | head -1`
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -242,12 +305,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_configure(args.td, args.recurrence, args.tm, args.loss, args.vd)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "cache":
+        return _cmd_cache(args.action)
     if args.command == "report":
         from pathlib import Path
 
         from repro.experiments.full_report import build_report
 
-        text = build_report(scale=args.scale, seed=args.seed)
+        text = build_report(scale=args.scale, seed=args.seed, jobs=args.jobs)
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text)

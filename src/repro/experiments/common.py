@@ -8,14 +8,16 @@ standard detection-time grid used across the comparison figures.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.replay.detection import measured_detection_time
-from repro.replay.kernels import DeadlineKernel
+from repro.replay.kernels import DeadlineKernel, make_kernel
 from repro.replay.metrics_kernel import replay_metrics
 from repro.replay.sweep import QoSCurve, calibrate_to_detection_time
+from repro.runtime.cache import cached_trace
+from repro.runtime.parallel import pmap
 from repro.traces.lan import make_lan_trace
 from repro.traces.trace import HeartbeatTrace
 from repro.traces.wan import make_wan_trace
@@ -26,6 +28,7 @@ __all__ = [
     "TD_TARGETS_WAN",
     "TD_TARGETS_LAN",
     "curve_at_targets",
+    "curves_at_targets",
     "lan_trace",
     "wan_trace",
 ]
@@ -45,14 +48,22 @@ TD_TARGETS_LAN: tuple = (0.025, 0.03, 0.04, 0.06, 0.1, 0.2, 0.5, 1.0)
 
 @lru_cache(maxsize=8)
 def wan_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> HeartbeatTrace:
-    """Cached synthetic WAN trace."""
-    return make_wan_trace(scale=scale, seed=seed)
+    """Cached synthetic WAN trace (in-process LRU + optional disk cache)."""
+    return cached_trace(
+        "wan",
+        {"scale": scale, "seed": seed},
+        lambda: make_wan_trace(scale=scale, seed=seed),
+    )
 
 
 @lru_cache(maxsize=8)
 def lan_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> HeartbeatTrace:
-    """Cached synthetic LAN trace."""
-    return make_lan_trace(scale=scale, seed=seed)
+    """Cached synthetic LAN trace (in-process LRU + optional disk cache)."""
+    return cached_trace(
+        "lan",
+        {"scale": scale, "seed": seed},
+        lambda: make_lan_trace(scale=scale, seed=seed),
+    )
 
 
 def curve_at_targets(
@@ -97,3 +108,47 @@ def curve_at_targets(
         n_mistakes=np.asarray(cols[5], dtype=np.int64),
         targets=np.asarray(cols[6]),
     )
+
+
+def _curve_at_targets_worker(
+    job: Tuple[HeartbeatTrace, str, dict, Tuple[float, ...], str]
+) -> QoSCurve | None:
+    trace, detector, kwargs, targets, label = job
+    kernel = make_kernel(detector, trace, **kwargs)
+    try:
+        return curve_at_targets(kernel, trace, targets, label)
+    except ValueError:
+        return None  # no reachable target at all (e.g. φ on the LAN trace)
+
+
+def curves_at_targets(
+    trace: HeartbeatTrace,
+    specs: Sequence[Tuple[str, str, Mapping[str, object]]],
+    targets: Sequence[float],
+    *,
+    jobs: int | None = None,
+) -> Tuple[Dict[str, QoSCurve], List[str]]:
+    """Build several detectors' target-grid curves, optionally in parallel.
+
+    ``specs`` is a sequence of ``(label, detector_name, kernel_kwargs)``;
+    each worker builds its own kernel (kernels don't pickle cheaply and the
+    build is minor next to the calibration replays).  Returns the curves
+    keyed by label, in spec order, plus the labels for which *no* target was
+    reachable.
+    """
+    results = pmap(
+        _curve_at_targets_worker,
+        [
+            (trace, detector, dict(kwargs), tuple(targets), label)
+            for label, detector, kwargs in specs
+        ],
+        jobs=jobs,
+    )
+    curves: Dict[str, QoSCurve] = {}
+    unreachable: List[str] = []
+    for (label, _, _), curve in zip(specs, results):
+        if curve is None:
+            unreachable.append(label)
+        else:
+            curves[label] = curve
+    return curves, unreachable

@@ -9,12 +9,13 @@ shape-check outcomes — a reviewer-friendly snapshot of the reproduction.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.experiments.ascii_plot import ascii_plot
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_series_table, format_table
 from repro.experiments.results import ExperimentResult
+from repro.runtime.parallel import pmap
 
 __all__ = ["build_report", "render_result_markdown"]
 
@@ -72,11 +73,22 @@ def render_result_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _run_one_experiment(job: Tuple[str, dict]) -> ExperimentResult:
+    exp_id, kwargs = job
+    return run_experiment(exp_id, **kwargs)
+
+
 def build_report(
     scale: float | None = None,
     seed: int | None = None,
+    jobs: int | None = None,
 ) -> str:
-    """Run every registered experiment and render the full report."""
+    """Run every registered experiment and render the full report.
+
+    Registry entries are independent, so they fan out over worker
+    processes via :func:`repro.runtime.parallel.pmap` (``jobs`` /
+    ``REPRO_JOBS``); sections stay in registry order.
+    """
     kwargs: dict = {}
     if scale is not None:
         kwargs["scale"] = scale
@@ -100,13 +112,17 @@ def build_report(
         sections.append("")
 
     seen = set()
-    n_checks = n_passed = 0
+    exp_ids: List[str] = []
     for exp_id in sorted(EXPERIMENTS):
         runner = EXPERIMENTS[exp_id][0]
         if runner in seen:
             continue
         seen.add(runner)
-        result = run_experiment(exp_id, **kwargs)
+        exp_ids.append(exp_id)
+
+    n_checks = n_passed = 0
+    results = pmap(_run_one_experiment, [(exp_id, kwargs) for exp_id in exp_ids], jobs=jobs)
+    for result in results:
         sections.append(render_result_markdown(result))
         n_checks += len(result.checks)
         n_passed += sum(c.passed for c in result.checks)

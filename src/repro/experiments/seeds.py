@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
+from repro.runtime.parallel import pmap
 
 __all__ = ["SeedSweepResult", "sweep_seeds"]
 
@@ -94,19 +95,33 @@ class SeedSweepResult:
         ]
 
 
+def _run_one_seed(job: Tuple[str, int, dict]) -> ExperimentResult:
+    experiment_id, seed, kwargs = job
+    return run_experiment(experiment_id, seed=seed, **kwargs)
+
+
 def sweep_seeds(
     experiment_id: str,
     seeds: Sequence[int],
+    *,
+    jobs: int | None = None,
     **kwargs: object,
 ) -> SeedSweepResult:
-    """Run ``experiment_id`` once per seed and aggregate the outcomes."""
+    """Run ``experiment_id`` once per seed and aggregate the outcomes.
+
+    Seeds are independent replays, so they fan out over worker processes
+    via :func:`repro.runtime.parallel.pmap` (``jobs`` / ``REPRO_JOBS``);
+    results keep seed order and match the serial run exactly.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
-    results: List[ExperimentResult] = []
+    results: List[ExperimentResult] = pmap(
+        _run_one_seed,
+        [(experiment_id, int(seed), dict(kwargs)) for seed in seeds],
+        jobs=jobs,
+    )
     passes: Dict[str, int] = {}
-    for seed in seeds:
-        result = run_experiment(experiment_id, seed=int(seed), **kwargs)
-        results.append(result)
+    for result in results:
         for check in result.checks:
             passes[check.name] = passes.get(check.name, 0) + int(check.passed)
     return SeedSweepResult(

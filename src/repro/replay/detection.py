@@ -29,7 +29,11 @@ import numpy as np
 
 from repro._validation import ensure_1d_float_array, ensure_same_length
 
-__all__ = ["measured_detection_time", "detection_times"]
+__all__ = [
+    "measured_detection_time",
+    "measured_detection_times_batch",
+    "detection_times",
+]
 
 
 def detection_times(
@@ -76,3 +80,25 @@ def measured_detection_time(
     if np.any(np.isinf(td)):
         return math.inf
     return float(td.mean())
+
+
+def measured_detection_times_batch(
+    D: np.ndarray,
+    seq: np.ndarray,
+    interval: float,
+    send_offset: float,
+) -> np.ndarray:
+    """Row-wise :func:`measured_detection_time` for a ``(P, m)`` deadline matrix.
+
+    Entry ``i`` is bit-for-bit identical to calling the scalar function on
+    row ``i`` (same elementwise subtraction, same pairwise row mean); rows
+    containing infinite deadlines yield ``inf``.
+    """
+    D = np.asarray(D, dtype=np.float64)
+    if D.ndim != 2:
+        raise ValueError(f"D must be a 2-D (P, m) array, got shape {D.shape}")
+    sends = send_offset + interval * np.asarray(seq, dtype=np.float64)
+    td = D - sends
+    out = td.mean(axis=1)
+    out[np.isinf(td).any(axis=1)] = math.inf
+    return out

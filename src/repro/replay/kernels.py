@@ -104,6 +104,57 @@ class DeadlineKernel(ABC):
     def deadlines(self, param: float | None = None) -> np.ndarray:
         """Suspicion deadline after each accepted heartbeat."""
 
+    def validate_param(self, param: float) -> float:
+        """Range-check one tuning-parameter value (same rules as ``deadlines``)."""
+        return float(param)
+
+    def _batch_params(self, params: Sequence[float]) -> np.ndarray:
+        if self.param_name is None:
+            raise ValueError(f"detector {self.name!r} has no tuning parameter")
+        arr = np.asarray(params, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"params must be 1-D, got shape {arr.shape}")
+        return arr
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        """``(P, m)`` matrix whose row ``i`` equals ``deadlines(params[i])``.
+
+        Rows are bit-for-bit identical to the per-point calls.  Kernels with
+        a closed-form parameter dependence override this with a fused
+        broadcast; this default stacks per-point calls (accrual kernels
+        whose parameter enters through a scalar quantile still share the
+        windowed statistics across rows).
+        """
+        arr = self._batch_params(params)
+        out = np.empty((len(arr), len(self.t)), dtype=np.float64)
+        for i, p in enumerate(arr):
+            out[i] = self.deadlines(float(p))
+        return out
+
+    def fused_sweep_evaluator(self, trace: HeartbeatTrace):
+        """O(log m)-per-parameter sweep evaluator, for linear kernels only.
+
+        Returns a cached :class:`repro.replay.fused.LinearSweepEvaluator`
+        when ``d = linear_base + param`` with a finite base, else ``None``.
+        The build costs one O(m log m) pass; afterwards every sweep point is
+        a handful of binary searches (see ``docs/performance.md``).
+        """
+        if self.linear_base is None or self.param_name is None:
+            return None
+        cached = getattr(self, "_fused_evaluator", None)
+        if cached is not None:
+            return cached
+        base = np.asarray(self.linear_base, dtype=np.float64)
+        if not np.all(np.isfinite(base)):
+            return None
+        from repro.replay.fused import LinearSweepEvaluator
+
+        offset = trace.send_offset_estimate()
+        sends = offset + self.interval * self.seq.astype(np.float64)
+        evaluator = LinearSweepEvaluator(self.t, base, float(self.end_time), sends)
+        self._fused_evaluator = evaluator
+        return evaluator
+
 
 class _GapStatsKernel(DeadlineKernel):
     """Shared machinery for the accrual kernels (interarrival statistics).
@@ -144,6 +195,15 @@ class ChenKernel(DeadlineKernel):
         margin = ensure_non_negative(param if param is not None else 0.0, "safety_margin")
         return self.base + margin
 
+    def validate_param(self, param: float) -> float:
+        return ensure_non_negative(param, "safety_margin")
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        margins = self._batch_params(params)
+        for p in margins:
+            ensure_non_negative(float(p), "safety_margin")
+        return self.base[None, :] + margins[:, None]
+
 
 class MultiWindowKernel(DeadlineKernel):
     """The 2W-FD / MW-FD: Eq. 12's max over per-window Chen bases."""
@@ -167,6 +227,15 @@ class MultiWindowKernel(DeadlineKernel):
     def deadlines(self, param: float | None = None) -> np.ndarray:
         margin = ensure_non_negative(param if param is not None else 0.0, "safety_margin")
         return self.base + margin
+
+    def validate_param(self, param: float) -> float:
+        return ensure_non_negative(param, "safety_margin")
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        margins = self._batch_params(params)
+        for p in margins:
+            ensure_non_negative(float(p), "safety_margin")
+        return self.base[None, :] + margins[:, None]
 
 
 class BertierKernel(DeadlineKernel):
@@ -236,6 +305,23 @@ class PhiKernel(_GapStatsKernel):
             return np.full(len(self.t), np.inf)
         return self.t + self.mu + np.sqrt(self.var) * z
 
+    def validate_param(self, param: float) -> float:
+        if param is None or param <= 0:
+            raise ValueError("the φ detector needs a positive threshold Φ")
+        return float(param)
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        arr = self._batch_params(params)
+        z = np.array([phi_quantile(self.validate_param(float(p))) for p in arr])
+        out = np.empty((len(arr), len(self.t)), dtype=np.float64)
+        finite = np.isfinite(z)
+        if finite.any():
+            tm = self.t + self.mu
+            sv = np.sqrt(self.var)
+            out[finite] = tm[None, :] + sv[None, :] * z[finite, None]
+        out[~finite] = np.inf
+        return out
+
 
 class EDKernel(_GapStatsKernel):
     """ED accrual: ``d = t − μ·ln(1 − E)`` with the windowed gap mean."""
@@ -248,6 +334,17 @@ class EDKernel(_GapStatsKernel):
         if param is None:
             raise ValueError("the ED detector needs a threshold E in (0, 1)")
         return self.t + self.mu * ed_timeout_factor(param)
+
+    def validate_param(self, param: float) -> float:
+        if param is None:
+            raise ValueError("the ED detector needs a threshold E in (0, 1)")
+        ed_timeout_factor(param)  # range-checks E
+        return float(param)
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        arr = self._batch_params(params)
+        factors = np.array([ed_timeout_factor(float(p)) for p in arr])
+        return self.t[None, :] + self.mu[None, :] * factors[:, None]
 
 
 class ChenSyncKernel(DeadlineKernel):
@@ -272,6 +369,15 @@ class ChenSyncKernel(DeadlineKernel):
     def deadlines(self, param: float | None = None) -> np.ndarray:
         shift = ensure_non_negative(param if param is not None else 0.0, "shift")
         return self.linear_base + shift
+
+    def validate_param(self, param: float) -> float:
+        return ensure_non_negative(param, "shift")
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        shifts = self._batch_params(params)
+        for p in shifts:
+            ensure_non_negative(float(p), "shift")
+        return self.linear_base[None, :] + shifts[:, None]
 
 
 class HistogramKernel(_GapStatsKernel):
@@ -325,6 +431,11 @@ class HistogramKernel(_GapStatsKernel):
             raise ValueError("the histogram detector needs a threshold H in (0, 1]")
         q = np.concatenate([[self.interval], self._windowed_quantile(float(param))])
         return self.t + self.margin_factor * q
+
+    def validate_param(self, param: float) -> float:
+        if param is None or not 0.0 < param <= 1.0:
+            raise ValueError("the histogram detector needs a threshold H in (0, 1]")
+        return float(param)
 
     def mean_quantile_by_rank(self) -> np.ndarray:
         """Mean (over full windows) of each order statistic of the gaps.
@@ -395,6 +506,17 @@ class FixedTimeoutKernel(DeadlineKernel):
             raise ValueError("the fixed-timeout detector needs a positive timeout")
         return self.t + float(param)
 
+    def validate_param(self, param: float) -> float:
+        if param is None or param <= 0:
+            raise ValueError("the fixed-timeout detector needs a positive timeout")
+        return float(param)
+
+    def deadlines_batch(self, params: Sequence[float]) -> np.ndarray:
+        timeouts = self._batch_params(params)
+        for p in timeouts:
+            self.validate_param(float(p))
+        return self.t[None, :] + timeouts[:, None]
+
 
 _KERNELS = {
     "2w-fd": MultiWindowKernel,
@@ -415,6 +537,11 @@ def make_kernel(name: str, trace: HeartbeatTrace, **kwargs: object) -> DeadlineK
     ``kwargs`` are the algorithm's *structural* parameters (window sizes,
     Jacobson constants) — the tuning parameter goes to
     :meth:`DeadlineKernel.deadlines` instead.
+
+    When the on-disk cache is enabled (``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``), the built kernel — windowed statistics included —
+    is cached keyed on (trace digest, kernel class, kwargs) and reloaded on
+    repeat runs.
     """
     try:
         cls = _KERNELS[name]
@@ -422,4 +549,13 @@ def make_kernel(name: str, trace: HeartbeatTrace, **kwargs: object) -> DeadlineK
         raise KeyError(
             f"unknown kernel {name!r}; available: {', '.join(sorted(_KERNELS))}"
         ) from None
+    from repro.runtime.cache import cache_enabled, cached_pickle, trace_digest
+
+    if cache_enabled():
+        key = {
+            "trace": trace_digest(trace),
+            "class": cls.__name__,
+            "kwargs": dict(kwargs),
+        }
+        return cached_pickle("kernels", cls.__name__, key, lambda: cls(trace, **kwargs))
     return cls(trace, **kwargs)

@@ -16,6 +16,14 @@ cross-validation against the online implementations — full
 :class:`~repro.qos.timeline.OutputTimeline` objects, entirely with NumPy
 ufunc pipelines (no Python loops; a 6M-sample replay costs a few tens of
 milliseconds).
+
+:func:`replay_metrics_batch` is the many-parameters variant: given a
+``(P, m)`` deadline matrix (one row per tuning-parameter value, see
+:meth:`~repro.replay.kernels.DeadlineKernel.deadlines_batch`) it computes
+the metrics of every row in one chunked vectorized pass, reusing the
+row-independent gap geometry and preallocated workspaces across rows.  Its
+per-row results are bit-for-bit identical to calling :func:`replay_metrics`
+on each row (the batch path applies the exact same elementwise operations).
 """
 
 from __future__ import annotations
@@ -29,7 +37,13 @@ from repro._validation import ensure_1d_float_array, ensure_same_length
 from repro.qos.metrics import QoSMetrics
 from repro.qos.timeline import OutputTimeline
 
-__all__ = ["ReplayOutcome", "replay_metrics", "timeline_from_deadlines"]
+__all__ = [
+    "BatchReplayMetrics",
+    "ReplayOutcome",
+    "replay_metrics",
+    "replay_metrics_batch",
+    "timeline_from_deadlines",
+]
 
 
 @dataclass(frozen=True)
@@ -66,11 +80,14 @@ def _gap_decomposition(t: np.ndarray, d: np.ndarray, end_time: float):
     expiry = (d > t) & (d < upper)
     # S-transition at t_k itself: the message arrived stale while the
     # previous deadline still held (possible only with a non-monotone
-    # deadline sequence; kept for exact Alg. 1 semantics).
+    # deadline sequence; kept for exact Alg. 1 semantics).  A transition
+    # exactly at the window-start instant t[0] is not observable inside the
+    # window [t[0], end] — the online timeline folds it into the initial
+    # state — so it must not count as an in-window mistake.
     prev_trusting = np.zeros(len(t), dtype=bool)
     if len(t) > 1:
         prev_trusting[1:] = d[:-1] > t[1:]
-    stale = (d <= t) & prev_trusting
+    stale = (d <= t) & prev_trusting & (t > t[0])
     return next_t, trust, suspect, expiry, stale
 
 
@@ -149,6 +166,164 @@ def replay_metrics(
         n_gaps=len(t),
         suspicion_gaps=suspicion_gaps,
         s_transition_gaps=s_transition_gaps,
+    )
+
+
+@dataclass(frozen=True)
+class BatchReplayMetrics:
+    """QoS metrics for every row of a ``(P, m)`` deadline matrix.
+
+    Each array has one entry per parameter row; entry ``i`` is bit-for-bit
+    identical to the corresponding field of
+    ``replay_metrics(t, D[i], end_time).metrics``.
+    """
+
+    duration: float
+    n_mistakes: np.ndarray
+    mistake_rate: np.ndarray
+    mistake_recurrence_time: np.ndarray
+    mistake_duration: np.ndarray
+    query_accuracy: np.ndarray
+    trust_time: np.ndarray
+    suspect_time: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.n_mistakes)
+
+    def row(self, i: int) -> QoSMetrics:
+        """The ``i``-th row as a scalar :class:`QoSMetrics`."""
+        return QoSMetrics(
+            duration=self.duration,
+            n_mistakes=int(self.n_mistakes[i]),
+            mistake_rate=float(self.mistake_rate[i]),
+            mistake_recurrence_time=float(self.mistake_recurrence_time[i]),
+            mistake_duration=float(self.mistake_duration[i]),
+            query_accuracy=float(self.query_accuracy[i]),
+            trust_time=float(self.trust_time[i]),
+            suspect_time=float(self.suspect_time[i]),
+        )
+
+
+def replay_metrics_batch(
+    t: np.ndarray,
+    D: np.ndarray,
+    end_time: float,
+    *,
+    chunk_elements: int = 1 << 22,
+) -> BatchReplayMetrics:
+    """Vectorized :func:`replay_metrics` over a ``(P, m)`` deadline matrix.
+
+    Row-independent gap geometry (``next_t``, ``upper``, the window-start
+    mask) is computed once; the per-row passes run over row chunks of at
+    most ``chunk_elements`` total elements, with preallocated workspaces and
+    in-place ufuncs that replicate the per-point elementwise operation
+    sequence exactly — the results are bitwise equal to the per-point path,
+    not merely close.
+
+    Rows containing ``inf`` deadlines are fine (they simply never expire);
+    validation matches :func:`replay_metrics`.
+    """
+    t = ensure_1d_float_array(t, "t")
+    D = np.asarray(D, dtype=np.float64)
+    if D.ndim != 2:
+        raise ValueError(f"D must be a 2-D (P, m) array, got shape {D.shape}")
+    if D.shape[1] != len(t):
+        raise ValueError(
+            f"D has {D.shape[1]} columns but t has {len(t)} samples"
+        )
+    if len(t) == 0:
+        raise ValueError("need at least one accepted heartbeat")
+    if end_time < t[-1]:
+        raise ValueError(f"end_time ({end_time}) precedes the last arrival ({t[-1]})")
+    duration = float(end_time - t[0])
+    if duration <= 0.0:
+        raise ValueError("observation window has zero length")
+
+    n_rows, m = D.shape
+    # Row-independent geometry, hoisted out of the per-row passes.
+    next_t = np.empty_like(t)
+    next_t[:-1] = t[1:]
+    next_t[-1] = end_time
+    upper = np.maximum(next_t, t)
+    in_window = t > t[0]  # gaps whose start instant lies inside the window
+
+    n_s = np.zeros(n_rows, dtype=np.int64)
+    trust_time = np.empty(n_rows, dtype=np.float64)
+    suspect_time = np.empty(n_rows, dtype=np.float64)
+    initial_suspect = np.zeros(n_rows, dtype=np.float64)
+
+    chunk = max(1, min(n_rows, chunk_elements // max(m, 1)))
+    work = np.empty((chunk, m), dtype=np.float64)
+    flags = np.empty((chunk, m), dtype=bool)
+    scratch = np.empty((chunk, m), dtype=bool)
+    extra = np.empty((chunk, m), dtype=bool)
+
+    for lo in range(0, n_rows, chunk):
+        hi = min(lo + chunk, n_rows)
+        rows = hi - lo
+        Dv = D[lo:hi]
+        Wv = work[:rows]
+        Gv = flags[:rows]  # d > t, reused by expiry/stale/initial-suspicion
+        Bv = scratch[:rows]
+        Ev = extra[:rows]
+
+        # trust = clip(min(d, upper) - t, 0)
+        np.minimum(Dv, upper, out=Wv)
+        np.subtract(Wv, t, out=Wv)
+        np.clip(Wv, 0.0, None, out=Wv)
+        trust_time[lo:hi] = Wv.sum(axis=1)
+
+        # suspect = clip(upper - max(d, t), 0)
+        np.maximum(Dv, t, out=Wv)
+        np.subtract(upper, Wv, out=Wv)
+        np.clip(Wv, 0.0, None, out=Wv)
+        suspect_time[lo:hi] = Wv.sum(axis=1)
+
+        # expiry = (d > t) & (d < upper)
+        np.greater(Dv, t, out=Gv)
+        np.less(Dv, upper, out=Bv)
+        np.logical_and(Gv, Bv, out=Bv)
+        n_s[lo:hi] = np.count_nonzero(Bv, axis=1)
+
+        # stale = (d <= t) & prev_trusting & (t > t[0]);  (d <= t) == ~(d > t)
+        if m > 1:
+            np.greater(Dv[:, :-1], t[1:], out=Bv[:, 1:])
+            Bv[:, 0] = False
+            np.logical_not(Gv, out=Ev)
+            np.logical_and(Ev, Bv, out=Ev)
+            np.logical_and(Ev, in_window, out=Ev)
+            n_s[lo:hi] += np.count_nonzero(Ev, axis=1)
+
+        # Initial suspicion per row (only matters where d_0 <= t_0): the
+        # first trusting gap, if any, ends it at t[first]; otherwise the
+        # window never leaves S.
+        opens_suspecting = ~Gv[:, 0]
+        if opens_suspecting.any():
+            has_trust = Gv.any(axis=1)
+            first_trust = Gv.argmax(axis=1)
+            init = np.where(has_trust, t[first_trust] - t[0], duration)
+            initial_suspect[lo:hi] = np.where(opens_suspecting, init, 0.0)
+
+    # Rows with no mistakes carry no initial-suspicion exclusion (matches
+    # the per-point short-circuit: initial_suspect only enters T_M).
+    positive = n_s > 0
+    mistake_duration = np.zeros(n_rows, dtype=np.float64)
+    if positive.any():
+        excess = np.maximum(suspect_time - initial_suspect, 0.0)
+        np.divide(excess, n_s, out=mistake_duration, where=positive)
+        mistake_duration[~positive] = 0.0
+    recurrence = np.full(n_rows, math.inf, dtype=np.float64)
+    np.divide(duration, n_s, out=recurrence, where=positive)
+
+    return BatchReplayMetrics(
+        duration=duration,
+        n_mistakes=n_s,
+        mistake_rate=n_s / duration,
+        mistake_recurrence_time=recurrence,
+        mistake_duration=mistake_duration,
+        query_accuracy=trust_time / duration,
+        trust_time=trust_time,
+        suspect_time=suspect_time,
     )
 
 

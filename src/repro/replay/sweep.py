@@ -6,22 +6,58 @@ family, the threshold for the accruals; Bertier contributes a single
 point).  :func:`sweep` builds one such curve; :func:`calibrate_to_detection_time`
 finds the parameter value that realizes a given measured T_D (used by the
 fixed-T_D experiments, Fig. 8-9, at T_D = 215 ms).
+
+Execution modes (see ``docs/performance.md``):
+
+- ``mode="batch"`` (default): all parameters are replayed through
+  :meth:`~repro.replay.kernels.DeadlineKernel.deadlines_batch` and
+  :func:`~repro.replay.metrics_kernel.replay_metrics_batch` in row chunks.
+  Results are **bitwise identical** to the per-point path.
+- ``mode="points"``: the legacy one-parameter-at-a-time loop (the
+  cross-validation reference and the serial benchmark baseline).
+- ``mode="fused"``: the O(log m)-per-point closed-form evaluator for
+  linear kernels (:mod:`repro.replay.fused`); falls back to ``batch`` for
+  kernels without a finite linear base.  Float metrics agree with the
+  elementwise replay to rounding, mistake counts exactly (away from
+  breakpoint ties).
+
+:func:`sweep_many` fans a set of detector sweeps out over worker processes
+via :func:`repro.runtime.parallel.pmap`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.replay.detection import measured_detection_time
-from repro.replay.kernels import DeadlineKernel
-from repro.replay.metrics_kernel import replay_metrics
+from repro.replay.detection import (
+    measured_detection_time,
+    measured_detection_times_batch,
+)
+from repro.replay.kernels import DeadlineKernel, make_kernel
+from repro.replay.metrics_kernel import replay_metrics, replay_metrics_batch
 from repro.traces.trace import HeartbeatTrace
 
-__all__ = ["QoSCurve", "sweep", "bertier_point", "calibrate_to_detection_time"]
+__all__ = [
+    "QoSCurve",
+    "SweepSpec",
+    "sweep",
+    "sweep_many",
+    "bertier_point",
+    "calibrate_to_detection_time",
+]
+
+#: Modes accepted by :func:`sweep`.
+SWEEP_MODES = ("batch", "points", "fused")
+
+#: Default number of parameter rows replayed per batched chunk.  Small
+#: chunks keep the (rows × m) workspaces inside the cache hierarchy; the
+#: element budget caps memory for multi-million-sample traces.
+_CHUNK_ROWS = 8
+_CHUNK_ELEMENT_BUDGET = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -66,17 +102,40 @@ class QoSCurve:
         return [self.point(i) for i in range(len(self))]
 
 
-def sweep(
+def _curve_from_columns(
+    kernel: DeadlineKernel,
+    label: str | None,
+    params: np.ndarray,
+    td: np.ndarray,
+    mistake_rate: np.ndarray,
+    query_accuracy: np.ndarray,
+    mistake_duration: np.ndarray,
+    n_mistakes: np.ndarray,
+) -> QoSCurve:
+    """Sort by detection time (stable, matching the per-point path) and wrap."""
+    if len(params) == 0:
+        raise ValueError("no usable sweep points (all produced infinite detection time)")
+    order = np.argsort(td, kind="stable")
+    return QoSCurve(
+        label=label or kernel.name,
+        detector=kernel.name,
+        param_name=kernel.param_name,
+        params=np.asarray(params)[order],
+        detection_time=np.asarray(td)[order],
+        mistake_rate=np.asarray(mistake_rate)[order],
+        query_accuracy=np.asarray(query_accuracy)[order],
+        mistake_duration=np.asarray(mistake_duration)[order],
+        n_mistakes=np.asarray(n_mistakes, dtype=np.int64)[order],
+    )
+
+
+def _sweep_points(
     kernel: DeadlineKernel,
     trace: HeartbeatTrace,
     params: Sequence[float],
-    label: str | None = None,
+    label: str | None,
 ) -> QoSCurve:
-    """Replay ``kernel`` at every parameter value, producing a QoS curve."""
-    if kernel.param_name is None:
-        raise ValueError(
-            f"detector {kernel.name!r} has no tuning parameter; use bertier_point()"
-        )
+    """The legacy per-point loop: one deadline array + replay per parameter."""
     offset = trace.send_offset_estimate()
     rows = []
     for p in params:
@@ -91,19 +150,139 @@ def sweep(
         )
     if not rows:
         raise ValueError("no usable sweep points (all produced infinite detection time)")
-    rows.sort(key=lambda r: r[1])
     cols = list(zip(*rows))
-    return QoSCurve(
-        label=label or kernel.name,
-        detector=kernel.name,
-        param_name=kernel.param_name,
-        params=np.asarray(cols[0]),
-        detection_time=np.asarray(cols[1]),
-        mistake_rate=np.asarray(cols[2]),
-        query_accuracy=np.asarray(cols[3]),
-        mistake_duration=np.asarray(cols[4]),
-        n_mistakes=np.asarray(cols[5], dtype=np.int64),
+    return _curve_from_columns(
+        kernel,
+        label,
+        np.asarray(cols[0]),
+        np.asarray(cols[1]),
+        np.asarray(cols[2]),
+        np.asarray(cols[3]),
+        np.asarray(cols[4]),
+        np.asarray(cols[5], dtype=np.int64),
     )
+
+
+def _sweep_batch(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    params: np.ndarray,
+    label: str | None,
+) -> QoSCurve:
+    """Chunked batched replay; bitwise identical to the per-point loop."""
+    offset = trace.send_offset_estimate()
+    m = len(kernel.t)
+    chunk = max(1, min(_CHUNK_ROWS, _CHUNK_ELEMENT_BUDGET // max(m, 1)))
+    kept: list[np.ndarray] = []
+    cols: list[Tuple[np.ndarray, ...]] = []
+    for lo in range(0, len(params), chunk):
+        chunk_params = params[lo : lo + chunk]
+        D = kernel.deadlines_batch(chunk_params)
+        td = measured_detection_times_batch(D, kernel.seq, kernel.interval, offset)
+        finite = np.isfinite(td)
+        if not finite.any():
+            continue
+        bm = replay_metrics_batch(kernel.t, D[finite], kernel.end_time)
+        kept.append(chunk_params[finite])
+        cols.append(
+            (
+                td[finite],
+                bm.mistake_rate,
+                bm.query_accuracy,
+                bm.mistake_duration,
+                bm.n_mistakes,
+            )
+        )
+    if not kept:
+        raise ValueError("no usable sweep points (all produced infinite detection time)")
+    return _curve_from_columns(
+        kernel,
+        label,
+        np.concatenate(kept),
+        np.concatenate([c[0] for c in cols]),
+        np.concatenate([c[1] for c in cols]),
+        np.concatenate([c[2] for c in cols]),
+        np.concatenate([c[3] for c in cols]),
+        np.concatenate([c[4] for c in cols]),
+    )
+
+
+def sweep(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    params: Sequence[float],
+    label: str | None = None,
+    *,
+    mode: str = "batch",
+) -> QoSCurve:
+    """Replay ``kernel`` at every parameter value, producing a QoS curve."""
+    if kernel.param_name is None:
+        raise ValueError(
+            f"detector {kernel.name!r} has no tuning parameter; use bertier_point()"
+        )
+    if mode not in SWEEP_MODES:
+        raise ValueError(f"unknown sweep mode {mode!r}; expected one of {SWEEP_MODES}")
+    if mode == "points":
+        return _sweep_points(kernel, trace, params, label)
+
+    params_arr = np.asarray([float(p) for p in params], dtype=np.float64)
+    if params_arr.ndim != 1:
+        raise ValueError(f"params must be 1-D, got shape {params_arr.shape}")
+
+    if mode == "fused":
+        evaluator = kernel.fused_sweep_evaluator(trace)
+        if evaluator is not None:
+            for p in params_arr:
+                kernel.validate_param(float(p))
+            td = evaluator.detection_times(params_arr)
+            bm = evaluator.evaluate(params_arr)
+            return _curve_from_columns(
+                kernel,
+                label,
+                params_arr,
+                td,
+                bm.mistake_rate,
+                bm.query_accuracy,
+                bm.mistake_duration,
+                bm.n_mistakes,
+            )
+        # No finite linear base — fall through to the exact batched path.
+    return _sweep_batch(kernel, trace, params_arr, label)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One detector sweep of a multi-curve comparison (see :func:`sweep_many`)."""
+
+    label: str
+    detector: str
+    params: Tuple[float, ...]
+    kernel_kwargs: Mapping[str, object] = field(default_factory=dict)
+
+
+def _sweep_spec_worker(job: Tuple[HeartbeatTrace, SweepSpec, str]) -> QoSCurve:
+    trace, spec, mode = job
+    kernel = make_kernel(spec.detector, trace, **dict(spec.kernel_kwargs))
+    return sweep(kernel, trace, list(spec.params), label=spec.label, mode=mode)
+
+
+def sweep_many(
+    trace: HeartbeatTrace,
+    specs: Sequence[SweepSpec],
+    *,
+    jobs: int | None = None,
+    mode: str = "batch",
+) -> Dict[str, QoSCurve]:
+    """Run several detector sweeps over one trace, optionally in parallel.
+
+    Each spec builds its kernel inside the worker (kernels hold multi-MB
+    trace-length arrays; shipping the trace once and the curve back is the
+    cheap direction).  Results keep spec order and are keyed by label.
+    """
+    from repro.runtime.parallel import pmap
+
+    curves = pmap(_sweep_spec_worker, [(trace, spec, mode) for spec in specs], jobs=jobs)
+    return {spec.label: curve for spec, curve in zip(specs, curves)}
 
 
 def bertier_point(
@@ -142,7 +321,9 @@ def calibrate_to_detection_time(
 
     For the Chen family the measured T_D is exactly linear in Δto, so the
     answer is closed-form; for the accruals (monotone but nonlinear in the
-    threshold) bisection is used.
+    threshold) bisection is used.  The virtual send times are computed once
+    and every evaluated parameter's T_D is memoized, so interval endpoints
+    are never replayed twice.
 
     Raises :class:`ValueError` if the target is unreachable — below the
     detector's minimum achievable T_D, or (for φ) beyond the threshold
@@ -170,8 +351,15 @@ def calibrate_to_detection_time(
             )
         return param
 
+    td_cache: Dict[float, float] = {}
+
     def td_at(p: float) -> float:
-        return measured_detection_time(kernel.t, kernel.deadlines(p), kernel.seq, kernel.interval, offset)
+        td = td_cache.get(p)
+        if td is None:
+            d = kernel.deadlines(p)
+            td = math.inf if np.any(np.isinf(d)) else float((d - sends).mean())
+            td_cache[p] = td
+        return td
 
     lo = param_lo
     td_lo = td_at(lo)
@@ -210,7 +398,7 @@ def calibrate_to_detection_time(
                 break
         else:
             raise ValueError(f"no finite-T_D parameter found for {kernel.name!r}")
-        if td_at(finite_hi) < target_td:
+        if td_at(finite_hi) < target_td:  # memoized: no second replay
             raise ValueError(
                 f"target T_D {target_td:.4g}s unreachable for {kernel.name!r}: "
                 f"the threshold saturates first"

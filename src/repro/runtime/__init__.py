@@ -1,0 +1,30 @@
+"""Execution runtime: process-parallel mapping and the on-disk result cache.
+
+This package holds the machinery that scales the evaluation pipeline
+(`docs/performance.md`): :mod:`repro.runtime.parallel` fans independent
+replay jobs out over worker processes, :mod:`repro.runtime.cache` skips
+regenerating synthetic traces and kernel statistics across runs.
+"""
+
+from repro.runtime.parallel import pmap, resolve_jobs
+from repro.runtime.cache import (
+    cache_dir,
+    cache_enabled,
+    cache_info,
+    cached_pickle,
+    cached_trace,
+    clear_cache,
+    trace_digest,
+)
+
+__all__ = [
+    "pmap",
+    "resolve_jobs",
+    "cache_dir",
+    "cache_enabled",
+    "cache_info",
+    "cached_pickle",
+    "cached_trace",
+    "clear_cache",
+    "trace_digest",
+]

@@ -1,0 +1,194 @@
+"""Content-addressed on-disk cache for traces and kernel statistics.
+
+Synthetic traces are deterministic functions of (generator, params, seed),
+and kernel statistics are deterministic functions of (trace bytes, kernel
+class, structural kwargs) — so both can be cached by the SHA-256 of a
+canonical key and reloaded instead of regenerated.  Generating the full
+WAN trace costs tens of seconds; loading its ``.npz`` costs tens of
+milliseconds.
+
+Layout (under :func:`cache_dir`)::
+
+    traces/<generator>-<digest16>.npz     serialized HeartbeatTrace
+    kernels/<class>-<digest16>.pkl        pickled DeadlineKernel
+
+The cache is **opt-in**: it activates when ``REPRO_CACHE`` is truthy or
+``REPRO_CACHE_DIR`` is set (the latter also picks the location; default is
+``$XDG_CACHE_HOME/repro-fd`` or ``~/.cache/repro-fd``).  Writes go through
+a temp file + :func:`os.replace`, so concurrent runs never observe a
+partial entry.  ``repro-fd cache {info,clear}`` inspects and empties it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping
+
+from repro.traces.trace import HeartbeatTrace
+
+__all__ = [
+    "cache_dir",
+    "cache_enabled",
+    "cache_info",
+    "cached_pickle",
+    "cached_trace",
+    "clear_cache",
+    "trace_digest",
+]
+
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def cache_enabled() -> bool:
+    """True when the on-disk cache should be used (opt-in via environment)."""
+    flag = os.environ.get(CACHE_ENV, "").strip().lower()
+    if flag and flag not in _FALSY:
+        return True
+    if flag in _FALSY and flag:
+        return False
+    return bool(os.environ.get(CACHE_DIR_ENV, "").strip())
+
+
+def cache_dir() -> Path:
+    """Cache root (not created until something is stored)."""
+    explicit = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro-fd"
+
+
+def _canonical_key(params: Mapping[str, Any]) -> str:
+    return json.dumps(params, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def _digest(params: Mapping[str, Any]) -> str:
+    return hashlib.sha256(_canonical_key(params).encode()).hexdigest()[:16]
+
+
+def trace_digest(trace: HeartbeatTrace) -> str:
+    """Content digest of a trace's replay-relevant data (not its meta)."""
+    h = hashlib.sha256()
+    h.update(np_bytes(trace.seq))
+    h.update(np_bytes(trace.arrival))
+    h.update(
+        _canonical_key(
+            {
+                "interval": trace.interval,
+                "n_sent": trace.n_sent,
+                "end_time": trace.end_time,
+            }
+        ).encode()
+    )
+    return h.hexdigest()[:16]
+
+
+def np_bytes(arr) -> bytes:
+    import numpy as np
+
+    return np.ascontiguousarray(arr).tobytes()
+
+
+def _atomic_replace(tmp: Path, final: Path) -> None:
+    final.parent.mkdir(parents=True, exist_ok=True)
+    os.replace(tmp, final)
+
+
+def cached_trace(
+    generator: str,
+    params: Mapping[str, Any],
+    builder: Callable[[], HeartbeatTrace],
+) -> HeartbeatTrace:
+    """Build-or-load a synthetic trace keyed on (generator, params).
+
+    ``params`` must include everything that determines the trace (scale,
+    seed, ...); the builder runs only on a cache miss (or when caching is
+    disabled).
+    """
+    if not cache_enabled():
+        return builder()
+    from repro.traces.io import load_trace, save_trace
+
+    digest = _digest({"generator": generator, **dict(params)})
+    path = cache_dir() / "traces" / f"{generator}-{digest}.npz"
+    if path.exists():
+        try:
+            return load_trace(path)
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt entry: rebuild below
+    trace = builder()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    save_trace(trace, tmp)
+    _atomic_replace(tmp, path)
+    return trace
+
+
+def cached_pickle(
+    category: str,
+    name: str,
+    key: Mapping[str, Any],
+    builder: Callable[[], Any],
+) -> Any:
+    """Generic build-or-load of a picklable object under ``category/``.
+
+    Used for kernel statistics keyed on (trace digest, kernel class,
+    structural kwargs); anything deterministic and picklable qualifies.
+    """
+    if not cache_enabled():
+        return builder()
+    digest = _digest(dict(key))
+    path = cache_dir() / category / f"{name}-{digest}.pkl"
+    if path.exists():
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            path.unlink(missing_ok=True)
+    obj = builder()
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return obj  # unpicklable results are simply not cached
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp")
+    tmp.write_bytes(payload)
+    _atomic_replace(tmp, path)
+    return obj
+
+
+def cache_info() -> Dict[str, Any]:
+    """Per-category entry counts and byte totals (for ``repro-fd cache info``)."""
+    root = cache_dir()
+    categories: Dict[str, Dict[str, int]] = {}
+    total_bytes = 0
+    if root.is_dir():
+        for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+            files = [p for p in sub.iterdir() if p.is_file() and not p.name.startswith(".")]
+            size = sum(p.stat().st_size for p in files)
+            categories[sub.name] = {"entries": len(files), "bytes": size}
+            total_bytes += size
+    return {
+        "dir": str(root),
+        "enabled": cache_enabled(),
+        "categories": categories,
+        "total_bytes": total_bytes,
+    }
+
+
+def clear_cache() -> int:
+    """Delete the cache directory; returns the number of bytes freed."""
+    info = cache_info()
+    root = cache_dir()
+    if root.is_dir():
+        shutil.rmtree(root)
+    return int(info["total_bytes"])

@@ -1,0 +1,88 @@
+"""Process-parallel ``map`` with deterministic ordering and serial fallback.
+
+The evaluation pipeline's outer loops — seeds, registry entries, detector
+sweeps — are embarrassingly parallel but CPU-bound in NumPy, so threads
+don't help; :func:`pmap` runs them through a :class:`ProcessPoolExecutor`.
+
+Job-count resolution (:func:`resolve_jobs`):
+
+1. an explicit ``jobs`` argument wins (CLI ``--jobs`` routes here);
+2. else the ``REPRO_JOBS`` environment variable;
+3. else 1 (serial — no surprise process pools inside user code or tests).
+
+``jobs <= 0`` means "all cores".  :func:`pmap` degrades to the plain serial
+loop whenever parallelism cannot help or cannot work: one job, one item, an
+unpicklable function/item (e.g. a closure), or a broken pool.  Results are
+always in input order, and serial vs parallel execution returns identical
+values — property-tested in ``tests/runtime/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["pmap", "resolve_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the effective worker count (see module docstring)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    *,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    Results are returned in input order regardless of completion order.
+    Falls back to the serial loop when ``jobs`` resolves to 1, there is at
+    most one item, ``fn``/items don't pickle, or the pool breaks — so
+    callers never need a serial code path of their own.
+    """
+    work: Sequence[T] = list(items)
+    n_jobs = min(resolve_jobs(jobs), len(work))
+    if n_jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    if not _picklable(fn, work):
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(fn, work, chunksize=max(1, chunksize)))
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        return [fn(item) for item in work]

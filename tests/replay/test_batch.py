@@ -1,0 +1,200 @@
+"""Cross-validation of the batched/fused sweep paths against per-point replay.
+
+The batch path (`deadlines_batch`, `replay_metrics_batch`,
+`sweep(mode="batch")`) must be **bitwise identical** to the per-point path
+on every kernel family — it applies the exact same elementwise operations,
+so these tests use exact equality, not tolerances.  The fused closed-form
+path reorders float accumulations; it must match mistake counts exactly and
+float metrics to rounding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.replay.detection import (
+    measured_detection_time,
+    measured_detection_times_batch,
+)
+from repro.replay.kernels import make_kernel
+from repro.replay.metrics_kernel import replay_metrics, replay_metrics_batch
+from repro.replay.sweep import sweep
+from repro.traces.lan import make_lan_trace
+from repro.traces.wan import make_wan_trace
+
+SCALE = 0.004
+SEED = 2015
+
+#: Every tunable kernel family with representative structural kwargs and a
+#: parameter grid inside its valid range.
+FAMILIES = [
+    ("chen", {"window_size": 50}, (0.0, 0.05, 0.115, 0.4, 1.2)),
+    ("2w-fd", {"window_sizes": (1, 50)}, (0.0, 0.05, 0.115, 0.4, 1.2)),
+    ("chen-sync", {}, (0.0, 0.05, 0.115, 0.4, 1.2)),
+    ("fixed-timeout", {}, (0.05, 0.115, 0.4, 1.2, 3.0)),
+    ("phi", {"window_size": 50}, (0.5, 1.0, 2.0, 5.0, 20.0)),  # 20 saturates
+    ("ed", {"window_size": 50}, (0.1, 0.3, 0.5, 0.9, 0.99)),
+    ("histogram", {"window_size": 20}, (0.25, 0.5, 0.9, 1.0)),
+]
+
+METRIC_FIELDS = (
+    "n_mistakes",
+    "mistake_rate",
+    "mistake_recurrence_time",
+    "mistake_duration",
+    "query_accuracy",
+    "trust_time",
+    "suspect_time",
+)
+
+CURVE_FIELDS = (
+    "params",
+    "detection_time",
+    "mistake_rate",
+    "query_accuracy",
+    "mistake_duration",
+    "n_mistakes",
+)
+
+
+@pytest.fixture(scope="module", params=["wan", "lan"])
+def trace(request):
+    maker = make_wan_trace if request.param == "wan" else make_lan_trace
+    return maker(scale=SCALE, seed=SEED)
+
+
+@pytest.mark.parametrize("name,kwargs,params", FAMILIES, ids=[f[0] for f in FAMILIES])
+class TestBatchBitForBit:
+    def test_deadlines_batch_rows(self, trace, name, kwargs, params):
+        kernel = make_kernel(name, trace, **kwargs)
+        D = kernel.deadlines_batch(params)
+        assert D.shape == (len(params), len(kernel.t))
+        for i, p in enumerate(params):
+            assert np.array_equal(D[i], kernel.deadlines(float(p))), (name, p)
+
+    def test_replay_metrics_batch_rows(self, trace, name, kwargs, params):
+        kernel = make_kernel(name, trace, **kwargs)
+        D = kernel.deadlines_batch(params)
+        bm = replay_metrics_batch(kernel.t, D, kernel.end_time)
+        assert bm.duration == replay_metrics(kernel.t, D[0], kernel.end_time).metrics.duration
+        for i in range(len(params)):
+            ref = replay_metrics(kernel.t, D[i], kernel.end_time, collect_gaps=False).metrics
+            row = bm.row(i)
+            for fld in METRIC_FIELDS:
+                assert getattr(row, fld) == getattr(ref, fld), (name, params[i], fld)
+
+    def test_detection_times_batch_rows(self, trace, name, kwargs, params):
+        kernel = make_kernel(name, trace, **kwargs)
+        D = kernel.deadlines_batch(params)
+        offset = trace.send_offset_estimate()
+        td = measured_detection_times_batch(D, kernel.seq, kernel.interval, offset)
+        for i in range(len(params)):
+            ref = measured_detection_time(
+                kernel.t, D[i], kernel.seq, kernel.interval, offset
+            )
+            assert td[i] == ref or (np.isinf(td[i]) and np.isinf(ref)), (name, params[i])
+
+    def test_sweep_batch_equals_points(self, trace, name, kwargs, params):
+        """The acceptance property: identical QoSCurve arrays, exactly."""
+        kernel = make_kernel(name, trace, **kwargs)
+        by_points = sweep(kernel, trace, params, mode="points")
+        by_batch = sweep(kernel, trace, params, mode="batch")
+        for fld in CURVE_FIELDS:
+            assert np.array_equal(getattr(by_points, fld), getattr(by_batch, fld)), (
+                name,
+                fld,
+            )
+
+
+class TestBatchChunking:
+    def test_chunked_equals_unchunked(self, trace):
+        kernel = make_kernel("2w-fd", trace, window_sizes=(1, 50))
+        params = np.linspace(0.0, 1.5, 13)
+        D = kernel.deadlines_batch(params)
+        whole = replay_metrics_batch(kernel.t, D, kernel.end_time)
+        tiny = replay_metrics_batch(kernel.t, D, kernel.end_time, chunk_elements=1)
+        for fld in METRIC_FIELDS:
+            assert np.array_equal(getattr(whole, fld), getattr(tiny, fld)), fld
+
+
+class TestBatchValidation:
+    def test_negative_margin_rejected(self, trace):
+        kernel = make_kernel("chen", trace, window_size=10)
+        with pytest.raises(ValueError):
+            kernel.deadlines_batch([0.1, -0.5])
+        with pytest.raises(ValueError):
+            sweep(kernel, trace, [0.1, -0.5], mode="fused")
+
+    def test_bertier_has_no_batch(self, trace):
+        kernel = make_kernel("bertier", trace, window_size=10)
+        with pytest.raises(ValueError):
+            kernel.deadlines_batch([0.1])
+
+    def test_shape_errors(self, trace):
+        kernel = make_kernel("chen", trace, window_size=10)
+        D = kernel.deadlines_batch([0.1, 0.2])
+        with pytest.raises(ValueError):
+            replay_metrics_batch(kernel.t, D[:, :-1], kernel.end_time)
+        with pytest.raises(ValueError):
+            replay_metrics_batch(kernel.t, D[0], kernel.end_time)
+
+    def test_all_infinite_rows_raise_in_sweep(self, trace):
+        kernel = make_kernel("phi", trace, window_size=50)
+        with pytest.raises(ValueError, match="no usable sweep points"):
+            sweep(kernel, trace, [50.0], mode="batch")  # fully saturated
+
+
+LINEAR_FAMILIES = [
+    ("chen", {"window_size": 50}),
+    ("2w-fd", {"window_sizes": (1, 50)}),
+    ("chen-sync", {}),
+    ("fixed-timeout", {}),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", LINEAR_FAMILIES, ids=[f[0] for f in LINEAR_FAMILIES])
+class TestFusedEvaluator:
+    """The closed-form path: exact counts, float metrics to rounding."""
+
+    PARAMS = np.linspace(0.01, 1.8, 21)
+
+    def test_fused_matches_batch(self, trace, name, kwargs):
+        kernel = make_kernel(name, trace, **kwargs)
+        exact = sweep(kernel, trace, self.PARAMS, mode="batch")
+        fused = sweep(kernel, trace, self.PARAMS, mode="fused")
+        assert np.array_equal(exact.params, fused.params)
+        assert np.array_equal(exact.n_mistakes, fused.n_mistakes)
+        np.testing.assert_allclose(
+            exact.detection_time, fused.detection_time, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            exact.query_accuracy, fused.query_accuracy, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            exact.mistake_rate, fused.mistake_rate, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            exact.mistake_duration, fused.mistake_duration, rtol=1e-7, atol=1e-9
+        )
+
+    def test_fused_calibration_closed_form(self, trace, name, kwargs):
+        kernel = make_kernel(name, trace, **kwargs)
+        evaluator = kernel.fused_sweep_evaluator(trace)
+        assert evaluator is not None
+        td = float(evaluator.detection_times(np.array([0.25]))[0])
+        assert evaluator.calibrate_param_for_td(td) == pytest.approx(0.25, abs=1e-12)
+
+
+class TestFusedFallback:
+    def test_accrual_kernels_fall_back_to_batch(self, trace):
+        kernel = make_kernel("phi", trace, window_size=50)
+        assert kernel.fused_sweep_evaluator(trace) is None
+        params = (0.5, 1.0, 2.0)
+        exact = sweep(kernel, trace, params, mode="batch")
+        via_fused_mode = sweep(kernel, trace, params, mode="fused")
+        for fld in CURVE_FIELDS:
+            assert np.array_equal(getattr(exact, fld), getattr(via_fused_mode, fld)), fld
+
+    def test_unknown_mode_rejected(self, trace):
+        kernel = make_kernel("chen", trace, window_size=10)
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            sweep(kernel, trace, [0.1], mode="warp")

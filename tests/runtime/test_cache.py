@@ -1,0 +1,120 @@
+"""Disk cache: opt-in gating, trace/kernel round-trips, info and clear."""
+
+import numpy as np
+import pytest
+
+from repro.replay.kernels import make_kernel
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    cache_dir,
+    cache_enabled,
+    cache_info,
+    cached_pickle,
+    cached_trace,
+    clear_cache,
+    trace_digest,
+)
+from repro.traces.wan import make_wan_trace
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    """Point the cache at a throwaway directory and enable it."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.setenv(CACHE_ENV, "1")
+    return tmp_path / "cache"
+
+
+@pytest.fixture
+def small_trace():
+    return make_wan_trace(scale=0.001, seed=7)
+
+
+class TestGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert not cache_enabled()
+
+    def test_dir_env_implies_enabled(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert cache_enabled()
+        assert cache_dir() == tmp_path
+
+    def test_explicit_off_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, "0")
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert not cache_enabled()
+
+    def test_disabled_cache_always_builds(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        calls = []
+        for _ in range(2):
+            cached_pickle("misc", "x", {"k": 1}, lambda: calls.append(1) or 42)
+        assert len(calls) == 2
+
+
+class TestTraceCache:
+    def test_build_once_then_load_equal(self, cache_env):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return make_wan_trace(scale=0.001, seed=7)
+
+        first = cached_trace("wan", {"scale": 0.001, "seed": 7}, build)
+        second = cached_trace("wan", {"scale": 0.001, "seed": 7}, build)
+        assert calls == [1]  # second call was a disk hit
+        assert np.array_equal(first.arrival, second.arrival)
+        assert np.array_equal(first.seq, second.seq)
+        assert first.interval == second.interval
+        assert first.end_time == second.end_time
+        assert list((cache_env / "traces").glob("wan-*.npz"))
+
+    def test_distinct_params_distinct_entries(self, cache_env):
+        cached_trace("wan", {"scale": 0.001, "seed": 7},
+                     lambda: make_wan_trace(scale=0.001, seed=7))
+        cached_trace("wan", {"scale": 0.001, "seed": 8},
+                     lambda: make_wan_trace(scale=0.001, seed=8))
+        assert len(list((cache_env / "traces").glob("wan-*.npz"))) == 2
+
+    def test_corrupt_entry_rebuilt(self, cache_env, small_trace):
+        cached_trace("wan", {"scale": 0.001, "seed": 7}, lambda: small_trace)
+        entry = next((cache_env / "traces").glob("wan-*.npz"))
+        entry.write_bytes(b"not an npz")
+        rebuilt = cached_trace("wan", {"scale": 0.001, "seed": 7},
+                               lambda: make_wan_trace(scale=0.001, seed=7))
+        assert np.array_equal(rebuilt.arrival, small_trace.arrival)
+
+
+class TestKernelCache:
+    def test_make_kernel_round_trip(self, cache_env, small_trace):
+        fresh = make_kernel("2w-fd", small_trace, window_sizes=(1, 50))
+        cached = make_kernel("2w-fd", small_trace, window_sizes=(1, 50))
+        assert list((cache_env / "kernels").glob("MultiWindowKernel-*.pkl"))
+        for margin in (0.0, 0.115, 0.9):
+            assert np.array_equal(fresh.deadlines(margin), cached.deadlines(margin))
+
+    def test_trace_digest_tracks_content(self, small_trace):
+        same = make_wan_trace(scale=0.001, seed=7)
+        other = make_wan_trace(scale=0.001, seed=8)
+        assert trace_digest(small_trace) == trace_digest(same)
+        assert trace_digest(small_trace) != trace_digest(other)
+
+
+class TestInfoAndClear:
+    def test_info_counts_and_clear_frees(self, cache_env, small_trace):
+        cached_trace("wan", {"scale": 0.001, "seed": 7}, lambda: small_trace)
+        make_kernel("chen", small_trace, window_size=10)
+        info = cache_info()
+        assert info["enabled"]
+        assert info["categories"]["traces"]["entries"] == 1
+        assert info["categories"]["kernels"]["entries"] == 1
+        assert info["total_bytes"] > 0
+        freed = clear_cache()
+        assert freed == info["total_bytes"]
+        assert not cache_env.exists()
+        assert cache_info()["total_bytes"] == 0

@@ -1,0 +1,75 @@
+"""pmap: serial/parallel equivalence, ordering, fallbacks, job resolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.parallel import JOBS_ENV, pmap, resolve_jobs
+
+
+def _square_plus_seeded_noise(x):
+    """Module-level (hence picklable) worker with a deterministic RNG."""
+    rng = np.random.default_rng(abs(int(x)) + 7)
+    return float(x) ** 2 + float(rng.standard_normal())
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=12))
+def test_parallel_matches_serial_in_order(values):
+    """The acceptance property: jobs=4 returns exactly what jobs=1 does."""
+    serial = pmap(_square_plus_seeded_noise, values, jobs=1)
+    parallel = pmap(_square_plus_seeded_noise, values, jobs=4)
+    assert serial == parallel
+    assert serial == [_square_plus_seeded_noise(v) for v in values]
+
+
+def test_unpicklable_fn_falls_back_to_serial():
+    captured = []
+    result = pmap(lambda x: captured.append(x) or x * 2, [1, 2, 3], jobs=4)
+    assert result == [2, 4, 6]
+    assert captured == [1, 2, 3]  # ran in-process, not in workers
+
+
+def test_single_item_stays_serial():
+    result = pmap(lambda x: x + 1, [41], jobs=8)
+    assert result == [42]
+
+
+def test_empty_input():
+    assert pmap(_square_plus_seeded_noise, [], jobs=4) == []
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ZeroDivisionError):
+        pmap(_reciprocal, [1, 0, 2], jobs=2)
+
+
+def _reciprocal(x):
+    return 1.0 / x
+
+
+class TestResolveJobs:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            resolve_jobs(None)
