@@ -7,7 +7,11 @@
     repro-fd run all --scale 0.01      # regenerate everything
     repro-fd trace wan --scale 0.01 -o wan.npz   # export a synthetic trace
     repro-fd configure --td 30 --recurrence 600 --tm 10 --loss 0.01 --vd 1e-3
+    repro-fd detectors                 # registered detectors + tuning knobs
     repro-fd simulate --detector 2w-fd --param 0.2 --crash 60 --duration 90
+    repro-fd live monitor --port 9999 --detector 2w-fd=0.3 --status-port 9998
+    repro-fd live heartbeat --target 127.0.0.1:9999 --interval 0.1 --crash 30
+    repro-fd live status --port 9998           # JSON snapshot of a monitor
     repro-fd report -o report.md --jobs 4      # parallel over experiments
     repro-fd cache info                        # on-disk trace/kernel cache
 
@@ -67,17 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=2015)
     p_trace.add_argument("-o", "--output", required=True, help="output .npz path")
 
+    sub.add_parser(
+        "detectors",
+        help="list registered failure detectors and their tuning parameters",
+    )
+
     p_sim = sub.add_parser(
         "simulate", help="run a live monitoring simulation with crash injection"
     )
     p_sim.add_argument(
-        "--detector", default="2w-fd", help="detector name (see repro.detectors)"
+        "--detector",
+        default="2w-fd",
+        help="detector name ('repro-fd detectors' lists names and tuning knobs)",
     )
     p_sim.add_argument(
         "--param",
         type=float,
         default=None,
-        help="tuning parameter (safety margin / threshold / timeout)",
+        help="tuning parameter (safety margin / threshold / timeout); "
+        "rejected for self-configuring detectors",
     )
     p_sim.add_argument("--interval", type=float, default=0.1, help="Δi [s]")
     p_sim.add_argument("--duration", type=float, default=60.0, help="run length [s]")
@@ -106,6 +118,77 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the on-disk trace/kernel cache"
     )
     p_cache.add_argument("action", choices=["info", "clear"])
+
+    p_live = sub.add_parser(
+        "live", help="real asyncio/UDP failure-detection runtime"
+    )
+    live_sub = p_live.add_subparsers(dest="live_command", required=True)
+
+    p_mon = live_sub.add_parser(
+        "monitor", help="monitor UDP heartbeats with online detectors"
+    )
+    p_mon.add_argument("--host", default="127.0.0.1", help="UDP bind address")
+    p_mon.add_argument("--port", type=int, default=9999, help="UDP bind port")
+    p_mon.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME[=PARAM]",
+        help="detector to run per peer, e.g. '2w-fd=0.3' or 'bertier'; "
+        "repeatable ('repro-fd detectors' lists names and tuning knobs)",
+    )
+    p_mon.add_argument("--interval", type=float, default=0.1, help="expected Δi [s]")
+    p_mon.add_argument("--tick", type=float, default=0.02, help="liveness poll period [s]")
+    p_mon.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    p_mon.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help="also serve the JSON status endpoint on this local TCP port",
+    )
+
+    p_hb = live_sub.add_parser(
+        "heartbeat", help="send UDP heartbeats (optionally through chaos)"
+    )
+    p_hb.add_argument(
+        "--target", default="127.0.0.1:9999", help="monitor address host:port"
+    )
+    p_hb.add_argument("--id", default="p", help="sender id carried in each heartbeat")
+    p_hb.add_argument("--interval", type=float, default=0.1, help="Δi [s]")
+    p_hb.add_argument(
+        "--count", type=int, default=None, help="stop after N heartbeats"
+    )
+    p_hb.add_argument(
+        "--crash", type=float, default=None, help="crash (stop sending) after [s]"
+    )
+    p_hb.add_argument("--loss", type=float, default=0.0, help="chaos drop probability")
+    p_hb.add_argument(
+        "--delay", type=float, default=0.0, help="chaos mean one-way delay [s]"
+    )
+    p_hb.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="log-normal sigma of the chaos delay (0 = constant)",
+    )
+    p_hb.add_argument(
+        "--skew", type=float, default=0.0, help="sender clock offset [s]"
+    )
+    p_hb.add_argument(
+        "--drift", type=float, default=0.0, help="sender clock drift (e.g. 50e-6)"
+    )
+    p_hb.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+
+    p_st = live_sub.add_parser(
+        "status", help="fetch and print a monitor's JSON status snapshot"
+    )
+    p_st.add_argument("--host", default="127.0.0.1")
+    p_st.add_argument("--port", type=int, required=True)
 
     p_cfg = sub.add_parser(
         "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
@@ -213,30 +296,59 @@ def _cmd_configure(td: float, recurrence: float, tm: float, loss: float, vd: flo
     return 0
 
 
+def _cmd_detectors() -> int:
+    from repro.detectors.registry import available_detectors, tuning_parameter
+
+    names = available_detectors()
+    width = max(len(n) for n in names)
+    for name in names:
+        knob = tuning_parameter(name)
+        knob_text = f"--param sets {knob}" if knob else "self-configuring (no --param)"
+        print(f"{name.ljust(width)}  {knob_text}")
+    return 0
+
+
+def _detector_factory(name: str, param: float | None):
+    """Validate (name, param) early; return a detector factory or an error.
+
+    The single construction path for ``simulate`` and ``live monitor``:
+    everything routes through :func:`repro.detectors.registry.make_tuned`,
+    so a bad name or a misused ``--param`` is a friendly message up front,
+    never a constructor ``TypeError`` mid-run.  Returns ``(factory, None)``
+    on success, ``(None, message)`` on error.
+    """
+    from repro.detectors.registry import available_detectors, make_tuned, tuning_parameter
+
+    if name not in available_detectors():
+        return None, (
+            f"unknown detector {name!r}; available: "
+            f"{', '.join(available_detectors())}"
+        )
+    knob = tuning_parameter(name)
+    if knob is not None and param is None:
+        return None, f"detector {name!r} needs --param (its {knob})"
+    if knob is None and param is not None:
+        return None, (
+            f"detector {name!r} is self-configuring and takes no --param"
+        )
+    return (lambda dt: make_tuned(name, dt, param)), None
+
+
 def _cmd_simulate(args) -> int:
     import math
 
-    from repro.detectors.registry import make_detector, tuning_parameter
     from repro.experiments.ascii_plot import ascii_timeline
     from repro.net.delays import LogNormalDelay
     from repro.net.loss import BernoulliLoss
     from repro.sim import simulate
 
-    knob = tuning_parameter(args.detector)
-    kwargs = {}
-    if knob is not None:
-        if args.param is None:
-            print(
-                f"detector {args.detector!r} needs --param (its {knob})",
-                file=sys.stderr,
-            )
-            return 2
-        kwargs[knob] = args.param
-    if args.detector == "adaptive-2w-fd":
-        kwargs["max_mistake_rate"] = args.param if args.param else 1e-3
+    factory, error = _detector_factory(args.detector, args.param)
+    if factory is None:
+        print(error, file=sys.stderr)
+        return 2
 
     result = simulate(
-        {args.detector: lambda dt: make_detector(args.detector, dt, **kwargs)},
+        {args.detector: factory},
         interval=args.interval,
         duration=args.duration,
         delay_model=LogNormalDelay(
@@ -267,6 +379,154 @@ def _cmd_simulate(args) -> int:
         else:
             print("crash NOT (permanently) detected within the horizon")
             return 1
+    return 0
+
+
+def _parse_detector_specs(specs):
+    """Parse ``NAME[=PARAM]`` CLI specs into (names, params) or an error."""
+    names, params = [], {}
+    for spec in specs:
+        name, sep, raw = spec.partition("=")
+        name = name.strip()
+        if sep:
+            try:
+                params[name] = float(raw)
+            except ValueError:
+                return None, None, f"bad tuning value in {spec!r} (need NAME=FLOAT)"
+        names.append(name)
+    return names, params, None
+
+
+def _parse_address(text: str):
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        return None, f"bad address {text!r} (need HOST:PORT)"
+    return (host or "127.0.0.1", int(port)), None
+
+
+def _cmd_live_monitor(args) -> int:
+    import asyncio
+
+    from repro.live.monitor import LiveMonitor, LiveMonitorServer
+    from repro.qos.metrics import compute_metrics
+
+    names, params, error = _parse_detector_specs(args.detector or ["2w-fd=0.3"])
+    if error is None:
+        for name in names:
+            _, error = _detector_factory(name, params.get(name))
+            if error:
+                break
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        monitor = LiveMonitor(args.interval, names, params)
+        monitor.subscribe(
+            lambda e: print(f"[{e.time:9.3f}s] {e.peer}/{e.detector}: {e.kind}")
+        )
+        server = LiveMonitorServer(
+            monitor,
+            args.host,
+            args.port,
+            tick=args.tick,
+            status_port=args.status_port,
+        )
+        async with server:
+            host, port = server.address
+            print(f"monitoring UDP {host}:{port} (Δi={args.interval}s, "
+                  f"detectors: {', '.join(names)})")
+            if server.status is not None:
+                print(f"status endpoint: TCP {server.status.address[0]}:"
+                      f"{server.status.address[1]}")
+            try:
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            end = monitor.now()
+            for peer, per_det in monitor.timelines(end).items():
+                for det, timeline in per_det.items():
+                    m = compute_metrics(timeline)
+                    print(
+                        f"{peer}/{det}: {m.n_mistakes} suspicions, "
+                        f"P_A={m.query_accuracy:.6f} over {m.duration:.1f}s"
+                    )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_live_heartbeat(args) -> int:
+    import asyncio
+    import math
+
+    from repro.live.chaos import ChaosSpec
+    from repro.live.heartbeater import Heartbeater
+    from repro.net.clock import DriftingClock
+    from repro.net.delays import ConstantDelay, LogNormalDelay
+    from repro.net.loss import BernoulliLoss, NoLoss
+
+    target, error = _parse_address(args.target)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.jitter > 0 and args.delay <= 0:
+        print("--jitter needs a positive --delay", file=sys.stderr)
+        return 2
+    delay = (
+        LogNormalDelay(log_mu=math.log(args.delay), log_sigma=args.jitter)
+        if args.jitter > 0
+        else ConstantDelay(args.delay)
+    )
+    chaos = ChaosSpec(
+        loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
+        delay=delay,
+        clock=DriftingClock(offset=args.skew, drift=args.drift),
+        crash_at=args.crash,
+        seed=args.seed,
+    )
+
+    async def run() -> int:
+        hb = Heartbeater(
+            target,
+            sender_id=args.id,
+            interval=args.interval,
+            count=args.count,
+            chaos=chaos,
+        )
+        print(f"sending heartbeats to {target[0]}:{target[1]} every "
+              f"{args.interval}s as {args.id!r}")
+        sent = await hb.run()
+        print(
+            f"sent {sent} heartbeats ({hb.n_dropped} chaos-dropped"
+            + (", crashed" if hb.crashed else "")
+            + ")"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_live_status(args) -> int:
+    import json
+
+    from repro.live.status import fetch_status
+
+    try:
+        snap = fetch_status(args.host, args.port)
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(snap, indent=2, sort_keys=True))
     return 0
 
 
@@ -305,6 +565,16 @@ def _dispatch(args) -> int:
         return _cmd_configure(args.td, args.recurrence, args.tm, args.loss, args.vd)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "detectors":
+        return _cmd_detectors()
+    if args.command == "live":
+        if args.live_command == "monitor":
+            return _cmd_live_monitor(args)
+        if args.live_command == "heartbeat":
+            return _cmd_live_heartbeat(args)
+        if args.live_command == "status":
+            return _cmd_live_status(args)
+        raise AssertionError(f"unhandled live command {args.live_command}")
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "report":

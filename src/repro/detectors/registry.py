@@ -21,7 +21,13 @@ from repro.detectors.exponential import EDFailureDetector
 from repro.detectors.histogram import HistogramAccrualFailureDetector
 from repro.detectors.timeout import FixedTimeoutFailureDetector
 
-__all__ = ["available_detectors", "make_detector", "tuning_parameter"]
+__all__ = [
+    "available_detectors",
+    "default_params",
+    "make_detector",
+    "make_tuned",
+    "tuning_parameter",
+]
 
 _FACTORIES: Dict[str, Callable[..., HeartbeatFailureDetector]] = {
     "2w-fd": TwoWindowFailureDetector,
@@ -51,9 +57,25 @@ _TUNING: Dict[str, str | None] = {
 }
 
 
+#: Required constructor arguments that a name-only instantiation must fill in
+#: (the adaptive detector tracks a target mistake rate instead of a Δto knob).
+_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "adaptive-2w-fd": {"max_mistake_rate": 1e-3},
+    # The MW-FD generalization needs its window ladder; default to spanning
+    # the 2W-FD endpoints (W=1 and W=1000, §V-A) geometrically.
+    "mw-fd": {"window_sizes": (1, 10, 100, 1000)},
+}
+
+
 def available_detectors() -> tuple[str, ...]:
     """Registered detector names."""
     return tuple(sorted(_FACTORIES))
+
+
+def default_params(name: str) -> Dict[str, object]:
+    """Constructor defaults needed to build ``name`` from just an interval."""
+    _require(name)
+    return dict(_DEFAULTS.get(name, {}))
 
 
 def tuning_parameter(name: str) -> str | None:
@@ -74,6 +96,47 @@ def make_detector(
     """
     _require(name)
     return _FACTORIES[name](interval, **params)
+
+
+def make_tuned(
+    name: str,
+    interval: float,
+    param: float | None = None,
+    /,
+    **extra: object,
+) -> HeartbeatFailureDetector:
+    """Instantiate ``name`` routing one scalar through its tuning knob.
+
+    The uniform construction path for the CLI (``--param``) and the live
+    runtime: ``param`` is mapped onto :func:`tuning_parameter`'s knob, with
+    clear errors instead of constructor ``TypeError``\\ s —
+
+    - a tunable detector without a value: ``ValueError`` naming the knob;
+    - a non-tunable detector (``bertier``, ``adaptive-2w-fd``) *with* a
+      value: ``ValueError`` saying the detector takes none;
+    - an unknown name: ``KeyError`` listing the registry.
+
+    Non-tunable detectors are constructed from their documented defaults
+    (see :func:`default_params`); ``extra`` keywords are forwarded verbatim
+    and may override those defaults.
+    """
+    knob = tuning_parameter(name)  # validates the name
+    kwargs: Dict[str, object] = {**_DEFAULTS.get(name, {}), **extra}
+    if knob is None:
+        if param is not None:
+            raise ValueError(
+                f"detector {name!r} has no tuning parameter: it is "
+                f"self-configuring, so a tuning value ({param}) cannot be "
+                f"applied (see 'repro-fd detectors')"
+            )
+    else:
+        if param is None:
+            raise ValueError(
+                f"detector {name!r} requires a value for its tuning "
+                f"parameter {knob!r} (see 'repro-fd detectors')"
+            )
+        kwargs[knob] = param
+    return _FACTORIES[name](interval, **kwargs)
 
 
 def _require(name: str) -> None:

@@ -1,0 +1,53 @@
+"""Live failure-detection runtime: real UDP heartbeats over asyncio.
+
+Everything else in this repository evaluates detectors over *recorded*
+arrival times (trace replay, the discrete-event simulator).  This package is
+the repo's first real-I/O subsystem: the same online detectors
+(:mod:`repro.detectors`) monitor heartbeats arriving on an actual socket,
+timestamped with the host's monotonic clock.
+
+Modules
+-------
+- :mod:`repro.live.wire` — versioned struct-packed heartbeat datagram format;
+- :mod:`repro.live.heartbeater` — async sender daemon (process p);
+- :mod:`repro.live.monitor` — async monitor daemon (process q): per-peer
+  detectors, liveness polling, a subscribe-able suspicion/trust event
+  stream, and timelines scoreable by :mod:`repro.qos.metrics`;
+- :mod:`repro.live.chaos` — deterministic fault injection (loss, delay,
+  clock skew, scheduled crash) reusing the :mod:`repro.net` models;
+- :mod:`repro.live.service` — the §V-C shared service over live arrivals:
+  one heartbeat stream, per-application freshness points;
+- :mod:`repro.live.status` — JSON observability endpoint over local TCP
+  plus structured (JSON-lines) logging.
+
+See ``docs/live.md`` for the architecture and ``examples/live_quickstart.py``
+for a complete loopback run with an injected crash.
+"""
+
+from repro.live.chaos import ChaosLink, ChaosSpec, PacketFate, PlannedPacket, plan_delivery
+from repro.live.heartbeater import Heartbeater
+from repro.live.monitor import LiveEvent, LiveMonitor, LiveMonitorServer
+from repro.live.service import LiveSharedMonitor
+from repro.live.status import StatusServer, afetch_status, fetch_status
+from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError
+
+__all__ = [
+    "ChaosLink",
+    "ChaosSpec",
+    "HEADER_SIZE",
+    "Heartbeat",
+    "Heartbeater",
+    "LiveEvent",
+    "LiveMonitor",
+    "LiveMonitorServer",
+    "LiveSharedMonitor",
+    "MAGIC",
+    "PacketFate",
+    "PlannedPacket",
+    "StatusServer",
+    "VERSION",
+    "WireError",
+    "afetch_status",
+    "fetch_status",
+    "plan_delivery",
+]

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the live runtime.
+
+A :class:`ChaosSpec` describes everything that can go wrong between the
+heartbeater and the monitor, reusing the repository's calibrated network
+models:
+
+- **loss** — any :class:`repro.net.loss.LossModel` (Bernoulli, Gilbert–
+  Elliott bursts, ...); consulted once per heartbeat via its stateful
+  ``stream``;
+- **delay** — any :class:`repro.net.delays.DelayModel`; one draw per
+  *delivered* heartbeat, added between send and arrival;
+- **clock** — a :class:`repro.net.clock.ClockModel` giving the *sender's*
+  clock as a function of the monitor's (wall) clock: the heartbeater paces
+  itself and stamps timestamps on this skewed clock, so DESIGN.md
+  invariant 4 (skew invariance) can be exercised against real sockets;
+- **crash_at** — the sender stops emitting once its *own* clock has run
+  ``crash_at`` seconds (the live analogue of the simulator's crash
+  injection).
+
+The same :class:`ChaosLink` drives both execution modes:
+
+1. *online* — the asyncio :class:`~repro.live.heartbeater.Heartbeater`
+   calls :meth:`ChaosLink.fate` per heartbeat and sleeps on the wall clock;
+2. *offline* — :func:`plan_delivery` unrolls the identical per-packet
+   decisions into a list of :class:`PlannedPacket` on a virtual clock, so
+   tests can replay a chaos scenario through the monitor deterministically
+   and instantly (no sockets, no sleeping).
+
+Both modes consume the RNG in exactly the same per-packet order (one loss
+decision, then one delay draw for delivered packets), so a seed pins the
+full scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.net.clock import ClockModel, DriftingClock, PerfectClock
+from repro.net.delays import ConstantDelay, DelayModel
+from repro.net.loss import LossModel, NoLoss
+from repro.live.wire import Heartbeat
+
+__all__ = ["ChaosSpec", "ChaosLink", "PacketFate", "PlannedPacket", "plan_delivery"]
+
+
+def _clock_rate(clock: ClockModel) -> float:
+    """Seconds of sender clock per second of wall clock.
+
+    For the affine models the rate is taken from the drift directly —
+    ``to_local(1) - to_local(0)`` would lose an ulp to the offset and break
+    the exact skew-invariance property (a pure offset must not perturb the
+    wall-clock schedule at all).
+    """
+    if isinstance(clock, PerfectClock):
+        return 1.0
+    if isinstance(clock, DriftingClock):
+        return 1.0 + clock.drift
+    return float(clock.to_local(1.0)) - float(clock.to_local(0.0))
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A complete, seeded description of injected faults."""
+
+    loss: LossModel = field(default_factory=NoLoss)
+    delay: DelayModel = field(default_factory=ConstantDelay)
+    clock: ClockModel = field(default_factory=PerfectClock)
+    crash_at: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crash_at is not None and self.crash_at <= 0:
+            raise ValueError(f"crash_at must be positive, got {self.crash_at}")
+        # The sender's clock must advance (an affine model with rate > 0):
+        # a frozen or backwards clock cannot pace a heartbeat schedule.
+        rate = _clock_rate(self.clock)
+        if not rate > 0.0:
+            raise ValueError(f"chaos clock must run forward (rate {rate})")
+
+    def link(self) -> "ChaosLink":
+        """A fresh stateful per-run instance (resets the RNG and loss state)."""
+        return ChaosLink(self)
+
+
+@dataclass(frozen=True)
+class PacketFate:
+    """The network's verdict on one heartbeat."""
+
+    delivered: bool
+    delay: float
+
+
+class ChaosLink:
+    """Per-run chaos state: one RNG, one loss stream, one clock mapping."""
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+        self._loss_stream: Iterator[bool] = spec.loss.stream(self._rng)
+        self._rate = _clock_rate(spec.clock)
+        self.n_sent = 0
+        self.n_dropped = 0
+
+    # -- clock -----------------------------------------------------------
+    def wall_elapsed(self, sender_elapsed: float) -> float:
+        """Wall (monitor-clock) seconds until the sender's clock runs ``sender_elapsed``."""
+        return sender_elapsed / self._rate
+
+    def sender_clock(self, wall_now: float) -> float:
+        """The sender's clock reading at wall instant ``wall_now``."""
+        return float(self.spec.clock.to_local(wall_now))
+
+    def crashed(self, sender_elapsed: float) -> bool:
+        """Has the scheduled crash occurred by sender-clock ``sender_elapsed``?"""
+        return self.spec.crash_at is not None and sender_elapsed > self.spec.crash_at
+
+    # -- per-packet fate -------------------------------------------------
+    def fate(self) -> PacketFate:
+        """Decide one heartbeat's fate (advances the RNG deterministically)."""
+        self.n_sent += 1
+        delivered = bool(next(self._loss_stream))
+        if not delivered:
+            self.n_dropped += 1
+            # Burn the delay draw anyway so the RNG stream position depends
+            # only on the packet index, not on earlier loss outcomes.
+            self.spec.delay.sample(self._rng, 1)
+            return PacketFate(delivered=False, delay=0.0)
+        delay = float(self.spec.delay.sample(self._rng, 1)[0])
+        if delay < 0.0:
+            raise ValueError("delay model produced a negative delay")
+        return PacketFate(delivered=True, delay=delay)
+
+
+@dataclass(frozen=True)
+class PlannedPacket:
+    """One heartbeat's complete offline trajectory through a chaos link."""
+
+    seq: int
+    wall_send: float  # monitor-clock send instant
+    heartbeat: Heartbeat  # what goes on the wire (skewed timestamp)
+    delivered: bool
+    wall_arrival: float  # monitor-clock arrival (meaningless if dropped)
+
+    @property
+    def datagram(self) -> bytes:
+        return self.heartbeat.encode()
+
+
+def plan_delivery(
+    spec: ChaosSpec,
+    interval: float,
+    n: int,
+    *,
+    sender: str = "p",
+    start_wall: float = 0.0,
+) -> List[PlannedPacket]:
+    """Unroll ``n`` heartbeat slots through ``spec`` on a virtual clock.
+
+    Mirrors the online heartbeater exactly: heartbeat ``k`` is due at
+    sender-clock elapsed ``k·Δi`` (first at Δi, per Alg. 1 line 2) and is
+    sent only if the scheduled crash has not yet occurred.  Returns one
+    :class:`PlannedPacket` per actually-sent heartbeat, in send order
+    (arrival order may differ when delays reorder packets — sort by
+    ``wall_arrival`` before feeding a monitor).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    link = spec.link()
+    out: List[PlannedPacket] = []
+    for k in range(1, n + 1):
+        sender_elapsed = k * interval
+        if link.crashed(sender_elapsed):
+            break
+        wall_send = start_wall + link.wall_elapsed(sender_elapsed)
+        hb = Heartbeat(sender=sender, seq=k, timestamp=link.sender_clock(wall_send))
+        f = link.fate()
+        out.append(
+            PlannedPacket(
+                seq=k,
+                wall_send=wall_send,
+                heartbeat=hb,
+                delivered=f.delivered,
+                wall_arrival=wall_send + f.delay,
+            )
+        )
+    return out

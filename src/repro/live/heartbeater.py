@@ -1,0 +1,177 @@
+"""The async heartbeat sender daemon (process p).
+
+Sends heartbeat ``m_k`` at sender-clock ``k·Δi`` (Alg. 1 lines 1-3) over a
+real UDP socket.  The schedule is computed from the *start instant* on the
+monotonic clock (``start + k·Δi``), never by accumulating sleeps, so pacing
+does not drift with scheduler jitter.
+
+All fault injection goes through a :class:`~repro.live.chaos.ChaosSpec`:
+drop and delay decisions per packet, a skewed sender clock (pacing and the
+embedded timestamps), and a scheduled crash after which the daemon stops
+emitting — exactly the decisions :func:`repro.live.chaos.plan_delivery`
+unrolls offline, so a seeded live run is reproducible in tests without
+sockets.
+
+Shutdown is clean: :meth:`Heartbeater.stop` wakes the run loop immediately,
+pending delayed (chaos) sends are cancelled, and the transport is closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Callable, Set, Tuple
+
+from repro._validation import ensure_positive
+from repro.live.chaos import ChaosSpec
+from repro.live.status import structured
+from repro.live.wire import Heartbeat
+
+__all__ = ["Heartbeater"]
+
+logger = logging.getLogger("repro.live.heartbeater")
+
+
+class Heartbeater:
+    """Send heartbeats to ``target`` every ``interval`` seconds.
+
+    Parameters
+    ----------
+    target:
+        ``(host, port)`` of the monitor's UDP endpoint.
+    sender_id:
+        This process's id, carried in every heartbeat.
+    interval:
+        Δi in seconds (on the sender's — possibly chaos-skewed — clock).
+    count:
+        Stop after this many heartbeat slots (None = until ``stop()``).
+    chaos:
+        Fault injection; default no loss, no delay, perfect clock, no crash.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        target: Tuple[str, int],
+        *,
+        sender_id: str = "p",
+        interval: float,
+        count: int | None = None,
+        chaos: ChaosSpec | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        ensure_positive(interval, "interval")
+        if count is not None and count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self._target = target
+        self._sender_id = sender_id
+        self._interval = float(interval)
+        self._count = count
+        self._chaos = chaos or ChaosSpec()
+        self._clock = clock
+        self._stop = asyncio.Event()
+        self._delayed: Set[asyncio.Task] = set()
+        self.n_sent = 0  # heartbeats emitted by p (pre-chaos)
+        self.n_dropped = 0  # eaten by chaos loss
+        self.crashed = False
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def sender_id(self) -> str:
+        return self._sender_id
+
+    def stop(self) -> None:
+        """Request a clean shutdown (idempotent, safe from callbacks)."""
+        self._stop.set()
+
+    async def run(self) -> int:
+        """Send until ``count``, crash, or :meth:`stop`; returns ``n_sent``."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, remote_addr=self._target
+        )
+        link = self._chaos.link()
+        start_wall = self._clock()
+        logger.info(
+            structured(
+                "heartbeater-started",
+                sender=self._sender_id,
+                target=list(self._target),
+                interval=self._interval,
+                crash_at=self._chaos.crash_at,
+            )
+        )
+        try:
+            k = 0
+            while not self._stop.is_set():
+                k += 1
+                if self._count is not None and k > self._count:
+                    break
+                sender_elapsed = k * self._interval  # m_k due at k·Δi (p's clock)
+                if link.crashed(sender_elapsed):
+                    self.crashed = True
+                    logger.info(
+                        structured(
+                            "heartbeater-crashed",
+                            sender=self._sender_id,
+                            crash_at=self._chaos.crash_at,
+                            n_sent=self.n_sent,
+                        )
+                    )
+                    break
+                due_wall = start_wall + link.wall_elapsed(sender_elapsed)
+                remaining = due_wall - self._clock()
+                if remaining > 0:
+                    try:
+                        await asyncio.wait_for(self._stop.wait(), remaining)
+                        break  # stopped while sleeping
+                    except asyncio.TimeoutError:
+                        pass
+                self.n_sent += 1
+                payload = Heartbeat(
+                    sender=self._sender_id,
+                    seq=k,
+                    timestamp=link.sender_clock(self._clock()),
+                ).encode()
+                fate = link.fate()
+                if not fate.delivered:
+                    self.n_dropped += 1
+                elif fate.delay <= 0.0:
+                    transport.sendto(payload)
+                else:
+                    # Chaos delay: hold the datagram back without blocking
+                    # the pacing loop.
+                    task = asyncio.create_task(
+                        self._send_delayed(transport, payload, fate.delay)
+                    )
+                    self._delayed.add(task)
+                    task.add_done_callback(self._delayed.discard)
+            return self.n_sent
+        finally:
+            for task in tuple(self._delayed):
+                task.cancel()
+            if self._delayed:
+                await asyncio.gather(*self._delayed, return_exceptions=True)
+            self._delayed.clear()
+            transport.close()
+            logger.info(
+                structured(
+                    "heartbeater-stopped",
+                    sender=self._sender_id,
+                    n_sent=self.n_sent,
+                    n_dropped=self.n_dropped,
+                    crashed=self.crashed,
+                )
+            )
+
+    async def _send_delayed(
+        self, transport: asyncio.DatagramTransport, payload: bytes, delay: float
+    ) -> None:
+        await asyncio.sleep(delay)
+        if not transport.is_closing():
+            transport.sendto(payload)

@@ -1,0 +1,438 @@
+"""The live monitor daemon (process q) over real UDP sockets.
+
+:class:`LiveMonitor` is the transport-free engine: it decodes heartbeat
+datagrams (:mod:`repro.live.wire`), maintains one set of online detectors
+per peer (any names from :mod:`repro.detectors.registry`), polls liveness,
+and emits a subscribe-able stream of :class:`LiveEvent` suspicion/trust
+transitions — the live analogue of :class:`repro.qos.timeline.OutputTimeline`.
+:meth:`LiveMonitor.timelines` converts a finished run into real
+``OutputTimeline`` objects, so :func:`repro.qos.metrics.compute_metrics`
+scores a live run exactly as it scores a replayed one.
+
+:class:`LiveMonitorServer` binds the engine to an asyncio UDP endpoint and
+a periodic poll task, optionally alongside the JSON status endpoint
+(:mod:`repro.live.status`).
+
+All detector inputs are ``(seq, arrival)`` with arrivals on the *monitor's*
+monotonic clock, relative to the monitor's start — sender clocks (and any
+chaos-injected skew) never enter the detection path, only the
+observability fields of the status snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro._validation import ensure_positive
+from repro.core.base import HeartbeatFailureDetector
+from repro.detectors.registry import make_tuned
+from repro.live.status import StatusServer, structured
+from repro.live.wire import Heartbeat, WireError
+from repro.qos.timeline import OutputTimeline
+
+__all__ = ["LiveEvent", "LiveMonitor", "LiveMonitorServer", "PeerStatus"]
+
+logger = logging.getLogger("repro.live.monitor")
+
+
+@dataclass(frozen=True)
+class LiveEvent:
+    """One detector output transition, as observed by the live monitor.
+
+    ``time`` is the exact transition instant on the monitor clock (the
+    freshness-point expiry for suspicions, the heartbeat arrival for trust
+    renewals) — not the polling tick that materialized it.
+    """
+
+    time: float
+    peer: str
+    detector: str
+    trusting: bool
+
+    @property
+    def kind(self) -> str:
+        return "trust" if self.trusting else "suspect"
+
+
+class _PeerState:
+    """Everything the monitor tracks about one heartbeat sender."""
+
+    __slots__ = (
+        "detectors",
+        "consumed",
+        "n_datagrams",
+        "n_accepted",
+        "n_stale",
+        "first_arrival",
+        "last_arrival",
+        "last_timestamp",
+        "last_seq",
+    )
+
+    def __init__(self, detectors: Dict[str, HeartbeatFailureDetector]):
+        self.detectors = detectors
+        self.consumed = {name: 0 for name in detectors}  # transitions drained
+        self.n_datagrams = 0
+        self.n_accepted = 0
+        self.n_stale = 0
+        self.first_arrival: float | None = None
+        self.last_arrival: float | None = None
+        self.last_timestamp: float | None = None
+        self.last_seq = 0
+
+
+@dataclass(frozen=True)
+class PeerStatus:
+    """JSON-able per-peer snapshot line (one entry of ``snapshot()``)."""
+
+    peer: str
+    n_datagrams: int
+    n_accepted: int
+    n_stale: int
+    last_seq: int
+    last_arrival: float | None
+    clock_offset_estimate: float | None
+    detectors: Dict[str, dict]
+
+    def as_dict(self) -> dict:
+        return {
+            "peer": self.peer,
+            "n_datagrams": self.n_datagrams,
+            "n_accepted": self.n_accepted,
+            "n_stale": self.n_stale,
+            "last_seq": self.last_seq,
+            "last_arrival": self.last_arrival,
+            "clock_offset_estimate": self.clock_offset_estimate,
+            "detectors": self.detectors,
+        }
+
+
+class LiveMonitor:
+    """Per-peer online failure detection over decoded heartbeat datagrams.
+
+    Parameters
+    ----------
+    interval:
+        The heartbeat interval Δi peers were asked to send at (a protocol
+        parameter, as in the paper's model).
+    detectors:
+        Registry names to run for every peer; each peer gets its own
+        instances.
+    params:
+        ``name -> tuning value`` routed through
+        :func:`repro.detectors.registry.make_tuned` (None / missing for the
+        self-configuring detectors).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        detectors: Sequence[str] = ("2w-fd",),
+        params: Mapping[str, float | None] | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        ensure_positive(interval, "interval")
+        if not detectors:
+            raise ValueError("at least one detector name is required")
+        self._interval = float(interval)
+        self._params = dict(params or {})
+        unknown = set(self._params) - set(detectors)
+        if unknown:
+            raise ValueError(
+                f"params given for detectors not being run: {sorted(unknown)}"
+            )
+        self._detector_names = tuple(detectors)
+        # Fail fast on bad names/params (satellite: friendly errors up
+        # front, not TypeErrors when the first heartbeat arrives).
+        for name in self._detector_names:
+            make_tuned(name, self._interval, self._params.get(name))
+        self._peers: Dict[str, _PeerState] = {}
+        self._clock = clock
+        self._epoch: float | None = None
+        self._listeners: List[Callable[[LiveEvent], None]] = []
+        self._events: List[LiveEvent] = []
+        self.n_malformed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def detector_names(self) -> Tuple[str, ...]:
+        return self._detector_names
+
+    @property
+    def peers(self) -> Tuple[str, ...]:
+        return tuple(self._peers)
+
+    @property
+    def events(self) -> List[LiveEvent]:
+        """All events emitted so far (chronological per peer/detector)."""
+        return list(self._events)
+
+    def subscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        """Register a callback invoked synchronously for every new event."""
+        self._listeners.append(listener)
+
+    def now(self) -> float:
+        """Monitor-relative current time (0 at first ingest/poll)."""
+        t = self._clock()
+        if self._epoch is None:
+            self._epoch = t
+        return t - self._epoch
+
+    # ------------------------------------------------------------------
+    def ingest(self, data: bytes, arrival: float | None = None) -> Heartbeat | None:
+        """Feed one raw datagram; returns the heartbeat if it decoded.
+
+        ``arrival`` is the receipt instant on the monitor clock (relative
+        to the monitor epoch); defaults to now.  Malformed datagrams are
+        counted, logged, and dropped — never raised.
+        """
+        if arrival is None:
+            arrival = self.now()
+        try:
+            hb = Heartbeat.decode(data)
+        except WireError as exc:
+            self.n_malformed += 1
+            logger.debug("dropping malformed datagram: %s", exc)
+            return None
+        state = self._peers.get(hb.sender)
+        if state is None:
+            state = _PeerState(
+                {
+                    name: make_tuned(name, self._interval, self._params.get(name))
+                    for name in self._detector_names
+                }
+            )
+            self._peers[hb.sender] = state
+            logger.info(structured("peer-discovered", peer=hb.sender, arrival=arrival))
+        state.n_datagrams += 1
+        accepted = False
+        for det in state.detectors.values():
+            accepted = det.receive(hb.seq, arrival) or accepted
+        if accepted:
+            state.n_accepted += 1
+            state.last_seq = hb.seq
+            state.last_arrival = arrival
+            state.last_timestamp = hb.timestamp
+            if state.first_arrival is None:
+                state.first_arrival = arrival
+        else:
+            state.n_stale += 1
+        self._drain(hb.sender, state)
+        return hb
+
+    def poll(self, now: float | None = None) -> List[LiveEvent]:
+        """Materialize deadline expiries up to ``now``; return new events."""
+        if now is None:
+            now = self.now()
+        fresh: List[LiveEvent] = []
+        for peer, state in self._peers.items():
+            for det in state.detectors.values():
+                det.advance_to(now)
+            fresh.extend(self._drain(peer, state))
+        return fresh
+
+    def _drain(self, peer: str, state: _PeerState) -> List[LiveEvent]:
+        """Convert any new detector transitions into emitted events."""
+        fresh: List[LiveEvent] = []
+        for name, det in state.detectors.items():
+            transitions = det.transitions
+            start = state.consumed[name]
+            for t, trusting in transitions[start:]:
+                event = LiveEvent(time=t, peer=peer, detector=name, trusting=trusting)
+                fresh.append(event)
+            state.consumed[name] = len(transitions)
+        for event in fresh:
+            self._events.append(event)
+            logger.info(
+                structured(
+                    event.kind,
+                    peer=event.peer,
+                    detector=event.detector,
+                    time=event.time,
+                )
+            )
+            for listener in self._listeners:
+                listener(event)
+        return fresh
+
+    # ------------------------------------------------------------------
+    def is_trusting(self, peer: str, detector: str, now: float | None = None) -> bool:
+        """One detector's current view of one peer."""
+        state = self._require(peer)
+        if now is None:
+            now = self.now()
+        return state.detectors[detector].is_trusting(now)
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-able full state: what the status endpoint serves."""
+        if now is None:
+            now = self.now()
+        peers = {}
+        for peer, state in self._peers.items():
+            detectors = {}
+            for name, det in state.detectors.items():
+                n_suspicions = sum(1 for t, trust in det.transitions if not trust)
+                detectors[name] = {
+                    "trusting": det.is_trusting(now),
+                    "freshness_point": det.suspicion_deadline,
+                    "n_suspicions": n_suspicions,
+                    "largest_seq": det.largest_seq,
+                }
+            offset = None
+            if state.last_arrival is not None and state.last_timestamp is not None:
+                offset = state.last_timestamp - state.last_arrival
+            peers[peer] = PeerStatus(
+                peer=peer,
+                n_datagrams=state.n_datagrams,
+                n_accepted=state.n_accepted,
+                n_stale=state.n_stale,
+                last_seq=state.last_seq,
+                last_arrival=state.last_arrival,
+                clock_offset_estimate=offset,
+                detectors=detectors,
+            ).as_dict()
+        return {
+            "now": now,
+            "interval": self._interval,
+            "detectors": list(self._detector_names),
+            "n_malformed": self.n_malformed,
+            "n_events": len(self._events),
+            "peers": peers,
+        }
+
+    def timelines(self, end: float | None = None) -> Dict[str, Dict[str, OutputTimeline]]:
+        """Close the run at ``end``; return per-peer per-detector timelines.
+
+        Each timeline spans ``[first heartbeat arrival, end]``, the same
+        observation-window convention as the replay pipeline, so
+        :func:`repro.qos.metrics.compute_metrics` applies directly.
+        """
+        if end is None:
+            end = self.now()
+        out: Dict[str, Dict[str, OutputTimeline]] = {}
+        for peer, state in self._peers.items():
+            if state.first_arrival is None or end <= state.first_arrival:
+                continue
+            per_det: Dict[str, OutputTimeline] = {}
+            for name, det in state.detectors.items():
+                per_det[name] = OutputTimeline.from_transitions(
+                    det.finalize(end), start=state.first_arrival, end=end
+                )
+            self._drain(peer, state)  # surface any expiry finalize materialized
+            out[peer] = per_det
+        return out
+
+    def _require(self, peer: str) -> _PeerState:
+        state = self._peers.get(peer)
+        if state is None:
+            raise KeyError(
+                f"unknown peer {peer!r}; heard from: {', '.join(self._peers) or 'none'}"
+            )
+        return state
+
+
+class _MonitorProtocol(asyncio.DatagramProtocol):
+    """Datagram glue: stamp the arrival and hand off to the engine."""
+
+    def __init__(self, monitor: LiveMonitor):
+        self._monitor = monitor
+
+    def datagram_received(self, data: bytes, addr) -> None:  # pragma: no cover - thin
+        self._monitor.ingest(data)
+
+
+class LiveMonitorServer:
+    """Asyncio runtime around :class:`LiveMonitor`.
+
+    Binds a UDP endpoint, runs the liveness poll at ``tick`` seconds, and
+    (optionally) serves the JSON status endpoint on a local TCP port.
+    """
+
+    def __init__(
+        self,
+        monitor: LiveMonitor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tick: float = 0.02,
+        status_port: int | None = None,
+        status_host: str = "127.0.0.1",
+    ):
+        ensure_positive(tick, "tick")
+        self.monitor = monitor
+        self._host = host
+        self._port = port
+        self._tick = float(tick)
+        self._status_port = status_port
+        self._status_host = status_host
+        self._transport: asyncio.DatagramTransport | None = None
+        self._poll_task: asyncio.Task | None = None
+        self.status: StatusServer | None = None
+        self.address: Tuple[str, int] | None = None
+
+    async def __aenter__(self) -> "LiveMonitorServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket and start polling; returns the bound address."""
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _MonitorProtocol(self.monitor),
+            local_addr=(self._host, self._port),
+        )
+        sock = self._transport.get_extra_info("sockname")
+        self.address = (sock[0], sock[1])
+        if self._status_port is not None:
+            self.status = StatusServer(
+                self.monitor.snapshot, host=self._status_host, port=self._status_port
+            )
+            await self.status.start()
+        self._poll_task = asyncio.create_task(self._poll_loop())
+        logger.info(
+            structured(
+                "monitor-started",
+                host=self.address[0],
+                port=self.address[1],
+                tick=self._tick,
+                detectors=list(self.monitor.detector_names),
+            )
+        )
+        return self.address
+
+    async def _poll_loop(self) -> None:
+        while True:
+            self.monitor.poll()
+            await asyncio.sleep(self._tick)
+
+    async def stop(self) -> None:
+        """Shut everything down; one final poll flushes pending expiries."""
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            try:
+                await self._poll_task
+            except asyncio.CancelledError:
+                pass
+            self._poll_task = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        if self.status is not None:
+            await self.status.stop()
+            self.status = None
+        self.monitor.poll()
+        logger.info(structured("monitor-stopped", n_events=len(self.monitor.events)))

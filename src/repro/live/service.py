@@ -1,0 +1,236 @@
+"""Live shared failure-detection service: one stream, many applications.
+
+The §V-C deployment mode over real sockets: one remote process sends a
+single heartbeat stream at Δi_min; every registered application gets its
+own freshness points (``EA + Δto'_j``) computed from the *same* arrivals by
+:class:`repro.service.fdservice.SharedFDMonitor`.  This module bridges live
+datagram arrivals into that engine:
+
+- :meth:`LiveSharedMonitor.from_applications` runs the full §V-C
+  configuration procedure (via :class:`repro.service.fdservice.FDService`)
+  from QoS tuples + estimated network behaviour, and reports the interval
+  the remote heartbeater must be asked to use;
+- :meth:`LiveSharedMonitor.ingest` decodes wire datagrams and feeds
+  ``(seq, arrival)`` to the shared monitor;
+- :meth:`LiveSharedMonitor.poll` materializes freshness-point expiries and
+  emits per-application :class:`~repro.live.monitor.LiveEvent` streams;
+- :meth:`LiveSharedMonitor.timelines` yields per-application
+  :class:`~repro.qos.timeline.OutputTimeline` objects scoreable by
+  :func:`repro.qos.metrics.compute_metrics`.
+
+The peer-facing surface (snapshot schema, event objects, timeline
+conventions) matches :class:`repro.live.monitor.LiveMonitor`, so the status
+endpoint and the CLI treat dedicated and shared monitors uniformly.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, List, Sequence
+
+from repro.live.monitor import LiveEvent
+from repro.live.status import structured
+from repro.live.wire import Heartbeat, WireError
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.timeline import OutputTimeline
+from repro.service.application import Application
+from repro.service.fdservice import FDService, SharedFDMonitor
+
+__all__ = ["LiveSharedMonitor"]
+
+logger = logging.getLogger("repro.live.service")
+
+
+class LiveSharedMonitor:
+    """Feed one live heartbeat stream into a :class:`SharedFDMonitor`.
+
+    Parameters
+    ----------
+    monitor:
+        The shared monitor-side engine (one estimation state, per-app
+        margins).
+    peer:
+        Id of the monitored process; datagrams from other senders are
+        counted and ignored (the shared stream monitors *one* process;
+        run one ``LiveSharedMonitor`` per monitored host).
+    service:
+        The configured :class:`FDService`, when built via
+        :meth:`from_applications` (exposes traffic accounting).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        monitor: SharedFDMonitor,
+        *,
+        peer: str = "p",
+        service: FDService | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.shared = monitor
+        self.service = service
+        self.peer = peer
+        self._clock = clock
+        self._epoch: float | None = None
+        self._consumed: Dict[str, int] = {
+            name: 0 for name in monitor.application_names
+        }
+        self._events: List[LiveEvent] = []
+        self._listeners: List[Callable[[LiveEvent], None]] = []
+        self.n_datagrams = 0
+        self.n_accepted = 0
+        self.n_stale = 0
+        self.n_foreign = 0
+        self.n_malformed = 0
+        self.first_arrival: float | None = None
+        self.last_arrival: float | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_applications(
+        cls,
+        applications: Sequence[Application],
+        behavior: NetworkBehavior,
+        *,
+        peer: str = "p",
+        clock: Callable[[], float] = time.monotonic,
+        **service_kwargs: object,
+    ) -> "LiveSharedMonitor":
+        """Run §V-C Steps 1-4 and wrap the resulting shared monitor.
+
+        The caller must arrange for the monitored process to send at
+        :attr:`heartbeat_interval` (Δi_min) — e.g. by configuring its
+        :class:`~repro.live.heartbeater.Heartbeater` with it.
+        """
+        service = FDService(applications, behavior, **service_kwargs)
+        return cls(service.monitor, peer=peer, service=service, clock=clock)
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """Δi_min: the interval the monitored process must send at."""
+        return self.shared.interval
+
+    @property
+    def application_names(self) -> tuple:
+        return self.shared.application_names
+
+    @property
+    def events(self) -> List[LiveEvent]:
+        return list(self._events)
+
+    def subscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def now(self) -> float:
+        t = self._clock()
+        if self._epoch is None:
+            self._epoch = t
+        return t - self._epoch
+
+    # ------------------------------------------------------------------
+    def ingest(self, data: bytes, arrival: float | None = None) -> Heartbeat | None:
+        """Feed one raw datagram (same contract as ``LiveMonitor.ingest``)."""
+        if arrival is None:
+            arrival = self.now()
+        try:
+            hb = Heartbeat.decode(data)
+        except WireError as exc:
+            self.n_malformed += 1
+            logger.debug("dropping malformed datagram: %s", exc)
+            return None
+        if hb.sender != self.peer:
+            self.n_foreign += 1
+            return None
+        self.n_datagrams += 1
+        if self.shared.receive(hb.seq, arrival):
+            self.n_accepted += 1
+            self.last_arrival = arrival
+            if self.first_arrival is None:
+                self.first_arrival = arrival
+        else:
+            self.n_stale += 1
+        self._drain()
+        return hb
+
+    def poll(self, now: float | None = None) -> List[LiveEvent]:
+        """Materialize freshness-point expiries; return new app events."""
+        if now is None:
+            now = self.now()
+        self.shared.advance_to(now)
+        return self._drain()
+
+    def _drain(self) -> List[LiveEvent]:
+        fresh: List[LiveEvent] = []
+        for name in self.shared.application_names:
+            transitions = self.shared.transitions(name)
+            for t, trusting in transitions[self._consumed[name] :]:
+                fresh.append(
+                    LiveEvent(time=t, peer=self.peer, detector=name, trusting=trusting)
+                )
+            self._consumed[name] = len(transitions)
+        for event in fresh:
+            self._events.append(event)
+            logger.info(
+                structured(
+                    event.kind, peer=event.peer, application=event.detector,
+                    time=event.time,
+                )
+            )
+            for listener in self._listeners:
+                listener(event)
+        return fresh
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-able state in the same shape the status endpoint serves."""
+        if now is None:
+            now = self.now()
+        applications = {}
+        for name in self.shared.application_names:
+            n_suspicions = sum(
+                1 for _, trust in self.shared.transitions(name) if not trust
+            )
+            applications[name] = {
+                "trusting": self.shared.is_trusting(name, now),
+                "freshness_point": self.shared.suspicion_deadline(name),
+                "margin": self.shared.margin(name),
+                "n_suspicions": n_suspicions,
+            }
+        snap = {
+            "now": now,
+            "mode": "shared",
+            "peer": self.peer,
+            "interval": self.shared.interval,
+            "n_datagrams": self.n_datagrams,
+            "n_accepted": self.n_accepted,
+            "n_stale": self.n_stale,
+            "n_foreign": self.n_foreign,
+            "n_malformed": self.n_malformed,
+            "n_events": len(self._events),
+            "applications": applications,
+        }
+        if self.service is not None:
+            cfg = self.service.configuration
+            snap["traffic"] = {
+                "message_rate": cfg.message_rate,
+                "dedicated_message_rate": cfg.dedicated_message_rate,
+                "traffic_reduction": cfg.traffic_reduction,
+            }
+        return snap
+
+    def timelines(self, end: float | None = None) -> Dict[str, OutputTimeline]:
+        """Close the run; one scoreable timeline per application."""
+        if end is None:
+            end = self.now()
+        if self.first_arrival is None or end <= self.first_arrival:
+            return {}
+        finalized = self.shared.finalize(end)
+        self._drain()
+        return {
+            name: OutputTimeline.from_transitions(
+                trans, start=self.first_arrival, end=end
+            )
+            for name, trans in finalized.items()
+        }

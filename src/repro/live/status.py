@@ -1,0 +1,134 @@
+"""Observability for the live runtime: JSON status endpoint + structured logs.
+
+:class:`StatusServer` serves one JSON document per TCP connection on a
+local port — per-peer detector state, arrival counts, current freshness
+points, mistake counters (whatever the wrapped ``snapshot`` callable
+reports).  The protocol is deliberately trivial: connect, read until EOF,
+parse.  ``nc 127.0.0.1 <port>`` works; so does :func:`fetch_status`, the
+in-process client the CLI's ``repro-fd live status`` uses.
+
+:func:`structured` formats JSON-lines log records: every noteworthy runtime
+event (peer discovered, suspicion raised, monitor started/stopped) is
+logged as a single JSON object on the ``repro.live.*`` loggers, so a log
+collector can consume the live runtime without scraping prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Callable, Tuple
+
+__all__ = ["StatusServer", "afetch_status", "fetch_status", "structured"]
+
+logger = logging.getLogger("repro.live.status")
+
+
+def structured(event: str, **fields: object) -> str:
+    """One JSON-lines log record: ``{"event": ..., **fields}``.
+
+    Values must be JSON-serializable; non-serializable ones are stringified
+    rather than raised on (logging must never take the runtime down).
+    """
+    record = {"event": event, **fields}
+    try:
+        return json.dumps(record, sort_keys=True)
+    except (TypeError, ValueError):
+        return json.dumps(
+            {k: repr(v) if _unserializable(v) else v for k, v in record.items()},
+            sort_keys=True,
+        )
+
+
+def _unserializable(value: object) -> bool:
+    try:
+        json.dumps(value)
+        return False
+    except (TypeError, ValueError):
+        return True
+
+
+class StatusServer:
+    """Serve ``snapshot()`` as one JSON document per TCP connection."""
+
+    def __init__(
+        self,
+        snapshot: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._snapshot = snapshot
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.address: Tuple[str, int] | None = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Start listening; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        logger.info(structured("status-started", host=sock[0], port=sock[1]))
+        return self.address
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            body = json.dumps(self._snapshot(), sort_keys=True) + "\n"
+        except Exception as exc:  # snapshot bugs must not kill the server
+            logger.exception("status snapshot failed")
+            body = json.dumps({"error": str(exc)}) + "\n"
+        try:
+            writer.write(body.encode("utf-8"))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            logger.info(structured("status-stopped"))
+
+
+async def _fetch(host: str, port: int, timeout: float) -> dict:
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return json.loads(raw.decode("utf-8"))
+
+
+def fetch_status(host: str, port: int, *, timeout: float = 5.0) -> dict:
+    """Fetch and parse one status document (synchronous client)."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(_fetch(host, port, timeout))
+    raise RuntimeError(
+        "fetch_status() is synchronous; inside an event loop await "
+        "status.afetch_status(...) instead"
+    )
+
+
+async def afetch_status(host: str, port: int, *, timeout: float = 5.0) -> dict:
+    """Async variant of :func:`fetch_status` for use inside an event loop."""
+    return await _fetch(host, port, timeout)

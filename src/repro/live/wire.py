@@ -1,0 +1,115 @@
+"""Heartbeat wire format: one UDP datagram per heartbeat.
+
+Layout (network byte order)::
+
+    offset  size  field
+    0       4     magic  b"2WFD"
+    4       1     version (currently 1)
+    5       1     sender-id length L (1..255)
+    6       L     sender id, UTF-8
+    6+L     8     sequence number (uint64, starts at 1)
+    14+L    8     send timestamp (float64): the *sender's* monotonic clock
+                  at the send instant
+
+The timestamp is on the sender's clock and is therefore never compared
+directly against the monitor's clock — the detectors consume only
+``(seq, arrival)`` with the arrival stamped by the *receiver* (the paper's
+§II model; DESIGN.md invariant 4 makes the whole pipeline skew-invariant).
+The timestamp rides along for observability: the status endpoint reports
+per-peer clock offset estimates (arrival − timestamp), which absorb skew
+plus one-way delay.
+
+Decoding is strict: wrong magic, unknown version, truncated or oversized
+datagrams, and non-positive sequence numbers all raise :class:`WireError`
+(a ``ValueError``), which the monitor counts but never crashes on — a UDP
+port is an open mailbox.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+__all__ = ["MAGIC", "VERSION", "HEADER_SIZE", "MAX_SENDER_BYTES", "Heartbeat", "WireError"]
+
+MAGIC = b"2WFD"
+VERSION = 1
+
+_HEAD = struct.Struct("!4sBB")  # magic, version, sender-id length
+_BODY = struct.Struct("!Qd")  # seq, send timestamp
+
+#: Bytes of framing around the sender id (head + seq + timestamp).
+HEADER_SIZE = _HEAD.size + _BODY.size
+MAX_SENDER_BYTES = 255
+
+
+class WireError(ValueError):
+    """A datagram that is not a valid heartbeat."""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One decoded (or to-be-encoded) heartbeat message.
+
+    Parameters
+    ----------
+    sender:
+        The sending process's id (UTF-8, at most 255 bytes encoded).
+    seq:
+        Sequence number, starting at 1 (Alg. 1 line 2).
+    timestamp:
+        The sender's monotonic-clock reading at the send instant.
+    """
+
+    sender: str
+    seq: int
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if not self.sender:
+            raise WireError("sender id must be non-empty")
+        if len(self.sender.encode("utf-8")) > MAX_SENDER_BYTES:
+            raise WireError(f"sender id exceeds {MAX_SENDER_BYTES} UTF-8 bytes")
+        if self.seq < 1:
+            raise WireError(f"sequence numbers start at 1, got {self.seq}")
+        if self.seq > 0xFFFFFFFFFFFFFFFF:
+            raise WireError(f"sequence number {self.seq} overflows uint64")
+        if not math.isfinite(self.timestamp):
+            raise WireError(f"timestamp must be finite, got {self.timestamp}")
+
+    def encode(self) -> bytes:
+        """Serialize to one datagram payload."""
+        sender = self.sender.encode("utf-8")
+        return (
+            _HEAD.pack(MAGIC, VERSION, len(sender))
+            + sender
+            + _BODY.pack(self.seq, self.timestamp)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Heartbeat":
+        """Parse one datagram payload; raise :class:`WireError` if invalid."""
+        if len(data) < _HEAD.size:
+            raise WireError(f"datagram too short ({len(data)} bytes)")
+        magic, version, sender_len = _HEAD.unpack_from(data)
+        if magic != MAGIC:
+            raise WireError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise WireError(f"unsupported wire version {version}")
+        expected = _HEAD.size + sender_len + _BODY.size
+        if len(data) != expected:
+            raise WireError(
+                f"datagram length {len(data)} != {expected} implied by header"
+            )
+        try:
+            sender = data[_HEAD.size : _HEAD.size + sender_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"sender id is not valid UTF-8: {exc}") from None
+        seq, timestamp = _BODY.unpack_from(data, _HEAD.size + sender_len)
+        return cls(sender=sender, seq=seq, timestamp=timestamp)
+
+    @property
+    def wire_size(self) -> int:
+        """Encoded size in bytes."""
+        return HEADER_SIZE + len(self.sender.encode("utf-8"))

@@ -128,8 +128,10 @@ def replay_metrics(
         raise ValueError("observation window has zero length")
 
     n_s = int(np.count_nonzero(expiry)) + int(np.count_nonzero(stale))
-    total_trust = float(trust.sum())
-    total_suspect = float(suspect.sum())
+    # Per-gap segment sums can exceed the window length by an ulp of
+    # accumulated rounding; clamp so P_A stays within [0, 1] exactly.
+    total_trust = min(float(trust.sum()), duration)
+    total_suspect = min(float(suspect.sum()), duration)
 
     # Initial suspicion (window opens in S because d_0 <= t_0) has no
     # in-window S-transition; exclude it from the mistake-duration average.
@@ -271,13 +273,13 @@ def replay_metrics_batch(
         np.minimum(Dv, upper, out=Wv)
         np.subtract(Wv, t, out=Wv)
         np.clip(Wv, 0.0, None, out=Wv)
-        trust_time[lo:hi] = Wv.sum(axis=1)
+        trust_time[lo:hi] = np.minimum(Wv.sum(axis=1), duration)
 
         # suspect = clip(upper - max(d, t), 0)
         np.maximum(Dv, t, out=Wv)
         np.subtract(upper, Wv, out=Wv)
         np.clip(Wv, 0.0, None, out=Wv)
-        suspect_time[lo:hi] = Wv.sum(axis=1)
+        suspect_time[lo:hi] = np.minimum(Wv.sum(axis=1), duration)
 
         # expiry = (d > t) & (d < upper)
         np.greater(Dv, t, out=Gv)

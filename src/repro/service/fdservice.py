@@ -117,6 +117,21 @@ class SharedFDMonitor:
         self._require(name)
         return self._deadlines.get(name)
 
+    def advance_to(self, now: float) -> None:
+        """Materialize deadline expiries up to ``now`` for every application.
+
+        Online users (the live runtime's poll loop) call this so that a
+        freshness point passing between heartbeats becomes an S-transition
+        at the expiry instant, exactly as the per-detector engines do.
+        """
+        for out in self._outputs.values():
+            out.advance_to(now)
+
+    def transitions(self, name: str) -> List[Tuple[float, bool]]:
+        """Application ``name``'s transition log so far (time, trust)."""
+        self._require(name)
+        return list(self._outputs[name].transitions)
+
     def finalize(self, end_time: float) -> Dict[str, List[Tuple[float, bool]]]:
         """Close all applications' observation windows; return transitions."""
         return {

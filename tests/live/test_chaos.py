@@ -1,0 +1,134 @@
+"""Deterministic fault injection: seeding, loss, delay, clock, crash."""
+
+import math
+
+import pytest
+
+from repro.live.chaos import ChaosSpec, plan_delivery
+from repro.net.clock import DriftingClock
+from repro.net.delays import ConstantDelay, LogNormalDelay
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+
+
+def _key(plan):
+    return [
+        (p.seq, p.wall_send, p.delivered, p.wall_arrival, p.heartbeat.timestamp)
+        for p in plan
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        spec = ChaosSpec(
+            loss=BernoulliLoss(0.3),
+            delay=LogNormalDelay(math.log(0.05), 0.5),
+            seed=7,
+        )
+        assert _key(plan_delivery(spec, 0.1, 200)) == _key(
+            plan_delivery(spec, 0.1, 200)
+        )
+
+    def test_different_seed_differs(self):
+        mk = lambda s: ChaosSpec(loss=BernoulliLoss(0.3), seed=s)
+        a = plan_delivery(mk(1), 0.1, 200)
+        b = plan_delivery(mk(2), 0.1, 200)
+        assert [p.delivered for p in a] != [p.delivered for p in b]
+
+    def test_online_and_offline_share_decisions(self):
+        """A fresh link replays the identical per-packet fates."""
+        spec = ChaosSpec(
+            loss=BernoulliLoss(0.25),
+            delay=LogNormalDelay(math.log(0.02), 0.4),
+            seed=11,
+        )
+        plan = plan_delivery(spec, 0.1, 50)
+        link = spec.link()
+        for p in plan:
+            fate = link.fate()
+            assert fate.delivered == p.delivered
+            if fate.delivered:
+                assert p.wall_arrival == pytest.approx(p.wall_send + fate.delay)
+
+
+class TestLoss:
+    def test_no_loss_delivers_everything(self):
+        plan = plan_delivery(ChaosSpec(), 0.1, 100)
+        assert len(plan) == 100
+        assert all(p.delivered for p in plan)
+
+    def test_bernoulli_drops_roughly_p(self):
+        plan = plan_delivery(ChaosSpec(loss=BernoulliLoss(0.4), seed=3), 0.1, 2000)
+        dropped = sum(not p.delivered for p in plan)
+        assert 0.3 < dropped / 2000 < 0.5
+
+    def test_bursty_loss_produces_runs(self):
+        spec = ChaosSpec(
+            loss=GilbertElliottLoss(p_gb=0.02, p_bg=0.2, p_good=0.0, p_bad=1.0),
+            seed=5,
+        )
+        plan = plan_delivery(spec, 0.1, 3000)
+        # At least one run of >= 3 consecutive drops (mean bad run is 5).
+        run = best = 0
+        for p in plan:
+            run = run + 1 if not p.delivered else 0
+            best = max(best, run)
+        assert best >= 3
+
+
+class TestDelayAndSchedule:
+    def test_sends_paced_at_interval(self):
+        plan = plan_delivery(ChaosSpec(), 0.25, 10)
+        for p in plan:
+            assert p.wall_send == pytest.approx(p.seq * 0.25)
+
+    def test_delay_added_to_arrival(self):
+        plan = plan_delivery(ChaosSpec(delay=ConstantDelay(0.07)), 0.1, 10)
+        for p in plan:
+            assert p.wall_arrival == pytest.approx(p.wall_send + 0.07)
+
+    def test_drift_stretches_schedule(self):
+        plan = plan_delivery(ChaosSpec(clock=DriftingClock(drift=1.0)), 0.1, 4)
+        # Sender clock runs 2x fast => its k*Δi instants come 2x sooner on
+        # the wall clock.
+        for p in plan:
+            assert p.wall_send == pytest.approx(p.seq * 0.05)
+
+    def test_offset_changes_timestamps_only(self):
+        base = plan_delivery(ChaosSpec(seed=9), 0.1, 20)
+        skew = plan_delivery(
+            ChaosSpec(clock=DriftingClock(offset=123.0), seed=9), 0.1, 20
+        )
+        assert [p.wall_send for p in skew] == [p.wall_send for p in base]
+        assert [p.wall_arrival for p in skew] == [p.wall_arrival for p in base]
+        for a, b in zip(skew, base):
+            assert a.heartbeat.timestamp - b.heartbeat.timestamp == pytest.approx(123.0)
+
+
+class TestCrash:
+    def test_crash_truncates_plan(self):
+        plan = plan_delivery(ChaosSpec(crash_at=1.0), 0.1, 100)
+        # Heartbeats due at 0.1..1.0 on the sender clock survive.
+        assert [p.seq for p in plan] == list(range(1, 11))
+
+    def test_crash_on_sender_clock(self):
+        # Fast sender clock: crash_at is reached after fewer wall seconds
+        # but the same number of heartbeats.
+        plan = plan_delivery(
+            ChaosSpec(crash_at=1.0, clock=DriftingClock(drift=1.0)), 0.1, 100
+        )
+        assert len(plan) == 10
+        assert plan[-1].wall_send == pytest.approx(0.5)
+
+    def test_crash_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(crash_at=0.0)
+
+    def test_frozen_clock_rejected(self):
+        from repro.net.clock import ClockModel
+
+        class FrozenClock(ClockModel):
+            def to_local(self, t):
+                return 0.0
+
+        with pytest.raises(ValueError, match="forward"):
+            ChaosSpec(clock=FrozenClock())

@@ -1,0 +1,141 @@
+"""Transport-free LiveMonitor engine tests (synchronous ingestion)."""
+
+import math
+
+import pytest
+
+from repro.live.chaos import ChaosSpec, plan_delivery
+from repro.live.monitor import LiveMonitor
+from repro.live.wire import Heartbeat
+from repro.net.delays import LogNormalDelay
+from repro.net.loss import BernoulliLoss
+from repro.qos.metrics import compute_metrics
+
+
+def _hb(seq, sender="p", ts=0.0):
+    return Heartbeat(sender=sender, seq=seq, timestamp=ts).encode()
+
+
+def feed(monitor, plan):
+    """Deliver a chaos plan to a monitor in arrival order."""
+    for p in sorted((q for q in plan if q.delivered), key=lambda q: q.wall_arrival):
+        monitor.ingest(p.datagram, p.wall_arrival)
+
+
+class TestConstruction:
+    def test_unknown_detector_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown detector"):
+            LiveMonitor(0.1, ["nope"])
+
+    def test_missing_param_fails_fast(self):
+        with pytest.raises(ValueError, match="requires a value"):
+            LiveMonitor(0.1, ["chen"])
+
+    def test_param_for_non_tunable_fails_fast(self):
+        with pytest.raises(ValueError, match="no tuning parameter"):
+            LiveMonitor(0.1, ["bertier"], {"bertier": 0.3})
+
+    def test_param_for_absent_detector_fails_fast(self):
+        with pytest.raises(ValueError, match="not being run"):
+            LiveMonitor(0.1, ["bertier"], {"chen": 0.3})
+
+
+class TestIngest:
+    def test_malformed_counted_not_raised(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.3})
+        assert mon.ingest(b"garbage", 0.0) is None
+        assert mon.n_malformed == 1
+        assert mon.peers == ()
+
+    def test_peer_discovered_lazily(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.3})
+        mon.ingest(_hb(1), 0.1)
+        mon.ingest(_hb(1, sender="q"), 0.15)
+        assert set(mon.peers) == {"p", "q"}
+
+    def test_duplicates_are_stale(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.3})
+        mon.ingest(_hb(1), 0.10)
+        mon.ingest(_hb(2), 0.20)
+        mon.ingest(_hb(2), 0.21)  # duplicate
+        mon.ingest(_hb(1), 0.22)  # stale reordering
+        snap = mon.snapshot(0.3)["peers"]["p"]
+        assert snap["n_accepted"] == 2
+        assert snap["n_stale"] == 2
+        assert snap["last_seq"] == 2
+
+    def test_per_peer_detector_isolation(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.3})
+        for k in range(1, 6):
+            mon.ingest(_hb(k, sender="a"), 0.1 * k)
+        mon.ingest(_hb(1, sender="b"), 0.55)
+        snap = mon.snapshot(0.6)["peers"]
+        assert snap["a"]["detectors"]["2w-fd"]["largest_seq"] == 5
+        assert snap["b"]["detectors"]["2w-fd"]["largest_seq"] == 1
+
+
+class TestEvents:
+    def test_trust_then_suspect_on_silence(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.2})
+        for k in range(1, 11):
+            mon.ingest(_hb(k), 0.1 * k)
+        assert [e.kind for e in mon.events] == ["trust"]
+        events = mon.poll(5.0)
+        assert [e.kind for e in events] == ["suspect"]
+        # The event carries the exact freshness-point instant, not the
+        # polling tick.
+        assert events[0].time < 5.0
+        assert events[0].time == pytest.approx(1.0 + 0.1 + 0.2, abs=0.05)
+
+    def test_listener_callback(self):
+        seen = []
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.2})
+        mon.subscribe(seen.append)
+        mon.ingest(_hb(1), 0.1)
+        mon.poll(10.0)
+        assert [e.kind for e in seen] == ["trust", "suspect"]
+        assert seen == mon.events
+
+    def test_multi_detector_events_labelled(self):
+        mon = LiveMonitor(0.1, ["2w-fd", "fixed-timeout"], {"2w-fd": 0.2, "fixed-timeout": 0.5})
+        mon.ingest(_hb(1), 0.1)
+        mon.poll(10.0)
+        kinds = {(e.detector, e.kind) for e in mon.events}
+        assert ("2w-fd", "suspect") in kinds
+        assert ("fixed-timeout", "suspect") in kinds
+
+
+class TestTimelines:
+    def test_scoreable_by_qos_metrics(self):
+        spec = ChaosSpec(
+            loss=BernoulliLoss(0.1),
+            delay=LogNormalDelay(math.log(0.02), 0.3),
+            seed=4,
+        )
+        mon = LiveMonitor(0.1, ["2w-fd", "bertier"], {"2w-fd": 0.3})
+        feed(mon, plan_delivery(spec, 0.1, 200))
+        tls = mon.timelines(25.0)
+        for name in ("2w-fd", "bertier"):
+            m = compute_metrics(tls["p"][name])
+            assert m.duration > 0
+            assert 0.0 <= m.query_accuracy <= 1.0
+
+    def test_event_stream_matches_timeline(self):
+        """The subscribe-able stream and the final timeline agree."""
+        spec = ChaosSpec(loss=BernoulliLoss(0.3), seed=8)
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.15})
+        feed(mon, plan_delivery(spec, 0.1, 150))
+        end = 20.0
+        tl = mon.timelines(end)["p"]["2w-fd"]
+        stream = [
+            (e.time, e.trusting)
+            for e in mon.events
+            if e.detector == "2w-fd" and e.time <= end
+        ]
+        # Every in-window timeline transition appears in the event stream.
+        for t, s in zip(tl.times, tl.states):
+            assert (pytest.approx(t), s) in [(pytest.approx(x), y) for x, y in stream]
+
+    def test_silent_peer_has_no_timeline(self):
+        mon = LiveMonitor(0.1, ["2w-fd"], {"2w-fd": 0.3})
+        assert mon.timelines(5.0) == {}

@@ -1,0 +1,128 @@
+"""LiveSharedMonitor: the §V-C shared service over live arrivals."""
+
+import pytest
+
+from repro.live.chaos import ChaosSpec, plan_delivery
+from repro.live.service import LiveSharedMonitor
+from repro.live.wire import Heartbeat
+from repro.net.loss import BernoulliLoss
+from repro.qos.estimators import NetworkBehavior
+from repro.qos.metrics import compute_metrics
+from repro.qos.spec import QoSSpec
+from repro.service.application import Application
+from repro.service.fdservice import FDService
+
+
+def _apps():
+    return [
+        Application("web", QoSSpec(detection_time=1.0, mistake_rate=0.01, mistake_duration=0.5)),
+        Application("db", QoSSpec(detection_time=3.0, mistake_rate=0.001, mistake_duration=0.5)),
+    ]
+
+
+def _behavior():
+    return NetworkBehavior(loss_probability=0.01, delay_variance=1e-4)
+
+
+def _live():
+    return LiveSharedMonitor.from_applications(_apps(), _behavior())
+
+
+def _hb(seq, sender="p", ts=0.0):
+    return Heartbeat(sender=sender, seq=seq, timestamp=ts).encode()
+
+
+class TestConfiguration:
+    def test_from_applications_runs_vc_procedure(self):
+        live = _live()
+        service = FDService(_apps(), _behavior())
+        assert live.heartbeat_interval == service.heartbeat_interval
+        assert set(live.application_names) == {"web", "db"}
+        assert live.service is not None
+        assert live.service.traffic_reduction == service.traffic_reduction
+
+    def test_snapshot_reports_shared_mode_and_traffic(self):
+        live = _live()
+        snap = live.snapshot(0.0)
+        assert snap["mode"] == "shared"
+        assert snap["interval"] == live.heartbeat_interval
+        assert set(snap["applications"]) == {"web", "db"}
+        assert snap["traffic"]["traffic_reduction"] > 0.0
+        assert snap["traffic"]["message_rate"] > 0.0
+        for app in snap["applications"].values():
+            assert app["margin"] > 0
+
+
+class TestStream:
+    def test_foreign_sender_ignored(self):
+        live = _live()
+        assert live.ingest(_hb(1, sender="intruder"), 0.1) is None
+        assert live.n_foreign == 1
+        assert live.n_accepted == 0
+
+    def test_malformed_counted(self):
+        live = _live()
+        assert live.ingest(b"junk", 0.0) is None
+        assert live.n_malformed == 1
+
+    def test_one_stream_feeds_every_application(self):
+        live = _live()
+        dt = live.heartbeat_interval
+        for k in range(1, 6):
+            live.ingest(_hb(k), k * dt)
+        snap = live.snapshot(5 * dt)
+        for app in snap["applications"].values():
+            assert app["trusting"] is True
+        # Silence long enough to blow every app's freshness point.
+        horizon = 5 * dt + max(
+            a["margin"] for a in snap["applications"].values()
+        ) + 10 * dt
+        events = live.poll(horizon)
+        assert {e.detector for e in events if e.kind == "suspect"} == {"web", "db"}
+
+    def test_margins_order_suspicion_times(self):
+        """The tighter-QoS app (smaller margin) suspects first."""
+        live = _live()
+        dt = live.heartbeat_interval
+        for k in range(1, 4):
+            live.ingest(_hb(k), k * dt)
+        live.poll(1000.0)
+        suspected_at = {
+            e.detector: e.time for e in live.events if e.kind == "suspect"
+        }
+        margins = {
+            name: live.snapshot(1000.0)["applications"][name]["margin"]
+            for name in live.application_names
+        }
+        lo = min(margins, key=margins.get)
+        hi = max(margins, key=margins.get)
+        assert suspected_at[lo] < suspected_at[hi]
+
+    def test_listener_sees_events(self):
+        seen = []
+        live = _live()
+        live.subscribe(seen.append)
+        live.ingest(_hb(1), 0.1)
+        live.poll(1000.0)
+        assert seen == live.events
+        assert any(not e.trusting for e in seen)
+
+
+class TestTimelines:
+    def test_scoreable_per_application(self):
+        live = _live()
+        dt = live.heartbeat_interval
+        plan = plan_delivery(
+            ChaosSpec(loss=BernoulliLoss(0.2), seed=13), dt, 100
+        )
+        for p in sorted((q for q in plan if q.delivered), key=lambda q: q.wall_arrival):
+            live.ingest(p.datagram, p.wall_arrival)
+        tls = live.timelines(105 * dt)
+        assert set(tls) == {"web", "db"}
+        for tl in tls.values():
+            m = compute_metrics(tl)
+            assert m.duration == pytest.approx(105 * dt - live.first_arrival)
+            assert 0.0 <= m.query_accuracy <= 1.0
+
+    def test_empty_before_first_arrival(self):
+        assert _live().timelines(10.0) == {}

@@ -1,0 +1,84 @@
+"""DESIGN.md invariant 4, end to end through the live stack.
+
+Detection operates on receiver-clock arrivals only, so a constant sender
+clock offset — which shifts every embedded heartbeat timestamp but not a
+single wall-clock send or arrival instant — must leave the suspicion
+timeline bit-for-bit unchanged.  Here the invariant is exercised through
+the full live pipeline: chaos plan -> wire encode -> ``LiveMonitor.ingest``
+-> detector -> finalized :class:`OutputTimeline`.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.live.chaos import ChaosSpec, plan_delivery
+from repro.live.monitor import LiveMonitor
+from repro.net.clock import DriftingClock
+from repro.net.delays import LogNormalDelay
+from repro.net.loss import BernoulliLoss
+from repro.qos.metrics import compute_metrics
+
+INTERVAL = 0.1
+N_HEARTBEATS = 60
+
+
+def _run(offset: float, seed: int, loss: float, detector: str, param):
+    spec = ChaosSpec(
+        loss=BernoulliLoss(loss),
+        delay=LogNormalDelay(math.log(0.02), 0.4),
+        clock=DriftingClock(offset=offset),
+        seed=seed,
+    )
+    mon = LiveMonitor(INTERVAL, [detector], {detector: param} if param else None)
+    plan = plan_delivery(spec, INTERVAL, N_HEARTBEATS)
+    for p in sorted((q for q in plan if q.delivered), key=lambda q: q.wall_arrival):
+        mon.ingest(p.datagram, p.wall_arrival)
+    end = (N_HEARTBEATS + 5) * INTERVAL
+    tl = mon.timelines(end)["p"][detector]
+    return tl, mon
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    offset=st.floats(-1e4, 1e4).filter(lambda x: x != 0.0),
+    seed=st.integers(0, 2**16),
+    loss=st.floats(0.0, 0.4),
+)
+def test_clock_skew_never_changes_the_timeline(offset, seed, loss):
+    skewed, skewed_mon = _run(offset, seed, loss, "2w-fd", 0.15)
+    plain, plain_mon = _run(0.0, seed, loss, "2w-fd", 0.15)
+    assert list(skewed.times) == list(plain.times)
+    assert list(skewed.states) == list(plain.states)
+    # The event streams (not just the final timelines) coincide too.
+    assert [
+        (e.time, e.detector, e.trusting) for e in skewed_mon.events
+    ] == [(e.time, e.detector, e.trusting) for e in plain_mon.events]
+    # ... and so does every derived QoS metric.
+    assert compute_metrics(skewed) == compute_metrics(plain)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    offset=st.floats(-1e3, 1e3).filter(lambda x: x != 0.0),
+    seed=st.integers(0, 2**16),
+)
+def test_skew_invariance_holds_for_adaptive_detectors(offset, seed):
+    """Also holds for the estimating detectors, which model arrival
+    dynamics — but still from receiver-clock arrivals only."""
+    for name, param in (("bertier", None), ("chen", 0.2)):
+        skewed, _ = _run(offset, seed, 0.2, name, param)
+        plain, _ = _run(0.0, seed, 0.2, name, param)
+        assert list(skewed.times) == list(plain.times)
+        assert list(skewed.states) == list(plain.states)
+
+
+def test_skew_is_visible_in_observability_only():
+    """The snapshot's clock_offset_estimate reflects the skew the
+    detectors never see."""
+    _, skewed_mon = _run(500.0, 42, 0.0, "2w-fd", 0.15)
+    _, plain_mon = _run(0.0, 42, 0.0, "2w-fd", 0.15)
+    end = (N_HEARTBEATS + 5) * INTERVAL
+    s = skewed_mon.snapshot(end)["peers"]["p"]["clock_offset_estimate"]
+    p = plain_mon.snapshot(end)["peers"]["p"]["clock_offset_estimate"]
+    assert s - p == 500.0

@@ -1,0 +1,94 @@
+"""Wire-format round-trips and strict decoding."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        hb = Heartbeat(sender="host-42", seq=7, timestamp=123.456)
+        assert Heartbeat.decode(hb.encode()) == hb
+
+    def test_wire_size(self):
+        hb = Heartbeat(sender="p", seq=1, timestamp=0.0)
+        assert len(hb.encode()) == hb.wire_size == HEADER_SIZE + 1
+
+    def test_unicode_sender(self):
+        hb = Heartbeat(sender="nœud-à", seq=1, timestamp=1.0)
+        assert Heartbeat.decode(hb.encode()).sender == "nœud-à"
+
+    @given(
+        sender=st.text(min_size=1, max_size=40).filter(
+            lambda s: len(s.encode("utf-8")) <= 255
+        ),
+        seq=st.integers(1, 2**64 - 1),
+        timestamp=st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_property_roundtrip(self, sender, seq, timestamp):
+        hb = Heartbeat(sender=sender, seq=seq, timestamp=timestamp)
+        assert Heartbeat.decode(hb.encode()) == hb
+
+
+class TestValidation:
+    def test_empty_sender(self):
+        with pytest.raises(WireError):
+            Heartbeat(sender="", seq=1, timestamp=0.0)
+
+    def test_oversized_sender(self):
+        with pytest.raises(WireError):
+            Heartbeat(sender="x" * 256, seq=1, timestamp=0.0)
+
+    def test_zero_seq(self):
+        with pytest.raises(WireError):
+            Heartbeat(sender="p", seq=0, timestamp=0.0)
+
+    def test_seq_overflow(self):
+        with pytest.raises(WireError):
+            Heartbeat(sender="p", seq=2**64, timestamp=0.0)
+
+    def test_nan_timestamp(self):
+        with pytest.raises(WireError):
+            Heartbeat(sender="p", seq=1, timestamp=math.nan)
+
+
+class TestDecodeRejects:
+    def _valid(self) -> bytes:
+        return Heartbeat(sender="p", seq=5, timestamp=2.5).encode()
+
+    def test_truncated(self):
+        data = self._valid()
+        for cut in (0, 3, len(data) - 1):
+            with pytest.raises(WireError):
+                Heartbeat.decode(data[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(WireError):
+            Heartbeat.decode(self._valid() + b"!")
+
+    def test_bad_magic(self):
+        data = bytearray(self._valid())
+        data[:4] = b"NOPE"
+        with pytest.raises(WireError, match="magic"):
+            Heartbeat.decode(bytes(data))
+
+    def test_unknown_version(self):
+        data = bytearray(self._valid())
+        data[4] = VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            Heartbeat.decode(bytes(data))
+
+    def test_invalid_utf8_sender(self):
+        data = struct.pack("!4sBB", MAGIC, VERSION, 2) + b"\xff\xfe" + struct.pack(
+            "!Qd", 1, 0.0
+        )
+        with pytest.raises(WireError, match="UTF-8"):
+            Heartbeat.decode(data)
+
+    def test_random_noise(self):
+        with pytest.raises(WireError):
+            Heartbeat.decode(b"\x00" * 30)

@@ -59,6 +59,26 @@ class TestCommands:
         assert "infeasible" in capsys.readouterr().err
 
 
+class TestDetectors:
+    def test_lists_every_registered_detector(self, capsys):
+        from repro.detectors.registry import available_detectors, tuning_parameter
+
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        for name in available_detectors():
+            assert name in out
+            knob = tuning_parameter(name)
+            if knob is not None:
+                assert knob in out
+        assert "self-configuring" in out  # bertier / adaptive-2w-fd rows
+
+    def test_simulate_help_points_here(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        # The subcommand is discoverable from the top-level help.
+        assert "detectors" in help_text
+
+
 class TestSimulate:
     def test_basic_run(self, capsys):
         code = main(
@@ -95,6 +115,74 @@ class TestSimulate:
              "--seed", "2"]
         )
         assert code == 0
+
+    def test_unknown_detector_friendly_error(self, capsys):
+        code = main(["simulate", "--detector", "nope", "--duration", "5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown detector" in err
+        assert "2w-fd" in err  # the error lists what IS available
+
+    def test_param_rejected_for_bertier(self, capsys):
+        code = main(
+            ["simulate", "--detector", "bertier", "--param", "0.3",
+             "--duration", "5"]
+        )
+        assert code == 2
+        assert "self-configuring" in capsys.readouterr().err
+
+    def test_param_rejected_for_adaptive(self, capsys):
+        code = main(
+            ["simulate", "--detector", "adaptive-2w-fd", "--param", "0.3",
+             "--duration", "5"]
+        )
+        assert code == 2
+        assert "self-configuring" in capsys.readouterr().err
+
+    def test_mw_fd_builds_from_registry_defaults(self, capsys):
+        code = main(
+            ["simulate", "--detector", "mw-fd", "--param", "0.3",
+             "--duration", "20", "--seed", "1"]
+        )
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+
+class TestLiveCli:
+    def test_monitor_rejects_bad_detector_spec(self, capsys):
+        code = main(["live", "monitor", "--detector", "2w-fd=abc"])
+        assert code == 2
+        assert "NAME=FLOAT" in capsys.readouterr().err
+
+    def test_monitor_rejects_unknown_detector(self, capsys):
+        code = main(["live", "monitor", "--detector", "nope=1"])
+        assert code == 2
+        assert "unknown detector" in capsys.readouterr().err
+
+    def test_monitor_rejects_missing_param(self, capsys):
+        code = main(["live", "monitor", "--detector", "chen"])
+        assert code == 2
+        assert "needs --param" in capsys.readouterr().err
+
+    def test_heartbeat_rejects_bad_address(self, capsys):
+        code = main(["live", "heartbeat", "--target", "nowhere"])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_status_unreachable(self, capsys):
+        # Port 1 on loopback: nothing listens there.
+        code = main(["live", "status", "--port", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_monitor_runs_for_duration(self, capsys):
+        code = main(
+            ["live", "monitor", "--port", "0", "--duration", "0.2",
+             "--detector", "bertier"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitoring UDP" in out
 
 
 class TestJsonExport:

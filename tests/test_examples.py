@@ -23,6 +23,7 @@ CASES = [
     ("custom_detector.py", []),
     ("cluster_membership.py", []),
     ("bring_your_own_trace.py", []),
+    ("live_quickstart.py", []),
 ]
 
 
