@@ -1,0 +1,312 @@
+"""Live-path benchmark: the monitor engine at 100 … 50 000 peers.
+
+Socket-free: synthetic heartbeat datagrams go straight through
+``LiveMonitor.ingest``/``poll`` with explicit arrival instants, so the
+numbers measure the detection engine (wire decode, per-peer detectors,
+deadline scheduling, event drain) and not the kernel's UDP stack.  Each
+peer count is measured twice — ``poll_mode="heap"`` (the lazy-deletion
+deadline heap) against ``poll_mode="sweep"`` (the reference full walk) —
+and the two engines' event streams are asserted identical before any
+number is written.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_live_monitor.py [-o BENCH_live.json]
+    PYTHONPATH=src python benchmarks/bench_live_monitor.py --peers 100 --rounds 1
+    PYTHONPATH=src python benchmarks/bench_live_monitor.py --check BENCH_live.json
+
+``--check`` validates an existing snapshot against the
+``repro-fd/bench-live/v1`` schema (the CI smoke job runs the smallest
+peer count and then ``--check``, so the benchmark cannot rot silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+from repro.live.monitor import LiveMonitor
+from repro.live.wire import Heartbeat
+
+try:  # script mode: `python benchmarks/bench_live_monitor.py`
+    from snapshot import best_of, entry
+except ImportError:  # package mode: pytest collecting benchmarks/
+    from benchmarks.snapshot import best_of, entry
+
+SCHEMA = "repro-fd/bench-live/v1"
+DEFAULT_PEERS = (100, 1_000, 10_000, 50_000)
+DETECTOR = "2w-fd"
+PARAM = 0.3
+INTERVAL = 0.1
+WARMUP_BEATS = 3  # heartbeats per peer before any timing starts
+
+
+def _frozen_clock() -> float:
+    """The engines never consult the wall clock in this benchmark: every
+    ingest/poll passes an explicit instant, so time is fully synthetic."""
+    return 0.0
+
+
+def _make_monitor(poll_mode: str) -> LiveMonitor:
+    return LiveMonitor(
+        INTERVAL,
+        [DETECTOR],
+        {DETECTOR: PARAM},
+        clock=_frozen_clock,
+        poll_mode=poll_mode,
+    )
+
+
+def _payloads(n_peers: int, seq: int) -> List[bytes]:
+    return [
+        Heartbeat(sender=f"p{i}", seq=seq, timestamp=0.0).encode()
+        for i in range(n_peers)
+    ]
+
+
+def bench_peer_count(n_peers: int, rounds: int) -> Dict[str, object]:
+    """Measure one peer count; returns the ``peers_<n>`` result block."""
+    monitors = {"heap": _make_monitor("heap"), "sweep": _make_monitor("sweep")}
+    seq = 0
+    for k in range(1, WARMUP_BEATS + 1):
+        seq = k
+        beats = _payloads(n_peers, seq)
+        arrival = seq * INTERVAL
+        for mon in monitors.values():
+            for payload in beats:
+                mon.ingest(payload, arrival)
+
+    # Ingest throughput: one full round of fresh heartbeats per timing
+    # round (sequence numbers advance, so every round is sequence-fresh).
+    ingest_s: Dict[str, float] = {name: float("inf") for name in monitors}
+    for _ in range(rounds):
+        seq += 1
+        beats = _payloads(n_peers, seq)
+        arrival = seq * INTERVAL
+        for name, mon in monitors.items():
+            t0 = time.perf_counter()
+            for payload in beats:
+                mon.ingest(payload, arrival)
+            ingest_s[name] = min(ingest_s[name], time.perf_counter() - t0)
+
+    # Idle poll: every peer trusted, no deadline due.  One flush poll
+    # first so the heap's stale (superseded) entries are popped and the
+    # steady-state cost is what a long-running monitor would pay.
+    now_idle = seq * INTERVAL + 1e-3
+    for mon in monitors.values():
+        flushed = mon.poll(now_idle)
+        assert flushed == [], "no deadline may expire while peers are fresh"
+    idle_s = {
+        name: best_of(lambda m=mon: m.poll(now_idle), rounds)
+        for name, mon in monitors.items()
+    }
+    idle_pops = monitors["heap"].last_poll_stats["n_pops"]
+
+    # Expiry poll: silence everyone; a single poll must materialize one
+    # suspicion per peer per detector, in both modes, identically.
+    now_dead = seq * INTERVAL + 10.0
+    expiry_s: Dict[str, float] = {}
+    for name, mon in monitors.items():
+        t0 = time.perf_counter()
+        mon.poll(now_dead)
+        expiry_s[name] = time.perf_counter() - t0
+
+    heap_events = monitors["heap"].events
+    sweep_events = monitors["sweep"].events
+    equivalent = heap_events == sweep_events
+    assert equivalent, (
+        f"heap/sweep event streams diverged at {n_peers} peers: "
+        f"{len(heap_events)} vs {len(sweep_events)} events"
+    )
+    n_suspicions = sum(1 for e in heap_events if not e.trusting)
+    assert n_suspicions == n_peers, "every silenced peer must be suspected once"
+
+    return {
+        "n_peers": n_peers,
+        "ingest_heap": {
+            **entry(ingest_s["heap"] / n_peers),
+            "heartbeats_per_sec": n_peers / ingest_s["heap"],
+        },
+        "ingest_sweep": {
+            **entry(ingest_s["sweep"] / n_peers),
+            "heartbeats_per_sec": n_peers / ingest_s["sweep"],
+        },
+        "idle_poll_heap": {**entry(idle_s["heap"]), "n_heap_pops": idle_pops},
+        "idle_poll_sweep": entry(idle_s["sweep"]),
+        "idle_poll_reduction": idle_s["sweep"] / idle_s["heap"],
+        "expiry_poll_heap": entry(expiry_s["heap"]),
+        "expiry_poll_sweep": entry(expiry_s["sweep"]),
+        "n_events": len(heap_events),
+        "equivalent": equivalent,
+    }
+
+
+def bench_snapshot_history(rounds: int, n_peers: int = 100) -> Dict[str, object]:
+    """``snapshot()`` cost must not grow with the transition history.
+
+    Two identical monitors, one after a single trust/suspect cycle per
+    peer, one after 200 cycles (so its per-detector transition logs are
+    ~200x longer); their snapshot times are reported side by side.
+    """
+
+    def build(cycles: int) -> LiveMonitor:
+        mon = _make_monitor("heap")
+        seq = 0
+        now = 0.0
+        for _ in range(cycles):
+            seq += 1
+            now = seq * 10.0  # long gaps: every cycle expires before the next
+            for payload in _payloads(n_peers, seq):
+                mon.ingest(payload, now)
+            mon.poll(now + 9.0)
+        return mon
+
+    short, long = build(1), build(200)
+    at = 200 * 10.0 + 9.5  # past both runs' last materialized event
+    short_s = best_of(lambda: short.snapshot(at), rounds)
+    long_s = best_of(lambda: long.snapshot(at), rounds)
+    short_hist = short.snapshot(at)["peers"]["p0"]["detectors"][DETECTOR][
+        "n_suspicions"
+    ]
+    long_hist = long.snapshot(at)["peers"]["p0"]["detectors"][DETECTOR][
+        "n_suspicions"
+    ]
+    return {
+        "n_peers": n_peers,
+        "short_suspicions_per_peer": short_hist,
+        "long_suspicions_per_peer": long_hist,
+        "snapshot_short": entry(short_s),
+        "snapshot_long": entry(long_s),
+        "ratio_long_over_short": long_s / short_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema check (the CI smoke gate)
+# ----------------------------------------------------------------------
+def check_snapshot(path: str) -> List[str]:
+    """Validate a BENCH_live.json document; returns a list of problems."""
+    problems: List[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        problems.append("missing context block")
+        context = {}
+    for key in ("python", "cpu_count", "detector", "interval", "peer_counts"):
+        if key not in context:
+            problems.append(f"context.{key} missing")
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        return problems + ["missing results block"]
+    peer_blocks = [k for k in results if k.startswith("peers_")]
+    if not peer_blocks:
+        problems.append("no peers_<n> result blocks")
+    for name in peer_blocks:
+        block = results[name]
+        for key in (
+            "ingest_heap",
+            "idle_poll_heap",
+            "idle_poll_sweep",
+            "idle_poll_reduction",
+            "expiry_poll_heap",
+            "equivalent",
+        ):
+            if key not in block:
+                problems.append(f"results.{name}.{key} missing")
+        if block.get("equivalent") is not True:
+            problems.append(f"results.{name}: heap/sweep streams not equivalent")
+        reduction = block.get("idle_poll_reduction")
+        if not isinstance(reduction, (int, float)) or reduction <= 0:
+            problems.append(f"results.{name}.idle_poll_reduction not a positive number")
+        for key in ("ingest_heap", "idle_poll_heap", "idle_poll_sweep", "expiry_poll_heap"):
+            sub = block.get(key)
+            if isinstance(sub, dict):
+                seconds = sub.get("seconds")
+                if not isinstance(seconds, (int, float)) or seconds < 0:
+                    problems.append(f"results.{name}.{key}.seconds invalid")
+    hist = results.get("snapshot_history")
+    if not isinstance(hist, dict):
+        problems.append("results.snapshot_history missing")
+    elif "ratio_long_over_short" not in hist:
+        problems.append("results.snapshot_history.ratio_long_over_short missing")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_live.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--peers",
+        type=int,
+        action="append",
+        default=None,
+        help="peer count to measure (repeatable; default 100/1k/10k/50k)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        default=None,
+        help="validate an existing snapshot against the schema and exit",
+    )
+    args = parser.parse_args()
+
+    if args.check is not None:
+        problems = check_snapshot(args.check)
+        if problems:
+            for p in problems:
+                print(f"SCHEMA: {p}")
+            return 1
+        print(f"{args.check}: ok ({SCHEMA})")
+        return 0
+
+    peer_counts = tuple(args.peers) if args.peers else DEFAULT_PEERS
+    results: dict = {}
+    for n in peer_counts:
+        results[f"peers_{n}"] = bench_peer_count(n, args.rounds)
+        block = results[f"peers_{n}"]
+        print(
+            f"  {n:>6} peers: ingest "
+            f"{block['ingest_heap']['heartbeats_per_sec']:.3g} hb/s, "
+            f"idle poll {block['idle_poll_heap']['seconds'] * 1e6:.3g} µs heap "
+            f"vs {block['idle_poll_sweep']['seconds'] * 1e6:.3g} µs sweep "
+            f"({block['idle_poll_reduction']:.3g}x)"
+        )
+    results["snapshot_history"] = bench_snapshot_history(args.rounds)
+    print(
+        "  snapshot history ratio (200x transitions): "
+        f"{results['snapshot_history']['ratio_long_over_short']:.3g}x"
+    )
+
+    snapshot = {
+        "schema": SCHEMA,
+        "context": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "detector": DETECTOR,
+            "param": PARAM,
+            "interval": INTERVAL,
+            "rounds": args.rounds,
+            "peer_counts": list(peer_counts),
+        },
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

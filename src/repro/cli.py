@@ -140,6 +140,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--interval", type=float, default=0.1, help="expected Δi [s]")
     p_mon.add_argument("--tick", type=float, default=0.02, help="liveness poll period [s]")
     p_mon.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring-buffer the retained event history to N entries "
+        "(default: unbounded; totals/drop counts stay exact)",
+    )
+    p_mon.add_argument(
+        "--retain-transitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compact each detector's transition log to its last N entries "
+        "(default: full history; suspicion counters stay exact)",
+    )
+    p_mon.add_argument(
+        "--poll-mode",
+        choices=["heap", "sweep"],
+        default="heap",
+        help="liveness scheduling: 'heap' = O(expired log n) deadline heap "
+        "(default), 'sweep' = reference O(peers) full walk",
+    )
+    p_mon.add_argument(
         "--duration",
         type=float,
         default=None,
@@ -189,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_st.add_argument("--host", default="127.0.0.1")
     p_st.add_argument("--port", type=int, required=True)
+    p_st.add_argument(
+        "--summary",
+        action="store_true",
+        help="fetch only the constant-size monitor-load summary "
+        "(peer count, heartbeat rate, poll cost, heap size)",
+    )
 
     p_cfg = sub.add_parser(
         "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
@@ -419,9 +448,23 @@ def _cmd_live_monitor(args) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    for knob, value in (
+        ("--max-events", args.max_events),
+        ("--retain-transitions", args.retain_transitions),
+    ):
+        if value is not None and value < 1:
+            print(f"{knob} must be positive, got {value}", file=sys.stderr)
+            return 2
 
     async def run() -> int:
-        monitor = LiveMonitor(args.interval, names, params)
+        monitor = LiveMonitor(
+            args.interval,
+            names,
+            params,
+            poll_mode=args.poll_mode,
+            max_events=args.max_events,
+            transition_retention=args.retain_transitions,
+        )
         monitor.subscribe(
             lambda e: print(f"[{e.time:9.3f}s] {e.peer}/{e.detector}: {e.kind}")
         )
@@ -522,7 +565,7 @@ def _cmd_live_status(args) -> int:
     from repro.live.status import fetch_status
 
     try:
-        snap = fetch_status(args.host, args.port)
+        snap = fetch_status(args.host, args.port, summary=args.summary)
     except (ConnectionError, OSError, TimeoutError) as exc:
         print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 1

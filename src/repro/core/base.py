@@ -108,8 +108,40 @@ class HeartbeatFailureDetector(ABC):
 
     @property
     def transitions(self) -> List[Tuple[float, bool]]:
-        """Transition log so far (time, new output; ``True`` = T-transition)."""
+        """Retained transition log (time, new output; ``True`` = T-transition).
+
+        The full history unless :meth:`set_transition_retention` enabled
+        compaction, in which case this is the retained tail.
+        """
         return list(self._output.transitions)
+
+    @property
+    def n_transitions(self) -> int:
+        """Total transitions ever recorded (O(1), compaction-proof)."""
+        return self._output.n_transitions
+
+    @property
+    def n_suspicions(self) -> int:
+        """Total S-transitions ever recorded (O(1), compaction-proof)."""
+        return self._output.n_suspicions
+
+    def drain_transitions(
+        self, cursor: int
+    ) -> Tuple[List[Tuple[float, bool]], int]:
+        """Return ``(new transitions, new cursor)`` past absolute ``cursor``.
+
+        The incremental-consumer API (used by the live monitor): each call
+        costs O(new transitions), never a copy of the whole log.
+        """
+        return self._output.transitions_since(cursor)
+
+    def set_transition_retention(self, max_retained: int | None) -> None:
+        """Bound the retained transition log (``None`` = keep everything).
+
+        With retention on, :meth:`finalize`/:attr:`transitions` cover only
+        the retained window; the running counters stay exact.
+        """
+        self._output.set_retention(max_retained)
 
     # ------------------------------------------------------------------
     # Subclass hooks

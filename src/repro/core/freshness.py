@@ -18,6 +18,13 @@ b. the previous deadline expired before this arrival — an S-transition is
    (provided the new deadline is in the future);
 c. the new deadline is already in the past (a very stale message) — output
    is (or becomes) S.
+
+Long-lived online users (the live monitor) additionally need the log to
+cost O(1) per query and bounded memory per detector, so the tracker keeps
+*running* counters (``n_transitions``, ``n_suspicions``), supports draining
+new transitions by absolute cursor (:meth:`transitions_since`) without
+copying the whole log, and can compact the log to a bounded tail
+(:meth:`set_retention`) while the counters stay exact.
 """
 
 from __future__ import annotations
@@ -36,6 +43,11 @@ class FreshnessOutput:
     *suspect* (Alg. 1 initializes the first freshness point to 0); metric
     computation conventionally starts the observation window at the first
     heartbeat, which :mod:`repro.qos.metrics` handles.
+
+    ``transitions`` holds the *retained* tail of the log: the full history
+    unless :meth:`set_retention` enabled compaction, in which case entries
+    with absolute index below :attr:`retained_from` have been dropped.
+    ``n_transitions`` / ``n_suspicions`` always count the full history.
     """
 
     trusting: bool = False
@@ -43,6 +55,10 @@ class FreshnessOutput:
     start_time: float | None = None
     last_event_time: float | None = None
     transitions: List[Tuple[float, bool]] = None  # (time, new-output-is-trust)
+    n_transitions: int = 0  # total ever recorded (compaction-proof)
+    n_suspicions: int = 0  # total S-transitions ever recorded
+    retained_from: int = 0  # absolute index of transitions[0]
+    max_retained: int | None = None  # None = keep the full log
 
     def __post_init__(self) -> None:
         if self.transitions is None:
@@ -51,6 +67,44 @@ class FreshnessOutput:
     def _transition(self, time: float, trust: bool) -> None:
         self.transitions.append((time, trust))
         self.trusting = trust
+        self.n_transitions += 1
+        if not trust:
+            self.n_suspicions += 1
+        # Amortized compaction: let the tail grow to 2x the retention
+        # bound, then cut it back in one O(max_retained) slice.
+        if (
+            self.max_retained is not None
+            and len(self.transitions) > 2 * self.max_retained
+        ):
+            del self.transitions[: len(self.transitions) - self.max_retained]
+            self.retained_from = self.n_transitions - len(self.transitions)
+
+    # ------------------------------------------------------------------
+    # O(1) accounting / bounded-memory API (live-monitor hot path)
+    # ------------------------------------------------------------------
+    def set_retention(self, max_retained: int | None) -> None:
+        """Bound the retained transition log to ``max_retained`` entries.
+
+        ``None`` disables compaction (the default: full history kept).
+        Counters and :meth:`transitions_since` cursors are absolute, so
+        enabling retention never corrupts accounting — only entries older
+        than the retained tail become unavailable to re-reads.
+        """
+        if max_retained is not None and max_retained < 1:
+            raise ValueError(f"max_retained must be positive, got {max_retained}")
+        self.max_retained = max_retained
+
+    def transitions_since(self, cursor: int) -> Tuple[List[Tuple[float, bool]], int]:
+        """Return ``(new transitions, new cursor)`` past absolute ``cursor``.
+
+        The cursor counts transitions ever recorded (start at 0); feeding
+        the returned cursor back yields only entries recorded in between —
+        an O(new) drain that never copies the full log.  Entries compacted
+        away before being drained are skipped (eager drainers never lose
+        any: compaction only ever drops the oldest half of the tail).
+        """
+        start = max(cursor - self.retained_from, 0)
+        return self.transitions[start:], self.n_transitions
 
     def on_heartbeat(self, arrival: float, deadline: float) -> None:
         """Record an accepted heartbeat and the deadline it establishes.

@@ -9,6 +9,16 @@ transitions — the live analogue of :class:`repro.qos.timeline.OutputTimeline`.
 ``OutputTimeline`` objects, so :func:`repro.qos.metrics.compute_metrics`
 scores a live run exactly as it scores a replayed one.
 
+The liveness poll is scheduled by a lazy-deletion min-heap of suspicion
+deadlines keyed by ``(peer, detector)``: every accepted heartbeat pushes
+its freshness point, :meth:`LiveMonitor.poll` pops only entries whose
+deadline has passed, and entries superseded by a fresher heartbeat are
+discarded on pop.  A tick therefore costs O(expired · log n) — an idle
+monitor does near-zero work per poll regardless of how many peers it
+watches (the §V "FD as a Service" scaling requirement).  The pre-heap
+full sweep survives as ``poll_mode="sweep"``, the reference the
+equivalence property tests and the live benchmark compare against.
+
 :class:`LiveMonitorServer` binds the engine to an asyncio UDP endpoint and
 a periodic poll task, optionally alongside the JSON status endpoint
 (:mod:`repro.live.status`).
@@ -22,8 +32,11 @@ observability fields of the status snapshot.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import logging
+import math
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
@@ -37,6 +50,9 @@ from repro.qos.timeline import OutputTimeline
 __all__ = ["LiveEvent", "LiveMonitor", "LiveMonitorServer", "PeerStatus"]
 
 logger = logging.getLogger("repro.live.monitor")
+
+#: Time constant (seconds) of the decayed heartbeat-rate estimate.
+RATE_TAU = 10.0
 
 
 @dataclass(frozen=True)
@@ -58,10 +74,105 @@ class LiveEvent:
         return "trust" if self.trusting else "suspect"
 
 
+class _EventLog:
+    """Ring buffer of emitted events with O(1) total/dropped accounting."""
+
+    __slots__ = ("_events", "max_events", "total")
+
+    def __init__(self, max_events: int | None):
+        if max_events is not None:
+            ensure_positive(max_events, "max_events")
+        self.max_events = max_events
+        self._events: deque = deque(maxlen=max_events)
+        self.total = 0
+
+    def append(self, event: LiveEvent) -> None:
+        self._events.append(event)
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._events)
+
+    def as_list(self) -> List[LiveEvent]:
+        return list(self._events)
+
+
+class _ListenerSet:
+    """Subscriber callbacks that can never take the detection path down.
+
+    A listener that raises is caught, counted, and logged — one bad
+    subscriber must not abort ``ingest``/``poll`` mid-drain (nor starve
+    the listeners registered after it).
+    """
+
+    __slots__ = ("_listeners", "n_errors")
+
+    def __init__(self) -> None:
+        self._listeners: List[Callable[[LiveEvent], None]] = []
+        self.n_errors = 0
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    def subscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            raise ValueError("listener is not subscribed") from None
+
+    def emit(self, event: LiveEvent) -> None:
+        for listener in tuple(self._listeners):
+            try:
+                listener(event)
+            except Exception:
+                self.n_errors += 1
+                logger.exception(
+                    "event listener %r raised; event %s dropped by it",
+                    listener,
+                    event,
+                )
+
+
+class _RateMeter:
+    """Exponentially decayed event-rate estimate (events/second).
+
+    A decayed counter ``N`` (half-life ``tau·ln 2``) is bumped per event;
+    ``N/tau`` estimates the recent rate with O(1) state — no timestamp
+    history, so it works at any peer count.
+    """
+
+    __slots__ = ("_tau", "_counter", "_last")
+
+    def __init__(self, tau: float = RATE_TAU):
+        self._tau = tau
+        self._counter = 0.0
+        self._last: float | None = None
+
+    def _decay(self, now: float) -> None:
+        if self._last is not None and now > self._last:
+            self._counter *= math.exp((self._last - now) / self._tau)
+        if self._last is None or now > self._last:
+            self._last = now
+
+    def update(self, now: float) -> None:
+        self._decay(now)
+        self._counter += 1.0
+
+    def rate(self, now: float) -> float:
+        self._decay(now)
+        return self._counter / self._tau
+
+
 class _PeerState:
     """Everything the monitor tracks about one heartbeat sender."""
 
     __slots__ = (
+        "name",
+        "index",
         "detectors",
         "consumed",
         "n_datagrams",
@@ -73,9 +184,13 @@ class _PeerState:
         "last_seq",
     )
 
-    def __init__(self, detectors: Dict[str, HeartbeatFailureDetector]):
+    def __init__(
+        self, name: str, index: int, detectors: Dict[str, HeartbeatFailureDetector]
+    ):
+        self.name = name
+        self.index = index  # discovery order: fixes the event drain order
         self.detectors = detectors
-        self.consumed = {name: 0 for name in detectors}  # transitions drained
+        self.consumed = {det: 0 for det in detectors}  # absolute drain cursors
         self.n_datagrams = 0
         self.n_accepted = 0
         self.n_stale = 0
@@ -128,6 +243,19 @@ class LiveMonitor:
         self-configuring detectors).
     clock:
         Monotonic time source (injectable for tests).
+    poll_mode:
+        ``"heap"`` (default) schedules expiries on the deadline heap —
+        O(expired · log n) per poll; ``"sweep"`` is the reference full
+        walk over every peer and detector — O(peers · detectors) per
+        poll.  Both emit identical event streams.
+    max_events:
+        Ring-buffer capacity for the retained event history (``None`` =
+        unbounded).  Totals and drop counts stay exact either way.
+    transition_retention:
+        Per-detector transition-log compaction: retain at most this many
+        log entries per detector (``None`` = full history).  Running
+        suspicion counters stay exact; :meth:`timelines` is exact over
+        the retained window (full history when off).
     """
 
     def __init__(
@@ -137,10 +265,19 @@ class LiveMonitor:
         params: Mapping[str, float | None] | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        poll_mode: str = "heap",
+        max_events: int | None = None,
+        transition_retention: int | None = None,
     ):
         ensure_positive(interval, "interval")
         if not detectors:
             raise ValueError("at least one detector name is required")
+        if poll_mode not in ("heap", "sweep"):
+            raise ValueError(
+                f"poll_mode must be 'heap' or 'sweep', got {poll_mode!r}"
+            )
+        if transition_retention is not None:
+            ensure_positive(transition_retention, "transition_retention")
         self._interval = float(interval)
         self._params = dict(params or {})
         unknown = set(self._params) - set(detectors)
@@ -153,12 +290,25 @@ class LiveMonitor:
         # front, not TypeErrors when the first heartbeat arrives).
         for name in self._detector_names:
             make_tuned(name, self._interval, self._params.get(name))
+        self._det_index = {name: i for i, name in enumerate(self._detector_names)}
         self._peers: Dict[str, _PeerState] = {}
+        self._peer_by_index: List[_PeerState] = []
         self._clock = clock
         self._epoch: float | None = None
-        self._listeners: List[Callable[[LiveEvent], None]] = []
-        self._events: List[LiveEvent] = []
+        self._poll_mode = poll_mode
+        self._retention = transition_retention
+        # Lazy-deletion deadline heap: (deadline, peer index, detector
+        # index).  Entries are never removed on supersede; a popped entry
+        # is acted on only if it still matches the detector's current
+        # freshness point.
+        self._heap: List[Tuple[float, int, int]] = []
+        self._listeners = _ListenerSet()
+        self._events = _EventLog(max_events)
+        self._rate = _RateMeter()
         self.n_malformed = 0
+        self.n_polls = 0
+        self.last_poll_duration: float | None = None
+        self.last_poll_stats: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -170,17 +320,54 @@ class LiveMonitor:
         return self._detector_names
 
     @property
+    def poll_mode(self) -> str:
+        return self._poll_mode
+
+    @property
     def peers(self) -> Tuple[str, ...]:
         return tuple(self._peers)
 
     @property
+    def n_peers(self) -> int:
+        return len(self._peers)
+
+    @property
+    def heap_size(self) -> int:
+        """Live + stale entries currently on the deadline heap."""
+        return len(self._heap)
+
+    @property
     def events(self) -> List[LiveEvent]:
-        """All events emitted so far (chronological per peer/detector)."""
-        return list(self._events)
+        """Retained events (chronological per peer/detector).
+
+        The full history unless ``max_events`` bounded the ring buffer;
+        ``n_events_total`` / ``n_events_dropped`` always account exactly.
+        """
+        return self._events.as_list()
+
+    @property
+    def n_events_total(self) -> int:
+        return self._events.total
+
+    @property
+    def n_events_dropped(self) -> int:
+        return self._events.dropped
+
+    @property
+    def n_listener_errors(self) -> int:
+        return self._listeners.n_errors
 
     def subscribe(self, listener: Callable[[LiveEvent], None]) -> None:
-        """Register a callback invoked synchronously for every new event."""
-        self._listeners.append(listener)
+        """Register a callback invoked synchronously for every new event.
+
+        A raising listener is caught, counted (``n_listener_errors``) and
+        logged — it cannot abort detection or starve other listeners.
+        """
+        self._listeners.subscribe(listener)
+
+    def unsubscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        """Remove a previously subscribed callback (ValueError if absent)."""
+        self._listeners.unsubscribe(listener)
 
     def now(self) -> float:
         """Monitor-relative current time (0 at first ingest/poll)."""
@@ -188,6 +375,12 @@ class LiveMonitor:
         if self._epoch is None:
             self._epoch = t
         return t - self._epoch
+
+    def heartbeat_rate(self, now: float | None = None) -> float:
+        """Decayed heartbeats/second over all peers (time constant 10 s)."""
+        if now is None:
+            now = self.now()
+        return self._rate.rate(now)
 
     # ------------------------------------------------------------------
     def ingest(self, data: bytes, arrival: float | None = None) -> Heartbeat | None:
@@ -205,16 +398,26 @@ class LiveMonitor:
             self.n_malformed += 1
             logger.debug("dropping malformed datagram: %s", exc)
             return None
+        self._rate.update(arrival)
         state = self._peers.get(hb.sender)
         if state is None:
             state = _PeerState(
+                hb.sender,
+                len(self._peer_by_index),
                 {
                     name: make_tuned(name, self._interval, self._params.get(name))
                     for name in self._detector_names
-                }
+                },
             )
+            if self._retention is not None:
+                for det in state.detectors.values():
+                    det.set_transition_retention(self._retention)
             self._peers[hb.sender] = state
-            logger.info(structured("peer-discovered", peer=hb.sender, arrival=arrival))
+            self._peer_by_index.append(state)
+            if logger.isEnabledFor(logging.INFO):
+                logger.info(
+                    structured("peer-discovered", peer=hb.sender, arrival=arrival)
+                )
         state.n_datagrams += 1
         accepted = False
         for det in state.detectors.values():
@@ -226,44 +429,95 @@ class LiveMonitor:
             state.last_timestamp = hb.timestamp
             if state.first_arrival is None:
                 state.first_arrival = arrival
+            # Schedule the new freshness points (lazy deletion: the
+            # superseded entries stay until popped).
+            for name, det in state.detectors.items():
+                deadline = det.suspicion_deadline
+                if deadline is not None:
+                    heapq.heappush(
+                        self._heap,
+                        (deadline, state.index, self._det_index[name]),
+                    )
         else:
             state.n_stale += 1
         self._drain(hb.sender, state)
         return hb
 
     def poll(self, now: float | None = None) -> List[LiveEvent]:
-        """Materialize deadline expiries up to ``now``; return new events."""
+        """Materialize deadline expiries up to ``now``; return new events.
+
+        Heap mode pops only entries whose deadline has *strictly* passed
+        (matching :meth:`FreshnessOutput.advance_to`'s strict comparison:
+        a deadline landing exactly on ``now`` has not expired yet and its
+        entry must stay scheduled), then drains affected peers in
+        discovery order — the same event order the full sweep emits.
+        """
         if now is None:
             now = self.now()
+        t0 = time.perf_counter()
+        n_pops = 0
+        n_expired = 0
         fresh: List[LiveEvent] = []
-        for peer, state in self._peers.items():
-            for det in state.detectors.values():
+        if self._poll_mode == "sweep":
+            for peer, state in self._peers.items():
+                for det in state.detectors.values():
+                    det.advance_to(now)
+                fresh.extend(self._drain(peer, state))
+        else:
+            heap = self._heap
+            expired_peers: set = set()
+            while heap and heap[0][0] < now:
+                deadline, pidx, didx = heapq.heappop(heap)
+                n_pops += 1
+                state = self._peer_by_index[pidx]
+                det = state.detectors[self._detector_names[didx]]
+                if det.suspicion_deadline != deadline:
+                    continue  # superseded by a fresher heartbeat
                 det.advance_to(now)
-            fresh.extend(self._drain(peer, state))
+                n_expired += 1
+                expired_peers.add(pidx)
+            for pidx in sorted(expired_peers):
+                state = self._peer_by_index[pidx]
+                fresh.extend(self._drain(state.name, state))
+        self.n_polls += 1
+        self.last_poll_duration = time.perf_counter() - t0
+        self.last_poll_stats = {
+            "now": now,
+            "mode": self._poll_mode,
+            "duration": self.last_poll_duration,
+            "n_pops": n_pops,
+            "n_expired": n_expired,
+            "n_events": len(fresh),
+        }
         return fresh
 
     def _drain(self, peer: str, state: _PeerState) -> List[LiveEvent]:
-        """Convert any new detector transitions into emitted events."""
+        """Convert any new detector transitions into emitted events.
+
+        Incremental: each detector is drained from an absolute cursor
+        (O(new transitions) per call, no full-log copies).
+        """
         fresh: List[LiveEvent] = []
         for name, det in state.detectors.items():
-            transitions = det.transitions
-            start = state.consumed[name]
-            for t, trusting in transitions[start:]:
-                event = LiveEvent(time=t, peer=peer, detector=name, trusting=trusting)
-                fresh.append(event)
-            state.consumed[name] = len(transitions)
-        for event in fresh:
-            self._events.append(event)
-            logger.info(
-                structured(
-                    event.kind,
-                    peer=event.peer,
-                    detector=event.detector,
-                    time=event.time,
+            new, state.consumed[name] = det.drain_transitions(state.consumed[name])
+            for t, trusting in new:
+                fresh.append(
+                    LiveEvent(time=t, peer=peer, detector=name, trusting=trusting)
                 )
-            )
-            for listener in self._listeners:
-                listener(event)
+        if fresh:
+            log_events = logger.isEnabledFor(logging.INFO)
+            for event in fresh:
+                self._events.append(event)
+                if log_events:
+                    logger.info(
+                        structured(
+                            event.kind,
+                            peer=event.peer,
+                            detector=event.detector,
+                            time=event.time,
+                        )
+                    )
+                self._listeners.emit(event)
         return fresh
 
     # ------------------------------------------------------------------
@@ -274,19 +528,56 @@ class LiveMonitor:
             now = self.now()
         return state.detectors[detector].is_trusting(now)
 
-    def snapshot(self, now: float | None = None) -> dict:
-        """JSON-able full state: what the status endpoint serves."""
+    def monitor_load(self, now: float | None = None) -> dict:
+        """O(1) monitor-side load/health counters (the ``monitor`` block)."""
         if now is None:
             now = self.now()
+        return {
+            "n_peers": len(self._peers),
+            "poll_mode": self._poll_mode,
+            "heap_size": len(self._heap),
+            "heartbeat_rate": self._rate.rate(now),
+            "n_polls": self.n_polls,
+            "last_poll_duration": self.last_poll_duration,
+            "last_poll_expired": (
+                self.last_poll_stats["n_expired"] if self.last_poll_stats else None
+            ),
+            "n_events_total": self._events.total,
+            "n_events_dropped": self._events.dropped,
+            "max_events": self._events.max_events,
+            "n_listener_errors": self._listeners.n_errors,
+            "transition_retention": self._retention,
+        }
+
+    def snapshot(self, now: float | None = None, *, include_peers: bool = True) -> dict:
+        """JSON-able full state: what the status endpoint serves.
+
+        Every counter is maintained incrementally, so the cost is
+        O(peers · detectors) for the per-peer listing and independent of
+        how long the monitor has been running (transition-history length
+        never enters).  ``include_peers=False`` returns just the summary
+        head — constant-size, however many peers are being watched.
+        """
+        if now is None:
+            now = self.now()
+        snap = {
+            "now": now,
+            "interval": self._interval,
+            "detectors": list(self._detector_names),
+            "n_malformed": self.n_malformed,
+            "n_events": self._events.total,
+            "monitor": self.monitor_load(now),
+        }
+        if not include_peers:
+            return snap
         peers = {}
         for peer, state in self._peers.items():
             detectors = {}
             for name, det in state.detectors.items():
-                n_suspicions = sum(1 for t, trust in det.transitions if not trust)
                 detectors[name] = {
                     "trusting": det.is_trusting(now),
                     "freshness_point": det.suspicion_deadline,
-                    "n_suspicions": n_suspicions,
+                    "n_suspicions": det.n_suspicions,
                     "largest_seq": det.largest_seq,
                 }
             offset = None
@@ -302,21 +593,21 @@ class LiveMonitor:
                 clock_offset_estimate=offset,
                 detectors=detectors,
             ).as_dict()
-        return {
-            "now": now,
-            "interval": self._interval,
-            "detectors": list(self._detector_names),
-            "n_malformed": self.n_malformed,
-            "n_events": len(self._events),
-            "peers": peers,
-        }
+        snap["peers"] = peers
+        return snap
+
+    def summary(self, now: float | None = None) -> dict:
+        """Constant-size snapshot head (no per-peer listing)."""
+        return self.snapshot(now, include_peers=False)
 
     def timelines(self, end: float | None = None) -> Dict[str, Dict[str, OutputTimeline]]:
         """Close the run at ``end``; return per-peer per-detector timelines.
 
         Each timeline spans ``[first heartbeat arrival, end]``, the same
         observation-window convention as the replay pipeline, so
-        :func:`repro.qos.metrics.compute_metrics` applies directly.
+        :func:`repro.qos.metrics.compute_metrics` applies directly.  With
+        ``transition_retention`` set, a timeline is exact over the
+        retained transition window (the full run when compaction is off).
         """
         if end is None:
             end = self.now()
@@ -399,7 +690,10 @@ class LiveMonitorServer:
         self.address = (sock[0], sock[1])
         if self._status_port is not None:
             self.status = StatusServer(
-                self.monitor.snapshot, host=self._status_host, port=self._status_port
+                self.monitor.snapshot,
+                host=self._status_host,
+                port=self._status_port,
+                summary=self.monitor.summary,
             )
             await self.status.start()
         self._poll_task = asyncio.create_task(self._poll_loop())
@@ -414,10 +708,27 @@ class LiveMonitorServer:
         )
         return self.address
 
+    @staticmethod
+    def _next_tick(start: float, k: int, tick: float, now: float) -> Tuple[int, float]:
+        """Absolute-deadline pacing: deadline of tick ``k+1``, skipping
+        slots already missed (so a stall never causes a catch-up burst,
+        and sleep jitter never accumulates — the same discipline as
+        ``heartbeater.py``)."""
+        k += 1
+        target = start + k * tick
+        if target <= now:
+            k = int((now - start) / tick) + 1
+            target = start + k * tick
+        return k, target
+
     async def _poll_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        k = 0
         while True:
             self.monitor.poll()
-            await asyncio.sleep(self._tick)
+            k, target = self._next_tick(start, k, self._tick, loop.time())
+            await asyncio.sleep(max(0.0, target - loop.time()))
 
     async def stop(self) -> None:
         """Shut everything down; one final poll flushes pending expiries."""
@@ -435,4 +746,4 @@ class LiveMonitorServer:
             await self.status.stop()
             self.status = None
         self.monitor.poll()
-        logger.info(structured("monitor-stopped", n_events=len(self.monitor.events)))
+        logger.info(structured("monitor-stopped", n_events=self.monitor.n_events_total))

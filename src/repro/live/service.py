@@ -29,7 +29,7 @@ import logging
 import time
 from typing import Callable, Dict, List, Sequence
 
-from repro.live.monitor import LiveEvent
+from repro.live.monitor import LiveEvent, _EventLog, _ListenerSet
 from repro.live.status import structured
 from repro.live.wire import Heartbeat, WireError
 from repro.qos.estimators import NetworkBehavior
@@ -68,6 +68,8 @@ class LiveSharedMonitor:
         peer: str = "p",
         service: FDService | None = None,
         clock: Callable[[], float] = time.monotonic,
+        max_events: int | None = None,
+        transition_retention: int | None = None,
     ):
         self.shared = monitor
         self.service = service
@@ -77,8 +79,10 @@ class LiveSharedMonitor:
         self._consumed: Dict[str, int] = {
             name: 0 for name in monitor.application_names
         }
-        self._events: List[LiveEvent] = []
-        self._listeners: List[Callable[[LiveEvent], None]] = []
+        if transition_retention is not None:
+            monitor.set_transition_retention(transition_retention)
+        self._events = _EventLog(max_events)
+        self._listeners = _ListenerSet()
         self.n_datagrams = 0
         self.n_accepted = 0
         self.n_stale = 0
@@ -96,6 +100,8 @@ class LiveSharedMonitor:
         *,
         peer: str = "p",
         clock: Callable[[], float] = time.monotonic,
+        max_events: int | None = None,
+        transition_retention: int | None = None,
         **service_kwargs: object,
     ) -> "LiveSharedMonitor":
         """Run §V-C Steps 1-4 and wrap the resulting shared monitor.
@@ -105,7 +111,14 @@ class LiveSharedMonitor:
         :class:`~repro.live.heartbeater.Heartbeater` with it.
         """
         service = FDService(applications, behavior, **service_kwargs)
-        return cls(service.monitor, peer=peer, service=service, clock=clock)
+        return cls(
+            service.monitor,
+            peer=peer,
+            service=service,
+            clock=clock,
+            max_events=max_events,
+            transition_retention=transition_retention,
+        )
 
     @property
     def heartbeat_interval(self) -> float:
@@ -118,10 +131,29 @@ class LiveSharedMonitor:
 
     @property
     def events(self) -> List[LiveEvent]:
-        return list(self._events)
+        """Retained events (ring-buffered when ``max_events`` is set)."""
+        return self._events.as_list()
+
+    @property
+    def n_events_total(self) -> int:
+        return self._events.total
+
+    @property
+    def n_events_dropped(self) -> int:
+        return self._events.dropped
+
+    @property
+    def n_listener_errors(self) -> int:
+        return self._listeners.n_errors
 
     def subscribe(self, listener: Callable[[LiveEvent], None]) -> None:
-        self._listeners.append(listener)
+        """Register a callback for every new event; exceptions it raises
+        are caught, counted, and logged, never propagated into detection."""
+        self._listeners.subscribe(listener)
+
+    def unsubscribe(self, listener: Callable[[LiveEvent], None]) -> None:
+        """Remove a previously subscribed callback (ValueError if absent)."""
+        self._listeners.unsubscribe(listener)
 
     def now(self) -> float:
         t = self._clock()
@@ -164,22 +196,25 @@ class LiveSharedMonitor:
     def _drain(self) -> List[LiveEvent]:
         fresh: List[LiveEvent] = []
         for name in self.shared.application_names:
-            transitions = self.shared.transitions(name)
-            for t, trusting in transitions[self._consumed[name] :]:
+            new, self._consumed[name] = self.shared.drain_transitions(
+                name, self._consumed[name]
+            )
+            for t, trusting in new:
                 fresh.append(
                     LiveEvent(time=t, peer=self.peer, detector=name, trusting=trusting)
                 )
-            self._consumed[name] = len(transitions)
-        for event in fresh:
-            self._events.append(event)
-            logger.info(
-                structured(
-                    event.kind, peer=event.peer, application=event.detector,
-                    time=event.time,
-                )
-            )
-            for listener in self._listeners:
-                listener(event)
+        if fresh:
+            log_events = logger.isEnabledFor(logging.INFO)
+            for event in fresh:
+                self._events.append(event)
+                if log_events:
+                    logger.info(
+                        structured(
+                            event.kind, peer=event.peer, application=event.detector,
+                            time=event.time,
+                        )
+                    )
+                self._listeners.emit(event)
         return fresh
 
     # ------------------------------------------------------------------
@@ -189,14 +224,11 @@ class LiveSharedMonitor:
             now = self.now()
         applications = {}
         for name in self.shared.application_names:
-            n_suspicions = sum(
-                1 for _, trust in self.shared.transitions(name) if not trust
-            )
             applications[name] = {
                 "trusting": self.shared.is_trusting(name, now),
                 "freshness_point": self.shared.suspicion_deadline(name),
                 "margin": self.shared.margin(name),
-                "n_suspicions": n_suspicions,
+                "n_suspicions": self.shared.n_suspicions(name),
             }
         snap = {
             "now": now,
@@ -208,7 +240,9 @@ class LiveSharedMonitor:
             "n_stale": self.n_stale,
             "n_foreign": self.n_foreign,
             "n_malformed": self.n_malformed,
-            "n_events": len(self._events),
+            "n_events": self._events.total,
+            "n_events_dropped": self._events.dropped,
+            "n_listener_errors": self._listeners.n_errors,
             "applications": applications,
         }
         if self.service is not None:

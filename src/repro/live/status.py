@@ -2,10 +2,17 @@
 
 :class:`StatusServer` serves one JSON document per TCP connection on a
 local port — per-peer detector state, arrival counts, current freshness
-points, mistake counters (whatever the wrapped ``snapshot`` callable
+points, monitor-load counters (whatever the wrapped ``snapshot`` callable
 reports).  The protocol is deliberately trivial: connect, read until EOF,
 parse.  ``nc 127.0.0.1 <port>`` works; so does :func:`fetch_status`, the
 in-process client the CLI's ``repro-fd live status`` uses.
+
+At large peer counts the full snapshot can run to megabytes, so a client
+may optionally send ``summary\\n`` (then half-close) before reading: the
+server answers with the constant-size summary document instead (peer
+count, heartbeat rate, poll cost, heap size — the ``monitor`` block).  A
+client that sends nothing, or anything else, gets the full snapshot, so
+plain ``nc`` keeps working unchanged.
 
 :func:`structured` formats JSON-lines log records: every noteworthy runtime
 event (peer discovered, suspicion raised, monitor started/stopped) is
@@ -23,6 +30,10 @@ from typing import Callable, Tuple
 __all__ = ["StatusServer", "afetch_status", "fetch_status", "structured"]
 
 logger = logging.getLogger("repro.live.status")
+
+#: How long the server waits for an optional request line before falling
+#: back to the full snapshot (keeps bare ``nc`` connections working).
+REQUEST_TIMEOUT = 0.25
 
 
 def structured(event: str, **fields: object) -> str:
@@ -50,15 +61,23 @@ def _unserializable(value: object) -> bool:
 
 
 class StatusServer:
-    """Serve ``snapshot()`` as one JSON document per TCP connection."""
+    """Serve ``snapshot()`` as one JSON document per TCP connection.
+
+    ``summary`` is an optional second callable serving the constant-size
+    variant when the client requests it (see module docstring); without
+    it, every request gets the full snapshot.
+    """
 
     def __init__(
         self,
         snapshot: Callable[[], dict],
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        summary: Callable[[], dict] | None = None,
     ):
         self._snapshot = snapshot
+        self._summary = summary
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
@@ -74,11 +93,22 @@ class StatusServer:
         logger.info(structured("status-started", host=sock[0], port=sock[1]))
         return self.address
 
+    async def _read_request(self, reader: asyncio.StreamReader) -> bytes:
+        """The optional one-line request; empty on timeout / silent client."""
+        try:
+            return await asyncio.wait_for(reader.readline(), REQUEST_TIMEOUT)
+        except asyncio.TimeoutError:
+            return b""
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            body = json.dumps(self._snapshot(), sort_keys=True) + "\n"
+            request = await self._read_request(reader)
+            producer = self._snapshot
+            if self._summary is not None and request.strip() == b"summary":
+                producer = self._summary
+            body = json.dumps(producer(), sort_keys=True) + "\n"
         except Exception as exc:  # snapshot bugs must not kill the server
             logger.exception("status snapshot failed")
             body = json.dumps({"error": str(exc)}) + "\n"
@@ -102,11 +132,15 @@ class StatusServer:
             logger.info(structured("status-stopped"))
 
 
-async def _fetch(host: str, port: int, timeout: float) -> dict:
+async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout
     )
     try:
+        writer.write(b"summary\n" if summary else b"\n")
+        if writer.can_write_eof():
+            writer.write_eof()  # tell the server no more request is coming
+        await writer.drain()
         raw = await asyncio.wait_for(reader.read(), timeout)
     finally:
         writer.close()
@@ -117,18 +151,27 @@ async def _fetch(host: str, port: int, timeout: float) -> dict:
     return json.loads(raw.decode("utf-8"))
 
 
-def fetch_status(host: str, port: int, *, timeout: float = 5.0) -> dict:
-    """Fetch and parse one status document (synchronous client)."""
+def fetch_status(
+    host: str, port: int, *, timeout: float = 5.0, summary: bool = False
+) -> dict:
+    """Fetch and parse one status document (synchronous client).
+
+    ``summary=True`` requests the constant-size summary head instead of
+    the full per-peer listing (servers without summary support still
+    answer with the full document).
+    """
     try:
         asyncio.get_running_loop()
     except RuntimeError:
-        return asyncio.run(_fetch(host, port, timeout))
+        return asyncio.run(_fetch(host, port, timeout, summary))
     raise RuntimeError(
         "fetch_status() is synchronous; inside an event loop await "
         "status.afetch_status(...) instead"
     )
 
 
-async def afetch_status(host: str, port: int, *, timeout: float = 5.0) -> dict:
+async def afetch_status(
+    host: str, port: int, *, timeout: float = 5.0, summary: bool = False
+) -> dict:
     """Async variant of :func:`fetch_status` for use inside an event loop."""
-    return await _fetch(host, port, timeout)
+    return await _fetch(host, port, timeout, summary)

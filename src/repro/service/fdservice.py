@@ -128,9 +128,30 @@ class SharedFDMonitor:
             out.advance_to(now)
 
     def transitions(self, name: str) -> List[Tuple[float, bool]]:
-        """Application ``name``'s transition log so far (time, trust)."""
+        """Application ``name``'s retained transition log (time, trust)."""
         self._require(name)
         return list(self._outputs[name].transitions)
+
+    def n_suspicions(self, name: str) -> int:
+        """Total S-transitions ever recorded for ``name`` (O(1))."""
+        self._require(name)
+        return self._outputs[name].n_suspicions
+
+    def drain_transitions(
+        self, name: str, cursor: int
+    ) -> Tuple[List[Tuple[float, bool]], int]:
+        """``(new transitions, new cursor)`` for ``name`` past ``cursor``.
+
+        Absolute-cursor incremental drain, O(new) per call — the live
+        bridge's event-stream hot path.
+        """
+        self._require(name)
+        return self._outputs[name].transitions_since(cursor)
+
+    def set_transition_retention(self, max_retained: int | None) -> None:
+        """Bound every application's retained transition log."""
+        for out in self._outputs.values():
+            out.set_retention(max_retained)
 
     def finalize(self, end_time: float) -> Dict[str, List[Tuple[float, bool]]]:
         """Close all applications' observation windows; return transitions."""

@@ -87,3 +87,38 @@ class TestOutputContract:
         det.receive(1, 1.0)
         det.advance_to(3.0)
         assert det.transitions == [(1.0, True), (2.0, False)]
+
+
+class TestIncrementalDrainAPI:
+    """The O(1)-accounting surface the live monitor's hot path uses."""
+
+    def _flap(self, det, cycles):
+        for c in range(cycles):
+            det.receive(c + 1, 10.0 * c)  # deadline = arrival + 1
+            det.advance_to(10.0 * c + 9.0)
+
+    def test_running_counters(self):
+        det = _Probe()
+        self._flap(det, 6)
+        assert det.n_transitions == 12
+        assert det.n_suspicions == 6
+        assert det.n_suspicions == sum(1 for _, s in det.transitions if not s)
+
+    def test_drain_transitions_incremental(self):
+        det = _Probe()
+        det.receive(1, 1.0)
+        new, cursor = det.drain_transitions(0)
+        assert new == [(1.0, True)]
+        new, cursor = det.drain_transitions(cursor)
+        assert new == []
+        det.advance_to(10.0)
+        new, cursor = det.drain_transitions(cursor)
+        assert new == [(2.0, False)]
+
+    def test_retention_bounds_log_keeps_counters(self):
+        det = _Probe()
+        det.set_transition_retention(3)
+        self._flap(det, 40)
+        assert len(det.transitions) <= 6
+        assert det.n_transitions == 80
+        assert det.n_suspicions == 40

@@ -101,3 +101,95 @@ class TestFinalize:
         assert all(a != b for a, b in zip(states, states[1:]))
         times = [t for t, _ in trans]
         assert times == sorted(times)
+
+
+def _flap(out, cycles):
+    """One trust + one suspect transition per cycle (long silences)."""
+    for c in range(cycles):
+        out.on_heartbeat(10.0 * c, 10.0 * c + 1.0)
+        out.advance_to(10.0 * c + 9.0)
+
+
+class TestRunningCounters:
+    def test_counts_match_log(self):
+        out = FreshnessOutput()
+        _flap(out, 7)
+        assert out.n_transitions == len(out.transitions) == 14
+        assert out.n_suspicions == 7
+        assert out.n_suspicions == sum(1 for _, s in out.transitions if not s)
+
+    def test_empty(self):
+        out = FreshnessOutput()
+        assert out.n_transitions == 0
+        assert out.n_suspicions == 0
+
+
+class TestTransitionsSince:
+    def test_incremental_drain(self):
+        out = FreshnessOutput()
+        out.on_heartbeat(1.0, 2.0)
+        new, cursor = out.transitions_since(0)
+        assert new == [(1.0, True)]
+        assert cursor == 1
+        new, cursor = out.transitions_since(cursor)
+        assert new == []
+        out.advance_to(5.0)
+        new, cursor = out.transitions_since(cursor)
+        assert new == [(2.0, False)]
+        assert cursor == 2
+
+    def test_stale_cursor_skips_compacted_entries(self):
+        out = FreshnessOutput()
+        out.set_retention(2)
+        _, cursor = out.transitions_since(0)
+        _flap(out, 20)  # compacts several times
+        new, cursor = out.transitions_since(cursor)
+        # A drainer that slept through compaction gets the retained tail
+        # only — never duplicates, never an index error — and its new
+        # cursor is caught up to the absolute count.
+        assert new == out.transitions
+        assert cursor == out.n_transitions == 40
+
+    def test_eager_drainer_never_loses_transitions(self):
+        out = FreshnessOutput()
+        out.set_retention(2)
+        drained = []
+        cursor = 0
+        for c in range(20):
+            out.on_heartbeat(10.0 * c, 10.0 * c + 1.0)
+            out.advance_to(10.0 * c + 9.0)
+            new, cursor = out.transitions_since(cursor)
+            drained.extend(new)
+        reference = FreshnessOutput()
+        _flap(reference, 20)
+        assert drained == reference.transitions
+
+
+class TestRetention:
+    def test_log_bounded_counters_exact(self):
+        out = FreshnessOutput()
+        out.set_retention(3)
+        _flap(out, 50)
+        assert len(out.transitions) <= 6  # amortized 2x bound
+        assert out.n_transitions == 100
+        assert out.n_suspicions == 50
+        assert out.retained_from == out.n_transitions - len(out.transitions)
+
+    def test_retained_tail_is_exact_suffix(self):
+        full = FreshnessOutput()
+        compact = FreshnessOutput()
+        compact.set_retention(3)
+        _flap(full, 50)
+        _flap(compact, 50)
+        k = len(compact.transitions)
+        assert compact.transitions == full.transitions[-k:]
+
+    def test_disabled_by_default(self):
+        out = FreshnessOutput()
+        _flap(out, 50)
+        assert len(out.transitions) == out.n_transitions == 100
+
+    def test_invalid_retention(self):
+        out = FreshnessOutput()
+        with pytest.raises(ValueError, match="max_retained"):
+            out.set_retention(0)

@@ -116,6 +116,12 @@ def test_crash_is_detected_by_every_registry_detector():
                 assert dets[name]["n_suspicions"] >= 1, name
             assert status["n_events"] == len(monitor.events)
 
+            # 2b. The summary protocol serves the constant-size document.
+            summary = await afetch_status(host, port, summary=True)
+            assert "peers" not in summary
+            assert summary["monitor"]["n_peers"] == 1
+            assert summary["monitor"]["poll_mode"] == "heap"
+
         # 3. The live timelines score like any replayed run.
         end = monitor.now()
         for name, tl in monitor.timelines(end)["p"].items():

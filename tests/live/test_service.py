@@ -126,3 +126,61 @@ class TestTimelines:
 
     def test_empty_before_first_arrival(self):
         assert _live().timelines(10.0) == {}
+
+
+class TestListenerHardening:
+    def test_raising_listener_counted_not_raised(self):
+        live = _live()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("subscriber bug")
+
+        live.subscribe(bad)
+        live.subscribe(seen.append)
+        live.ingest(_hb(1), 0.1)
+        live.poll(60.0)  # long silence: every app suspects
+        assert live.n_listener_errors > 0
+        assert len(seen) == live.n_events_total  # good listener got them all
+        assert live.snapshot(60.0)["n_listener_errors"] == live.n_listener_errors
+
+    def test_unsubscribe(self):
+        live = _live()
+        seen = []
+        live.subscribe(seen.append)
+        live.ingest(_hb(1), 0.1)
+        n_before = len(seen)
+        live.unsubscribe(seen.append)
+        live.poll(60.0)
+        assert len(seen) == n_before
+        with pytest.raises(ValueError, match="not subscribed"):
+            live.unsubscribe(seen.append)
+
+
+class TestBoundedMemory:
+    def test_event_ring_buffer(self):
+        live = LiveSharedMonitor.from_applications(
+            _apps(), _behavior(), max_events=3
+        )
+        for c in range(8):  # flap: one trust + suspects per cycle per app
+            live.ingest(_hb(c + 1), 100.0 * c)
+            live.poll(100.0 * c + 90.0)
+        assert len(live.events) == 3
+        assert live.n_events_total > 3
+        assert live.n_events_dropped == live.n_events_total - 3
+        snap = live.snapshot(1000.0)
+        assert snap["n_events"] == live.n_events_total
+        assert snap["n_events_dropped"] == live.n_events_dropped
+
+    def test_transition_retention_keeps_counters(self):
+        live = LiveSharedMonitor.from_applications(
+            _apps(), _behavior(), transition_retention=2
+        )
+        cycles = 30
+        for c in range(cycles):
+            live.ingest(_hb(c + 1), 100.0 * c)
+            live.poll(100.0 * c + 90.0)
+        snap = live.snapshot(100.0 * cycles)
+        for name in live.application_names:
+            assert snap["applications"][name]["n_suspicions"] == cycles
+            assert len(live.shared.transitions(name)) <= 4

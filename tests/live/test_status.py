@@ -1,0 +1,85 @@
+"""StatusServer protocol tests: full vs summary documents, silent clients."""
+
+import asyncio
+
+from repro.live.status import REQUEST_TIMEOUT, StatusServer, afetch_status
+
+FULL = {"kind": "full", "peers": {"p": {}}}
+SUMMARY = {"kind": "summary"}
+
+
+def _serve(**kwargs):
+    return StatusServer(lambda: FULL, **kwargs)
+
+
+class TestSummaryProtocol:
+    def test_default_fetch_gets_full_document(self):
+        async def scenario():
+            server = _serve(summary=lambda: SUMMARY)
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == FULL
+
+    def test_summary_request_gets_summary(self):
+        async def scenario():
+            server = _serve(summary=lambda: SUMMARY)
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port, summary=True)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == SUMMARY
+
+    def test_summary_request_without_summary_support_gets_full(self):
+        """Old-style servers ignore the request line: never an error."""
+
+        async def scenario():
+            server = _serve()
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port, summary=True)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == FULL
+
+    def test_silent_client_gets_full_document(self):
+        """A bare connection that sends nothing (nc-style) still works."""
+
+        async def scenario():
+            server = _serve(summary=lambda: SUMMARY)
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    raw = await asyncio.wait_for(
+                        reader.read(), REQUEST_TIMEOUT + 5.0
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return raw
+            finally:
+                await server.stop()
+
+        raw = asyncio.run(scenario())
+        assert b'"kind": "full"' in raw
+
+    def test_snapshot_error_served_not_raised(self):
+        def boom():
+            raise RuntimeError("snapshot bug")
+
+        async def scenario():
+            server = StatusServer(boom)
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port)
+            finally:
+                await server.stop()
+
+        assert "snapshot bug" in asyncio.run(scenario())["error"]

@@ -184,6 +184,46 @@ class TestLiveCli:
         out = capsys.readouterr().out
         assert "monitoring UDP" in out
 
+    def test_monitor_scale_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["live", "monitor", "--max-events", "1000",
+             "--retain-transitions", "64", "--poll-mode", "sweep"]
+        )
+        assert args.max_events == 1000
+        assert args.retain_transitions == 64
+        assert args.poll_mode == "sweep"
+
+    def test_monitor_defaults_heap_unbounded(self):
+        args = build_parser().parse_args(["live", "monitor"])
+        assert args.poll_mode == "heap"
+        assert args.max_events is None
+        assert args.retain_transitions is None
+
+    def test_monitor_rejects_nonpositive_max_events(self, capsys):
+        code = main(["live", "monitor", "--max-events", "0"])
+        assert code == 2
+        assert "--max-events must be positive" in capsys.readouterr().err
+
+    def test_monitor_rejects_nonpositive_retention(self, capsys):
+        code = main(["live", "monitor", "--retain-transitions", "-3"])
+        assert code == 2
+        assert "--retain-transitions must be positive" in capsys.readouterr().err
+
+    def test_monitor_runs_with_scale_knobs(self, capsys):
+        code = main(
+            ["live", "monitor", "--port", "0", "--duration", "0.2",
+             "--detector", "bertier", "--max-events", "16",
+             "--retain-transitions", "32", "--poll-mode", "heap"]
+        )
+        assert code == 0
+        assert "monitoring UDP" in capsys.readouterr().out
+
+    def test_status_summary_flag_parses(self):
+        args = build_parser().parse_args(
+            ["live", "status", "--port", "9998", "--summary"]
+        )
+        assert args.summary is True
+
 
 class TestJsonExport:
     def test_run_writes_json(self, tmp_path, capsys):
