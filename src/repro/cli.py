@@ -174,6 +174,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also serve the JSON status endpoint on this local TCP port",
     )
+    p_mon.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N SO_REUSEPORT worker processes behind the UDP port, one "
+        "monitor per core; the status endpoint serves the merged document "
+        "(default 1 = single process; falls back to 1 where SO_REUSEPORT "
+        "is unavailable)",
+    )
+    p_mon.add_argument(
+        "--estimation",
+        choices=["shared", "private"],
+        default="shared",
+        help="per-peer arrival statistics: 'shared' pushes each accepted "
+        "heartbeat into one window set consumed by every detector "
+        "(default), 'private' keeps the reference per-detector copies",
+    )
 
     p_hb = live_sub.add_parser(
         "heartbeat", help="send UDP heartbeats (optionally through chaos)"
@@ -217,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fetch only the constant-size monitor-load summary "
         "(peer count, heartbeat rate, poll cost, heap size)",
+    )
+    p_st.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-attempt connect/read timeout in seconds (default 5)",
+    )
+    p_st.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed fetches N more times with exponential backoff "
+        "(0.1s, 0.2s, 0.4s, ...; default 0 = fail immediately)",
     )
 
     p_cfg = sub.add_parser(
@@ -451,10 +484,13 @@ def _cmd_live_monitor(args) -> int:
     for knob, value in (
         ("--max-events", args.max_events),
         ("--retain-transitions", args.retain_transitions),
+        ("--shards", args.shards),
     ):
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
             return 2
+    if args.shards > 1:
+        return _run_sharded_monitor(args, names, params)
 
     async def run() -> int:
         monitor = LiveMonitor(
@@ -462,6 +498,7 @@ def _cmd_live_monitor(args) -> int:
             names,
             params,
             poll_mode=args.poll_mode,
+            estimation=args.estimation,
             max_events=args.max_events,
             transition_retention=args.retain_transitions,
         )
@@ -497,6 +534,63 @@ def _cmd_live_monitor(args) -> int:
                         f"{peer}/{det}: {m.n_mistakes} suspicions, "
                         f"P_A={m.query_accuracy:.6f} over {m.duration:.1f}s"
                     )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_sharded_monitor(args, names, params) -> int:
+    import asyncio
+
+    from repro.live.shard import ShardedMonitor, reuseport_supported
+
+    if not reuseport_supported():
+        print(
+            "SO_REUSEPORT unavailable on this platform; "
+            "running a single monitor process",
+            file=sys.stderr,
+        )
+
+    async def run() -> int:
+        sharded = ShardedMonitor(
+            args.interval,
+            names,
+            params,
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            tick=args.tick,
+            status_port=args.status_port,
+            estimation=args.estimation,
+            poll_mode=args.poll_mode,
+            max_events=args.max_events,
+            transition_retention=args.retain_transitions,
+        )
+        async with sharded:
+            host, port = sharded.address
+            print(f"monitoring UDP {host}:{port} with {sharded.n_shards} "
+                  f"shard worker(s) (Δi={args.interval}s, detectors: "
+                  f"{', '.join(names)})")
+            if sharded.status is not None:
+                print(f"status endpoint: TCP {sharded.status.address[0]}:"
+                      f"{sharded.status.address[1]} (merged document)")
+            try:
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            snap = await sharded.snapshot()
+            load = snap.get("monitor", {})
+            print(
+                f"stopped: {load.get('n_peers', 0)} peer(s), "
+                f"{snap.get('n_events', 0)} event(s) across "
+                f"{snap.get('n_shards', '?')} shard(s)"
+            )
         return 0
 
     try:
@@ -564,10 +658,27 @@ def _cmd_live_status(args) -> int:
 
     from repro.live.status import fetch_status
 
+    if args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"--retries must be non-negative, got {args.retries}", file=sys.stderr)
+        return 2
     try:
-        snap = fetch_status(args.host, args.port, summary=args.summary)
+        snap = fetch_status(
+            args.host,
+            args.port,
+            summary=args.summary,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
     except (ConnectionError, OSError, TimeoutError) as exc:
-        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        attempts = f" after {args.retries + 1} attempts" if args.retries else ""
+        reason = str(exc) or type(exc).__name__
+        print(
+            f"cannot reach {args.host}:{args.port}{attempts}: {reason}",
+            file=sys.stderr,
+        )
         return 1
     print(json.dumps(snap, indent=2, sort_keys=True))
     return 0

@@ -3,6 +3,9 @@
 - :mod:`repro.core.windows` — O(1) sliding-window accumulators,
 - :mod:`repro.core.estimation` — Chen's expected-arrival estimator (Eq. 2),
   online and vectorized,
+- :mod:`repro.core.arrivalstats` — shared per-peer arrival statistics:
+  one set of windows pushed once per accepted heartbeat, consumed by every
+  detector whose window configuration matches (§V estimate-once semantics),
 - :mod:`repro.core.freshness` — freshness-point output semantics shared by
   every detector (trust iff a fresh message exists),
 - :mod:`repro.core.twofd` — :class:`TwoWindowFailureDetector` (2W-FD,
@@ -10,6 +13,7 @@
   :class:`MultiWindowFailureDetector`.
 """
 
+from repro.core.arrivalstats import SharedArrivalState
 from repro.core.base import HeartbeatFailureDetector
 from repro.core.estimation import ArrivalEstimator, expected_arrivals, windowed_means
 from repro.core.freshness import FreshnessOutput
@@ -21,6 +25,7 @@ __all__ = [
     "FreshnessOutput",
     "HeartbeatFailureDetector",
     "MultiWindowFailureDetector",
+    "SharedArrivalState",
     "SlidingWindow",
     "TwoWindowFailureDetector",
     "expected_arrivals",

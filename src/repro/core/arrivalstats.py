@@ -1,0 +1,239 @@
+"""Shared per-peer arrival statistics: estimate once, consume many times.
+
+A monitor running several detectors against one heartbeat stream (the
+paper's §V FD-as-a-service deployment) repeats the estimation layer per
+detector: the 2W-FD, Chen's FD, and the accrual detectors each keep private
+:class:`~repro.core.windows.SlidingWindow` copies over the *same* accepted
+arrivals, so a five-detector monitor pays ~5x the estimation cost per
+heartbeat.  :class:`SharedArrivalState` is the per-peer fix: one object owns
+every distinct window the detector set needs —
+
+- *normalized-arrival* windows (``A − Δi·s``, Chen's Eq. 2 input), keyed by
+  window size, backing :class:`~repro.core.estimation.ArrivalEstimator`;
+- *interarrival-gap* windows (the accrual detectors' Eq. 8-9 input), keyed
+  by window size;
+
+— and is pushed exactly **once** per accepted heartbeat via
+:meth:`receive`.  Detectors adopt the shared windows through
+:meth:`~repro.core.base.HeartbeatFailureDetector.bind_shared_arrivals`
+before the first heartbeat; two detectors requesting the same window
+configuration get the *same* object, so the arithmetic (and therefore every
+deadline and output transition) is bitwise identical to the private-copy
+path — the estimation work is simply not repeated.
+
+Bertier's detector reads the window *before* folding the new arrival in
+(its Jacobson error term compares the arrival against the prediction the
+detector held); :meth:`SharedArrivalState.track_pre_mean` serves it by
+capturing the pre-push normalized mean of the requested window at the top
+of every :meth:`receive` — the exact float the private estimator would
+have returned.  Detectors whose estimation state is not window-shaped at
+all decline the bind and keep private state; mixing shared and private
+detectors on one stream is fully supported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro._validation import ensure_positive
+from repro.core.estimation import ArrivalEstimator
+from repro.core.windows import SlidingWindow
+
+__all__ = ["SharedArrivalState"]
+
+
+class SharedArrivalState:
+    """Per-peer arrival statistics computed once per accepted heartbeat.
+
+    Parameters
+    ----------
+    interval:
+        The heartbeat interval Δi (needed to normalize arrivals per Eq. 2).
+    """
+
+    __slots__ = (
+        "_interval",
+        "_estimators",
+        "_gaps",
+        "_est_list",
+        "_gap_list",
+        "_pre_sizes",
+        "_pre_list",
+        "_pre_means",
+        "_prev_arrival",
+        "_largest_seq",
+    )
+
+    def __init__(self, interval: float):
+        self._interval = ensure_positive(interval, "interval")
+        self._estimators: Dict[int, ArrivalEstimator] = {}
+        self._gaps: Dict[int, SlidingWindow] = {}
+        # Tuple caches (estimator windows, gap windows) built lazily on
+        # the first receive (registration is closed by then) so the hot
+        # loop walks tuples, not dict views.
+        self._est_list: tuple | None = None
+        self._gap_list: tuple = ()
+        self._pre_sizes: set = set()
+        self._pre_list: tuple = ()
+        self._pre_means: Dict[int, float | None] = {}
+        self._prev_arrival: float | None = None
+        self._largest_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def largest_seq(self) -> int:
+        """Largest sequence number accepted so far (0 before any)."""
+        return self._largest_seq
+
+    @property
+    def window_sizes(self) -> Tuple[int, ...]:
+        """Registered normalized-arrival window sizes (sorted)."""
+        return tuple(sorted(self._estimators))
+
+    @property
+    def gap_window_sizes(self) -> Tuple[int, ...]:
+        """Registered interarrival-gap window sizes (sorted)."""
+        return tuple(sorted(self._gaps))
+
+    @property
+    def n_windows(self) -> int:
+        """Distinct windows maintained (= pushes per accepted heartbeat)."""
+        return len(self._estimators) + len(self._gaps)
+
+    # ------------------------------------------------------------------
+    def estimator(self, window_size: int) -> ArrivalEstimator:
+        """The shared Eq. 2 estimator for ``window_size`` (get-or-create).
+
+        Registration must happen before the first heartbeat: a window
+        created later would be missing history and silently diverge from
+        the private-copy arithmetic.
+        """
+        est = self._estimators.get(window_size)
+        if est is None:
+            self._require_unstarted("normalized-arrival", window_size)
+            est = ArrivalEstimator(window_size, self._interval)
+            self._estimators[window_size] = est
+        return est
+
+    def gap_window(self, window_size: int) -> SlidingWindow:
+        """The shared interarrival-gap window of ``window_size`` (get-or-create)."""
+        win = self._gaps.get(window_size)
+        if win is None:
+            self._require_unstarted("interarrival-gap", window_size)
+            win = SlidingWindow(window_size)
+            self._gaps[window_size] = win
+        return win
+
+    def track_pre_mean(self, window_size: int) -> None:
+        """Capture the *pre-push* normalized mean of this window per receive.
+
+        Bertier's Jacobson error needs the prediction the detector held
+        *before* the new arrival was folded in; with the window shared,
+        that state is gone by the time the detector runs.  Tracking makes
+        :meth:`receive` record ``estimator(window_size).normalized_mean()``
+        (``None`` while the window is empty) just before pushing, for
+        :meth:`pre_mean` to serve — the identical float the private
+        estimator would have produced.
+        """
+        if window_size not in self._pre_sizes:
+            self._require_unstarted("pre-push mean", window_size)
+        self.estimator(window_size)  # registers (and closes registration checks)
+        self._pre_sizes.add(window_size)
+        self._pre_means.setdefault(window_size, None)
+
+    def pre_mean(self, window_size: int) -> float | None:
+        """Normalized mean of the window *before* the last accepted push.
+
+        ``None`` until the second accepted heartbeat (no prediction exists
+        for the very first message).  Requires a prior
+        :meth:`track_pre_mean` for this size.
+        """
+        return self._pre_means[window_size]
+
+    def _require_unstarted(self, kind: str, window_size: int) -> None:
+        if self._largest_seq or self._est_list is not None:
+            raise ValueError(
+                f"cannot register a new shared {kind} window (size "
+                f"{window_size}) after heartbeats have been accepted or "
+                f"the state was sealed: it would be missing history"
+            )
+
+    def seal(self) -> None:
+        """Close registration and build the hot-path dispatch tuples.
+
+        Idempotent; called lazily by the first :meth:`receive` anyway.
+        Callers that inline the receive body (the batched live monitor)
+        seal explicitly after binding so the tuples are guaranteed built.
+        """
+        if self._est_list is not None:
+            return
+        # Estimator windows are pushed directly: every registered
+        # estimator shares this object's interval, so the normalized value
+        # A − Δi·s is one multiply for the whole set (ArrivalEstimator
+        # .observe verbatim, minus the per-estimator call frames).  The
+        # tuples hold *bound* push methods — the method resolution is paid
+        # here once, not per heartbeat.
+        self._est_list = tuple(
+            est._window.push for est in self._estimators.values()
+        )
+        self._gap_list = tuple(win.push for win in self._gaps.values())
+        self._pre_list = tuple(
+            (size, self._estimators[size]._window)
+            for size in sorted(self._pre_sizes)
+        )
+
+    # ------------------------------------------------------------------
+    def receive(self, seq: int, arrival: float) -> bool:
+        """Fold one heartbeat into every registered window, exactly once.
+
+        The acceptance rule is the detectors' own (Alg. 1 line 13: only
+        sequence-fresh messages), so calling this alongside the detectors'
+        ``receive`` keeps the shared windows in lockstep with what private
+        copies would have held.  Returns ``True`` iff accepted.
+        """
+        seq = int(seq)
+        if seq <= self._largest_seq:
+            return False
+        self._largest_seq = seq
+        est_list = self._est_list
+        if est_list is None:
+            self.seal()
+            est_list = self._est_list
+        for size, window in self._pre_list:
+            # Pre-push capture for track_pre_mean consumers; the inline
+            # read is SlidingWindow.mean() verbatim (empty window = no
+            # prediction yet).
+            c = window._count
+            self._pre_means[size] = (
+                window._baseline + window._sum / c if c else None
+            )
+        norm = arrival - self._interval * seq
+        for push in est_list:
+            push(norm)
+        if self._gap_list:
+            prev = self._prev_arrival
+            if prev is not None:
+                gap = arrival - prev
+                for push in self._gap_list:
+                    push(gap)
+        self._prev_arrival = arrival
+        return True
+
+    def describe(self) -> dict:
+        """JSON-able summary (for the monitor-load status block)."""
+        return {
+            "window_sizes": list(self.window_sizes),
+            "gap_window_sizes": list(self.gap_window_sizes),
+            "pre_mean_sizes": sorted(self._pre_sizes),
+            "n_windows": self.n_windows,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedArrivalState(interval={self._interval}, "
+            f"windows={self.window_sizes}, gaps={self.gap_window_sizes})"
+        )

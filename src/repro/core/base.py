@@ -20,10 +20,13 @@ Subclasses implement :meth:`_update` (step 2) and :meth:`_deadline`
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro._validation import ensure_positive
 from repro.core.freshness import FreshnessOutput
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.arrivalstats import SharedArrivalState
 
 __all__ = ["HeartbeatFailureDetector"]
 
@@ -40,6 +43,19 @@ class HeartbeatFailureDetector(ABC):
 
     #: Human-readable algorithm name, overridden by subclasses.
     name: str = "abstract"
+
+    #: True once the detector consumes shared per-peer arrival statistics
+    #: (set by a successful :meth:`bind_shared_arrivals`).
+    shared_arrivals: bool = False
+
+    #: Class-level promise that, once shared arrivals are bound, this
+    #: detector's :meth:`_update` is a pure no-op (all its estimation
+    #: state lives in the shared windows, already pushed upstream).  The
+    #: batched ingest path then dispatches :meth:`receive_shared`, which
+    #: skips the update step outright.  Detectors that keep per-message
+    #: private state alongside the shared windows (Bertier's Jacobson
+    #: margin, the adaptive controller) leave this False.
+    shared_update_noop: bool = False
 
     def __init__(self, interval: float):
         self._interval = ensure_positive(interval, "interval")
@@ -71,6 +87,24 @@ class HeartbeatFailureDetector(ABC):
         """Current freshness point: the output turns S at this instant."""
         return self._current_deadline
 
+    def bind_shared_arrivals(self, stats: "SharedArrivalState") -> bool:
+        """Adopt shared per-peer arrival statistics instead of private copies.
+
+        A detector that supports sharing swaps its private windows for the
+        matching ones in ``stats`` and stops pushing into them itself; the
+        caller then invokes ``stats.receive(seq, arrival)`` exactly once
+        per heartbeat *before* the detectors' :meth:`receive`, and every
+        deadline comes out bitwise identical to the private-copy path.
+        Must be called before the first heartbeat.
+
+        Returns ``True`` iff the detector now reads shared state.  The
+        default declines (``False``): detectors whose estimation state is
+        not expressible over the shared windows (even with the pre-push
+        mean capture Bertier uses) keep their private state, which remains
+        fully supported alongside shared consumers.
+        """
+        return False
+
     def receive(self, seq: int, arrival: float) -> bool:
         """Deliver heartbeat ``m_seq`` received at time ``arrival``.
 
@@ -87,6 +121,53 @@ class HeartbeatFailureDetector(ABC):
         self._current_deadline = deadline
         self._output.on_heartbeat(arrival, deadline)
         return True
+
+    def receive_accepted(self, seq: int, arrival: float) -> float:
+        """:meth:`receive`, with sequence freshness established by the caller.
+
+        The batched-ingest fast path: every detector watching one peer
+        applies the identical Alg. 1 line-13 acceptance rule to the
+        identical message stream, so their ``largest_seq`` march in
+        lockstep and one freshness check covers the whole set.  The caller
+        guarantees ``seq`` is fresh (``seq > largest_seq``, as an int);
+        state changes are exactly those of an accepting :meth:`receive`.
+        Returns the new suspicion deadline.
+        """
+        self._largest_seq = seq
+        self._update(seq, arrival)
+        deadline = self._deadline(seq, arrival)
+        self._last_arrival = arrival
+        self._current_deadline = deadline
+        self._output.on_heartbeat(arrival, deadline)
+        return deadline
+
+    def receive_shared(self, seq: int, arrival: float) -> float:
+        """:meth:`receive_accepted` for bound :attr:`shared_update_noop` detectors.
+
+        With shared arrivals bound and the shared windows already pushed
+        by the caller, a ``shared_update_noop`` detector's ``_update`` is
+        a guaranteed no-op — so this skips the dispatch entirely and goes
+        straight to the deadline.  Same preconditions (fresh int ``seq``,
+        shared state pushed first) and bitwise-identical state changes.
+        """
+        self._largest_seq = seq
+        deadline = self._deadline(seq, arrival)
+        self._last_arrival = arrival
+        self._current_deadline = deadline
+        self._output.on_heartbeat(arrival, deadline)
+        return deadline
+
+    def _shared_receive(self, seq: int, arrival: float) -> float:
+        """``_update`` + ``_deadline`` in one call, for bound shared state.
+
+        The batched-ingest path for detectors that share arrival
+        statistics but keep per-message private state in ``_update``
+        (``shared_update_noop`` is False); the caller applies the output
+        and bookkeeping itself.  Subclasses on this path may override with
+        a fused body to drop the inner dispatch (bertier does).
+        """
+        self._update(seq, arrival)
+        return self._deadline(seq, arrival)
 
     def is_trusting(self, now: float) -> bool:
         """Detector output at time ``now``: ``True`` = trust, ``False`` = suspect.

@@ -35,7 +35,7 @@ from typing import List, Tuple
 __all__ = ["FreshnessOutput"]
 
 
-@dataclass
+@dataclass(slots=True)
 class FreshnessOutput:
     """Incremental T/S output tracker for deadline-based detectors.
 

@@ -14,6 +14,8 @@ exactly from the buffer once per wrap-around, bounding drift.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro._validation import ensure_int_at_least
@@ -43,7 +45,11 @@ class SlidingWindow:
 
     def __init__(self, capacity: int):
         self._capacity = ensure_int_at_least(capacity, 1, "capacity")
-        self._buffer = np.empty(self._capacity, dtype=np.float64)
+        # A plain list, not a numpy array: scalar ring-buffer reads and
+        # writes are several times faster on a list, and the only bulk
+        # consumers (values()/_rebuild) pay one array construction, which
+        # for _rebuild is amortized over `capacity` pushes.
+        self._buffer: list = [0.0] * self._capacity
         self._count = 0
         self._next = 0
         self._baseline = 0.0
@@ -67,11 +73,31 @@ class SlidingWindow:
     # ------------------------------------------------------------------
     def push(self, value: float) -> None:
         """Insert ``value``, evicting the oldest if the window is full."""
-        value = float(value)
+        if type(value) is not float:
+            # Coerce numpy scalars (and ints) up front so the list holds
+            # only Python floats; the hot callers already pass floats and
+            # skip the coercion on a type check.
+            value = float(value)
+        if self._capacity == 1:
+            # A single-slot window rebuilds on every push (the rebuild
+            # cadence is one push); short-circuit to the rebuilt state the
+            # general path would reach — baseline = the value, both running
+            # sums exactly zero — skipping the eviction arithmetic.
+            # Bitwise identical: mean() is then value + 0.0/1 either way.
+            self._buffer[0] = value
+            self._baseline = value
+            self._sum = 0.0
+            self._sumsq = 0.0
+            self._count = 1
+            self._pushes_since_rebuild = 0
+            return
         if self._count == 0:
             self._baseline = value
         rel = value - self._baseline
         if self._count == self._capacity:
+            # The list holds Python floats (push float()s its input), so
+            # the eviction read cannot contaminate the running sums with
+            # numpy scalar arithmetic.
             old = self._buffer[self._next] - self._baseline
             self._sum -= old
             self._sumsq -= old * old
@@ -80,7 +106,8 @@ class SlidingWindow:
         self._buffer[self._next] = value
         self._sum += rel
         self._sumsq += rel * rel
-        self._next = (self._next + 1) % self._capacity
+        nxt = self._next + 1
+        self._next = 0 if nxt == self._capacity else nxt
         self._pushes_since_rebuild += 1
         if self._pushes_since_rebuild >= self._capacity:
             self._rebuild()
@@ -114,14 +141,17 @@ class SlidingWindow:
 
     def std(self) -> float:
         """Population standard deviation of the retained values."""
-        return float(np.sqrt(self.variance()))
+        # math.sqrt == np.sqrt bit for bit (both correctly rounded IEEE
+        # sqrt) and skips the numpy scalar round-trip on the hot path.
+        return math.sqrt(self.variance())
 
     def values(self) -> np.ndarray:
         """Retained values, oldest first (copies; O(n))."""
         if self._count < self._capacity:
-            return self._buffer[: self._count].copy()
-        return np.concatenate(
-            [self._buffer[self._next :], self._buffer[: self._next]]
+            return np.array(self._buffer[: self._count], dtype=np.float64)
+        return np.array(
+            self._buffer[self._next :] + self._buffer[: self._next],
+            dtype=np.float64,
         )
 
     def clear(self) -> None:

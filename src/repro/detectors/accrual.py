@@ -71,6 +71,10 @@ class PhiAccrualFailureDetector(HeartbeatFailureDetector):
 
     name = "phi"
 
+    #: All estimation state is the shared gap window itself: once bound,
+    #: _update has nothing left to do (the batched fast path relies on it).
+    shared_update_noop = True
+
     def __init__(
         self,
         interval: float,
@@ -87,6 +91,7 @@ class PhiAccrualFailureDetector(HeartbeatFailureDetector):
         self._quantile = phi_quantile(threshold)
         self._gaps = SlidingWindow(window_size)
         self._min_std = float(min_std)
+        self._warmup_std = max(self._min_std, 0.0)
         self._prev_arrival: float | None = None
 
     @property
@@ -121,16 +126,40 @@ class PhiAccrualFailureDetector(HeartbeatFailureDetector):
             return math.inf
         return -math.log10(p_later)
 
+    def bind_shared_arrivals(self, stats) -> bool:
+        """Consume the shared interarrival-gap window of this size."""
+        if stats.interval != self.interval or self.largest_seq:
+            return False
+        self._gaps = stats.gap_window(self.window_size)
+        self.shared_arrivals = True
+        return True
+
     def _update(self, seq: int, arrival: float) -> None:
+        if self.shared_arrivals:
+            return  # the shared gap window is pushed once, upstream
         if self._prev_arrival is not None:
             self._gaps.push(arrival - self._prev_arrival)
         self._prev_arrival = arrival
 
     def _deadline(self, seq: int, arrival: float) -> float:
-        mu, sigma = self.interarrival_stats()
-        if not math.isfinite(self._quantile):
+        # interarrival_stats() unrolled over the gap window's running sums
+        # — identical expressions (mean/variance/std verbatim), none of
+        # the method-call chain on the per-heartbeat path.  phi_quantile
+        # only ever returns a finite value or +inf (Φ > 0), so the
+        # isfinite() guard reduces to an == test.
+        q = self._quantile
+        if q == math.inf:
             return math.inf
-        return arrival + mu + sigma * self._quantile
+        g = self._gaps
+        c = g._count
+        if c == 0:
+            return arrival + self._interval + self._warmup_std * q
+        m = g._sum / c
+        var = g._sumsq / c - m * m
+        sigma = math.sqrt(var) if var > 0.0 else 0.0
+        if sigma < self._min_std:
+            sigma = self._min_std
+        return arrival + (g._baseline + m) + sigma * q
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

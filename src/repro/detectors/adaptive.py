@@ -72,9 +72,19 @@ class AdaptiveTwoWindowFailureDetector(HeartbeatFailureDetector):
         """The margin currently in force (changes over time)."""
         return self.controller.margin
 
+    def bind_shared_arrivals(self, stats) -> bool:
+        """Consume shared Eq. 2 windows; the margin controller (its own
+        p_L/V(D) estimation state) stays private — it is not window-shaped."""
+        if stats.interval != self.interval or self.largest_seq:
+            return False
+        self._estimators = tuple(stats.estimator(w) for w in self._window_sizes)
+        self.shared_arrivals = True
+        return True
+
     def _update(self, seq: int, arrival: float) -> None:
-        for est in self._estimators:
-            est.observe(seq, arrival)
+        if not self.shared_arrivals:
+            for est in self._estimators:
+                est.observe(seq, arrival)
         self.controller.observe(seq, arrival)
 
     def _deadline(self, seq: int, arrival: float) -> float:

@@ -66,6 +66,7 @@ class BertierFailureDetector(HeartbeatFailureDetector):
         self._delay = 0.0
         self._var = 0.0
         self._have_prediction = False
+        self._shared = None  # SharedArrivalState once bound
 
     @property
     def window_size(self) -> int:
@@ -76,7 +77,41 @@ class BertierFailureDetector(HeartbeatFailureDetector):
         """Current adaptive margin Δto (Eq. 6)."""
         return self._beta * self._delay + self._phi * self._var
 
+    def bind_shared_arrivals(self, stats) -> bool:
+        """Consume the shared Eq. 2 window, plus its pre-push mean capture.
+
+        The Jacobson error term needs the prediction held *before* the new
+        arrival was folded in; the shared state serves it via
+        :meth:`~repro.core.arrivalstats.SharedArrivalState.track_pre_mean`,
+        so the error — and therefore the adaptive margin — stays bitwise
+        identical to the private-copy path.
+        """
+        if stats.interval != self.interval or self.largest_seq:
+            return False
+        size = self.window_size
+        self._estimator = stats.estimator(size)
+        stats.track_pre_mean(size)
+        self._shared = stats
+        self._size = size
+        # Direct reference to the shared pre-mean store: _update runs per
+        # accepted heartbeat, so the lookup skips the accessor frame.
+        self._pre_means = stats._pre_means
+        self.shared_arrivals = True
+        return True
+
     def _update(self, seq: int, arrival: float) -> None:
+        if self.shared_arrivals:
+            # The shared window already holds this arrival; the pre-push
+            # mean captured upstream is the prediction the private
+            # estimator would have produced (None before m_2).
+            pre = self._pre_means[self._size]
+            if pre is not None:
+                error = arrival - (pre + self._interval * seq) - self._delay
+            else:
+                error = 0.0
+            self._delay += self._gamma * error
+            self._var += self._gamma * (abs(error) - self._var)
+            return
         if self._have_prediction:
             # EA for *this* message, from the window state before folding it
             # in (the prediction the detector actually held).
@@ -90,8 +125,33 @@ class BertierFailureDetector(HeartbeatFailureDetector):
         self._estimator.observe(seq, arrival)
         self._have_prediction = True
 
+    def _shared_receive(self, seq: int, arrival: float) -> float:
+        # _update's shared branch and _deadline fused into one frame (the
+        # batched-ingest path calls this once per accepted heartbeat).
+        pre = self._pre_means[self._size]
+        if pre is not None:
+            error = arrival - (pre + self._interval * seq) - self._delay
+        else:
+            error = 0.0
+        self._delay += self._gamma * error
+        self._var += self._gamma * (abs(error) - self._var)
+        w = self._estimator._window
+        return (
+            (w._baseline + w._sum / w._count)
+            + self._interval * (seq + 1)
+            + (self._beta * self._delay + self._phi * self._var)
+        )
+
     def _deadline(self, seq: int, arrival: float) -> float:
-        return self._estimator.expected_arrival(seq + 1) + self.safety_margin
+        # expected_arrival(seq + 1) + safety_margin, with the window mean
+        # read inline (SlidingWindow.mean() verbatim; the window is never
+        # empty here — _deadline only runs on accepted heartbeats).
+        w = self._estimator._window
+        return (
+            (w._baseline + w._sum / w._count)
+            + self._interval * (seq + 1)
+            + (self._beta * self._delay + self._phi * self._var)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -40,6 +40,10 @@ class ChenFailureDetector(HeartbeatFailureDetector):
 
     name = "chen"
 
+    #: All estimation state is the shared window itself: once bound,
+    #: _update has nothing left to do (the batched fast path relies on it).
+    shared_update_noop = True
+
     def __init__(self, interval: float, safety_margin: float, window_size: int = 1000):
         super().__init__(interval)
         self._safety_margin = ensure_non_negative(safety_margin, "safety_margin")
@@ -56,11 +60,29 @@ class ChenFailureDetector(HeartbeatFailureDetector):
         """The estimation window size n."""
         return self._estimator.window_size
 
+    def bind_shared_arrivals(self, stats) -> bool:
+        """Consume the shared Eq. 2 window of this detector's size."""
+        if stats.interval != self.interval or self.largest_seq:
+            return False
+        self._estimator = stats.estimator(self.window_size)
+        self.shared_arrivals = True
+        return True
+
     def _update(self, seq: int, arrival: float) -> None:
+        if self.shared_arrivals:
+            return  # the shared state is pushed once, upstream
         self._estimator.observe(seq, arrival)
 
     def _deadline(self, seq: int, arrival: float) -> float:
-        return self._estimator.expected_arrival(seq + 1) + self._safety_margin
+        # expected_arrival(seq + 1) + safety_margin, with the window mean
+        # read inline (SlidingWindow.mean() verbatim; never empty here —
+        # _deadline only runs on accepted heartbeats).
+        w = self._estimator._window
+        return (
+            (w._baseline + w._sum / w._count)
+            + self._interval * (seq + 1)
+            + self._safety_margin
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

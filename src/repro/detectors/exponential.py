@@ -48,6 +48,10 @@ class EDFailureDetector(HeartbeatFailureDetector):
 
     name = "ed"
 
+    #: All estimation state is the shared gap window itself: once bound,
+    #: _update has nothing left to do (the batched fast path relies on it).
+    shared_update_noop = True
+
     def __init__(self, interval: float, threshold: float, window_size: int = 1000):
         super().__init__(interval)
         self._factor = ed_timeout_factor(threshold)
@@ -80,13 +84,30 @@ class EDFailureDetector(HeartbeatFailureDetector):
             return 1.0
         return -math.expm1(-(now - self._last_arrival) / mu)
 
+    def bind_shared_arrivals(self, stats) -> bool:
+        """Consume the shared interarrival-gap window of this size."""
+        if stats.interval != self.interval or self.largest_seq:
+            return False
+        self._gaps = stats.gap_window(self.window_size)
+        self.shared_arrivals = True
+        return True
+
     def _update(self, seq: int, arrival: float) -> None:
+        if self.shared_arrivals:
+            return  # the shared gap window is pushed once, upstream
         if self._prev_arrival is not None:
             self._gaps.push(arrival - self._prev_arrival)
         self._prev_arrival = arrival
 
     def _deadline(self, seq: int, arrival: float) -> float:
-        return arrival + self.mean_interarrival() * self._factor
+        # mean_interarrival() unrolled over the gap window's running sums
+        # (SlidingWindow.mean() verbatim) — no method-call chain on the
+        # per-heartbeat path.
+        g = self._gaps
+        c = g._count
+        if c == 0:
+            return arrival + self._interval * self._factor
+        return arrival + (g._baseline + g._sum / c) * self._factor
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

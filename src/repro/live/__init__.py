@@ -18,7 +18,9 @@ Modules
 - :mod:`repro.live.service` — the §V-C shared service over live arrivals:
   one heartbeat stream, per-application freshness points;
 - :mod:`repro.live.status` — JSON observability endpoint over local TCP
-  plus structured (JSON-lines) logging.
+  plus structured (JSON-lines) logging;
+- :mod:`repro.live.shard` — multi-core ingest: ``SO_REUSEPORT`` worker
+  processes behind one UDP address, merged into one status document.
 
 See ``docs/live.md`` for the architecture and ``examples/live_quickstart.py``
 for a complete loopback run with an injected crash.
@@ -28,8 +30,14 @@ from repro.live.chaos import ChaosLink, ChaosSpec, PacketFate, PlannedPacket, pl
 from repro.live.heartbeater import Heartbeater
 from repro.live.monitor import LiveEvent, LiveMonitor, LiveMonitorServer
 from repro.live.service import LiveSharedMonitor
-from repro.live.status import StatusServer, afetch_status, fetch_status
-from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError
+from repro.live.shard import ShardedMonitor, merge_snapshots, reuseport_supported
+from repro.live.status import (
+    SNAPSHOT_SCHEMA_VERSION,
+    StatusServer,
+    afetch_status,
+    fetch_status,
+)
+from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError, decode_fields
 
 __all__ = [
     "ChaosLink",
@@ -44,10 +52,15 @@ __all__ = [
     "MAGIC",
     "PacketFate",
     "PlannedPacket",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "ShardedMonitor",
     "StatusServer",
     "VERSION",
     "WireError",
     "afetch_status",
+    "decode_fields",
     "fetch_status",
+    "merge_snapshots",
     "plan_delivery",
+    "reuseport_supported",
 ]

@@ -10,12 +10,15 @@ transitions — the live analogue of :class:`repro.qos.timeline.OutputTimeline`.
 scores a live run exactly as it scores a replayed one.
 
 The liveness poll is scheduled by a lazy-deletion min-heap of suspicion
-deadlines keyed by ``(peer, detector)``: every accepted heartbeat pushes
-its freshness point, :meth:`LiveMonitor.poll` pops only entries whose
-deadline has passed, and entries superseded by a fresher heartbeat are
-discarded on pop.  A tick therefore costs O(expired · log n) — an idle
-monitor does near-zero work per poll regardless of how many peers it
-watches (the §V "FD as a Service" scaling requirement).  The pre-heap
+deadlines with **one entry per peer** — the minimum over that peer's
+detectors' freshness points.  Every accepted heartbeat pushes the new
+minimum (the old entry is superseded in place via the peer's ``sched``
+field and discarded on pop); :meth:`LiveMonitor.poll` pops only entries
+whose deadline has passed, advances *all* of the popped peer's detectors,
+and re-schedules the earliest still-pending deadline.  Because the
+per-peer minimum is ≤ every detector deadline, no expiry can be missed,
+and a tick costs O(expired peers · log n) with exactly one heap push per
+accepted heartbeat however many detectors are configured.  The pre-heap
 full sweep survives as ``poll_mode="sweep"``, the reference the
 equivalence property tests and the live benchmark compare against.
 
@@ -38,13 +41,15 @@ import math
 import time
 from collections import deque
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro._validation import ensure_positive
+from repro.core.arrivalstats import SharedArrivalState
 from repro.core.base import HeartbeatFailureDetector
 from repro.detectors.registry import make_tuned
-from repro.live.status import StatusServer, structured
-from repro.live.wire import Heartbeat, WireError
+from repro.live.status import SNAPSHOT_SCHEMA_VERSION, StatusServer, structured
+from repro.live.wire import Heartbeat, WireError, decode_fields
 from repro.qos.timeline import OutputTimeline
 
 __all__ = ["LiveEvent", "LiveMonitor", "LiveMonitorServer", "PeerStatus"]
@@ -162,6 +167,11 @@ class _RateMeter:
         self._decay(now)
         self._counter += 1.0
 
+    def update_many(self, now: float, count: int) -> None:
+        """One decay + one bump for a whole batch of events at ``now``."""
+        self._decay(now)
+        self._counter += count
+
     def rate(self, now: float) -> float:
         self._decay(now)
         return self._counter / self._tau
@@ -174,7 +184,14 @@ class _PeerState:
         "name",
         "index",
         "detectors",
+        "det_list",
+        "fast_dets",
+        "mid_dets",
+        "slow_dets",
+        "stats",
+        "sched",
         "consumed",
+        "consumed_total",
         "n_datagrams",
         "n_accepted",
         "n_stale",
@@ -185,12 +202,60 @@ class _PeerState:
     )
 
     def __init__(
-        self, name: str, index: int, detectors: Dict[str, HeartbeatFailureDetector]
+        self,
+        name: str,
+        index: int,
+        detectors: Dict[str, HeartbeatFailureDetector],
+        stats: SharedArrivalState | None = None,
     ):
         self.name = name
         self.index = index  # discovery order: fixes the event drain order
         self.detectors = detectors
+        # Flat hot-loop view: (name, detector, output, receive_accepted,
+        # fast deadline).  The fast deadline is the detector's bound
+        # _deadline when shared arrivals are bound and its _update is then
+        # a guaranteed no-op (shared_update_noop): the batched loop then
+        # applies the receive_shared body inline — deadline, output,
+        # bookkeeping — without the method frame.  None means the detector
+        # keeps per-message private state and must go through
+        # receive_accepted.  Bound methods resolved once per peer, not
+        # once per datagram.
+        self.det_list = tuple(
+            (
+                dname,
+                det,
+                det._output,
+                det.receive_accepted,
+                det._deadline
+                if (det.shared_arrivals and det.shared_update_noop)
+                else None,
+            )
+            for dname, det in detectors.items()
+        )
+        # The same detectors split by batched-ingest dispatch kind, so the
+        # hot loop iterates three homogeneous tuples instead of branching
+        # per detector: *fast* (shared arrivals, no-op _update — only the
+        # deadline and output remain), *mid* (shared arrivals but a
+        # stateful _update, e.g. bertier's Jacobson margin), *slow*
+        # (private estimation state; full receive_accepted).
+        fast, mid, slow = [], [], []
+        for det in detectors.values():
+            if det.shared_arrivals and det.shared_update_noop:
+                fast.append((det, det._output, det._deadline))
+            elif det.shared_arrivals:
+                mid.append((det, det._output, det._shared_receive))
+            else:
+                slow.append((det, det._output, det.receive_accepted))
+        self.fast_dets = tuple(fast)
+        self.mid_dets = tuple(mid)
+        self.slow_dets = tuple(slow)
+        self.stats = stats  # shared arrival statistics (None = private mode)
+        # The peer's currently scheduled heap deadline (min over its
+        # detectors' freshness points); None = no valid entry on the heap.
+        # A popped entry is acted on only if it matches — lazy deletion.
+        self.sched: float | None = None
         self.consumed = {det: 0 for det in detectors}  # absolute drain cursors
+        self.consumed_total = 0  # sum of the cursors (one-comparison drain check)
         self.n_datagrams = 0
         self.n_accepted = 0
         self.n_stale = 0
@@ -248,6 +313,17 @@ class LiveMonitor:
         O(expired · log n) per poll; ``"sweep"`` is the reference full
         walk over every peer and detector — O(peers · detectors) per
         poll.  Both emit identical event streams.
+    estimation:
+        ``"shared"`` (default) gives each peer one
+        :class:`repro.core.arrivalstats.SharedArrivalState` pushed once
+        per accepted heartbeat; detectors whose window configuration
+        matches consume the shared windows instead of private copies
+        (detectors that cannot share — e.g. ``bertier``, which reads its
+        estimator *before* the push — keep private state automatically).
+        ``"private"`` keeps every detector's estimation state private,
+        exactly as before.  Both modes emit bitwise-identical event
+        streams; shared mode just pays the window pushes once per peer
+        instead of once per detector.
     max_events:
         Ring-buffer capacity for the retained event history (``None`` =
         unbounded).  Totals and drop counts stay exact either way.
@@ -266,6 +342,7 @@ class LiveMonitor:
         *,
         clock: Callable[[], float] = time.monotonic,
         poll_mode: str = "heap",
+        estimation: str = "shared",
         max_events: int | None = None,
         transition_retention: int | None = None,
     ):
@@ -275,6 +352,10 @@ class LiveMonitor:
         if poll_mode not in ("heap", "sweep"):
             raise ValueError(
                 f"poll_mode must be 'heap' or 'sweep', got {poll_mode!r}"
+            )
+        if estimation not in ("shared", "private"):
+            raise ValueError(
+                f"estimation must be 'shared' or 'private', got {estimation!r}"
             )
         if transition_retention is not None:
             ensure_positive(transition_retention, "transition_retention")
@@ -287,26 +368,35 @@ class LiveMonitor:
             )
         self._detector_names = tuple(detectors)
         # Fail fast on bad names/params (satellite: friendly errors up
-        # front, not TypeErrors when the first heartbeat arrives).
+        # front, not TypeErrors when the first heartbeat arrives) — and,
+        # while the probe instances are in hand, learn which of the
+        # configured detectors can consume shared arrival statistics.
+        self._estimation = estimation
+        probe_stats = SharedArrivalState(float(interval))
+        shared_names: List[str] = []
         for name in self._detector_names:
-            make_tuned(name, self._interval, self._params.get(name))
-        self._det_index = {name: i for i, name in enumerate(self._detector_names)}
+            det = make_tuned(name, self._interval, self._params.get(name))
+            if estimation == "shared" and det.bind_shared_arrivals(probe_stats):
+                shared_names.append(name)
+        self._shared_names = tuple(shared_names)
         self._peers: Dict[str, _PeerState] = {}
         self._peer_by_index: List[_PeerState] = []
         self._clock = clock
         self._epoch: float | None = None
         self._poll_mode = poll_mode
         self._retention = transition_retention
-        # Lazy-deletion deadline heap: (deadline, peer index, detector
-        # index).  Entries are never removed on supersede; a popped entry
-        # is acted on only if it still matches the detector's current
-        # freshness point.
-        self._heap: List[Tuple[float, int, int]] = []
+        # Lazy-deletion deadline heap: (deadline, peer index), one live
+        # entry per peer — the min over its detectors' freshness points.
+        # Entries are never removed on supersede; a popped entry is acted
+        # on only if it still matches the peer's ``sched`` field.
+        self._heap: List[Tuple[float, int]] = []
         self._listeners = _ListenerSet()
         self._events = _EventLog(max_events)
         self._rate = _RateMeter()
         self.n_malformed = 0
         self.n_polls = 0
+        self.n_batches = 0
+        self.last_batch_size: int | None = None
         self.last_poll_duration: float | None = None
         self.last_poll_stats: dict | None = None
 
@@ -322,6 +412,20 @@ class LiveMonitor:
     @property
     def poll_mode(self) -> str:
         return self._poll_mode
+
+    @property
+    def estimation(self) -> str:
+        """``"shared"`` or ``"private"`` arrival-statistics mode."""
+        return self._estimation
+
+    @property
+    def shared_detectors(self) -> Tuple[str, ...]:
+        """Configured detectors consuming shared arrival statistics.
+
+        Empty in ``estimation="private"`` mode and for detector sets where
+        nothing can share (the per-detector private fallback).
+        """
+        return self._shared_names
 
     @property
     def peers(self) -> Tuple[str, ...]:
@@ -383,6 +487,39 @@ class LiveMonitor:
         return self._rate.rate(now)
 
     # ------------------------------------------------------------------
+    def _new_peer(self, sender: str, arrival: float) -> _PeerState:
+        """Instantiate detectors (and shared stats) for a discovered peer.
+
+        ``arrival`` is the discovering datagram's receipt instant — and
+        that datagram is always accepted (a fresh peer's ``largest_seq``
+        is 0, wire sequence numbers start at 1), so it is the peer's
+        ``first_arrival``.
+        """
+        detectors = {
+            name: make_tuned(name, self._interval, self._params.get(name))
+            for name in self._detector_names
+        }
+        stats = None
+        if self._shared_names:
+            stats = SharedArrivalState(self._interval)
+            for name in self._shared_names:
+                bound = detectors[name].bind_shared_arrivals(stats)
+                assert bound, f"probe said {name} shares but bind declined"
+            # Freeze registration and build the push tuples now: the
+            # batched ingest loop inlines the receive body and relies on
+            # the sealed state.
+            stats.seal()
+        state = _PeerState(sender, len(self._peer_by_index), detectors, stats)
+        state.first_arrival = arrival
+        if self._retention is not None:
+            for det in detectors.values():
+                det.set_transition_retention(self._retention)
+        self._peers[sender] = state
+        self._peer_by_index.append(state)
+        if logger.isEnabledFor(logging.INFO):
+            logger.info(structured("peer-discovered", peer=sender, arrival=arrival))
+        return state
+
     def ingest(self, data: bytes, arrival: float | None = None) -> Heartbeat | None:
         """Feed one raw datagram; returns the heartbeat if it decoded.
 
@@ -401,24 +538,13 @@ class LiveMonitor:
         self._rate.update(arrival)
         state = self._peers.get(hb.sender)
         if state is None:
-            state = _PeerState(
-                hb.sender,
-                len(self._peer_by_index),
-                {
-                    name: make_tuned(name, self._interval, self._params.get(name))
-                    for name in self._detector_names
-                },
-            )
-            if self._retention is not None:
-                for det in state.detectors.values():
-                    det.set_transition_retention(self._retention)
-            self._peers[hb.sender] = state
-            self._peer_by_index.append(state)
-            if logger.isEnabledFor(logging.INFO):
-                logger.info(
-                    structured("peer-discovered", peer=hb.sender, arrival=arrival)
-                )
+            state = self._new_peer(hb.sender, arrival)
         state.n_datagrams += 1
+        if state.stats is not None:
+            # Shared windows must hold this arrival *before* any sharing
+            # detector computes its deadline (the private path pushes in
+            # _update, which also runs pre-deadline).
+            state.stats.receive(hb.seq, arrival)
         accepted = False
         for det in state.detectors.values():
             accepted = det.receive(hb.seq, arrival) or accepted
@@ -429,19 +555,214 @@ class LiveMonitor:
             state.last_timestamp = hb.timestamp
             if state.first_arrival is None:
                 state.first_arrival = arrival
-            # Schedule the new freshness points (lazy deletion: the
-            # superseded entries stay until popped).
-            for name, det in state.detectors.items():
+            # Schedule the earliest new freshness point — one entry per
+            # peer, superseding the old one in place (lazy deletion: the
+            # stale heap entry is discarded on pop via the sched check).
+            best = math.inf
+            for det in state.detectors.values():
                 deadline = det.suspicion_deadline
-                if deadline is not None:
-                    heapq.heappush(
-                        self._heap,
-                        (deadline, state.index, self._det_index[name]),
-                    )
+                if deadline is not None and deadline < best:
+                    best = deadline
+            if best != math.inf:
+                heapq.heappush(self._heap, (best, state.index))
+                state.sched = best
+            else:
+                state.sched = None
         else:
             state.n_stale += 1
         self._drain(hb.sender, state)
         return hb
+
+    def ingest_many(
+        self,
+        datagrams: Sequence[bytes],
+        arrivals: Sequence[float] | None = None,
+    ) -> int:
+        """Decode and dispatch a whole socket drain in one call.
+
+        Semantically exactly ``for d in datagrams: ingest(d)`` — same
+        acceptance decisions, same detector state, same event stream in
+        the same order — but the per-datagram overheads are paid once per
+        batch: datagrams decode through :func:`repro.live.wire.decode_fields`
+        (precompiled struct views, no dataclass), the malformed counter is
+        updated once, the rate meter is touched once, and a peer is
+        drained only when one of its detectors actually produced a new
+        transition.  ``arrivals`` gives the per-datagram receipt instants
+        (monitor clock, non-decreasing); when omitted, the whole batch is
+        stamped ``now()`` — the right call for datagrams drained from a
+        socket buffer in one go.  Returns the number of datagrams that
+        decoded (malformed ones are counted, never raised).
+        """
+        n = len(datagrams)
+        if arrivals is None:
+            arrivals = repeat(self.now(), n)
+        elif len(arrivals) != n:
+            raise ValueError(
+                f"got {n} datagrams but {len(arrivals)} arrivals"
+            )
+        # Hot loop: everything the scalar path re-resolves per datagram
+        # is hoisted to a local once per batch.
+        decode = decode_fields
+        peers_get = self._peers.get
+        heappush = heapq.heappush
+        heap = self._heap
+        drain = self._drain
+        inf = math.inf
+        interval = self._interval
+        n_bad = 0
+        last_arrival: float | None = None
+        for data, arrival in zip(datagrams, arrivals):
+            try:
+                sender, seq, timestamp = decode(data)
+            except WireError:
+                n_bad += 1
+                continue
+            last_arrival = arrival
+            state = peers_get(sender)
+            if state is None:
+                state = self._new_peer(sender, arrival)
+            state.n_datagrams += 1
+            stats = state.stats
+            if stats is not None:
+                # Fast path: every detector applies the same acceptance
+                # rule to the same stream, so the shared stats' verdict
+                # decides for the whole set — a stale datagram touches no
+                # detector at all (a rejecting receive() mutates nothing),
+                # and a fresh one skips the per-detector freshness check.
+                # SharedArrivalState.receive is inlined (the state is
+                # sealed at peer creation, ``seq`` is already an int off
+                # the wire, and the stats share self's interval), saving
+                # the call frame per datagram.
+                if seq > stats._largest_seq:
+                    stats._largest_seq = seq
+                    for size, window in stats._pre_list:
+                        c = window._count
+                        stats._pre_means[size] = (
+                            window._baseline + window._sum / c if c else None
+                        )
+                    norm = arrival - interval * seq
+                    for push in stats._est_list:
+                        push(norm)
+                    prev = stats._prev_arrival
+                    if prev is not None:
+                        gap = arrival - prev
+                        for push in stats._gap_list:
+                            push(gap)
+                    stats._prev_arrival = arrival
+                    state.n_accepted += 1
+                    state.last_seq = seq
+                    state.last_arrival = arrival
+                    state.last_timestamp = timestamp
+                    best = inf
+                    dirty = False
+                    for det, output, fastdl in state.fast_dets:
+                        # receive_shared, inlined: _update is a no-op
+                        # (shared windows already pushed), so only the
+                        # deadline, the output and the bookkeeping fields
+                        # remain.
+                        d = fastdl(seq, arrival)
+                        det._largest_seq = seq
+                        det._last_arrival = arrival
+                        det._current_deadline = d
+                        # FreshnessOutput.on_heartbeat's steady-state case
+                        # (a), inlined: trust held, the previous deadline
+                        # unexpired, the new one in the future — no
+                        # transition, only the two field updates (the
+                        # condition also re-proves the time-order
+                        # precondition, so any call on_heartbeat would
+                        # reject falls through to it and raises there).
+                        if (
+                            output.trusting
+                            and arrival <= output.deadline
+                            and arrival < d
+                            and output.last_event_time <= arrival
+                        ):
+                            output.deadline = d
+                            output.last_event_time = arrival
+                        else:
+                            output.on_heartbeat(arrival, d)
+                            dirty = True
+                        if d < best:
+                            best = d
+                    for det, output, shrecv in state.mid_dets:
+                        # receive_accepted, inlined, for shared detectors
+                        # with a stateful _update (bertier's margin).
+                        d = shrecv(seq, arrival)
+                        det._largest_seq = seq
+                        det._last_arrival = arrival
+                        det._current_deadline = d
+                        if (
+                            output.trusting
+                            and arrival <= output.deadline
+                            and arrival < d
+                            and output.last_event_time <= arrival
+                        ):
+                            output.deadline = d
+                            output.last_event_time = arrival
+                        else:
+                            output.on_heartbeat(arrival, d)
+                            dirty = True
+                        if d < best:
+                            best = d
+                    for det, output, recv in state.slow_dets:
+                        nt0 = output.n_transitions
+                        d = recv(seq, arrival)
+                        if output.n_transitions != nt0:
+                            dirty = True
+                        if d < best:
+                            best = d
+                    if best != inf:
+                        heappush(heap, (best, state.index))
+                        state.sched = best
+                    else:
+                        state.sched = None
+                    if dirty:
+                        # Drained per datagram (not per batch) so
+                        # interleaved transitions of different peers keep
+                        # scalar-ingest order.  ``dirty`` marks any
+                        # on_heartbeat that *could* have transitioned — a
+                        # drain with nothing new is a no-op, so this is a
+                        # conservative superset of the transitions.
+                        drain(sender, state)
+                else:
+                    state.n_stale += 1
+                continue
+            accepted = False
+            nt = 0
+            for dname, det, output, recv, fastdl in state.det_list:
+                if det.receive(seq, arrival):
+                    accepted = True
+                nt += output.n_transitions
+            if accepted:
+                state.n_accepted += 1
+                state.last_seq = seq
+                state.last_arrival = arrival
+                state.last_timestamp = timestamp
+                best = inf
+                for dname, det, output, recv, fastdl in state.det_list:
+                    d = det._current_deadline
+                    if d is not None and d < best:
+                        best = d
+                if best != inf:
+                    heappush(heap, (best, state.index))
+                    state.sched = best
+                else:
+                    state.sched = None
+            else:
+                state.n_stale += 1
+            if nt != state.consumed_total:
+                # Drained per datagram (not per batch) so interleaved
+                # transitions of different peers keep scalar-ingest order.
+                drain(sender, state)
+        if n_bad:
+            self.n_malformed += n_bad
+            logger.debug("dropped %d malformed datagrams in batch", n_bad)
+        n_decoded = n - n_bad
+        if n_decoded:
+            self._rate.update_many(last_arrival, n_decoded)
+        self.n_batches += 1
+        self.last_batch_size = n
+        return n_decoded
 
     def poll(self, now: float | None = None) -> List[LiveEvent]:
         """Materialize deadline expiries up to ``now``; return new events.
@@ -465,19 +786,35 @@ class LiveMonitor:
                 fresh.extend(self._drain(peer, state))
         else:
             heap = self._heap
+            peer_list = self._peer_by_index
             expired_peers: set = set()
             while heap and heap[0][0] < now:
-                deadline, pidx, didx = heapq.heappop(heap)
+                deadline, pidx = heapq.heappop(heap)
                 n_pops += 1
-                state = self._peer_by_index[pidx]
-                det = state.detectors[self._detector_names[didx]]
-                if det.suspicion_deadline != deadline:
+                state = peer_list[pidx]
+                if state.sched != deadline:
                     continue  # superseded by a fresher heartbeat
-                det.advance_to(now)
+                # The peer's earliest freshness point has passed: advance
+                # every detector (the per-peer minimum is ≤ each of their
+                # deadlines, so nothing can have expired unseen), then
+                # re-schedule the earliest deadline still pending.  The
+                # strict `< now` above and `>= now` here mirror
+                # FreshnessOutput.advance_to's strict expiry: a deadline
+                # landing exactly on the tick stays scheduled.
+                state.sched = None
                 n_expired += 1
+                nxt = math.inf
+                for dname, det, output, recv, fastdl in state.det_list:
+                    det.advance_to(now)
+                    d = det._current_deadline
+                    if d is not None and now <= d < nxt:
+                        nxt = d
+                if nxt != math.inf:
+                    heapq.heappush(heap, (nxt, pidx))
+                    state.sched = nxt
                 expired_peers.add(pidx)
             for pidx in sorted(expired_peers):
-                state = self._peer_by_index[pidx]
+                state = peer_list[pidx]
                 fresh.extend(self._drain(state.name, state))
         self.n_polls += 1
         self.last_poll_duration = time.perf_counter() - t0
@@ -498,12 +835,16 @@ class LiveMonitor:
         (O(new transitions) per call, no full-log copies).
         """
         fresh: List[LiveEvent] = []
+        total = 0
         for name, det in state.detectors.items():
-            new, state.consumed[name] = det.drain_transitions(state.consumed[name])
+            new, cursor = det.drain_transitions(state.consumed[name])
+            state.consumed[name] = cursor
+            total += cursor
             for t, trusting in new:
                 fresh.append(
                     LiveEvent(time=t, peer=peer, detector=name, trusting=trusting)
                 )
+        state.consumed_total = total
         if fresh:
             log_events = logger.isEnabledFor(logging.INFO)
             for event in fresh:
@@ -535,9 +876,13 @@ class LiveMonitor:
         return {
             "n_peers": len(self._peers),
             "poll_mode": self._poll_mode,
+            "estimation": self._estimation,
+            "shared_detectors": list(self._shared_names),
             "heap_size": len(self._heap),
             "heartbeat_rate": self._rate.rate(now),
             "n_polls": self.n_polls,
+            "n_batches": self.n_batches,
+            "last_batch_size": self.last_batch_size,
             "last_poll_duration": self.last_poll_duration,
             "last_poll_expired": (
                 self.last_poll_stats["n_expired"] if self.last_poll_stats else None
@@ -561,6 +906,7 @@ class LiveMonitor:
         if now is None:
             now = self.now()
         snap = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
             "now": now,
             "interval": self._interval,
             "detectors": list(self._detector_names),
@@ -643,6 +989,41 @@ class _MonitorProtocol(asyncio.DatagramProtocol):
         self._monitor.ingest(data)
 
 
+class _BatchedMonitorProtocol(asyncio.DatagramProtocol):
+    """Batched glue: drain the loop's datagram burst into one ingest call.
+
+    asyncio delivers one ``datagram_received`` callback per datagram, but
+    under load the event loop dispatches a whole ready-socket burst within
+    a single iteration.  Buffering those callbacks and flushing via
+    ``loop.call_soon`` (which runs *after* the I/O dispatch of the current
+    iteration) hands the entire burst to :meth:`LiveMonitor.ingest_many`
+    as one batch — per-datagram Python overhead collapses to one append.
+    """
+
+    def __init__(self, monitor: LiveMonitor):
+        self._monitor = monitor
+        self._buffer: List[bytes] = []
+        self._flush_scheduled = False
+        self._loop = asyncio.get_running_loop()
+        self.n_batches = 0
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._buffer.append(data)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        batch, self._buffer = self._buffer, []
+        self._flush_scheduled = False
+        if batch:
+            self.n_batches += 1
+            self._monitor.ingest_many(batch)
+
+    def connection_lost(self, exc) -> None:  # pragma: no cover - thin
+        self._flush()
+
+
 class LiveMonitorServer:
     """Asyncio runtime around :class:`LiveMonitor`.
 
@@ -659,14 +1040,24 @@ class LiveMonitorServer:
         tick: float = 0.02,
         status_port: int | None = None,
         status_host: str = "127.0.0.1",
+        ingest_mode: str = "batch",
+        sock=None,
     ):
         ensure_positive(tick, "tick")
+        if ingest_mode not in ("batch", "scalar"):
+            raise ValueError(
+                f"ingest_mode must be 'batch' or 'scalar', got {ingest_mode!r}"
+            )
         self.monitor = monitor
         self._host = host
         self._port = port
         self._tick = float(tick)
         self._status_port = status_port
         self._status_host = status_host
+        self._ingest_mode = ingest_mode
+        # A pre-bound UDP socket (shard workers bind their own with
+        # SO_REUSEPORT); overrides host/port when given.
+        self._sock = sock
         self._transport: asyncio.DatagramTransport | None = None
         self._poll_task: asyncio.Task | None = None
         self.status: StatusServer | None = None
@@ -682,10 +1073,18 @@ class LiveMonitorServer:
     async def start(self) -> Tuple[str, int]:
         """Bind the socket and start polling; returns the bound address."""
         loop = asyncio.get_running_loop()
-        self._transport, _ = await loop.create_datagram_endpoint(
-            lambda: _MonitorProtocol(self.monitor),
-            local_addr=(self._host, self._port),
-        )
+        if self._ingest_mode == "batch":
+            protocol_factory = lambda: _BatchedMonitorProtocol(self.monitor)
+        else:
+            protocol_factory = lambda: _MonitorProtocol(self.monitor)
+        if self._sock is not None:
+            self._transport, _ = await loop.create_datagram_endpoint(
+                protocol_factory, sock=self._sock
+            )
+        else:
+            self._transport, _ = await loop.create_datagram_endpoint(
+                protocol_factory, local_addr=(self._host, self._port)
+            )
         sock = self._transport.get_extra_info("sockname")
         self.address = (sock[0], sock[1])
         if self._status_port is not None:

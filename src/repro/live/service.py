@@ -30,7 +30,7 @@ import time
 from typing import Callable, Dict, List, Sequence
 
 from repro.live.monitor import LiveEvent, _EventLog, _ListenerSet
-from repro.live.status import structured
+from repro.live.status import SNAPSHOT_SCHEMA_VERSION, structured
 from repro.live.wire import Heartbeat, WireError
 from repro.qos.estimators import NetworkBehavior
 from repro.qos.timeline import OutputTimeline
@@ -231,6 +231,7 @@ class LiveSharedMonitor:
                 "n_suspicions": self.shared.n_suspicions(name),
             }
         snap = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
             "now": now,
             "mode": "shared",
             "peer": self.peer,

@@ -1,0 +1,478 @@
+"""Multi-core live ingest: SO_REUSEPORT shard workers + snapshot merging.
+
+A single :class:`~repro.live.monitor.LiveMonitor` is one Python process —
+one core, however fast the batched ingest path gets.  ``SO_REUSEPORT``
+lifts that ceiling without any routing tier: N worker processes each bind
+the *same* UDP address, and the kernel distributes datagrams across the
+sockets by a hash of the packet's 4-tuple, so one sender's heartbeats
+consistently land on one worker.  Each worker owns a full
+:class:`LiveMonitor` (its own detectors, deadline heap, poll loop, and
+local status endpoint); no state is shared between workers, so there is no
+locking anywhere on the datagram path.
+
+The parent process (:class:`ShardedMonitor`) is a pure aggregator: it
+spawns the workers, collects their status-port addresses, and serves one
+merged JSON document over the existing status protocol —
+:func:`merge_snapshots` sums the counters, unions the per-peer listings,
+and takes the worst-case poll latency, so ``repro-fd live status`` reads a
+sharded deployment exactly as it reads a single monitor (the document says
+``"mode": "sharded"`` and lists the per-shard contributions).
+
+On platforms without ``SO_REUSEPORT`` (see :func:`reuseport_supported`)
+— or with ``n_shards=1`` — :class:`ShardedMonitor` degrades to a single
+in-process :class:`LiveMonitorServer` with the same external surface: the
+same UDP port semantics, the same merged-document shape (``n_shards: 1``).
+
+Caveat: each worker stamps arrivals on its *own* monitor clock (epoch =
+its first datagram), so arrival times in the merged per-peer listing are
+shard-relative — consistent per peer (a peer sticks to one shard), not
+comparable across peers on different shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import socket
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro._validation import ensure_int_at_least, ensure_positive
+from repro.live.monitor import LiveMonitor, LiveMonitorServer
+from repro.live.status import (
+    SNAPSHOT_SCHEMA_VERSION,
+    StatusServer,
+    afetch_status,
+    structured,
+)
+
+__all__ = [
+    "ShardedMonitor",
+    "merge_snapshots",
+    "reuseport_supported",
+]
+
+logger = logging.getLogger("repro.live.shard")
+
+#: How long the parent waits for a worker to report its ports.
+WORKER_START_TIMEOUT = 10.0
+
+
+def reuseport_supported() -> bool:
+    """Can this platform bind multiple UDP sockets to one address?
+
+    True iff ``socket.SO_REUSEPORT`` exists *and* the kernel accepts it
+    (some platforms define the constant but reject the setsockopt).
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:
+        return False
+    return True
+
+
+def _bind_reuseport(host: str, port: int) -> socket.socket:
+    """One non-blocking UDP socket in the shared-port group."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.setblocking(False)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+# ----------------------------------------------------------------------
+# Snapshot merging (pure; unit-testable without any processes)
+# ----------------------------------------------------------------------
+
+#: ``monitor`` block counters that add across shards.
+_SUM_LOAD_KEYS = (
+    "n_peers",
+    "heap_size",
+    "heartbeat_rate",
+    "n_polls",
+    "n_batches",
+    "n_events_total",
+    "n_events_dropped",
+    "n_listener_errors",
+)
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-shard monitor snapshots into one status document.
+
+    Counters are summed, the per-peer listings unioned (should a peer
+    appear on several shards — possible after worker churn — the entry
+    with the most accepted heartbeats wins, ties to the later shard), and
+    the poll latency reported is the worst across shards.  Scalars that
+    must agree (interval, detector set, schema) are taken from the first
+    snapshot; a mismatch raises, because it means the shards are not
+    replicas of one configuration.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    first = snapshots[0]
+    for snap in snapshots[1:]:
+        for key in ("schema", "interval", "detectors"):
+            if snap.get(key) != first.get(key):
+                raise ValueError(
+                    f"shard snapshots disagree on {key!r}: "
+                    f"{snap.get(key)!r} != {first.get(key)!r}"
+                )
+    merged_load: Dict[str, object] = {key: 0 for key in _SUM_LOAD_KEYS}
+    last_poll = None
+    peers: Dict[str, dict] = {}
+    shards: List[dict] = []
+    n_malformed = 0
+    n_events = 0
+    for idx, snap in enumerate(snapshots):
+        load = snap.get("monitor", {})
+        for key in _SUM_LOAD_KEYS:
+            value = load.get(key)
+            if value is not None:
+                merged_load[key] += value
+        duration = load.get("last_poll_duration")
+        if duration is not None and (last_poll is None or duration > last_poll):
+            last_poll = duration
+        n_malformed += snap.get("n_malformed", 0)
+        n_events += snap.get("n_events", 0)
+        for peer, entry in snap.get("peers", {}).items():
+            held = peers.get(peer)
+            if held is None or entry.get("n_accepted", 0) >= held.get(
+                "n_accepted", 0
+            ):
+                peers[peer] = entry
+        shards.append(
+            {
+                "shard": idx,
+                "n_peers": load.get("n_peers"),
+                "n_events": snap.get("n_events"),
+                "heartbeat_rate": load.get("heartbeat_rate"),
+                "n_malformed": snap.get("n_malformed"),
+            }
+        )
+    if any("peers" in snap for snap in snapshots):
+        # With the listings present, the union is authoritative (a peer
+        # that migrated between shards must not be counted twice).
+        merged_load["n_peers"] = len(peers)
+    merged_load["last_poll_duration"] = last_poll
+    merged_load["poll_mode"] = snapshots[0].get("monitor", {}).get("poll_mode")
+    merged_load["estimation"] = snapshots[0].get("monitor", {}).get("estimation")
+    merged = {
+        "schema": first.get("schema", SNAPSHOT_SCHEMA_VERSION),
+        "mode": "sharded",
+        "n_shards": len(snapshots),
+        "interval": first.get("interval"),
+        "detectors": first.get("detectors"),
+        "n_malformed": n_malformed,
+        "n_events": n_events,
+        "monitor": merged_load,
+        "shards": shards,
+    }
+    if any("peers" in snap for snap in snapshots):
+        merged["peers"] = peers
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _shard_worker(
+    shard_id: int,
+    sock: socket.socket,
+    monitor_kwargs: dict,
+    tick: float,
+    ready_queue,
+    stop_event,
+) -> None:  # pragma: no cover - subprocess body (exercised by integration tests)
+    """One worker: a full LiveMonitor on its share of the UDP port."""
+    try:
+        asyncio.run(
+            _shard_main(
+                shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    except Exception as exc:
+        try:
+            ready_queue.put((shard_id, None, None, str(exc)))
+        except Exception:
+            pass
+        raise
+
+
+async def _shard_main(
+    shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event
+) -> None:  # pragma: no cover - subprocess body
+    monitor = LiveMonitor(**monitor_kwargs)
+    server = LiveMonitorServer(
+        monitor, tick=tick, status_port=0, sock=sock
+    )
+    await server.start()
+    assert server.status is not None
+    ready_queue.put(
+        (shard_id, server.address[1], server.status.address[1], None)
+    )
+    logger.info(
+        structured(
+            "shard-started", shard=shard_id, status_port=server.status.address[1]
+        )
+    )
+    try:
+        while not stop_event.is_set():
+            await asyncio.sleep(0.05)
+    finally:
+        await server.stop()
+
+
+# ----------------------------------------------------------------------
+# Parent aggregator
+# ----------------------------------------------------------------------
+
+
+class ShardedMonitor:
+    """N shard workers behind one UDP address + one merged status endpoint.
+
+    Parameters mirror :class:`LiveMonitor` / :class:`LiveMonitorServer`;
+    ``n_shards`` is the worker count.  With ``n_shards=1`` — or when the
+    platform lacks ``SO_REUSEPORT`` and ``fallback=True`` — everything
+    runs in-process as a single :class:`LiveMonitorServer`, same surface.
+
+    Usage::
+
+        sharded = ShardedMonitor(0.1, ["2w-fd"], n_shards=4, status_port=7700)
+        await sharded.start()       # UDP address in sharded.address
+        ...
+        await sharded.stop()
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        detectors: Sequence[str] = ("2w-fd",),
+        params: Mapping[str, float | None] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_shards: int = 2,
+        tick: float = 0.02,
+        status_port: int | None = None,
+        status_host: str = "127.0.0.1",
+        estimation: str = "shared",
+        poll_mode: str = "heap",
+        max_events: int | None = None,
+        transition_retention: int | None = None,
+        fallback: bool = True,
+    ):
+        ensure_positive(interval, "interval")
+        ensure_int_at_least(n_shards, 1, "n_shards")
+        # Validate the full monitor configuration up front (and in the
+        # parent): a bad detector spec should raise here, not in a forked
+        # worker ten seconds later.
+        self._monitor_kwargs = dict(
+            interval=float(interval),
+            detectors=tuple(detectors),
+            params=dict(params or {}),
+            estimation=estimation,
+            poll_mode=poll_mode,
+            max_events=max_events,
+            transition_retention=transition_retention,
+        )
+        LiveMonitor(**self._monitor_kwargs)
+        self._host = host
+        self._port = port
+        self._tick = float(tick)
+        self._status_port = status_port
+        self._status_host = status_host
+        self._requested_shards = n_shards
+        if n_shards > 1 and not reuseport_supported():
+            if not fallback:
+                raise RuntimeError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "cannot run a multi-shard monitor (pass n_shards=1 "
+                    "or fallback=True)"
+                )
+            logger.warning(
+                structured(
+                    "shard-fallback",
+                    reason="SO_REUSEPORT unavailable",
+                    requested=n_shards,
+                )
+            )
+            n_shards = 1
+        self.n_shards = n_shards
+        self.address: Tuple[str, int] | None = None
+        self.status: StatusServer | None = None
+        self._single: LiveMonitorServer | None = None
+        self._workers: List[multiprocessing.Process] = []
+        self._status_ports: Dict[int, int] = {}
+        self._stop_event = None
+
+    # -- single-process fallback ---------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"sharded"`` (worker processes) or ``"single"`` (in-process)."""
+        return "sharded" if self.n_shards > 1 else "single"
+
+    async def _merged_snapshot(self) -> dict:
+        snaps = []
+        errors = []
+        results = await asyncio.gather(
+            *(
+                afetch_status(self._status_host, port, timeout=2.0, retries=1)
+                for port in self._status_ports.values()
+            ),
+            return_exceptions=True,
+        )
+        for shard_id, result in zip(self._status_ports, results):
+            if isinstance(result, BaseException):
+                errors.append({"shard": shard_id, "error": str(result)})
+            else:
+                snaps.append(result)
+        if not snaps:
+            return {
+                "schema": SNAPSHOT_SCHEMA_VERSION,
+                "mode": "sharded",
+                "n_shards": self.n_shards,
+                "error": "no shard responded",
+                "shard_errors": errors,
+            }
+        merged = merge_snapshots(snaps)
+        merged["n_shards"] = self.n_shards
+        if errors:
+            merged["shard_errors"] = errors
+        return merged
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the shared UDP port, start the workers, serve the merge."""
+        if self.n_shards == 1:
+            monitor = LiveMonitor(**self._monitor_kwargs)
+            self._single = LiveMonitorServer(
+                monitor,
+                self._host,
+                self._port,
+                tick=self._tick,
+                status_port=self._status_port,
+                status_host=self._status_host,
+            )
+            self.address = await self._single.start()
+            self.status = self._single.status
+            return self.address
+
+        # Bind every worker's socket here, before forking: all must join
+        # the same SO_REUSEPORT group, and binding port 0 in the workers
+        # would hand each one a *different* ephemeral port.
+        first = _bind_reuseport(self._host, self._port)
+        bound_port = first.getsockname()[1]
+        socks = [first]
+        try:
+            for _ in range(self.n_shards - 1):
+                socks.append(_bind_reuseport(self._host, bound_port))
+        except OSError:
+            for sock in socks:
+                sock.close()
+            raise
+        self.address = (self._host, bound_port)
+
+        ctx = multiprocessing.get_context("fork")
+        self._stop_event = ctx.Event()
+        ready_queue = ctx.Queue()
+        for shard_id, sock in enumerate(socks):
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    shard_id,
+                    sock,
+                    self._monitor_kwargs,
+                    self._tick,
+                    ready_queue,
+                    self._stop_event,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._workers.append(proc)
+        # The parent's copies of the sockets must close, or the kernel
+        # would keep dealing datagrams to fds nobody reads.  (The workers
+        # inherited every fd via fork; each reads only its own — the
+        # others die with the process group at shutdown.)
+        for sock in socks:
+            sock.close()
+
+        loop = asyncio.get_running_loop()
+        try:
+            for _ in range(self.n_shards):
+                shard_id, _udp, status_port, error = await loop.run_in_executor(
+                    None, ready_queue.get, True, WORKER_START_TIMEOUT
+                )
+                if error is not None:
+                    raise RuntimeError(f"shard {shard_id} failed to start: {error}")
+                self._status_ports[shard_id] = status_port
+        except Exception:
+            await self.stop()
+            raise
+        self._status_ports = dict(sorted(self._status_ports.items()))
+
+        if self._status_port is not None:
+            self.status = StatusServer(
+                self._merged_snapshot,
+                host=self._status_host,
+                port=self._status_port,
+            )
+            await self.status.start()
+        logger.info(
+            structured(
+                "sharded-monitor-started",
+                host=self.address[0],
+                port=self.address[1],
+                n_shards=self.n_shards,
+            )
+        )
+        return self.address
+
+    async def snapshot(self) -> dict:
+        """The merged status document (fetches every live shard)."""
+        if self._single is not None:
+            snap = self._single.monitor.snapshot()
+            merged = merge_snapshots([snap])
+            merged["n_shards"] = 1
+            return merged
+        return await self._merged_snapshot()
+
+    async def stop(self) -> None:
+        """Stop the status endpoint and shut every worker down."""
+        if self.status is not None and self._single is None:
+            await self.status.stop()
+            self.status = None
+        if self._single is not None:
+            await self._single.stop()
+            self._single = None
+            self.status = None
+            return
+        if self._stop_event is not None:
+            self._stop_event.set()
+        loop = asyncio.get_running_loop()
+        for proc in self._workers:
+            await loop.run_in_executor(None, proc.join, 5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                await loop.run_in_executor(None, proc.join, 5.0)
+        self._workers = []
+        self._status_ports = {}
+        logger.info(structured("sharded-monitor-stopped"))
+
+    async def __aenter__(self) -> "ShardedMonitor":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

@@ -27,9 +27,22 @@ import json
 import logging
 from typing import Callable, Tuple
 
-__all__ = ["StatusServer", "afetch_status", "fetch_status", "structured"]
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "StatusServer",
+    "afetch_status",
+    "fetch_status",
+    "structured",
+]
 
 logger = logging.getLogger("repro.live.status")
+
+#: Version of the snapshot JSON documents served by the status endpoint
+#: (the top-level ``"schema"`` field).  Version 1 is the implicit,
+#: unversioned pre-sharding shape; version 2 added the field itself plus
+#: the shard-merge additions (``mode``/``n_shards``/``shards``), so
+#: clients can tell a single-monitor document from a shard-merged one.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: How long the server waits for an optional request line before falling
 #: back to the full snapshot (keeps bare ``nc`` connections working).
@@ -66,6 +79,11 @@ class StatusServer:
     ``summary`` is an optional second callable serving the constant-size
     variant when the client requests it (see module docstring); without
     it, every request gets the full snapshot.
+
+    Either producer may be a plain callable returning a dict *or* an
+    async callable returning one — the shard aggregator's merged snapshot
+    awaits the per-shard fetches, so its producer is a coroutine
+    function; a plain monitor's is not.
     """
 
     def __init__(
@@ -108,7 +126,10 @@ class StatusServer:
             producer = self._snapshot
             if self._summary is not None and request.strip() == b"summary":
                 producer = self._summary
-            body = json.dumps(producer(), sort_keys=True) + "\n"
+            doc = producer()
+            if asyncio.iscoroutine(doc):
+                doc = await doc
+            body = json.dumps(doc, sort_keys=True) + "\n"
         except Exception as exc:  # snapshot bugs must not kill the server
             logger.exception("status snapshot failed")
             body = json.dumps({"error": str(exc)}) + "\n"
@@ -132,6 +153,10 @@ class StatusServer:
             logger.info(structured("status-stopped"))
 
 
+#: First retry delay (seconds) of the fetch clients' exponential backoff.
+RETRY_BACKOFF = 0.1
+
+
 async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout
@@ -151,19 +176,55 @@ async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
     return json.loads(raw.decode("utf-8"))
 
 
+async def _fetch_with_retries(
+    host: str, port: int, timeout: float, summary: bool, retries: int
+) -> dict:
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    attempt = 0
+    while True:
+        try:
+            return await _fetch(host, port, timeout, summary)
+        except (OSError, asyncio.TimeoutError) as exc:
+            if attempt >= retries:
+                raise
+            delay = RETRY_BACKOFF * (2**attempt)
+            attempt += 1
+            logger.debug(
+                "status fetch from %s:%d failed (%s); retry %d/%d in %.2fs",
+                host,
+                port,
+                exc,
+                attempt,
+                retries,
+                delay,
+            )
+            await asyncio.sleep(delay)
+
+
 def fetch_status(
-    host: str, port: int, *, timeout: float = 5.0, summary: bool = False
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    summary: bool = False,
+    retries: int = 0,
 ) -> dict:
     """Fetch and parse one status document (synchronous client).
 
     ``summary=True`` requests the constant-size summary head instead of
     the full per-peer listing (servers without summary support still
-    answer with the full document).
+    answer with the full document).  ``retries`` re-attempts failed
+    connections/reads that many additional times with exponential backoff
+    (0.1 s, 0.2 s, 0.4 s, ...) before raising — useful right after
+    launching a monitor, whose status port may not be listening yet.
     """
     try:
         asyncio.get_running_loop()
     except RuntimeError:
-        return asyncio.run(_fetch(host, port, timeout, summary))
+        return asyncio.run(
+            _fetch_with_retries(host, port, timeout, summary, retries)
+        )
     raise RuntimeError(
         "fetch_status() is synchronous; inside an event loop await "
         "status.afetch_status(...) instead"
@@ -171,7 +232,12 @@ def fetch_status(
 
 
 async def afetch_status(
-    host: str, port: int, *, timeout: float = 5.0, summary: bool = False
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    summary: bool = False,
+    retries: int = 0,
 ) -> dict:
     """Async variant of :func:`fetch_status` for use inside an event loop."""
-    return await _fetch(host, port, timeout, summary)
+    return await _fetch_with_retries(host, port, timeout, summary, retries)

@@ -1,0 +1,170 @@
+"""Shared-estimation equivalence: the optimization must be invisible.
+
+The whole contract of :class:`repro.core.arrivalstats.SharedArrivalState`
+and of ``LiveMonitor.ingest_many`` is that they change *cost*, never
+*outputs*: every combination of {scalar, batched} ingest x {private,
+shared} estimation x {heap, sweep} polling must produce bitwise-identical
+event streams and final freshness points over an identical arrival
+sequence.  These tests drive all eight variants through randomized chaos
+runs (loss, exponential delay, sender clock drift) and compare exactly —
+no tolerances: the shared path reuses the private path's floats, it does
+not approximate them.
+"""
+
+import pytest
+
+from repro.live.chaos import ChaosSpec, plan_delivery
+from repro.live.monitor import LiveMonitor
+from repro.net.clock import DriftingClock
+from repro.net.delays import ExponentialDelay
+from repro.net.loss import BernoulliLoss
+
+INTERVAL = 0.1
+DETECTORS = ["2w-fd", "chen", "phi", "ed", "bertier", "adaptive-2w-fd"]
+PARAMS = {"2w-fd": 0.05, "chen": 0.05, "phi": 3.0, "ed": 0.95}
+POLL_EVERY = 0.031
+
+VARIANTS = [
+    (batched, estimation, poll_mode)
+    for batched in (False, True)
+    for estimation in ("private", "shared")
+    for poll_mode in ("heap", "sweep")
+]
+
+
+def _chaos_packets(seed, n_beats=250, senders=("alpha", "beta", "gamma")):
+    spec = ChaosSpec(
+        loss=BernoulliLoss(p=0.08),
+        delay=ExponentialDelay(scale=0.02),
+        clock=DriftingClock(drift=2e-4, offset=5.0),
+        seed=seed,
+    )
+    packets = [
+        p
+        for sender in senders
+        for p in plan_delivery(spec, INTERVAL, n_beats, sender=sender)
+        if p.delivered
+    ]
+    packets.sort(key=lambda p: p.wall_arrival)
+    return packets
+
+
+def _run_variant(variant, packets, end, detectors=DETECTORS):
+    """Feed the planned arrivals in poll-interleaved batches; return the
+    full observable state: events, final freshness points, shared set."""
+    batched, estimation, poll_mode = variant
+    monitor = LiveMonitor(
+        INTERVAL,
+        detectors,
+        {k: v for k, v in PARAMS.items() if k in detectors},
+        clock=lambda: 0.0,
+        poll_mode=poll_mode,
+        estimation=estimation,
+    )
+    monitor.now()  # pin the epoch so explicit arrivals are on its scale
+    t = 0.0
+    i = 0
+    n = len(packets)
+    while i < n:
+        t += POLL_EVERY
+        batch = []
+        while i < n and packets[i].wall_arrival <= t:
+            batch.append(packets[i])
+            i += 1
+        if batch:
+            if batched:
+                monitor.ingest_many(
+                    [p.datagram for p in batch],
+                    [p.wall_arrival for p in batch],
+                )
+            else:
+                for p in batch:
+                    monitor.ingest(p.datagram, p.wall_arrival)
+        monitor.poll(t)
+    monitor.poll(end)
+    events = [(e.time, e.peer, e.detector, e.trusting) for e in monitor.events]
+    deadlines = {
+        (peer, name): det.suspicion_deadline
+        for peer in monitor.peers
+        for name, det in monitor._peers[peer].detectors.items()
+    }
+    return events, deadlines, tuple(sorted(monitor.shared_detectors))
+
+
+class TestEightWayEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_all_variants_bitwise_identical(self, seed):
+        packets = _chaos_packets(seed)
+        end = max(p.wall_arrival for p in packets) + 1.5
+        ref_events, ref_deadlines, _ = _run_variant(VARIANTS[0], packets, end)
+        assert ref_events, "chaos run produced no events — test is vacuous"
+        for variant in VARIANTS[1:]:
+            events, deadlines, shared = _run_variant(variant, packets, end)
+            assert events == ref_events, (
+                f"seed {seed}: event stream diverges for {variant} "
+                f"({len(events)} vs {len(ref_events)} events)"
+            )
+            assert deadlines == ref_deadlines, (
+                f"seed {seed}: final freshness points diverge for {variant}"
+            )
+            if variant[1] == "shared":
+                # Every detector in the set accepted the shared bind —
+                # nothing silently fell back to private estimation.
+                assert shared == tuple(sorted(DETECTORS))
+
+    def test_single_detector_shared_noop_path(self):
+        """The fast path (shared stats + stateless detector) alone."""
+        packets = _chaos_packets(11, n_beats=150, senders=("p",))
+        end = max(p.wall_arrival for p in packets) + 1.0
+        detectors = ["2w-fd"]
+        ref = _run_variant((False, "private", "sweep"), packets, end, detectors)
+        fast = _run_variant((True, "shared", "heap"), packets, end, detectors)
+        assert fast[0] == ref[0]
+        assert fast[1] == ref[1]
+
+    def test_bertier_shared_mid_path(self):
+        """Bertier exercises the pre-push mean capture + fused receive."""
+        packets = _chaos_packets(12, n_beats=150, senders=("p", "q"))
+        end = max(p.wall_arrival for p in packets) + 1.0
+        detectors = ["bertier"]
+        ref = _run_variant((False, "private", "sweep"), packets, end, detectors)
+        fast = _run_variant((True, "shared", "heap"), packets, end, detectors)
+        assert fast[0] == ref[0]
+        assert fast[1] == ref[1]
+
+
+class TestSharedStateAccounting:
+    def test_window_pushes_not_repeated(self):
+        """The 5-detector comparison set needs exactly 3 windows, not 5+."""
+        monitor = LiveMonitor(
+            INTERVAL,
+            ["2w-fd", "chen", "phi", "ed", "bertier"],
+            PARAMS,
+            clock=lambda: 0.0,
+            estimation="shared",
+        )
+        monitor.now()
+        for p in _chaos_packets(13, n_beats=30, senders=("p",)):
+            monitor.ingest(p.datagram, p.wall_arrival)
+        state = monitor._peers["p"]
+        assert state.stats is not None
+        desc = state.stats.describe()
+        # est windows: size-1 (2w-fd tuned) + size-1000 (chen/bertier);
+        # gap windows: size-1000 (phi + ed share it).
+        assert desc["n_windows"] == 3
+        assert desc["pre_mean_sizes"] == [1000]  # bertier's pre-push read
+
+    def test_registration_closed_after_seal(self):
+        from repro.core.arrivalstats import SharedArrivalState
+
+        stats = SharedArrivalState(INTERVAL)
+        stats.estimator(100)
+        stats.seal()
+        with pytest.raises(ValueError, match="sealed"):
+            stats.estimator(50)
+        with pytest.raises(ValueError, match="sealed"):
+            stats.gap_window(10)
+        with pytest.raises(ValueError, match="sealed"):
+            stats.track_pre_mean(200)
+        # Already-registered windows stay retrievable.
+        assert stats.estimator(100) is not None

@@ -2,7 +2,15 @@
 
 import asyncio
 
-from repro.live.status import REQUEST_TIMEOUT, StatusServer, afetch_status
+import pytest
+
+from repro.live.status import (
+    REQUEST_TIMEOUT,
+    RETRY_BACKOFF,
+    StatusServer,
+    afetch_status,
+    fetch_status,
+)
 
 FULL = {"kind": "full", "peers": {"p": {}}}
 SUMMARY = {"kind": "summary"}
@@ -83,3 +91,93 @@ class TestSummaryProtocol:
                 await server.stop()
 
         assert "snapshot bug" in asyncio.run(scenario())["error"]
+
+
+class TestAsyncProducer:
+    def test_coroutine_snapshot_is_awaited(self):
+        """The shard aggregator's merged-snapshot producer is async."""
+
+        async def snapshot():
+            await asyncio.sleep(0)
+            return {"kind": "merged"}
+
+        async def scenario():
+            server = StatusServer(snapshot)
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == {"kind": "merged"}
+
+    def test_async_producer_error_served_not_raised(self):
+        async def boom():
+            raise RuntimeError("merge bug")
+
+        async def scenario():
+            server = StatusServer(boom)
+            host, port = await server.start()
+            try:
+                return await afetch_status(host, port)
+            finally:
+                await server.stop()
+
+        assert "merge bug" in asyncio.run(scenario())["error"]
+
+
+class TestRetries:
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_no_retries_fails_immediately(self):
+        port = self._free_port()
+        with pytest.raises(OSError):
+            fetch_status("127.0.0.1", port, timeout=1.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            fetch_status("127.0.0.1", 1, retries=-1)
+
+    def test_retries_exhausted_raises_with_backoff(self):
+        """N retries = N+1 attempts, exponentially spaced."""
+        port = self._free_port()
+        loop = asyncio.new_event_loop()
+        try:
+            start = loop.time()
+            with pytest.raises(OSError):
+                loop.run_until_complete(
+                    afetch_status("127.0.0.1", port, timeout=1.0, retries=2)
+                )
+            elapsed = loop.time() - start
+        finally:
+            loop.close()
+        # Two backoff sleeps happened: 0.1s + 0.2s (connection refusal
+        # itself is ~instant on loopback).
+        assert elapsed >= RETRY_BACKOFF + 2 * RETRY_BACKOFF
+
+    def test_retry_succeeds_once_server_appears(self):
+        """The headline use: polling a status port that isn't up yet."""
+
+        async def scenario():
+            port = self._free_port()
+            server = StatusServer(lambda: FULL, port=port)
+
+            async def fetch():
+                return await afetch_status(
+                    "127.0.0.1", port, timeout=1.0, retries=5
+                )
+
+            task = asyncio.ensure_future(fetch())
+            await asyncio.sleep(RETRY_BACKOFF * 1.5)  # let attempts fail
+            await server.start()
+            try:
+                return await task
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == FULL

@@ -1,0 +1,227 @@
+"""Wire-decode fuzzing: hostile datagrams may only ever raise WireError.
+
+A UDP port is an open mailbox — anyone can write anything to it — so the
+decode layer's contract is absolute: every byte string either parses into
+``(sender, seq, timestamp)`` or raises :class:`WireError`; no other
+exception type, ever, and the two decoders (:meth:`Heartbeat.decode` and
+the batched hot path's :func:`decode_fields`) must agree byte-for-byte on
+which payloads they accept.  The monitor layers on top: malformed
+datagrams are *counted*, never crashed on, in both the scalar and batched
+ingest paths.
+"""
+
+import math
+import random
+import struct
+
+import pytest
+
+from repro.live.monitor import LiveMonitor
+from repro.live.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_SENDER_BYTES,
+    VERSION,
+    Heartbeat,
+    WireError,
+    decode_fields,
+)
+
+PARAMS = {"2w-fd": 0.3}
+
+
+def _decode_outcome(decoder, data):
+    """(``"ok"``, fields) or (``"err"``, message); anything else fails the test."""
+    try:
+        result = decoder(data)
+    except WireError as exc:
+        return "err", type(exc).__name__
+    except Exception as exc:  # pragma: no cover - the bug being hunted
+        pytest.fail(f"{decoder} raised {type(exc).__name__} on {data!r}: {exc}")
+    if isinstance(result, Heartbeat):
+        result = (result.sender, result.seq, result.timestamp)
+    return "ok", result
+
+
+def _assert_decoders_agree(data):
+    kind_a, val_a = _decode_outcome(Heartbeat.decode, data)
+    kind_b, val_b = _decode_outcome(decode_fields, data)
+    assert kind_a == kind_b, (
+        f"decoders disagree on {data!r}: decode={kind_a}, decode_fields={kind_b}"
+    )
+    if kind_a == "ok":
+        assert val_a == val_b
+
+
+def _valid_payload(rng):
+    sender = "".join(
+        rng.choice("abcdefghijklmnopqrstuvwxyz0123456789-λπ☃")
+        for _ in range(rng.randint(1, 40))
+    )
+    while len(sender.encode("utf-8")) > MAX_SENDER_BYTES:
+        sender = sender[:-1]
+    seq = rng.randint(1, 2**63)
+    ts = rng.uniform(-1e9, 1e9)
+    return Heartbeat(sender, seq, ts).encode()
+
+
+class TestRoundTrip:
+    def test_random_heartbeats_round_trip(self):
+        rng = random.Random(1234)
+        for _ in range(500):
+            data = _valid_payload(rng)
+            hb = Heartbeat.decode(data)
+            assert decode_fields(data) == (hb.sender, hb.seq, hb.timestamp)
+            assert hb.encode() == data
+            assert hb.wire_size == len(data)
+
+
+class TestHostileDatagrams:
+    def test_truncations_of_valid_payloads(self):
+        """Every proper prefix of a valid datagram is rejected identically."""
+        rng = random.Random(99)
+        for _ in range(50):
+            data = _valid_payload(rng)
+            for cut in range(len(data)):
+                prefix = data[:cut]
+                _assert_decoders_agree(prefix)
+                with pytest.raises(WireError):
+                    decode_fields(prefix)
+
+    def test_extensions_of_valid_payloads(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            data = _valid_payload(rng) + bytes(
+                rng.getrandbits(8) for _ in range(rng.randint(1, 16))
+            )
+            _assert_decoders_agree(data)
+            with pytest.raises(WireError):
+                decode_fields(data)
+
+    def test_bad_magic(self):
+        good = Heartbeat("p", 1, 0.0).encode()
+        for bad in (b"2WFE", b"\x00\x00\x00\x00", b"2wfd", b"DFW2"):
+            _assert_decoders_agree(bad + good[4:])
+            with pytest.raises(WireError, match="magic"):
+                decode_fields(bad + good[4:])
+
+    def test_bad_version(self):
+        good = bytearray(Heartbeat("p", 1, 0.0).encode())
+        for version in (0, 2, 255):
+            good[4] = version
+            data = bytes(good)
+            _assert_decoders_agree(data)
+            with pytest.raises(WireError, match="version"):
+                decode_fields(data)
+
+    def test_length_field_lies(self):
+        """Sender-length byte inconsistent with the actual payload size."""
+        good = bytearray(Heartbeat("peer", 1, 0.0).encode())
+        for claimed in (0, 1, 3, 5, 200, 255):
+            lying = bytearray(good)
+            lying[5] = claimed
+            data = bytes(lying)
+            if claimed != 4:
+                with pytest.raises(WireError):
+                    decode_fields(data)
+            _assert_decoders_agree(data)
+
+    def test_empty_sender_id(self):
+        data = struct.pack("!4sBB", MAGIC, VERSION, 0) + struct.pack("!Qd", 1, 0.0)
+        assert len(data) == HEADER_SIZE
+        _assert_decoders_agree(data)
+        with pytest.raises(WireError, match="non-empty"):
+            decode_fields(data)
+
+    def test_invalid_utf8_sender_id(self):
+        raw = b"\xff\xfe\x80"
+        data = (
+            struct.pack("!4sBB", MAGIC, VERSION, len(raw))
+            + raw
+            + struct.pack("!Qd", 1, 0.0)
+        )
+        _assert_decoders_agree(data)
+        with pytest.raises(WireError, match="UTF-8"):
+            decode_fields(data)
+
+    def test_zero_sequence_number(self):
+        data = (
+            struct.pack("!4sBB", MAGIC, VERSION, 1)
+            + b"p"
+            + struct.pack("!Qd", 0, 0.0)
+        )
+        _assert_decoders_agree(data)
+        with pytest.raises(WireError, match="start at 1"):
+            decode_fields(data)
+
+    def test_non_finite_timestamps(self):
+        for ts in (math.inf, -math.inf, math.nan):
+            data = (
+                struct.pack("!4sBB", MAGIC, VERSION, 1)
+                + b"p"
+                + struct.pack("!Qd", 1, ts)
+            )
+            _assert_decoders_agree(data)
+            with pytest.raises(WireError, match="finite"):
+                decode_fields(data)
+
+    def test_pure_random_bytes(self):
+        rng = random.Random(2024)
+        for _ in range(2000):
+            data = bytes(
+                rng.getrandbits(8) for _ in range(rng.randint(0, 80))
+            )
+            _assert_decoders_agree(data)
+
+    def test_mutated_valid_payloads(self):
+        """Single-byte corruptions of real heartbeats: agree, never crash."""
+        rng = random.Random(555)
+        for _ in range(300):
+            data = bytearray(_valid_payload(rng))
+            for _ in range(rng.randint(1, 3)):
+                data[rng.randrange(len(data))] = rng.getrandbits(8)
+            _assert_decoders_agree(bytes(data))
+
+
+class TestMonitorNeverCrashes:
+    def _garbage(self, rng, n):
+        out = []
+        for _ in range(n):
+            choice = rng.random()
+            if choice < 0.4:
+                out.append(
+                    bytes(rng.getrandbits(8) for _ in range(rng.randint(0, 60)))
+                )
+            elif choice < 0.7:
+                data = _valid_payload(rng)
+                out.append(data[: rng.randrange(len(data))])
+            else:
+                data = bytearray(_valid_payload(rng))
+                data[rng.randrange(len(data))] = rng.getrandbits(8)
+                out.append(bytes(data))
+        return out
+
+    def test_scalar_ingest_counts_malformed(self):
+        rng = random.Random(31337)
+        monitor = LiveMonitor(0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0)
+        garbage = self._garbage(rng, 500)
+        n_valid = 0
+        for data in garbage:
+            hb = monitor.ingest(data, arrival=monitor.now())
+            if hb is not None:
+                n_valid += 1
+        assert monitor.n_malformed + n_valid == len(garbage)
+
+    def test_batched_ingest_counts_malformed(self):
+        rng = random.Random(31337)
+        monitor = LiveMonitor(0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0)
+        garbage = self._garbage(rng, 500)
+        n_decoded = monitor.ingest_many(garbage)
+        scalar = LiveMonitor(0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0)
+        n_valid = sum(
+            scalar.ingest(data, arrival=scalar.now()) is not None
+            for data in garbage
+        )
+        assert n_decoded == n_valid
+        assert monitor.n_malformed == len(garbage) - n_valid
+        assert monitor.n_malformed == scalar.n_malformed
