@@ -35,6 +35,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --peers 10 --rounds 2
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --no-shards
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --check BENCH_ingest.json
+    PYTHONPATH=src python benchmarks/bench_live_ingest.py --obs on --peers 50
+    PYTHONPATH=src python benchmarks/bench_live_ingest.py --guard BENCH_ingest.json
+
+``--obs on`` runs the same workload through monitors carrying a full
+:class:`repro.obs.Observability` bundle (metrics + tracer + QoS health),
+quantifying the instrumentation overhead; the default ``--obs off``
+matches the committed baseline.  ``--guard FILE`` compares the measured
+``speedup_batched_over_scalar`` per peer count against a committed
+snapshot and fails if it regressed more than ``--guard-tolerance``
+(host-relative ratios travel across machines; raw datagram rates do
+not, which is why the guard never compares absolute throughput).
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from typing import Dict, List, Sequence
 
 from repro.live.monitor import LiveMonitor
 from repro.live.wire import Heartbeat
+from repro.obs import Observability
 
 SCHEMA = "repro-fd/bench-ingest/v1"
 DEFAULT_PEERS = (10, 50, 200)
@@ -62,11 +74,18 @@ SHARD_COUNTS = (1, 2, 4)
 SHARD_PEERS = 50  # peers per worker in the shard-scaling stage
 
 
-def _make_monitor(estimation: str) -> LiveMonitor:
+def _make_monitor(estimation: str, obs: bool = False) -> LiveMonitor:
     """``private`` + scalar ingest is the pre-optimization baseline;
-    ``shared`` + batched ingest is the full optimized stack."""
+    ``shared`` + batched ingest is the full optimized stack.  ``obs``
+    attaches a full observability bundle (metrics registry, tracer, QoS
+    health) — the ``--obs on`` overhead measurement."""
     return LiveMonitor(
-        INTERVAL, DETECTORS, PARAMS, clock=lambda: 0.0, estimation=estimation
+        INTERVAL,
+        DETECTORS,
+        PARAMS,
+        clock=lambda: 0.0,
+        estimation=estimation,
+        obs=Observability() if obs else None,
     )
 
 
@@ -164,11 +183,14 @@ def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
     return len(ev_s)
 
 
-def bench_peer_count(n_peers: int, rounds: int) -> Dict[str, object]:
+def bench_peer_count(
+    n_peers: int, rounds: int, obs: bool = False
+) -> Dict[str, object]:
     """One ``peers_<n>`` result block (equivalence asserted first)."""
     n_equiv_events = assert_equivalent(n_peers)
 
-    scalar, batched = _make_monitor("private"), _make_monitor("shared")
+    scalar = _make_monitor("private", obs)
+    batched = _make_monitor("shared", obs)
     scalar.now(), batched.now()  # pin epochs at 0
     seq = 1
     warm = _round_payloads(n_peers, seq, WARMUP_BEATS)
@@ -340,10 +362,74 @@ def check_snapshot(path: str) -> List[str]:
     return problems
 
 
+def guard_regression(
+    snapshot_path: str, results: Dict[str, dict], tolerance: float
+) -> List[str]:
+    """Compare measured speedups against a committed snapshot.
+
+    Only the host-relative ``speedup_batched_over_scalar`` ratio is
+    compared — absolute datagram rates don't travel across machines.
+    Returns a list of regressions (empty = within tolerance).
+    """
+    problems: List[str] = []
+    try:
+        with open(snapshot_path) as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {snapshot_path}: {exc}"]
+    committed_results = committed.get("results", {})
+    compared = 0
+    for name, block in results.items():
+        if not name.startswith("peers_"):
+            continue
+        base = committed_results.get(name)
+        if not isinstance(base, dict):
+            continue
+        base_speedup = base.get("speedup_batched_over_scalar")
+        measured = block.get("speedup_batched_over_scalar")
+        if not isinstance(base_speedup, (int, float)):
+            continue
+        compared += 1
+        floor = base_speedup * (1.0 - tolerance)
+        if measured < floor:
+            problems.append(
+                f"{name}: speedup {measured:.2f}x fell below "
+                f"{floor:.2f}x ({base_speedup:.2f}x committed, "
+                f"-{tolerance:.0%} tolerance)"
+            )
+    if not compared:
+        problems.append(
+            f"no peer counts overlap with {snapshot_path}; "
+            "nothing was guarded"
+        )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_ingest.json")
     parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--obs",
+        choices=("off", "on"),
+        default="off",
+        help="attach a full Observability bundle to the measured monitors "
+        "(default off, matching the committed baseline)",
+    )
+    parser.add_argument(
+        "--guard",
+        metavar="FILE",
+        default=None,
+        help="after measuring, fail if speedup_batched_over_scalar "
+        "regressed more than --guard-tolerance vs this snapshot",
+    )
+    parser.add_argument(
+        "--guard-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional speedup regression for --guard "
+        "(default 0.10)",
+    )
     parser.add_argument(
         "--peers",
         type=int,
@@ -373,10 +459,17 @@ def main() -> int:
         print(f"{args.check}: ok ({SCHEMA})")
         return 0
 
+    if args.guard is not None and args.obs == "on":
+        # The committed baseline is measured with observability off; an
+        # obs-on run would "regress" by its own instrumentation cost.
+        print("--guard requires --obs off (the baseline's configuration)")
+        return 2
+
     peer_counts = tuple(args.peers) if args.peers else DEFAULT_PEERS
+    obs = args.obs == "on"
     results: dict = {}
     for n in peer_counts:
-        block = bench_peer_count(n, args.rounds)
+        block = bench_peer_count(n, args.rounds, obs)
         results[f"peers_{n}"] = block
         print(
             f"  {n:>4} peers: scalar "
@@ -411,6 +504,7 @@ def main() -> int:
             "beats_per_round": BEATS_PER_ROUND,
             "batch_size": TARGET_BATCH,
             "estimation": {"scalar": "private", "batched": "shared"},
+            "obs": args.obs,
         },
         "results": results,
     }
@@ -418,6 +512,18 @@ def main() -> int:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    if args.guard is not None:
+        regressions = guard_regression(args.guard, results, args.guard_tolerance)
+        if regressions:
+            for r in regressions:
+                print(f"GUARD: {r}")
+            return 1
+        print(
+            f"guard: within {args.guard_tolerance:.0%} of {args.guard} "
+            f"({len([k for k in results if k.startswith('peers_')])} "
+            "peer count(s) compared)"
+        )
     return 0
 
 

@@ -12,6 +12,8 @@
     repro-fd live monitor --port 9999 --detector 2w-fd=0.3 --status-port 9998
     repro-fd live heartbeat --target 127.0.0.1:9999 --interval 0.1 --crash 30
     repro-fd live status --port 9998           # JSON snapshot of a monitor
+    repro-fd live metrics --port 9998 --watch  # Prometheus text exposition
+    repro-fd live trace --port 9998 --follow   # heartbeat lifecycle trace
     repro-fd report -o report.md --jobs 4      # parallel over experiments
     repro-fd cache info                        # on-disk trace/kernel cache
 
@@ -192,6 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
         "heartbeat into one window set consumed by every detector "
         "(default), 'private' keeps the reference per-detector copies",
     )
+    p_mon.add_argument(
+        "--obs",
+        choices=["on", "off"],
+        default="on",
+        help="observability: metrics registry + heartbeat tracing + QoS "
+        "health estimators, served via the status endpoint's 'metrics' "
+        "and 'trace' commands (default on; 'off' = zero instrumentation, "
+        "the benchmark configuration)",
+    )
+    p_mon.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace only every Nth heartbeat's send/recv/fresh stages "
+        "(suspect/trust transitions are always traced; default 1 = all)",
+    )
 
     p_hb = live_sub.add_parser(
         "heartbeat", help="send UDP heartbeats (optionally through chaos)"
@@ -251,6 +270,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry failed fetches N more times with exponential backoff "
         "(0.1s, 0.2s, 0.4s, ...; default 0 = fail immediately)",
     )
+
+    p_met = live_sub.add_parser(
+        "metrics",
+        help="fetch a monitor's Prometheus text exposition (needs a "
+        "monitor running with observability on)",
+    )
+    p_met.add_argument("--host", default="127.0.0.1")
+    p_met.add_argument("--port", type=int, required=True, help="status port")
+    p_met.add_argument(
+        "--watch",
+        nargs="?",
+        type=float,
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="re-scrape and re-print every SECONDS (default 2) until "
+        "interrupted, instead of one shot",
+    )
+    p_met.add_argument("--timeout", type=float, default=5.0, metavar="S")
+    p_met.add_argument("--retries", type=int, default=0, metavar="N")
+
+    p_tr = live_sub.add_parser(
+        "trace",
+        help="fetch a monitor's heartbeat lifecycle trace as JSON lines",
+    )
+    p_tr.add_argument("--host", default="127.0.0.1")
+    p_tr.add_argument("--port", type=int, required=True, help="status port")
+    p_tr.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        metavar="CURSOR",
+        help="only events with id > CURSOR (default 0 = everything retained)",
+    )
+    p_tr.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll for new events until interrupted (cursor-based: each "
+        "event is printed exactly once; ring-buffer gaps are reported)",
+    )
+    p_tr.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="poll period with --follow (default 1s)",
+    )
+    p_tr.add_argument("--timeout", type=float, default=5.0, metavar="S")
+    p_tr.add_argument("--retries", type=int, default=0, metavar="N")
 
     p_cfg = sub.add_parser(
         "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
@@ -485,6 +553,7 @@ def _cmd_live_monitor(args) -> int:
         ("--max-events", args.max_events),
         ("--retain-transitions", args.retain_transitions),
         ("--shards", args.shards),
+        ("--trace-sample", args.trace_sample),
     ):
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
@@ -493,6 +562,11 @@ def _cmd_live_monitor(args) -> int:
         return _run_sharded_monitor(args, names, params)
 
     async def run() -> int:
+        obs = None
+        if args.obs == "on":
+            from repro.obs import Observability
+
+            obs = Observability(trace_sample_every=args.trace_sample)
         monitor = LiveMonitor(
             args.interval,
             names,
@@ -501,6 +575,7 @@ def _cmd_live_monitor(args) -> int:
             estimation=args.estimation,
             max_events=args.max_events,
             transition_retention=args.retain_transitions,
+            obs=obs,
         )
         monitor.subscribe(
             lambda e: print(f"[{e.time:9.3f}s] {e.peer}/{e.detector}: {e.kind}")
@@ -519,6 +594,9 @@ def _cmd_live_monitor(args) -> int:
             if server.status is not None:
                 print(f"status endpoint: TCP {server.status.address[0]}:"
                       f"{server.status.address[1]}")
+                if obs is not None:
+                    print("  (send 'metrics' for Prometheus text, 'trace' "
+                          "for the heartbeat trace)")
             try:
                 if args.duration is not None:
                     await asyncio.sleep(args.duration)
@@ -568,6 +646,8 @@ def _run_sharded_monitor(args, names, params) -> int:
             poll_mode=args.poll_mode,
             max_events=args.max_events,
             transition_retention=args.retain_transitions,
+            obs=args.obs == "on",
+            trace_sample_every=args.trace_sample,
         )
         async with sharded:
             host, port = sharded.address
@@ -684,6 +764,106 @@ def _cmd_live_status(args) -> int:
     return 0
 
 
+def _reach_error(args, exc) -> int:
+    attempts = f" after {args.retries + 1} attempts" if args.retries else ""
+    reason = str(exc) or type(exc).__name__
+    print(
+        f"cannot reach {args.host}:{args.port}{attempts}: {reason}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_live_metrics(args) -> int:
+    import time
+
+    from repro.live.status import fetch_metrics
+
+    if args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
+        return 2
+    if args.watch is not None and args.watch <= 0:
+        print(f"--watch must be positive, got {args.watch}", file=sys.stderr)
+        return 2
+    while True:
+        try:
+            text = fetch_metrics(
+                args.host,
+                args.port,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            return _reach_error(args, exc)
+        except ValueError as exc:
+            # JSON came back: the endpoint is up but has no registry.
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(text, end="" if text.endswith("\n") else "\n")
+        if args.watch is None:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_live_trace(args) -> int:
+    import json
+    import time
+
+    from repro.live.status import fetch_trace
+
+    if args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"--interval must be positive, got {args.interval}", file=sys.stderr)
+        return 2
+    if args.since < 0:
+        print(f"--since must be non-negative, got {args.since}", file=sys.stderr)
+        return 2
+    cursor = args.since
+    while True:
+        try:
+            doc = fetch_trace(
+                args.host,
+                args.port,
+                cursor,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            return _reach_error(args, exc)
+        if doc.get("tracing") is False or "events" not in doc:
+            # Either an explicit "no tracer" document, or the endpoint
+            # fell back to a status snapshot (no trace producer at all).
+            print(
+                "the monitor is running without a tracer (observability "
+                "off, or a sharded parent endpoint — per-shard trace is "
+                "served on each worker's own status port)",
+                file=sys.stderr,
+            )
+            return 1
+        if doc.get("dropped"):
+            print(
+                f"# {doc['dropped']} event(s) aged out of the ring buffer "
+                "before this fetch",
+                file=sys.stderr,
+            )
+        for event in doc.get("events", ()):
+            print(json.dumps(event, sort_keys=True))
+        cursor = doc.get("cursor", cursor)
+        if not args.follow:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -728,6 +908,10 @@ def _dispatch(args) -> int:
             return _cmd_live_heartbeat(args)
         if args.live_command == "status":
             return _cmd_live_status(args)
+        if args.live_command == "metrics":
+            return _cmd_live_metrics(args)
+        if args.live_command == "trace":
+            return _cmd_live_trace(args)
         raise AssertionError(f"unhandled live command {args.live_command}")
     if args.command == "cache":
         return _cmd_cache(args.action)

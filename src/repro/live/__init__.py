@@ -34,8 +34,12 @@ from repro.live.shard import ShardedMonitor, merge_snapshots, reuseport_supporte
 from repro.live.status import (
     SNAPSHOT_SCHEMA_VERSION,
     StatusServer,
+    afetch_metrics,
     afetch_status,
+    afetch_trace,
+    fetch_metrics,
     fetch_status,
+    fetch_trace,
 )
 from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError, decode_fields
 
@@ -57,9 +61,13 @@ __all__ = [
     "StatusServer",
     "VERSION",
     "WireError",
+    "afetch_metrics",
     "afetch_status",
+    "afetch_trace",
     "decode_fields",
+    "fetch_metrics",
     "fetch_status",
+    "fetch_trace",
     "merge_snapshots",
     "plan_delivery",
     "reuseport_supported",

@@ -27,6 +27,7 @@ from repro._validation import ensure_positive
 from repro.live.chaos import ChaosSpec
 from repro.live.status import structured
 from repro.live.wire import Heartbeat
+from repro.obs.runtime import Observability
 
 __all__ = ["Heartbeater"]
 
@@ -50,6 +51,13 @@ class Heartbeater:
         Fault injection; default no loss, no delay, perfect clock, no crash.
     clock:
         Monotonic time source (injectable for tests).
+    obs:
+        Observability bundle (``None`` = off).  Exports per-sender
+        ``repro_heartbeats_sent_total`` / ``repro_heartbeats_chaos_dropped_total``
+        counters (mirrored from the running totals at scrape time) and —
+        when a tracer is attached — records a sampled ``send`` trace
+        event per emitted heartbeat, correlated with the monitor's
+        ``recv``/``fresh`` stages via the ``"<sender>:<seq>"`` span.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class Heartbeater:
         count: int | None = None,
         chaos: ChaosSpec | None = None,
         clock: Callable[[], float] = time.monotonic,
+        obs: Observability | None = None,
     ):
         ensure_positive(interval, "interval")
         if count is not None and count < 1:
@@ -76,6 +85,31 @@ class Heartbeater:
         self.n_sent = 0  # heartbeats emitted by p (pre-chaos)
         self.n_dropped = 0  # eaten by chaos loss
         self.crashed = False
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            reg = obs.registry
+            m_sent = reg.counter(
+                "repro_heartbeats_sent_total",
+                "Heartbeats emitted by the sender (pre-chaos).",
+                ("sender",),
+            ).labels(sender_id)
+            m_dropped = reg.counter(
+                "repro_heartbeats_chaos_dropped_total",
+                "Heartbeats eaten by injected chaos loss.",
+                ("sender",),
+            ).labels(sender_id)
+            g_crashed = reg.gauge(
+                "repro_heartbeater_crashed",
+                "1 after the injected crash point, else 0.",
+                ("sender",),
+            ).labels(sender_id)
+
+            def _collect() -> None:
+                m_sent.set_total(self.n_sent)
+                m_dropped.set_total(self.n_dropped)
+                g_crashed.set(1.0 if self.crashed else 0.0)
+
+            reg.add_collect_hook(_collect)
 
     @property
     def interval(self) -> float:
@@ -133,12 +167,23 @@ class Heartbeater:
                     except asyncio.TimeoutError:
                         pass
                 self.n_sent += 1
+                timestamp = link.sender_clock(self._clock())
                 payload = Heartbeat(
                     sender=self._sender_id,
                     seq=k,
-                    timestamp=link.sender_clock(self._clock()),
+                    timestamp=timestamp,
                 ).encode()
                 fate = link.fate()
+                tracer = self._tracer
+                if tracer is not None and tracer.wants(k):
+                    tracer.record(
+                        "send",
+                        time=timestamp,
+                        peer=self._sender_id,
+                        hb_seq=k,
+                        delivered=fate.delivered,
+                        delay=fate.delay,
+                    )
                 if not fate.delivered:
                     self.n_dropped += 1
                 elif fate.delay <= 0.0:

@@ -50,6 +50,8 @@ from repro.core.base import HeartbeatFailureDetector
 from repro.detectors.registry import make_tuned
 from repro.live.status import SNAPSHOT_SCHEMA_VERSION, StatusServer, structured
 from repro.live.wire import Heartbeat, WireError, decode_fields
+from repro.obs.metrics import log_buckets
+from repro.obs.runtime import Observability
 from repro.qos.timeline import OutputTimeline
 
 __all__ = ["LiveEvent", "LiveMonitor", "LiveMonitorServer", "PeerStatus"]
@@ -332,6 +334,16 @@ class LiveMonitor:
         log entries per detector (``None`` = full history).  Running
         suspicion counters stay exact; :meth:`timelines` is exact over
         the retained window (full history when off).
+    obs:
+        An :class:`repro.obs.runtime.Observability` bundle (``None`` =
+        observability off, the default — near-zero hot-path cost).  When
+        given, the monitor registers a scrape-time collector that mirrors
+        its running totals into Prometheus counters, exports per-(peer,
+        detector) QoS gauges (rolling T_MR/T_M/P_A from ``obs.qos``, plus
+        the projected T_D — freshness point minus last arrival), observes
+        ingest batch sizes into a histogram, and — when ``obs.tracer`` is
+        set — records heartbeat lifecycle trace events (sampled by the
+        tracer's ``sample_every``).
     """
 
     def __init__(
@@ -345,6 +357,7 @@ class LiveMonitor:
         estimation: str = "shared",
         max_events: int | None = None,
         transition_retention: int | None = None,
+        obs: Observability | None = None,
     ):
         ensure_positive(interval, "interval")
         if not detectors:
@@ -396,9 +409,199 @@ class LiveMonitor:
         self.n_malformed = 0
         self.n_polls = 0
         self.n_batches = 0
+        # Monitor-level ingest totals (the per-peer counters' sum, kept
+        # incrementally so the summary head stays constant-size).
+        self.n_received_total = 0
+        self.n_accepted_total = 0
+        self.n_stale_total = 0
         self.last_batch_size: int | None = None
         self.last_poll_duration: float | None = None
         self.last_poll_stats: dict | None = None
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        self._m_batch_hist = None
+        if obs is not None:
+            self._bind_obs(obs)
+
+    # ------------------------------------------------------------------
+    # Observability binding (all derived work happens at scrape time)
+    # ------------------------------------------------------------------
+    def _bind_obs(self, obs: Observability) -> None:
+        reg = obs.registry
+        self._m_batch_hist = reg.histogram(
+            "repro_ingest_batch_size",
+            "Datagrams handed to one LiveMonitor.ingest_many call.",
+            buckets=log_buckets(1.0, 4096.0, 3),
+        )
+        self._m_received = reg.counter(
+            "repro_heartbeats_received_total",
+            "Datagrams that decoded as heartbeats.",
+        )
+        self._m_accepted = reg.counter(
+            "repro_heartbeats_accepted_total",
+            "Heartbeats accepted as sequence-fresh.",
+        )
+        self._m_stale = reg.counter(
+            "repro_heartbeats_stale_total",
+            "Heartbeats discarded as stale or duplicate.",
+        )
+        self._m_malformed = reg.counter(
+            "repro_datagrams_malformed_total",
+            "Datagrams dropped by the wire decoder.",
+        )
+        self._m_events = reg.counter(
+            "repro_events_total",
+            "Suspect/trust transitions emitted by the monitor.",
+        )
+        self._m_events_dropped = reg.counter(
+            "repro_events_dropped_total",
+            "Emitted events that aged out of the bounded event history.",
+        )
+        self._m_listener_errors = reg.counter(
+            "repro_listener_errors_total",
+            "Exceptions raised (and contained) by event listeners.",
+        )
+        self._m_polls = reg.counter(
+            "repro_polls_total", "Liveness poll ticks executed."
+        )
+        self._m_batches = reg.counter(
+            "repro_ingest_batches_total", "ingest_many calls executed."
+        )
+        self._m_transitions = reg.counter(
+            "repro_detector_transitions_total",
+            "Output transitions per detector instance.",
+            ("peer", "detector"),
+        )
+        self._m_suspicions = reg.counter(
+            "repro_detector_suspicions_total",
+            "S-transitions (mistakes, absent crashes) per detector instance.",
+            ("peer", "detector"),
+        )
+        self._g_peers = reg.gauge(
+            "repro_monitor_peers", "Peers currently being monitored."
+        )
+        self._g_heap = reg.gauge(
+            "repro_monitor_heap_size",
+            "Live + stale entries on the deadline heap.",
+        )
+        self._g_rate = reg.gauge(
+            "repro_heartbeat_rate",
+            "Decayed heartbeats/second over all peers (tau = 10 s).",
+        )
+        self._g_poll = reg.gauge(
+            "repro_last_poll_seconds", "Duration of the last liveness poll."
+        )
+        self._g_td = reg.gauge(
+            "repro_qos_t_d",
+            "Projected detection time: freshness point minus last arrival "
+            "(time a crash right after the last heartbeat needs to surface).",
+            ("peer", "detector"),
+        )
+        self._g_tmr = reg.gauge(
+            "repro_qos_t_mr",
+            "Rolling mistake rate (S-transitions/second) over the QoS window.",
+            ("peer", "detector"),
+        )
+        self._g_tm = reg.gauge(
+            "repro_qos_t_m",
+            "Rolling mean mistake duration over the QoS window.",
+            ("peer", "detector"),
+        )
+        self._g_pa = reg.gauge(
+            "repro_qos_p_a",
+            "Rolling query accuracy (fraction of window trusted).",
+            ("peer", "detector"),
+        )
+        if obs.tracer is not None:
+            self._m_trace = reg.counter(
+                "repro_trace_events_total", "Trace events recorded."
+            )
+            self._m_trace_dropped = reg.counter(
+                "repro_trace_dropped_total",
+                "Trace events that fell off the ring buffer.",
+            )
+        if obs.qos is not None:
+            self.subscribe(obs.qos.on_event)
+        reg.add_collect_hook(self._obs_collect)
+
+    def _counter_totals(self) -> dict:
+        """Top-level ingest/drop/transition totals — the **single source**
+        read by both the status summary and the metrics collector, so the
+        two surfaces cannot drift."""
+        return {
+            "received": self.n_received_total,
+            "accepted": self.n_accepted_total,
+            "stale": self.n_stale_total,
+            "malformed": self.n_malformed,
+            "transitions": self._events.total,
+            "events_dropped": self._events.dropped,
+            "listener_errors": self._listeners.n_errors,
+        }
+
+    def _obs_collect(self) -> None:
+        """Scrape-time collector: mirror running totals, refresh gauges."""
+        now = self.now()
+        totals = self._counter_totals()
+        self._m_received.set_total(totals["received"])
+        self._m_accepted.set_total(totals["accepted"])
+        self._m_stale.set_total(totals["stale"])
+        self._m_malformed.set_total(totals["malformed"])
+        self._m_events.set_total(totals["transitions"])
+        self._m_events_dropped.set_total(totals["events_dropped"])
+        self._m_listener_errors.set_total(totals["listener_errors"])
+        self._m_polls.set_total(self.n_polls)
+        self._m_batches.set_total(self.n_batches)
+        self._g_peers.set(len(self._peers))
+        self._g_heap.set(len(self._heap))
+        self._g_rate.set(self._rate.rate(now))
+        if self.last_poll_duration is not None:
+            self._g_poll.set(self.last_poll_duration)
+        for peer, state in self._peers.items():
+            last_arrival = state.last_arrival
+            for name, det in state.detectors.items():
+                self._m_transitions.labels(peer, name).set_total(
+                    det.n_transitions
+                )
+                self._m_suspicions.labels(peer, name).set_total(
+                    det.n_suspicions
+                )
+                deadline = det.suspicion_deadline
+                if deadline is not None and last_arrival is not None:
+                    self._g_td.labels(peer, name).set(deadline - last_arrival)
+        obs = self._obs
+        if obs.qos is not None:
+            for (peer, name), m in obs.qos.all_metrics(now):
+                self._g_tmr.labels(peer, name).set(m["t_mr"])
+                self._g_tm.labels(peer, name).set(m["t_m"])
+                self._g_pa.labels(peer, name).set(m["p_a"])
+        if obs.tracer is not None:
+            self._m_trace.set_total(obs.tracer.n_recorded)
+            self._m_trace_dropped.set_total(obs.tracer.n_dropped)
+
+    # ------------------------------------------------------------------
+    @property
+    def observability(self) -> Observability | None:
+        """The bound observability bundle (``None`` = off)."""
+        return self._obs
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the bound registry.
+
+        Raises :class:`RuntimeError` when observability is off — callers
+        wanting a scrape endpoint must construct the monitor with ``obs``.
+        """
+        if self._obs is None:
+            raise RuntimeError(
+                "observability is off for this monitor (constructed without "
+                "obs=Observability(...))"
+            )
+        return self._obs.render_metrics()
+
+    def trace_document(self, since: int = 0) -> dict:
+        """The trace-follow response document (see ``HeartbeatTracer``)."""
+        if self._obs is None:
+            return {"cursor": 0, "dropped": 0, "events": [], "tracing": False}
+        return self._obs.trace_document(since)
 
     # ------------------------------------------------------------------
     @property
@@ -516,6 +719,13 @@ class LiveMonitor:
                 det.set_transition_retention(self._retention)
         self._peers[sender] = state
         self._peer_by_index.append(state)
+        obs = self._obs
+        if obs is not None and obs.qos is not None:
+            # Pin observation start at discovery, so P_A counts the
+            # initial suspicion-until-first-trust time against accuracy
+            # (matching compute_metrics' closed-window convention).
+            for name in self._detector_names:
+                obs.qos.observe_start(sender, name, arrival)
         if logger.isEnabledFor(logging.INFO):
             logger.info(structured("peer-discovered", peer=sender, arrival=arrival))
         return state
@@ -536,6 +746,14 @@ class LiveMonitor:
             logger.debug("dropping malformed datagram: %s", exc)
             return None
         self._rate.update(arrival)
+        self.n_received_total += 1
+        tracer = self._tracer
+        traced = tracer is not None and tracer.wants(hb.seq)
+        if traced:
+            tracer.record(
+                "recv", time=arrival, peer=hb.sender, hb_seq=hb.seq,
+                sent_at=hb.timestamp,
+            )
         state = self._peers.get(hb.sender)
         if state is None:
             state = self._new_peer(hb.sender, arrival)
@@ -550,6 +768,7 @@ class LiveMonitor:
             accepted = det.receive(hb.seq, arrival) or accepted
         if accepted:
             state.n_accepted += 1
+            self.n_accepted_total += 1
             state.last_seq = hb.seq
             state.last_arrival = arrival
             state.last_timestamp = hb.timestamp
@@ -568,8 +787,19 @@ class LiveMonitor:
                 state.sched = best
             else:
                 state.sched = None
+            if traced:
+                tracer.record(
+                    "fresh", time=arrival, peer=hb.sender, hb_seq=hb.seq,
+                    deadline=None if best == math.inf else best,
+                )
         else:
             state.n_stale += 1
+            self.n_stale_total += 1
+            if traced:
+                tracer.record(
+                    "stale", time=arrival, peer=hb.sender, hb_seq=hb.seq,
+                    largest_seq=state.last_seq,
+                )
         self._drain(hb.sender, state)
         return hb
 
@@ -609,7 +839,10 @@ class LiveMonitor:
         drain = self._drain
         inf = math.inf
         interval = self._interval
+        tracer = self._tracer
         n_bad = 0
+        n_acc = 0
+        n_stl = 0
         last_arrival: float | None = None
         for data, arrival in zip(datagrams, arrivals):
             try:
@@ -618,6 +851,11 @@ class LiveMonitor:
                 n_bad += 1
                 continue
             last_arrival = arrival
+            if tracer is not None and tracer.wants(seq):
+                tracer.record(
+                    "recv", time=arrival, peer=sender, hb_seq=seq,
+                    sent_at=timestamp,
+                )
             state = peers_get(sender)
             if state is None:
                 state = self._new_peer(sender, arrival)
@@ -716,6 +954,12 @@ class LiveMonitor:
                         state.sched = best
                     else:
                         state.sched = None
+                    n_acc += 1
+                    if tracer is not None and tracer.wants(seq):
+                        tracer.record(
+                            "fresh", time=arrival, peer=sender, hb_seq=seq,
+                            deadline=None if best == inf else best,
+                        )
                     if dirty:
                         # Drained per datagram (not per batch) so
                         # interleaved transitions of different peers keep
@@ -726,6 +970,12 @@ class LiveMonitor:
                         drain(sender, state)
                 else:
                     state.n_stale += 1
+                    n_stl += 1
+                    if tracer is not None and tracer.wants(seq):
+                        tracer.record(
+                            "stale", time=arrival, peer=sender, hb_seq=seq,
+                            largest_seq=state.last_seq,
+                        )
                 continue
             accepted = False
             nt = 0
@@ -748,8 +998,20 @@ class LiveMonitor:
                     state.sched = best
                 else:
                     state.sched = None
+                n_acc += 1
+                if tracer is not None and tracer.wants(seq):
+                    tracer.record(
+                        "fresh", time=arrival, peer=sender, hb_seq=seq,
+                        deadline=None if best == inf else best,
+                    )
             else:
                 state.n_stale += 1
+                n_stl += 1
+                if tracer is not None and tracer.wants(seq):
+                    tracer.record(
+                        "stale", time=arrival, peer=sender, hb_seq=seq,
+                        largest_seq=state.last_seq,
+                    )
             if nt != state.consumed_total:
                 # Drained per datagram (not per batch) so interleaved
                 # transitions of different peers keep scalar-ingest order.
@@ -760,8 +1022,13 @@ class LiveMonitor:
         n_decoded = n - n_bad
         if n_decoded:
             self._rate.update_many(last_arrival, n_decoded)
+        self.n_received_total += n_decoded
+        self.n_accepted_total += n_acc
+        self.n_stale_total += n_stl
         self.n_batches += 1
         self.last_batch_size = n
+        if self._m_batch_hist is not None:
+            self._m_batch_hist.observe(n)
         return n_decoded
 
     def poll(self, now: float | None = None) -> List[LiveEvent]:
@@ -779,53 +1046,61 @@ class LiveMonitor:
         n_pops = 0
         n_expired = 0
         fresh: List[LiveEvent] = []
-        if self._poll_mode == "sweep":
-            for peer, state in self._peers.items():
-                for det in state.detectors.values():
-                    det.advance_to(now)
-                fresh.extend(self._drain(peer, state))
-        else:
-            heap = self._heap
-            peer_list = self._peer_by_index
-            expired_peers: set = set()
-            while heap and heap[0][0] < now:
-                deadline, pidx = heapq.heappop(heap)
-                n_pops += 1
-                state = peer_list[pidx]
-                if state.sched != deadline:
-                    continue  # superseded by a fresher heartbeat
-                # The peer's earliest freshness point has passed: advance
-                # every detector (the per-peer minimum is ≤ each of their
-                # deadlines, so nothing can have expired unseen), then
-                # re-schedule the earliest deadline still pending.  The
-                # strict `< now` above and `>= now` here mirror
-                # FreshnessOutput.advance_to's strict expiry: a deadline
-                # landing exactly on the tick stays scheduled.
-                state.sched = None
-                n_expired += 1
-                nxt = math.inf
-                for dname, det, output, recv, fastdl in state.det_list:
-                    det.advance_to(now)
-                    d = det._current_deadline
-                    if d is not None and now <= d < nxt:
-                        nxt = d
-                if nxt != math.inf:
-                    heapq.heappush(heap, (nxt, pidx))
-                    state.sched = nxt
-                expired_peers.add(pidx)
-            for pidx in sorted(expired_peers):
-                state = peer_list[pidx]
-                fresh.extend(self._drain(state.name, state))
-        self.n_polls += 1
-        self.last_poll_duration = time.perf_counter() - t0
-        self.last_poll_stats = {
-            "now": now,
-            "mode": self._poll_mode,
-            "duration": self.last_poll_duration,
-            "n_pops": n_pops,
-            "n_expired": n_expired,
-            "n_events": len(fresh),
-        }
+        # The accounting lives in ``finally``: a listener raising out of a
+        # drain (only possible for errors the _ListenerSet cannot contain,
+        # e.g. KeyboardInterrupt) must still record the tick's duration —
+        # otherwise last_poll_duration silently reports the *previous*
+        # poll and the repro_last_poll_seconds gauge lies.
+        try:
+            if self._poll_mode == "sweep":
+                for peer, state in self._peers.items():
+                    for det in state.detectors.values():
+                        det.advance_to(now)
+                    fresh.extend(self._drain(peer, state))
+            else:
+                heap = self._heap
+                peer_list = self._peer_by_index
+                expired_peers: set = set()
+                while heap and heap[0][0] < now:
+                    deadline, pidx = heapq.heappop(heap)
+                    n_pops += 1
+                    state = peer_list[pidx]
+                    if state.sched != deadline:
+                        continue  # superseded by a fresher heartbeat
+                    # The peer's earliest freshness point has passed:
+                    # advance every detector (the per-peer minimum is ≤
+                    # each of their deadlines, so nothing can have expired
+                    # unseen), then re-schedule the earliest deadline
+                    # still pending.  The strict `< now` above and
+                    # `>= now` here mirror FreshnessOutput.advance_to's
+                    # strict expiry: a deadline landing exactly on the
+                    # tick stays scheduled.
+                    state.sched = None
+                    n_expired += 1
+                    nxt = math.inf
+                    for dname, det, output, recv, fastdl in state.det_list:
+                        det.advance_to(now)
+                        d = det._current_deadline
+                        if d is not None and now <= d < nxt:
+                            nxt = d
+                    if nxt != math.inf:
+                        heapq.heappush(heap, (nxt, pidx))
+                        state.sched = nxt
+                    expired_peers.add(pidx)
+                for pidx in sorted(expired_peers):
+                    state = peer_list[pidx]
+                    fresh.extend(self._drain(state.name, state))
+        finally:
+            self.n_polls += 1
+            self.last_poll_duration = time.perf_counter() - t0
+            self.last_poll_stats = {
+                "now": now,
+                "mode": self._poll_mode,
+                "duration": self.last_poll_duration,
+                "n_pops": n_pops,
+                "n_expired": n_expired,
+                "n_events": len(fresh),
+            }
         return fresh
 
     def _drain(self, peer: str, state: _PeerState) -> List[LiveEvent]:
@@ -847,8 +1122,18 @@ class LiveMonitor:
         state.consumed_total = total
         if fresh:
             log_events = logger.isEnabledFor(logging.INFO)
+            tracer = self._tracer
             for event in fresh:
                 self._events.append(event)
+                if tracer is not None:
+                    # Transitions are never sampled away: they are the
+                    # rare, load-bearing lifecycle stages.
+                    tracer.record(
+                        event.kind,
+                        time=event.time,
+                        peer=event.peer,
+                        detector=event.detector,
+                    )
                 if log_events:
                     logger.info(
                         structured(
@@ -875,6 +1160,7 @@ class LiveMonitor:
             now = self.now()
         return {
             "n_peers": len(self._peers),
+            "counters": self._counter_totals(),
             "poll_mode": self._poll_mode,
             "estimation": self._estimation,
             "shared_detectors": list(self._shared_names),
@@ -1088,11 +1374,14 @@ class LiveMonitorServer:
         sock = self._transport.get_extra_info("sockname")
         self.address = (sock[0], sock[1])
         if self._status_port is not None:
+            has_obs = self.monitor.observability is not None
             self.status = StatusServer(
                 self.monitor.snapshot,
                 host=self._status_host,
                 port=self._status_port,
                 summary=self.monitor.summary,
+                metrics=self.monitor.render_metrics if has_obs else None,
+                trace=self.monitor.trace_document if has_obs else None,
             )
             await self.status.start()
         self._poll_task = asyncio.create_task(self._poll_loop())

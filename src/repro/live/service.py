@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Sequence
 from repro.live.monitor import LiveEvent, _EventLog, _ListenerSet
 from repro.live.status import SNAPSHOT_SCHEMA_VERSION, structured
 from repro.live.wire import Heartbeat, WireError
+from repro.obs.runtime import Observability
 from repro.qos.estimators import NetworkBehavior
 from repro.qos.timeline import OutputTimeline
 from repro.service.application import Application
@@ -59,6 +60,12 @@ class LiveSharedMonitor:
         :meth:`from_applications` (exposes traffic accounting).
     clock:
         Monotonic time source (injectable for tests).
+    obs:
+        Observability bundle (``None`` = off).  Mirrors the ingest
+        counters into the registry at scrape time (same derived-counter
+        discipline as :class:`LiveMonitor`), labels per-application
+        transition counters, feeds ``obs.qos`` the event stream, and
+        traces the heartbeat lifecycle when a tracer is attached.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class LiveSharedMonitor:
         clock: Callable[[], float] = time.monotonic,
         max_events: int | None = None,
         transition_retention: int | None = None,
+        obs: Observability | None = None,
     ):
         self.shared = monitor
         self.service = service
@@ -90,6 +98,87 @@ class LiveSharedMonitor:
         self.n_malformed = 0
         self.first_arrival: float | None = None
         self.last_arrival: float | None = None
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            self._bind_obs(obs)
+
+    def _bind_obs(self, obs: Observability) -> None:
+        reg = obs.registry
+        m_received = reg.counter(
+            "repro_heartbeats_received_total",
+            "Datagrams that decoded as heartbeats.",
+        )
+        m_accepted = reg.counter(
+            "repro_heartbeats_accepted_total",
+            "Heartbeats accepted as sequence-fresh.",
+        )
+        m_stale = reg.counter(
+            "repro_heartbeats_stale_total",
+            "Heartbeats discarded as stale or duplicate.",
+        )
+        m_foreign = reg.counter(
+            "repro_datagrams_foreign_total",
+            "Datagrams from senders other than the monitored peer.",
+        )
+        m_malformed = reg.counter(
+            "repro_datagrams_malformed_total",
+            "Datagrams dropped by the wire decoder.",
+        )
+        m_events = reg.counter(
+            "repro_events_total",
+            "Suspect/trust transitions emitted by the monitor.",
+        )
+        m_transitions = reg.counter(
+            "repro_detector_transitions_total",
+            "Output transitions per detector instance.",
+            ("peer", "detector"),
+        )
+        m_suspicions = reg.counter(
+            "repro_detector_suspicions_total",
+            "S-transitions (mistakes, absent crashes) per detector instance.",
+            ("peer", "detector"),
+        )
+        g_tmr = reg.gauge(
+            "repro_qos_t_mr",
+            "Rolling mistake rate (S-transitions/second) over the QoS window.",
+            ("peer", "detector"),
+        )
+        g_tm = reg.gauge(
+            "repro_qos_t_m",
+            "Rolling mean mistake duration over the QoS window.",
+            ("peer", "detector"),
+        )
+        g_pa = reg.gauge(
+            "repro_qos_p_a",
+            "Rolling query accuracy (fraction of window trusted).",
+            ("peer", "detector"),
+        )
+
+        def _collect() -> None:
+            now = self.now()
+            m_received.set_total(self.n_datagrams)
+            m_accepted.set_total(self.n_accepted)
+            m_stale.set_total(self.n_stale)
+            m_foreign.set_total(self.n_foreign)
+            m_malformed.set_total(self.n_malformed)
+            m_events.set_total(self._events.total)
+            for name in self.shared.application_names:
+                m_transitions.labels(self.peer, name).set_total(
+                    self._consumed[name]
+                )
+                m_suspicions.labels(self.peer, name).set_total(
+                    self.shared.n_suspicions(name)
+                )
+            if obs.qos is not None:
+                for (peer, name), m in obs.qos.all_metrics(now):
+                    g_tmr.labels(peer, name).set(m["t_mr"])
+                    g_tm.labels(peer, name).set(m["t_m"])
+                    g_pa.labels(peer, name).set(m["p_a"])
+
+        if obs.qos is not None:
+            self.subscribe(obs.qos.on_event)
+        reg.add_collect_hook(_collect)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -102,6 +191,7 @@ class LiveSharedMonitor:
         clock: Callable[[], float] = time.monotonic,
         max_events: int | None = None,
         transition_retention: int | None = None,
+        obs: Observability | None = None,
         **service_kwargs: object,
     ) -> "LiveSharedMonitor":
         """Run §V-C Steps 1-4 and wrap the resulting shared monitor.
@@ -118,6 +208,7 @@ class LiveSharedMonitor:
             clock=clock,
             max_events=max_events,
             transition_retention=transition_retention,
+            obs=obs,
         )
 
     @property
@@ -176,13 +267,32 @@ class LiveSharedMonitor:
             self.n_foreign += 1
             return None
         self.n_datagrams += 1
+        tracer = self._tracer
+        traced = tracer is not None and tracer.wants(hb.seq)
+        if traced:
+            tracer.record(
+                "recv", time=arrival, peer=self.peer, hb_seq=hb.seq,
+                sent_at=hb.timestamp,
+            )
         if self.shared.receive(hb.seq, arrival):
             self.n_accepted += 1
             self.last_arrival = arrival
             if self.first_arrival is None:
                 self.first_arrival = arrival
+                obs = self._obs
+                if obs is not None and obs.qos is not None:
+                    for name in self.shared.application_names:
+                        obs.qos.observe_start(self.peer, name, arrival)
+            if traced:
+                tracer.record(
+                    "fresh", time=arrival, peer=self.peer, hb_seq=hb.seq,
+                )
         else:
             self.n_stale += 1
+            if traced:
+                tracer.record(
+                    "stale", time=arrival, peer=self.peer, hb_seq=hb.seq,
+                )
         self._drain()
         return hb
 
@@ -205,8 +315,16 @@ class LiveSharedMonitor:
                 )
         if fresh:
             log_events = logger.isEnabledFor(logging.INFO)
+            tracer = self._tracer
             for event in fresh:
                 self._events.append(event)
+                if tracer is not None:
+                    tracer.record(
+                        event.kind,
+                        time=event.time,
+                        peer=event.peer,
+                        detector=event.detector,
+                    )
                 if log_events:
                     logger.info(
                         structured(

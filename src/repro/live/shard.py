@@ -42,9 +42,12 @@ from repro.live.monitor import LiveMonitor, LiveMonitorServer
 from repro.live.status import (
     SNAPSHOT_SCHEMA_VERSION,
     StatusServer,
+    afetch_metrics,
     afetch_status,
     structured,
 )
+from repro.obs.metrics import merge_expositions
+from repro.obs.runtime import Observability
 
 __all__ = [
     "ShardedMonitor",
@@ -91,6 +94,15 @@ def _bind_reuseport(host: str, port: int) -> socket.socket:
 # Snapshot merging (pure; unit-testable without any processes)
 # ----------------------------------------------------------------------
 
+#: Gauges that add across shards when merging metric expositions (every
+#: other gauge takes the worst case — e.g. poll latency).  Same shape as
+#: the snapshot merge: per-shard peer counts / rates sum, latencies max.
+_GAUGE_SUM_METRICS = {
+    "repro_monitor_peers": "sum",
+    "repro_monitor_heap_size": "sum",
+    "repro_heartbeat_rate": "sum",
+}
+
 #: ``monitor`` block counters that add across shards.
 _SUM_LOAD_KEYS = (
     "n_peers",
@@ -126,6 +138,7 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
                     f"{snap.get(key)!r} != {first.get(key)!r}"
                 )
     merged_load: Dict[str, object] = {key: 0 for key in _SUM_LOAD_KEYS}
+    merged_counters: Dict[str, float] = {}
     last_poll = None
     peers: Dict[str, dict] = {}
     shards: List[dict] = []
@@ -137,6 +150,9 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
             value = load.get(key)
             if value is not None:
                 merged_load[key] += value
+        for key, value in (load.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                merged_counters[key] = merged_counters.get(key, 0) + value
         duration = load.get("last_poll_duration")
         if duration is not None and (last_poll is None or duration > last_poll):
             last_poll = duration
@@ -161,6 +177,8 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
         # With the listings present, the union is authoritative (a peer
         # that migrated between shards must not be counted twice).
         merged_load["n_peers"] = len(peers)
+    if merged_counters:
+        merged_load["counters"] = merged_counters
     merged_load["last_poll_duration"] = last_poll
     merged_load["poll_mode"] = snapshots[0].get("monitor", {}).get("poll_mode")
     merged_load["estimation"] = snapshots[0].get("monitor", {}).get("estimation")
@@ -192,12 +210,19 @@ def _shard_worker(
     tick: float,
     ready_queue,
     stop_event,
+    obs_kwargs: dict | None = None,
 ) -> None:  # pragma: no cover - subprocess body (exercised by integration tests)
     """One worker: a full LiveMonitor on its share of the UDP port."""
     try:
         asyncio.run(
             _shard_main(
-                shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event
+                shard_id,
+                sock,
+                monitor_kwargs,
+                tick,
+                ready_queue,
+                stop_event,
+                obs_kwargs,
             )
         )
     except KeyboardInterrupt:
@@ -211,9 +236,13 @@ def _shard_worker(
 
 
 async def _shard_main(
-    shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event
+    shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event, obs_kwargs=None
 ) -> None:  # pragma: no cover - subprocess body
-    monitor = LiveMonitor(**monitor_kwargs)
+    # Each worker owns a full observability stack (registry, tracer, QoS
+    # estimators) — nothing is shared across processes; the parent merges
+    # the per-shard expositions at scrape time.
+    obs = Observability(**obs_kwargs) if obs_kwargs is not None else None
+    monitor = LiveMonitor(**monitor_kwargs, obs=obs)
     server = LiveMonitorServer(
         monitor, tick=tick, status_port=0, sock=sock
     )
@@ -272,9 +301,17 @@ class ShardedMonitor:
         max_events: int | None = None,
         transition_retention: int | None = None,
         fallback: bool = True,
+        obs: bool = False,
+        trace_sample_every: int = 1,
     ):
         ensure_positive(interval, "interval")
         ensure_int_at_least(n_shards, 1, "n_shards")
+        # Observability: each worker builds its own bundle from this spec
+        # (an Observability object holds collect hooks and can't cross the
+        # fork); the parent merges the per-shard expositions.
+        self._obs_kwargs = (
+            dict(trace_sample_every=trace_sample_every) if obs else None
+        )
         # Validate the full monitor configuration up front (and in the
         # parent): a bad detector spec should raise here, not in a forked
         # worker ten seconds later.
@@ -352,10 +389,30 @@ class ShardedMonitor:
             merged["shard_errors"] = errors
         return merged
 
+    async def _merged_metrics(self) -> str:
+        """One exposition for the whole shard group (counters summed,
+        per-shard capacity gauges summed, latency gauges worst-case)."""
+        results = await asyncio.gather(
+            *(
+                afetch_metrics(self._status_host, port, timeout=2.0, retries=1)
+                for port in self._status_ports.values()
+            ),
+            return_exceptions=True,
+        )
+        texts = [r for r in results if isinstance(r, str)]
+        if not texts:
+            raise RuntimeError("no shard served a metrics exposition")
+        return merge_expositions(texts, gauge_policy=_GAUGE_SUM_METRICS)
+
     async def start(self) -> Tuple[str, int]:
         """Bind the shared UDP port, start the workers, serve the merge."""
         if self.n_shards == 1:
-            monitor = LiveMonitor(**self._monitor_kwargs)
+            obs = (
+                Observability(**self._obs_kwargs)
+                if self._obs_kwargs is not None
+                else None
+            )
+            monitor = LiveMonitor(**self._monitor_kwargs, obs=obs)
             self._single = LiveMonitorServer(
                 monitor,
                 self._host,
@@ -396,6 +453,7 @@ class ShardedMonitor:
                     self._tick,
                     ready_queue,
                     self._stop_event,
+                    self._obs_kwargs,
                 ),
                 daemon=True,
             )
@@ -427,6 +485,11 @@ class ShardedMonitor:
                 self._merged_snapshot,
                 host=self._status_host,
                 port=self._status_port,
+                metrics=(
+                    self._merged_metrics
+                    if self._obs_kwargs is not None
+                    else None
+                ),
             )
             await self.status.start()
         logger.info(
@@ -447,6 +510,16 @@ class ShardedMonitor:
             merged["n_shards"] = 1
             return merged
         return await self._merged_snapshot()
+
+    async def metrics(self) -> str:
+        """The merged Prometheus exposition (RuntimeError with obs off)."""
+        if self._obs_kwargs is None:
+            raise RuntimeError(
+                "observability is off for this sharded monitor (pass obs=True)"
+            )
+        if self._single is not None:
+            return self._single.monitor.render_metrics()
+        return await self._merged_metrics()
 
     async def stop(self) -> None:
         """Stop the status endpoint and shut every worker down."""

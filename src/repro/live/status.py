@@ -8,11 +8,20 @@ parse.  ``nc 127.0.0.1 <port>`` works; so does :func:`fetch_status`, the
 in-process client the CLI's ``repro-fd live status`` uses.
 
 At large peer counts the full snapshot can run to megabytes, so a client
-may optionally send ``summary\\n`` (then half-close) before reading: the
-server answers with the constant-size summary document instead (peer
-count, heartbeat rate, poll cost, heap size — the ``monitor`` block).  A
-client that sends nothing, or anything else, gets the full snapshot, so
-plain ``nc`` keeps working unchanged.
+may optionally send one request line (then half-close) before reading:
+
+- ``summary\\n`` — the constant-size summary document instead (peer
+  count, heartbeat rate, poll cost, heap size — the ``monitor`` block);
+- ``metrics\\n`` — the Prometheus text exposition of the attached
+  metrics registry (plain text, not JSON; see :mod:`repro.obs.metrics`);
+- ``trace\\n`` or ``trace <cursor>\\n`` — the retained heartbeat trace
+  events past ``cursor`` as a JSON document (see
+  :meth:`repro.obs.tracer.HeartbeatTracer.document`) — the transport
+  behind ``repro-fd live trace --follow``.
+
+A client that sends nothing, or anything else, gets the full snapshot,
+so plain ``nc`` keeps working unchanged; commands whose producer was not
+attached also fall back to the full snapshot rather than erroring.
 
 :func:`structured` formats JSON-lines log records: every noteworthy runtime
 event (peer discovered, suspicion raised, monitor started/stopped) is
@@ -30,8 +39,12 @@ from typing import Callable, Tuple
 __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "StatusServer",
+    "afetch_metrics",
     "afetch_status",
+    "afetch_trace",
+    "fetch_metrics",
     "fetch_status",
+    "fetch_trace",
     "structured",
 ]
 
@@ -93,9 +106,13 @@ class StatusServer:
         port: int = 0,
         *,
         summary: Callable[[], dict] | None = None,
+        metrics: Callable[[], str] | None = None,
+        trace: Callable[[int], dict] | None = None,
     ):
         self._snapshot = snapshot
         self._summary = summary
+        self._metrics = metrics
+        self._trace = trace
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
@@ -122,14 +139,31 @@ class StatusServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            request = await self._read_request(reader)
-            producer = self._snapshot
-            if self._summary is not None and request.strip() == b"summary":
-                producer = self._summary
-            doc = producer()
-            if asyncio.iscoroutine(doc):
-                doc = await doc
-            body = json.dumps(doc, sort_keys=True) + "\n"
+            request = (await self._read_request(reader)).strip()
+            if self._metrics is not None and request == b"metrics":
+                # Plain text, not JSON: the Prometheus exposition format
+                # is its own framing (curl/nc/scrapers read to EOF).
+                text = self._metrics()
+                if asyncio.iscoroutine(text):
+                    text = await text
+                body = text
+            elif self._trace is not None and request[:5] == b"trace":
+                since = 0
+                argument = request[5:].strip()
+                if argument:
+                    since = int(argument)
+                doc = self._trace(since)
+                if asyncio.iscoroutine(doc):
+                    doc = await doc
+                body = json.dumps(doc, sort_keys=True) + "\n"
+            else:
+                producer = self._snapshot
+                if self._summary is not None and request == b"summary":
+                    producer = self._summary
+                doc = producer()
+                if asyncio.iscoroutine(doc):
+                    doc = await doc
+                body = json.dumps(doc, sort_keys=True) + "\n"
         except Exception as exc:  # snapshot bugs must not kill the server
             logger.exception("status snapshot failed")
             body = json.dumps({"error": str(exc)}) + "\n"
@@ -157,12 +191,14 @@ class StatusServer:
 RETRY_BACKOFF = 0.1
 
 
-async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
+async def _fetch_raw(
+    host: str, port: int, timeout: float, request: bytes
+) -> bytes:
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout
     )
     try:
-        writer.write(b"summary\n" if summary else b"\n")
+        writer.write(request)
         if writer.can_write_eof():
             writer.write_eof()  # tell the server no more request is coming
         await writer.drain()
@@ -173,6 +209,13 @@ async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
             await writer.wait_closed()
         except ConnectionError:
             pass
+    return raw
+
+
+async def _fetch(host: str, port: int, timeout: float, summary: bool) -> dict:
+    raw = await _fetch_raw(
+        host, port, timeout, b"summary\n" if summary else b"\n"
+    )
     return json.loads(raw.decode("utf-8"))
 
 
@@ -241,3 +284,99 @@ async def afetch_status(
 ) -> dict:
     """Async variant of :func:`fetch_status` for use inside an event loop."""
     return await _fetch_with_retries(host, port, timeout, summary, retries)
+
+
+async def _retrying(coro_factory, retries: int):
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    attempt = 0
+    while True:
+        try:
+            return await coro_factory()
+        except (OSError, asyncio.TimeoutError):
+            if attempt >= retries:
+                raise
+            await asyncio.sleep(RETRY_BACKOFF * (2**attempt))
+            attempt += 1
+
+
+async def afetch_metrics(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> str:
+    """Fetch the Prometheus text exposition from a status endpoint.
+
+    Sends ``metrics\\n``; the response is the exposition document as-is
+    (raises :class:`ValueError` if the endpoint answered with JSON — a
+    monitor running without observability serves only snapshots).
+    """
+    raw = await _retrying(
+        lambda: _fetch_raw(host, port, timeout, b"metrics\n"), retries
+    )
+    text = raw.decode("utf-8")
+    if text.lstrip().startswith("{"):
+        raise ValueError(
+            "endpoint answered with a JSON snapshot, not a metrics "
+            "exposition — is the monitor running with observability on?"
+        )
+    return text
+
+
+def fetch_metrics(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> str:
+    """Synchronous variant of :func:`afetch_metrics`."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(
+            afetch_metrics(host, port, timeout=timeout, retries=retries)
+        )
+    raise RuntimeError(
+        "fetch_metrics() is synchronous; inside an event loop await "
+        "status.afetch_metrics(...) instead"
+    )
+
+
+async def afetch_trace(
+    host: str,
+    port: int,
+    since: int = 0,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Fetch retained trace events past cursor ``since`` (JSON document)."""
+    request = f"trace {since}\n".encode("ascii")
+    raw = await _retrying(
+        lambda: _fetch_raw(host, port, timeout, request), retries
+    )
+    return json.loads(raw.decode("utf-8"))
+
+
+def fetch_trace(
+    host: str,
+    port: int,
+    since: int = 0,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Synchronous variant of :func:`afetch_trace`."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(
+            afetch_trace(host, port, since, timeout=timeout, retries=retries)
+        )
+    raise RuntimeError(
+        "fetch_trace() is synchronous; inside an event loop await "
+        "status.afetch_trace(...) instead"
+    )

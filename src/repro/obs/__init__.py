@@ -1,0 +1,62 @@
+"""Unified observability for the reproduction's runtimes (``repro.obs``).
+
+The paper's whole argument is *quantified* detector quality, so the
+runtime must be quantifiable while it runs.  This package is the
+dependency-free observability layer every subsystem shares:
+
+- :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  families in a :class:`MetricsRegistry` with Prometheus text-format
+  exposition, plus parse/merge for shard aggregation;
+- :mod:`repro.obs.tracer` — ring-buffered heartbeat lifecycle tracing
+  (``send → recv → fresh → suspect/trust``) with span correlation,
+  sampling, and JSONL export;
+- :mod:`repro.obs.qos` — rolling live estimators of the paper's QoS
+  metrics (T_MR, T_M, P_A) per ``(peer, detector)``;
+- :mod:`repro.obs.runtime` — the :class:`Observability` bundle the
+  runtimes accept (``LiveMonitor(..., obs=...)``) and the process-wide
+  default the sweep engine consults.
+
+Observability is **opt-in**: every constructor defaults to ``obs=None``
+(no registry, no tracer, no estimators, near-zero hot-path cost), so
+the committed benchmark numbers measure the undisturbed engines.  See
+``docs/observability.md`` for the metric catalog and scrape quickstart.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    log_buckets,
+    merge_expositions,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.qos import DEFAULT_WINDOW, QoSHealth
+from repro.obs.runtime import (
+    Observability,
+    default_observability,
+    set_default_observability,
+)
+from repro.obs.tracer import TRACE_KINDS, HeartbeatTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "DEFAULT_WINDOW",
+    "Gauge",
+    "Histogram",
+    "HeartbeatTracer",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "QoSHealth",
+    "TRACE_KINDS",
+    "TraceEvent",
+    "default_observability",
+    "log_buckets",
+    "merge_expositions",
+    "parse_exposition",
+    "render_exposition",
+    "set_default_observability",
+]

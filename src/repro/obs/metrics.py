@@ -1,0 +1,542 @@
+"""Dependency-free metrics primitives with Prometheus text exposition.
+
+A :class:`MetricsRegistry` holds labeled metric *families* — one
+:class:`Counter`, :class:`Gauge`, or :class:`Histogram` child per label
+combination — and renders them all in the Prometheus text exposition
+format (version 0.0.4), the lingua franca every scraper understands::
+
+    reg = MetricsRegistry()
+    received = reg.counter("repro_heartbeats_received_total",
+                           "Datagrams that decoded as heartbeats.")
+    received.inc()
+    batch = reg.histogram("repro_ingest_batch_size",
+                          "Datagrams per ingest_many call.",
+                          buckets=log_buckets(1, 4096))
+    batch.observe(64)
+    text = reg.render()          # scrape-able exposition document
+
+Families are **get-or-create**: requesting an already registered name
+with an identical spec returns the existing family (so independent call
+sites — a sweep run here, a monitor there — can share one registry
+without coordination), while a conflicting re-registration raises.
+
+Two design choices serve the live runtime's hot paths:
+
+- *Derived counters.*  The monitor already maintains exact running
+  totals (``n_accepted``, ``n_transitions``, ...), so its counters are
+  refreshed from those fields by **collect hooks** at scrape time via
+  :meth:`Counter.set_total` rather than incremented per datagram — the
+  ingest loop pays nothing for them.  ``set_total`` enforces
+  monotonicity, keeping counter semantics honest.
+- *Mergeable expositions.*  :func:`parse_exposition` and
+  :func:`merge_expositions` turn rendered documents back into samples
+  and combine them (counters and histogram series sum; gauges take the
+  max unless a per-name policy says ``"sum"``), which is how the shard
+  aggregator serves one metrics document for N worker processes.
+
+Everything is synchronous-single-writer by design (the asyncio monitor
+mutates from one thread); no locks anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "log_buckets",
+    "merge_expositions",
+    "parse_exposition",
+    "render_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default log-scale buckets for second-valued histograms: 1 µs .. 10 s,
+#: three per decade (1, 2.15, 4.64 × 10^k — a geometric ladder).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (k / 3.0), 10) for k in range(-18, 4)
+)
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> Tuple[float, ...]:
+    """Fixed log-scale histogram bucket bounds covering ``[lo, hi]``.
+
+    Returns a geometric ladder with ``per_decade`` bounds per factor of
+    ten, starting at ``lo`` and ending at the first bound ≥ ``hi`` (the
+    implicit ``+Inf`` bucket is always added by :class:`Histogram`).
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be positive, got {per_decade}")
+    ratio = 10.0 ** (1.0 / per_decade)
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * ratio)
+    return tuple(round(b, 12) for b in bounds)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(val))}"'
+        for name, val in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically non-decreasing count (one child of a family)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount}) rejected")
+        self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Mirror an externally maintained monotone total (collect hooks).
+
+        The source of truth stays wherever the hot path already counts;
+        this just publishes it.  A regressing total raises — that is a
+        bug in the caller's accounting, not a representable state.
+        """
+        if total < self._value:
+            raise ValueError(
+                f"counter total regressed: {total} < {self._value}"
+            )
+        self._value = float(total)
+
+
+class Gauge:
+    """A value that can go up and down (one child of a family)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed bounds (one family child).
+
+    ``buckets`` are the finite upper bounds; the ``+Inf`` bucket is
+    implicit.  ``observe`` costs one binary-search-free linear scan over
+    a short, fixed ladder — fine at per-batch (not per-datagram) rates.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must increase: {bounds}")
+        if bounds and math.isinf(bounds[-1]):
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name, one per label-value combination.
+
+    With no label names the family exposes its single anonymous child's
+    API directly (``inc``/``set``/``observe``/``value``), so unlabeled
+    metrics read naturally at call sites.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name}")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == "histogram":
+            self._buckets = tuple(buckets if buckets is not None else DEFAULT_TIME_BUCKETS)
+        elif buckets is not None:
+            raise ValueError(f"buckets only apply to histograms, not {kind}")
+        else:
+            self._buckets = None
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, *labelvalues: object):
+        """The child for one label-value combination (created on demand)."""
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label value(s) "
+                f"({', '.join(self.labelnames) or 'none'}), got {len(labelvalues)}"
+            )
+        key = tuple(str(v) for v in labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def remove(self, *labelvalues: object) -> None:
+        """Forget one child (e.g. a departed peer's series)."""
+        self._children.pop(tuple(str(v) for v in labelvalues), None)
+
+    def clear(self) -> None:
+        self._children.clear()
+
+    @property
+    def children(self) -> Dict[Tuple[str, ...], object]:
+        return dict(self._children)
+
+    # -- anonymous-child conveniences (unlabeled families) --------------
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labeled by {self.labelnames}; use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_total(self, total: float) -> None:
+        self._solo().set_total(total)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    # -- exposition -----------------------------------------------------
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key in sorted(self._children):
+            child = self._children[key]
+            if self.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    (*child.bounds, math.inf), child.counts
+                ):
+                    cumulative += count
+                    labels = _format_labels(
+                        (*self.labelnames, "le"),
+                        (*key, _format_value(float(bound))),
+                    )
+                    lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                labels = _format_labels(self.labelnames, key)
+                lines.append(f"{self.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{self.name}_count{labels} {child.count}")
+            else:
+                labels = _format_labels(self.labelnames, key)
+                lines.append(f"{self.name}{labels} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+
+class MetricsRegistry:
+    """Named metric families plus scrape-time collect hooks."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._hooks: List[Callable[[], None]] = []
+
+    # -- registration ---------------------------------------------------
+    def _get_or_create(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        held = self._families.get(name)
+        if held is not None:
+            if held.kind != kind or held.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {held.kind} "
+                    f"with labels {held.labelnames}; cannot re-register as "
+                    f"{kind} with labels {tuple(labelnames)}"
+                )
+            return held
+        family = MetricFamily(name, help_text, kind, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._get_or_create(name, help_text, "histogram", labelnames, buckets)
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    @property
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- collection -----------------------------------------------------
+    def add_collect_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` before every render to refresh derived samples.
+
+        This is how hot paths stay clean: the monitor's collect hook
+        mirrors its running totals into counters and recomputes QoS
+        gauges once per scrape instead of once per datagram.
+        """
+        self._hooks.append(hook)
+
+    def collect(self) -> None:
+        for hook in self._hooks:
+            hook()
+
+    def render(self) -> str:
+        """The full Prometheus text exposition document (runs the hooks)."""
+        self.collect()
+        return "".join(family.render() for family in self.families)
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """Functional alias of :meth:`MetricsRegistry.render`."""
+    return registry.render()
+
+
+# ----------------------------------------------------------------------
+# Parsing + merging (the shard aggregator's half of the story)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse a Prometheus text document into family descriptions.
+
+    Returns ``{family_name: {"type", "help", "samples"}}`` where
+    ``samples`` maps ``(sample_name, ((label, value), ...))`` to the
+    numeric value.  Histogram series stay as their ``_bucket``/``_sum``/
+    ``_count`` samples under the family name, which is exactly the shape
+    :func:`merge_expositions` needs.  Raises :class:`ValueError` on
+    malformed lines, so a garbled scrape is loud, not silently partial.
+    """
+    families: Dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": {}}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": {}}
+            )["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed exposition line {lineno}: {raw!r}")
+        sample_name = match.group("name")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if match.group("labels"):
+            labels = tuple(
+                (key, _unescape_label_value(val))
+                for key, val in _LABEL_PAIR_RE.findall(match.group("labels"))
+            )
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                family_name = base
+                break
+        family = families.setdefault(
+            family_name, {"type": "untyped", "help": "", "samples": {}}
+        )
+        family["samples"][(sample_name, labels)] = _parse_value(
+            match.group("value")
+        )
+    return families
+
+
+def merge_expositions(
+    texts: Iterable[str],
+    *,
+    gauge_policy: Mapping[str, str] | None = None,
+) -> str:
+    """Merge several exposition documents into one (shard aggregation).
+
+    Counters and histogram series (``_bucket``/``_sum``/``_count``) are
+    summed per label set; gauges take the **max** per label set unless
+    ``gauge_policy[name] == "sum"`` (population-style gauges — peer
+    counts, heap sizes, rates — add across shards; latency-style gauges
+    do not).  Label sets unique to one document pass through, so
+    per-(peer, detector) series union naturally — a peer lives on one
+    shard.  Help/type metadata comes from the first document defining a
+    family.
+    """
+    policy = dict(gauge_policy or {})
+    merged: Dict[str, dict] = {}
+    for text in texts:
+        for name, family in parse_exposition(text).items():
+            held = merged.setdefault(
+                name,
+                {"type": family["type"], "help": family["help"], "samples": {}},
+            )
+            if held["type"] == "untyped":
+                held["type"] = family["type"]
+            if not held["help"]:
+                held["help"] = family["help"]
+            summing = held["type"] in ("counter", "histogram") or (
+                policy.get(name) == "sum"
+            )
+            for key, value in family["samples"].items():
+                if key not in held["samples"]:
+                    held["samples"][key] = value
+                elif summing:
+                    held["samples"][key] += value
+                else:
+                    held["samples"][key] = max(held["samples"][key], value)
+    lines: List[str] = []
+    for name in sorted(merged):
+        family = merged[name]
+        lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for (sample_name, labels), value in sorted(family["samples"].items()):
+            label_text = _format_labels(
+                tuple(k for k, _ in labels), tuple(v for _, v in labels)
+            )
+            lines.append(f"{sample_name}{label_text} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,164 @@
+"""Rolling QoS health estimators over the live transition stream.
+
+The paper's accuracy metrics (§II-A2) are defined over a *closed*
+observation window — :func:`repro.qos.metrics.compute_metrics` scores a
+finished run.  An operator watching a running monitor needs the same
+numbers *now*, over the recent past.  :class:`QoSHealth` subscribes to
+the monitor's :class:`~repro.live.monitor.LiveEvent` stream and keeps,
+per ``(peer, detector)``, just enough state to answer over a rolling
+window of the last ``window`` seconds:
+
+- **T_MR** (mistake rate): S-transitions per second of observed window;
+- **T_M** (mistake duration): mean length of the suspicion periods that
+  *started* inside the window (open suspicions count up to ``now``,
+  matching the closed-window convention where the window end truncates);
+- **P_A** (query accuracy): fraction of the observed window spent in T.
+
+Detection time T_D is *not* derivable from transitions alone (it needs
+crash ground truth); the monitor exports the **projected detection
+time** — ``freshness point − last arrival``, the time a crash striking
+immediately after the last accepted heartbeat would take to be detected
+— as its live T_D gauge instead (see ``repro.live.monitor``).
+
+Cost model: :meth:`on_event` is O(1) amortized per transition (rare by
+definition — a healthy detector barely transitions), and the metric
+computation walks only the transitions retained inside the window, at
+scrape time, never on the datagram path.  A peer's key starts observing
+at its first transition... almost: :meth:`observe_start` lets the
+monitor pin the true observation start (first heartbeat arrival), so
+P_A does not over-credit trust accumulated before anyone watched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, Iterable, Tuple
+
+from repro._validation import ensure_positive
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids the cycle)
+    from repro.live.monitor import LiveEvent
+
+__all__ = ["QoSHealth", "DEFAULT_WINDOW"]
+
+#: Default rolling-window length (seconds).
+DEFAULT_WINDOW = 300.0
+
+
+class _KeyState:
+    """Rolling transition history of one (peer, detector) pair."""
+
+    __slots__ = ("transitions", "trusting", "start", "n_mistakes_total")
+
+    def __init__(self, start: float):
+        # (time, trusting) transitions inside the window, oldest first.
+        self.transitions: deque = deque()
+        # Output state *before* the oldest retained transition (the state
+        # the window opens in once pruning discards older history).
+        self.trusting = False  # detectors start suspecting (Alg. 1)
+        self.start = start  # observation start (first arrival / event)
+        self.n_mistakes_total = 0
+
+    def prune(self, horizon: float) -> None:
+        transitions = self.transitions
+        while transitions and transitions[0][0] < horizon:
+            _, self.trusting = transitions.popleft()
+
+
+class QoSHealth:
+    """Per-(peer, detector) rolling T_MR / T_M / P_A estimators."""
+
+    def __init__(self, window: float = DEFAULT_WINDOW):
+        ensure_positive(window, "window")
+        self.window = float(window)
+        self._keys: Dict[Tuple[str, str], _KeyState] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(self._keys)
+
+    def observe_start(self, peer: str, detector: str, start: float) -> None:
+        """Pin the observation start of a key (first heartbeat arrival).
+
+        Idempotent; without it the key starts observing at its first
+        transition, which is correct for T_MR/T_M but would deny P_A the
+        suspicion time preceding the first trust.
+        """
+        key = (peer, detector)
+        if key not in self._keys:
+            self._keys[key] = _KeyState(start)
+
+    def on_event(self, event: "LiveEvent") -> None:
+        """Fold one monitor transition in (a ``subscribe`` target)."""
+        key = (event.peer, event.detector)
+        state = self._keys.get(key)
+        if state is None:
+            state = _KeyState(event.time)
+            self._keys[key] = state
+        state.transitions.append((event.time, event.trusting))
+        if not event.trusting:
+            state.n_mistakes_total += 1
+        # Amortized pruning: bound the deque without waiting for a
+        # scrape (a flapping detector must not grow memory between them).
+        state.prune(event.time - self.window)
+
+    # ------------------------------------------------------------------
+    def metrics(
+        self, peer: str, detector: str, now: float
+    ) -> Dict[str, float] | None:
+        """Rolling window metrics of one key at ``now`` (None = unknown)."""
+        state = self._keys.get((peer, detector))
+        if state is None:
+            return None
+        horizon = now - self.window
+        state.prune(horizon)
+        window_start = max(state.start, horizon)
+        span = now - window_start
+        if span <= 0:
+            return None
+
+        n_mistakes = 0
+        trust_time = 0.0
+        mistake_time = 0.0  # suspicion time of window-started mistakes
+        cursor = window_start
+        trusting = state.trusting
+        open_mistake_at: float | None = None
+        for t, new_trusting in state.transitions:
+            t = min(max(t, window_start), now)
+            if trusting:
+                trust_time += t - cursor
+            elif open_mistake_at is not None:
+                mistake_time += t - open_mistake_at
+                open_mistake_at = None
+            if not new_trusting:
+                n_mistakes += 1
+                open_mistake_at = t
+            cursor = t
+            trusting = new_trusting
+        if trusting:
+            trust_time += now - cursor
+        elif open_mistake_at is not None:
+            mistake_time += now - open_mistake_at
+
+        return {
+            "window": span,
+            "n_mistakes": float(n_mistakes),
+            "t_mr": n_mistakes / span,
+            "t_m": (mistake_time / n_mistakes) if n_mistakes else 0.0,
+            "p_a": trust_time / span,
+        }
+
+    def all_metrics(
+        self, now: float
+    ) -> Iterable[Tuple[Tuple[str, str], Dict[str, float]]]:
+        """Every key's rolling metrics (scrape-time iteration)."""
+        for (peer, detector) in list(self._keys):
+            result = self.metrics(peer, detector, now)
+            if result is not None:
+                yield (peer, detector), result
+
+    def forget(self, peer: str) -> None:
+        """Drop all of one peer's keys (departed peer)."""
+        for key in [k for k in self._keys if k[0] == peer]:
+            del self._keys[key]

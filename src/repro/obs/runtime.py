@@ -1,0 +1,93 @@
+"""The observability bundle and the process-wide default.
+
+:class:`Observability` ties the three layers together — one
+:class:`~repro.obs.metrics.MetricsRegistry`, optionally one
+:class:`~repro.obs.tracer.HeartbeatTracer`, optionally one
+:class:`~repro.obs.qos.QoSHealth` — as the single object runtime
+components accept (``LiveMonitor(..., obs=...)``).  Passing ``None``
+(every constructor's default) disables observability outright: the hot
+paths see a ``None`` attribute and skip all instrumentation, which is
+what keeps the committed BENCH_ingest/BENCH_live numbers honest.
+
+The module also holds the **process default** used by components with no
+natural injection point (the replay sweep engine is called from a dozen
+experiment runners): :func:`default_observability` returns ``None``
+unless :func:`set_default_observability` installed a bundle — one
+attribute read per *call into the subsystem*, never per data point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.qos import DEFAULT_WINDOW, QoSHealth
+from repro.obs.tracer import DEFAULT_CAPACITY, HeartbeatTracer
+
+__all__ = [
+    "Observability",
+    "default_observability",
+    "set_default_observability",
+]
+
+
+class Observability:
+    """One registry + optional tracer + optional QoS health, bundled.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry; a fresh one is created when omitted.
+    tracer:
+        Heartbeat lifecycle tracer; ``trace=False`` disables tracing
+        while keeping metrics.
+    qos:
+        Rolling QoS estimators; ``qos_health=False`` disables them.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: HeartbeatTracer | None = None,
+        qos: QoSHealth | None = None,
+        trace: bool = True,
+        trace_capacity: int = DEFAULT_CAPACITY,
+        trace_sample_every: int = 1,
+        qos_health: bool = True,
+        qos_window: float = DEFAULT_WINDOW,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is None and trace:
+            tracer = HeartbeatTracer(
+                trace_capacity, sample_every=trace_sample_every
+            )
+        self.tracer = tracer
+        if qos is None and qos_health:
+            qos = QoSHealth(qos_window)
+        self.qos = qos
+
+    def render_metrics(self) -> str:
+        """The Prometheus text document (runs collect hooks first)."""
+        return self.registry.render()
+
+    def trace_document(self, since: int = 0) -> dict:
+        """The ``trace`` status-command response (empty without a tracer)."""
+        if self.tracer is None:
+            return {"cursor": 0, "dropped": 0, "events": [], "tracing": False}
+        return self.tracer.document(since)
+
+
+_default: Optional[Observability] = None
+
+
+def default_observability() -> Observability | None:
+    """The process-wide bundle, or ``None`` (observability off)."""
+    return _default
+
+
+def set_default_observability(obs: Observability | None) -> Observability | None:
+    """Install (or clear, with ``None``) the process default; returns it."""
+    global _default
+    _default = obs
+    return obs

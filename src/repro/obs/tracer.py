@@ -1,0 +1,183 @@
+"""Heartbeat lifecycle tracing: ring-buffered structured events.
+
+One heartbeat's life is a *span*: the sender emits it (``send``), the
+monitor decodes it (``recv``), every detector advances its freshness
+point (``fresh``), and — eventually, on some heartbeat's absence — a
+detector output flips (``suspect``/``trust``).  :class:`HeartbeatTracer`
+records these stages as :class:`TraceEvent` objects correlated by
+``span = "<peer>:<seq>"``, so an operator can follow one heartbeat
+through the pipeline or one peer across time.
+
+Three properties make it safe to leave on in production:
+
+- **Bounded memory.**  Events live in a ring buffer (``capacity``);
+  ``n_recorded``/``n_dropped`` account exactly even after wrap-around,
+  and every event carries a monotone ``id`` so a cursor-polling client
+  (``repro-fd live trace --follow``) can detect the gap.
+- **Sampling.**  ``sample_every=N`` records the per-heartbeat stages
+  (``send``/``recv``/``fresh``) only for sequence numbers divisible by
+  N; transitions are *always* recorded — they are the rare, load-bearing
+  events.  :meth:`wants` is the hot-path guard, one modulo when tracing
+  is enabled and nothing at all when the tracer is absent.
+- **JSONL export.**  :meth:`to_jsonl` / :meth:`document` serialize
+  retained events for log collectors and the status-endpoint ``trace``
+  command.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro._validation import ensure_positive
+
+__all__ = ["TraceEvent", "HeartbeatTracer", "TRACE_KINDS"]
+
+#: The lifecycle stages, in pipeline order.
+TRACE_KINDS = ("send", "recv", "stale", "fresh", "suspect", "trust")
+
+#: Default ring-buffer capacity (events).
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``id`` is the monotone event number (the follow cursor); ``hb_seq``
+    is the heartbeat sequence number the event belongs to (None for
+    events not tied to one heartbeat, e.g. an expiry-driven suspicion).
+    """
+
+    id: int
+    time: float
+    kind: str
+    peer: str
+    hb_seq: int | None = None
+    detector: str | None = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def span(self) -> str | None:
+        """Correlates every stage of one heartbeat: ``"<peer>:<seq>"``."""
+        if self.hb_seq is None:
+            return None
+        return f"{self.peer}:{self.hb_seq}"
+
+    def as_dict(self) -> dict:
+        doc: Dict[str, object] = {
+            "id": self.id,
+            "time": self.time,
+            "kind": self.kind,
+            "peer": self.peer,
+        }
+        if self.hb_seq is not None:
+            doc["hb_seq"] = self.hb_seq
+            doc["span"] = self.span
+        if self.detector is not None:
+            doc["detector"] = self.detector
+        doc.update(self.fields)
+        return doc
+
+
+class HeartbeatTracer:
+    """Ring buffer of :class:`TraceEvent` with sampling and cursors."""
+
+    __slots__ = ("_ring", "capacity", "sample_every", "n_recorded")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        sample_every: int = 1,
+    ):
+        ensure_positive(capacity, "capacity")
+        ensure_positive(sample_every, "sample_every")
+        self.capacity = int(capacity)
+        self.sample_every = int(sample_every)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.n_recorded = 0  # total ever recorded (ids are 1..n_recorded)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_dropped(self) -> int:
+        """Events that fell off the ring (exact, however long we ran)."""
+        return self.n_recorded - len(self._ring)
+
+    def wants(self, hb_seq: int) -> bool:
+        """Should per-heartbeat stages of ``hb_seq`` be traced?
+
+        The hot-path sampling guard: always True at ``sample_every=1``.
+        """
+        return self.sample_every == 1 or hb_seq % self.sample_every == 0
+
+    def record(
+        self,
+        kind: str,
+        *,
+        time: float,
+        peer: str,
+        hb_seq: int | None = None,
+        detector: str | None = None,
+        **fields: object,
+    ) -> TraceEvent:
+        """Append one event (the caller already applied :meth:`wants`)."""
+        self.n_recorded += 1
+        event = TraceEvent(
+            id=self.n_recorded,
+            time=time,
+            kind=kind,
+            peer=peer,
+            hb_seq=hb_seq,
+            detector=detector,
+            fields=fields,
+        )
+        self._ring.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def events(self, since: int = 0) -> Tuple[List[TraceEvent], int]:
+        """Retained events with ``id > since``, plus the new cursor.
+
+        The cursor is the largest id ever assigned, so a client polling
+        ``events(cursor)`` sees each event exactly once; if the ring
+        wrapped past its cursor, the skipped ids are the gap between
+        ``since`` and the first returned event's id.
+        """
+        if since < 0:
+            raise ValueError(f"cursor must be non-negative, got {since}")
+        fresh = [e for e in self._ring if e.id > since]
+        return fresh, self.n_recorded
+
+    def spans(self, peer: str) -> Dict[str, List[TraceEvent]]:
+        """Retained events of one peer grouped by span (diagnostics)."""
+        out: Dict[str, List[TraceEvent]] = {}
+        for event in self._ring:
+            if event.peer == peer and event.span is not None:
+                out.setdefault(event.span, []).append(event)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, since: int = 0) -> str:
+        """Retained events past ``since`` as JSON-lines text."""
+        events, _ = self.events(since)
+        return "".join(json.dumps(e.as_dict(), sort_keys=True) + "\n" for e in events)
+
+    def document(self, since: int = 0) -> dict:
+        """The ``trace`` status-command response: events + cursor + loss.
+
+        ``dropped`` counts events that aged out of the ring *before this
+        client saw them* (0 when ``since`` is still inside the ring).
+        """
+        events, cursor = self.events(since)
+        oldest_returned = events[0].id if events else cursor + 1
+        dropped = max(0, oldest_returned - since - 1)
+        return {
+            "cursor": cursor,
+            "dropped": dropped,
+            "sample_every": self.sample_every,
+            "capacity": self.capacity,
+            "events": [e.as_dict() for e in events],
+        }

@@ -28,11 +28,14 @@ via :func:`repro.runtime.parallel.pmap`.
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import log_buckets
+from repro.obs.runtime import Observability, default_observability
 from repro.replay.detection import (
     measured_detection_time,
     measured_detection_times_batch,
@@ -207,6 +210,29 @@ def _sweep_batch(
     )
 
 
+def _record_sweep(
+    obs: Observability, kernel: DeadlineKernel, mode: str, n_points: int,
+    duration: float,
+) -> None:
+    """Fold one finished sweep into the process-default registry."""
+    reg = obs.registry
+    reg.counter(
+        "repro_sweeps_total",
+        "Parameter sweeps executed by the replay engine.",
+        ("detector", "mode"),
+    ).labels(kernel.name, mode).inc()
+    reg.counter(
+        "repro_sweep_points_total",
+        "Usable sweep points produced (finite detection time).",
+        ("detector", "mode"),
+    ).labels(kernel.name, mode).inc(n_points)
+    reg.histogram(
+        "repro_sweep_seconds",
+        "Wall-clock duration of one sweep() call.",
+        buckets=log_buckets(1e-4, 100.0, 3),
+    ).observe(duration)
+
+
 def sweep(
     kernel: DeadlineKernel,
     trace: HeartbeatTrace,
@@ -215,7 +241,28 @@ def sweep(
     *,
     mode: str = "batch",
 ) -> QoSCurve:
-    """Replay ``kernel`` at every parameter value, producing a QoS curve."""
+    """Replay ``kernel`` at every parameter value, producing a QoS curve.
+
+    When a process-default observability bundle is installed
+    (:func:`repro.obs.runtime.set_default_observability`), each call
+    records sweep count, usable points, and duration — one attribute read
+    when observability is off.
+    """
+    obs = default_observability()
+    t0 = _time.perf_counter() if obs is not None else 0.0
+    curve = _sweep_dispatch(kernel, trace, params, label, mode)
+    if obs is not None:
+        _record_sweep(obs, kernel, mode, len(curve), _time.perf_counter() - t0)
+    return curve
+
+
+def _sweep_dispatch(
+    kernel: DeadlineKernel,
+    trace: HeartbeatTrace,
+    params: Sequence[float],
+    label: str | None,
+    mode: str,
+) -> QoSCurve:
     if kernel.param_name is None:
         raise ValueError(
             f"detector {kernel.name!r} has no tuning parameter; use bertier_point()"
@@ -331,6 +378,13 @@ def calibrate_to_detection_time(
     """
     if kernel.param_name is None:
         raise ValueError(f"detector {kernel.name!r} is not tunable")
+    obs = default_observability()
+    if obs is not None:
+        obs.registry.counter(
+            "repro_calibrations_total",
+            "calibrate_to_detection_time calls.",
+            ("detector",),
+        ).labels(kernel.name).inc()
     offset = trace.send_offset_estimate()
     sends = offset + kernel.interval * kernel.seq.astype(np.float64)
 

@@ -1,0 +1,187 @@
+"""repro.obs.metrics: registry semantics, exposition format, parse/merge."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    merge_expositions,
+    parse_exposition,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(3)
+        assert c.value == 4.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_set_total_enforces_monotonicity(self):
+        c = Counter()
+        c.set_total(10)
+        c.set_total(10)  # equal is fine
+        with pytest.raises(ValueError):
+            c.set_total(9)
+
+
+class TestGauge:
+    def test_set_moves_freely(self):
+        g = Gauge()
+        g.set(5.0)
+        g.set(-2.5)
+        assert g.value == -2.5
+
+
+class TestHistogram:
+    def test_observations_fall_into_cumulative_buckets(self):
+        h = Histogram((1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5055.5)
+        # one observation per slot; the last slot is the implicit +Inf
+        assert h.counts == [1, 1, 1, 1]
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "help")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "help")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help", ("peer",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "help", ("peer", "detector"))
+
+    def test_collect_hooks_run_on_render(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("now_ish", "help")
+        calls = []
+        reg.add_collect_hook(lambda: (calls.append(1), g.set(len(calls)))[0])
+        reg.render()
+        reg.render()
+        assert len(calls) == 2
+
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("hb_total", "Heartbeats.", ("peer",)).labels("a").inc(3)
+        reg.gauge("rate", "Rate.").set(1.5)
+        h = reg.histogram("batch", "Batch sizes.", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(50.0)
+        return reg
+
+    def test_renders_prometheus_text(self):
+        text = self._registry().render()
+        assert "# HELP hb_total Heartbeats.\n" in text
+        assert "# TYPE hb_total counter\n" in text
+        assert 'hb_total{peer="a"} 3\n' in text
+        assert "rate 1.5\n" in text
+        assert 'batch_bucket{le="1"} 1\n' in text
+        assert 'batch_bucket{le="+Inf"} 2\n' in text
+        assert "batch_sum 50.5\n" in text
+        assert "batch_count 2\n" in text
+
+    def test_label_values_escaped_round_trip(self):
+        reg = MetricsRegistry()
+        weird = 'pe"er\\with\nnewline'
+        reg.counter("x_total", "h", ("peer",)).labels(weird).inc()
+        fams = parse_exposition(reg.render())
+        (sample,) = fams["x_total"]["samples"]
+        assert sample[1] == (("peer", weird),)
+
+    def test_parse_round_trip(self):
+        text = self._registry().render()
+        fams = parse_exposition(text)
+        assert fams["hb_total"]["type"] == "counter"
+        assert fams["rate"]["type"] == "gauge"
+        assert fams["batch"]["type"] == "histogram"
+        samples = fams["hb_total"]["samples"]
+        assert samples[("hb_total", (("peer", "a"),))] == 3.0
+
+    def test_counters_monotonic_across_snapshots(self):
+        reg = self._registry()
+        first = parse_exposition(reg.render())
+        reg.counter("hb_total", "Heartbeats.", ("peer",)).labels("a").inc(2)
+        second = parse_exposition(reg.render())
+        for key, value in first["hb_total"]["samples"].items():
+            assert second["hb_total"]["samples"][key] >= value
+
+
+class TestMerge:
+    def _text(self, n, rate):
+        reg = MetricsRegistry()
+        reg.counter("hb_total", "Heartbeats.").inc(n)
+        reg.gauge("poll_seconds", "Poll.").set(rate)
+        reg.gauge("peers", "Peers.").set(n)
+        h = reg.histogram("batch", "B.", buckets=(1.0, 10.0))
+        h.observe(n)
+        return reg.render()
+
+    def test_counters_and_histograms_sum(self):
+        merged = parse_exposition(
+            merge_expositions([self._text(2, 0.5), self._text(3, 0.25)])
+        )
+        assert merged["hb_total"]["samples"][("hb_total", ())] == 5.0
+        assert merged["batch"]["samples"][("batch_count", ())] == 2.0
+        assert merged["batch"]["samples"][("batch_sum", ())] == 5.0
+
+    def test_gauges_max_by_default_sum_by_policy(self):
+        merged = parse_exposition(
+            merge_expositions(
+                [self._text(2, 0.5), self._text(3, 0.25)],
+                gauge_policy={"peers": "sum"},
+            )
+        )
+        assert merged["poll_seconds"]["samples"][("poll_seconds", ())] == 0.5
+        assert merged["peers"]["samples"][("peers", ())] == 5.0
+
+    def test_disjoint_label_sets_union(self):
+        reg1 = MetricsRegistry()
+        reg1.counter("t_total", "h", ("peer",)).labels("a").inc(1)
+        reg2 = MetricsRegistry()
+        reg2.counter("t_total", "h", ("peer",)).labels("b").inc(2)
+        merged = parse_exposition(merge_expositions([reg1.render(), reg2.render()]))
+        samples = merged["t_total"]["samples"]
+        assert samples[("t_total", (("peer", "a"),))] == 1.0
+        assert samples[("t_total", (("peer", "b"),))] == 2.0
+
+
+class TestLogBuckets:
+    def test_geometric_ladder(self):
+        buckets = log_buckets(1.0, 1000.0, 1)
+        assert buckets == (1.0, 10.0, 100.0, 1000.0)
+
+    def test_strictly_increasing(self):
+        buckets = log_buckets(1e-6, 10.0, 3)
+        assert all(a < b for a, b in zip(buckets, buckets[1:]))
+
+    def test_infinite_values_render(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "h").set(math.inf)
+        assert "g +Inf\n" in reg.render()

@@ -1,0 +1,114 @@
+"""repro.obs.qos: rolling T_MR / T_M / P_A over the transition stream."""
+
+import pytest
+
+from repro.live.monitor import LiveEvent
+from repro.obs.qos import DEFAULT_WINDOW, QoSHealth
+
+
+def _trust(time, peer="p", detector="chen"):
+    return LiveEvent(time=time, peer=peer, detector=detector, trusting=True)
+
+
+def _suspect(time, peer="p", detector="chen"):
+    return LiveEvent(time=time, peer=peer, detector=detector, trusting=False)
+
+
+class TestObservation:
+    def test_unknown_key_is_none(self):
+        assert QoSHealth().metrics("p", "chen", now=10.0) is None
+
+    def test_starts_suspecting_before_first_trust(self):
+        # Alg. 1 detectors boot in S; with no transitions yet the whole
+        # observed span is suspicion time.
+        health = QoSHealth(window=100.0)
+        health.observe_start("p", "chen", 0.0)
+        m = health.metrics("p", "chen", now=10.0)
+        assert m["p_a"] == 0.0
+        assert m["t_mr"] == 0.0
+        assert m["window"] == pytest.approx(10.0)
+
+    def test_observe_start_is_idempotent(self):
+        health = QoSHealth(window=100.0)
+        health.observe_start("p", "chen", 0.0)
+        health.observe_start("p", "chen", 50.0)  # must not reset the start
+        assert health.metrics("p", "chen", now=10.0)["window"] == pytest.approx(10.0)
+
+    def test_key_springs_up_at_first_event_without_observe_start(self):
+        health = QoSHealth(window=100.0)
+        health.on_event(_trust(5.0))
+        m = health.metrics("p", "chen", now=10.0)
+        assert m["window"] == pytest.approx(5.0)
+        assert m["p_a"] == pytest.approx(1.0)
+
+
+class TestRollingMetrics:
+    def test_p_a_is_the_trust_fraction(self):
+        health = QoSHealth(window=100.0)
+        health.observe_start("p", "chen", 0.0)
+        health.on_event(_trust(2.0))
+        m = health.metrics("p", "chen", now=10.0)
+        assert m["p_a"] == pytest.approx(0.8)  # trusted 2..10 of 0..10
+
+    def test_closed_mistake_counts_and_durations(self):
+        health = QoSHealth(window=100.0)
+        health.observe_start("p", "chen", 0.0)
+        health.on_event(_trust(2.0))
+        health.on_event(_suspect(4.0))
+        health.on_event(_trust(6.0))
+        m = health.metrics("p", "chen", now=10.0)
+        assert m["n_mistakes"] == 1.0
+        assert m["t_mr"] == pytest.approx(0.1)  # 1 mistake / 10 s window
+        assert m["t_m"] == pytest.approx(2.0)  # suspected 4..6
+        assert m["p_a"] == pytest.approx(0.6)  # trusted 2..4 and 6..10
+
+    def test_open_mistake_accrues_up_to_now(self):
+        health = QoSHealth(window=100.0)
+        health.observe_start("p", "chen", 0.0)
+        health.on_event(_trust(2.0))
+        health.on_event(_suspect(8.0))
+        m = health.metrics("p", "chen", now=10.0)
+        assert m["n_mistakes"] == 1.0
+        assert m["t_m"] == pytest.approx(2.0)  # open suspicion 8..now
+        assert m["p_a"] == pytest.approx(0.6)
+
+    def test_pruned_history_carries_state_across_the_horizon(self):
+        # A trust transition far in the past falls off the window, but the
+        # key must still be known-trusting inside it.
+        health = QoSHealth(window=10.0)
+        health.observe_start("p", "chen", 0.0)
+        health.on_event(_trust(1.0))
+        m = health.metrics("p", "chen", now=100.0)
+        assert m["window"] == pytest.approx(10.0)  # clamped to the horizon
+        assert m["p_a"] == pytest.approx(1.0)
+        assert m["t_mr"] == 0.0
+
+    def test_flapping_detector_memory_stays_bounded(self):
+        health = QoSHealth(window=5.0)
+        for k in range(10_000):
+            health.on_event(_trust(k * 0.01) if k % 2 else _suspect(k * 0.01))
+        state = health._keys[("p", "chen")]
+        # 5 s window at 100 transitions/s: ~500 retained, never 10 000.
+        assert len(state.transitions) <= 502
+
+
+class TestBookkeeping:
+    def test_all_metrics_iterates_every_key(self):
+        health = QoSHealth(window=100.0)
+        health.on_event(_trust(1.0, peer="a"))
+        health.on_event(_trust(1.0, peer="b", detector="2w-fd"))
+        keys = {key for key, _ in health.all_metrics(now=10.0)}
+        assert keys == {("a", "chen"), ("b", "2w-fd")}
+
+    def test_forget_drops_all_of_a_peers_keys(self):
+        health = QoSHealth(window=100.0)
+        health.on_event(_trust(1.0, peer="a", detector="chen"))
+        health.on_event(_trust(1.0, peer="a", detector="2w-fd"))
+        health.on_event(_trust(1.0, peer="b"))
+        health.forget("a")
+        assert health.keys == (("b", "chen"),)
+
+    def test_default_window_is_five_minutes(self):
+        assert DEFAULT_WINDOW == 300.0
+        with pytest.raises(ValueError):
+            QoSHealth(window=0.0)

@@ -1,0 +1,124 @@
+"""repro.obs.tracer: ring-buffer overflow accounting, sampling, cursors."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import DEFAULT_CAPACITY, TRACE_KINDS, HeartbeatTracer, TraceEvent
+
+
+def _fill(tracer, n, *, peer="p", kind="recv"):
+    for seq in range(1, n + 1):
+        tracer.record(kind, time=float(seq), peer=peer, hb_seq=seq)
+
+
+class TestRecording:
+    def test_ids_are_monotone_from_one(self):
+        tracer = HeartbeatTracer()
+        first = tracer.record("send", time=0.0, peer="p", hb_seq=1)
+        second = tracer.record("recv", time=0.1, peer="p", hb_seq=1)
+        assert (first.id, second.id) == (1, 2)
+        assert tracer.n_recorded == 2
+        assert tracer.n_dropped == 0
+
+    def test_span_correlates_peer_and_seq(self):
+        event = TraceEvent(id=1, time=0.0, kind="recv", peer="p", hb_seq=7)
+        assert event.span == "p:7"
+        assert TraceEvent(id=2, time=0.0, kind="suspect", peer="p").span is None
+
+    def test_as_dict_carries_extra_fields(self):
+        tracer = HeartbeatTracer()
+        event = tracer.record(
+            "fresh", time=1.5, peer="p", hb_seq=3, detector="chen", deadline=2.5
+        )
+        doc = event.as_dict()
+        assert doc["span"] == "p:3"
+        assert doc["detector"] == "chen"
+        assert doc["deadline"] == 2.5
+
+    def test_kinds_cover_the_lifecycle(self):
+        assert set(TRACE_KINDS) == {
+            "send", "recv", "stale", "fresh", "suspect", "trust",
+        }
+
+
+class TestRingOverflow:
+    def test_ring_retains_only_newest_capacity_events(self):
+        tracer = HeartbeatTracer(capacity=4)
+        _fill(tracer, 10)
+        events, cursor = tracer.events()
+        assert cursor == 10
+        assert [e.id for e in events] == [7, 8, 9, 10]
+        assert tracer.n_recorded == 10
+        assert tracer.n_dropped == 6
+
+    def test_document_reports_the_gap_past_a_stale_cursor(self):
+        tracer = HeartbeatTracer(capacity=4)
+        _fill(tracer, 10)
+        doc = tracer.document(since=0)
+        assert doc["cursor"] == 10
+        assert doc["dropped"] == 6  # ids 1..6 aged out before this client
+        assert [e["id"] for e in doc["events"]] == [7, 8, 9, 10]
+
+    def test_cursor_polling_sees_each_event_exactly_once(self):
+        tracer = HeartbeatTracer(capacity=100)
+        _fill(tracer, 3)
+        events, cursor = tracer.events(0)
+        assert [e.id for e in events] == [1, 2, 3]
+        _fill(tracer, 2)
+        events, cursor = tracer.events(cursor)
+        assert [e.id for e in events] == [4, 5]
+        events, _ = tracer.events(cursor)
+        assert events == []
+
+    def test_up_to_date_cursor_reports_no_drops(self):
+        tracer = HeartbeatTracer(capacity=4)
+        _fill(tracer, 10)
+        doc = tracer.document(since=10)
+        assert doc["dropped"] == 0
+        assert doc["events"] == []
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatTracer().events(-1)
+
+    def test_default_capacity_is_bounded(self):
+        tracer = HeartbeatTracer()
+        assert tracer.capacity == DEFAULT_CAPACITY
+        with pytest.raises(ValueError):
+            HeartbeatTracer(capacity=0)
+
+
+class TestSampling:
+    def test_sample_every_one_wants_everything(self):
+        tracer = HeartbeatTracer(sample_every=1)
+        assert all(tracer.wants(seq) for seq in range(20))
+
+    def test_sample_every_n_keeps_multiples_of_n(self):
+        tracer = HeartbeatTracer(sample_every=3)
+        kept = [seq for seq in range(1, 13) if tracer.wants(seq)]
+        assert kept == [3, 6, 9, 12]
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HeartbeatTracer(sample_every=0)
+
+
+class TestExport:
+    def test_to_jsonl_round_trips(self):
+        tracer = HeartbeatTracer()
+        _fill(tracer, 3)
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 3
+        docs = [json.loads(line) for line in lines]
+        assert [d["id"] for d in docs] == [1, 2, 3]
+        assert all(d["kind"] == "recv" and d["peer"] == "p" for d in docs)
+
+    def test_spans_group_one_peers_events(self):
+        tracer = HeartbeatTracer()
+        tracer.record("recv", time=0.0, peer="a", hb_seq=1)
+        tracer.record("fresh", time=0.0, peer="a", hb_seq=1, detector="chen")
+        tracer.record("recv", time=0.1, peer="b", hb_seq=1)
+        spans = tracer.spans("a")
+        assert list(spans) == ["a:1"]
+        assert [e.kind for e in spans["a:1"]] == ["recv", "fresh"]

@@ -24,6 +24,7 @@ CASES = [
     ("cluster_membership.py", []),
     ("bring_your_own_trace.py", []),
     ("live_quickstart.py", []),
+    ("obs_quickstart.py", []),
 ]
 
 
