@@ -3,7 +3,7 @@
 PY ?= python3
 SCALE ?= 0.02
 
-.PHONY: install test bench experiments report examples clean
+.PHONY: install test bench bench-ingest experiments report examples clean
 
 install:
 	$(PY) -m pip install -e .
@@ -13,6 +13,12 @@ test:
 
 bench:
 	REPRO_SCALE=$(SCALE) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the committed live-ingest snapshot (scalar vs batched vs
+# vectorized, with profile block) and guard it against itself.
+bench-ingest:
+	PYTHONPATH=src $(PY) benchmarks/bench_live_ingest.py --profile -o BENCH_ingest.json
+	PYTHONPATH=src $(PY) benchmarks/bench_live_ingest.py --check BENCH_ingest.json
 
 experiments:
 	$(PY) -m repro run all --scale $(SCALE)

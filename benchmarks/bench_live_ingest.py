@@ -1,8 +1,8 @@
-"""Ingest-path benchmark: scalar vs batched vs sharded datagram intake.
+"""Ingest-path benchmark: scalar vs batched vs vectorized vs sharded intake.
 
-Measures the three intake strategies of the live monitor over the paper's
-§IV-C five-detector comparison set (2W-FD, Chen, φ, ED, Bertier — the
-workload whose estimation layer the shared arrival statistics collapse):
+Measures the intake strategies of the live monitor over the paper's §IV-C
+five-detector comparison set (2W-FD, Chen, φ, ED, Bertier — the workload
+whose estimation layer the shared arrival statistics collapse):
 
 - **scalar** — ``LiveMonitor.ingest(datagram)`` per datagram with private
   per-detector estimation: the pre-optimization baseline, exactly what the
@@ -12,6 +12,13 @@ workload whose estimation layer the shared arrival statistics collapse):
   decode via precompiled struct views, per-batch (not per-datagram)
   accounting, shared per-peer arrival statistics pushed once per accepted
   heartbeat, dirty-only event drains;
+- **vectorized** — ``ingest_mode="vectorized"``: columnar numpy decode of
+  the whole batch, window pushes and freshness-point updates applied
+  vectorized over sub-batches of distinct peers (``repro.live.ingest``).
+  Wins at high fan-in (many peers per batch → big sub-batches); at low
+  fan-in the sub-batches shrink to a handful of rows and the numpy
+  dispatch overhead makes it *slower* than batched — the per-peer-count
+  blocks record that honestly, and ``docs/performance.md`` explains it;
 - **sharded** — N worker processes each running the batched engine on its
   share of the peers, the process topology ``repro.live.shard`` deploys
   behind one SO_REUSEPORT UDP port.  Workers run simultaneously; the
@@ -19,15 +26,15 @@ workload whose estimation layer the shared arrival statistics collapse):
   worker, so on a single-core host the number honestly shows no scaling
   (``context.cpu_count`` is recorded for exactly this reason).
 
-Before any number is written, the scalar and batched engines are driven
-over an identical pinned-arrival stream and their event streams and final
-freshness points asserted **bitwise identical** — the throughput gap is an
-optimization, not a behavior change.
+Before any number is written, the scalar, batched, and vectorized engines
+are driven over an identical pinned-arrival stream and their event streams
+and final freshness points asserted **bitwise identical** — the throughput
+gaps are optimizations, not behavior changes.
 
 Timing uses best-of-``rounds`` (minimum seconds per mode, i.e. the least
-noise-inflated observation), with scalar and batched measured back-to-back
-within each round on identical fresh-sequence workloads so host noise hits
-both paths alike.
+noise-inflated observation), with all modes measured back-to-back within
+each round on identical fresh-sequence workloads so host noise hits every
+path alike.
 
 Usage::
 
@@ -37,15 +44,21 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --check BENCH_ingest.json
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --obs on --peers 50
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --guard BENCH_ingest.json
+    PYTHONPATH=src python benchmarks/bench_live_ingest.py --profile
 
 ``--obs on`` runs the same workload through monitors carrying a full
 :class:`repro.obs.Observability` bundle (metrics + tracer + QoS health),
 quantifying the instrumentation overhead; the default ``--obs off``
 matches the committed baseline.  ``--guard FILE`` compares the measured
-``speedup_batched_over_scalar`` per peer count against a committed
-snapshot and fails if it regressed more than ``--guard-tolerance``
-(host-relative ratios travel across machines; raw datagram rates do
-not, which is why the guard never compares absolute throughput).
+speedup ratios per peer count against a committed snapshot and fails if
+they regressed more than ``--guard-tolerance`` (host-relative ratios
+travel across machines; raw datagram rates do not, which is why the guard
+never compares absolute throughput); ``--guard-min-vectorized`` adds an
+absolute floor on the vectorized-over-batched speedup at the largest
+measured peer count.  ``--profile`` cProfiles one extra round of the
+batched and vectorized drivers at the largest peer count and records the
+top cumulative functions in the snapshot — the starting data for the next
+optimization round.
 """
 
 from __future__ import annotations
@@ -62,29 +75,43 @@ from repro.live.monitor import LiveMonitor
 from repro.live.wire import Heartbeat
 from repro.obs import Observability
 
-SCHEMA = "repro-fd/bench-ingest/v1"
+SCHEMA = "repro-fd/bench-ingest/v2"
 DEFAULT_PEERS = (10, 50, 200)
 DETECTORS = ("2w-fd", "chen", "phi", "ed", "bertier")
 PARAMS = {"2w-fd": 0.05, "chen": 0.05, "phi": 3.0, "ed": 0.95}
 INTERVAL = 0.1
 BEATS_PER_ROUND = 200  # heartbeats per peer per timing round
-TARGET_BATCH = 64  # datagrams per ingest_many call (socket-drain sized)
+# Datagrams per ingest_many call: sized to a full DatagramArena drain
+# (DEFAULT_ARENA_SLOTS), the burst the vectorized receive loop actually
+# hands the monitor.  Batched and vectorized use the same size so their
+# ratio isolates the engine, not the batching.
+TARGET_BATCH = 512
 WARMUP_BEATS = 5
 SHARD_COUNTS = (1, 2, 4)
 SHARD_PEERS = 50  # peers per worker in the shard-scaling stage
 
+#: mode name -> (estimation, ingest_mode) monitor configuration.
+MODES = {
+    "scalar": ("private", "batched"),
+    "batched": ("shared", "batched"),
+    "vectorized": ("shared", "vectorized"),
+}
 
-def _make_monitor(estimation: str, obs: bool = False) -> LiveMonitor:
-    """``private`` + scalar ingest is the pre-optimization baseline;
-    ``shared`` + batched ingest is the full optimized stack.  ``obs``
+
+def _make_monitor(mode: str, obs: bool = False) -> LiveMonitor:
+    """``scalar`` = private estimation driven datagram-at-a-time (the
+    pre-optimization baseline); ``batched`` = shared estimation via
+    ``ingest_many``; ``vectorized`` = the columnar numpy engine.  ``obs``
     attaches a full observability bundle (metrics registry, tracer, QoS
     health) — the ``--obs on`` overhead measurement."""
+    estimation, ingest_mode = MODES[mode]
     return LiveMonitor(
         INTERVAL,
         DETECTORS,
         PARAMS,
         clock=lambda: 0.0,
         estimation=estimation,
+        ingest_mode=ingest_mode,
         obs=Observability() if obs else None,
     )
 
@@ -144,9 +171,20 @@ def _drive_batched(mon: LiveMonitor, payloads, arrivals=None) -> float:
     return time.perf_counter() - t0
 
 
+def _final_deadlines(mon: LiveMonitor) -> dict:
+    if mon._engine is not None:
+        mon._engine.sync_all()
+    return {
+        (p, name): det.suspicion_deadline
+        for p in mon.peers
+        for name, det in mon._peers[p].detectors.items()
+    }
+
+
 def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
-    """Scalar and batched over one pinned-arrival stream: identical events
-    AND identical final freshness points.  Returns the event count."""
+    """Scalar, batched, and vectorized over one pinned-arrival stream:
+    identical events AND identical final freshness points.  Returns the
+    event count."""
     payloads = _round_payloads(n_peers, 1, n_beats)
     # Slight per-peer jitter (deterministic) so deadlines are distinct and
     # some expiries interleave with ingest via explicit poll calls.
@@ -155,31 +193,27 @@ def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
         for seq in range(1, n_beats + 1)
         for i in range(n_peers)
     ]
-    scalar, batched = _make_monitor("private"), _make_monitor("shared")
-    scalar.now(), batched.now()  # pin epochs
+    scalar = _make_monitor("scalar")
+    scalar.now()  # pin epoch
     _drive_scalar(scalar, payloads, arrivals)
-    _drive_batched(batched, payloads, arrivals)
     end = arrivals[-1] + 5.0
     scalar.poll(end)
-    batched.poll(end)
     ev_s = [(e.time, e.peer, e.detector, e.trusting) for e in scalar.events]
-    ev_b = [(e.time, e.peer, e.detector, e.trusting) for e in batched.events]
-    assert ev_s == ev_b, (
-        f"scalar/batched event streams diverged at {n_peers} peers: "
-        f"{len(ev_s)} vs {len(ev_b)} events"
-    )
-    dl_s = {
-        (p, name): det.suspicion_deadline
-        for p in scalar.peers
-        for name, det in scalar._peers[p].detectors.items()
-    }
-    dl_b = {
-        (p, name): det.suspicion_deadline
-        for p in batched.peers
-        for name, det in batched._peers[p].detectors.items()
-    }
-    assert dl_s == dl_b, f"final freshness points diverged at {n_peers} peers"
+    dl_s = _final_deadlines(scalar)
     assert ev_s, "equivalence run produced no events - vacuous"
+    for mode in ("batched", "vectorized"):
+        mon = _make_monitor(mode)
+        mon.now()
+        _drive_batched(mon, payloads, arrivals)
+        mon.poll(end)
+        ev_m = [(e.time, e.peer, e.detector, e.trusting) for e in mon.events]
+        assert ev_s == ev_m, (
+            f"scalar/{mode} event streams diverged at {n_peers} peers: "
+            f"{len(ev_s)} vs {len(ev_m)} events"
+        )
+        assert dl_s == _final_deadlines(mon), (
+            f"scalar/{mode} final freshness points diverged at {n_peers} peers"
+        )
     return len(ev_s)
 
 
@@ -189,43 +223,47 @@ def bench_peer_count(
     """One ``peers_<n>`` result block (equivalence asserted first)."""
     n_equiv_events = assert_equivalent(n_peers)
 
-    scalar = _make_monitor("private", obs)
-    batched = _make_monitor("shared", obs)
-    scalar.now(), batched.now()  # pin epochs at 0
+    monitors = {mode: _make_monitor(mode, obs) for mode in MODES}
+    for mon in monitors.values():
+        mon.now()  # pin epochs at 0
+    drivers = {
+        "scalar": _drive_scalar,
+        "batched": _drive_batched,
+        "vectorized": _drive_batched,
+    }
     seq = 1
     warm = _round_payloads(n_peers, seq, WARMUP_BEATS)
     warm_arr = _round_arrivals(n_peers, seq, WARMUP_BEATS)
-    _drive_scalar(scalar, warm, warm_arr)
-    _drive_batched(batched, warm, warm_arr)
+    for mode, mon in monitors.items():
+        drivers[mode](mon, warm, warm_arr)
     seq += WARMUP_BEATS
 
-    best_scalar = best_batched = float("inf")
+    best = dict.fromkeys(MODES, float("inf"))
     for _ in range(rounds):
         payloads = _round_payloads(n_peers, seq, BEATS_PER_ROUND)
         arrivals = _round_arrivals(n_peers, seq, BEATS_PER_ROUND)
         seq += BEATS_PER_ROUND
-        # Back-to-back within the round: noise hits both paths alike.
-        best_scalar = min(best_scalar, _drive_scalar(scalar, payloads, arrivals))
-        best_batched = min(
-            best_batched, _drive_batched(batched, payloads, arrivals)
-        )
+        # Back-to-back within the round: noise hits every path alike.
+        for mode, mon in monitors.items():
+            best[mode] = min(best[mode], drivers[mode](mon, payloads, arrivals))
     n_datagrams = n_peers * BEATS_PER_ROUND
-    return {
+    block: Dict[str, object] = {
         "n_peers": n_peers,
         "n_datagrams_per_round": n_datagrams,
         "batch_size": TARGET_BATCH,
-        "scalar": {
-            "seconds": best_scalar,
-            "datagrams_per_sec": n_datagrams / best_scalar,
-        },
-        "batched": {
-            "seconds": best_batched,
-            "datagrams_per_sec": n_datagrams / best_batched,
-        },
-        "speedup_batched_over_scalar": best_scalar / best_batched,
-        "equivalent": True,
-        "n_equivalence_events": n_equiv_events,
     }
+    for mode in MODES:
+        block[mode] = {
+            "seconds": best[mode],
+            "datagrams_per_sec": n_datagrams / best[mode],
+        }
+    block["speedup_batched_over_scalar"] = best["scalar"] / best["batched"]
+    block["speedup_vectorized_over_batched"] = (
+        best["batched"] / best["vectorized"]
+    )
+    block["equivalent"] = True
+    block["n_equivalence_events"] = n_equiv_events
+    return block
 
 
 # ----------------------------------------------------------------------
@@ -233,7 +271,7 @@ def bench_peer_count(
 # ----------------------------------------------------------------------
 def _shard_engine_worker(shard_id, n_peers, n_beats, start_evt, out_queue):
     """One worker's share: a full 5-detector batched engine, its own peers."""
-    mon = _make_monitor("shared")
+    mon = _make_monitor("batched")
     mon.now()
     warm = _round_payloads(n_peers, 1, WARMUP_BEATS, prefix=f"s{shard_id}-p")
     _drive_batched(mon, warm, _round_arrivals(n_peers, 1, WARMUP_BEATS))
@@ -309,6 +347,49 @@ def bench_shard_scaling(rounds: int) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Profiling: where does the next optimization round start?
+# ----------------------------------------------------------------------
+def profile_modes(n_peers: int, top: int = 12) -> Dict[str, list]:
+    """cProfile one round of the batched and vectorized drivers; returns
+    mode -> top functions by cumulative time."""
+    import cProfile
+    import pstats
+
+    out: Dict[str, list] = {}
+    for mode in ("batched", "vectorized"):
+        mon = _make_monitor(mode)
+        mon.now()
+        warm = _round_payloads(n_peers, 1, WARMUP_BEATS)
+        _drive_batched(mon, warm, _round_arrivals(n_peers, 1, WARMUP_BEATS))
+        payloads = _round_payloads(n_peers, WARMUP_BEATS + 1, BEATS_PER_ROUND)
+        arrivals = _round_arrivals(n_peers, WARMUP_BEATS + 1, BEATS_PER_ROUND)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _drive_batched(mon, payloads, arrivals)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        entries = []
+        for func in stats.fcn_list[: top + 8]:  # skip profiler frames below
+            cc, nc, tt, ct, _ = stats.stats[func]
+            filename, lineno, name = func
+            if "cProfile" in filename or name == "<built-in method builtins.exec>":
+                continue
+            entries.append(
+                {
+                    "function": f"{os.path.basename(filename)}:{lineno}({name})",
+                    "ncalls": nc,
+                    "tottime": round(tt, 6),
+                    "cumtime": round(ct, 6),
+                }
+            )
+            if len(entries) >= top:
+                break
+        out[mode] = entries
+    return out
+
+
+# ----------------------------------------------------------------------
 # Schema check (the CI smoke gate)
 # ----------------------------------------------------------------------
 def check_snapshot(path: str) -> List[str]:
@@ -336,19 +417,27 @@ def check_snapshot(path: str) -> List[str]:
         problems.append("no peers_<n> result blocks")
     for name in peer_blocks:
         block = results[name]
-        for key in ("scalar", "batched", "speedup_batched_over_scalar"):
+        for key in (
+            "scalar",
+            "batched",
+            "vectorized",
+            "speedup_batched_over_scalar",
+            "speedup_vectorized_over_batched",
+        ):
             if key not in block:
                 problems.append(f"results.{name}.{key} missing")
         if block.get("equivalent") is not True:
             problems.append(
-                f"results.{name}: scalar/batched streams not equivalent"
+                f"results.{name}: ingest-mode streams not equivalent"
             )
-        speedup = block.get("speedup_batched_over_scalar")
-        if not isinstance(speedup, (int, float)) or speedup <= 0:
-            problems.append(
-                f"results.{name}.speedup_batched_over_scalar not positive"
-            )
-        for key in ("scalar", "batched"):
+        for key in (
+            "speedup_batched_over_scalar",
+            "speedup_vectorized_over_batched",
+        ):
+            speedup = block.get(key)
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                problems.append(f"results.{name}.{key} not positive")
+        for key in ("scalar", "batched", "vectorized"):
             sub = block.get(key)
             if isinstance(sub, dict):
                 seconds = sub.get("seconds")
@@ -362,14 +451,29 @@ def check_snapshot(path: str) -> List[str]:
     return problems
 
 
+#: The vectorized-over-batched ratio is only regression-guarded where the
+#: committed snapshot shows vectorized actually winning; at low fan-in the
+#: ratio is below 1 by design (tiny sub-batches) and noisy enough that a
+#: relative guard there would flake without protecting anything.
+GUARD_VECTORIZED_ABOVE = 1.5
+
+
 def guard_regression(
-    snapshot_path: str, results: Dict[str, dict], tolerance: float
+    snapshot_path: str,
+    results: Dict[str, dict],
+    tolerance: float,
+    min_vectorized: float | None = None,
 ) -> List[str]:
     """Compare measured speedups against a committed snapshot.
 
-    Only the host-relative ``speedup_batched_over_scalar`` ratio is
-    compared — absolute datagram rates don't travel across machines.
-    Returns a list of regressions (empty = within tolerance).
+    Only host-relative ratios are compared — absolute datagram rates
+    don't travel across machines.  ``speedup_batched_over_scalar`` is
+    guarded at every overlapping peer count;
+    ``speedup_vectorized_over_batched`` where the committed ratio shows
+    vectorized winning (>= ``GUARD_VECTORIZED_ABOVE``).  When
+    ``min_vectorized`` is given, the vectorized speedup at the *largest*
+    measured peer count must additionally clear that absolute floor.
+    Returns a list of regressions (empty = pass).
     """
     problems: List[str] = []
     try:
@@ -385,23 +489,51 @@ def guard_regression(
         base = committed_results.get(name)
         if not isinstance(base, dict):
             continue
-        base_speedup = base.get("speedup_batched_over_scalar")
-        measured = block.get("speedup_batched_over_scalar")
-        if not isinstance(base_speedup, (int, float)):
-            continue
-        compared += 1
-        floor = base_speedup * (1.0 - tolerance)
-        if measured < floor:
-            problems.append(
-                f"{name}: speedup {measured:.2f}x fell below "
-                f"{floor:.2f}x ({base_speedup:.2f}x committed, "
-                f"-{tolerance:.0%} tolerance)"
-            )
+        for key in (
+            "speedup_batched_over_scalar",
+            "speedup_vectorized_over_batched",
+        ):
+            base_speedup = base.get(key)
+            measured = block.get(key)
+            if not isinstance(base_speedup, (int, float)) or not isinstance(
+                measured, (int, float)
+            ):
+                continue
+            if (
+                key == "speedup_vectorized_over_batched"
+                and base_speedup < GUARD_VECTORIZED_ABOVE
+            ):
+                continue
+            compared += 1
+            floor = base_speedup * (1.0 - tolerance)
+            if measured < floor:
+                problems.append(
+                    f"{name}: {key} {measured:.2f}x fell below "
+                    f"{floor:.2f}x ({base_speedup:.2f}x committed, "
+                    f"-{tolerance:.0%} tolerance)"
+                )
     if not compared:
         problems.append(
-            f"no peer counts overlap with {snapshot_path}; "
+            f"no guarded ratios overlap with {snapshot_path}; "
             "nothing was guarded"
         )
+    if min_vectorized is not None:
+        largest = max(
+            (
+                (block["n_peers"], name)
+                for name, block in results.items()
+                if name.startswith("peers_")
+            ),
+            default=None,
+        )
+        if largest is not None:
+            name = largest[1]
+            measured = results[name].get("speedup_vectorized_over_batched")
+            if not isinstance(measured, (int, float)) or measured < min_vectorized:
+                problems.append(
+                    f"{name}: vectorized speedup {measured:.2f}x is below "
+                    f"the required {min_vectorized:.2f}x floor"
+                )
     return problems
 
 
@@ -429,6 +561,22 @@ def main() -> int:
         default=0.10,
         help="allowed fractional speedup regression for --guard "
         "(default 0.10)",
+    )
+    parser.add_argument(
+        "--guard-min-vectorized",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --guard: the vectorized-over-batched speedup at the "
+        "largest measured peer count must be at least X (absolute floor, "
+        "e.g. 2.0 — the acceptance criterion at 200 peers)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one extra round of the batched and vectorized "
+        "drivers at the largest peer count; top cumulative functions "
+        "land in the snapshot's 'profile' block",
     )
     parser.add_argument(
         "--peers",
@@ -475,7 +623,9 @@ def main() -> int:
             f"  {n:>4} peers: scalar "
             f"{block['scalar']['datagrams_per_sec']:.3g} dg/s, batched "
             f"{block['batched']['datagrams_per_sec']:.3g} dg/s "
-            f"({block['speedup_batched_over_scalar']:.2f}x, "
+            f"({block['speedup_batched_over_scalar']:.2f}x), vectorized "
+            f"{block['vectorized']['datagrams_per_sec']:.3g} dg/s "
+            f"({block['speedup_vectorized_over_batched']:.2f}x vs batched, "
             f"{block['n_equivalence_events']} equivalence events)"
         )
 
@@ -503,18 +653,42 @@ def main() -> int:
             "peer_counts": list(peer_counts),
             "beats_per_round": BEATS_PER_ROUND,
             "batch_size": TARGET_BATCH,
-            "estimation": {"scalar": "private", "batched": "shared"},
+            "ingest_modes": {
+                mode: {"estimation": est, "ingest_mode": im}
+                for mode, (est, im) in MODES.items()
+            },
+            "note": (
+                "single process, one core per mode; vectorized wins at "
+                "high fan-in (big per-batch peer groups) and loses below "
+                "~50 peers where sub-batches are too small to amortize "
+                "the numpy dispatch - see docs/performance.md"
+            ),
             "obs": args.obs,
         },
         "results": results,
     }
+    if args.profile:
+        largest = max(peer_counts)
+        snapshot["profile"] = profile_modes(largest)
+        print(f"  profile ({largest} peers, top cumulative):")
+        for mode, entries in snapshot["profile"].items():
+            for entry in entries[:4]:
+                print(
+                    f"    {mode:>10}  {entry['cumtime']:8.4f}s  "
+                    f"{entry['function']}"
+                )
     with open(args.output, "w") as fh:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
 
     if args.guard is not None:
-        regressions = guard_regression(args.guard, results, args.guard_tolerance)
+        regressions = guard_regression(
+            args.guard,
+            results,
+            args.guard_tolerance,
+            args.guard_min_vectorized,
+        )
         if regressions:
             for r in regressions:
                 print(f"GUARD: {r}")

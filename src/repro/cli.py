@@ -195,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default), 'private' keeps the reference per-detector copies",
     )
     p_mon.add_argument(
+        "--ingest-mode",
+        choices=["scalar", "batched", "vectorized"],
+        default="batched",
+        help="datagram intake: 'scalar' = one decode+update per datagram "
+        "(reference), 'batched' = drain the socket burst into one "
+        "ingest_many call (default), 'vectorized' = zero-copy arena drain "
+        "+ columnar numpy estimation over each batch (requires "
+        "--estimation shared; bitwise-identical outputs)",
+    )
+    p_mon.add_argument(
         "--obs",
         choices=["on", "off"],
         default="on",
@@ -558,6 +568,20 @@ def _cmd_live_monitor(args) -> int:
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
             return 2
+    if args.ingest_mode == "vectorized":
+        if args.estimation != "shared":
+            print(
+                "--ingest-mode vectorized computes over the shared arrival "
+                "statistics; it requires --estimation shared",
+                file=sys.stderr,
+            )
+            return 2
+        # Fail fast (and readably) on detectors without a vectorized kernel.
+        try:
+            LiveMonitor(args.interval, names, params, ingest_mode="vectorized")
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.shards > 1:
         return _run_sharded_monitor(args, names, params)
 
@@ -573,6 +597,7 @@ def _cmd_live_monitor(args) -> int:
             params,
             poll_mode=args.poll_mode,
             estimation=args.estimation,
+            ingest_mode=args.ingest_mode,
             max_events=args.max_events,
             transition_retention=args.retain_transitions,
             obs=obs,
@@ -586,6 +611,7 @@ def _cmd_live_monitor(args) -> int:
             args.port,
             tick=args.tick,
             status_port=args.status_port,
+            ingest_mode=args.ingest_mode,
         )
         async with server:
             host, port = server.address
@@ -644,6 +670,7 @@ def _run_sharded_monitor(args, names, params) -> int:
             status_port=args.status_port,
             estimation=args.estimation,
             poll_mode=args.poll_mode,
+            ingest_mode=args.ingest_mode,
             max_events=args.max_events,
             transition_retention=args.retain_transitions,
             obs=args.obs == "on",

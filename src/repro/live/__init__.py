@@ -9,6 +9,10 @@ timestamped with the host's monotonic clock.
 Modules
 -------
 - :mod:`repro.live.wire` — versioned struct-packed heartbeat datagram format;
+- :mod:`repro.live.arena` — preallocated ``recv_into`` datagram arena for
+  zero-copy socket drains;
+- :mod:`repro.live.ingest` — columnar batch-ingest engines (numpy
+  vectorized, ``array``-module fallback) behind ``ingest_mode="vectorized"``;
 - :mod:`repro.live.heartbeater` — async sender daemon (process p);
 - :mod:`repro.live.monitor` — async monitor daemon (process q): per-peer
   detectors, liveness polling, a subscribe-able suspicion/trust event
@@ -26,6 +30,7 @@ See ``docs/live.md`` for the architecture and ``examples/live_quickstart.py``
 for a complete loopback run with an injected crash.
 """
 
+from repro.live.arena import ARENA_SLOT_BYTES, DEFAULT_ARENA_SLOTS, DatagramArena
 from repro.live.chaos import ChaosLink, ChaosSpec, PacketFate, PlannedPacket, plan_delivery
 from repro.live.heartbeater import Heartbeater
 from repro.live.monitor import LiveEvent, LiveMonitor, LiveMonitorServer
@@ -41,11 +46,23 @@ from repro.live.status import (
     fetch_status,
     fetch_trace,
 )
-from repro.live.wire import HEADER_SIZE, MAGIC, VERSION, Heartbeat, WireError, decode_fields
+from repro.live.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_DATAGRAM_BYTES,
+    VERSION,
+    Heartbeat,
+    WireError,
+    decode_fields,
+    decode_fields_from,
+)
 
 __all__ = [
+    "ARENA_SLOT_BYTES",
     "ChaosLink",
     "ChaosSpec",
+    "DEFAULT_ARENA_SLOTS",
+    "DatagramArena",
     "HEADER_SIZE",
     "Heartbeat",
     "Heartbeater",
@@ -54,6 +71,7 @@ __all__ = [
     "LiveMonitorServer",
     "LiveSharedMonitor",
     "MAGIC",
+    "MAX_DATAGRAM_BYTES",
     "PacketFate",
     "PlannedPacket",
     "SNAPSHOT_SCHEMA_VERSION",
@@ -65,6 +83,7 @@ __all__ = [
     "afetch_status",
     "afetch_trace",
     "decode_fields",
+    "decode_fields_from",
     "fetch_metrics",
     "fetch_status",
     "fetch_trace",

@@ -1,0 +1,1164 @@
+"""Vectorized bulk-ingest engines for the live monitor hot path.
+
+The scalar and batched ingest paths pay a Python-level window push and
+deadline computation per (accepted heartbeat × detector).  This module
+lifts both onto columnar state: one numpy array per window statistic with
+one row per peer, so a whole socket drain updates every touched peer's
+estimation state and freshness points in a handful of numpy kernels.
+
+Equivalence contract (the repo-wide rule: every fast path has a reference
+path it is bitwise-identical to):
+
+* The columnar :class:`_WindowBank` reproduces
+  :class:`repro.core.windows.SlidingWindow` operation-for-operation — same
+  baseline anchoring, same eviction order (``(sum - old) + rel``), same
+  rebuild cadence, and the rebuild itself reduces with ``ndarray.sum`` on
+  the same contiguous relative values, so even numpy's pairwise summation
+  matches the scalar window's own rebuild bit for bit.
+* Detector freshness points evaluate the detectors' ``_deadline`` bodies
+  verbatim (same association order per expression), vectorized across the
+  peers of one sub-batch.
+* Transitions always go through the per-detector
+  :class:`repro.core.freshness.FreshnessOutput` objects — only the
+  no-transition steady-state case (trust held, deadline unexpired, new
+  deadline in the future: `FreshnessOutput.on_heartbeat` case (a)) is
+  applied columnar, exactly as the batched path inlines it per datagram.
+  Event streams, snapshots and QoS counters are therefore bitwise
+  identical to the scalar reference; the property suite in
+  ``tests/live/test_vectorized_ingest.py`` asserts it.
+
+Batches are split into *sub-batches* of rows with pairwise-distinct peers
+(a peer appearing twice ends the sub-batch), so within one kernel
+application every row updates an independent state row; rows of one peer
+still apply in arrival order across sub-batches.
+
+Known, deliberate deviations (documented, not observable through events,
+snapshots, QoS counters, or scheduling behavior):
+
+* The deadline heap receives one entry per (batch × touched peer) — the
+  final per-peer minimum — instead of one per accepted heartbeat.  Lazy
+  deletion makes intermediate entries unobservable (``sched`` decides),
+  so poll behavior is identical; only the ``heap_size`` diagnostic
+  differs.
+* Heartbeat *trace* records (when a tracer is attached) are emitted
+  per sub-batch stage rather than strictly interleaved per datagram; the
+  records themselves carry the same fields and timestamps.
+
+When numpy is unavailable the module degrades to
+:class:`ArrayIngestEngine`: the same columnar layout held in
+``array('d')`` columns with per-row Python arithmetic — still zero-copy
+from the arena, still one code path for callers.  Its one divergence:
+window rebuilds reduce left-to-right (pure Python cannot reproduce
+numpy's SIMD pairwise partials), so bitwise equivalence to the numpy
+reference holds up to the first rebuild of a *full* window (``capacity``
+pushes); the fallback tests stay under that horizon.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from array import array
+from typing import Dict, List, Mapping, Tuple
+
+try:  # pragma: no cover - exercised via the _HAVE_NUMPY monkeypatch
+    import numpy as np
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    _HAVE_NUMPY = False
+
+from repro.core.twofd import MultiWindowFailureDetector
+from repro.detectors.accrual import PhiAccrualFailureDetector
+from repro.detectors.bertier import BertierFailureDetector
+from repro.detectors.chen import ChenFailureDetector
+from repro.detectors.exponential import EDFailureDetector
+from repro.detectors.timeout import FixedTimeoutFailureDetector
+from repro.live.wire import MAGIC, VERSION, WireError, decode_fields, decode_fields_from
+
+__all__ = [
+    "VECTOR_SUPPORTED_KINDS",
+    "VectorizedIngestEngine",
+    "ArrayIngestEngine",
+    "build_engine",
+]
+
+_HEAD_SIZE = 6
+_BODY_SIZE = 16
+_MAX_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Detector classes the vectorized kernels cover (everything whose
+#: estimation state is expressible over the shared per-peer windows plus,
+#: for bertier, a scalar EWMA pair).  ``adaptive-2w-fd`` (feedback
+#: controller over mistake timestamps), ``chen-sync`` (sender-timestamp
+#: model) and ``histogram`` (quantile sketch) keep per-message private
+#: state with no columnar form here — configuring them with
+#: ``ingest_mode="vectorized"`` raises at construction.
+VECTOR_SUPPORTED_KINDS = (
+    MultiWindowFailureDetector,
+    ChenFailureDetector,
+    PhiAccrualFailureDetector,
+    EDFailureDetector,
+    BertierFailureDetector,
+    FixedTimeoutFailureDetector,
+)
+
+
+class _DetectorSpec:
+    """Closed-form description of one configured detector's deadline rule."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "sizes",
+        "margin",
+        "size",
+        "quantile",
+        "min_std",
+        "warmup_std",
+        "factor",
+        "gamma",
+        "beta",
+        "phi",
+        "timeout",
+    )
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+
+
+def _build_specs(
+    probe_detectors: Mapping[str, object],
+) -> List[_DetectorSpec]:
+    """Extract per-detector kernel parameters from probe instances.
+
+    Raises ``ValueError`` for detectors without a vectorized form, naming
+    the offender — the fail-fast construction-time contract.
+    """
+    specs: List[_DetectorSpec] = []
+    for name, det in probe_detectors.items():
+        if isinstance(det, MultiWindowFailureDetector):
+            spec = _DetectorSpec(name, "maxmean")
+            spec.sizes = tuple(det.window_sizes)
+            spec.margin = det.safety_margin
+        elif isinstance(det, ChenFailureDetector):
+            spec = _DetectorSpec(name, "maxmean")
+            spec.sizes = (det.window_size,)
+            spec.margin = det.safety_margin
+        elif isinstance(det, PhiAccrualFailureDetector):
+            spec = _DetectorSpec(name, "phi")
+            spec.size = det.window_size
+            spec.quantile = det._quantile
+            spec.min_std = det._min_std
+            spec.warmup_std = det._warmup_std
+        elif isinstance(det, EDFailureDetector):
+            spec = _DetectorSpec(name, "ed")
+            spec.size = det.window_size
+            spec.factor = det._factor
+        elif isinstance(det, BertierFailureDetector):
+            spec = _DetectorSpec(name, "bertier")
+            spec.size = det.window_size
+            spec.gamma = det._gamma
+            spec.beta = det._beta
+            spec.phi = det._phi
+        elif isinstance(det, FixedTimeoutFailureDetector):
+            spec = _DetectorSpec(name, "timeout")
+            spec.timeout = det.timeout
+        else:
+            raise ValueError(
+                f"detector {name!r} ({type(det).__name__}) has no vectorized "
+                f"ingest kernel; use ingest_mode='batched' or 'scalar' for it"
+            )
+        specs.append(spec)
+    return specs
+
+
+# ======================================================================
+# numpy engine
+# ======================================================================
+
+
+class _WindowBank:
+    """Columnar :class:`~repro.core.windows.SlidingWindow`: one row per peer.
+
+    Field-for-field the scalar window's state (ring buffer, count, next
+    slot, baseline, relative running sum/sumsq, pushes-since-rebuild), held
+    as arrays indexed by peer slot.  ``push`` applies the scalar push body
+    to a set of *distinct* peer rows at once; the periodic exact rebuild
+    runs per row (it is O(capacity) either way) using ``ndarray.sum`` on
+    the oldest-first contiguous relative values — the very reduction the
+    scalar window's ``_rebuild`` performs, so the recomputed sums carry
+    identical bits.
+    """
+
+    __slots__ = ("capacity", "buf", "count", "nxt", "baseline", "sum", "sumsq", "psr")
+
+    def __init__(self, capacity: int, slots: int):
+        self.capacity = capacity
+        self.buf = np.zeros((slots, capacity), dtype=np.float64)
+        self.count = np.zeros(slots, dtype=np.int64)
+        self.nxt = np.zeros(slots, dtype=np.int64)
+        self.baseline = np.zeros(slots, dtype=np.float64)
+        self.sum = np.zeros(slots, dtype=np.float64)
+        self.sumsq = np.zeros(slots, dtype=np.float64)
+        self.psr = np.zeros(slots, dtype=np.int64)
+
+    def grow(self, slots: int) -> None:
+        old = self.buf.shape[0]
+        if slots <= old:
+            return
+        buf = np.zeros((slots, self.capacity), dtype=np.float64)
+        buf[:old] = self.buf
+        self.buf = buf
+        for field in ("count", "nxt", "psr"):
+            a = np.zeros(slots, dtype=np.int64)
+            a[:old] = getattr(self, field)
+            setattr(self, field, a)
+        for field in ("baseline", "sum", "sumsq"):
+            a = np.zeros(slots, dtype=np.float64)
+            a[:old] = getattr(self, field)
+            setattr(self, field, a)
+
+    def mean(self, idx) -> "np.ndarray":
+        """``baseline + sum / count`` for non-empty rows (callers guarantee)."""
+        return self.baseline[idx] + self.sum[idx] / self.count[idx]
+
+    def pre_mean(self, idx) -> "np.ndarray":
+        """The mean before the pending push; NaN encodes the scalar None."""
+        c = self.count[idx].astype(np.float64)
+        has = c > 0.0
+        q = np.divide(self.sum[idx], c, out=np.zeros_like(c), where=has)
+        return np.where(has, self.baseline[idx] + q, np.nan)
+
+    def push(self, idx, values) -> None:
+        """Scalar ``SlidingWindow.push``, row-parallel over distinct rows."""
+        cap = self.capacity
+        if cap == 1:
+            self.buf[idx, 0] = values
+            self.baseline[idx] = values
+            self.sum[idx] = 0.0
+            self.sumsq[idx] = 0.0
+            self.count[idx] = 1
+            self.psr[idx] = 0
+            return
+        count = self.count[idx]
+        first = count == 0
+        if first.any():
+            self.baseline[idx[first]] = values[first]
+        base = self.baseline[idx]
+        rel = values - base
+        nxt = self.nxt[idx]
+        s = self.sum[idx]
+        ss = self.sumsq[idx]
+        full = count == cap
+        if full.any():
+            old = self.buf[idx[full], nxt[full]] - base[full]
+            s[full] -= old
+            ss[full] -= old * old
+        self.count[idx] = count + ~full
+        self.buf[idx, nxt] = values
+        self.sum[idx] = s + rel
+        self.sumsq[idx] = ss + rel * rel
+        nxt = nxt + 1
+        nxt[nxt == cap] = 0
+        self.nxt[idx] = nxt
+        psr = self.psr[idx] + 1
+        self.psr[idx] = psr
+        rebuild = psr >= cap
+        if rebuild.any():
+            for p in idx[rebuild].tolist():
+                self._rebuild(p)
+
+    def _rebuild(self, p: int) -> None:
+        cap = self.capacity
+        c = int(self.count[p])
+        nx = int(self.nxt[p])
+        if c < cap:
+            values = self.buf[p, :c]
+        else:
+            values = np.concatenate((self.buf[p, nx:], self.buf[p, :nx]))
+        b = float(values[0])
+        rel = values - b
+        self.baseline[p] = b
+        self.sum[p] = float(rel.sum())
+        self.sumsq[p] = float((rel * rel).sum())
+        self.psr[p] = 0
+
+
+class VectorizedIngestEngine:
+    """Columnar per-batch ingest: decode, estimate and update freshness
+    points for a whole drain with numpy kernels.
+
+    Owned by a :class:`repro.live.monitor.LiveMonitor` constructed with
+    ``ingest_mode="vectorized"``; the columnar arrays are the authority
+    for window/estimator state, per-peer counters and freshness-point
+    mirrors, while transitions (and ``trusting``) always live in the
+    per-detector :class:`FreshnessOutput` objects.  ``sync_peer`` /
+    ``sync_all`` lazily write the columnar state back into the detector
+    objects before anything object-side reads them (polls, snapshots,
+    timelines, metric scrapes); ``writeback_output`` mirrors
+    object-side mutations (``advance_to``) back into the columns.
+    """
+
+    is_columnar = True
+
+    def __init__(self, monitor, probe_detectors: Mapping[str, object]):
+        self._mon = monitor
+        self._interval = float(monitor.interval)
+        self._specs = _build_specs(probe_detectors)
+        self._D = len(self._specs)
+        est_sizes: set = set()
+        gap_sizes: set = set()
+        pre_sizes: set = set()
+        for spec in self._specs:
+            if spec.kind == "maxmean":
+                est_sizes.update(spec.sizes)
+            elif spec.kind == "bertier":
+                est_sizes.add(spec.size)
+                pre_sizes.add(spec.size)
+            elif spec.kind in ("phi", "ed"):
+                gap_sizes.add(spec.size)
+        slots = 64
+        self._slots = slots
+        self._est: Dict[int, _WindowBank] = {
+            size: _WindowBank(size, slots) for size in sorted(est_sizes)
+        }
+        self._gaps: Dict[int, _WindowBank] = {
+            size: _WindowBank(size, slots) for size in sorted(gap_sizes)
+        }
+        self._pre_sizes = tuple(sorted(pre_sizes))
+        self.largest = np.zeros(slots, dtype=np.uint64)
+        self.prev_arr = np.full(slots, np.nan)
+        self.last_arr = np.full(slots, np.nan)
+        self.last_ts = np.full(slots, np.nan)
+        self.ndg = np.zeros(slots, dtype=np.int64)
+        self.nacc = np.zeros(slots, dtype=np.int64)
+        self.nstale = np.zeros(slots, dtype=np.int64)
+        self.dirty = np.zeros(slots, dtype=bool)
+        # Per-detector mirrors: deadline == both det._current_deadline and
+        # output.deadline (provably equal after every operation), levt ==
+        # output.last_event_time, trust mirrors output.trusting.  NaN
+        # encodes the scalar None.
+        self.deadline = [np.full(slots, np.nan) for _ in range(self._D)]
+        self.levt = [np.full(slots, np.nan) for _ in range(self._D)]
+        self.trust = [np.zeros(slots, dtype=bool) for _ in range(self._D)]
+        self._bertier: List[Tuple[int, _DetectorSpec]] = [
+            (j, s) for j, s in enumerate(self._specs) if s.kind == "bertier"
+        ]
+        self.b_delay = {j: np.zeros(slots) for j, _ in self._bertier}
+        self.b_var = {j: np.zeros(slots) for j, _ in self._bertier}
+        # Sub-batch assembly state (plain Python: the per-row residue).
+        self._sender_cache: Dict[bytes, int] = {}
+        self._touch: List[int] = [-1] * slots
+        self._serial = 0
+        self._touched: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _ensure_slots(self, n: int) -> None:
+        if n <= self._slots:
+            return
+        slots = max(n, self._slots * 2)
+        for bank in self._est.values():
+            bank.grow(slots)
+        for bank in self._gaps.values():
+            bank.grow(slots)
+
+        def grown(a, fill, dtype):
+            out = np.full(slots, fill, dtype=dtype)
+            out[: a.shape[0]] = a
+            return out
+
+        self.largest = grown(self.largest, 0, np.uint64)
+        self.prev_arr = grown(self.prev_arr, np.nan, np.float64)
+        self.last_arr = grown(self.last_arr, np.nan, np.float64)
+        self.last_ts = grown(self.last_ts, np.nan, np.float64)
+        self.ndg = grown(self.ndg, 0, np.int64)
+        self.nacc = grown(self.nacc, 0, np.int64)
+        self.nstale = grown(self.nstale, 0, np.int64)
+        self.dirty = grown(self.dirty, False, bool)
+        self.deadline = [grown(a, np.nan, np.float64) for a in self.deadline]
+        self.levt = [grown(a, np.nan, np.float64) for a in self.levt]
+        self.trust = [grown(a, False, bool) for a in self.trust]
+        self.b_delay = {j: grown(a, 0.0, np.float64) for j, a in self.b_delay.items()}
+        self.b_var = {j: grown(a, 0.0, np.float64) for j, a in self.b_var.items()}
+        self._touch.extend([-1] * (slots - len(self._touch)))
+        self._slots = slots
+
+    # ------------------------------------------------------------------
+    # Columnar wire decode
+    # ------------------------------------------------------------------
+    _MAGIC_BYTES = tuple(MAGIC)
+    _BODY_DTYPE = None  # set below (numpy may be absent at import)
+
+    def _decode(self, buf, offs, lens):
+        """Columnar :func:`repro.live.wire.decode_fields` over slot slices.
+
+        Returns ``(oidx, soff, slen, seq, ts, n_bad)``: original row
+        indices of wire-valid datagrams, their sender-id byte ranges, and
+        native seq/timestamp columns.  Validity check for check the scalar
+        decoder's (magic, version, exact length — truncation and trailing
+        garbage both fail it — sender non-empty, seq ≥ 1, finite
+        timestamp); UTF-8 of the sender id is established later, on the
+        cached sender-bytes lookup.  ``n_bad`` counts rows rejected here.
+        """
+        n = int(lens.shape[0])
+        i0 = np.flatnonzero(lens >= _HEAD_SIZE)
+        if i0.size:
+            o = offs[i0]
+            head = buf[o[:, None] + np.arange(_HEAD_SIZE)]
+            m = self._MAGIC_BYTES
+            good = (
+                (head[:, 0] == m[0])
+                & (head[:, 1] == m[1])
+                & (head[:, 2] == m[2])
+                & (head[:, 3] == m[3])
+                & (head[:, 4] == VERSION)
+            )
+            slen = head[:, 5].astype(np.int64)
+            good &= lens[i0] == _HEAD_SIZE + slen + _BODY_SIZE
+            good &= slen > 0
+            i1 = i0[good]
+        else:
+            i1 = i0
+        if i1.size:
+            slen = slen[good]
+            body_off = offs[i1] + _HEAD_SIZE + slen
+            body = np.ascontiguousarray(buf[body_off[:, None] + np.arange(_BODY_SIZE)])
+            rec = body.view(self._BODY_DTYPE).ravel()
+            seq = rec["seq"].astype(np.uint64)
+            ts = rec["ts"].astype(np.float64)
+            ok = (seq >= 1) & np.isfinite(ts)
+            oidx = i1[ok]
+            soff = offs[oidx] + _HEAD_SIZE
+            slen = slen[ok]
+            seq = seq[ok]
+            ts = ts[ok]
+        else:
+            oidx = i1
+            soff = slen = seq = ts = i1
+        return oidx, soff, slen, seq, ts, n - int(oidx.shape[0])
+
+    # ------------------------------------------------------------------
+    # Batch entry points
+    # ------------------------------------------------------------------
+    def ingest_datagrams(self, datagrams, arrivals, now):
+        """Vectorize a list-of-datagrams batch (the legacy batched input).
+
+        One ``bytes.join`` materializes the batch contiguously (the arena
+        path skips even that); everything downstream is columnar.
+        """
+        n = len(datagrams)
+        if n == 0:
+            return 0, 0, 0, 0, None
+        raw = b"".join(datagrams)
+        buf = np.frombuffer(raw, dtype=np.uint8)
+        lens = np.fromiter(map(len, datagrams), np.int64, n)
+        offs = np.zeros(n, dtype=np.int64)
+        np.cumsum(lens[:-1], out=offs[1:])
+        arrv = None
+        if arrivals is not None:
+            arrv = np.asarray(
+                arrivals if isinstance(arrivals, (list, tuple)) else list(arrivals),
+                dtype=np.float64,
+            )
+        return self._ingest_columnar(buf, offs, lens, arrv, now)
+
+    def ingest_arena(self, arena, now):
+        """Vectorize the last drain of a :class:`DatagramArena` — zero-copy:
+        the numpy view aliases the arena's ``bytearray``; only sender ids
+        (for the peer lookup) are ever materialized."""
+        k = arena.last_fill
+        if k == 0:
+            return 0, 0, 0, 0, None
+        buf = np.frombuffer(arena.buffer, dtype=np.uint8)
+        offs = np.arange(k, dtype=np.int64) * arena.slot_bytes
+        lens = np.fromiter(arena.lengths, np.int64, k)
+        return self._ingest_columnar(buf, offs, lens, None, now)
+
+    def _ingest_columnar(self, buf, offs, lens, arrivals, now):
+        """Shared core: decode → sub-batch assembly → kernels.
+
+        Returns ``(n_decoded, n_accepted, n_stale, n_bad, last_arrival)``.
+        """
+        oidx, soff, slen, seq, ts, n_bad_wire = self._decode(buf, offs, lens)
+        k = int(oidx.shape[0])
+        if k == 0:
+            return 0, 0, 0, n_bad_wire, None
+        arr = arrivals[oidx] if arrivals is not None else None
+        arr_l = arr.tolist() if arr is not None else None
+        soff_l = soff.tolist()
+        slen_l = slen.tolist()
+        seq_l = seq.tolist() if self._mon._tracer is not None else None
+        cache = self._sender_cache
+        touch = self._touch
+        peers = self._mon._peers
+        new_peer = self._mon._new_peer
+        tracer = self._mon._tracer
+        serial = self._serial + 1
+        # Per-row Python work is peer resolution only: sender-bytes cache
+        # lookup, sub-batch boundary detection (a flush point whenever a
+        # peer repeats within the batch — everything between two boundaries
+        # is a run of *distinct* peers), and compaction of UTF-8-invalid
+        # senders.  The numeric columns stay numpy throughout.
+        pidx_l: List[int] = []
+        bounds: List[int] = []
+        bad_rows: List[int] = []
+        n_good = 0
+        for i in range(k):
+            o = soff_l[i]
+            key = buf[o : o + slen_l[i]].tobytes()
+            p = cache.get(key)
+            if p is None:
+                try:
+                    sender = str(key, "utf-8")
+                except UnicodeDecodeError:
+                    bad_rows.append(i)
+                    continue
+                state = peers.get(sender)
+                if state is None:
+                    state = new_peer(
+                        sender, arr_l[i] if arr_l is not None else now
+                    )
+                    self._ensure_slots(len(self._mon._peer_by_index))
+                p = state.index
+                cache[key] = p
+            if tracer is not None and tracer.wants(seq_l[i]):
+                tracer.record(
+                    "recv",
+                    time=arr_l[i] if arr_l is not None else now,
+                    peer=self._mon._peer_by_index[p].name,
+                    hb_seq=seq_l[i],
+                    sent_at=float(ts[i]),
+                )
+            if touch[p] == serial:
+                bounds.append(n_good)
+                serial += 1
+            touch[p] = serial
+            pidx_l.append(p)
+            n_good += 1
+        self._serial = serial
+        n_bad_utf8 = len(bad_rows)
+        if n_good == 0:
+            return 0, 0, 0, n_bad_wire + n_bad_utf8, None
+        pidx_all = np.array(pidx_l, dtype=np.intp)
+        if n_bad_utf8:
+            keep = np.ones(k, dtype=bool)
+            keep[bad_rows] = False
+            seq = seq[keep]
+            ts = ts[keep]
+            if arr is not None:
+                arr = arr[keep]
+        if arr is None:
+            arr = np.full(n_good, now, dtype=np.float64)
+        last_arrival = float(arr[-1])
+        n_acc = 0
+        n_stl = 0
+        start = 0
+        bounds.append(n_good)
+        for end in bounds:
+            if end > start:
+                acc, stl = self._process(
+                    pidx_all[start:end], seq[start:end],
+                    arr[start:end], ts[start:end],
+                )
+                n_acc += acc
+                n_stl += stl
+            start = end
+        # n_decoded counts rows that passed the full decode, including the
+        # UTF-8 check applied in the assembly loop above.
+        return n_good, n_acc, n_stl, n_bad_wire + n_bad_utf8, last_arrival
+
+    # ------------------------------------------------------------------
+    def _process(self, pidx, seq, arr, ts):
+        """One sub-batch (distinct peers): stats pushes, deadlines, outputs.
+
+        All four inputs are numpy columns (intp, uint64, f64, f64) — slices
+        of the batch's decoded arrays, never per-row Python lists.
+        """
+        self.ndg[pidx] += 1
+        acc = seq > self.largest[pidx]
+        tracer = self._mon._tracer
+        n_stl = 0
+        if not acc.all():
+            stale = ~acc
+            sti = pidx[stale]
+            self.nstale[sti] += 1
+            n_stl = int(sti.shape[0])
+            if tracer is not None:
+                peer_list = self._mon._peer_by_index
+                seq_l = seq.tolist()
+                for r in np.flatnonzero(stale).tolist():
+                    if tracer.wants(seq_l[r]):
+                        p = int(pidx[r])
+                        tracer.record(
+                            "stale",
+                            time=float(arr[r]),
+                            peer=peer_list[p].name,
+                            hb_seq=seq_l[r],
+                            largest_seq=int(self.largest[p]),
+                        )
+            pidx = pidx[acc]
+            seq = seq[acc]
+            arr = arr[acc]
+            ts = ts[acc]
+            if not pidx.shape[0]:
+                return 0, n_stl
+        n_acc = int(pidx.shape[0])
+        self.largest[pidx] = seq
+        self.nacc[pidx] += 1
+        self.last_arr[pidx] = arr
+        self.last_ts[pidx] = ts
+        self.dirty[pidx] = True
+        self._touched.extend(pidx.tolist())
+        interval = self._interval
+        seq_f = seq.astype(np.float64)
+        big = seq == _MAX_U64
+        seq1_f = (seq + np.uint64(1)).astype(np.float64)
+        if big.any():
+            seq1_f[big] = 2.0**64  # uint64 wraps; the scalar path promotes
+        # --- shared arrival statistics (SharedArrivalState.receive) ---
+        pre = {}
+        for size in self._pre_sizes:
+            pre[size] = self._est[size].pre_mean(pidx)
+        norm = arr - interval * seq_f
+        for bank in self._est.values():
+            bank.push(pidx, norm)
+        prev = self.prev_arr[pidx]
+        has = ~np.isnan(prev)
+        if has.any():
+            for bank in self._gaps.values():
+                bank.push(pidx[has], arr[has] - prev[has])
+        self.prev_arr[pidx] = arr
+        # --- per-detector freshness points (each _deadline verbatim) ---
+        shift = interval * seq1_f
+        dls: List = []
+        for j, spec in enumerate(self._specs):
+            kind = spec.kind
+            if kind == "maxmean":
+                best = None
+                for size in spec.sizes:
+                    m = self._est[size].mean(pidx)
+                    best = m if best is None else np.maximum(best, m)
+                d = best + shift + spec.margin
+            elif kind == "timeout":
+                d = arr + spec.timeout
+            elif kind == "phi":
+                q = spec.quantile
+                if q == math.inf:
+                    d = np.full(n_acc, math.inf)
+                else:
+                    g = self._gaps[spec.size]
+                    c = g.count[pidx].astype(np.float64)
+                    warm = c == 0.0
+                    live = ~warm
+                    m = np.divide(g.sum[pidx], c, out=np.zeros_like(c), where=live)
+                    var = (
+                        np.divide(g.sumsq[pidx], c, out=np.zeros_like(c), where=live)
+                        - m * m
+                    )
+                    pos = var > 0.0
+                    sigma = np.where(
+                        pos, np.sqrt(np.where(pos, var, 1.0)), 0.0
+                    )
+                    sigma = np.where(sigma < spec.min_std, spec.min_std, sigma)
+                    d = arr + (g.baseline[pidx] + m) + sigma * q
+                    if warm.any():
+                        d = np.where(
+                            warm, arr + interval + spec.warmup_std * q, d
+                        )
+            elif kind == "ed":
+                g = self._gaps[spec.size]
+                c = g.count[pidx].astype(np.float64)
+                warm = c == 0.0
+                live = ~warm
+                m = np.divide(g.sum[pidx], c, out=np.zeros_like(c), where=live)
+                d = arr + (g.baseline[pidx] + m) * spec.factor
+                if warm.any():
+                    d = np.where(warm, arr + interval * spec.factor, d)
+            else:  # bertier
+                p_ = pre[spec.size]
+                delay = self.b_delay[j][pidx]
+                var = self.b_var[j][pidx]
+                havep = ~np.isnan(p_)
+                err = np.where(
+                    havep, arr - (np.where(havep, p_, 0.0) + interval * seq_f) - delay, 0.0
+                )
+                delay = delay + spec.gamma * err
+                var = var + spec.gamma * (np.abs(err) - var)
+                self.b_delay[j][pidx] = delay
+                self.b_var[j][pidx] = var
+                w = self._est[spec.size]
+                d = w.mean(pidx) + shift + (spec.beta * delay + spec.phi * var)
+            dls.append(d)
+        # --- freshness outputs: steady cells columnar, the rest object ---
+        steady = []
+        steady_all = np.ones(n_acc, dtype=bool)
+        for j in range(self._D):
+            sj = (
+                self.trust[j][pidx]
+                & (arr <= self.deadline[j][pidx])
+                & (arr < dls[j])
+                & (self.levt[j][pidx] <= arr)
+            )
+            steady.append(sj)
+            steady_all &= sj
+        for j in range(self._D):
+            sj = steady[j]
+            if sj.any():
+                si = pidx[sj]
+                self.deadline[j][si] = dls[j][sj]
+                self.levt[j][si] = arr[sj]
+        exc = np.flatnonzero(~steady_all)
+        if exc.shape[0]:
+            peer_list = self._mon._peer_by_index
+            drain = self._mon._drain
+            plist = pidx.tolist()
+            arrlist = arr.tolist()
+            dls_l = [d.tolist() for d in dls]
+            steady_l = [s.tolist() for s in steady]
+            for r in exc.tolist():
+                p = plist[r]
+                a = arrlist[r]
+                state = peer_list[p]
+                det_list = state.det_list
+                for j in range(self._D):
+                    if steady_l[j][r]:
+                        continue
+                    output = det_list[j][2]
+                    dlj = self.deadline[j]
+                    lej = self.levt[j]
+                    od = dlj[p]
+                    output.deadline = None if od != od else float(od)
+                    le = lej[p]
+                    output.last_event_time = None if le != le else float(le)
+                    d = dls_l[j][r]
+                    output.on_heartbeat(a, d)
+                    dlj[p] = d
+                    lej[p] = a
+                    self.trust[j][p] = output.trusting
+                drain(state.name, state)
+        if tracer is not None:
+            best = dls[0]
+            for j in range(1, self._D):
+                best = np.minimum(best, dls[j])
+            best_l = best.tolist()
+            seq_l = seq.tolist()
+            arr_l = arr.tolist()
+            plist = pidx.tolist()
+            peer_list = self._mon._peer_by_index
+            for r in range(n_acc):
+                if tracer.wants(seq_l[r]):
+                    b = best_l[r]
+                    tracer.record(
+                        "fresh",
+                        time=arr_l[r],
+                        peer=peer_list[plist[r]].name,
+                        hb_seq=seq_l[r],
+                        deadline=None if b == math.inf else b,
+                    )
+        return n_acc, n_stl
+
+    # ------------------------------------------------------------------
+    def finish_batch(self) -> None:
+        """Schedule the batch's touched peers: one heap entry per peer at
+        its final min-deadline (intermediate entries are unobservable —
+        ``sched`` decides at pop time — so poll behavior matches the
+        per-datagram pushes of the scalar path exactly)."""
+        if not self._touched:
+            return
+        ups = sorted(set(self._touched))
+        self._touched = []
+        pi = np.array(ups, dtype=np.intp)
+        best = self.deadline[0][pi].copy()
+        for j in range(1, self._D):
+            np.minimum(best, self.deadline[j][pi], out=best)
+        heap = self._mon._heap
+        peer_list = self._mon._peer_by_index
+        heappush = heapq.heappush
+        for p, b in zip(ups, best.tolist()):
+            state = peer_list[p]
+            if b != math.inf:
+                heappush(heap, (b, p))
+                state.sched = b
+            else:
+                state.sched = None
+
+    # ------------------------------------------------------------------
+    # Lazy columnar → object synchronization
+    # ------------------------------------------------------------------
+    def sync_peer(self, p: int, state) -> None:
+        """Write slot ``p``'s columnar state into the detector objects.
+
+        Called before anything reads object-side state (polls popping the
+        peer, snapshots, ``is_trusting``, timelines, metric scrapes).
+        ``trusting`` is never written here — it is object-authoritative
+        and the columnar mirror follows it, not the other way around.
+        """
+        if not self.dirty[p]:
+            return
+        self.dirty[p] = False
+        ls = int(self.largest[p])
+        la = self.last_arr[p]
+        la = None if la != la else float(la)
+        lt = self.last_ts[p]
+        state.last_seq = ls
+        state.last_arrival = la
+        state.last_timestamp = None if lt != lt else float(lt)
+        state.n_datagrams = int(self.ndg[p])
+        state.n_accepted = int(self.nacc[p])
+        state.n_stale = int(self.nstale[p])
+        det_list = state.det_list
+        for j in range(self._D):
+            det = det_list[j][1]
+            output = det_list[j][2]
+            det._largest_seq = ls
+            det._last_arrival = la
+            dv = self.deadline[j][p]
+            dv = None if dv != dv else float(dv)
+            det._current_deadline = dv
+            output.deadline = dv
+            le = self.levt[j][p]
+            output.last_event_time = None if le != le else float(le)
+        for j, _spec in self._bertier:
+            det = det_list[j][1]
+            det._delay = float(self.b_delay[j][p])
+            det._var = float(self.b_var[j][p])
+
+    def sync_all(self) -> None:
+        peer_list = self._mon._peer_by_index
+        for p in np.flatnonzero(self.dirty).tolist():
+            self.sync_peer(p, peer_list[p])
+
+    def writeback_output(self, p: int, state) -> None:
+        """Mirror object-side output mutations (``advance_to`` during a
+        poll, ``finalize`` during timelines) back into the columns.
+        Deadlines never change object-side, so only trust/levt move."""
+        det_list = state.det_list
+        for j in range(self._D):
+            output = det_list[j][2]
+            self.trust[j][p] = output.trusting
+            le = output.last_event_time
+            self.levt[j][p] = math.nan if le is None else le
+
+
+if _HAVE_NUMPY:
+    VectorizedIngestEngine._BODY_DTYPE = np.dtype([("seq", ">u8"), ("ts", ">f8")])
+
+
+# ======================================================================
+# array-module fallback engine
+# ======================================================================
+
+
+class _ArrayBank:
+    """The :class:`_WindowBank` layout over ``array('d')`` columns.
+
+    Per-row Python arithmetic on the same ring-buffer state; the rebuild
+    reduces left-to-right (see the module docstring for the one resulting
+    divergence from the numpy reference).
+    """
+
+    __slots__ = ("capacity", "buf", "count", "nxt", "baseline", "sum", "sumsq", "psr")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.buf: List[array] = []
+        self.count = array("q")
+        self.nxt = array("q")
+        self.baseline = array("d")
+        self.sum = array("d")
+        self.sumsq = array("d")
+        self.psr = array("q")
+
+    def grow_to(self, slots: int) -> None:
+        while len(self.count) < slots:
+            self.buf.append(array("d", bytes(8 * self.capacity)))
+            self.count.append(0)
+            self.nxt.append(0)
+            self.baseline.append(0.0)
+            self.sum.append(0.0)
+            self.sumsq.append(0.0)
+            self.psr.append(0)
+
+    def pre_mean(self, p: int):
+        c = self.count[p]
+        return self.baseline[p] + self.sum[p] / c if c else None
+
+    def mean(self, p: int) -> float:
+        return self.baseline[p] + self.sum[p] / self.count[p]
+
+    def push(self, p: int, value: float) -> None:
+        cap = self.capacity
+        if cap == 1:
+            self.buf[p][0] = value
+            self.baseline[p] = value
+            self.sum[p] = 0.0
+            self.sumsq[p] = 0.0
+            self.count[p] = 1
+            self.psr[p] = 0
+            return
+        c = self.count[p]
+        if c == 0:
+            self.baseline[p] = value
+        b = self.baseline[p]
+        rel = value - b
+        buf = self.buf[p]
+        nxt = self.nxt[p]
+        if c == cap:
+            old = buf[nxt] - b
+            self.sum[p] -= old
+            self.sumsq[p] -= old * old
+        else:
+            self.count[p] = c + 1
+        buf[nxt] = value
+        self.sum[p] += rel
+        self.sumsq[p] += rel * rel
+        nxt += 1
+        self.nxt[p] = 0 if nxt == cap else nxt
+        self.psr[p] += 1
+        if self.psr[p] >= cap:
+            self._rebuild(p)
+
+    def _rebuild(self, p: int) -> None:
+        cap = self.capacity
+        c = self.count[p]
+        nx = self.nxt[p]
+        buf = self.buf[p]
+        values = buf[:c] if c < cap else buf[nx:] + buf[:nx]
+        b = values[0]
+        s = 0.0
+        ss = 0.0
+        for v in values:
+            r = v - b
+            s += r
+            ss += r * r
+        self.baseline[p] = b
+        self.sum[p] = s
+        self.sumsq[p] = ss
+        self.psr[p] = 0
+
+
+class ArrayIngestEngine:
+    """numpy-absent fallback: the columnar window layout in ``array('d')``
+    columns, per-row Python arithmetic, every freshness update through the
+    detector objects (semantically the scalar shared-estimation path with
+    column-major window storage).  Same entry points as the numpy engine,
+    so the monitor, server and CLI need no gating beyond construction."""
+
+    is_columnar = False
+
+    def __init__(self, monitor, probe_detectors: Mapping[str, object]):
+        self._mon = monitor
+        self._interval = float(monitor.interval)
+        self._specs = _build_specs(probe_detectors)
+        self._D = len(self._specs)
+        est_sizes: set = set()
+        gap_sizes: set = set()
+        for spec in self._specs:
+            if spec.kind == "maxmean":
+                est_sizes.update(spec.sizes)
+            elif spec.kind == "bertier":
+                est_sizes.add(spec.size)
+            elif spec.kind in ("phi", "ed"):
+                gap_sizes.add(spec.size)
+        self._est = {size: _ArrayBank(size) for size in sorted(est_sizes)}
+        self._gaps = {size: _ArrayBank(size) for size in sorted(gap_sizes)}
+        self.largest: List[int] = []
+        self.prev_arr: List[float | None] = []
+        self._sender_cache: Dict[bytes, int] = {}
+
+    def _ensure_slots(self, n: int) -> None:
+        for bank in self._est.values():
+            bank.grow_to(n)
+        for bank in self._gaps.values():
+            bank.grow_to(n)
+        while len(self.largest) < n:
+            self.largest.append(0)
+            self.prev_arr.append(None)
+
+    # ------------------------------------------------------------------
+    def ingest_datagrams(self, datagrams, arrivals, now):
+        n_bad = n_acc = n_stl = 0
+        last_arrival = None
+        arr_iter = iter(arrivals) if arrivals is not None else None
+        n_dec = 0
+        for data in datagrams:
+            a = next(arr_iter) if arr_iter is not None else now
+            try:
+                sender, seq, ts = decode_fields(data)
+            except WireError:
+                n_bad += 1
+                continue
+            n_dec += 1
+            last_arrival = a
+            acc = self._row(sender, seq, ts, a)
+            if acc:
+                n_acc += 1
+            else:
+                n_stl += 1
+        return n_dec, n_acc, n_stl, n_bad, last_arrival
+
+    def ingest_arena(self, arena, now):
+        n_bad = n_acc = n_stl = 0
+        last_arrival = None
+        n_dec = 0
+        buffer = arena.buffer
+        slot = arena.slot_bytes
+        lengths = arena.lengths
+        for i in range(arena.last_fill):
+            try:
+                sender, seq, ts = decode_fields_from(buffer, i * slot, lengths[i])
+            except WireError:
+                n_bad += 1
+                continue
+            n_dec += 1
+            last_arrival = now
+            if self._row(sender, seq, ts, now):
+                n_acc += 1
+            else:
+                n_stl += 1
+        return n_dec, n_acc, n_stl, n_bad, last_arrival
+
+    # ------------------------------------------------------------------
+    def _row(self, sender: str, seq: int, ts: float, arrival: float) -> bool:
+        """One decoded heartbeat through the column-backed scalar path."""
+        mon = self._mon
+        state = mon._peers.get(sender)
+        if state is None:
+            state = mon._new_peer(sender, arrival)
+            self._ensure_slots(len(mon._peer_by_index))
+        p = state.index
+        tracer = mon._tracer
+        traced = tracer is not None and tracer.wants(seq)
+        if traced:
+            tracer.record(
+                "recv", time=arrival, peer=sender, hb_seq=seq, sent_at=ts
+            )
+        state.n_datagrams += 1
+        if seq <= self.largest[p]:
+            state.n_stale += 1
+            if traced:
+                tracer.record(
+                    "stale", time=arrival, peer=sender, hb_seq=seq,
+                    largest_seq=state.last_seq,
+                )
+            return False
+        self.largest[p] = seq
+        interval = self._interval
+        # SharedArrivalState.receive over the array banks: pre-push mean
+        # capture, normalized-arrival pushes, then the gap pushes.
+        pre = {}
+        for j, spec in enumerate(self._specs):
+            if spec.kind == "bertier" and spec.size not in pre:
+                pre[spec.size] = self._est[spec.size].pre_mean(p)
+        norm = arrival - interval * seq
+        for bank in self._est.values():
+            bank.push(p, norm)
+        prev = self.prev_arr[p]
+        if prev is not None:
+            gap = arrival - prev
+            for bank in self._gaps.values():
+                bank.push(p, gap)
+        self.prev_arr[p] = arrival
+        state.n_accepted += 1
+        state.last_seq = seq
+        state.last_arrival = arrival
+        state.last_timestamp = ts
+        det_list = state.det_list
+        best = math.inf
+        nt = 0
+        for j, spec in enumerate(self._specs):
+            det = det_list[j][1]
+            output = det_list[j][2]
+            kind = spec.kind
+            if kind == "maxmean":
+                bm = None
+                for size in spec.sizes:
+                    m = self._est[size].mean(p)
+                    if bm is None or m > bm:
+                        bm = m
+                d = bm + interval * (seq + 1) + spec.margin
+            elif kind == "timeout":
+                d = arrival + spec.timeout
+            elif kind == "phi":
+                q = spec.quantile
+                if q == math.inf:
+                    d = math.inf
+                else:
+                    g = self._gaps[spec.size]
+                    c = g.count[p]
+                    if c == 0:
+                        d = arrival + interval + spec.warmup_std * q
+                    else:
+                        m = g.sum[p] / c
+                        var = g.sumsq[p] / c - m * m
+                        sigma = math.sqrt(var) if var > 0.0 else 0.0
+                        if sigma < spec.min_std:
+                            sigma = spec.min_std
+                        d = arrival + (g.baseline[p] + m) + sigma * q
+            elif kind == "ed":
+                g = self._gaps[spec.size]
+                c = g.count[p]
+                if c == 0:
+                    d = arrival + interval * spec.factor
+                else:
+                    d = arrival + (g.baseline[p] + g.sum[p] / c) * spec.factor
+            else:  # bertier
+                p_ = pre[spec.size]
+                if p_ is not None:
+                    error = arrival - (p_ + interval * seq) - det._delay
+                else:
+                    error = 0.0
+                det._delay += spec.gamma * error
+                det._var += spec.gamma * (abs(error) - det._var)
+                w = self._est[spec.size]
+                d = w.mean(p) + interval * (seq + 1) + (
+                    spec.beta * det._delay + spec.phi * det._var
+                )
+            det._largest_seq = seq
+            det._last_arrival = arrival
+            det._current_deadline = d
+            output.on_heartbeat(arrival, d)
+            nt += output.n_transitions
+            if d < best:
+                best = d
+        if best != math.inf:
+            heapq.heappush(mon._heap, (best, p))
+            state.sched = best
+        else:
+            state.sched = None
+        if traced:
+            tracer.record(
+                "fresh", time=arrival, peer=sender, hb_seq=seq,
+                deadline=None if best == math.inf else best,
+            )
+        if nt != state.consumed_total:
+            mon._drain(sender, state)
+        return True
+
+    # ------------------------------------------------------------------
+    # Objects stay authoritative on this engine: syncs are no-ops.
+    # ------------------------------------------------------------------
+    def finish_batch(self) -> None:
+        pass
+
+    def sync_peer(self, p: int, state) -> None:
+        pass
+
+    def sync_all(self) -> None:
+        pass
+
+    def writeback_output(self, p: int, state) -> None:
+        pass
+
+
+def build_engine(monitor, probe_detectors: Mapping[str, object]):
+    """The vectorized engine for this interpreter: numpy-backed when
+    available, the ``array``-module fallback otherwise.  Both validate the
+    detector set (unsupported detectors raise ``ValueError`` here, at
+    monitor construction)."""
+    if _HAVE_NUMPY:
+        return VectorizedIngestEngine(monitor, probe_detectors)
+    return ArrayIngestEngine(monitor, probe_detectors)

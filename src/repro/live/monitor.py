@@ -38,6 +38,7 @@ import asyncio
 import heapq
 import logging
 import math
+import socket
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -355,6 +356,7 @@ class LiveMonitor:
         clock: Callable[[], float] = time.monotonic,
         poll_mode: str = "heap",
         estimation: str = "shared",
+        ingest_mode: str = "batched",
         max_events: int | None = None,
         transition_retention: int | None = None,
         obs: Observability | None = None,
@@ -369,6 +371,16 @@ class LiveMonitor:
         if estimation not in ("shared", "private"):
             raise ValueError(
                 f"estimation must be 'shared' or 'private', got {estimation!r}"
+            )
+        if ingest_mode not in ("scalar", "batched", "vectorized"):
+            raise ValueError(
+                f"ingest_mode must be 'scalar', 'batched' or 'vectorized', "
+                f"got {ingest_mode!r}"
+            )
+        if ingest_mode == "vectorized" and estimation != "shared":
+            raise ValueError(
+                "ingest_mode='vectorized' computes over the shared "
+                "per-peer arrival statistics; it requires estimation='shared'"
             )
         if transition_retention is not None:
             ensure_positive(transition_retention, "transition_retention")
@@ -385,10 +397,13 @@ class LiveMonitor:
         # while the probe instances are in hand, learn which of the
         # configured detectors can consume shared arrival statistics.
         self._estimation = estimation
+        self._ingest_mode = ingest_mode
         probe_stats = SharedArrivalState(float(interval))
         shared_names: List[str] = []
+        probe_dets: Dict[str, HeartbeatFailureDetector] = {}
         for name in self._detector_names:
             det = make_tuned(name, self._interval, self._params.get(name))
+            probe_dets[name] = det
             if estimation == "shared" and det.bind_shared_arrivals(probe_stats):
                 shared_names.append(name)
         self._shared_names = tuple(shared_names)
@@ -417,9 +432,22 @@ class LiveMonitor:
         self.last_batch_size: int | None = None
         self.last_poll_duration: float | None = None
         self.last_poll_stats: dict | None = None
+        # Datagrams that reached the decoders without ever being copied
+        # out of the receive arena (the zero-copy ingest path).
+        self.n_zero_copy_datagrams = 0
         self._obs = obs
         self._tracer = obs.tracer if obs is not None else None
         self._m_batch_hist = None
+        self._m_arena_hist = None
+        self._engine = None
+        if ingest_mode == "vectorized":
+            # Deferred import: the engine module is only needed (and its
+            # numpy/array backend only chosen) when vectorized mode is on.
+            from repro.live.ingest import build_engine
+
+            # Raises ValueError here for detectors without a vectorized
+            # kernel (adaptive-2w-fd, chen-sync, histogram).
+            self._engine = build_engine(self, probe_dets)
         if obs is not None:
             self._bind_obs(obs)
 
@@ -432,6 +460,15 @@ class LiveMonitor:
             "repro_ingest_batch_size",
             "Datagrams handed to one LiveMonitor.ingest_many call.",
             buckets=log_buckets(1.0, 4096.0, 3),
+        )
+        self._m_arena_hist = reg.histogram(
+            "repro_ingest_arena_occupancy",
+            "Fraction of arena slots filled per zero-copy drain.",
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        )
+        self._m_zero_copy = reg.counter(
+            "repro_datagrams_zero_copy_total",
+            "Datagrams decoded in place from the receive arena (no copy).",
         )
         self._m_received = reg.counter(
             "repro_heartbeats_received_total",
@@ -540,6 +577,8 @@ class LiveMonitor:
 
     def _obs_collect(self) -> None:
         """Scrape-time collector: mirror running totals, refresh gauges."""
+        if self._engine is not None:
+            self._engine.sync_all()
         now = self.now()
         totals = self._counter_totals()
         self._m_received.set_total(totals["received"])
@@ -551,6 +590,7 @@ class LiveMonitor:
         self._m_listener_errors.set_total(totals["listener_errors"])
         self._m_polls.set_total(self.n_polls)
         self._m_batches.set_total(self.n_batches)
+        self._m_zero_copy.set_total(self.n_zero_copy_datagrams)
         self._g_peers.set(len(self._peers))
         self._g_heap.set(len(self._heap))
         self._g_rate.set(self._rate.rate(now))
@@ -620,6 +660,11 @@ class LiveMonitor:
     def estimation(self) -> str:
         """``"shared"`` or ``"private"`` arrival-statistics mode."""
         return self._estimation
+
+    @property
+    def ingest_mode(self) -> str:
+        """``"scalar"``, ``"batched"`` or ``"vectorized"`` ingest path."""
+        return self._ingest_mode
 
     @property
     def shared_detectors(self) -> Tuple[str, ...]:
@@ -703,7 +748,10 @@ class LiveMonitor:
             for name in self._detector_names
         }
         stats = None
-        if self._shared_names:
+        if self._shared_names and self._engine is None:
+            # Vectorized mode never instantiates per-peer shared stats:
+            # the engine's columnar window banks hold that state for
+            # every peer at once.
             stats = SharedArrivalState(self._interval)
             for name in self._shared_names:
                 bound = detectors[name].bind_shared_arrivals(stats)
@@ -739,6 +787,23 @@ class LiveMonitor:
         """
         if arrival is None:
             arrival = self.now()
+        if self._engine is not None:
+            # Vectorized mode: even singles route through the engine so
+            # the columnar state stays the one authority.
+            engine = self._engine
+            n_dec, n_acc, n_stl, n_bad, _ = engine.ingest_datagrams(
+                (data,), (arrival,), arrival
+            )
+            engine.finish_batch()
+            if n_bad:
+                self.n_malformed += 1
+                logger.debug("dropping malformed datagram (vectorized path)")
+                return None
+            self._rate.update(arrival)
+            self.n_received_total += 1
+            self.n_accepted_total += n_acc
+            self.n_stale_total += n_stl
+            return Heartbeat.decode(data)
         try:
             hb = Heartbeat.decode(data)
         except WireError as exc:
@@ -824,12 +889,28 @@ class LiveMonitor:
         decoded (malformed ones are counted, never raised).
         """
         n = len(datagrams)
-        if arrivals is None:
-            arrivals = repeat(self.now(), n)
-        elif len(arrivals) != n:
+        if arrivals is not None and len(arrivals) != n:
             raise ValueError(
                 f"got {n} datagrams but {len(arrivals)} arrivals"
             )
+        if self._engine is not None:
+            return self._ingest_vectorized(datagrams, arrivals, n)
+        if self._ingest_mode == "scalar":
+            # The per-datagram reference: semantics of calling ingest()
+            # in a loop, batch accounting (n_batches etc.) excluded.
+            n_dec = 0
+            if arrivals is None:
+                now = self.now()
+                for data in datagrams:
+                    if self.ingest(data, now) is not None:
+                        n_dec += 1
+            else:
+                for data, arrival in zip(datagrams, arrivals):
+                    if self.ingest(data, arrival) is not None:
+                        n_dec += 1
+            return n_dec
+        if arrivals is None:
+            arrivals = repeat(self.now(), n)
         # Hot loop: everything the scalar path re-resolves per datagram
         # is hoisted to a local once per batch.
         decode = decode_fields
@@ -1031,6 +1112,55 @@ class LiveMonitor:
             self._m_batch_hist.observe(n)
         return n_decoded
 
+    def _account_batch(self, n, n_dec, n_acc, n_stl, n_bad, last_arrival) -> int:
+        """Batch-level accounting shared by the vectorized entry points."""
+        if n_bad:
+            self.n_malformed += n_bad
+            logger.debug("dropped %d malformed datagrams in batch", n_bad)
+        if n_dec:
+            self._rate.update_many(last_arrival, n_dec)
+        self.n_received_total += n_dec
+        self.n_accepted_total += n_acc
+        self.n_stale_total += n_stl
+        self.n_batches += 1
+        self.last_batch_size = n
+        if self._m_batch_hist is not None:
+            self._m_batch_hist.observe(n)
+        return n_dec
+
+    def _ingest_vectorized(self, datagrams, arrivals, n: int) -> int:
+        engine = self._engine
+        now = self.now() if arrivals is None else None
+        n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_datagrams(
+            datagrams, arrivals, now
+        )
+        engine.finish_batch()
+        return self._account_batch(n, n_dec, n_acc, n_stl, n_bad, last_arrival)
+
+    def ingest_arena(self, arena) -> int:
+        """Feed a :class:`repro.live.arena.DatagramArena`'s last drain.
+
+        The zero-copy bulk entry point: datagrams are decoded in place
+        from the arena's preallocated buffer — as memoryview slices on the
+        scalar/batched paths, as a columnar numpy view on the vectorized
+        path — and are never materialized as per-datagram ``bytes``.
+        Returns the number of datagrams that decoded.
+        """
+        if self._m_arena_hist is not None:
+            self._m_arena_hist.observe(arena.occupancy)
+        k = arena.last_fill
+        if k == 0:
+            return 0
+        self.n_zero_copy_datagrams += k
+        engine = self._engine
+        if engine is None:
+            return self.ingest_many(arena.datagrams())
+        n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_arena(
+            arena, self.now()
+        )
+        engine.finish_batch()
+        return self._account_batch(k, n_dec, n_acc, n_stl, n_bad, last_arrival)
+
     def poll(self, now: float | None = None) -> List[LiveEvent]:
         """Materialize deadline expiries up to ``now``; return new events.
 
@@ -1051,12 +1181,17 @@ class LiveMonitor:
         # e.g. KeyboardInterrupt) must still record the tick's duration —
         # otherwise last_poll_duration silently reports the *previous*
         # poll and the repro_last_poll_seconds gauge lies.
+        engine = self._engine
         try:
             if self._poll_mode == "sweep":
+                if engine is not None:
+                    engine.sync_all()
                 for peer, state in self._peers.items():
                     for det in state.detectors.values():
                         det.advance_to(now)
                     fresh.extend(self._drain(peer, state))
+                    if engine is not None:
+                        engine.writeback_output(state.index, state)
             else:
                 heap = self._heap
                 peer_list = self._peer_by_index
@@ -1077,12 +1212,18 @@ class LiveMonitor:
                     # tick stays scheduled.
                     state.sched = None
                     n_expired += 1
+                    if engine is not None:
+                        # Columnar state must land in the outputs before
+                        # advance_to reads their deadlines.
+                        engine.sync_peer(pidx, state)
                     nxt = math.inf
                     for dname, det, output, recv, fastdl in state.det_list:
                         det.advance_to(now)
                         d = det._current_deadline
                         if d is not None and now <= d < nxt:
                             nxt = d
+                    if engine is not None:
+                        engine.writeback_output(pidx, state)
                     if nxt != math.inf:
                         heapq.heappush(heap, (nxt, pidx))
                         state.sched = nxt
@@ -1150,6 +1291,8 @@ class LiveMonitor:
     def is_trusting(self, peer: str, detector: str, now: float | None = None) -> bool:
         """One detector's current view of one peer."""
         state = self._require(peer)
+        if self._engine is not None:
+            self._engine.sync_peer(state.index, state)
         if now is None:
             now = self.now()
         return state.detectors[detector].is_trusting(now)
@@ -1163,6 +1306,8 @@ class LiveMonitor:
             "counters": self._counter_totals(),
             "poll_mode": self._poll_mode,
             "estimation": self._estimation,
+            "ingest_mode": self._ingest_mode,
+            "n_zero_copy_datagrams": self.n_zero_copy_datagrams,
             "shared_detectors": list(self._shared_names),
             "heap_size": len(self._heap),
             "heartbeat_rate": self._rate.rate(now),
@@ -1202,6 +1347,8 @@ class LiveMonitor:
         }
         if not include_peers:
             return snap
+        if self._engine is not None:
+            self._engine.sync_all()
         peers = {}
         for peer, state in self._peers.items():
             detectors = {}
@@ -1243,6 +1390,8 @@ class LiveMonitor:
         """
         if end is None:
             end = self.now()
+        if self._engine is not None:
+            self._engine.sync_all()
         out: Dict[str, Dict[str, OutputTimeline]] = {}
         for peer, state in self._peers.items():
             if state.first_arrival is None or end <= state.first_arrival:
@@ -1253,6 +1402,8 @@ class LiveMonitor:
                     det.finalize(end), start=state.first_arrival, end=end
                 )
             self._drain(peer, state)  # surface any expiry finalize materialized
+            if self._engine is not None:
+                self._engine.writeback_output(state.index, state)
             out[peer] = per_det
         return out
 
@@ -1330,9 +1481,12 @@ class LiveMonitorServer:
         sock=None,
     ):
         ensure_positive(tick, "tick")
-        if ingest_mode not in ("batch", "scalar"):
+        if ingest_mode == "batch":  # legacy alias from the pre-arena server
+            ingest_mode = "batched"
+        if ingest_mode not in ("scalar", "batched", "vectorized"):
             raise ValueError(
-                f"ingest_mode must be 'batch' or 'scalar', got {ingest_mode!r}"
+                "ingest_mode must be 'scalar', 'batched', or 'vectorized', "
+                f"got {ingest_mode!r}"
             )
         self.monitor = monitor
         self._host = host
@@ -1345,6 +1499,11 @@ class LiveMonitorServer:
         # SO_REUSEPORT); overrides host/port when given.
         self._sock = sock
         self._transport: asyncio.DatagramTransport | None = None
+        # Vectorized mode bypasses the asyncio transport entirely: a
+        # non-blocking socket registered via loop.add_reader drains into a
+        # reusable DatagramArena (zero bytes objects per datagram).
+        self._arena_sock = None
+        self._arena = None
         self._poll_task: asyncio.Task | None = None
         self.status: StatusServer | None = None
         self.address: Tuple[str, int] | None = None
@@ -1356,23 +1515,46 @@ class LiveMonitorServer:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
+    def _drain_arena(self) -> None:
+        """Readable callback: drain the socket queue into the arena and hand
+        the whole burst to the monitor in one zero-copy call.  The loop is
+        level-triggered, so a full arena just means the callback fires again
+        immediately with the remainder."""
+        if self._arena_sock is None:  # racing a concurrent stop()
+            return
+        if self._arena.drain(self._arena_sock):
+            self.monitor.ingest_arena(self._arena)
+
     async def start(self) -> Tuple[str, int]:
         """Bind the socket and start polling; returns the bound address."""
         loop = asyncio.get_running_loop()
-        if self._ingest_mode == "batch":
-            protocol_factory = lambda: _BatchedMonitorProtocol(self.monitor)
+        if self._ingest_mode == "vectorized":
+            from repro.live.arena import DatagramArena
+
+            if self._sock is not None:
+                self._arena_sock = self._sock
+            else:
+                self._arena_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                self._arena_sock.bind((self._host, self._port))
+            self._arena_sock.setblocking(False)
+            self._arena = DatagramArena()
+            loop.add_reader(self._arena_sock.fileno(), self._drain_arena)
+            sockname = self._arena_sock.getsockname()
         else:
-            protocol_factory = lambda: _MonitorProtocol(self.monitor)
-        if self._sock is not None:
-            self._transport, _ = await loop.create_datagram_endpoint(
-                protocol_factory, sock=self._sock
-            )
-        else:
-            self._transport, _ = await loop.create_datagram_endpoint(
-                protocol_factory, local_addr=(self._host, self._port)
-            )
-        sock = self._transport.get_extra_info("sockname")
-        self.address = (sock[0], sock[1])
+            if self._ingest_mode == "batched":
+                protocol_factory = lambda: _BatchedMonitorProtocol(self.monitor)
+            else:
+                protocol_factory = lambda: _MonitorProtocol(self.monitor)
+            if self._sock is not None:
+                self._transport, _ = await loop.create_datagram_endpoint(
+                    protocol_factory, sock=self._sock
+                )
+            else:
+                self._transport, _ = await loop.create_datagram_endpoint(
+                    protocol_factory, local_addr=(self._host, self._port)
+                )
+            sockname = self._transport.get_extra_info("sockname")
+        self.address = (sockname[0], sockname[1])
         if self._status_port is not None:
             has_obs = self.monitor.observability is not None
             self.status = StatusServer(
@@ -1430,6 +1612,16 @@ class LiveMonitorServer:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        if self._arena_sock is not None:
+            sock, self._arena_sock = self._arena_sock, None
+            asyncio.get_running_loop().remove_reader(sock.fileno())
+            # One last drain so datagrams already queued at shutdown count,
+            # then close — the server owns the socket either way, exactly
+            # as the datagram transport owns a pre-bound one.
+            if self._arena.drain(sock):
+                self.monitor.ingest_arena(self._arena)
+            sock.close()
+            self._arena = None
         if self.status is not None:
             await self.status.stop()
             self.status = None

@@ -243,8 +243,15 @@ async def _shard_main(
     # the per-shard expositions at scrape time.
     obs = Observability(**obs_kwargs) if obs_kwargs is not None else None
     monitor = LiveMonitor(**monitor_kwargs, obs=obs)
+    # The server's receive strategy follows the monitor's ingest mode: in
+    # vectorized mode it drains the pre-bound shard socket through the
+    # zero-copy arena instead of the asyncio datagram transport.
     server = LiveMonitorServer(
-        monitor, tick=tick, status_port=0, sock=sock
+        monitor,
+        tick=tick,
+        status_port=0,
+        ingest_mode=monitor_kwargs.get("ingest_mode", "batched"),
+        sock=sock,
     )
     await server.start()
     assert server.status is not None
@@ -298,6 +305,7 @@ class ShardedMonitor:
         status_host: str = "127.0.0.1",
         estimation: str = "shared",
         poll_mode: str = "heap",
+        ingest_mode: str = "batched",
         max_events: int | None = None,
         transition_retention: int | None = None,
         fallback: bool = True,
@@ -321,6 +329,7 @@ class ShardedMonitor:
             params=dict(params or {}),
             estimation=estimation,
             poll_mode=poll_mode,
+            ingest_mode=ingest_mode,
             max_events=max_events,
             transition_retention=transition_retention,
         )
@@ -420,6 +429,7 @@ class ShardedMonitor:
                 tick=self._tick,
                 status_port=self._status_port,
                 status_host=self._status_host,
+                ingest_mode=self._monitor_kwargs["ingest_mode"],
             )
             self.address = await self._single.start()
             self.status = self._single.status

@@ -19,10 +19,17 @@ The timestamp rides along for observability: the status endpoint reports
 per-peer clock offset estimates (arrival − timestamp), which absorb skew
 plus one-way delay.
 
-Decoding is strict: wrong magic, unknown version, truncated or oversized
-datagrams, and non-positive sequence numbers all raise :class:`WireError`
-(a ``ValueError``), which the monitor counts but never crashes on — a UDP
+Decoding is strict: wrong magic, unknown version, truncated datagrams,
+datagrams carrying trailing garbage past the length implied by the header,
+and non-positive sequence numbers all raise :class:`WireError` (a
+``ValueError``), which the monitor counts but never crashes on — a UDP
 port is an open mailbox.
+
+All decoders accept any bytes-like object (``bytes``, ``bytearray``,
+``memoryview``) without copying the payload: the zero-copy arena path hands
+``memoryview`` slices of a preallocated receive buffer straight to
+:func:`decode_fields` / :func:`decode_fields_from`.  Only the sender id
+(a handful of bytes) is ever materialized, as the returned ``str``.
 """
 
 from __future__ import annotations
@@ -36,9 +43,11 @@ __all__ = [
     "VERSION",
     "HEADER_SIZE",
     "MAX_SENDER_BYTES",
+    "MAX_DATAGRAM_BYTES",
     "Heartbeat",
     "WireError",
     "decode_fields",
+    "decode_fields_from",
 ]
 
 MAGIC = b"2WFD"
@@ -50,6 +59,8 @@ _BODY = struct.Struct("!Qd")  # seq, send timestamp
 #: Bytes of framing around the sender id (head + seq + timestamp).
 HEADER_SIZE = _HEAD.size + _BODY.size
 MAX_SENDER_BYTES = 255
+#: Largest datagram that can possibly be a valid heartbeat.
+MAX_DATAGRAM_BYTES = HEADER_SIZE + MAX_SENDER_BYTES
 
 
 class WireError(ValueError):
@@ -62,7 +73,7 @@ _BODY_UNPACK = _BODY.unpack_from
 _ISFINITE = math.isfinite
 
 
-def decode_fields(data: bytes) -> tuple:
+def decode_fields(data) -> tuple:
     """Parse one datagram into ``(sender, seq, timestamp)`` — no dataclass.
 
     The batched-ingest hot path: identical strictness to
@@ -72,6 +83,9 @@ def decode_fields(data: bytes) -> tuple:
     re-validation, which for wire input can only re-check what the header
     already proved (the sender-id length came off the wire, the sequence
     number cannot overflow uint64).
+
+    ``data`` may be ``bytes``, ``bytearray``, or ``memoryview``; no copy of
+    the payload is taken (the zero-copy arena hands memoryview slices here).
     """
     # The fixed head is read by byte indexing (magic as a slice compare,
     # version and sender-id length as single-byte ints) — one struct
@@ -81,23 +95,67 @@ def decode_fields(data: bytes) -> tuple:
     if n < _HEAD_SIZE:
         raise WireError(f"datagram too short ({n} bytes)")
     if data[:4] != MAGIC:
-        raise WireError(f"bad magic {data[:4]!r}")
+        raise WireError(f"bad magic {bytes(data[:4])!r}")
     version = data[4]
     if version != VERSION:
         raise WireError(f"unsupported wire version {version}")
     sender_len = data[5]
-    if n != _HEAD_SIZE + sender_len + _BODY_SIZE:
+    expected = _HEAD_SIZE + sender_len + _BODY_SIZE
+    if n < expected:
+        raise WireError(f"datagram truncated: {n} bytes < {expected} implied by header")
+    if n > expected:
         raise WireError(
-            f"datagram length {n} != "
-            f"{_HEAD_SIZE + sender_len + _BODY_SIZE} implied by header"
+            f"datagram has {n - expected} trailing garbage byte(s): "
+            f"{n} bytes > {expected} implied by header"
         )
     if sender_len == 0:
         raise WireError("sender id must be non-empty")
     try:
-        sender = data[_HEAD_SIZE : _HEAD_SIZE + sender_len].decode("utf-8")
+        sender = str(data[_HEAD_SIZE : _HEAD_SIZE + sender_len], "utf-8")
     except UnicodeDecodeError as exc:
         raise WireError(f"sender id is not valid UTF-8: {exc}") from None
     seq, timestamp = _BODY_UNPACK(data, _HEAD_SIZE + sender_len)
+    if seq < 1:
+        raise WireError(f"sequence numbers start at 1, got {seq}")
+    if not _ISFINITE(timestamp):
+        raise WireError(f"timestamp must be finite, got {timestamp}")
+    return sender, seq, timestamp
+
+
+def decode_fields_from(data, offset: int, length: int) -> tuple:
+    """:func:`decode_fields` over ``data[offset:offset+length]`` — no slice.
+
+    The arena fallback path (no numpy) decodes datagrams in place from the
+    preallocated receive buffer; ``Struct.unpack_from`` with offsets means
+    the only allocation is the sender-id ``str``.  Check-for-check identical
+    to :func:`decode_fields` (the fuzz tests assert agreement).
+    """
+    if length < _HEAD_SIZE:
+        raise WireError(f"datagram too short ({length} bytes)")
+    if data[offset : offset + 4] != MAGIC:
+        raise WireError(f"bad magic {bytes(data[offset : offset + 4])!r}")
+    version = data[offset + 4]
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    sender_len = data[offset + 5]
+    expected = _HEAD_SIZE + sender_len + _BODY_SIZE
+    if length < expected:
+        raise WireError(
+            f"datagram truncated: {length} bytes < {expected} implied by header"
+        )
+    if length > expected:
+        raise WireError(
+            f"datagram has {length - expected} trailing garbage byte(s): "
+            f"{length} bytes > {expected} implied by header"
+        )
+    if sender_len == 0:
+        raise WireError("sender id must be non-empty")
+    start = offset + _HEAD_SIZE
+    try:
+        sender = str(data[start : start + sender_len], "utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"sender id is not valid UTF-8: {exc}") from None
+    seq, timestamp = _BODY_UNPACK(data, start + sender_len)
     if seq < 1:
         raise WireError(f"sequence numbers start at 1, got {seq}")
     if not _ISFINITE(timestamp):
@@ -145,22 +203,32 @@ class Heartbeat:
         )
 
     @classmethod
-    def decode(cls, data: bytes) -> "Heartbeat":
-        """Parse one datagram payload; raise :class:`WireError` if invalid."""
-        if len(data) < _HEAD.size:
-            raise WireError(f"datagram too short ({len(data)} bytes)")
+    def decode(cls, data) -> "Heartbeat":
+        """Parse one datagram payload; raise :class:`WireError` if invalid.
+
+        ``data`` may be ``bytes``, ``bytearray``, or ``memoryview``; only
+        the sender id is materialized (as the returned ``str``).
+        """
+        n = len(data)
+        if n < _HEAD.size:
+            raise WireError(f"datagram too short ({n} bytes)")
         magic, version, sender_len = _HEAD.unpack_from(data)
         if magic != MAGIC:
             raise WireError(f"bad magic {magic!r}")
         if version != VERSION:
             raise WireError(f"unsupported wire version {version}")
         expected = _HEAD.size + sender_len + _BODY.size
-        if len(data) != expected:
+        if n < expected:
             raise WireError(
-                f"datagram length {len(data)} != {expected} implied by header"
+                f"datagram truncated: {n} bytes < {expected} implied by header"
+            )
+        if n > expected:
+            raise WireError(
+                f"datagram has {n - expected} trailing garbage byte(s): "
+                f"{n} bytes > {expected} implied by header"
             )
         try:
-            sender = data[_HEAD.size : _HEAD.size + sender_len].decode("utf-8")
+            sender = str(data[_HEAD.size : _HEAD.size + sender_len], "utf-8")
         except UnicodeDecodeError as exc:
             raise WireError(f"sender id is not valid UTF-8: {exc}") from None
         seq, timestamp = _BODY.unpack_from(data, _HEAD.size + sender_len)

@@ -1,0 +1,118 @@
+"""DatagramArena: zero-copy socket drains into a preallocated buffer."""
+
+import socket
+
+import pytest
+
+from repro.live.arena import ARENA_SLOT_BYTES, DatagramArena
+from repro.live.wire import MAX_DATAGRAM_BYTES, WireError, decode_fields, Heartbeat
+
+
+def _socketpair():
+    rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    rx.bind(("127.0.0.1", 0))
+    rx.setblocking(False)
+    tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    tx.connect(rx.getsockname())
+    return rx, tx
+
+
+class TestConstruction:
+    def test_slot_size_exceeds_any_valid_heartbeat(self):
+        # The truncation-safety argument requires slot > MAX_DATAGRAM_BYTES:
+        # a datagram recv_into truncates was longer than any valid heartbeat.
+        assert ARENA_SLOT_BYTES == MAX_DATAGRAM_BYTES + 1
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            DatagramArena(slots=0)
+        with pytest.raises(ValueError):
+            DatagramArena(slot_bytes=0)
+
+    def test_datagram_out_of_range(self):
+        arena = DatagramArena(slots=4)
+        with pytest.raises(IndexError):
+            arena.datagram(0)
+
+
+class TestDrain:
+    def test_drains_queued_datagrams_in_order(self):
+        rx, tx = _socketpair()
+        try:
+            payloads = [Heartbeat(f"p{i}", i + 1, float(i)).encode() for i in range(10)]
+            for p in payloads:
+                tx.send(p)
+            arena = DatagramArena(slots=16)
+            assert arena.drain(rx) == 10
+            assert arena.last_fill == 10
+            got = arena.datagrams()
+            assert [bytes(g) for g in got] == payloads
+            # Zero-copy: every slice is a memoryview over the arena buffer.
+            assert all(isinstance(g, memoryview) for g in got)
+            assert got[0].obj is arena.buffer
+            for i, p in enumerate(payloads):
+                assert decode_fields(arena.datagram(i)) == decode_fields(p)
+        finally:
+            rx.close()
+            tx.close()
+
+    def test_full_arena_stops_and_next_drain_continues(self):
+        rx, tx = _socketpair()
+        try:
+            for i in range(7):
+                tx.send(Heartbeat("p", i + 1, 0.0).encode())
+            arena = DatagramArena(slots=4)
+            assert arena.drain(rx) == 4
+            assert arena.occupancy == 1.0
+            assert arena.drain(rx) == 3
+            assert arena.occupancy == pytest.approx(0.75)
+            assert arena.n_drains == 2
+            assert arena.n_datagrams == 7
+        finally:
+            rx.close()
+            tx.close()
+
+    def test_empty_socket_drains_zero(self):
+        rx, tx = _socketpair()
+        try:
+            arena = DatagramArena(slots=4)
+            assert arena.drain(rx) == 0
+            assert arena.occupancy == 0.0
+        finally:
+            rx.close()
+            tx.close()
+
+    def test_reuse_overwrites_previous_fill(self):
+        rx, tx = _socketpair()
+        try:
+            arena = DatagramArena(slots=8)
+            tx.send(Heartbeat("first", 1, 0.0).encode())
+            arena.drain(rx)
+            tx.send(Heartbeat("second", 2, 0.0).encode())
+            assert arena.drain(rx) == 1
+            assert decode_fields(arena.datagram(0))[0] == "second"
+            assert arena.last_fill == 1
+        finally:
+            rx.close()
+            tx.close()
+
+    def test_oversized_datagram_truncated_but_still_rejected(self):
+        """recv_into truncation never turns garbage into a valid heartbeat:
+        the truncated length (slot size) exceeds every valid datagram, so
+        the wire layer rejects it exactly as it would the full payload."""
+        rx, tx = _socketpair()
+        try:
+            oversized = Heartbeat("x" * 255, 1, 0.0).encode() + b"\x00" * 40
+            assert len(oversized) > ARENA_SLOT_BYTES
+            tx.send(oversized)
+            arena = DatagramArena(slots=2)
+            assert arena.drain(rx) == 1
+            got = arena.datagram(0)
+            assert len(got) == ARENA_SLOT_BYTES
+            with pytest.raises(WireError):
+                decode_fields(got)
+            with pytest.raises(WireError):
+                decode_fields(oversized)
+        finally:
+            rx.close()
+            tx.close()

@@ -1,0 +1,279 @@
+"""Vectorized ingest equivalence: the hard bitwise-identity property.
+
+``ingest_mode="vectorized"`` replaces the per-heartbeat scalar pipeline
+(wire decode -> SharedArrivalState push -> per-detector freshness update)
+with a columnar engine that decodes a whole batch into numpy arrays and
+applies the window pushes and deadline formulas vectorized.  The contract
+is not "approximately equal": every transition event, every snapshot field,
+and every QoS timeline must be **bitwise identical** to the scalar
+reference path, across randomized interleavings, message loss, stale
+duplicates, and out-of-order arrivals.  These tests are the enforcement.
+
+The only tolerated difference is the ``monitor`` load block (batch counts,
+heap size): batching strategy is observable there by design.
+"""
+
+import random
+
+import pytest
+
+import repro.live.ingest as ingest_mod
+from repro.live.arena import DatagramArena
+from repro.live.monitor import LiveMonitor
+from repro.live.wire import Heartbeat
+
+# Every detector with a vectorized kernel (adaptive-2w-fd, chen-sync and
+# histogram deliberately have none — asserted below).
+DETECTORS = ["2w-fd", "mw-fd", "chen", "phi", "ed", "bertier", "fixed-timeout"]
+PARAMS = {
+    "2w-fd": 0.05,
+    "mw-fd": 0.05,
+    "chen": 0.05,
+    "phi": 3.0,
+    "ed": 0.95,
+    "fixed-timeout": 0.3,
+}
+INTERVAL = 0.1
+MODES = ["scalar", "batched", "vectorized"]
+
+
+class _Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _generate_workload(seed, n_peers=6, n_batches=40):
+    """(time, [(sender, seq, ts), ...]) batches with loss, stale duplicates
+    and out-of-order arrivals, plus the poll instants interleaved."""
+    rng = random.Random(seed)
+    peers = [f"peer-{i}" for i in range(n_peers)]
+    seqs = dict.fromkeys(peers, 0)
+    batches = []
+    t = 0.0
+    for _ in range(n_batches):
+        t += rng.uniform(0.01, 0.25)
+        batch = []
+        for p in peers:
+            if rng.random() < 0.7:  # 30% loss
+                seqs[p] += 1
+                if rng.random() < 0.15 and seqs[p] > 1:
+                    # stale duplicate riding in the same batch
+                    batch.append((p, seqs[p] - 1, t - 0.01))
+                batch.append((p, seqs[p], t))
+        rng.shuffle(batch)  # out-of-order within the batch
+        if batch:
+            batches.append((t, batch))
+    polls = [i * 0.07 for i in range(1, int(t / 0.07) + 3)]
+    return batches, polls
+
+
+def _run(mode, batches, polls, detectors=DETECTORS, single=False):
+    """Drive one monitor through the workload; return its full observable
+    surface: events, snapshot, per-peer trust queries, QoS timelines."""
+    clock = _Clock()
+    monitor = LiveMonitor(
+        INTERVAL,
+        detectors,
+        {k: v for k, v in PARAMS.items() if k in detectors},
+        clock=clock,
+        estimation="shared",
+        ingest_mode=mode,
+    )
+    monitor.now()  # pin the epoch at clock 0: explicit arrivals line up
+    events = []
+    monitor.subscribe(events.append)
+    pi = 0
+    for t, batch in batches:
+        while pi < len(polls) and polls[pi] <= t:
+            clock.t = polls[pi]
+            monitor.poll()
+            pi += 1
+        clock.t = t
+        payloads = [Heartbeat(s, q, ts).encode() for (s, q, ts) in batch]
+        if single:
+            for p in payloads:
+                monitor.ingest(p, arrival=t)
+        else:
+            monitor.ingest_many(payloads, [t] * len(payloads))
+    while pi < len(polls):
+        clock.t = polls[pi]
+        monitor.poll()
+        pi += 1
+    snapshot = monitor.snapshot(now=clock.t)
+    trust = {
+        peer: {
+            det: monitor.is_trusting(peer, det, now=clock.t)
+            for det in detectors
+        }
+        for peer in snapshot["peers"]
+    }
+    timelines = {
+        peer: {
+            det: (tl.start, tl.end, tl.initial_trust,
+                  tl.times.tolist(), tl.states.tolist())
+            for det, tl in per_det.items()
+        }
+        for peer, per_det in monitor.timelines(clock.t).items()
+    }
+    return {
+        "events": [(e.time, e.peer, e.detector, e.trusting) for e in events],
+        "snapshot": {k: v for k, v in snapshot.items() if k != "monitor"},
+        "counters": (
+            monitor.n_received_total,
+            monitor.n_accepted_total,
+            monitor.n_stale_total,
+            monitor.n_malformed,
+        ),
+        "trust": trust,
+        "timelines": timelines,
+    }
+
+
+def _assert_same_surface(reference, other, label):
+    for key in ("events", "counters", "trust", "timelines", "snapshot"):
+        assert reference[key] == other[key], (
+            f"{label} diverges from scalar reference on {key!r}"
+        )
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_three_modes_bitwise_identical(self, seed):
+        batches, polls = _generate_workload(seed)
+        scalar = _run("scalar", batches, polls)
+        assert scalar["events"], "workload produced no transitions"
+        _assert_same_surface(scalar, _run("batched", batches, polls), "batched")
+        _assert_same_surface(
+            scalar, _run("vectorized", batches, polls), "vectorized"
+        )
+
+    def test_single_datagram_ingest_matches(self):
+        """ingest() (one datagram at a time) through the vectorized engine."""
+        batches, polls = _generate_workload(99, n_peers=3, n_batches=25)
+        scalar = _run("scalar", batches, polls, single=True)
+        vector = _run("vectorized", batches, polls, single=True)
+        _assert_same_surface(scalar, vector, "vectorized-single")
+
+    def test_long_run_crosses_window_rebuild_horizon(self):
+        """Enough accepted heartbeats per peer to trigger the numpy window
+        rebuilds (the compensated-summation refresh) many times over."""
+        batches, polls = _generate_workload(7, n_peers=2, n_batches=400)
+        scalar = _run("scalar", batches, polls)
+        vector = _run("vectorized", batches, polls)
+        _assert_same_surface(scalar, vector, "vectorized-long")
+
+
+class TestArenaIngest:
+    def _fill_arena(self, payloads):
+        arena = DatagramArena(slots=max(len(payloads), 1))
+        for i, p in enumerate(payloads):
+            start = i * arena.slot_bytes
+            arena.buffer[start : start + len(p)] = p
+            arena.lengths[i] = len(p)
+        arena.last_fill = len(payloads)
+        return arena
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_ingest_arena_matches_ingest_many(self, mode):
+        batches, polls = _generate_workload(3, n_peers=4, n_batches=30)
+        reference = _run("scalar", batches, polls)
+
+        clock = _Clock()
+        monitor = LiveMonitor(
+            INTERVAL,
+            DETECTORS,
+            PARAMS,
+            clock=clock,
+            ingest_mode=mode,
+        )
+        monitor.now()
+        events = []
+        monitor.subscribe(events.append)
+        pi = 0
+        for t, batch in batches:
+            while pi < len(polls) and polls[pi] <= t:
+                clock.t = polls[pi]
+                monitor.poll()
+                pi += 1
+            clock.t = t
+            arena = self._fill_arena(
+                [Heartbeat(s, q, ts).encode() for (s, q, ts) in batch]
+            )
+            monitor.ingest_arena(arena)
+        while pi < len(polls):
+            clock.t = polls[pi]
+            monitor.poll()
+            pi += 1
+        got = [(e.time, e.peer, e.detector, e.trusting) for e in events]
+        assert got == reference["events"]
+        snap = {
+            k: v
+            for k, v in monitor.snapshot(now=clock.t).items()
+            if k != "monitor"
+        }
+        assert snap == reference["snapshot"]
+        assert monitor.n_zero_copy_datagrams == sum(
+            len(b) for _, b in batches
+        )
+
+    def test_arena_with_garbage_slots(self):
+        monitor = LiveMonitor(
+            INTERVAL, ["2w-fd"], {"2w-fd": 0.05}, ingest_mode="vectorized"
+        )
+        good = Heartbeat("p", 1, 0.0).encode()
+        arena = self._fill_arena([b"garbage", good, b"", b"2WFDxx"])
+        assert monitor.ingest_arena(arena) == 1
+        assert monitor.n_malformed == 3
+        assert monitor.n_accepted_total == 1
+
+
+class TestArrayFallback:
+    """numpy absent: build_engine degrades to the array-module engine."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(ingest_mod, "_HAVE_NUMPY", False)
+
+    def test_fallback_engine_selected(self, no_numpy):
+        monitor = LiveMonitor(
+            INTERVAL, DETECTORS, PARAMS, ingest_mode="vectorized"
+        )
+        assert isinstance(monitor._engine, ingest_mod.ArrayIngestEngine)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fallback_matches_scalar(self, no_numpy, seed):
+        # Modest workload: under the rebuild horizon the fallback's
+        # sequential summation is bit-identical to the scalar path (the
+        # documented divergence is pairwise-vs-sequential at rebuild).
+        batches, polls = _generate_workload(seed, n_peers=4, n_batches=30)
+        scalar = _run("scalar", batches, polls)
+        fallback = _run("vectorized", batches, polls)
+        _assert_same_surface(scalar, fallback, "array-fallback")
+
+
+class TestConstructionErrors:
+    def test_vectorized_requires_shared_estimation(self):
+        with pytest.raises(ValueError, match="shared"):
+            LiveMonitor(
+                INTERVAL,
+                ["2w-fd"],
+                {"2w-fd": 0.05},
+                estimation="private",
+                ingest_mode="vectorized",
+            )
+
+    @pytest.mark.parametrize("name", ["adaptive-2w-fd", "chen-sync", "histogram"])
+    def test_unvectorizable_detectors_fail_fast(self, name):
+        with pytest.raises(ValueError, match=name):
+            LiveMonitor(
+                INTERVAL,
+                [name],
+                {name: 0.05} if name == "chen-sync" else None,
+                ingest_mode="vectorized",
+            )
+
+    def test_other_modes_accept_all_detectors(self):
+        LiveMonitor(INTERVAL, ["adaptive-2w-fd"])

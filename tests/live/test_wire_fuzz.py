@@ -25,6 +25,7 @@ from repro.live.wire import (
     Heartbeat,
     WireError,
     decode_fields,
+    decode_fields_from,
 )
 
 PARAMS = {"2w-fd": 0.3}
@@ -44,6 +45,8 @@ def _decode_outcome(decoder, data):
 
 
 def _assert_decoders_agree(data):
+    """All four decode entry points (dataclass, fields, fields over each
+    bytes-like flavor, fields-at-offset) accept or reject identically."""
     kind_a, val_a = _decode_outcome(Heartbeat.decode, data)
     kind_b, val_b = _decode_outcome(decode_fields, data)
     assert kind_a == kind_b, (
@@ -51,6 +54,21 @@ def _assert_decoders_agree(data):
     )
     if kind_a == "ok":
         assert val_a == val_b
+    # Zero-copy flavors: memoryview and bytearray views of the same bytes,
+    # and the in-place offset decoder against a padded buffer.
+    for view in (memoryview(bytes(data)), bytearray(data)):
+        kind_v, val_v = _decode_outcome(decode_fields, view)
+        assert (kind_v, val_v) == (kind_b, val_b), (
+            f"decode_fields disagrees with itself on {type(view).__name__} "
+            f"input for {bytes(data)!r}"
+        )
+    padded = b"\xaa" * 7 + bytes(data) + b"\xbb" * 5
+    kind_o, val_o = _decode_outcome(
+        lambda _: decode_fields_from(memoryview(padded), 7, len(data)), data
+    )
+    assert (kind_o, val_o) == (kind_b, val_b), (
+        f"decode_fields_from disagrees with decode_fields on {bytes(data)!r}"
+    )
 
 
 def _valid_payload(rng):
@@ -183,6 +201,54 @@ class TestHostileDatagrams:
             _assert_decoders_agree(bytes(data))
 
 
+class TestZeroCopyInputs:
+    def test_memoryview_round_trip_without_copy(self):
+        rng = random.Random(4711)
+        for _ in range(200):
+            data = _valid_payload(rng)
+            view = memoryview(data)
+            assert decode_fields(view) == decode_fields(data)
+            hb = Heartbeat.decode(view)
+            assert (hb.sender, hb.seq, hb.timestamp) == decode_fields(data)
+
+    def test_bytearray_round_trip(self):
+        rng = random.Random(4712)
+        for _ in range(200):
+            data = bytearray(_valid_payload(rng))
+            assert decode_fields(data) == decode_fields(bytes(data))
+
+    def test_decode_fields_from_at_arbitrary_offsets(self):
+        """In-place decode from a shared buffer: slot layout of the arena."""
+        rng = random.Random(4713)
+        payloads = [_valid_payload(rng) for _ in range(64)]
+        slot = max(len(p) for p in payloads) + 3
+        buf = bytearray(slot * len(payloads))
+        for i, p in enumerate(payloads):
+            buf[i * slot : i * slot + len(p)] = p
+        view = memoryview(buf)
+        for i, p in enumerate(payloads):
+            assert decode_fields_from(view, i * slot, len(p)) == decode_fields(p)
+
+    def test_decode_fields_from_rejects_at_offset(self):
+        good = Heartbeat("peer", 5, 1.25).encode()
+        buf = b"\x00" * 11 + good
+        # Claiming one byte too many is trailing garbage; one too few is
+        # truncation — both named explicitly in the error.
+        with pytest.raises(WireError, match="trailing garbage"):
+            decode_fields_from(buf, 11, len(good) + 1)
+        with pytest.raises(WireError, match="truncated"):
+            decode_fields_from(buf, 11, len(good) - 1)
+
+    def test_trailing_garbage_is_named_explicitly(self):
+        good = Heartbeat("peer", 5, 1.25).encode()
+        for extra in (1, 2, 16):
+            data = good + b"\x00" * extra
+            for decoder in (decode_fields, Heartbeat.decode):
+                with pytest.raises(WireError, match="trailing garbage") as err:
+                    decoder(data)
+                assert str(extra) in str(err.value)
+
+
 class TestMonitorNeverCrashes:
     def _garbage(self, rng, n):
         out = []
@@ -225,3 +291,18 @@ class TestMonitorNeverCrashes:
         assert n_decoded == n_valid
         assert monitor.n_malformed == len(garbage) - n_valid
         assert monitor.n_malformed == scalar.n_malformed
+
+    def test_vectorized_ingest_counts_malformed(self):
+        rng = random.Random(31337)
+        monitor = LiveMonitor(
+            0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0, ingest_mode="vectorized"
+        )
+        garbage = self._garbage(rng, 500)
+        n_decoded = monitor.ingest_many(garbage)
+        scalar = LiveMonitor(0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0)
+        n_valid = sum(
+            scalar.ingest(data, arrival=scalar.now()) is not None
+            for data in garbage
+        )
+        assert n_decoded == n_valid
+        assert monitor.n_malformed == len(garbage) - n_valid
