@@ -221,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace only every Nth heartbeat's send/recv/fresh stages "
         "(suspect/trust transitions are always traced; default 1 = all)",
     )
+    p_mon.add_argument(
+        "--tenants",
+        default=None,
+        metavar="CONFIG",
+        help="run multi-tenant: screen datagrams against the tenant "
+        "registry in this JSON config (see 'repro-fd fdaas register') — "
+        "HMAC authentication, replay rejection, namespacing, rate limits, "
+        "and (single-process) live SLA enforcement with push events",
+    )
 
     p_hb = live_sub.add_parser(
         "heartbeat", help="send UDP heartbeats (optionally through chaos)"
@@ -253,6 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--drift", type=float, default=0.0, help="sender clock drift (e.g. 50e-6)"
     )
     p_hb.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+    p_hb.add_argument(
+        "--tenant",
+        default=None,
+        metavar="ID",
+        help="fdaas tenant id: heartbeats carry the namespaced sender "
+        "'ID/<--id>' a multi-tenant monitor expects",
+    )
+    p_hb.add_argument(
+        "--auth-key",
+        default=None,
+        metavar="HEX",
+        help="per-tenant HMAC key (hex): emit authenticated wire-v2 "
+        "heartbeats with an HMAC-SHA256 trailer",
+    )
 
     p_st = live_sub.add_parser(
         "status", help="fetch and print a monitor's JSON status snapshot"
@@ -329,6 +352,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tr.add_argument("--timeout", type=float, default=5.0, metavar="S")
     p_tr.add_argument("--retries", type=int, default=0, metavar="N")
+
+    p_fdaas = sub.add_parser(
+        "fdaas", help="multi-tenant failure-detection-as-a-service tools"
+    )
+    fdaas_sub = p_fdaas.add_subparsers(dest="fdaas_command", required=True)
+
+    p_reg = fdaas_sub.add_parser(
+        "register",
+        help="add (or update) a tenant in a JSON tenants config file",
+    )
+    p_reg.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="tenants config path (created if missing)",
+    )
+    p_reg.add_argument("--tenant", required=True, metavar="ID", help="tenant id")
+    p_reg.add_argument(
+        "--gen-key",
+        action="store_true",
+        help="generate a fresh 32-byte HMAC key (printed once, as hex)",
+    )
+    p_reg.add_argument(
+        "--key", default=None, metavar="HEX",
+        help="use this HMAC key instead of generating one",
+    )
+    p_reg.add_argument(
+        "--rate", type=float, default=None, metavar="HZ",
+        help="token-bucket rate limit in heartbeats/second (default: none)",
+    )
+    p_reg.add_argument(
+        "--burst", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity (default: 2x rate)",
+    )
+    p_reg.add_argument("--td", type=float, default=None, help="SLA T_D^U [s]")
+    p_reg.add_argument(
+        "--tmr", type=float, default=None, help="SLA mistake-rate bound [1/s]"
+    )
+    p_reg.add_argument("--tm", type=float, default=None, help="SLA T_M^U [s]")
+    p_reg.add_argument(
+        "--pa", type=float, default=None, help="SLA query-accuracy floor (0..1]"
+    )
+
+    p_ten = fdaas_sub.add_parser(
+        "tenants", help="list the tenants in a config file (keys redacted)"
+    )
+    p_ten.add_argument("--config", required=True, metavar="FILE")
+
+    p_sla = fdaas_sub.add_parser(
+        "sla", help="fetch per-tenant SLA standing from a running service"
+    )
+    p_sla.add_argument("--host", default="127.0.0.1")
+    p_sla.add_argument("--port", type=int, required=True, help="status port")
+    p_sla.add_argument(
+        "--tenant", default=None, metavar="ID", help="only this tenant"
+    )
+    p_sla.add_argument("--timeout", type=float, default=5.0, metavar="S")
+    p_sla.add_argument("--retries", type=int, default=0, metavar="N")
+
+    p_subev = fdaas_sub.add_parser(
+        "subscribe",
+        help="stream transition and SLA events from a running service "
+        "(push: one JSON line per event, no polling)",
+    )
+    p_subev.add_argument("--host", default="127.0.0.1")
+    p_subev.add_argument("--port", type=int, required=True, help="status port")
+    p_subev.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        metavar="CURSOR",
+        help="resume after this event id (default 0 = everything retained)",
+    )
+    p_subev.add_argument(
+        "--once",
+        action="store_true",
+        help="one-shot: fetch retained events past the cursor and exit "
+        "instead of streaming",
+    )
+    p_subev.add_argument("--timeout", type=float, default=5.0, metavar="S")
 
     p_cfg = sub.add_parser(
         "configure", help="run Chen's QoS configuration procedure (Eq. 14-16)"
@@ -582,8 +683,22 @@ def _cmd_live_monitor(args) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    registry = None
+    if args.tenants is not None:
+        from repro.fdaas.tenants import TenantRegistry
+
+        try:
+            registry = TenantRegistry.load(args.tenants)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load tenants config {args.tenants!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.obs == "off" and args.shards == 1:
+            print("--tenants runs SLA enforcement against the rolling QoS "
+                  "estimators; it requires --obs on", file=sys.stderr)
+            return 2
     if args.shards > 1:
-        return _run_sharded_monitor(args, names, params)
+        return _run_sharded_monitor(args, names, params, registry)
 
     async def run() -> int:
         obs = None
@@ -605,24 +720,43 @@ def _cmd_live_monitor(args) -> int:
         monitor.subscribe(
             lambda e: print(f"[{e.time:9.3f}s] {e.peer}/{e.detector}: {e.kind}")
         )
-        server = LiveMonitorServer(
-            monitor,
-            args.host,
-            args.port,
-            tick=args.tick,
-            status_port=args.status_port,
-            ingest_mode=args.ingest_mode,
-        )
+        if registry is not None:
+            from repro.fdaas.service import FdaasServer
+
+            server = FdaasServer(
+                monitor,
+                registry,
+                args.host,
+                args.port,
+                tick=args.tick,
+                status_port=args.status_port,
+                ingest_mode=args.ingest_mode,
+            )
+        else:
+            server = LiveMonitorServer(
+                monitor,
+                args.host,
+                args.port,
+                tick=args.tick,
+                status_port=args.status_port,
+                ingest_mode=args.ingest_mode,
+            )
         async with server:
             host, port = server.address
             print(f"monitoring UDP {host}:{port} (Δi={args.interval}s, "
                   f"detectors: {', '.join(names)})")
+            if registry is not None:
+                print(f"fdaas: {len(registry)} tenant(s) registered, "
+                      "admission + SLA enforcement on")
             if server.status is not None:
                 print(f"status endpoint: TCP {server.status.address[0]}:"
                       f"{server.status.address[1]}")
                 if obs is not None:
                     print("  (send 'metrics' for Prometheus text, 'trace' "
                           "for the heartbeat trace)")
+                if registry is not None:
+                    print("  (send 'events <cursor>' or 'subscribe "
+                          "<cursor>' for fdaas events)")
             try:
                 if args.duration is not None:
                     await asyncio.sleep(args.duration)
@@ -646,7 +780,7 @@ def _cmd_live_monitor(args) -> int:
         return 0
 
 
-def _run_sharded_monitor(args, names, params) -> int:
+def _run_sharded_monitor(args, names, params, registry=None) -> int:
     import asyncio
 
     from repro.live.shard import ShardedMonitor, reuseport_supported
@@ -655,6 +789,15 @@ def _run_sharded_monitor(args, names, params) -> int:
         print(
             "SO_REUSEPORT unavailable on this platform; "
             "running a single monitor process",
+            file=sys.stderr,
+        )
+    if registry is not None:
+        # Workers rebuild their own registries from the picklable config;
+        # admission runs per shard (SLA enforcement + push events are the
+        # single-process FdaasServer's job).
+        print(
+            "fdaas: admission enforced per shard "
+            f"({len(registry)} tenant(s)); SLA enforcement needs --shards 1",
             file=sys.stderr,
         )
 
@@ -675,6 +818,7 @@ def _run_sharded_monitor(args, names, params) -> int:
             transition_retention=args.retain_transitions,
             obs=args.obs == "on",
             trace_sample_every=args.trace_sample,
+            tenants_config=registry.to_config() if registry is not None else None,
         )
         async with sharded:
             host, port = sharded.address
@@ -723,6 +867,14 @@ def _cmd_live_heartbeat(args) -> int:
     if args.jitter > 0 and args.delay <= 0:
         print("--jitter needs a positive --delay", file=sys.stderr)
         return 2
+    auth_key = None
+    if args.auth_key is not None:
+        try:
+            auth_key = bytes.fromhex(args.auth_key)
+        except ValueError:
+            print(f"--auth-key must be hex, got {args.auth_key!r}",
+                  file=sys.stderr)
+            return 2
     delay = (
         LogNormalDelay(log_mu=math.log(args.delay), log_sigma=args.jitter)
         if args.jitter > 0
@@ -743,9 +895,12 @@ def _cmd_live_heartbeat(args) -> int:
             interval=args.interval,
             count=args.count,
             chaos=chaos,
+            tenant=args.tenant,
+            auth_key=auth_key,
         )
+        signed = " (signed)" if auth_key is not None else ""
         print(f"sending heartbeats to {target[0]}:{target[1]} every "
-              f"{args.interval}s as {args.id!r}")
+              f"{args.interval}s as {hb.sender_id!r}{signed}")
         sent = await hb.run()
         print(
             f"sent {sent} heartbeats ({hb.n_dropped} chaos-dropped"
@@ -891,6 +1046,154 @@ def _cmd_live_trace(args) -> int:
             return 0
 
 
+def _cmd_fdaas_register(args) -> int:
+    import os
+    import secrets
+
+    from repro.fdaas.tenants import SLATargets, Tenant, TenantRegistry
+
+    if args.gen_key and args.key is not None:
+        print("--gen-key and --key are mutually exclusive", file=sys.stderr)
+        return 2
+    key = None
+    generated = False
+    if args.gen_key:
+        key = secrets.token_bytes(32)
+        generated = True
+    elif args.key is not None:
+        try:
+            key = bytes.fromhex(args.key)
+        except ValueError:
+            print(f"--key must be hex, got {args.key!r}", file=sys.stderr)
+            return 2
+    sla = None
+    if any(v is not None for v in (args.td, args.tmr, args.tm, args.pa)):
+        try:
+            sla = SLATargets(t_d=args.td, t_mr=args.tmr, t_m=args.tm, p_a=args.pa)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    registry = TenantRegistry()
+    if os.path.exists(args.config):
+        try:
+            registry = TenantRegistry.load(args.config)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load tenants config {args.config!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        tenant = Tenant(
+            tenant_id=args.tenant,
+            key=key,
+            rate=args.rate,
+            burst=args.burst,
+            sla=sla,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    updating = args.tenant in registry
+    registry.register(tenant)
+    registry.save(args.config)
+    action = "updated" if updating else "registered"
+    auth = "authenticated" if tenant.authenticated else "unauthenticated"
+    print(f"{action} tenant {tenant.tenant_id!r} ({auth}) in {args.config}")
+    if generated:
+        print(f"key (hex, also stored in the config): {key.hex()}")
+    return 0
+
+
+def _cmd_fdaas_tenants(args) -> int:
+    import json
+
+    from repro.fdaas.tenants import TenantRegistry
+
+    try:
+        registry = TenantRegistry.load(args.config)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load tenants config {args.config!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    doc = [tenant.as_dict(redact=True) for tenant in registry]
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fdaas_sla(args) -> int:
+    import json
+
+    from repro.live.status import fetch_status
+
+    try:
+        snap = fetch_status(
+            args.host, args.port, timeout=args.timeout, retries=args.retries
+        )
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        return _reach_error(args, exc)
+    sla = snap.get("sla")
+    if sla is None:
+        print(
+            "the endpoint served no SLA block — is the monitor running "
+            "with --tenants (single process)?",
+            file=sys.stderr,
+        )
+        return 1
+    if args.tenant is not None:
+        doc = sla.get("tenants", {}).get(args.tenant)
+        if doc is None:
+            print(f"no SLA registered for tenant {args.tenant!r}",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(json.dumps(sla, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fdaas_subscribe(args) -> int:
+    import asyncio
+    import json
+
+    from repro.fdaas.subscribe import afetch_events, asubscribe_events
+
+    if args.since < 0:
+        print(f"--since must be non-negative, got {args.since}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        if args.once:
+            doc = await afetch_events(
+                args.host, args.port, args.since, timeout=args.timeout
+            )
+            if "events" not in doc:
+                print(
+                    "the endpoint served no events document — is the "
+                    "monitor running with --tenants (single process)?",
+                    file=sys.stderr,
+                )
+                return 1
+            if doc.get("dropped"):
+                print(f"# {doc['dropped']} event(s) aged out of the ring "
+                      "before this fetch", file=sys.stderr)
+            for event in doc.get("events", ()):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        async for event in asubscribe_events(
+            args.host, args.port, args.since, connect_timeout=args.timeout
+        ):
+            print(json.dumps(event, sort_keys=True))
+            sys.stdout.flush()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        setattr(args, "retries", 0)
+        return _reach_error(args, exc)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -940,6 +1243,16 @@ def _dispatch(args) -> int:
         if args.live_command == "trace":
             return _cmd_live_trace(args)
         raise AssertionError(f"unhandled live command {args.live_command}")
+    if args.command == "fdaas":
+        if args.fdaas_command == "register":
+            return _cmd_fdaas_register(args)
+        if args.fdaas_command == "tenants":
+            return _cmd_fdaas_tenants(args)
+        if args.fdaas_command == "sla":
+            return _cmd_fdaas_sla(args)
+        if args.fdaas_command == "subscribe":
+            return _cmd_fdaas_subscribe(args)
+        raise AssertionError(f"unhandled fdaas command {args.fdaas_command}")
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "report":

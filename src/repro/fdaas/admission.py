@@ -1,0 +1,271 @@
+"""The admission screen: what stands between the UDP socket and the monitor.
+
+Every datagram a multi-tenant monitor ingests first passes through an
+:class:`AdmissionController`, which enforces the tenancy policy the
+decoders deliberately do not know about:
+
+1. **Tenancy** — the sender id must be ``tenant/peer`` with a registered
+   tenant (``unnamespaced`` / ``unknown_tenant`` otherwise).
+2. **Authentication** — a keyed tenant's heartbeats must be wire-v2 with
+   an HMAC-SHA256 trailer verifying (constant-time) against the tenant's
+   key (``missing_auth`` / ``bad_tag``).  Keyless tenants are accepted
+   unauthenticated, v1 or v2 alike.
+3. **Replay** — for keyed tenants, the verified sequence number must
+   advance a per-sender high-water mark; re-delivering a captured
+   datagram is rejected (``replayed``).  Only *verified* beats move the
+   mark, so an attacker cannot wedge a peer by forging high sequence
+   numbers.  (Unkeyed tenants skip this: without authentication, replay
+   rejection adds no security and would double-drop benign UDP
+   duplicates, which the monitor's own stale-beat handling already
+   absorbs with correct accounting.)
+4. **Rate limiting** — one token bucket per tenant (``rate_limited``).
+
+*Malformed* datagrams are not screened: they pass through (``admit``
+returns ``True``) and the monitor rejects them itself, keeping the
+monitor the single authority on malformed counts — with reason and
+source attribution — in every deployment, fdaas or not.  The controller
+counts them separately as ``n_malformed_passthrough`` so the admission
+stats reconcile with the monitor's.
+
+The controller is synchronous, allocation-light, and shared by all three
+ingest modes; :meth:`filter_arena` screens a zero-copy arena in place
+(compacting surviving slots) so the vectorized path never materializes
+per-datagram ``bytes``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, Optional
+
+from repro.fdaas.tenants import Tenant, TenantRegistry, TokenBucket, split_peer
+from repro.live.wire import (
+    AUTH_VERSION,
+    WireError,
+    decode_fields,
+    decode_fields_from,
+    verify_tag,
+    wire_version,
+)
+
+__all__ = ["ADMIT_REJECT_REASONS", "AdmissionController"]
+
+logger = logging.getLogger(__name__)
+
+#: Machine-readable admission reject reasons (disjoint from the wire
+#: layer's :data:`repro.live.wire.REJECT_REASONS` — admission only ever
+#: drops *well-formed* datagrams).
+ADMIT_REJECT_REASONS = (
+    "unnamespaced",
+    "unknown_tenant",
+    "missing_auth",
+    "bad_tag",
+    "replayed",
+    "rate_limited",
+)
+
+
+class AdmissionController:
+    """Screens decoded-valid datagrams against a :class:`TenantRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The tenant policy source.  Looked up live on every datagram, so
+        tenants registered after construction take effect immediately.
+    clock:
+        Monotonic clock for token-bucket refills (injectable for tests).
+    observability:
+        Optional :class:`repro.obs.Observability`; when given, admission
+        decisions are exported as ``repro_fdaas_admitted_total{tenant}``
+        and ``repro_fdaas_rejected_total{tenant,reason}`` counters.
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        *,
+        clock=time.monotonic,
+        observability=None,
+    ) -> None:
+        self._registry = registry
+        self._clock = clock
+        # Verified-seq high-water per namespaced sender (keyed tenants only).
+        self._last_seq: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.n_admitted = 0
+        self.n_rejected = 0
+        self.n_malformed_passthrough = 0
+        self.reject_reasons: Dict[str, int] = {}
+        #: per-tenant {"admitted": n, "rejected": {reason: n}}; rejects that
+        #: cannot be attributed to a registered tenant land under "".
+        self.per_tenant: Dict[str, dict] = {}
+        self.last_reject: Optional[dict] = None
+        self._m_admitted = None
+        self._m_rejected = None
+        if observability is not None:
+            self._bind_obs(observability)
+
+    # ------------------------------------------------------------------
+    # Datagram screening
+    # ------------------------------------------------------------------
+    def admit(self, data, addr=None, now: float | None = None) -> bool:
+        """``True`` if the monitor should ingest ``data``.
+
+        Malformed datagrams are admitted (the monitor owns malformed
+        accounting); only well-formed datagrams failing the tenancy,
+        authentication, replay, or rate policy are dropped here.
+        """
+        try:
+            sender, seq, _ = decode_fields(data)
+        except WireError:
+            self.n_malformed_passthrough += 1
+            return True
+        return self._screen(data, sender, seq, addr, now)
+
+    def _screen(self, data, sender: str, seq: int, addr, now) -> bool:
+        tenant_id, _peer = split_peer(sender)
+        if tenant_id is None:
+            return self._reject("", "unnamespaced", sender, addr)
+        tenant = self._registry.get(tenant_id)
+        if tenant is None:
+            return self._reject("", "unknown_tenant", sender, addr)
+        if tenant.key is not None:
+            if wire_version(data) != AUTH_VERSION:
+                return self._reject(tenant_id, "missing_auth", sender, addr)
+            if not verify_tag(data, tenant.key):
+                return self._reject(tenant_id, "bad_tag", sender, addr)
+            # Replay screen: only tag-verified beats move the high-water
+            # mark, so forgeries cannot advance (or wedge) it.
+            high = self._last_seq.get(sender, 0)
+            if seq <= high:
+                return self._reject(tenant_id, "replayed", sender, addr)
+            self._last_seq[sender] = seq
+        if tenant.rate is not None and not self._bucket(tenant).allow(
+            self._clock() if now is None else now
+        ):
+            return self._reject(tenant_id, "rate_limited", sender, addr)
+        self.n_admitted += 1
+        self._tenant_stats(tenant_id)["admitted"] += 1
+        return True
+
+    def _bucket(self, tenant: Tenant) -> TokenBucket:
+        bucket = self._buckets.get(tenant.tenant_id)
+        if bucket is None or bucket.rate != tenant.rate or bucket.burst != tenant.burst:
+            bucket = TokenBucket(tenant.rate, tenant.burst, now=self._clock())
+            self._buckets[tenant.tenant_id] = bucket
+        return bucket
+
+    def _tenant_stats(self, tenant_id: str) -> dict:
+        stats = self.per_tenant.get(tenant_id)
+        if stats is None:
+            stats = {"admitted": 0, "rejected": {}}
+            self.per_tenant[tenant_id] = stats
+        return stats
+
+    def _reject(self, tenant_id: str, reason: str, sender: str, addr) -> bool:
+        self.n_rejected += 1
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        rejected = self._tenant_stats(tenant_id)["rejected"]
+        rejected[reason] = rejected.get(reason, 0) + 1
+        source = f"{addr[0]}:{addr[1]}" if addr is not None else None
+        self.last_reject = {
+            "reason": reason,
+            "tenant": tenant_id or None,
+            "sender": sender,
+            "source": source,
+        }
+        logger.warning(
+            "admission rejected heartbeat from %s (%s): %s",
+            sender,
+            source or "unknown source",
+            reason,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Arena screening (vectorized zero-copy path)
+    # ------------------------------------------------------------------
+    def filter_arena(self, arena) -> int:
+        """Screen an arena's last drain in place; returns datagrams dropped.
+
+        Surviving slots (including malformed ones — the monitor counts
+        those) are compacted to the front of the arena so the vectorized
+        ingest sees a dense prefix, exactly as if the dropped datagrams
+        had never arrived.  The arena path has no per-datagram source
+        addresses (``recv_into`` cannot report them), so rejects here
+        carry tenant and reason but no source.
+        """
+        fill = arena.last_fill
+        if fill == 0:
+            return 0
+        buffer = arena.buffer
+        lengths = arena.lengths
+        slot = arena.slot_bytes
+        keep = 0
+        dropped = 0
+        for i in range(fill):
+            length = lengths[i]
+            try:
+                sender, seq, _ = decode_fields_from(buffer, i * slot, length)
+            except WireError:
+                self.n_malformed_passthrough += 1
+                admit = True
+            else:
+                admit = self._screen(arena.datagram(i), sender, seq, None, None)
+            if not admit:
+                dropped += 1
+                continue
+            if keep != i:
+                src = i * slot
+                dst = keep * slot
+                buffer[dst : dst + length] = buffer[src : src + length]
+                lengths[keep] = length
+            keep += 1
+        arena.last_fill = keep
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot block for the status endpoint (`"admission"` key)."""
+        return {
+            "n_admitted": self.n_admitted,
+            "n_rejected": self.n_rejected,
+            "n_malformed_passthrough": self.n_malformed_passthrough,
+            "reject_reasons": dict(self.reject_reasons),
+            "tenants": {
+                tid: {
+                    "admitted": stats["admitted"],
+                    "rejected": dict(stats["rejected"]),
+                }
+                for tid, stats in self.per_tenant.items()
+            },
+            "last_reject": self.last_reject,
+        }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _bind_obs(self, observability) -> None:
+        reg = observability.registry
+        self._m_admitted = reg.counter(
+            "repro_fdaas_admitted_total",
+            "Heartbeats admitted to the monitor, by tenant.",
+            ("tenant",),
+        )
+        self._m_rejected = reg.counter(
+            "repro_fdaas_rejected_total",
+            "Heartbeats dropped by the admission screen, by tenant and reason.",
+            ("tenant", "reason"),
+        )
+        reg.add_collect_hook(self._obs_collect)
+
+    def _obs_collect(self) -> None:
+        for tid, stats in self.per_tenant.items():
+            label = tid or "unknown"
+            self._m_admitted.labels(label).set_total(stats["admitted"])
+            for reason, count in stats["rejected"].items():
+                self._m_rejected.labels(label, reason).set_total(count)

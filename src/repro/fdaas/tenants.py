@@ -1,0 +1,255 @@
+"""Tenant registration for the FDaaS control plane.
+
+A *tenant* is one application sharing the monitor (the paper's §V: many
+applications, one heartbeat stream).  Each tenant registers:
+
+- an optional **HMAC key**: when present, the tenant's heartbeats must be
+  wire-v2 datagrams whose trailer verifies against it (spoofed or
+  replayed beats are rejected by the admission layer); without a key the
+  tenant is *unauthenticated* and plain v1 datagrams are accepted;
+- an optional **rate limit**: a token bucket (``rate`` heartbeats/second
+  sustained, ``burst`` capacity) shared by all the tenant's peers;
+- optional **SLA targets** (:class:`SLATargets`): the QoS bounds the
+  service enforces live for this tenant (see :mod:`repro.fdaas.sla`).
+
+Peers are namespaced ``tenant/peer`` on the wire — the sender id carries
+the tenancy, so one monitor isolates many applications without a second
+channel.  ``tenant`` ids therefore must not contain ``/``; everything
+after the first ``/`` is the tenant's own peer name.
+
+The registry round-trips through a JSON-able config dict (keys
+hex-encoded) so it can be persisted by ``repro-fd fdaas register``,
+shipped to SO_REUSEPORT shard workers as a picklable dict, and loaded by
+``repro-fd live monitor --tenants``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+__all__ = [
+    "SLATargets",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "namespaced",
+    "split_peer",
+]
+
+
+def namespaced(tenant_id: str, peer: str) -> str:
+    """The wire sender id of ``peer`` owned by ``tenant_id``."""
+    if not tenant_id or "/" in tenant_id:
+        raise ValueError(f"invalid tenant id {tenant_id!r}")
+    if not peer:
+        raise ValueError("peer name must be non-empty")
+    return f"{tenant_id}/{peer}"
+
+
+def split_peer(sender: str) -> Tuple[str | None, str]:
+    """``tenant/peer`` → ``(tenant, peer)``; unnamespaced → ``(None, sender)``."""
+    tenant_id, sep, peer = sender.partition("/")
+    if not sep or not tenant_id or not peer:
+        return None, sender
+    return tenant_id, peer
+
+
+@dataclass(frozen=True)
+class SLATargets:
+    """Per-tenant QoS bounds, in the paper's §II metric vocabulary.
+
+    ``t_d``, ``t_mr`` and ``t_m`` are *upper* bounds (T_D^U, T_MR^U,
+    T_M^U: seconds, mistakes/second, seconds).  ``p_a`` is a *lower*
+    bound on query accuracy: P_A is "probability the detector is correct
+    when queried" — more is better, so the enforceable bound is a floor.
+    (The service-level contract of §V-B specifies the same four knobs.)
+    Any field may be ``None`` (not enforced).
+    """
+
+    t_d: float | None = None
+    t_mr: float | None = None
+    t_m: float | None = None
+    p_a: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("t_d", "t_mr", "t_m", "p_a"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} target must be finite and >= 0, got {value}")
+        if self.p_a is not None and self.p_a > 1.0:
+            raise ValueError(f"p_a is a probability bound, got {self.p_a}")
+
+    @property
+    def enforced(self) -> bool:
+        return any(
+            getattr(self, name) is not None for name in ("t_d", "t_mr", "t_m", "p_a")
+        )
+
+    def as_dict(self) -> dict:
+        return {"t_d": self.t_d, "t_mr": self.t_mr, "t_m": self.t_m, "p_a": self.p_a}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SLATargets":
+        return cls(
+            t_d=doc.get("t_d"),
+            t_mr=doc.get("t_mr"),
+            t_m=doc.get("t_m"),
+            p_a=doc.get("p_a"),
+        )
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Monotonic-clock based and allocation-free per decision; one instance
+    guards one tenant's aggregate heartbeat rate.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, *, now: float | None = None):
+        if not (rate > 0 and math.isfinite(rate)):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        if not (burst >= 1 and math.isfinite(burst)):
+            raise ValueError(f"burst must be >= 1 and finite, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = time.monotonic() if now is None else now
+
+    def allow(self, now: float | None = None) -> bool:
+        """Spend one token if available; refills lazily from elapsed time."""
+        if now is None:
+            now = time.monotonic()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One registered application: identity, credentials, limits, targets."""
+
+    tenant_id: str
+    key: bytes | None = None
+    rate: float | None = None
+    burst: float | None = None
+    sla: SLATargets | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id or "/" in self.tenant_id:
+            raise ValueError(
+                f"tenant id must be non-empty and '/'-free, got {self.tenant_id!r}"
+            )
+        if len(self.tenant_id.encode("utf-8")) > 128:
+            raise ValueError("tenant id exceeds 128 UTF-8 bytes")
+        if self.key is not None and len(self.key) < 8:
+            raise ValueError("tenant keys must be at least 8 bytes")
+        if self.rate is not None and not (self.rate > 0 and math.isfinite(self.rate)):
+            raise ValueError(f"rate must be positive and finite, got {self.rate}")
+        if self.rate is not None:
+            burst = self.burst if self.burst is not None else max(2.0 * self.rate, 1.0)
+            object.__setattr__(self, "burst", float(burst))
+        elif self.burst is not None:
+            raise ValueError("burst without rate is meaningless")
+
+    @property
+    def authenticated(self) -> bool:
+        return self.key is not None
+
+    def bucket(self) -> TokenBucket | None:
+        return TokenBucket(self.rate, self.burst) if self.rate is not None else None
+
+    def as_dict(self, *, redact: bool = False) -> dict:
+        """JSON-able form; ``redact=True`` replaces the key with a marker."""
+        if self.key is None:
+            key: str | None = None
+        else:
+            key = "<redacted>" if redact else self.key.hex()
+        return {
+            "tenant_id": self.tenant_id,
+            "key": key,
+            "rate": self.rate,
+            "burst": self.burst,
+            "sla": self.sla.as_dict() if self.sla is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Tenant":
+        key = doc.get("key")
+        sla = doc.get("sla")
+        return cls(
+            tenant_id=doc["tenant_id"],
+            key=bytes.fromhex(key) if key else None,
+            rate=doc.get("rate"),
+            burst=doc.get("burst"),
+            sla=SLATargets.from_dict(sla) if sla else None,
+        )
+
+
+class TenantRegistry:
+    """The set of registered tenants; the admission layer's policy source."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Add or replace one tenant (re-registration updates in place)."""
+        self._tenants[tenant.tenant_id] = tenant
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant | None:
+        return self._tenants.get(tenant_id)
+
+    def remove(self, tenant_id: str) -> bool:
+        return self._tenants.pop(tenant_id, None) is not None
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    # ------------------------------------------------------------------
+    # Config round-trip (JSON file on disk, picklable dict to shards)
+    # ------------------------------------------------------------------
+    def to_config(self) -> dict:
+        return {
+            "version": 1,
+            "tenants": [t.as_dict() for t in self._tenants.values()],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "TenantRegistry":
+        if config.get("version") != 1:
+            raise ValueError(
+                f"unsupported tenants config version {config.get('version')!r}"
+            )
+        registry = cls()
+        for doc in config.get("tenants", []):
+            registry.register(Tenant.from_dict(doc))
+        return registry
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_config(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "TenantRegistry":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_config(json.load(fh))

@@ -9,13 +9,13 @@ a socket's receive queue; downstream consumers see ``memoryview`` slices
 per-datagram lengths) and never copy the payload.
 
 Slot sizing: the largest *valid* heartbeat is
-``wire.MAX_DATAGRAM_BYTES`` (277 bytes: 22 bytes of framing plus a
-255-byte sender id).  Slots are one byte larger, so any datagram that
-``recv_into`` truncates to the slot size was at least ``278 > 277`` bytes
-on the wire — longer than any valid heartbeat, and therefore rejected by
-the wire layer's length check exactly as the copying path would reject the
-full payload.  Truncation consequently never masks a valid heartbeat and
-never changes an accept/reject verdict.
+``wire.MAX_DATAGRAM_BYTES`` (309 bytes: 22 bytes of framing, a 255-byte
+sender id, and the version-2 HMAC trailer).  Slots are one byte larger, so
+any datagram that ``recv_into`` truncates to the slot size was at least
+``310 > 309`` bytes on the wire — longer than any valid heartbeat, and
+therefore rejected by the wire layer's length check exactly as the copying
+path would reject the full payload.  Truncation consequently never masks a
+valid heartbeat and never changes an accept/reject verdict.
 """
 
 from __future__ import annotations

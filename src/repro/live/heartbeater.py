@@ -49,6 +49,15 @@ class Heartbeater:
         Stop after this many heartbeat slots (None = until ``stop()``).
     chaos:
         Fault injection; default no loss, no delay, perfect clock, no crash.
+    tenant:
+        Optional fdaas tenant id; when given, the wire sender id becomes
+        ``tenant/sender_id`` (the namespacing a multi-tenant monitor's
+        admission layer requires — see :mod:`repro.fdaas.tenants`).
+    auth_key:
+        Optional per-tenant HMAC key; when given, heartbeats are emitted
+        as wire-v2 datagrams with an HMAC-SHA256 trailer
+        (:meth:`~repro.live.wire.Heartbeat.encode_signed`) instead of
+        plain v1.
     clock:
         Monotonic time source (injectable for tests).
     obs:
@@ -68,14 +77,21 @@ class Heartbeater:
         interval: float,
         count: int | None = None,
         chaos: ChaosSpec | None = None,
+        tenant: str | None = None,
+        auth_key: bytes | None = None,
         clock: Callable[[], float] = time.monotonic,
         obs: Observability | None = None,
     ):
         ensure_positive(interval, "interval")
         if count is not None and count < 1:
             raise ValueError(f"count must be positive, got {count}")
+        if tenant is not None:
+            from repro.fdaas.tenants import namespaced
+
+            sender_id = namespaced(tenant, sender_id)
         self._target = target
         self._sender_id = sender_id
+        self._auth_key = auth_key
         self._interval = float(interval)
         self._count = count
         self._chaos = chaos or ChaosSpec()
@@ -168,11 +184,15 @@ class Heartbeater:
                         pass
                 self.n_sent += 1
                 timestamp = link.sender_clock(self._clock())
-                payload = Heartbeat(
+                beat = Heartbeat(
                     sender=self._sender_id,
                     seq=k,
                     timestamp=timestamp,
-                ).encode()
+                )
+                if self._auth_key is not None:
+                    payload = beat.encode_signed(self._auth_key)
+                else:
+                    payload = beat.encode()
                 fate = link.fate()
                 tracer = self._tracer
                 if tracer is not None and tracer.wants(k):

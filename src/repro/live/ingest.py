@@ -75,7 +75,15 @@ from repro.detectors.bertier import BertierFailureDetector
 from repro.detectors.chen import ChenFailureDetector
 from repro.detectors.exponential import EDFailureDetector
 from repro.detectors.timeout import FixedTimeoutFailureDetector
-from repro.live.wire import MAGIC, VERSION, WireError, decode_fields, decode_fields_from
+from repro.live.wire import (
+    AUTH_TAG_BYTES,
+    AUTH_VERSION,
+    MAGIC,
+    VERSION,
+    WireError,
+    decode_fields,
+    decode_fields_from,
+)
 
 __all__ = [
     "VECTOR_SUPPORTED_KINDS",
@@ -304,6 +312,10 @@ class VectorizedIngestEngine:
 
     is_columnar = True
 
+    #: Original batch row indices the last ingest call rejected (wire- or
+    #: UTF-8-invalid) — the monitor's reject-attribution hook.
+    last_bad_rows: "List[int] | tuple" = ()
+
     def __init__(self, monitor, probe_detectors: Mapping[str, object]):
         self._mon = monitor
         self._interval = float(monitor.interval)
@@ -398,10 +410,13 @@ class VectorizedIngestEngine:
         Returns ``(oidx, soff, slen, seq, ts, n_bad)``: original row
         indices of wire-valid datagrams, their sender-id byte ranges, and
         native seq/timestamp columns.  Validity check for check the scalar
-        decoder's (magic, version, exact length — truncation and trailing
-        garbage both fail it — sender non-empty, seq ≥ 1, finite
-        timestamp); UTF-8 of the sender id is established later, on the
-        cached sender-bytes lookup.  ``n_bad`` counts rows rejected here.
+        decoder's (magic, version 1 or 2, exact length — truncation and
+        trailing garbage both fail it; version 2 implies the HMAC trailer's
+        extra bytes — sender non-empty, seq ≥ 1, finite timestamp); UTF-8
+        of the sender id is established later, on the cached sender-bytes
+        lookup.  ``n_bad`` counts rows rejected here; their original row
+        indices land in :attr:`last_bad_rows` via ``_ingest_columnar`` so
+        the monitor can attribute a reject reason per row.
         """
         n = int(lens.shape[0])
         i0 = np.flatnonzero(lens >= _HEAD_SIZE)
@@ -409,15 +424,20 @@ class VectorizedIngestEngine:
             o = offs[i0]
             head = buf[o[:, None] + np.arange(_HEAD_SIZE)]
             m = self._MAGIC_BYTES
+            version = head[:, 4]
             good = (
                 (head[:, 0] == m[0])
                 & (head[:, 1] == m[1])
                 & (head[:, 2] == m[2])
                 & (head[:, 3] == m[3])
-                & (head[:, 4] == VERSION)
+                & ((version == VERSION) | (version == AUTH_VERSION))
             )
             slen = head[:, 5].astype(np.int64)
-            good &= lens[i0] == _HEAD_SIZE + slen + _BODY_SIZE
+            expected = _HEAD_SIZE + slen + _BODY_SIZE
+            expected = expected + np.where(
+                version == AUTH_VERSION, AUTH_TAG_BYTES, 0
+            )
+            good &= lens[i0] == expected
             good &= slen > 0
             i1 = i0[good]
         else:
@@ -451,6 +471,7 @@ class VectorizedIngestEngine:
         """
         n = len(datagrams)
         if n == 0:
+            self.last_bad_rows = []
             return 0, 0, 0, 0, None
         raw = b"".join(datagrams)
         buf = np.frombuffer(raw, dtype=np.uint8)
@@ -471,6 +492,7 @@ class VectorizedIngestEngine:
         (for the peer lookup) are ever materialized."""
         k = arena.last_fill
         if k == 0:
+            self.last_bad_rows = []
             return 0, 0, 0, 0, None
         buf = np.frombuffer(arena.buffer, dtype=np.uint8)
         offs = np.arange(k, dtype=np.int64) * arena.slot_bytes
@@ -484,6 +506,17 @@ class VectorizedIngestEngine:
         """
         oidx, soff, slen, seq, ts, n_bad_wire = self._decode(buf, offs, lens)
         k = int(oidx.shape[0])
+        # Rows the columnar decode rejected, by original batch index — the
+        # monitor re-decodes just these through the scalar path to attribute
+        # a per-reason (and per-address) reject count.  Rejects are rare, so
+        # the scalar re-decode never touches the hot path.
+        if n_bad_wire:
+            keep = np.zeros(int(lens.shape[0]), dtype=bool)
+            keep[oidx] = True
+            bad_rows_orig = np.flatnonzero(~keep).tolist()
+        else:
+            bad_rows_orig = []
+        self.last_bad_rows = bad_rows_orig
         if k == 0:
             return 0, 0, 0, n_bad_wire, None
         arr = arrivals[oidx] if arrivals is not None else None
@@ -540,6 +573,10 @@ class VectorizedIngestEngine:
             n_good += 1
         self._serial = serial
         n_bad_utf8 = len(bad_rows)
+        if n_bad_utf8:
+            self.last_bad_rows = sorted(
+                bad_rows_orig + [int(x) for x in oidx[bad_rows]]
+            )
         if n_good == 0:
             return 0, 0, 0, n_bad_wire + n_bad_utf8, None
         pidx_all = np.array(pidx_l, dtype=np.intp)
@@ -949,6 +986,9 @@ class ArrayIngestEngine:
 
     is_columnar = False
 
+    #: Original batch row indices the last ingest call rejected.
+    last_bad_rows: "List[int] | tuple" = ()
+
     def __init__(self, monitor, probe_detectors: Mapping[str, object]):
         self._mon = monitor
         self._interval = float(monitor.interval)
@@ -984,12 +1024,14 @@ class ArrayIngestEngine:
         last_arrival = None
         arr_iter = iter(arrivals) if arrivals is not None else None
         n_dec = 0
-        for data in datagrams:
+        self.last_bad_rows = bad_rows = []
+        for i, data in enumerate(datagrams):
             a = next(arr_iter) if arr_iter is not None else now
             try:
                 sender, seq, ts = decode_fields(data)
             except WireError:
                 n_bad += 1
+                bad_rows.append(i)
                 continue
             n_dec += 1
             last_arrival = a
@@ -1007,11 +1049,13 @@ class ArrayIngestEngine:
         buffer = arena.buffer
         slot = arena.slot_bytes
         lengths = arena.lengths
+        self.last_bad_rows = bad_rows = []
         for i in range(arena.last_fill):
             try:
                 sender, seq, ts = decode_fields_from(buffer, i * slot, lengths[i])
             except WireError:
                 n_bad += 1
+                bad_rows.append(i)
                 continue
             n_dec += 1
             last_arrival = now

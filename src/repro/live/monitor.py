@@ -50,7 +50,12 @@ from repro.core.arrivalstats import SharedArrivalState
 from repro.core.base import HeartbeatFailureDetector
 from repro.detectors.registry import make_tuned
 from repro.live.status import SNAPSHOT_SCHEMA_VERSION, StatusServer, structured
-from repro.live.wire import Heartbeat, WireError, decode_fields
+from repro.live.wire import (
+    Heartbeat,
+    WireError,
+    decode_fields,
+    decode_fields_from,
+)
 from repro.obs.metrics import log_buckets
 from repro.obs.runtime import Observability
 from repro.qos.timeline import OutputTimeline
@@ -422,6 +427,13 @@ class LiveMonitor:
         self._events = _EventLog(max_events)
         self._rate = _RateMeter()
         self.n_malformed = 0
+        # Reject attribution (malformed datagrams): per-reason counts keyed
+        # by WireError.reason, per-source counts keyed by "host:port" (a
+        # bounded map — beyond _MAX_REJECT_SOURCES distinct sources the
+        # remainder aggregates under "other"), and the last reject seen.
+        self.reject_reasons: Dict[str, int] = {}
+        self.reject_sources: Dict[str, int] = {}
+        self.last_reject: dict | None = None
         self.n_polls = 0
         self.n_batches = 0
         # Monitor-level ingest totals (the per-peer counters' sum, kept
@@ -485,6 +497,11 @@ class LiveMonitor:
         self._m_malformed = reg.counter(
             "repro_datagrams_malformed_total",
             "Datagrams dropped by the wire decoder.",
+        )
+        self._m_rejected = reg.counter(
+            "repro_datagrams_rejected_total",
+            "Wire-decoder rejects broken down by reason code.",
+            ("reason",),
         )
         self._m_events = reg.counter(
             "repro_events_total",
@@ -585,6 +602,8 @@ class LiveMonitor:
         self._m_accepted.set_total(totals["accepted"])
         self._m_stale.set_total(totals["stale"])
         self._m_malformed.set_total(totals["malformed"])
+        for reason, count in self.reject_reasons.items():
+            self._m_rejected.labels(reason).set_total(count)
         self._m_events.set_total(totals["transitions"])
         self._m_events_dropped.set_total(totals["events_dropped"])
         self._m_listener_errors.set_total(totals["listener_errors"])
@@ -778,12 +797,42 @@ class LiveMonitor:
             logger.info(structured("peer-discovered", peer=sender, arrival=arrival))
         return state
 
-    def ingest(self, data: bytes, arrival: float | None = None) -> Heartbeat | None:
+    #: Distinct reject source addresses tracked exactly; the rest aggregate
+    #: under the ``"other"`` key so a spoofing flood cannot grow the map.
+    _MAX_REJECT_SOURCES = 32
+
+    def _count_reject(
+        self, reason: str, addr=None, arrival: float | None = None
+    ) -> None:
+        """Attribute one malformed-datagram reject (reason + source address).
+
+        Does *not* touch ``n_malformed`` — callers keep their existing
+        (batch-level) malformed accounting; this adds the breakdown only.
+        """
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        source = f"{addr[0]}:{addr[1]}" if addr is not None else None
+        if source is not None:
+            sources = self.reject_sources
+            if source in sources or len(sources) < self._MAX_REJECT_SOURCES:
+                sources[source] = sources.get(source, 0) + 1
+            else:
+                sources["other"] = sources.get("other", 0) + 1
+        self.last_reject = {
+            "reason": reason,
+            "source": source,
+            "time": self.now() if arrival is None else arrival,
+        }
+
+    def ingest(
+        self, data: bytes, arrival: float | None = None, *, addr=None
+    ) -> Heartbeat | None:
         """Feed one raw datagram; returns the heartbeat if it decoded.
 
         ``arrival`` is the receipt instant on the monitor clock (relative
-        to the monitor epoch); defaults to now.  Malformed datagrams are
-        counted, logged, and dropped — never raised.
+        to the monitor epoch); defaults to now.  ``addr`` is the source
+        ``(host, port)`` when the transport knows it — used only to
+        attribute rejects.  Malformed datagrams are counted, logged, and
+        dropped — never raised.
         """
         if arrival is None:
             arrival = self.now()
@@ -797,7 +846,12 @@ class LiveMonitor:
             engine.finish_batch()
             if n_bad:
                 self.n_malformed += 1
-                logger.debug("dropping malformed datagram (vectorized path)")
+                reason = self._reject_reason(data)
+                self._count_reject(reason, addr, arrival)
+                logger.debug(
+                    "dropping malformed datagram from %s (vectorized path): %s",
+                    addr, reason,
+                )
                 return None
             self._rate.update(arrival)
             self.n_received_total += 1
@@ -808,7 +862,8 @@ class LiveMonitor:
             hb = Heartbeat.decode(data)
         except WireError as exc:
             self.n_malformed += 1
-            logger.debug("dropping malformed datagram: %s", exc)
+            self._count_reject(exc.reason, addr, arrival)
+            logger.debug("dropping malformed datagram from %s: %s", addr, exc)
             return None
         self._rate.update(arrival)
         self.n_received_total += 1
@@ -868,10 +923,20 @@ class LiveMonitor:
         self._drain(hb.sender, state)
         return hb
 
+    @staticmethod
+    def _reject_reason(data) -> str:
+        """Re-run the scalar decoder on a known-bad datagram for its reason."""
+        try:
+            decode_fields(data)
+        except WireError as exc:
+            return exc.reason
+        return "malformed"  # pragma: no cover - engines reject a superset
+
     def ingest_many(
         self,
         datagrams: Sequence[bytes],
         arrivals: Sequence[float] | None = None,
+        addrs: Sequence | None = None,
     ) -> int:
         """Decode and dispatch a whole socket drain in one call.
 
@@ -885,32 +950,40 @@ class LiveMonitor:
         transition.  ``arrivals`` gives the per-datagram receipt instants
         (monitor clock, non-decreasing); when omitted, the whole batch is
         stamped ``now()`` — the right call for datagrams drained from a
-        socket buffer in one go.  Returns the number of datagrams that
-        decoded (malformed ones are counted, never raised).
+        socket buffer in one go.  ``addrs`` gives per-datagram source
+        addresses for reject attribution (optional, alignment-checked).
+        Returns the number of datagrams that decoded (malformed ones are
+        counted, never raised).
         """
         n = len(datagrams)
         if arrivals is not None and len(arrivals) != n:
             raise ValueError(
                 f"got {n} datagrams but {len(arrivals)} arrivals"
             )
+        if addrs is not None and len(addrs) != n:
+            raise ValueError(f"got {n} datagrams but {len(addrs)} addrs")
         if self._engine is not None:
-            return self._ingest_vectorized(datagrams, arrivals, n)
+            return self._ingest_vectorized(datagrams, arrivals, n, addrs)
         if self._ingest_mode == "scalar":
             # The per-datagram reference: semantics of calling ingest()
             # in a loop, batch accounting (n_batches etc.) excluded.
             n_dec = 0
+            if addrs is None:
+                addrs = repeat(None, n)
             if arrivals is None:
                 now = self.now()
-                for data in datagrams:
-                    if self.ingest(data, now) is not None:
+                for data, addr in zip(datagrams, addrs):
+                    if self.ingest(data, now, addr=addr) is not None:
                         n_dec += 1
             else:
-                for data, arrival in zip(datagrams, arrivals):
-                    if self.ingest(data, arrival) is not None:
+                for data, arrival, addr in zip(datagrams, arrivals, addrs):
+                    if self.ingest(data, arrival, addr=addr) is not None:
                         n_dec += 1
             return n_dec
         if arrivals is None:
             arrivals = repeat(self.now(), n)
+        if addrs is None:
+            addrs = repeat(None, n)
         # Hot loop: everything the scalar path re-resolves per datagram
         # is hoisted to a local once per batch.
         decode = decode_fields
@@ -925,11 +998,12 @@ class LiveMonitor:
         n_acc = 0
         n_stl = 0
         last_arrival: float | None = None
-        for data, arrival in zip(datagrams, arrivals):
+        for data, arrival, addr in zip(datagrams, arrivals, addrs):
             try:
                 sender, seq, timestamp = decode(data)
-            except WireError:
+            except WireError as exc:
                 n_bad += 1
+                self._count_reject(exc.reason, addr, arrival)
                 continue
             last_arrival = arrival
             if tracer is not None and tracer.wants(seq):
@@ -1128,13 +1202,21 @@ class LiveMonitor:
             self._m_batch_hist.observe(n)
         return n_dec
 
-    def _ingest_vectorized(self, datagrams, arrivals, n: int) -> int:
+    def _ingest_vectorized(self, datagrams, arrivals, n: int, addrs=None) -> int:
         engine = self._engine
         now = self.now() if arrivals is None else None
         n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_datagrams(
             datagrams, arrivals, now
         )
         engine.finish_batch()
+        if n_bad:
+            # Rejects are rare; attribute each through the scalar decoder.
+            for row in engine.last_bad_rows:
+                self._count_reject(
+                    self._reject_reason(datagrams[row]),
+                    addrs[row] if addrs is not None else None,
+                    arrivals[row] if arrivals is not None else now,
+                )
         return self._account_batch(n, n_dec, n_acc, n_stl, n_bad, last_arrival)
 
     def ingest_arena(self, arena) -> int:
@@ -1155,10 +1237,23 @@ class LiveMonitor:
         engine = self._engine
         if engine is None:
             return self.ingest_many(arena.datagrams())
+        now = self.now()
         n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_arena(
-            arena, self.now()
+            arena, now
         )
         engine.finish_batch()
+        if n_bad:
+            # The arena drains via recv_into, which cannot report source
+            # addresses; rejects here carry a reason but no source.
+            buffer = arena.buffer
+            slot = arena.slot_bytes
+            for row in engine.last_bad_rows:
+                try:
+                    decode_fields_from(buffer, row * slot, arena.lengths[row])
+                except WireError as exc:
+                    self._count_reject(exc.reason, None, now)
+                else:  # pragma: no cover - engines reject a superset
+                    self._count_reject("malformed", None, now)
         return self._account_batch(k, n_dec, n_acc, n_stl, n_bad, last_arrival)
 
     def poll(self, now: float | None = None) -> List[LiveEvent]:
@@ -1304,6 +1399,9 @@ class LiveMonitor:
         return {
             "n_peers": len(self._peers),
             "counters": self._counter_totals(),
+            "reject_reasons": dict(self.reject_reasons),
+            "reject_sources": dict(self.reject_sources),
+            "last_reject": self.last_reject,
             "poll_mode": self._poll_mode,
             "estimation": self._estimation,
             "ingest_mode": self._ingest_mode,
@@ -1417,13 +1515,22 @@ class LiveMonitor:
 
 
 class _MonitorProtocol(asyncio.DatagramProtocol):
-    """Datagram glue: stamp the arrival and hand off to the engine."""
+    """Datagram glue: stamp the arrival and hand off to the engine.
 
-    def __init__(self, monitor: LiveMonitor):
+    With an admission controller attached, every datagram is screened
+    first — spoofed/replayed/over-limit beats are dropped (and counted by
+    the controller) before the monitor ever sees them; malformed ones pass
+    through so the monitor stays the single authority on malformed counts.
+    """
+
+    def __init__(self, monitor: LiveMonitor, admission=None):
         self._monitor = monitor
+        self._admission = admission
 
     def datagram_received(self, data: bytes, addr) -> None:  # pragma: no cover - thin
-        self._monitor.ingest(data)
+        admission = self._admission
+        if admission is None or admission.admit(data, addr):
+            self._monitor.ingest(data, addr=addr)
 
 
 class _BatchedMonitorProtocol(asyncio.DatagramProtocol):
@@ -1437,15 +1544,16 @@ class _BatchedMonitorProtocol(asyncio.DatagramProtocol):
     as one batch — per-datagram Python overhead collapses to one append.
     """
 
-    def __init__(self, monitor: LiveMonitor):
+    def __init__(self, monitor: LiveMonitor, admission=None):
         self._monitor = monitor
-        self._buffer: List[bytes] = []
+        self._admission = admission
+        self._buffer: List[tuple] = []
         self._flush_scheduled = False
         self._loop = asyncio.get_running_loop()
         self.n_batches = 0
 
     def datagram_received(self, data: bytes, addr) -> None:
-        self._buffer.append(data)
+        self._buffer.append((data, addr))
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self._loop.call_soon(self._flush)
@@ -1453,9 +1561,16 @@ class _BatchedMonitorProtocol(asyncio.DatagramProtocol):
     def _flush(self) -> None:
         batch, self._buffer = self._buffer, []
         self._flush_scheduled = False
-        if batch:
-            self.n_batches += 1
-            self._monitor.ingest_many(batch)
+        if not batch:
+            return
+        self.n_batches += 1
+        admission = self._admission
+        if admission is not None:
+            batch = [(d, a) for d, a in batch if admission.admit(d, a)]
+            if not batch:
+                return
+        datagrams, addrs = zip(*batch)
+        self._monitor.ingest_many(datagrams, addrs=addrs)
 
     def connection_lost(self, exc) -> None:  # pragma: no cover - thin
         self._flush()
@@ -1479,6 +1594,7 @@ class LiveMonitorServer:
         status_host: str = "127.0.0.1",
         ingest_mode: str = "batch",
         sock=None,
+        admission=None,
     ):
         ensure_positive(tick, "tick")
         if ingest_mode == "batch":  # legacy alias from the pre-arena server
@@ -1495,6 +1611,9 @@ class LiveMonitorServer:
         self._status_port = status_port
         self._status_host = status_host
         self._ingest_mode = ingest_mode
+        # Optional repro.fdaas.admission.AdmissionController: screens every
+        # datagram (auth, replay, tenancy, rate limits) before the monitor.
+        self._admission = admission
         # A pre-bound UDP socket (shard workers bind their own with
         # SO_REUSEPORT); overrides host/port when given.
         self._sock = sock
@@ -1515,6 +1634,19 @@ class LiveMonitorServer:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
+    def _status_snapshot(self) -> dict:
+        """The monitor snapshot, plus the admission block when screening."""
+        snap = self.monitor.snapshot()
+        if self._admission is not None:
+            snap["admission"] = self._admission.stats()
+        return snap
+
+    def _status_summary(self) -> dict:
+        snap = self.monitor.summary()
+        if self._admission is not None:
+            snap["admission"] = self._admission.stats()
+        return snap
+
     def _drain_arena(self) -> None:
         """Readable callback: drain the socket queue into the arena and hand
         the whole burst to the monitor in one zero-copy call.  The loop is
@@ -1523,7 +1655,12 @@ class LiveMonitorServer:
         if self._arena_sock is None:  # racing a concurrent stop()
             return
         if self._arena.drain(self._arena_sock):
-            self.monitor.ingest_arena(self._arena)
+            if self._admission is not None:
+                # recv_into has no source addresses, so admission screens
+                # slots in place (compacting accepted ones) by content only.
+                self._admission.filter_arena(self._arena)
+            if self._arena.last_fill:
+                self.monitor.ingest_arena(self._arena)
 
     async def start(self) -> Tuple[str, int]:
         """Bind the socket and start polling; returns the bound address."""
@@ -1542,9 +1679,13 @@ class LiveMonitorServer:
             sockname = self._arena_sock.getsockname()
         else:
             if self._ingest_mode == "batched":
-                protocol_factory = lambda: _BatchedMonitorProtocol(self.monitor)
+                protocol_factory = lambda: _BatchedMonitorProtocol(
+                    self.monitor, self._admission
+                )
             else:
-                protocol_factory = lambda: _MonitorProtocol(self.monitor)
+                protocol_factory = lambda: _MonitorProtocol(
+                    self.monitor, self._admission
+                )
             if self._sock is not None:
                 self._transport, _ = await loop.create_datagram_endpoint(
                     protocol_factory, sock=self._sock
@@ -1558,10 +1699,10 @@ class LiveMonitorServer:
         if self._status_port is not None:
             has_obs = self.monitor.observability is not None
             self.status = StatusServer(
-                self.monitor.snapshot,
+                self._status_snapshot,
                 host=self._status_host,
                 port=self._status_port,
-                summary=self.monitor.summary,
+                summary=self._status_summary,
                 metrics=self.monitor.render_metrics if has_obs else None,
                 trace=self.monitor.trace_document if has_obs else None,
             )
@@ -1619,7 +1760,10 @@ class LiveMonitorServer:
             # then close — the server owns the socket either way, exactly
             # as the datagram transport owns a pre-bound one.
             if self._arena.drain(sock):
-                self.monitor.ingest_arena(self._arena)
+                if self._admission is not None:
+                    self._admission.filter_arena(self._arena)
+                if self._arena.last_fill:
+                    self.monitor.ingest_arena(self._arena)
             sock.close()
             self._arena = None
         if self.status is not None:

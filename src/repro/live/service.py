@@ -96,6 +96,7 @@ class LiveSharedMonitor:
         self.n_stale = 0
         self.n_foreign = 0
         self.n_malformed = 0
+        self.reject_reasons: Dict[str, int] = {}
         self.first_arrival: float | None = None
         self.last_arrival: float | None = None
         self._obs = obs
@@ -261,6 +262,9 @@ class LiveSharedMonitor:
             hb = Heartbeat.decode(data)
         except WireError as exc:
             self.n_malformed += 1
+            self.reject_reasons[exc.reason] = (
+                self.reject_reasons.get(exc.reason, 0) + 1
+            )
             logger.debug("dropping malformed datagram: %s", exc)
             return None
         if hb.sender != self.peer:
@@ -359,6 +363,7 @@ class LiveSharedMonitor:
             "n_stale": self.n_stale,
             "n_foreign": self.n_foreign,
             "n_malformed": self.n_malformed,
+            "reject_reasons": dict(self.reject_reasons),
             "n_events": self._events.total,
             "n_events_dropped": self._events.dropped,
             "n_listener_errors": self._listeners.n_errors,

@@ -195,6 +195,46 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
     }
     if any("peers" in snap for snap in snapshots):
         merged["peers"] = peers
+    admissions = [snap["admission"] for snap in snapshots if "admission" in snap]
+    if admissions:
+        merged["admission"] = _merge_admission(admissions)
+    return merged
+
+
+def _merge_admission(blocks: Sequence[dict]) -> dict:
+    """Sum per-shard admission stats (each worker screens its own share).
+
+    Note: per-tenant token buckets are per worker, so a sharded
+    deployment's effective rate limit is ``rate × n_shards`` in the worst
+    case — an accepted approximation (kernel 4-tuple hashing keeps one
+    sender on one shard, so a single sender never sees more than one
+    bucket).
+    """
+    merged = {
+        "n_admitted": 0,
+        "n_rejected": 0,
+        "n_malformed_passthrough": 0,
+        "reject_reasons": {},
+        "tenants": {},
+        "last_reject": None,
+    }
+    for block in blocks:
+        merged["n_admitted"] += block.get("n_admitted", 0)
+        merged["n_rejected"] += block.get("n_rejected", 0)
+        merged["n_malformed_passthrough"] += block.get("n_malformed_passthrough", 0)
+        for reason, count in (block.get("reject_reasons") or {}).items():
+            merged["reject_reasons"][reason] = (
+                merged["reject_reasons"].get(reason, 0) + count
+            )
+        for tid, stats in (block.get("tenants") or {}).items():
+            held = merged["tenants"].setdefault(
+                tid, {"admitted": 0, "rejected": {}}
+            )
+            held["admitted"] += stats.get("admitted", 0)
+            for reason, count in (stats.get("rejected") or {}).items():
+                held["rejected"][reason] = held["rejected"].get(reason, 0) + count
+        if block.get("last_reject") is not None:
+            merged["last_reject"] = block["last_reject"]
     return merged
 
 
@@ -211,6 +251,7 @@ def _shard_worker(
     ready_queue,
     stop_event,
     obs_kwargs: dict | None = None,
+    tenants_config: dict | None = None,
 ) -> None:  # pragma: no cover - subprocess body (exercised by integration tests)
     """One worker: a full LiveMonitor on its share of the UDP port."""
     try:
@@ -223,6 +264,7 @@ def _shard_worker(
                 ready_queue,
                 stop_event,
                 obs_kwargs,
+                tenants_config,
             )
         )
     except KeyboardInterrupt:
@@ -236,13 +278,33 @@ def _shard_worker(
 
 
 async def _shard_main(
-    shard_id, sock, monitor_kwargs, tick, ready_queue, stop_event, obs_kwargs=None
+    shard_id,
+    sock,
+    monitor_kwargs,
+    tick,
+    ready_queue,
+    stop_event,
+    obs_kwargs=None,
+    tenants_config=None,
 ) -> None:  # pragma: no cover - subprocess body
     # Each worker owns a full observability stack (registry, tracer, QoS
     # estimators) — nothing is shared across processes; the parent merges
     # the per-shard expositions at scrape time.
     obs = Observability(**obs_kwargs) if obs_kwargs is not None else None
     monitor = LiveMonitor(**monitor_kwargs, obs=obs)
+    # Each worker screens its own share of the datagram stream: the
+    # registry rebuilds from the picklable config, so admission (auth,
+    # replay, tenancy, rate limits) needs no cross-process state.  The
+    # replay high-water marks and token buckets are per worker — sound,
+    # because the kernel's 4-tuple hash keeps one sender on one shard.
+    admission = None
+    if tenants_config is not None:
+        from repro.fdaas.admission import AdmissionController
+        from repro.fdaas.tenants import TenantRegistry
+
+        admission = AdmissionController(
+            TenantRegistry.from_config(tenants_config), observability=obs
+        )
     # The server's receive strategy follows the monitor's ingest mode: in
     # vectorized mode it drains the pre-bound shard socket through the
     # zero-copy arena instead of the asyncio datagram transport.
@@ -252,6 +314,7 @@ async def _shard_main(
         status_port=0,
         ingest_mode=monitor_kwargs.get("ingest_mode", "batched"),
         sock=sock,
+        admission=admission,
     )
     await server.start()
     assert server.status is not None
@@ -311,9 +374,18 @@ class ShardedMonitor:
         fallback: bool = True,
         obs: bool = False,
         trace_sample_every: int = 1,
+        tenants_config: dict | None = None,
     ):
         ensure_positive(interval, "interval")
         ensure_int_at_least(n_shards, 1, "n_shards")
+        # Multi-tenant admission: the picklable TenantRegistry.to_config()
+        # dict; each worker rebuilds its own registry + controller from it.
+        self._tenants_config = tenants_config
+        if tenants_config is not None:
+            # Validate up front in the parent, like the monitor config.
+            from repro.fdaas.tenants import TenantRegistry
+
+            TenantRegistry.from_config(tenants_config)
         # Observability: each worker builds its own bundle from this spec
         # (an Observability object holds collect hooks and can't cross the
         # fork); the parent merges the per-shard expositions.
@@ -422,6 +494,15 @@ class ShardedMonitor:
                 else None
             )
             monitor = LiveMonitor(**self._monitor_kwargs, obs=obs)
+            admission = None
+            if self._tenants_config is not None:
+                from repro.fdaas.admission import AdmissionController
+                from repro.fdaas.tenants import TenantRegistry
+
+                admission = AdmissionController(
+                    TenantRegistry.from_config(self._tenants_config),
+                    observability=obs,
+                )
             self._single = LiveMonitorServer(
                 monitor,
                 self._host,
@@ -430,6 +511,7 @@ class ShardedMonitor:
                 status_port=self._status_port,
                 status_host=self._status_host,
                 ingest_mode=self._monitor_kwargs["ingest_mode"],
+                admission=admission,
             )
             self.address = await self._single.start()
             self.status = self._single.status
@@ -464,6 +546,7 @@ class ShardedMonitor:
                     ready_queue,
                     self._stop_event,
                     self._obs_kwargs,
+                    self._tenants_config,
                 ),
                 daemon=True,
             )
@@ -515,7 +598,7 @@ class ShardedMonitor:
     async def snapshot(self) -> dict:
         """The merged status document (fetches every live shard)."""
         if self._single is not None:
-            snap = self._single.monitor.snapshot()
+            snap = self._single._status_snapshot()  # includes "admission"
             merged = merge_snapshots([snap])
             merged["n_shards"] = 1
             return merged

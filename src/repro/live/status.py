@@ -17,7 +17,13 @@ may optionally send one request line (then half-close) before reading:
 - ``trace\\n`` or ``trace <cursor>\\n`` — the retained heartbeat trace
   events past ``cursor`` as a JSON document (see
   :meth:`repro.obs.tracer.HeartbeatTracer.document`) — the transport
-  behind ``repro-fd live trace --follow``.
+  behind ``repro-fd live trace --follow``;
+- ``events\\n`` or ``events <cursor>\\n`` — the retained fdaas events
+  (transitions, SLA breaches) past ``cursor`` as one JSON document;
+- ``subscribe\\n`` or ``subscribe <cursor>\\n`` — the only *long-lived*
+  command: the connection stays open and every event past ``cursor`` is
+  pushed as one JSON line the moment it is published, no polling (see
+  :mod:`repro.fdaas.subscribe`, which provides the client side).
 
 A client that sends nothing, or anything else, gets the full snapshot,
 so plain ``nc`` keeps working unchanged; commands whose producer was not
@@ -34,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import random
 from typing import Callable, Tuple
 
 __all__ = [
@@ -108,14 +115,21 @@ class StatusServer:
         summary: Callable[[], dict] | None = None,
         metrics: Callable[[], str] | None = None,
         trace: Callable[[int], dict] | None = None,
+        events: Callable[[int], dict] | None = None,
+        broker=None,
     ):
         self._snapshot = snapshot
         self._summary = summary
         self._metrics = metrics
         self._trace = trace
+        self._events = events
+        # An EventBroker-like object (``document(since)`` + ``async
+        # wait(since)``) enabling the long-lived ``subscribe`` command.
+        self._broker = broker
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
+        self._streams: set = set()  # live ``subscribe`` handler tasks
         self.address: Tuple[str, int] | None = None
 
     async def start(self) -> Tuple[str, int]:
@@ -140,6 +154,10 @@ class StatusServer:
     ) -> None:
         try:
             request = (await self._read_request(reader)).strip()
+            if self._broker is not None and request[:9] == b"subscribe":
+                since = int(request[9:].strip() or 0)
+                await self._stream(writer, since)
+                return
             if self._metrics is not None and request == b"metrics":
                 # Plain text, not JSON: the Prometheus exposition format
                 # is its own framing (curl/nc/scrapers read to EOF).
@@ -147,6 +165,12 @@ class StatusServer:
                 if asyncio.iscoroutine(text):
                     text = await text
                 body = text
+            elif self._events is not None and request[:6] == b"events":
+                since = int(request[6:].strip() or 0)
+                doc = self._events(since)
+                if asyncio.iscoroutine(doc):
+                    doc = await doc
+                body = json.dumps(doc, sort_keys=True) + "\n"
             elif self._trace is not None and request[:5] == b"trace":
                 since = 0
                 argument = request[5:].strip()
@@ -179,16 +203,60 @@ class StatusServer:
             except ConnectionError:
                 pass
 
+    async def _stream(
+        self, writer: asyncio.StreamWriter, since: int
+    ) -> None:
+        """The ``subscribe`` command: push events as JSON lines until the
+        client hangs up (or the server stops and cancels the handler)."""
+        cursor = since
+        task = asyncio.current_task()
+        self._streams.add(task)
+        try:
+            while True:
+                doc = self._broker.document(cursor)
+                for event in doc["events"]:
+                    writer.write(
+                        (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                    )
+                cursor = doc["cursor"]
+                await writer.drain()
+                await self._broker.wait(cursor)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._streams.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # A stop()-issued cancel is re-delivered on this await;
+                # swallowing it lets the handler task finish cleanly
+                # instead of ending cancelled (which the stream protocol's
+                # completion callback would log as an error).
+                pass
+
     async def stop(self) -> None:
         if self._server is not None:
+            # Long-lived subscribe handlers would otherwise keep
+            # wait_closed() hanging on Pythons that await live handlers.
+            for task in tuple(self._streams):
+                task.cancel()
             self._server.close()
             await self._server.wait_closed()
             self._server = None
             logger.info(structured("status-stopped"))
 
 
-#: First retry delay (seconds) of the fetch clients' exponential backoff.
+#: Cap (seconds) of the first retry delay; the clients use *full jitter*
+#: — each attempt sleeps uniform(0, RETRY_BACKOFF * 2**attempt) — so a
+#: fleet of clients hammering a just-restarted endpoint spreads out
+#: instead of retrying in synchronized waves.
 RETRY_BACKOFF = 0.1
+
+
+def _backoff_delay(attempt: int) -> float:
+    """Full-jitter exponential backoff: uniform in [0, cap · 2^attempt]."""
+    return random.uniform(0.0, RETRY_BACKOFF * (2**attempt))
 
 
 async def _fetch_raw(
@@ -231,7 +299,7 @@ async def _fetch_with_retries(
         except (OSError, asyncio.TimeoutError) as exc:
             if attempt >= retries:
                 raise
-            delay = RETRY_BACKOFF * (2**attempt)
+            delay = _backoff_delay(attempt)
             attempt += 1
             logger.debug(
                 "status fetch from %s:%d failed (%s); retry %d/%d in %.2fs",
@@ -258,9 +326,10 @@ def fetch_status(
     ``summary=True`` requests the constant-size summary head instead of
     the full per-peer listing (servers without summary support still
     answer with the full document).  ``retries`` re-attempts failed
-    connections/reads that many additional times with exponential backoff
-    (0.1 s, 0.2 s, 0.4 s, ...) before raising — useful right after
-    launching a monitor, whose status port may not be listening yet.
+    connections/reads that many additional times with full-jitter
+    exponential backoff (uniform in [0, 0.1 s], [0, 0.2 s], [0, 0.4 s],
+    ...) before raising — useful right after launching a monitor, whose
+    status port may not be listening yet.
     """
     try:
         asyncio.get_running_loop()
@@ -296,7 +365,7 @@ async def _retrying(coro_factory, retries: int):
         except (OSError, asyncio.TimeoutError):
             if attempt >= retries:
                 raise
-            await asyncio.sleep(RETRY_BACKOFF * (2**attempt))
+            await asyncio.sleep(_backoff_delay(attempt))
             attempt += 1
 
 

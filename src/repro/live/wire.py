@@ -4,12 +4,13 @@ Layout (network byte order)::
 
     offset  size  field
     0       4     magic  b"2WFD"
-    4       1     version (currently 1)
+    4       1     version (1 = plain, 2 = authenticated)
     5       1     sender-id length L (1..255)
     6       L     sender id, UTF-8
     6+L     8     sequence number (uint64, starts at 1)
     14+L    8     send timestamp (float64): the *sender's* monotonic clock
                   at the send instant
+    22+L    32    [version 2 only] HMAC-SHA256 tag over bytes [0, 22+L)
 
 The timestamp is on the sender's clock and is therefore never compared
 directly against the monitor's clock — the detectors consume only
@@ -19,11 +20,22 @@ The timestamp rides along for observability: the status endpoint reports
 per-peer clock offset estimates (arrival − timestamp), which absorb skew
 plus one-way delay.
 
+Version 2 appends an HMAC-SHA256 authentication trailer computed over the
+entire unsigned prefix (head + sender + body) with a per-sender secret key.
+Decoding does *not* verify the tag — key lookup is a policy decision that
+lives in the admission layer (``repro.fdaas.admission``), which calls
+:func:`verify_tag` with the tenant's key before the datagram reaches the
+monitor.  This split keeps all three ingest modes (scalar, batched,
+vectorized) byte-for-byte identical on accepted datagrams: they parse the
+same ``(sender, seq, timestamp)`` triple whether or not a tag is present.
+
 Decoding is strict: wrong magic, unknown version, truncated datagrams,
 datagrams carrying trailing garbage past the length implied by the header,
 and non-positive sequence numbers all raise :class:`WireError` (a
 ``ValueError``), which the monitor counts but never crashes on — a UDP
-port is an open mailbox.
+port is an open mailbox.  Every :class:`WireError` carries a machine
+``reason`` code (one of :data:`REJECT_REASONS`) so rejects can be
+attributed per reason and per source address in monitor snapshots.
 
 All decoders accept any bytes-like object (``bytes``, ``bytearray``,
 ``memoryview``) without copying the payload: the zero-copy arena path hands
@@ -34,6 +46,8 @@ All decoders accept any bytes-like object (``bytes``, ``bytearray``,
 
 from __future__ import annotations
 
+import hashlib
+import hmac as _hmac
 import math
 import struct
 from dataclasses import dataclass
@@ -41,17 +55,27 @@ from dataclasses import dataclass
 __all__ = [
     "MAGIC",
     "VERSION",
+    "AUTH_VERSION",
+    "AUTH_TAG_BYTES",
     "HEADER_SIZE",
     "MAX_SENDER_BYTES",
     "MAX_DATAGRAM_BYTES",
+    "REJECT_REASONS",
     "Heartbeat",
     "WireError",
     "decode_fields",
     "decode_fields_from",
+    "sign_tag",
+    "verify_tag",
+    "wire_version",
 ]
 
 MAGIC = b"2WFD"
 VERSION = 1
+#: Wire version carrying an HMAC-SHA256 authentication trailer.
+AUTH_VERSION = 2
+#: Size of the version-2 trailer: one HMAC-SHA256 digest.
+AUTH_TAG_BYTES = 32
 
 _HEAD = struct.Struct("!4sBB")  # magic, version, sender-id length
 _BODY = struct.Struct("!Qd")  # seq, send timestamp
@@ -59,12 +83,35 @@ _BODY = struct.Struct("!Qd")  # seq, send timestamp
 #: Bytes of framing around the sender id (head + seq + timestamp).
 HEADER_SIZE = _HEAD.size + _BODY.size
 MAX_SENDER_BYTES = 255
-#: Largest datagram that can possibly be a valid heartbeat.
-MAX_DATAGRAM_BYTES = HEADER_SIZE + MAX_SENDER_BYTES
+#: Largest datagram that can possibly be a valid heartbeat (version 2 with
+#: a maximal sender id and the authentication trailer).
+MAX_DATAGRAM_BYTES = HEADER_SIZE + MAX_SENDER_BYTES + AUTH_TAG_BYTES
+
+#: Machine-readable reject reasons carried by :class:`WireError.reason`.
+#: The monitor aggregates rejects under exactly these keys.
+REJECT_REASONS = (
+    "too_short",
+    "bad_magic",
+    "bad_version",
+    "truncated",
+    "trailing_garbage",
+    "empty_sender",
+    "bad_utf8",
+    "bad_seq",
+    "bad_timestamp",
+)
 
 
 class WireError(ValueError):
-    """A datagram that is not a valid heartbeat."""
+    """A datagram that is not a valid heartbeat.
+
+    ``reason`` is a stable machine code from :data:`REJECT_REASONS`;
+    ``str(exc)`` stays the human-readable message.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 _HEAD_SIZE = _HEAD.size
@@ -84,6 +131,9 @@ def decode_fields(data) -> tuple:
     already proved (the sender-id length came off the wire, the sequence
     number cannot overflow uint64).
 
+    Accepts versions 1 and 2; for version 2 the authentication trailer is
+    length-checked but *not* verified (see module docstring).
+
     ``data`` may be ``bytes``, ``bytearray``, or ``memoryview``; no copy of
     the payload is taken (the zero-copy arena hands memoryview slices here).
     """
@@ -93,32 +143,38 @@ def decode_fields(data) -> tuple:
     # checks and their order are Heartbeat.decode's exactly.
     n = len(data)
     if n < _HEAD_SIZE:
-        raise WireError(f"datagram too short ({n} bytes)")
+        raise WireError(f"datagram too short ({n} bytes)", "too_short")
     if data[:4] != MAGIC:
-        raise WireError(f"bad magic {bytes(data[:4])!r}")
+        raise WireError(f"bad magic {bytes(data[:4])!r}", "bad_magic")
     version = data[4]
-    if version != VERSION:
-        raise WireError(f"unsupported wire version {version}")
+    if version != VERSION and version != AUTH_VERSION:
+        raise WireError(f"unsupported wire version {version}", "bad_version")
     sender_len = data[5]
     expected = _HEAD_SIZE + sender_len + _BODY_SIZE
+    if version == AUTH_VERSION:
+        expected += AUTH_TAG_BYTES
     if n < expected:
-        raise WireError(f"datagram truncated: {n} bytes < {expected} implied by header")
+        raise WireError(
+            f"datagram truncated: {n} bytes < {expected} implied by header",
+            "truncated",
+        )
     if n > expected:
         raise WireError(
             f"datagram has {n - expected} trailing garbage byte(s): "
-            f"{n} bytes > {expected} implied by header"
+            f"{n} bytes > {expected} implied by header",
+            "trailing_garbage",
         )
     if sender_len == 0:
-        raise WireError("sender id must be non-empty")
+        raise WireError("sender id must be non-empty", "empty_sender")
     try:
         sender = str(data[_HEAD_SIZE : _HEAD_SIZE + sender_len], "utf-8")
     except UnicodeDecodeError as exc:
-        raise WireError(f"sender id is not valid UTF-8: {exc}") from None
+        raise WireError(f"sender id is not valid UTF-8: {exc}", "bad_utf8") from None
     seq, timestamp = _BODY_UNPACK(data, _HEAD_SIZE + sender_len)
     if seq < 1:
-        raise WireError(f"sequence numbers start at 1, got {seq}")
+        raise WireError(f"sequence numbers start at 1, got {seq}", "bad_seq")
     if not _ISFINITE(timestamp):
-        raise WireError(f"timestamp must be finite, got {timestamp}")
+        raise WireError(f"timestamp must be finite, got {timestamp}", "bad_timestamp")
     return sender, seq, timestamp
 
 
@@ -131,36 +187,72 @@ def decode_fields_from(data, offset: int, length: int) -> tuple:
     to :func:`decode_fields` (the fuzz tests assert agreement).
     """
     if length < _HEAD_SIZE:
-        raise WireError(f"datagram too short ({length} bytes)")
+        raise WireError(f"datagram too short ({length} bytes)", "too_short")
     if data[offset : offset + 4] != MAGIC:
-        raise WireError(f"bad magic {bytes(data[offset : offset + 4])!r}")
+        raise WireError(
+            f"bad magic {bytes(data[offset : offset + 4])!r}", "bad_magic"
+        )
     version = data[offset + 4]
-    if version != VERSION:
-        raise WireError(f"unsupported wire version {version}")
+    if version != VERSION and version != AUTH_VERSION:
+        raise WireError(f"unsupported wire version {version}", "bad_version")
     sender_len = data[offset + 5]
     expected = _HEAD_SIZE + sender_len + _BODY_SIZE
+    if version == AUTH_VERSION:
+        expected += AUTH_TAG_BYTES
     if length < expected:
         raise WireError(
-            f"datagram truncated: {length} bytes < {expected} implied by header"
+            f"datagram truncated: {length} bytes < {expected} implied by header",
+            "truncated",
         )
     if length > expected:
         raise WireError(
             f"datagram has {length - expected} trailing garbage byte(s): "
-            f"{length} bytes > {expected} implied by header"
+            f"{length} bytes > {expected} implied by header",
+            "trailing_garbage",
         )
     if sender_len == 0:
-        raise WireError("sender id must be non-empty")
+        raise WireError("sender id must be non-empty", "empty_sender")
     start = offset + _HEAD_SIZE
     try:
         sender = str(data[start : start + sender_len], "utf-8")
     except UnicodeDecodeError as exc:
-        raise WireError(f"sender id is not valid UTF-8: {exc}") from None
+        raise WireError(f"sender id is not valid UTF-8: {exc}", "bad_utf8") from None
     seq, timestamp = _BODY_UNPACK(data, start + sender_len)
     if seq < 1:
-        raise WireError(f"sequence numbers start at 1, got {seq}")
+        raise WireError(f"sequence numbers start at 1, got {seq}", "bad_seq")
     if not _ISFINITE(timestamp):
-        raise WireError(f"timestamp must be finite, got {timestamp}")
+        raise WireError(f"timestamp must be finite, got {timestamp}", "bad_timestamp")
     return sender, seq, timestamp
+
+
+def wire_version(data) -> int:
+    """The version byte of a structurally plausible datagram.
+
+    Callers are expected to have decoded ``data`` successfully first; this
+    is a cheap accessor for the admission layer's v1-vs-v2 policy branch.
+    """
+    return data[4]
+
+
+def sign_tag(unsigned, key: bytes) -> bytes:
+    """HMAC-SHA256 tag over an unsigned datagram prefix."""
+    return _hmac.new(key, bytes(unsigned), hashlib.sha256).digest()
+
+
+def verify_tag(data, key: bytes) -> bool:
+    """Constant-time verification of a version-2 datagram's trailer.
+
+    ``data`` is the complete datagram (any bytes-like) whose structure has
+    already been validated by a decoder; the tag is the final
+    :data:`AUTH_TAG_BYTES` bytes, computed over everything before them.
+    Uses :func:`hmac.compare_digest`, so timing leaks nothing about how
+    many tag bytes matched.
+    """
+    split = len(data) - AUTH_TAG_BYTES
+    if split <= 0:
+        return False
+    expected = _hmac.new(key, bytes(data[:split]), hashlib.sha256).digest()
+    return _hmac.compare_digest(expected, bytes(data[split:]))
 
 
 @dataclass(frozen=True)
@@ -183,18 +275,20 @@ class Heartbeat:
 
     def __post_init__(self) -> None:
         if not self.sender:
-            raise WireError("sender id must be non-empty")
+            raise WireError("sender id must be non-empty", "empty_sender")
         if len(self.sender.encode("utf-8")) > MAX_SENDER_BYTES:
             raise WireError(f"sender id exceeds {MAX_SENDER_BYTES} UTF-8 bytes")
         if self.seq < 1:
-            raise WireError(f"sequence numbers start at 1, got {self.seq}")
+            raise WireError(f"sequence numbers start at 1, got {self.seq}", "bad_seq")
         if self.seq > 0xFFFFFFFFFFFFFFFF:
             raise WireError(f"sequence number {self.seq} overflows uint64")
         if not math.isfinite(self.timestamp):
-            raise WireError(f"timestamp must be finite, got {self.timestamp}")
+            raise WireError(
+                f"timestamp must be finite, got {self.timestamp}", "bad_timestamp"
+            )
 
     def encode(self) -> bytes:
-        """Serialize to one datagram payload."""
+        """Serialize to one version-1 (unauthenticated) datagram payload."""
         sender = self.sender.encode("utf-8")
         return (
             _HEAD.pack(MAGIC, VERSION, len(sender))
@@ -202,39 +296,60 @@ class Heartbeat:
             + _BODY.pack(self.seq, self.timestamp)
         )
 
+    def encode_signed(self, key: bytes) -> bytes:
+        """Serialize to one version-2 datagram with an HMAC-SHA256 trailer.
+
+        The tag covers the entire unsigned prefix, so any bit flip in the
+        head, sender id, sequence number, or timestamp invalidates it.
+        """
+        sender = self.sender.encode("utf-8")
+        unsigned = (
+            _HEAD.pack(MAGIC, AUTH_VERSION, len(sender))
+            + sender
+            + _BODY.pack(self.seq, self.timestamp)
+        )
+        return unsigned + sign_tag(unsigned, key)
+
     @classmethod
     def decode(cls, data) -> "Heartbeat":
         """Parse one datagram payload; raise :class:`WireError` if invalid.
 
         ``data`` may be ``bytes``, ``bytearray``, or ``memoryview``; only
-        the sender id is materialized (as the returned ``str``).
+        the sender id is materialized (as the returned ``str``).  Accepts
+        versions 1 and 2; the version-2 tag is length-checked, not verified.
         """
         n = len(data)
         if n < _HEAD.size:
-            raise WireError(f"datagram too short ({n} bytes)")
+            raise WireError(f"datagram too short ({n} bytes)", "too_short")
         magic, version, sender_len = _HEAD.unpack_from(data)
         if magic != MAGIC:
-            raise WireError(f"bad magic {magic!r}")
-        if version != VERSION:
-            raise WireError(f"unsupported wire version {version}")
+            raise WireError(f"bad magic {magic!r}", "bad_magic")
+        if version != VERSION and version != AUTH_VERSION:
+            raise WireError(f"unsupported wire version {version}", "bad_version")
         expected = _HEAD.size + sender_len + _BODY.size
+        if version == AUTH_VERSION:
+            expected += AUTH_TAG_BYTES
         if n < expected:
             raise WireError(
-                f"datagram truncated: {n} bytes < {expected} implied by header"
+                f"datagram truncated: {n} bytes < {expected} implied by header",
+                "truncated",
             )
         if n > expected:
             raise WireError(
                 f"datagram has {n - expected} trailing garbage byte(s): "
-                f"{n} bytes > {expected} implied by header"
+                f"{n} bytes > {expected} implied by header",
+                "trailing_garbage",
             )
         try:
             sender = str(data[_HEAD.size : _HEAD.size + sender_len], "utf-8")
         except UnicodeDecodeError as exc:
-            raise WireError(f"sender id is not valid UTF-8: {exc}") from None
+            raise WireError(
+                f"sender id is not valid UTF-8: {exc}", "bad_utf8"
+            ) from None
         seq, timestamp = _BODY.unpack_from(data, _HEAD.size + sender_len)
         return cls(sender=sender, seq=seq, timestamp=timestamp)
 
     @property
     def wire_size(self) -> int:
-        """Encoded size in bytes."""
+        """Encoded (version 1) size in bytes."""
         return HEADER_SIZE + len(self.sender.encode("utf-8"))

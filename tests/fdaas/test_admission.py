@@ -1,0 +1,221 @@
+"""Admission screening: auth, replay, tenancy, rate limits, arena filtering."""
+
+import pytest
+
+from repro.fdaas.admission import ADMIT_REJECT_REASONS, AdmissionController
+from repro.fdaas.tenants import SLATargets, Tenant, TenantRegistry
+from repro.live.arena import DatagramArena
+from repro.live.wire import Heartbeat
+
+KEY_A = b"a" * 32
+KEY_B = b"b" * 32
+
+
+def _registry() -> TenantRegistry:
+    registry = TenantRegistry()
+    registry.register(Tenant("acme", key=KEY_A))
+    registry.register(Tenant("free"))  # unauthenticated tenant
+    return registry
+
+
+def _signed(sender: str, seq: int, key: bytes = KEY_A) -> bytes:
+    return Heartbeat(sender=sender, seq=seq, timestamp=0.5).encode_signed(key)
+
+
+def _plain(sender: str, seq: int) -> bytes:
+    return Heartbeat(sender=sender, seq=seq, timestamp=0.5).encode()
+
+
+class TestAdmit:
+    def test_valid_signed_beat_admitted(self):
+        ctl = AdmissionController(_registry())
+        assert ctl.admit(_signed("acme/web", 1))
+        assert ctl.n_admitted == 1 and ctl.n_rejected == 0
+
+    def test_unauthenticated_tenant_accepts_v1_and_v2(self):
+        ctl = AdmissionController(_registry())
+        assert ctl.admit(_plain("free/web", 1))
+        # A keyless tenant's v2 beats are accepted without verification
+        # (any key: nobody registered one to check against).
+        assert ctl.admit(_signed("free/web", 2, b"whatever" * 4))
+
+    def test_unnamespaced_rejected(self):
+        ctl = AdmissionController(_registry())
+        assert not ctl.admit(_plain("bare-peer", 1))
+        assert ctl.reject_reasons == {"unnamespaced": 1}
+
+    def test_unknown_tenant_rejected(self):
+        ctl = AdmissionController(_registry())
+        assert not ctl.admit(_signed("evil/web", 1))
+        assert ctl.reject_reasons == {"unknown_tenant": 1}
+
+    def test_keyed_tenant_requires_v2(self):
+        ctl = AdmissionController(_registry())
+        assert not ctl.admit(_plain("acme/web", 1))
+        assert ctl.reject_reasons == {"missing_auth": 1}
+
+    def test_wrong_key_rejected(self):
+        ctl = AdmissionController(_registry())
+        assert not ctl.admit(_signed("acme/web", 1, KEY_B))
+        assert ctl.reject_reasons == {"bad_tag": 1}
+        assert ctl.per_tenant["acme"]["rejected"] == {"bad_tag": 1}
+
+    def test_tampered_payload_rejected(self):
+        data = bytearray(_signed("acme/web", 1))
+        data[-40] ^= 0x01  # flip a bit inside the signed prefix
+        ctl = AdmissionController(_registry())
+        assert not ctl.admit(bytes(data))
+        assert ctl.reject_reasons == {"bad_tag": 1}
+
+    def test_replay_rejected(self):
+        ctl = AdmissionController(_registry())
+        beat = _signed("acme/web", 5)
+        assert ctl.admit(beat)
+        assert not ctl.admit(beat)  # exact re-delivery
+        assert not ctl.admit(_signed("acme/web", 4))  # older, validly signed
+        assert ctl.admit(_signed("acme/web", 6))
+        assert ctl.reject_reasons == {"replayed": 2}
+
+    def test_forged_seq_cannot_advance_the_high_water(self):
+        ctl = AdmissionController(_registry())
+        # A forgery with a huge seq is dropped on the tag, and must not
+        # wedge the real sender behind seq 1000.
+        assert not ctl.admit(_signed("acme/web", 1000, KEY_B))
+        assert ctl.admit(_signed("acme/web", 1))
+
+    def test_replay_marks_are_per_sender(self):
+        ctl = AdmissionController(_registry())
+        assert ctl.admit(_signed("acme/web", 7))
+        assert ctl.admit(_signed("acme/db", 1))  # own counter space
+
+    def test_unauthenticated_tenant_skips_replay_screen(self):
+        ctl = AdmissionController(_registry())
+        beat = _plain("free/web", 3)
+        assert ctl.admit(beat)
+        assert ctl.admit(beat)  # benign UDP duplicate passes through
+
+    def test_malformed_passes_through(self):
+        ctl = AdmissionController(_registry())
+        assert ctl.admit(b"\x00garbage")
+        assert ctl.admit(b"")
+        assert ctl.n_malformed_passthrough == 2
+        assert ctl.n_admitted == 0 and ctl.n_rejected == 0
+
+    def test_rate_limited(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme", key=KEY_A, rate=1.0, burst=2.0))
+        clock_now = [0.0]
+        ctl = AdmissionController(registry, clock=lambda: clock_now[0])
+        assert ctl.admit(_signed("acme/web", 1))
+        assert ctl.admit(_signed("acme/web", 2))
+        assert not ctl.admit(_signed("acme/web", 3))  # bucket empty
+        assert ctl.reject_reasons == {"rate_limited": 1}
+        clock_now[0] = 2.0  # two tokens refilled
+        assert ctl.admit(_signed("acme/web", 4))
+
+    def test_reasons_are_the_documented_set(self):
+        assert set(ADMIT_REJECT_REASONS) == {
+            "unnamespaced",
+            "unknown_tenant",
+            "missing_auth",
+            "bad_tag",
+            "replayed",
+            "rate_limited",
+        }
+
+    def test_stats_document(self):
+        ctl = AdmissionController(_registry())
+        ctl.admit(_signed("acme/web", 1))
+        ctl.admit(_signed("acme/web", 1))  # replay
+        ctl.admit(b"junk")
+        stats = ctl.stats()
+        assert stats["n_admitted"] == 1
+        assert stats["n_rejected"] == 1
+        assert stats["n_malformed_passthrough"] == 1
+        assert stats["reject_reasons"] == {"replayed": 1}
+        assert stats["tenants"]["acme"]["admitted"] == 1
+        assert stats["last_reject"]["reason"] == "replayed"
+        assert stats["last_reject"]["sender"] == "acme/web"
+
+    def test_source_attribution(self):
+        ctl = AdmissionController(_registry())
+        ctl.admit(_plain("bare", 1), addr=("10.0.0.9", 4242))
+        assert ctl.last_reject["source"] == "10.0.0.9:4242"
+
+
+class TestFilterArena:
+    def _arena(self, datagrams) -> DatagramArena:
+        arena = DatagramArena(slots=max(len(datagrams), 1))
+        for i, data in enumerate(datagrams):
+            arena.buffer[i * arena.slot_bytes : i * arena.slot_bytes + len(data)] = (
+                data
+            )
+            arena.lengths[i] = len(data)
+        arena.last_fill = len(datagrams)
+        return arena
+
+    def test_compacts_surviving_slots_in_order(self):
+        good1 = _signed("acme/web", 1)
+        spoof = _signed("acme/web", 9, KEY_B)
+        good2 = _signed("acme/web", 2)
+        junk = b"\x00" * 30  # malformed: kept for the monitor to count
+        good3 = _plain("free/web", 1)
+        arena = self._arena([good1, spoof, good2, junk, good3])
+        ctl = AdmissionController(_registry())
+        dropped = ctl.filter_arena(arena)
+        assert dropped == 1
+        assert arena.last_fill == 4
+        survivors = [bytes(arena.datagram(i)) for i in range(arena.last_fill)]
+        assert survivors == [good1, good2, junk, good3]
+        assert ctl.reject_reasons == {"bad_tag": 1}
+        assert ctl.n_malformed_passthrough == 1
+
+    def test_replay_screen_applies_across_arena_slots(self):
+        beat = _signed("acme/web", 1)
+        arena = self._arena([beat, beat])
+        ctl = AdmissionController(_registry())
+        assert ctl.filter_arena(arena) == 1
+        assert arena.last_fill == 1
+        assert ctl.reject_reasons == {"replayed": 1}
+
+    def test_empty_arena(self):
+        arena = self._arena([])
+        ctl = AdmissionController(_registry())
+        assert ctl.filter_arena(arena) == 0
+        assert arena.last_fill == 0
+
+    def test_all_dropped(self):
+        arena = self._arena([_plain("bare", 1), _signed("evil/x", 1)])
+        ctl = AdmissionController(_registry())
+        assert ctl.filter_arena(arena) == 2
+        assert arena.last_fill == 0
+
+
+class TestObservability:
+    def test_admission_metrics_exported(self):
+        from repro.obs import Observability
+
+        obs = Observability(trace=False, qos_health=False)
+        ctl = AdmissionController(_registry(), observability=obs)
+        ctl.admit(_signed("acme/web", 1))
+        ctl.admit(_signed("acme/web", 1))  # replay
+        text = obs.render_metrics()
+        assert 'repro_fdaas_admitted_total{tenant="acme"} 1' in text
+        assert (
+            'repro_fdaas_rejected_total{reason="replayed",tenant="acme"} 1' in text
+            or 'repro_fdaas_rejected_total{tenant="acme",reason="replayed"} 1'
+            in text
+        )
+
+
+class TestRateLimitReconfiguration:
+    def test_bucket_rebuilds_when_tenant_reregisters(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme", rate=1.0, burst=1.0))
+        clock_now = [0.0]
+        ctl = AdmissionController(registry, clock=lambda: clock_now[0])
+        assert ctl.admit(_plain("acme/web", 1))
+        assert not ctl.admit(_plain("acme/web", 2))
+        # Live reconfiguration: a bigger burst takes effect immediately.
+        registry.register(Tenant("acme", rate=1.0, burst=10.0))
+        assert ctl.admit(_plain("acme/web", 3))

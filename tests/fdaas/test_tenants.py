@@ -1,0 +1,163 @@
+"""Tenant registry: validation, token buckets, config round-trips."""
+
+import pytest
+
+from repro.fdaas.tenants import (
+    SLATargets,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    namespaced,
+    split_peer,
+)
+
+
+class TestNamespacing:
+    def test_roundtrip(self):
+        sender = namespaced("acme", "web-1")
+        assert sender == "acme/web-1"
+        assert split_peer(sender) == ("acme", "web-1")
+
+    def test_peer_may_contain_slashes(self):
+        # Only the FIRST slash splits: the tenant owns its peer namespace.
+        assert split_peer("acme/rack-1/web") == ("acme", "rack-1/web")
+
+    def test_unnamespaced(self):
+        assert split_peer("plain-peer") == (None, "plain-peer")
+
+    def test_degenerate_forms_are_unnamespaced(self):
+        assert split_peer("/peer") == (None, "/peer")
+        assert split_peer("tenant/") == (None, "tenant/")
+
+    def test_bad_tenant_id_rejected(self):
+        with pytest.raises(ValueError):
+            namespaced("a/b", "peer")
+        with pytest.raises(ValueError):
+            namespaced("", "peer")
+        with pytest.raises(ValueError):
+            namespaced("acme", "")
+
+
+class TestSLATargets:
+    def test_defaults_unenforced(self):
+        assert not SLATargets().enforced
+
+    def test_any_field_enforces(self):
+        assert SLATargets(t_d=1.0).enforced
+        assert SLATargets(p_a=0.9).enforced
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SLATargets(t_d=-1.0)
+        with pytest.raises(ValueError):
+            SLATargets(t_mr=float("inf"))
+        with pytest.raises(ValueError):
+            SLATargets(p_a=1.5)
+
+    def test_dict_roundtrip(self):
+        sla = SLATargets(t_d=1.0, t_mr=0.01, t_m=0.5, p_a=0.99)
+        assert SLATargets.from_dict(sla.as_dict()) == sla
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0, now=0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.05)  # only half a token back
+        assert bucket.allow(0.15)  # > 0.1s elapsed since t=0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        decisions = [bucket.allow(1000.0) for _ in range(3)]
+        assert decisions == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenant:
+    def test_defaults(self):
+        tenant = Tenant("acme")
+        assert not tenant.authenticated
+        assert tenant.bucket() is None
+
+    def test_burst_defaults_to_twice_rate(self):
+        assert Tenant("acme", rate=50.0).burst == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("a/b")
+        with pytest.raises(ValueError):
+            Tenant("")
+        with pytest.raises(ValueError):
+            Tenant("acme", key=b"short")  # < 8 bytes
+        with pytest.raises(ValueError):
+            Tenant("acme", burst=10.0)  # burst without rate
+        with pytest.raises(ValueError):
+            Tenant("acme", rate=-1.0)
+
+    def test_redaction_hides_the_key(self):
+        tenant = Tenant("acme", key=b"k" * 32)
+        assert tenant.as_dict(redact=True)["key"] == "<redacted>"
+        assert tenant.as_dict()["key"] == (b"k" * 32).hex()
+
+
+class TestRegistry:
+    def _registry(self) -> TenantRegistry:
+        registry = TenantRegistry()
+        registry.register(
+            Tenant("acme", key=b"k" * 32, rate=100.0, sla=SLATargets(t_d=1.0))
+        )
+        registry.register(Tenant("free"))
+        return registry
+
+    def test_lookup(self):
+        registry = self._registry()
+        assert registry.get("acme").authenticated
+        assert not registry.get("free").authenticated
+        assert registry.get("nope") is None
+        assert "acme" in registry and len(registry) == 2
+
+    def test_reregistration_replaces(self):
+        registry = self._registry()
+        registry.register(Tenant("acme"))
+        assert not registry.get("acme").authenticated
+
+    def test_remove(self):
+        registry = self._registry()
+        assert registry.remove("free")
+        assert not registry.remove("free")
+        assert "free" not in registry
+
+    def test_config_roundtrip(self):
+        registry = self._registry()
+        rebuilt = TenantRegistry.from_config(registry.to_config())
+        assert rebuilt.to_config() == registry.to_config()
+        acme = rebuilt.get("acme")
+        assert acme.key == b"k" * 32
+        assert acme.sla == SLATargets(t_d=1.0)
+
+    def test_config_is_json_and_picklable(self):
+        import json
+        import pickle
+
+        config = self._registry().to_config()
+        assert json.loads(json.dumps(config)) == config
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        registry = self._registry()
+        registry.save(path)
+        assert TenantRegistry.load(path).to_config() == registry.to_config()
+
+    def test_unknown_config_version(self):
+        with pytest.raises(ValueError, match="version"):
+            TenantRegistry.from_config({"version": 99, "tenants": []})

@@ -143,8 +143,9 @@ class TestRetries:
         with pytest.raises(ValueError, match="non-negative"):
             fetch_status("127.0.0.1", 1, retries=-1)
 
-    def test_retries_exhausted_raises_with_backoff(self):
-        """N retries = N+1 attempts, exponentially spaced."""
+    def test_retries_exhausted_raises_within_backoff_budget(self):
+        """N retries = N+1 attempts; full-jitter sleeps are bounded above
+        by the exponential schedule (0.1s + 0.2s here), never unbounded."""
         port = self._free_port()
         loop = asyncio.new_event_loop()
         try:
@@ -156,9 +157,23 @@ class TestRetries:
             elapsed = loop.time() - start
         finally:
             loop.close()
-        # Two backoff sleeps happened: 0.1s + 0.2s (connection refusal
-        # itself is ~instant on loopback).
-        assert elapsed >= RETRY_BACKOFF + 2 * RETRY_BACKOFF
+        # Connection refusal is ~instant on loopback, so the elapsed time
+        # is essentially the two jittered sleeps: uniform in [0, 0.1] and
+        # [0, 0.2], with scheduler slack on top.
+        assert elapsed <= RETRY_BACKOFF + 2 * RETRY_BACKOFF + 1.0
+
+    def test_backoff_delays_are_bounded_and_jittered(self):
+        """Full jitter: each delay is uniform in [0, base·2^attempt], so
+        concurrent pollers of a dead endpoint do not retry in lockstep."""
+        from repro.live.status import _backoff_delay
+
+        for attempt in range(6):
+            ceiling = RETRY_BACKOFF * (2**attempt)
+            samples = [_backoff_delay(attempt) for _ in range(200)]
+            assert all(0.0 <= s <= ceiling for s in samples)
+            # Randomized, not the old fixed schedule: 200 draws from a
+            # continuous uniform collide with probability ~0.
+            assert len(set(samples)) > 1
 
     def test_retry_succeeds_once_server_appears(self):
         """The headline use: polling a status port that isn't up yet."""

@@ -77,8 +77,10 @@ class TestDecodeRejects:
             Heartbeat.decode(bytes(data))
 
     def test_unknown_version(self):
+        # Version 2 is the authenticated format (valid with its trailer);
+        # anything else is rejected outright.
         data = bytearray(self._valid())
-        data[4] = VERSION + 1
+        data[4] = VERSION + 2
         with pytest.raises(WireError, match="version"):
             Heartbeat.decode(bytes(data))
 

@@ -18,6 +18,8 @@ import pytest
 
 from repro.live.monitor import LiveMonitor
 from repro.live.wire import (
+    AUTH_TAG_BYTES,
+    AUTH_VERSION,
     HEADER_SIZE,
     MAGIC,
     MAX_SENDER_BYTES,
@@ -26,6 +28,7 @@ from repro.live.wire import (
     WireError,
     decode_fields,
     decode_fields_from,
+    verify_tag,
 )
 
 PARAMS = {"2w-fd": 0.3}
@@ -125,12 +128,22 @@ class TestHostileDatagrams:
 
     def test_bad_version(self):
         good = bytearray(Heartbeat("p", 1, 0.0).encode())
-        for version in (0, 2, 255):
+        for version in (0, 3, 255):
             good[4] = version
             data = bytes(good)
             _assert_decoders_agree(data)
             with pytest.raises(WireError, match="version"):
                 decode_fields(data)
+
+    def test_version2_without_tag_is_truncated(self):
+        """Flipping a v1 datagram's version byte to 2 claims a trailer that
+        is not there — rejected as truncation, not accepted tag-free."""
+        data = bytearray(Heartbeat("p", 1, 0.0).encode())
+        data[4] = AUTH_VERSION
+        data = bytes(data)
+        _assert_decoders_agree(data)
+        with pytest.raises(WireError, match="truncated"):
+            decode_fields(data)
 
     def test_length_field_lies(self):
         """Sender-length byte inconsistent with the actual payload size."""
@@ -247,6 +260,113 @@ class TestZeroCopyInputs:
                 with pytest.raises(WireError, match="trailing garbage") as err:
                     decoder(data)
                 assert str(extra) in str(err.value)
+
+
+class TestCrossVersionFuzz:
+    """v1/v2 cross-version fuzzing: both versions decode to the same fields,
+    every decoder agrees on every mutation, and the authentication trailer
+    behaves (verifies with the right key, fails with any other, fails after
+    any bit flip)."""
+
+    def _key(self, rng):
+        return bytes(rng.getrandbits(8) for _ in range(rng.randint(16, 48)))
+
+    def test_signed_and_plain_decode_to_identical_fields(self):
+        rng = random.Random(20824)
+        for _ in range(300):
+            plain = _valid_payload(rng)
+            hb = Heartbeat.decode(plain)
+            signed = hb.encode_signed(self._key(rng))
+            assert len(signed) == len(plain) + AUTH_TAG_BYTES
+            assert signed[4] == AUTH_VERSION
+            _assert_decoders_agree(signed)
+            assert decode_fields(signed) == decode_fields(plain)
+
+    def test_signed_payload_tag_verifies_only_with_its_key(self):
+        rng = random.Random(20825)
+        for _ in range(200):
+            key = self._key(rng)
+            hb = Heartbeat.decode(_valid_payload(rng))
+            signed = hb.encode_signed(key)
+            assert verify_tag(signed, key)
+            wrong = self._key(rng)
+            if wrong != key:
+                assert not verify_tag(signed, wrong)
+
+    def test_any_single_byte_flip_breaks_the_tag(self):
+        rng = random.Random(20826)
+        key = b"fuzz-key"
+        hb = Heartbeat("tenant-a/p", 7, 1.5)
+        signed = bytearray(hb.encode_signed(key))
+        for i in range(len(signed)):
+            mutated = bytearray(signed)
+            mutated[i] ^= 0xFF
+            assert not verify_tag(bytes(mutated), key), f"byte {i}"
+
+    def test_truncations_and_extensions_of_signed_payloads(self):
+        rng = random.Random(20827)
+        for _ in range(40):
+            signed = Heartbeat.decode(_valid_payload(rng)).encode_signed(
+                self._key(rng)
+            )
+            for cut in range(0, len(signed), 7):
+                _assert_decoders_agree(signed[:cut])
+                with pytest.raises(WireError):
+                    decode_fields(signed[:cut])
+            extended = signed + bytes(
+                rng.getrandbits(8) for _ in range(rng.randint(1, 8))
+            )
+            _assert_decoders_agree(extended)
+            with pytest.raises(WireError, match="trailing garbage"):
+                decode_fields(extended)
+
+    def test_mutated_signed_payloads_never_crash_decoders(self):
+        rng = random.Random(20828)
+        for _ in range(300):
+            data = bytearray(
+                Heartbeat.decode(_valid_payload(rng)).encode_signed(self._key(rng))
+            )
+            for _ in range(rng.randint(1, 3)):
+                data[rng.randrange(len(data))] = rng.getrandbits(8)
+            _assert_decoders_agree(bytes(data))
+
+    def test_mixed_version_batch_equivalence_across_ingest_modes(self):
+        """A batch interleaving v1 and v2 datagrams produces identical
+        accept/stale/malformed accounting in all three ingest modes."""
+        rng = random.Random(20829)
+        key = b"batch-key"
+        batch = []
+        for i in range(200):
+            roll = rng.random()
+            if roll < 0.35:
+                batch.append(_valid_payload(rng))
+            elif roll < 0.7:
+                hb = Heartbeat(
+                    rng.choice(["t1/a", "t1/b", "t2/c"]),
+                    rng.randint(1, 50),
+                    rng.uniform(0.0, 10.0),
+                )
+                batch.append(hb.encode_signed(key))
+            elif roll < 0.85:
+                data = bytearray(_valid_payload(rng))
+                data[4] = AUTH_VERSION  # claims a trailer it lacks
+                batch.append(bytes(data))
+            else:
+                batch.append(bytes(rng.getrandbits(8) for _ in range(rng.randint(0, 60))))
+        results = {}
+        for mode in ("scalar", "batched", "vectorized"):
+            monitor = LiveMonitor(
+                0.1, ["2w-fd"], PARAMS, clock=lambda: 0.0, ingest_mode=mode
+            )
+            monitor.ingest_many(batch)
+            results[mode] = (
+                monitor.n_malformed,
+                monitor.n_received_total,
+                monitor.n_accepted_total,
+                monitor.n_stale_total,
+                dict(monitor.reject_reasons),
+            )
+        assert results["scalar"] == results["batched"] == results["vectorized"]
 
 
 class TestMonitorNeverCrashes:

@@ -1,0 +1,120 @@
+"""Exposition merge edge cases the shard aggregator actually hits.
+
+A multi-shard scrape merges one text document per worker.  Real fleets
+produce the awkward inputs exercised here: workers that have not ingested
+anything yet (empty or header-only expositions), families whose TYPE line
+is missing on some shards, and gauges whose sum-vs-max policy conflicts
+with what another document's metadata implies.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_expositions,
+    parse_exposition,
+)
+
+
+def _shard(n_peers, poll_seconds):
+    reg = MetricsRegistry()
+    reg.gauge("repro_monitor_peers", "Monitored peers.").set(n_peers)
+    reg.gauge("repro_poll_seconds", "Poll latency.").set(poll_seconds)
+    reg.counter("repro_beats_total", "Beats.").inc(n_peers * 10)
+    return reg.render()
+
+
+class TestEmptyExpositions:
+    def test_parse_empty_document(self):
+        assert parse_exposition("") == {}
+        assert parse_exposition("\n\n") == {}
+
+    def test_merge_of_all_empty_documents(self):
+        assert merge_expositions(["", "", ""]) == ""
+        assert merge_expositions([]) == ""
+
+    def test_empty_shards_mixed_in_are_neutral(self):
+        """A worker that has not scraped yet must not perturb the merge."""
+        alone = merge_expositions([_shard(3, 0.5)])
+        padded = merge_expositions(["", _shard(3, 0.5), "", ""])
+        assert alone == padded
+
+    def test_header_only_shard_contributes_metadata_not_samples(self):
+        header_only = (
+            "# HELP repro_monitor_peers Monitored peers.\n"
+            "# TYPE repro_monitor_peers gauge\n"
+        )
+        merged = parse_exposition(
+            merge_expositions([header_only, _shard(2, 0.1)])
+        )
+        family = merged["repro_monitor_peers"]
+        assert family["type"] == "gauge"
+        assert family["samples"] == {("repro_monitor_peers", ()): 2.0}
+
+
+class TestConflictingGaugePolicies:
+    def test_policy_sums_only_the_named_gauge(self):
+        merged = parse_exposition(
+            merge_expositions(
+                [_shard(2, 0.5), _shard(3, 0.25)],
+                gauge_policy={"repro_monitor_peers": "sum"},
+            )
+        )
+        peers = merged["repro_monitor_peers"]["samples"]
+        assert peers[("repro_monitor_peers", ())] == 5.0  # population: sum
+        latency = merged["repro_poll_seconds"]["samples"]
+        assert latency[("repro_poll_seconds", ())] == 0.5  # worst case: max
+
+    def test_policy_on_a_counter_changes_nothing(self):
+        """Counters always sum; a (mis)matching policy entry is inert."""
+        with_policy = merge_expositions(
+            [_shard(2, 0.5), _shard(3, 0.25)],
+            gauge_policy={"repro_beats_total": "max"},
+        )
+        without = merge_expositions([_shard(2, 0.5), _shard(3, 0.25)])
+        beats = parse_exposition(with_policy)["repro_beats_total"]["samples"]
+        assert beats[("repro_beats_total", ())] == 50.0
+        assert with_policy == without
+
+    def test_unknown_policy_value_falls_back_to_max(self):
+        merged = parse_exposition(
+            merge_expositions(
+                [_shard(2, 0.5), _shard(3, 0.25)],
+                gauge_policy={"repro_monitor_peers": "average"},  # not a mode
+            )
+        )
+        peers = merged["repro_monitor_peers"]["samples"]
+        assert peers[("repro_monitor_peers", ())] == 3.0
+
+    def test_untyped_document_adopts_first_known_type(self):
+        """A shard that emits samples without TYPE metadata still merges
+        under the typed family's policy (sum for the typed counter)."""
+        bare = "repro_beats_total 7\n"
+        merged = parse_exposition(
+            merge_expositions([_shard(1, 0.5), bare])
+        )
+        family = merged["repro_beats_total"]
+        assert family["type"] == "counter"
+        assert family["samples"][("repro_beats_total", ())] == 17.0
+
+    def test_untyped_first_document_still_sums_once_typed(self):
+        """An untyped-first merge adopts the TYPE line as soon as any
+        document declares it, and that document's own samples already
+        merge under the adopted policy — nothing is lost to max."""
+        bare = "repro_beats_total 7\n"
+        merged = parse_exposition(
+            merge_expositions([bare, _shard(1, 0.5), _shard(2, 0.25)])
+        )
+        family = merged["repro_beats_total"]
+        assert family["type"] == "counter"
+        assert family["samples"][("repro_beats_total", ())] == 37.0
+
+
+class TestMalformedInput:
+    def test_malformed_sample_line_is_loud(self):
+        with pytest.raises(ValueError, match="malformed exposition line"):
+            parse_exposition("this is not prometheus\n")
+
+    def test_merge_propagates_parse_errors(self):
+        with pytest.raises(ValueError):
+            merge_expositions([_shard(1, 0.5), "garbage here\n"])

@@ -25,6 +25,7 @@ CASES = [
     ("bring_your_own_trace.py", []),
     ("live_quickstart.py", []),
     ("obs_quickstart.py", []),
+    ("fdaas_quickstart.py", []),
 ]
 
 
