@@ -19,6 +19,13 @@ whose estimation layer the shared arrival statistics collapse):
   fan-in the sub-batches shrink to a handful of rows and the numpy
   dispatch overhead makes it *slower* than batched — the per-peer-count
   blocks record that honestly, and ``docs/performance.md`` explains it;
+- **adaptive** — ``ingest_mode="adaptive"``: per-drain mode selection
+  between the batched and vectorized paths from the observed fan-in and
+  per-mode drain cost (``repro.live.adaptive``).  The acceptance bar is
+  ``adaptive_vs_best_static >= 0.95`` at every measured fan-in: the
+  controller must land within 5% of whichever static mode wins there
+  (its warmup drains run in the pre-switch mode; best-of-rounds timing
+  absorbs that, exactly as it absorbs cache warmup);
 - **sharded** — N worker processes each running the batched engine on its
   share of the peers, the process topology ``repro.live.shard`` deploys
   behind one SO_REUSEPORT UDP port.  Workers run simultaneously; the
@@ -55,7 +62,9 @@ they regressed more than ``--guard-tolerance`` (host-relative ratios
 travel across machines; raw datagram rates do not, which is why the guard
 never compares absolute throughput); ``--guard-min-vectorized`` adds an
 absolute floor on the vectorized-over-batched speedup at the largest
-measured peer count.  ``--profile`` cProfiles one extra round of the
+measured peer count; ``--guard-min-adaptive`` adds an absolute floor on
+``adaptive_vs_best_static`` at every measured peer count (the adaptive
+acceptance bar).  ``--profile`` cProfiles one extra round of the
 batched and vectorized drivers at the largest peer count and records the
 top cumulative functions in the snapshot — the starting data for the next
 optimization round.
@@ -75,7 +84,7 @@ from repro.live.monitor import LiveMonitor
 from repro.live.wire import Heartbeat
 from repro.obs import Observability
 
-SCHEMA = "repro-fd/bench-ingest/v2"
+SCHEMA = "repro-fd/bench-ingest/v3"
 DEFAULT_PEERS = (10, 50, 200)
 DETECTORS = ("2w-fd", "chen", "phi", "ed", "bertier")
 PARAMS = {"2w-fd": 0.05, "chen": 0.05, "phi": 3.0, "ed": 0.95}
@@ -95,7 +104,12 @@ MODES = {
     "scalar": ("private", "batched"),
     "batched": ("shared", "batched"),
     "vectorized": ("shared", "vectorized"),
+    "adaptive": ("shared", "adaptive"),
 }
+
+#: The static modes the adaptive controller chooses between; the v3
+#: acceptance ratio compares adaptive against the better of these.
+STATIC_MODES = ("batched", "vectorized")
 
 
 def _make_monitor(mode: str, obs: bool = False) -> LiveMonitor:
@@ -172,7 +186,7 @@ def _drive_batched(mon: LiveMonitor, payloads, arrivals=None) -> float:
 
 
 def _final_deadlines(mon: LiveMonitor) -> dict:
-    if mon._engine is not None:
+    if mon._columnar:
         mon._engine.sync_all()
     return {
         (p, name): det.suspicion_deadline
@@ -182,9 +196,9 @@ def _final_deadlines(mon: LiveMonitor) -> dict:
 
 
 def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
-    """Scalar, batched, and vectorized over one pinned-arrival stream:
-    identical events AND identical final freshness points.  Returns the
-    event count."""
+    """Scalar, batched, vectorized and adaptive over one pinned-arrival
+    stream: identical events AND identical final freshness points.
+    Returns the event count."""
     payloads = _round_payloads(n_peers, 1, n_beats)
     # Slight per-peer jitter (deterministic) so deadlines are distinct and
     # some expiries interleave with ingest via explicit poll calls.
@@ -201,7 +215,7 @@ def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
     ev_s = [(e.time, e.peer, e.detector, e.trusting) for e in scalar.events]
     dl_s = _final_deadlines(scalar)
     assert ev_s, "equivalence run produced no events - vacuous"
-    for mode in ("batched", "vectorized"):
+    for mode in ("batched", "vectorized", "adaptive"):
         mon = _make_monitor(mode)
         mon.now()
         _drive_batched(mon, payloads, arrivals)
@@ -230,6 +244,7 @@ def bench_peer_count(
         "scalar": _drive_scalar,
         "batched": _drive_batched,
         "vectorized": _drive_batched,
+        "adaptive": _drive_batched,
     }
     seq = 1
     warm = _round_payloads(n_peers, seq, WARMUP_BEATS)
@@ -261,9 +276,62 @@ def bench_peer_count(
     block["speedup_vectorized_over_batched"] = (
         best["batched"] / best["vectorized"]
     )
+    best_static = min(STATIC_MODES, key=lambda m: best[m])
+    block["best_static_mode"] = best_static
+    block["adaptive_vs_best_static"] = best[best_static] / best["adaptive"]
+    ctl = monitors["adaptive"].adaptive_controller
+    block["adaptive_controller"] = {
+        "final_mode": ctl.mode,
+        "n_switches": ctl.n_switches,
+        "fanin_ewma": ctl.fanin_ewma,
+    }
     block["equivalent"] = True
     block["n_equivalence_events"] = n_equiv_events
     return block
+
+
+def crossover_report(results: Dict[str, dict]) -> Dict[str, object]:
+    """Per-fan-in winners and the static crossover bracket.
+
+    The committed numbers show batched winning at low fan-in and
+    vectorized at high; the bracket names the adjacent measured peer
+    counts between which the vectorized-over-batched ratio crosses 1.0 —
+    the region the adaptive controller's hysteresis band must straddle.
+    """
+    blocks = sorted(
+        (
+            (block["n_peers"], name, block)
+            for name, block in results.items()
+            if name.startswith("peers_")
+        ),
+    )
+    winners = {
+        name: {
+            "n_peers": n,
+            "best_static_mode": block["best_static_mode"],
+            "speedup_vectorized_over_batched": block[
+                "speedup_vectorized_over_batched"
+            ],
+            "adaptive_vs_best_static": block["adaptive_vs_best_static"],
+        }
+        for n, name, block in blocks
+    }
+    bracket = None
+    for (n_lo, _, lo), (n_hi, _, hi) in zip(blocks, blocks[1:]):
+        r_lo = lo["speedup_vectorized_over_batched"]
+        r_hi = hi["speedup_vectorized_over_batched"]
+        if r_lo < 1.0 <= r_hi:
+            bracket = [n_lo, n_hi]
+            break
+    return {
+        "note": (
+            "winners per measured fan-in; crossover_bracket = adjacent "
+            "peer counts between which vectorized overtakes batched "
+            "(null when one mode wins everywhere measured)"
+        ),
+        "winners": winners,
+        "crossover_bracket": bracket,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -421,8 +489,11 @@ def check_snapshot(path: str) -> List[str]:
             "scalar",
             "batched",
             "vectorized",
+            "adaptive",
             "speedup_batched_over_scalar",
             "speedup_vectorized_over_batched",
+            "adaptive_vs_best_static",
+            "best_static_mode",
         ):
             if key not in block:
                 problems.append(f"results.{name}.{key} missing")
@@ -433,16 +504,22 @@ def check_snapshot(path: str) -> List[str]:
         for key in (
             "speedup_batched_over_scalar",
             "speedup_vectorized_over_batched",
+            "adaptive_vs_best_static",
         ):
             speedup = block.get(key)
             if not isinstance(speedup, (int, float)) or speedup <= 0:
                 problems.append(f"results.{name}.{key} not positive")
-        for key in ("scalar", "batched", "vectorized"):
+        if block.get("best_static_mode") not in STATIC_MODES:
+            problems.append(f"results.{name}.best_static_mode invalid")
+        for key in ("scalar", "batched", "vectorized", "adaptive"):
             sub = block.get(key)
             if isinstance(sub, dict):
                 seconds = sub.get("seconds")
                 if not isinstance(seconds, (int, float)) or seconds <= 0:
                     problems.append(f"results.{name}.{key}.seconds invalid")
+    crossover = results.get("crossover")
+    if not isinstance(crossover, dict) or "winners" not in crossover:
+        problems.append("results.crossover missing or malformed")
     shards = results.get("shard_scaling")
     if shards is not None and shards != "skipped":
         workers = shards.get("workers") if isinstance(shards, dict) else None
@@ -463,6 +540,7 @@ def guard_regression(
     results: Dict[str, dict],
     tolerance: float,
     min_vectorized: float | None = None,
+    min_adaptive: float | None = None,
 ) -> List[str]:
     """Compare measured speedups against a committed snapshot.
 
@@ -473,6 +551,10 @@ def guard_regression(
     vectorized winning (>= ``GUARD_VECTORIZED_ABOVE``).  When
     ``min_vectorized`` is given, the vectorized speedup at the *largest*
     measured peer count must additionally clear that absolute floor.
+    When ``min_adaptive`` is given, ``adaptive_vs_best_static`` must
+    clear that floor at *every* measured peer count — the adaptive
+    mode's whole promise is never being meaningfully worse than the best
+    static choice, so it is guarded everywhere, not just at the extreme.
     Returns a list of regressions (empty = pass).
     """
     problems: List[str] = []
@@ -534,6 +616,17 @@ def guard_regression(
                     f"{name}: vectorized speedup {measured:.2f}x is below "
                     f"the required {min_vectorized:.2f}x floor"
                 )
+    if min_adaptive is not None:
+        for name, block in sorted(results.items()):
+            if not name.startswith("peers_"):
+                continue
+            measured = block.get("adaptive_vs_best_static")
+            if not isinstance(measured, (int, float)) or measured < min_adaptive:
+                problems.append(
+                    f"{name}: adaptive is {measured:.2f}x of the best "
+                    f"static mode ({block.get('best_static_mode')}), below "
+                    f"the required {min_adaptive:.2f}x floor"
+                )
     return problems
 
 
@@ -570,6 +663,15 @@ def main() -> int:
         help="with --guard: the vectorized-over-batched speedup at the "
         "largest measured peer count must be at least X (absolute floor, "
         "e.g. 2.0 — the acceptance criterion at 200 peers)",
+    )
+    parser.add_argument(
+        "--guard-min-adaptive",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --guard: adaptive_vs_best_static must be at least X at "
+        "EVERY measured peer count (e.g. 0.95 — adaptive within 5%% of "
+        "the best static mode everywhere)",
     )
     parser.add_argument(
         "--profile",
@@ -625,9 +727,23 @@ def main() -> int:
             f"{block['batched']['datagrams_per_sec']:.3g} dg/s "
             f"({block['speedup_batched_over_scalar']:.2f}x), vectorized "
             f"{block['vectorized']['datagrams_per_sec']:.3g} dg/s "
-            f"({block['speedup_vectorized_over_batched']:.2f}x vs batched, "
+            f"({block['speedup_vectorized_over_batched']:.2f}x vs batched), "
+            f"adaptive {block['adaptive']['datagrams_per_sec']:.3g} dg/s "
+            f"({block['adaptive_vs_best_static']:.2f}x of best static "
+            f"[{block['best_static_mode']}], "
             f"{block['n_equivalence_events']} equivalence events)"
         )
+    results["crossover"] = crossover_report(results)
+    bracket = results["crossover"]["crossover_bracket"]
+    print(
+        "  crossover: "
+        + (
+            f"vectorized overtakes batched between {bracket[0]} and "
+            f"{bracket[1]} peers"
+            if bracket
+            else "no batched/vectorized crossover inside the measured range"
+        )
+    )
 
     if args.no_shards:
         results["shard_scaling"] = "skipped"
@@ -661,7 +777,9 @@ def main() -> int:
                 "single process, one core per mode; vectorized wins at "
                 "high fan-in (big per-batch peer groups) and loses below "
                 "~50 peers where sub-batches are too small to amortize "
-                "the numpy dispatch - see docs/performance.md"
+                "the numpy dispatch; adaptive tracks the per-fan-in "
+                "winner (results.crossover lists the winners and the "
+                "crossover bracket) - see docs/performance.md"
             ),
             "obs": args.obs,
         },
@@ -688,6 +806,7 @@ def main() -> int:
             results,
             args.guard_tolerance,
             args.guard_min_vectorized,
+            args.guard_min_adaptive,
         )
         if regressions:
             for r in regressions:

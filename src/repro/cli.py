@@ -196,13 +196,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mon.add_argument(
         "--ingest-mode",
-        choices=["scalar", "batched", "vectorized"],
+        choices=["scalar", "batched", "vectorized", "adaptive"],
         default="batched",
         help="datagram intake: 'scalar' = one decode+update per datagram "
         "(reference), 'batched' = drain the socket burst into one "
         "ingest_many call (default), 'vectorized' = zero-copy arena drain "
-        "+ columnar numpy estimation over each batch (requires "
-        "--estimation shared; bitwise-identical outputs)",
+        "+ columnar numpy estimation over each batch, 'adaptive' = pick "
+        "batched vs vectorized per drain from observed fan-in and drain "
+        "cost (all registry detectors have vectorized kernels; all modes "
+        "emit bitwise-identical outputs).  Invalid combinations: "
+        "vectorized/adaptive with --estimation private, or with a custom "
+        "detector class outside the registry",
     )
     p_mon.add_argument(
         "--obs",
@@ -669,17 +673,20 @@ def _cmd_live_monitor(args) -> int:
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
             return 2
-    if args.ingest_mode == "vectorized":
+    if args.ingest_mode in ("vectorized", "adaptive"):
         if args.estimation != "shared":
             print(
-                "--ingest-mode vectorized computes over the shared arrival "
-                "statistics; it requires --estimation shared",
+                f"--ingest-mode {args.ingest_mode} computes over the shared "
+                "arrival statistics; it requires --estimation shared",
                 file=sys.stderr,
             )
             return 2
-        # Fail fast (and readably) on detectors without a vectorized kernel.
+        # Fail fast (and readably) on detector classes without a vectorized
+        # kernel (every registry detector has one; this guards custom sets).
         try:
-            LiveMonitor(args.interval, names, params, ingest_mode="vectorized")
+            LiveMonitor(
+                args.interval, names, params, ingest_mode=args.ingest_mode
+            )
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2

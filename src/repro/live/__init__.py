@@ -13,6 +13,8 @@ Modules
   zero-copy socket drains;
 - :mod:`repro.live.ingest` — columnar batch-ingest engines (numpy
   vectorized, ``array``-module fallback) behind ``ingest_mode="vectorized"``;
+- :mod:`repro.live.adaptive` — the per-drain batched-vs-vectorized
+  policy behind ``ingest_mode="adaptive"``;
 - :mod:`repro.live.heartbeater` — async sender daemon (process p);
 - :mod:`repro.live.monitor` — async monitor daemon (process q): per-peer
   detectors, liveness polling, a subscribe-able suspicion/trust event
@@ -30,6 +32,7 @@ See ``docs/live.md`` for the architecture and ``examples/live_quickstart.py``
 for a complete loopback run with an injected crash.
 """
 
+from repro.live.adaptive import AdaptiveIngestController
 from repro.live.arena import ARENA_SLOT_BYTES, DEFAULT_ARENA_SLOTS, DatagramArena
 from repro.live.chaos import ChaosLink, ChaosSpec, PacketFate, PlannedPacket, plan_delivery
 from repro.live.heartbeater import Heartbeater
@@ -59,6 +62,7 @@ from repro.live.wire import (
 
 __all__ = [
     "ARENA_SLOT_BYTES",
+    "AdaptiveIngestController",
     "ChaosLink",
     "ChaosSpec",
     "DEFAULT_ARENA_SLOTS",

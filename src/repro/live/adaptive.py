@@ -1,0 +1,191 @@
+"""Per-drain ingest-mode selection for the live monitor.
+
+The two fast ingest paths have opposite sweet spots on the committed
+benchmarks (``BENCH_ingest.json``): the batched scalar path wins at low
+fan-in (vectorized is ~0.28x of batched at 10 peers — kernel launch and
+column assembly overhead dominate tiny sub-batches), the vectorized
+columnar path wins at high fan-in (~2.2x at 200 peers, crossover between
+10 and 50).  ``--ingest-mode adaptive`` refuses to make that trade-off
+statically: an :class:`AdaptiveIngestController` owned by the monitor
+watches every drain and picks the path for the *next* drain online.
+
+Signals (all EWMAs weighted by drain size, so stray single-datagram
+``ingest()`` calls cannot drown a steady batch stream):
+
+* **fan-in** — distinct peers per drain.  This, not raw batch size, is
+  what the vectorized win depends on: its kernels apply per sub-batch of
+  pairwise-distinct peers, so 512 datagrams from 10 peers vectorize in
+  runs of ≤ 10 rows while 512 from 200 peers vectorize in runs of
+  hundreds.
+* **per-datagram drain cost per mode** — measured wall time of each
+  drain divided by its datagram count, one EWMA per path.
+
+Decision rule: fan-in hysteresis (switch up above ``fanin_high``, down
+below ``fanin_low`` — the defaults 32/16 straddle the measured
+crossover) arbitrated by measured cost wherever both paths have been
+measured.  Fan-in is the *predictor* — it is what the vectorized win
+structurally depends on — but the crossover point varies by host, so
+once both per-datagram cost EWMAs exist they take precedence: a path
+that measures ``cost_margin`` cheaper wins regardless of which side of
+the band the fan-in sits on, and a fan-in-triggered switch *up* is
+vetoed while the vectorized path's last measurement is clearly worse
+(the veto yields above ``2 * fanin_high`` — by then the measurement
+came from a different fan-in regime and deserves a re-trial).  A
+minimum dwell (drains since the last switch) bounds switch frequency,
+so the O(peers × window) state migration the monitor performs on a
+switch (:meth:`VectorizedIngestEngine.adopt` / ``export``) stays off
+the hot path.
+
+The controller is pure policy — it never touches monitor state.  The
+monitor calls :meth:`decide` before a drain, runs the chosen path, and
+feeds the measurement back through :meth:`observe`.  Equivalence is the
+engine's problem, not the controller's: both paths are bitwise-identical
+to the scalar reference, so *any* decision sequence yields identical
+events, snapshots and QoS timelines — the property suite asserts exactly
+that by comparing adaptive runs against the reference.
+
+When numpy is unavailable there is no columnar path worth switching to
+(the ``array``-module fallback is per-row Python arithmetic too), so the
+monitor constructs the controller with ``columnar_available=False`` and
+it pins every decision to ``"batched"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["AdaptiveIngestController"]
+
+
+class AdaptiveIngestController:
+    """Online batched-vs-vectorized selection with hysteresis.
+
+    Parameters
+    ----------
+    fanin_high:
+        Switch batched → vectorized once the fan-in EWMA reaches this.
+    fanin_low:
+        Switch vectorized → batched once the fan-in EWMA falls to this.
+        Must be < ``fanin_high`` (the gap is the hysteresis band).
+    cost_margin:
+        Once both paths have measured per-datagram costs, switch to (or
+        stay on) the one whose cost times this factor still undercuts
+        the other's (> 1 demands a clear win before churning).
+    min_dwell:
+        Minimum drains between switches (migration-cost bound).
+    smoothing:
+        EWMA half-weight in datagrams: a drain of ``n`` datagrams moves
+        the averages by ``n / (n + smoothing)`` — a 512-datagram drain
+        shifts them ~20%, a single datagram ~0.05%.
+    columnar_available:
+        False pins the controller to ``"batched"`` (no numpy engine).
+    """
+
+    __slots__ = (
+        "fanin_high",
+        "fanin_low",
+        "cost_margin",
+        "min_dwell",
+        "smoothing",
+        "columnar_available",
+        "mode",
+        "fanin_ewma",
+        "cost",
+        "drains",
+        "n_switches",
+        "_since_switch",
+    )
+
+    def __init__(
+        self,
+        *,
+        fanin_high: float = 32.0,
+        fanin_low: float = 16.0,
+        cost_margin: float = 1.2,
+        min_dwell: int = 8,
+        smoothing: float = 2048.0,
+        columnar_available: bool = True,
+    ):
+        if not fanin_low < fanin_high:
+            raise ValueError(
+                f"fanin_low ({fanin_low}) must be < fanin_high ({fanin_high})"
+            )
+        if cost_margin < 1.0:
+            raise ValueError(f"cost_margin must be >= 1.0, got {cost_margin}")
+        self.fanin_high = float(fanin_high)
+        self.fanin_low = float(fanin_low)
+        self.cost_margin = float(cost_margin)
+        self.min_dwell = int(min_dwell)
+        self.smoothing = float(smoothing)
+        self.columnar_available = bool(columnar_available)
+        self.mode = "batched"
+        self.fanin_ewma: Optional[float] = None
+        self.cost: Dict[str, Optional[float]] = {
+            "batched": None,
+            "vectorized": None,
+        }
+        self.drains: Dict[str, int] = {"batched": 0, "vectorized": 0}
+        self.n_switches = 0
+        self._since_switch = 0
+
+    # ------------------------------------------------------------------
+    def decide(self) -> str:
+        """The mode for the next drain (updates :attr:`mode` on a switch)."""
+        if not self.columnar_available:
+            return self.mode
+        f = self.fanin_ewma
+        if f is None or self._since_switch < self.min_dwell:
+            return self.mode
+        cb = self.cost["batched"]
+        cv = self.cost["vectorized"]
+        both = cb is not None and cv is not None
+        vect_cheaper = both and cv * self.cost_margin < cb
+        batched_cheaper = both and cb * self.cost_margin < cv
+        if self.mode == "batched":
+            if vect_cheaper and f > self.fanin_low:
+                return self._switch("vectorized")
+            if f >= self.fanin_high:
+                # Measured-cost veto: vectorized was tried here and lost.
+                # Yield the veto once fan-in has doubled past the band —
+                # the measurement is from another regime, re-trial is due.
+                if batched_cheaper and f < 2.0 * self.fanin_high:
+                    return self.mode
+                return self._switch("vectorized")
+        else:
+            if f <= self.fanin_low or batched_cheaper:
+                return self._switch("batched")
+        return self.mode
+
+    def _switch(self, to: str) -> str:
+        self.mode = to
+        self.n_switches += 1
+        self._since_switch = 0
+        return to
+
+    def observe(self, mode: str, n: int, fanin: int, seconds: float) -> None:
+        """Feed back one drain: ``n`` datagrams from ``fanin`` distinct
+        peers handled by ``mode`` in ``seconds`` of wall time."""
+        if n <= 0:
+            return
+        self.drains[mode] += 1
+        self._since_switch += 1
+        w = n / (n + self.smoothing)
+        f = self.fanin_ewma
+        self.fanin_ewma = float(fanin) if f is None else f + w * (fanin - f)
+        c = seconds / n
+        prev = self.cost[mode]
+        self.cost[mode] = c if prev is None else prev + w * (c - prev)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Diagnostics for ``monitor_load`` / status snapshots."""
+        return {
+            "mode": self.mode,
+            "columnar_available": self.columnar_available,
+            "fanin_ewma": self.fanin_ewma,
+            "cost_batched": self.cost["batched"],
+            "cost_vectorized": self.cost["vectorized"],
+            "drains_batched": self.drains["batched"],
+            "drains_vectorized": self.drains["vectorized"],
+            "n_switches": self.n_switches,
+        }

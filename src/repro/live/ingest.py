@@ -52,6 +52,27 @@ window rebuilds reduce left-to-right (pure Python cannot reproduce
 numpy's SIMD pairwise partials), so bitwise equivalence to the numpy
 reference holds up to the first rebuild of a *full* window (``capacity``
 pushes); the fallback tests stay under that horizon.
+
+Three detector families keep state with no columnar form — the adaptive
+margin controller (a feedback loop over mistake-rate estimates), the
+histogram quantile sketch (a sorted list), and nothing at all
+(``chen-sync``) — and their kernels handle it honestly: ``chen-sync`` is a
+pure arithmetic column over the decoded sequence numbers; ``histogram``
+batches its sketch inserts through one inlined per-row update
+(:func:`_hist_update_deadline`, the detector's ``_update`` + ``_deadline``
+bodies verbatim) with the sketch living in the detector object, so it is
+always current on both the object and columnar paths; ``adaptive-2w-fd``
+evaluates the 2W-FD max-mean column kernel with a per-row margin gathered
+from each peer's :class:`AdaptiveMarginController` after feeding it the
+row (controller state is carried in the detector objects across
+sub-batches, preserving per-peer arrival order).
+
+For the adaptive ingest mode (:mod:`repro.live.adaptive`), :meth:`adopt`
+and :meth:`export` migrate per-peer estimation state between the scalar
+``SharedArrivalState`` objects and the columnar banks with field-for-field
+copies (ring buffer, cursors, baseline, running sums, rebuild phase — no
+arithmetic), so a drain can run on either path and continue bit-for-bit
+where the other stopped.
 """
 
 from __future__ import annotations
@@ -59,6 +80,7 @@ from __future__ import annotations
 import heapq
 import math
 from array import array
+from bisect import bisect_left, insort
 from typing import Dict, List, Mapping, Tuple
 
 try:  # pragma: no cover - exercised via the _HAVE_NUMPY monkeypatch
@@ -71,9 +93,12 @@ except ImportError:  # pragma: no cover
 
 from repro.core.twofd import MultiWindowFailureDetector
 from repro.detectors.accrual import PhiAccrualFailureDetector
+from repro.detectors.adaptive import AdaptiveTwoWindowFailureDetector
 from repro.detectors.bertier import BertierFailureDetector
 from repro.detectors.chen import ChenFailureDetector
+from repro.detectors.chen_sync import SynchronizedChenFailureDetector
 from repro.detectors.exponential import EDFailureDetector
+from repro.detectors.histogram import HistogramAccrualFailureDetector
 from repro.detectors.timeout import FixedTimeoutFailureDetector
 from repro.live.wire import (
     AUTH_TAG_BYTES,
@@ -96,13 +121,13 @@ _HEAD_SIZE = 6
 _BODY_SIZE = 16
 _MAX_U64 = 0xFFFFFFFFFFFFFFFF
 
-#: Detector classes the vectorized kernels cover (everything whose
-#: estimation state is expressible over the shared per-peer windows plus,
-#: for bertier, a scalar EWMA pair).  ``adaptive-2w-fd`` (feedback
-#: controller over mistake timestamps), ``chen-sync`` (sender-timestamp
-#: model) and ``histogram`` (quantile sketch) keep per-message private
-#: state with no columnar form here — configuring them with
-#: ``ingest_mode="vectorized"`` raises at construction.
+#: Detector classes the vectorized kernels cover — the full registry.
+#: Window-expressible estimation runs fully columnar; ``adaptive-2w-fd``
+#: and ``histogram`` carry their non-columnar state (margin controller,
+#: quantile sketch) in the detector objects with per-row updates inside
+#: the batch kernels, and ``chen-sync`` is pure arithmetic over the
+#: decoded sequence column.  Only detector classes outside this registry
+#: raise at construction under ``ingest_mode="vectorized"``.
 VECTOR_SUPPORTED_KINDS = (
     MultiWindowFailureDetector,
     ChenFailureDetector,
@@ -110,6 +135,9 @@ VECTOR_SUPPORTED_KINDS = (
     EDFailureDetector,
     BertierFailureDetector,
     FixedTimeoutFailureDetector,
+    AdaptiveTwoWindowFailureDetector,
+    SynchronizedChenFailureDetector,
+    HistogramAccrualFailureDetector,
 )
 
 
@@ -130,6 +158,8 @@ class _DetectorSpec:
         "beta",
         "phi",
         "timeout",
+        "offset",
+        "shift",
     )
 
     def __init__(self, name: str, kind: str):
@@ -147,7 +177,19 @@ def _build_specs(
     """
     specs: List[_DetectorSpec] = []
     for name, det in probe_detectors.items():
-        if isinstance(det, MultiWindowFailureDetector):
+        if isinstance(det, AdaptiveTwoWindowFailureDetector):
+            spec = _DetectorSpec(name, "adaptive")
+            spec.sizes = tuple(det.window_sizes)
+        elif isinstance(det, SynchronizedChenFailureDetector):
+            spec = _DetectorSpec(name, "chensync")
+            spec.offset = det.clock_offset
+            spec.shift = det.shift
+        elif isinstance(det, HistogramAccrualFailureDetector):
+            spec = _DetectorSpec(name, "hist")
+            spec.size = det.window_size
+            spec.quantile = det.threshold
+            spec.factor = det._factor
+        elif isinstance(det, MultiWindowFailureDetector):
             spec = _DetectorSpec(name, "maxmean")
             spec.sizes = tuple(det.window_sizes)
             spec.margin = det.safety_margin
@@ -177,10 +219,38 @@ def _build_specs(
         else:
             raise ValueError(
                 f"detector {name!r} ({type(det).__name__}) has no vectorized "
-                f"ingest kernel; use ingest_mode='batched' or 'scalar' for it"
+                f"ingest kernel (every registry detector — 2w-fd, mw-fd, chen,"
+                f" chen-sync, adaptive-2w-fd, phi, ed, bertier, histogram,"
+                f" fixed-timeout — does; custom detector classes need"
+                f" ingest_mode='batched' or 'scalar')"
             )
         specs.append(spec)
     return specs
+
+
+def _hist_update_deadline(det, arrival, cap, threshold, factor, interval):
+    """``HistogramAccrualFailureDetector._update`` + ``_deadline`` for one
+    accepted row, inlined over the detector's own sketch (deque + sorted
+    list).  The sketch stays object-authoritative on every ingest path, so
+    batched↔columnar switches need no histogram state migration."""
+    srt = det._sorted
+    pa = det._prev_arrival
+    if pa is not None:
+        gap = arrival - pa
+        fifo = det._fifo
+        if len(fifo) == cap:
+            oldest = fifo.popleft()
+            srt.pop(bisect_left(srt, oldest))
+        fifo.append(gap)
+        insort(srt, gap)
+    det._prev_arrival = arrival
+    n = len(srt)
+    if n:
+        rank = math.ceil(threshold * n) - 1
+        q = srt[rank] if rank > 0 else srt[0]
+    else:
+        q = interval
+    return arrival + factor * q
 
 
 # ======================================================================
@@ -294,6 +364,28 @@ class _WindowBank:
         self.sumsq[p] = float((rel * rel).sum())
         self.psr[p] = 0
 
+    # -- adaptive-mode state migration: field-for-field row copies ------
+    def load_row(self, p: int, win) -> None:
+        """Copy a scalar ``SlidingWindow``'s state into row ``p`` verbatim
+        (no arithmetic, so the columnar continuation is bit-identical)."""
+        self.buf[p, :] = win._buffer
+        self.count[p] = win._count
+        self.nxt[p] = win._next
+        self.baseline[p] = win._baseline
+        self.sum[p] = win._sum
+        self.sumsq[p] = win._sumsq
+        self.psr[p] = win._pushes_since_rebuild
+
+    def store_row(self, p: int, win) -> None:
+        """Copy row ``p`` back into a scalar ``SlidingWindow`` verbatim."""
+        win._buffer[:] = self.buf[p].tolist()
+        win._count = int(self.count[p])
+        win._next = int(self.nxt[p])
+        win._baseline = float(self.baseline[p])
+        win._sum = float(self.sum[p])
+        win._sumsq = float(self.sumsq[p])
+        win._pushes_since_rebuild = int(self.psr[p])
+
 
 class VectorizedIngestEngine:
     """Columnar per-batch ingest: decode, estimate and update freshness
@@ -325,7 +417,7 @@ class VectorizedIngestEngine:
         gap_sizes: set = set()
         pre_sizes: set = set()
         for spec in self._specs:
-            if spec.kind == "maxmean":
+            if spec.kind in ("maxmean", "adaptive"):
                 est_sizes.update(spec.sizes)
             elif spec.kind == "bertier":
                 est_sizes.add(spec.size)
@@ -366,6 +458,9 @@ class VectorizedIngestEngine:
         self._touch: List[int] = [-1] * slots
         self._serial = 0
         self._touched: List[int] = []
+        #: Distinct peers the last finished batch touched — the adaptive
+        #: controller's observed-fan-in signal for columnar drains.
+        self.last_fanin = 0
 
     # ------------------------------------------------------------------
     def _ensure_slots(self, n: int) -> None:
@@ -714,6 +809,45 @@ class VectorizedIngestEngine:
                 d = arr + (g.baseline[pidx] + m) * spec.factor
                 if warm.any():
                     d = np.where(warm, arr + interval * spec.factor, d)
+            elif kind == "adaptive":
+                # adaptive-2w-fd: the 2W-FD max-mean column plus a per-row
+                # margin from each peer's AdaptiveMarginController — fed the
+                # row first (the scalar _update), read after (the scalar
+                # _deadline).  max(meanᵢ + shift) == max(meanᵢ) + shift bit
+                # for bit (addition of a shared term is monotone and the
+                # winning operand pair is identical), the same identity the
+                # maxmean kernel relies on.
+                best = None
+                for size in spec.sizes:
+                    m = self._est[size].mean(pidx)
+                    best = m if best is None else np.maximum(best, m)
+                peer_list = self._mon._peer_by_index
+                plist_ = pidx.tolist()
+                seq_li = seq.tolist()
+                arr_li = arr.tolist()
+                margins = np.empty(n_acc)
+                for r in range(n_acc):
+                    ctl = peer_list[plist_[r]].det_list[j][1].controller
+                    ctl.observe(seq_li[r], arr_li[r])
+                    margins[r] = ctl.margin
+                d = best + shift + margins
+            elif kind == "chensync":
+                # chen-sync (NFD-S): exact send times, no estimation state —
+                # ((seq+1)·Δi + offset) + δ, pure column arithmetic.
+                d = (shift + spec.offset) + spec.shift
+            elif kind == "hist":
+                peer_list = self._mon._peer_by_index
+                plist_ = pidx.tolist()
+                arr_li = arr.tolist()
+                cap = spec.size
+                threshold = spec.quantile
+                factor = spec.factor
+                d = np.empty(n_acc)
+                for r in range(n_acc):
+                    d[r] = _hist_update_deadline(
+                        peer_list[plist_[r]].det_list[j][1],
+                        arr_li[r], cap, threshold, factor, interval,
+                    )
             else:  # bertier
                 p_ = pre[spec.size]
                 delay = self.b_delay[j][pidx]
@@ -804,9 +938,11 @@ class VectorizedIngestEngine:
         ``sched`` decides at pop time — so poll behavior matches the
         per-datagram pushes of the scalar path exactly)."""
         if not self._touched:
+            self.last_fanin = 0
             return
         ups = sorted(set(self._touched))
         self._touched = []
+        self.last_fanin = len(ups)
         pi = np.array(ups, dtype=np.intp)
         best = self.deadline[0][pi].copy()
         for j in range(1, self._D):
@@ -878,6 +1014,80 @@ class VectorizedIngestEngine:
             self.trust[j][p] = output.trusting
             le = output.last_event_time
             self.levt[j][p] = math.nan if le is None else le
+
+    # ------------------------------------------------------------------
+    # Adaptive-mode representation switching (object ↔ columnar)
+    # ------------------------------------------------------------------
+    def adopt(self, peer_list) -> None:
+        """Object state → columns: the adaptive monitor switching the
+        columnar path on.  Every copy is field-for-field (ring buffer,
+        cursors, baseline, running sums, rebuild phase — no arithmetic),
+        so the columnar phase continues bit-for-bit where the object
+        phase stopped.  O(peers × window capacity); hysteresis plus the
+        dwell minimum in :class:`repro.live.adaptive.AdaptiveIngestController`
+        keeps switches rare enough that this never shows up in a profile.
+        """
+        self._ensure_slots(len(peer_list))
+        cache = self._sender_cache
+        nan = math.nan
+        for state in peer_list:
+            p = state.index
+            cache[state.name.encode("utf-8")] = p
+            stats = state.stats
+            if stats is not None:
+                self.largest[p] = stats._largest_seq
+                pa = stats._prev_arrival
+                self.prev_arr[p] = nan if pa is None else pa
+                for size, bank in self._est.items():
+                    bank.load_row(p, stats._estimators[size]._window)
+                for size, bank in self._gaps.items():
+                    bank.load_row(p, stats._gaps[size])
+            else:
+                # No bindable detector configured: the batched path tracked
+                # acceptance per detector (in lockstep), and no window bank
+                # exists to fill.
+                self.largest[p] = state.last_seq
+                self.prev_arr[p] = nan
+            la = state.last_arrival
+            self.last_arr[p] = nan if la is None else la
+            lt = state.last_timestamp
+            self.last_ts[p] = nan if lt is None else lt
+            self.ndg[p] = state.n_datagrams
+            self.nacc[p] = state.n_accepted
+            self.nstale[p] = state.n_stale
+            self.dirty[p] = False
+            det_list = state.det_list
+            for j in range(self._D):
+                det = det_list[j][1]
+                output = det_list[j][2]
+                dv = det._current_deadline
+                self.deadline[j][p] = nan if dv is None else dv
+                le = output.last_event_time
+                self.levt[j][p] = nan if le is None else le
+                self.trust[j][p] = output.trusting
+            for j, _spec in self._bertier:
+                det = det_list[j][1]
+                self.b_delay[j][p] = det._delay
+                self.b_var[j][p] = det._var
+
+    def export(self, peer_list) -> None:
+        """Columns → object state: the adaptive monitor switching the
+        columnar path off.  ``sync_all`` already writes counters, deadlines,
+        outputs and the bertier EWMAs into the objects; what remains is the
+        shared estimation state the batched path reads directly."""
+        self.sync_all()
+        for state in peer_list:
+            stats = state.stats
+            if stats is None:
+                continue
+            p = state.index
+            stats._largest_seq = int(self.largest[p])
+            pa = self.prev_arr[p]
+            stats._prev_arrival = None if pa != pa else float(pa)
+            for size, bank in self._est.items():
+                bank.store_row(p, stats._estimators[size]._window)
+            for size, bank in self._gaps.items():
+                bank.store_row(p, stats._gaps[size])
 
 
 if _HAVE_NUMPY:
@@ -997,7 +1207,7 @@ class ArrayIngestEngine:
         est_sizes: set = set()
         gap_sizes: set = set()
         for spec in self._specs:
-            if spec.kind == "maxmean":
+            if spec.kind in ("maxmean", "adaptive"):
                 est_sizes.update(spec.sizes)
             elif spec.kind == "bertier":
                 est_sizes.add(spec.size)
@@ -1008,6 +1218,7 @@ class ArrayIngestEngine:
         self.largest: List[int] = []
         self.prev_arr: List[float | None] = []
         self._sender_cache: Dict[bytes, int] = {}
+        self.last_fanin = 0
 
     def _ensure_slots(self, n: int) -> None:
         for bank in self._est.values():
@@ -1024,6 +1235,7 @@ class ArrayIngestEngine:
         last_arrival = None
         arr_iter = iter(arrivals) if arrivals is not None else None
         n_dec = 0
+        seen: set = set()
         self.last_bad_rows = bad_rows = []
         for i, data in enumerate(datagrams):
             a = next(arr_iter) if arr_iter is not None else now
@@ -1034,12 +1246,14 @@ class ArrayIngestEngine:
                 bad_rows.append(i)
                 continue
             n_dec += 1
+            seen.add(sender)
             last_arrival = a
             acc = self._row(sender, seq, ts, a)
             if acc:
                 n_acc += 1
             else:
                 n_stl += 1
+        self.last_fanin = len(seen)
         return n_dec, n_acc, n_stl, n_bad, last_arrival
 
     def ingest_arena(self, arena, now):
@@ -1049,6 +1263,7 @@ class ArrayIngestEngine:
         buffer = arena.buffer
         slot = arena.slot_bytes
         lengths = arena.lengths
+        seen: set = set()
         self.last_bad_rows = bad_rows = []
         for i in range(arena.last_fill):
             try:
@@ -1058,11 +1273,13 @@ class ArrayIngestEngine:
                 bad_rows.append(i)
                 continue
             n_dec += 1
+            seen.add(sender)
             last_arrival = now
             if self._row(sender, seq, ts, now):
                 n_acc += 1
             else:
                 n_stl += 1
+        self.last_fanin = len(seen)
         return n_dec, n_acc, n_stl, n_bad, last_arrival
 
     # ------------------------------------------------------------------
@@ -1149,6 +1366,21 @@ class ArrayIngestEngine:
                     d = arrival + interval * spec.factor
                 else:
                     d = arrival + (g.baseline[p] + g.sum[p] / c) * spec.factor
+            elif kind == "adaptive":
+                ctl = det.controller
+                ctl.observe(seq, arrival)
+                bm = None
+                for size in spec.sizes:
+                    m = self._est[size].mean(p)
+                    if bm is None or m > bm:
+                        bm = m
+                d = bm + interval * (seq + 1) + ctl.margin
+            elif kind == "chensync":
+                d = (seq + 1) * interval + spec.offset + spec.shift
+            elif kind == "hist":
+                d = _hist_update_deadline(
+                    det, arrival, spec.size, spec.quantile, spec.factor, interval
+                )
             else:  # bertier
                 p_ = pre[spec.size]
                 if p_ is not None:

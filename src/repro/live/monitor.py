@@ -198,6 +198,7 @@ class _PeerState:
         "slow_dets",
         "stats",
         "sched",
+        "touch",
         "consumed",
         "consumed_total",
         "n_datagrams",
@@ -262,6 +263,9 @@ class _PeerState:
         # detectors' freshness points); None = no valid entry on the heap.
         # A popped entry is acted on only if it matches — lazy deletion.
         self.sched: float | None = None
+        # Drain serial of the last batch that touched this peer — the
+        # batched path's O(1)-per-datagram distinct-peer (fan-in) counter.
+        self.touch = -1
         self.consumed = {det: 0 for det in detectors}  # absolute drain cursors
         self.consumed_total = 0  # sum of the cursors (one-comparison drain check)
         self.n_datagrams = 0
@@ -350,6 +354,14 @@ class LiveMonitor:
         ingest batch sizes into a histogram, and — when ``obs.tracer`` is
         set — records heartbeat lifecycle trace events (sampled by the
         tracer's ``sample_every``).
+    adaptive_controller:
+        A pre-configured
+        :class:`repro.live.adaptive.AdaptiveIngestController` to use in
+        place of the default policy (``ingest_mode="adaptive"`` only —
+        any other mode raises).  Lets callers tune the hysteresis
+        thresholds, minimum dwell, and EWMA smoothing; if the columnar
+        engine is unavailable the monitor still pins the supplied
+        controller to the batched path.
     """
 
     def __init__(
@@ -365,6 +377,7 @@ class LiveMonitor:
         max_events: int | None = None,
         transition_retention: int | None = None,
         obs: Observability | None = None,
+        adaptive_controller=None,
     ):
         ensure_positive(interval, "interval")
         if not detectors:
@@ -377,15 +390,19 @@ class LiveMonitor:
             raise ValueError(
                 f"estimation must be 'shared' or 'private', got {estimation!r}"
             )
-        if ingest_mode not in ("scalar", "batched", "vectorized"):
+        if ingest_mode not in ("scalar", "batched", "vectorized", "adaptive"):
             raise ValueError(
-                f"ingest_mode must be 'scalar', 'batched' or 'vectorized', "
-                f"got {ingest_mode!r}"
+                f"ingest_mode must be 'scalar', 'batched', 'vectorized' or "
+                f"'adaptive', got {ingest_mode!r}"
             )
-        if ingest_mode == "vectorized" and estimation != "shared":
+        if ingest_mode in ("vectorized", "adaptive") and estimation != "shared":
             raise ValueError(
-                "ingest_mode='vectorized' computes over the shared "
+                f"ingest_mode={ingest_mode!r} computes over the shared "
                 "per-peer arrival statistics; it requires estimation='shared'"
+            )
+        if adaptive_controller is not None and ingest_mode != "adaptive":
+            raise ValueError(
+                "adaptive_controller only applies with ingest_mode='adaptive'"
             )
         if transition_retention is not None:
             ensure_positive(transition_retention, "transition_retention")
@@ -451,15 +468,57 @@ class LiveMonitor:
         self._tracer = obs.tracer if obs is not None else None
         self._m_batch_hist = None
         self._m_arena_hist = None
+        self._m_mode_drains = None
+        self._m_drain_hist = None
         self._engine = None
+        self._adaptive = None
+        # True while the columnar engine is the state authority for ingest
+        # (always, in vectorized mode; phase-dependent in adaptive mode).
+        self._columnar = False
+        # Drains handled per path (all modes; mirrored into the
+        # repro_ingest_mode_drains_total counter at scrape time).
+        self.ingest_drains: Dict[str, int] = {
+            "scalar": 0, "batched": 0, "vectorized": 0,
+        }
+        self.last_drain_fanin: int | None = None
+        self.n_mode_switches = 0
+        self._drain_serial = 0
         if ingest_mode == "vectorized":
             # Deferred import: the engine module is only needed (and its
             # numpy/array backend only chosen) when vectorized mode is on.
             from repro.live.ingest import build_engine
 
-            # Raises ValueError here for detectors without a vectorized
-            # kernel (adaptive-2w-fd, chen-sync, histogram).
+            # Raises ValueError here for detector classes outside the
+            # registry (every registry detector has a kernel).
             self._engine = build_engine(self, probe_dets)
+            self._columnar = True
+        elif ingest_mode == "adaptive":
+            # Adaptive mode switches each drain between the batched scalar
+            # path and the vectorized columnar path.  Without numpy the
+            # columnar path has no edge (the array fallback is per-row
+            # Python too), so the controller pins itself to batched and no
+            # engine is built.
+            from repro.live import ingest as ingest_mod
+            from repro.live.adaptive import AdaptiveIngestController
+
+            if ingest_mod._HAVE_NUMPY:
+                self._engine = ingest_mod.VectorizedIngestEngine(
+                    self, probe_dets
+                )
+            else:
+                # Still validate the detector set exactly as vectorized
+                # construction would (custom classes fail fast here too).
+                ingest_mod._build_specs(probe_dets)
+            if adaptive_controller is not None:
+                # Caller-tuned policy (thresholds, dwell, smoothing); the
+                # engine's absence still pins it to the batched path.
+                self._adaptive = adaptive_controller
+                if self._engine is None:
+                    self._adaptive.columnar_available = False
+            else:
+                self._adaptive = AdaptiveIngestController(
+                    columnar_available=self._engine is not None
+                )
         if obs is not None:
             self._bind_obs(obs)
 
@@ -477,6 +536,18 @@ class LiveMonitor:
             "repro_ingest_arena_occupancy",
             "Fraction of arena slots filled per zero-copy drain.",
             buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        )
+        self._m_mode_drains = reg.counter(
+            "repro_ingest_mode_drains_total",
+            "Socket drains executed, by the ingest path that handled them.",
+            ("mode",),
+        )
+        self._m_drain_hist = reg.histogram(
+            "repro_ingest_drain_seconds",
+            "Wall time of one adaptive-mode drain, by the path chosen "
+            "for it (the controller's cost signal, exported).",
+            ("mode",),
+            buckets=log_buckets(1e-5, 1.0, 3),
         )
         self._m_zero_copy = reg.counter(
             "repro_datagrams_zero_copy_total",
@@ -594,7 +665,7 @@ class LiveMonitor:
 
     def _obs_collect(self) -> None:
         """Scrape-time collector: mirror running totals, refresh gauges."""
-        if self._engine is not None:
+        if self._columnar:
             self._engine.sync_all()
         now = self.now()
         totals = self._counter_totals()
@@ -610,6 +681,9 @@ class LiveMonitor:
         self._m_polls.set_total(self.n_polls)
         self._m_batches.set_total(self.n_batches)
         self._m_zero_copy.set_total(self.n_zero_copy_datagrams)
+        for mode, count in self.ingest_drains.items():
+            if count:
+                self._m_mode_drains.labels(mode).set_total(count)
         self._g_peers.set(len(self._peers))
         self._g_heap.set(len(self._heap))
         self._g_rate.set(self._rate.rate(now))
@@ -682,8 +756,20 @@ class LiveMonitor:
 
     @property
     def ingest_mode(self) -> str:
-        """``"scalar"``, ``"batched"`` or ``"vectorized"`` ingest path."""
+        """``"scalar"``, ``"batched"``, ``"vectorized"`` or ``"adaptive"``."""
         return self._ingest_mode
+
+    @property
+    def columnar_active(self) -> bool:
+        """Whether the columnar engine currently owns the ingest state
+        (always in vectorized mode; phase-dependent in adaptive mode)."""
+        return self._columnar
+
+    @property
+    def adaptive_controller(self):
+        """The :class:`repro.live.adaptive.AdaptiveIngestController`
+        (``None`` unless ``ingest_mode="adaptive"``)."""
+        return self._adaptive
 
     @property
     def shared_detectors(self) -> Tuple[str, ...]:
@@ -767,10 +853,16 @@ class LiveMonitor:
             for name in self._detector_names
         }
         stats = None
-        if self._shared_names and self._engine is None:
+        if self._shared_names and (
+            self._engine is None or self._adaptive is not None
+        ):
             # Vectorized mode never instantiates per-peer shared stats:
             # the engine's columnar window banks hold that state for
-            # every peer at once.
+            # every peer at once.  Adaptive mode always instantiates them
+            # (and binds detectors) so the batched path can take over at
+            # any drain; while the columnar path is active the engine's
+            # banks are authoritative and export() refreshes these objects
+            # on the way back.
             stats = SharedArrivalState(self._interval)
             for name in self._shared_names:
                 bound = detectors[name].bind_shared_arrivals(stats)
@@ -836,9 +928,12 @@ class LiveMonitor:
         """
         if arrival is None:
             arrival = self.now()
-        if self._engine is not None:
-            # Vectorized mode: even singles route through the engine so
-            # the columnar state stays the one authority.
+        if self._columnar:
+            # Columnar phase: even singles route through the engine so
+            # the columnar state stays the one authority.  (Adaptive mode
+            # in its batched phase falls through to the scalar path below;
+            # singles are control-path traffic and never feed the
+            # controller's drain signals.)
             engine = self._engine
             n_dec, n_acc, n_stl, n_bad, _ = engine.ingest_datagrams(
                 (data,), (arrival,), arrival
@@ -962,11 +1057,14 @@ class LiveMonitor:
             )
         if addrs is not None and len(addrs) != n:
             raise ValueError(f"got {n} datagrams but {len(addrs)} addrs")
+        if self._adaptive is not None:
+            return self._ingest_adaptive(datagrams, arrivals, n, addrs)
         if self._engine is not None:
             return self._ingest_vectorized(datagrams, arrivals, n, addrs)
         if self._ingest_mode == "scalar":
             # The per-datagram reference: semantics of calling ingest()
             # in a loop, batch accounting (n_batches etc.) excluded.
+            self.ingest_drains["scalar"] += 1
             n_dec = 0
             if addrs is None:
                 addrs = repeat(None, n)
@@ -980,6 +1078,15 @@ class LiveMonitor:
                     if self.ingest(data, arrival, addr=addr) is not None:
                         n_dec += 1
             return n_dec
+        return self._ingest_batched(datagrams, arrivals, n, addrs)
+
+    def _ingest_batched(self, datagrams, arrivals, n: int, addrs=None) -> int:
+        """The batched scalar hot loop (``ingest_mode="batched"``, and the
+        adaptive mode's low-fan-in phase)."""
+        self.ingest_drains["batched"] += 1
+        serial = self._drain_serial + 1
+        self._drain_serial = serial
+        fanin = 0
         if arrivals is None:
             arrivals = repeat(self.now(), n)
         if addrs is None:
@@ -1014,6 +1121,9 @@ class LiveMonitor:
             state = peers_get(sender)
             if state is None:
                 state = self._new_peer(sender, arrival)
+            if state.touch != serial:
+                state.touch = serial
+                fanin += 1
             state.n_datagrams += 1
             stats = state.stats
             if stats is not None:
@@ -1174,6 +1284,7 @@ class LiveMonitor:
         if n_bad:
             self.n_malformed += n_bad
             logger.debug("dropped %d malformed datagrams in batch", n_bad)
+        self.last_drain_fanin = fanin
         n_decoded = n - n_bad
         if n_decoded:
             self._rate.update_many(last_arrival, n_decoded)
@@ -1203,12 +1314,14 @@ class LiveMonitor:
         return n_dec
 
     def _ingest_vectorized(self, datagrams, arrivals, n: int, addrs=None) -> int:
+        self.ingest_drains["vectorized"] += 1
         engine = self._engine
         now = self.now() if arrivals is None else None
         n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_datagrams(
             datagrams, arrivals, now
         )
         engine.finish_batch()
+        self.last_drain_fanin = engine.last_fanin
         if n_bad:
             # Rejects are rare; attribute each through the scalar decoder.
             for row in engine.last_bad_rows:
@@ -1218,6 +1331,50 @@ class LiveMonitor:
                     arrivals[row] if arrivals is not None else now,
                 )
         return self._account_batch(n, n_dec, n_acc, n_stl, n_bad, last_arrival)
+
+    # ------------------------------------------------------------------
+    # Adaptive per-drain mode selection
+    # ------------------------------------------------------------------
+    def _set_columnar(self, active: bool) -> None:
+        """Switch the ingest-state authority between the detector objects
+        and the columnar engine (adaptive mode only).  Migration is a
+        field-for-field copy both ways, so the continuation is bit-exact;
+        the controller's hysteresis + dwell keep switches rare."""
+        if active == self._columnar:
+            return
+        if active:
+            self._engine.adopt(self._peer_by_index)
+        else:
+            self._engine.export(self._peer_by_index)
+        self._columnar = active
+        self.n_mode_switches += 1
+        if logger.isEnabledFor(logging.INFO):
+            logger.info(
+                structured(
+                    "ingest-mode-switch",
+                    path="vectorized" if active else "batched",
+                    n_peers=len(self._peer_by_index),
+                )
+            )
+
+    def _ingest_adaptive(self, datagrams, arrivals, n: int, addrs=None) -> int:
+        """One drain under adaptive mode: ask the controller for a path,
+        migrate state if the choice flipped, run the drain under a timer,
+        and feed the measurement back."""
+        ctl = self._adaptive
+        mode = ctl.decide()
+        if (mode == "vectorized") != self._columnar:
+            self._set_columnar(mode == "vectorized")
+        t0 = time.perf_counter()
+        if self._columnar:
+            n_dec = self._ingest_vectorized(datagrams, arrivals, n, addrs)
+        else:
+            n_dec = self._ingest_batched(datagrams, arrivals, n, addrs)
+        dt = time.perf_counter() - t0
+        ctl.observe(mode, n, self.last_drain_fanin or 0, dt)
+        if self._m_drain_hist is not None:
+            self._m_drain_hist.labels(mode).observe(dt)
+        return n_dec
 
     def ingest_arena(self, arena) -> int:
         """Feed a :class:`repro.live.arena.DatagramArena`'s last drain.
@@ -1234,14 +1391,36 @@ class LiveMonitor:
         if k == 0:
             return 0
         self.n_zero_copy_datagrams += k
-        engine = self._engine
-        if engine is None:
+        if self._adaptive is not None:
+            ctl = self._adaptive
+            mode = ctl.decide()
+            if (mode == "vectorized") != self._columnar:
+                self._set_columnar(mode == "vectorized")
+            t0 = time.perf_counter()
+            if self._columnar:
+                n_dec = self._ingest_arena_vectorized(arena, k)
+            else:
+                # The batched path decodes arena slots in place (memoryview
+                # slices through decode_fields), still copy-free.
+                n_dec = self._ingest_batched(arena.datagrams(), None, k)
+            dt = time.perf_counter() - t0
+            ctl.observe(mode, k, self.last_drain_fanin or 0, dt)
+            if self._m_drain_hist is not None:
+                self._m_drain_hist.labels(mode).observe(dt)
+            return n_dec
+        if self._engine is None:
             return self.ingest_many(arena.datagrams())
+        return self._ingest_arena_vectorized(arena, k)
+
+    def _ingest_arena_vectorized(self, arena, k: int) -> int:
+        self.ingest_drains["vectorized"] += 1
+        engine = self._engine
         now = self.now()
         n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_arena(
             arena, now
         )
         engine.finish_batch()
+        self.last_drain_fanin = engine.last_fanin
         if n_bad:
             # The arena drains via recv_into, which cannot report source
             # addresses; rejects here carry a reason but no source.
@@ -1276,7 +1455,9 @@ class LiveMonitor:
         # e.g. KeyboardInterrupt) must still record the tick's duration —
         # otherwise last_poll_duration silently reports the *previous*
         # poll and the repro_last_poll_seconds gauge lies.
-        engine = self._engine
+        # In adaptive mode's batched phase the engine holds no fresh state
+        # (dirty flags all cleared at export), so it is skipped outright.
+        engine = self._engine if self._columnar else None
         try:
             if self._poll_mode == "sweep":
                 if engine is not None:
@@ -1386,7 +1567,7 @@ class LiveMonitor:
     def is_trusting(self, peer: str, detector: str, now: float | None = None) -> bool:
         """One detector's current view of one peer."""
         state = self._require(peer)
-        if self._engine is not None:
+        if self._columnar:
             self._engine.sync_peer(state.index, state)
         if now is None:
             now = self.now()
@@ -1405,6 +1586,13 @@ class LiveMonitor:
             "poll_mode": self._poll_mode,
             "estimation": self._estimation,
             "ingest_mode": self._ingest_mode,
+            "columnar_active": self._columnar,
+            "ingest_drains": dict(self.ingest_drains),
+            "last_drain_fanin": self.last_drain_fanin,
+            "n_mode_switches": self.n_mode_switches,
+            "ingest_controller": (
+                self._adaptive.as_dict() if self._adaptive is not None else None
+            ),
             "n_zero_copy_datagrams": self.n_zero_copy_datagrams,
             "shared_detectors": list(self._shared_names),
             "heap_size": len(self._heap),
@@ -1445,7 +1633,7 @@ class LiveMonitor:
         }
         if not include_peers:
             return snap
-        if self._engine is not None:
+        if self._columnar:
             self._engine.sync_all()
         peers = {}
         for peer, state in self._peers.items():
@@ -1488,7 +1676,7 @@ class LiveMonitor:
         """
         if end is None:
             end = self.now()
-        if self._engine is not None:
+        if self._columnar:
             self._engine.sync_all()
         out: Dict[str, Dict[str, OutputTimeline]] = {}
         for peer, state in self._peers.items():
@@ -1500,7 +1688,7 @@ class LiveMonitor:
                     det.finalize(end), start=state.first_arrival, end=end
                 )
             self._drain(peer, state)  # surface any expiry finalize materialized
-            if self._engine is not None:
+            if self._columnar:
                 self._engine.writeback_output(state.index, state)
             out[peer] = per_det
         return out
@@ -1599,10 +1787,10 @@ class LiveMonitorServer:
         ensure_positive(tick, "tick")
         if ingest_mode == "batch":  # legacy alias from the pre-arena server
             ingest_mode = "batched"
-        if ingest_mode not in ("scalar", "batched", "vectorized"):
+        if ingest_mode not in ("scalar", "batched", "vectorized", "adaptive"):
             raise ValueError(
-                "ingest_mode must be 'scalar', 'batched', or 'vectorized', "
-                f"got {ingest_mode!r}"
+                "ingest_mode must be 'scalar', 'batched', 'vectorized', or "
+                f"'adaptive', got {ingest_mode!r}"
             )
         self.monitor = monitor
         self._host = host
@@ -1665,7 +1853,9 @@ class LiveMonitorServer:
     async def start(self) -> Tuple[str, int]:
         """Bind the socket and start polling; returns the bound address."""
         loop = asyncio.get_running_loop()
-        if self._ingest_mode == "vectorized":
+        if self._ingest_mode in ("vectorized", "adaptive"):
+            # Both columnar-capable modes receive through the zero-copy
+            # arena; the monitor routes each drain to the right path.
             from repro.live.arena import DatagramArena
 
             if self._sock is not None:

@@ -305,9 +305,13 @@ async def _shard_main(
         admission = AdmissionController(
             TenantRegistry.from_config(tenants_config), observability=obs
         )
-    # The server's receive strategy follows the monitor's ingest mode: in
-    # vectorized mode it drains the pre-bound shard socket through the
-    # zero-copy arena instead of the asyncio datagram transport.
+    # The server's receive strategy follows the monitor's ingest mode: the
+    # columnar-capable modes (vectorized, adaptive) drain the pre-bound
+    # shard socket through the zero-copy arena instead of the asyncio
+    # datagram transport.  Each worker owns its monitor — so under
+    # adaptive mode every SO_REUSEPORT shard runs its own controller and
+    # adapts to the fan-in the kernel's 4-tuple hash actually gives *it*,
+    # independently of its siblings.
     server = LiveMonitorServer(
         monitor,
         tick=tick,

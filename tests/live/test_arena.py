@@ -96,6 +96,44 @@ class TestDrain:
             rx.close()
             tx.close()
 
+    def test_redrain_after_partial_fill_hides_stale_slots(self):
+        """A drain that fills fewer slots than the previous one must not
+        resurface the stale tail: ``datagrams()``/``datagram()`` are
+        bounded by ``last_fill``, and a monitor ingesting the re-drain
+        sees only the fresh datagrams (stale slot bytes still hold valid,
+        decodable heartbeats from the earlier batch — the bound, not the
+        content, is what protects them from double-ingestion)."""
+        rx, tx = _socketpair()
+        try:
+            arena = DatagramArena(slots=8)
+            from repro.live.monitor import LiveMonitor
+
+            monitor = LiveMonitor(
+                0.1, ["2w-fd"], {"2w-fd": 0.05}, ingest_mode="vectorized"
+            )
+            for i in range(6):
+                tx.send(Heartbeat(f"p{i}", 1, 0.0).encode())
+            assert arena.drain(rx) == 6
+            assert monitor.ingest_arena(arena) == 6
+            # Partial re-drain: two fresh datagrams over the old slots.
+            tx.send(Heartbeat("p0", 2, 0.1).encode())
+            tx.send(Heartbeat("p1", 2, 0.1).encode())
+            assert arena.drain(rx) == 2
+            assert arena.last_fill == 2
+            assert len(arena.datagrams()) == 2
+            with pytest.raises(IndexError):
+                arena.datagram(2)  # stale slot: bytes present, unreachable
+            assert monitor.ingest_arena(arena) == 2
+            # Exactly 8 accepted heartbeats: the 6 stale slots were not
+            # re-ingested (their payloads would count as stale duplicates).
+            assert monitor.n_accepted_total == 8
+            assert monitor.n_stale_total == 0
+            snap = monitor.snapshot(now=0.2)
+            assert set(snap["peers"]) == {f"p{i}" for i in range(6)}
+        finally:
+            rx.close()
+            tx.close()
+
     def test_oversized_datagram_truncated_but_still_rejected(self):
         """recv_into truncation never turns garbage into a valid heartbeat:
         the truncated length (slot size) exceeds every valid datagram, so

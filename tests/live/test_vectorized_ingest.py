@@ -8,6 +8,10 @@ is not "approximately equal": every transition event, every snapshot field,
 and every QoS timeline must be **bitwise identical** to the scalar
 reference path, across randomized interleavings, message loss, stale
 duplicates, and out-of-order arrivals.  These tests are the enforcement.
+``ingest_mode="adaptive"`` inherits the same contract for free — any
+per-drain interleaving of the batched and vectorized paths must land on
+the same surface (its controller/migration mechanics are exercised in
+``test_adaptive_ingest.py``).
 
 The only tolerated difference is the ``monitor`` load block (batch counts,
 heap size): batching strategy is observable there by design.
@@ -18,23 +22,37 @@ import random
 import pytest
 
 import repro.live.ingest as ingest_mod
+from repro.core.windows import SlidingWindow
 from repro.live.arena import DatagramArena
 from repro.live.monitor import LiveMonitor
 from repro.live.wire import Heartbeat
 
-# Every detector with a vectorized kernel (adaptive-2w-fd, chen-sync and
-# histogram deliberately have none — asserted below).
-DETECTORS = ["2w-fd", "mw-fd", "chen", "phi", "ed", "bertier", "fixed-timeout"]
+# Every registry detector has a vectorized kernel (only detector classes
+# outside the registry fail fast — asserted below).
+DETECTORS = [
+    "2w-fd",
+    "mw-fd",
+    "chen",
+    "chen-sync",
+    "adaptive-2w-fd",
+    "phi",
+    "ed",
+    "bertier",
+    "histogram",
+    "fixed-timeout",
+]
 PARAMS = {
     "2w-fd": 0.05,
     "mw-fd": 0.05,
     "chen": 0.05,
+    "chen-sync": 0.05,
     "phi": 3.0,
     "ed": 0.95,
+    "histogram": 0.99,
     "fixed-timeout": 0.3,
 }
 INTERVAL = 0.1
-MODES = ["scalar", "batched", "vectorized"]
+MODES = ["scalar", "batched", "vectorized", "adaptive"]
 
 
 class _Clock:
@@ -141,13 +159,31 @@ def _assert_same_surface(reference, other, label):
 
 class TestBitwiseEquivalence:
     @pytest.mark.parametrize("seed", range(8))
-    def test_three_modes_bitwise_identical(self, seed):
+    def test_all_modes_bitwise_identical(self, seed):
         batches, polls = _generate_workload(seed)
         scalar = _run("scalar", batches, polls)
         assert scalar["events"], "workload produced no transitions"
         _assert_same_surface(scalar, _run("batched", batches, polls), "batched")
         _assert_same_surface(
             scalar, _run("vectorized", batches, polls), "vectorized"
+        )
+        _assert_same_surface(
+            scalar, _run("adaptive", batches, polls), "adaptive"
+        )
+
+    @pytest.mark.parametrize(
+        "name,param",
+        [("adaptive-2w-fd", None), ("chen-sync", 0.05), ("histogram", 0.99)],
+    )
+    def test_new_kernels_solo_bitwise_identical(self, name, param):
+        """Each newly-vectorized detector alone, so a kernel bug cannot
+        hide behind the transitions of the rest of the suite."""
+        batches, polls = _generate_workload(11, n_peers=5, n_batches=60)
+        scalar = _run("scalar", batches, polls, detectors=[name])
+        assert scalar["events"], "workload produced no transitions"
+        _assert_same_surface(
+            scalar, _run("vectorized", batches, polls, detectors=[name]),
+            f"vectorized[{name}]",
         )
 
     def test_single_datagram_ingest_matches(self):
@@ -254,6 +290,111 @@ class TestArrayFallback:
         _assert_same_surface(scalar, fallback, "array-fallback")
 
 
+class TestSlotGrowth:
+    """Property tests for the peer-slot growth paths: a bank that grows
+    mid-stream must keep every existing row bitwise equal to a scalar
+    ``SlidingWindow`` mirror, and fresh rows must behave as empty windows.
+    The growth plan hits the boundaries: grow-to-same (no-op), grow-by-one,
+    and a shrink request (must be refused without touching state)."""
+
+    GROW_PLAN = [1, 1, 2, 3, 3, 5, 8, 13]
+
+    @pytest.mark.parametrize("capacity", [1, 2, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_window_bank_grow_boundaries(self, capacity, seed):
+        np = ingest_mod.np
+        rng = random.Random(seed)
+        bank = ingest_mod._WindowBank(capacity, 1)
+        wins = []
+        for target in self.GROW_PLAN:
+            bank.grow(target)
+            while len(wins) < target:
+                wins.append(SlidingWindow(capacity))
+            assert bank.buf.shape == (len(wins), capacity)
+            idx = np.arange(len(wins))
+            for _ in range(capacity + 2):  # cross the rebuild horizon
+                vals = [rng.uniform(0.0, 1.0) for _ in wins]
+                bank.push(idx, np.asarray(vals))
+                for w, v in zip(wins, vals):
+                    w.push(v)
+            for p, w in enumerate(wins):
+                self._assert_row_equal(bank, p, w, list_of=np.ndarray)
+        # Shrink request: refused, arrays untouched (identity, not copy).
+        buf = bank.buf
+        bank.grow(len(wins) - 3)
+        assert bank.buf is buf
+
+    @pytest.mark.parametrize("capacity", [1, 2, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_array_bank_grow_boundaries(self, capacity, seed):
+        # The fallback bank's rebuild reduces left-to-right while the
+        # scalar window's uses numpy's reduction — a documented rounding
+        # divergence — so running sums get a tight approx; everything
+        # else (ring contents, cursors, baselines) stays exact, and the
+        # grow operation itself is asserted bit-preserving below.
+        rng = random.Random(seed)
+        bank = ingest_mod._ArrayBank(capacity)
+        wins = []
+        for target in self.GROW_PLAN:
+            before = [
+                (list(bank.buf[p]), bank.count[p], bank.nxt[p],
+                 bank.baseline[p], bank.sum[p], bank.sumsq[p], bank.psr[p])
+                for p in range(len(bank.count))
+            ]
+            bank.grow_to(target)
+            after = [
+                (list(bank.buf[p]), bank.count[p], bank.nxt[p],
+                 bank.baseline[p], bank.sum[p], bank.sumsq[p], bank.psr[p])
+                for p in range(len(before))
+            ]
+            assert after == before, "grow_to disturbed an existing row"
+            while len(wins) < target:
+                wins.append(SlidingWindow(capacity))
+            assert len(bank.count) == len(wins)
+            assert len(bank.buf) == len(wins)
+            for _ in range(capacity + 2):
+                for p, w in enumerate(wins):
+                    v = rng.uniform(0.0, 1.0)
+                    bank.push(p, v)
+                    w.push(v)
+            for p, w in enumerate(wins):
+                self._assert_row_equal(bank, p, w, exact_sums=False)
+        # grow_to is idempotent at the current size.
+        n = len(bank.count)
+        bank.grow_to(n)
+        assert len(bank.count) == n
+
+    @staticmethod
+    def _assert_row_equal(bank, p, w, list_of=None, exact_sums=True):
+        assert list(bank.buf[p]) == w._buffer, f"row {p} ring buffer"
+        assert int(bank.count[p]) == w._count
+        assert int(bank.nxt[p]) == w._next
+        assert float(bank.baseline[p]) == w._baseline
+        if exact_sums:
+            assert float(bank.sum[p]) == w._sum
+            assert float(bank.sumsq[p]) == w._sumsq
+        else:
+            assert float(bank.sum[p]) == pytest.approx(w._sum, rel=1e-12)
+            assert float(bank.sumsq[p]) == pytest.approx(w._sumsq, rel=1e-12)
+        assert int(bank.psr[p]) == w._pushes_since_rebuild
+        if list_of is not None:
+            assert isinstance(bank.buf[p], list_of)
+
+    def test_window_bank_new_rows_start_empty(self):
+        np = ingest_mod.np
+        bank = ingest_mod._WindowBank(4, 2)
+        bank.push(np.array([0, 1]), np.array([5.0, 7.0]))
+        bank.grow(5)
+        for p in range(2, 5):
+            assert int(bank.count[p]) == 0
+            assert bank.pre_mean(np.array([p]))[0] != bank.pre_mean(
+                np.array([p])
+            )[0]  # NaN encodes the scalar None
+        # And the pre-existing rows survived the reallocation.
+        assert float(bank.mean(np.array([0]))[0]) == 5.0
+        assert float(bank.mean(np.array([1]))[0]) == 7.0
+
+
 class TestConstructionErrors:
     def test_vectorized_requires_shared_estimation(self):
         with pytest.raises(ValueError, match="shared"):
@@ -266,14 +407,30 @@ class TestConstructionErrors:
             )
 
     @pytest.mark.parametrize("name", ["adaptive-2w-fd", "chen-sync", "histogram"])
-    def test_unvectorizable_detectors_fail_fast(self, name):
-        with pytest.raises(ValueError, match=name):
-            LiveMonitor(
-                INTERVAL,
-                [name],
-                {name: 0.05} if name == "chen-sync" else None,
-                ingest_mode="vectorized",
-            )
+    def test_every_registry_detector_constructs_vectorized(self, name):
+        """The former unvectorizable trio now has columnar kernels."""
+        LiveMonitor(
+            INTERVAL,
+            [name],
+            {name: 0.05} if name == "chen-sync" else (
+                {name: 0.99} if name == "histogram" else None
+            ),
+            ingest_mode="vectorized",
+        )
+
+    def test_custom_detector_class_fails_fast(self):
+        """Only detector classes outside the registry lack a kernel; the
+        message must name the offender and the modes that do accept it."""
+
+        class HomeGrownDetector:
+            pass
+
+        with pytest.raises(ValueError) as exc:
+            ingest_mod._build_specs({"homegrown": HomeGrownDetector()})
+        msg = str(exc.value)
+        assert "homegrown" in msg
+        assert "HomeGrownDetector" in msg
+        assert "batched" in msg and "scalar" in msg
 
     def test_other_modes_accept_all_detectors(self):
         LiveMonitor(INTERVAL, ["adaptive-2w-fd"])

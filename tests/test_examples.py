@@ -20,6 +20,7 @@ CASES = [
     ("shared_service_demo.py", []),
     ("adaptive_monitoring.py", []),
     ("adaptive_margin.py", ["0.005"]),
+    ("adaptive_ingest.py", []),
     ("custom_detector.py", []),
     ("cluster_membership.py", []),
     ("bring_your_own_trace.py", []),
