@@ -187,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
         "is unavailable)",
     )
     p_mon.add_argument(
+        "--status-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="sharded only: per-attempt timeout for the parent's fetches "
+        "from each worker's status endpoint (default 2)",
+    )
+    p_mon.add_argument(
+        "--status-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sharded only: retry failed worker status fetches N more "
+        "times before reporting that shard as errored (default 1)",
+    )
+    p_mon.add_argument(
+        "--status-mode",
+        choices=["delta", "full"],
+        default="delta",
+        help="sharded only: how the parent aggregates worker snapshots — "
+        "'delta' folds per-worker incremental deltas into a persistent "
+        "merged view with per-shard cursors (default), 'full' re-fetches "
+        "and re-merges every worker's full snapshot per request "
+        "(reference)",
+    )
+    p_mon.add_argument(
         "--estimation",
         choices=["shared", "private"],
         default="shared",
@@ -291,6 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fetch only the constant-size monitor-load summary "
         "(peer count, heartbeat rate, poll cost, heap size)",
+    )
+    p_st.add_argument(
+        "--watch",
+        nargs="?",
+        type=float,
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="re-fetch and re-print every SECONDS (default 2) until "
+        "interrupted; uses cursor-resumed delta fetches when the server "
+        "supports them (only changed peers travel per refresh)",
     )
     p_st.add_argument(
         "--timeout",
@@ -673,6 +710,14 @@ def _cmd_live_monitor(args) -> int:
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
             return 2
+    if args.status_timeout <= 0:
+        print(f"--status-timeout must be positive, got {args.status_timeout}",
+              file=sys.stderr)
+        return 2
+    if args.status_retries < 0:
+        print(f"--status-retries must be non-negative, got {args.status_retries}",
+              file=sys.stderr)
+        return 2
     if args.ingest_mode in ("vectorized", "adaptive"):
         if args.estimation != "shared":
             print(
@@ -826,6 +871,9 @@ def _run_sharded_monitor(args, names, params, registry=None) -> int:
             obs=args.obs == "on",
             trace_sample_every=args.trace_sample,
             tenants_config=registry.to_config() if registry is not None else None,
+            status_timeout=args.status_timeout,
+            status_retries=args.status_retries,
+            status_mode=args.status_mode,
         )
         async with sharded:
             host, port = sharded.address
@@ -924,8 +972,10 @@ def _cmd_live_heartbeat(args) -> int:
 
 def _cmd_live_status(args) -> int:
     import json
+    import time
 
-    from repro.live.status import fetch_status
+    from repro.live.delta import SnapshotReplica
+    from repro.live.status import fetch_delta, fetch_status
 
     if args.timeout <= 0:
         print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
@@ -933,24 +983,50 @@ def _cmd_live_status(args) -> int:
     if args.retries < 0:
         print(f"--retries must be non-negative, got {args.retries}", file=sys.stderr)
         return 2
-    try:
-        snap = fetch_status(
-            args.host,
-            args.port,
-            summary=args.summary,
-            timeout=args.timeout,
-            retries=args.retries,
-        )
-    except (ConnectionError, OSError, TimeoutError) as exc:
-        attempts = f" after {args.retries + 1} attempts" if args.retries else ""
-        reason = str(exc) or type(exc).__name__
-        print(
-            f"cannot reach {args.host}:{args.port}{attempts}: {reason}",
-            file=sys.stderr,
-        )
-        return 1
-    print(json.dumps(snap, indent=2, sort_keys=True))
-    return 0
+    if args.watch is not None and args.watch <= 0:
+        print(f"--watch must be positive, got {args.watch}", file=sys.stderr)
+        return 2
+    # Under --watch, refreshes ride the delta protocol: only the peers
+    # whose entries changed travel each round, and the replica rebuilds
+    # the full document locally.  A server that doesn't speak 'delta'
+    # answers with a plain full snapshot, which the replica treats as a
+    # full refresh — so --watch works against any status endpoint.
+    # (--summary fetches are already constant-size; no replica needed.)
+    replica = SnapshotReplica() if args.watch is not None and not args.summary else None
+    while True:
+        try:
+            if replica is not None:
+                doc = fetch_delta(
+                    args.host,
+                    args.port,
+                    replica.cursor,
+                    replica.instance,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                )
+                if "error" in doc and "schema" not in doc:
+                    print(f"status error: {doc['error']}", file=sys.stderr)
+                    return 1
+                replica.apply(doc)
+                snap = replica.document()
+            else:
+                snap = fetch_status(
+                    args.host,
+                    args.port,
+                    summary=args.summary,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                )
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            return _reach_error(args, exc)
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        if args.watch is None:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _reach_error(args, exc) -> int:

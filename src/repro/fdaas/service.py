@@ -147,6 +147,19 @@ class FdaasServer:
         snap["sla"] = self.sla.status()
         return snap
 
+    def _delta(self, since: int | None = None, instance: str | None = None) -> dict:
+        """Enriched delta: the monitor's incremental document plus the
+        head-sized ``sla``/``events`` blocks (always included — they are
+        O(tenants), not O(peers), so deltas stay cheap)."""
+        doc = self._server._status_delta(since, instance)
+        doc["sla"] = self.sla.status()
+        doc["events"] = {
+            "published": self.broker.n_published,
+            "cursor": self.broker.cursor,
+            "dropped": self.broker.dropped,
+        }
+        return doc
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -160,6 +173,7 @@ class FdaasServer:
                 host=self._status_host,
                 port=self._status_port,
                 summary=self._summary,
+                delta=self._delta,
                 metrics=self.monitor.render_metrics,
                 trace=self.monitor.trace_document,
                 events=self.broker.document,

@@ -461,6 +461,13 @@ class VectorizedIngestEngine:
         #: Distinct peers the last finished batch touched — the adaptive
         #: controller's observed-fan-in signal for columnar drains.
         self.last_fanin = 0
+        #: Slot indices whose *entry-visible* state the last finished
+        #: batch changed — the monitor's delta-generation stamp set.  On
+        #: this engine that is the accepted set: a stale-only columnar
+        #: bump (ndg/nstale) stays invisible to snapshots until the next
+        #: dirty-driven sync, so stamping it would mark entries that have
+        #: not observably changed.
+        self.last_touched: List[int] = []
 
     # ------------------------------------------------------------------
     def _ensure_slots(self, n: int) -> None:
@@ -939,10 +946,12 @@ class VectorizedIngestEngine:
         per-datagram pushes of the scalar path exactly)."""
         if not self._touched:
             self.last_fanin = 0
+            self.last_touched = []
             return
         ups = sorted(set(self._touched))
         self._touched = []
         self.last_fanin = len(ups)
+        self.last_touched = ups
         pi = np.array(ups, dtype=np.intp)
         best = self.deadline[0][pi].copy()
         for j in range(1, self._D):
@@ -1015,6 +1024,16 @@ class VectorizedIngestEngine:
             le = output.last_event_time
             self.levt[j][p] = math.nan if le is None else le
 
+    def forget_peer(self, state) -> None:
+        """Drop a removed peer from the sender cache (and its dirty flag):
+        the next datagram bearing its name must resolve through the
+        monitor's peer map — i.e. re-discover — rather than silently feed
+        the dead slot's columns."""
+        self._sender_cache.pop(state.name.encode("utf-8"), None)
+        p = state.index
+        if p < int(self.dirty.shape[0]):
+            self.dirty[p] = False
+
     # ------------------------------------------------------------------
     # Adaptive-mode representation switching (object ↔ columnar)
     # ------------------------------------------------------------------
@@ -1031,6 +1050,10 @@ class VectorizedIngestEngine:
         cache = self._sender_cache
         nan = math.nan
         for state in peer_list:
+            if state.removed:
+                # Tombstoned slot: never re-register the name — a future
+                # datagram must re-discover the peer, not feed a dead row.
+                continue
             p = state.index
             cache[state.name.encode("utf-8")] = p
             stats = state.stats
@@ -1078,7 +1101,7 @@ class VectorizedIngestEngine:
         self.sync_all()
         for state in peer_list:
             stats = state.stats
-            if stats is None:
+            if state.removed or stats is None:
                 continue
             p = state.index
             stats._largest_seq = int(self.largest[p])
@@ -1199,6 +1222,11 @@ class ArrayIngestEngine:
     #: Original batch row indices the last ingest call rejected.
     last_bad_rows: "List[int] | tuple" = ()
 
+    #: Always empty here: ``_row`` mutates the peer objects directly, so
+    #: the delta-generation stamp happens inline (every decoded sender,
+    #: stale rows included) and the monitor's post-batch stamp is a no-op.
+    last_touched: tuple = ()
+
     def __init__(self, monitor, probe_detectors: Mapping[str, object]):
         self._mon = monitor
         self._interval = float(monitor.interval)
@@ -1298,6 +1326,7 @@ class ArrayIngestEngine:
                 "recv", time=arrival, peer=sender, hb_seq=seq, sent_at=ts
             )
         state.n_datagrams += 1
+        state.gen = mon._status_gen
         if seq <= self.largest[p]:
             state.n_stale += 1
             if traced:
@@ -1428,6 +1457,12 @@ class ArrayIngestEngine:
 
     def writeback_output(self, p: int, state) -> None:
         pass
+
+    def forget_peer(self, state) -> None:
+        """Drop a removed peer's sender-cache entry (see the numpy
+        engine's docstring) — the column banks keep the dead row, which
+        is never addressed again."""
+        self._sender_cache.pop(state.name.encode("utf-8"), None)
 
 
 def build_engine(monitor, probe_detectors: Mapping[str, object]):

@@ -40,6 +40,7 @@ import logging
 import math
 import socket
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass
 from itertools import repeat
@@ -208,6 +209,8 @@ class _PeerState:
         "last_arrival",
         "last_timestamp",
         "last_seq",
+        "gen",
+        "removed",
     )
 
     def __init__(
@@ -275,6 +278,14 @@ class _PeerState:
         self.last_arrival: float | None = None
         self.last_timestamp: float | None = None
         self.last_seq = 0
+        # Snapshot generation of the last entry-visible change (the delta
+        # dirty-set stamp); 0 predates every cursor, so a fresh peer is
+        # always included until stamped.
+        self.gen = 0
+        # Tombstoned by remove_peer: the slot in _peer_by_index survives
+        # (heap indices stay valid) but heavy state is dropped and the
+        # engines must never re-register the name.
+        self.removed = False
 
 
 @dataclass(frozen=True)
@@ -483,6 +494,22 @@ class LiveMonitor:
         self.last_drain_fanin: int | None = None
         self.n_mode_switches = 0
         self._drain_serial = 0
+        # --- Delta-snapshot state ---------------------------------------
+        # A monotone generation bumped at the entry of every mutating call
+        # (ingest/ingest_many/ingest_arena/poll/remove_peer/timelines);
+        # each peer whose *entry-visible* state changed is stamped with
+        # the current value, so `delta_snapshot(since)` returns exactly
+        # the peers with gen > since.  The instance id distinguishes this
+        # monitor's generation sequence from a restarted one's: a cursor
+        # minted against a previous process must force a full snapshot.
+        self._status_gen = 0
+        self._status_instance = uuid.uuid4().hex
+        # Removed-peer tombstones: peer -> generation of the removal.  The
+        # map is bounded; compaction raises _tombstone_floor so cursors
+        # older than a dropped tombstone fall back to a full snapshot
+        # instead of silently missing the removal.
+        self._tombstones: Dict[str, int] = {}
+        self._tombstone_floor = 0
         if ingest_mode == "vectorized":
             # Deferred import: the engine module is only needed (and its
             # numpy/array backend only chosen) when vectorized mode is on.
@@ -873,6 +900,10 @@ class LiveMonitor:
             stats.seal()
         state = _PeerState(sender, len(self._peer_by_index), detectors, stats)
         state.first_arrival = arrival
+        state.gen = self._status_gen
+        # A re-joining peer supersedes its own removal tombstone: the new
+        # entry (fresh index, fresh detectors) is what deltas must carry.
+        self._tombstones.pop(sender, None)
         if self._retention is not None:
             for det in detectors.values():
                 det.set_transition_retention(self._retention)
@@ -928,6 +959,7 @@ class LiveMonitor:
         """
         if arrival is None:
             arrival = self.now()
+        self._status_gen += 1
         if self._columnar:
             # Columnar phase: even singles route through the engine so
             # the columnar state stays the one authority.  (Adaptive mode
@@ -939,6 +971,7 @@ class LiveMonitor:
                 (data,), (arrival,), arrival
             )
             engine.finish_batch()
+            self._stamp_touched(engine)
             if n_bad:
                 self.n_malformed += 1
                 reason = self._reject_reason(data)
@@ -973,6 +1006,7 @@ class LiveMonitor:
         if state is None:
             state = self._new_peer(hb.sender, arrival)
         state.n_datagrams += 1
+        state.gen = self._status_gen
         if state.stats is not None:
             # Shared windows must hold this arrival *before* any sharing
             # detector computes its deadline (the private path pushes in
@@ -1057,6 +1091,7 @@ class LiveMonitor:
             )
         if addrs is not None and len(addrs) != n:
             raise ValueError(f"got {n} datagrams but {len(addrs)} addrs")
+        self._status_gen += 1
         if self._adaptive is not None:
             return self._ingest_adaptive(datagrams, arrivals, n, addrs)
         if self._engine is not None:
@@ -1101,6 +1136,7 @@ class LiveMonitor:
         inf = math.inf
         interval = self._interval
         tracer = self._tracer
+        status_gen = self._status_gen
         n_bad = 0
         n_acc = 0
         n_stl = 0
@@ -1125,6 +1161,7 @@ class LiveMonitor:
                 state.touch = serial
                 fanin += 1
             state.n_datagrams += 1
+            state.gen = status_gen
             stats = state.stats
             if stats is not None:
                 # Fast path: every detector applies the same acceptance
@@ -1313,6 +1350,18 @@ class LiveMonitor:
             self._m_batch_hist.observe(n)
         return n_dec
 
+    def _stamp_touched(self, engine) -> None:
+        """Stamp the delta generation on every peer whose entry-visible
+        state the engine's last batch changed (``engine.last_touched``:
+        accepted peers on the numpy engine — stale-only columnar bumps
+        stay invisible until the next dirty-driven sync, exactly as full
+        snapshots see them — and every decoded sender on the array
+        fallback, whose rows mutate the peer objects directly)."""
+        gen = self._status_gen
+        peer_list = self._peer_by_index
+        for pidx in engine.last_touched:
+            peer_list[pidx].gen = gen
+
     def _ingest_vectorized(self, datagrams, arrivals, n: int, addrs=None) -> int:
         self.ingest_drains["vectorized"] += 1
         engine = self._engine
@@ -1321,6 +1370,7 @@ class LiveMonitor:
             datagrams, arrivals, now
         )
         engine.finish_batch()
+        self._stamp_touched(engine)
         self.last_drain_fanin = engine.last_fanin
         if n_bad:
             # Rejects are rare; attribute each through the scalar decoder.
@@ -1390,6 +1440,7 @@ class LiveMonitor:
         k = arena.last_fill
         if k == 0:
             return 0
+        self._status_gen += 1
         self.n_zero_copy_datagrams += k
         if self._adaptive is not None:
             ctl = self._adaptive
@@ -1420,6 +1471,7 @@ class LiveMonitor:
             arena, now
         )
         engine.finish_batch()
+        self._stamp_touched(engine)
         self.last_drain_fanin = engine.last_fanin
         if n_bad:
             # The arena drains via recv_into, which cannot report source
@@ -1446,6 +1498,7 @@ class LiveMonitor:
         """
         if now is None:
             now = self.now()
+        self._status_gen += 1
         t0 = time.perf_counter()
         n_pops = 0
         n_expired = 0
@@ -1506,6 +1559,10 @@ class LiveMonitor:
                     expired_peers.add(pidx)
                 for pidx in sorted(expired_peers):
                     state = peer_list[pidx]
+                    # An expired deadline is an entry-visible change (the
+                    # predictive `trusting` crossed it) even when no
+                    # transition event drains out, so stamp unconditionally.
+                    state.gen = self._status_gen
                     fresh.extend(self._drain(state.name, state))
         finally:
             self.n_polls += 1
@@ -1538,6 +1595,7 @@ class LiveMonitor:
                 )
         state.consumed_total = total
         if fresh:
+            state.gen = self._status_gen
             log_events = logger.isEnabledFor(logging.INFO)
             tracer = self._tracer
             for event in fresh:
@@ -1635,31 +1693,148 @@ class LiveMonitor:
             return snap
         if self._columnar:
             self._engine.sync_all()
+        snap["peers"] = {
+            peer: self._peer_entry(state, now)
+            for peer, state in self._peers.items()
+        }
+        return snap
+
+    @staticmethod
+    def _peer_entry(state: _PeerState, now: float) -> dict:
+        """One peer's JSON entry — shared by the full and delta snapshots
+        so the two paths cannot drift."""
+        detectors = {}
+        for name, det in state.detectors.items():
+            detectors[name] = {
+                "trusting": det.is_trusting(now),
+                "freshness_point": det.suspicion_deadline,
+                "n_suspicions": det.n_suspicions,
+                "largest_seq": det.largest_seq,
+            }
+        offset = None
+        if state.last_arrival is not None and state.last_timestamp is not None:
+            offset = state.last_timestamp - state.last_arrival
+        return PeerStatus(
+            peer=state.name,
+            n_datagrams=state.n_datagrams,
+            n_accepted=state.n_accepted,
+            n_stale=state.n_stale,
+            last_seq=state.last_seq,
+            last_arrival=state.last_arrival,
+            clock_offset_estimate=offset,
+            detectors=detectors,
+        ).as_dict()
+
+    #: Bound on the removed-peer tombstone map.  Compaction keeps the
+    #: newest half and raises ``_tombstone_floor`` past the dropped ones,
+    #: so a cursor older than any dropped removal degrades to a full
+    #: snapshot instead of silently missing it.
+    _TOMBSTONE_CAP = 4096
+
+    def remove_peer(self, peer: str) -> bool:
+        """Stop monitoring ``peer``; returns False if it was unknown.
+
+        The peer's slot in the index list survives as a tombstone (heap
+        entries referencing it die by lazy deletion; the engines skip it
+        on adopt/export) but detectors, shared windows and drain cursors
+        are dropped, so the memory cost of a removed peer is near zero.
+        Delta snapshots report the removal to every cursor minted before
+        it; a later heartbeat from the same name re-discovers the peer
+        with fresh detectors (exactly like a first contact).
+        """
+        state = self._peers.pop(peer, None)
+        if state is None:
+            return False
+        self._status_gen += 1
+        state.removed = True
+        state.sched = None  # heap entries for this index now lazily die
+        if self._engine is not None:
+            self._engine.forget_peer(state)
+        # Drop the heavy per-peer state; the tombstone keeps only the
+        # cheap identity fields.
+        state.detectors = {}
+        state.det_list = ()
+        state.fast_dets = ()
+        state.mid_dets = ()
+        state.slow_dets = ()
+        state.stats = None
+        state.consumed = {}
+        state.consumed_total = 0
+        self._tombstones[peer] = self._status_gen
+        if len(self._tombstones) > self._TOMBSTONE_CAP:
+            # Keep the newest half; cursors at or below the floor fall
+            # back to a full snapshot.
+            ordered = sorted(self._tombstones.items(), key=lambda kv: kv[1])
+            cut = len(ordered) // 2
+            self._tombstone_floor = ordered[cut - 1][1]
+            self._tombstones = dict(ordered[cut:])
+        if logger.isEnabledFor(logging.INFO):
+            logger.info(structured("peer-removed", peer=peer))
+        return True
+
+    def delta_snapshot(
+        self,
+        since: int | None = None,
+        instance: str | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Changed-entries-only snapshot for cursors minted by this monitor.
+
+        Returns the constant-size summary head plus a ``delta`` block
+        (``instance``, ``cursor``, ``full``), the ``peers`` whose entry
+        changed after generation ``since``, and the names ``removed``
+        since then.  Falls back to a full listing (``full: true``) when
+        the cursor is absent, minted by another instance (a restart),
+        ahead of this monitor's generation (a restart that re-used the
+        instance id cannot happen — ids are random — but a corrupted
+        cursor can), or older than a compacted tombstone.
+
+        The call polls to ``now`` first, so every deadline that expired
+        before ``now`` is materialized — the predictive ``trusting``
+        field can then only differ from the last cursor on peers this
+        poll stamped.  (A deadline landing *exactly* on ``now`` is not
+        expired yet by the strict-comparison convention and flips only
+        once a later generation passes it — the same knife edge the
+        heap/sweep reference paths share.)
+        """
+        if now is None:
+            now = self.now()
+        self.poll(now)
+        gen = self._status_gen
+        full = (
+            since is None
+            or instance != self._status_instance
+            or since > gen
+            or since < self._tombstone_floor
+        )
+        doc = self.snapshot(now, include_peers=False)
+        doc["delta"] = {
+            "instance": self._status_instance,
+            "since": None if full else since,
+            "cursor": gen,
+            "full": full,
+        }
+        if full:
+            if self._columnar:
+                self._engine.sync_all()
+            doc["peers"] = {
+                peer: self._peer_entry(state, now)
+                for peer, state in self._peers.items()
+            }
+            doc["removed"] = []
+            return doc
+        engine = self._engine if self._columnar else None
         peers = {}
         for peer, state in self._peers.items():
-            detectors = {}
-            for name, det in state.detectors.items():
-                detectors[name] = {
-                    "trusting": det.is_trusting(now),
-                    "freshness_point": det.suspicion_deadline,
-                    "n_suspicions": det.n_suspicions,
-                    "largest_seq": det.largest_seq,
-                }
-            offset = None
-            if state.last_arrival is not None and state.last_timestamp is not None:
-                offset = state.last_timestamp - state.last_arrival
-            peers[peer] = PeerStatus(
-                peer=peer,
-                n_datagrams=state.n_datagrams,
-                n_accepted=state.n_accepted,
-                n_stale=state.n_stale,
-                last_seq=state.last_seq,
-                last_arrival=state.last_arrival,
-                clock_offset_estimate=offset,
-                detectors=detectors,
-            ).as_dict()
-        snap["peers"] = peers
-        return snap
+            if state.gen > since:
+                if engine is not None:
+                    engine.sync_peer(state.index, state)
+                peers[peer] = self._peer_entry(state, now)
+        doc["peers"] = peers
+        doc["removed"] = sorted(
+            peer for peer, g in self._tombstones.items() if g > since
+        )
+        return doc
 
     def summary(self, now: float | None = None) -> dict:
         """Constant-size snapshot head (no per-peer listing)."""
@@ -1676,6 +1851,7 @@ class LiveMonitor:
         """
         if end is None:
             end = self.now()
+        self._status_gen += 1
         if self._columnar:
             self._engine.sync_all()
         out: Dict[str, Dict[str, OutputTimeline]] = {}
@@ -1835,6 +2011,12 @@ class LiveMonitorServer:
             snap["admission"] = self._admission.stats()
         return snap
 
+    def _status_delta(self, since=None, instance=None) -> dict:
+        doc = self.monitor.delta_snapshot(since, instance)
+        if self._admission is not None:
+            doc["admission"] = self._admission.stats()
+        return doc
+
     def _drain_arena(self) -> None:
         """Readable callback: drain the socket queue into the arena and hand
         the whole burst to the monitor in one zero-copy call.  The loop is
@@ -1893,6 +2075,7 @@ class LiveMonitorServer:
                 host=self._status_host,
                 port=self._status_port,
                 summary=self._status_summary,
+                delta=self._status_delta,
                 metrics=self.monitor.render_metrics if has_obs else None,
                 trace=self.monitor.trace_document if has_obs else None,
             )

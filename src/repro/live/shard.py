@@ -38,15 +38,22 @@ import socket
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro._validation import ensure_int_at_least, ensure_positive
+from repro.live.delta import MergedStatusView
 from repro.live.monitor import LiveMonitor, LiveMonitorServer
 from repro.live.status import (
     SNAPSHOT_SCHEMA_VERSION,
     StatusServer,
+    afetch_delta,
     afetch_metrics,
     afetch_status,
     structured,
 )
-from repro.obs.metrics import merge_expositions
+from repro.obs.metrics import (
+    merge_expositions,
+    merge_parsed,
+    parse_exposition,
+    render_parsed,
+)
 from repro.obs.runtime import Observability
 
 __all__ = [
@@ -379,9 +386,24 @@ class ShardedMonitor:
         obs: bool = False,
         trace_sample_every: int = 1,
         tenants_config: dict | None = None,
+        status_timeout: float = 2.0,
+        status_retries: int = 1,
+        status_mode: str = "delta",
     ):
         ensure_positive(interval, "interval")
         ensure_int_at_least(n_shards, 1, "n_shards")
+        ensure_positive(status_timeout, "status_timeout")
+        ensure_int_at_least(status_retries, 0, "status_retries")
+        if status_mode not in ("delta", "full"):
+            raise ValueError(
+                f"status_mode must be 'delta' or 'full', got {status_mode!r}"
+            )
+        self._status_timeout = float(status_timeout)
+        self._status_retries = int(status_retries)
+        #: ``"delta"`` folds per-worker deltas into a persistent merged
+        #: view; ``"full"`` is the reference path — re-fetch and re-merge
+        #: every worker's full snapshot per request.
+        self.status_mode = status_mode
         # Multi-tenant admission: the picklable TenantRegistry.to_config()
         # dict; each worker rebuilds its own registry + controller from it.
         self._tenants_config = tenants_config
@@ -438,6 +460,13 @@ class ShardedMonitor:
         self._workers: List[multiprocessing.Process] = []
         self._status_ports: Dict[int, int] = {}
         self._stop_event = None
+        # Delta-mode state: the persistent merged view (rebuilt per
+        # start(), since workers — and their cursors — are per run), a
+        # per-shard (text, parsed) exposition cache, and the last merged
+        # exposition keyed on the tuple of per-shard texts.
+        self._view = MergedStatusView(n_shards=self.n_shards)
+        self._parsed_cache: Dict[int, Tuple[str, dict]] = {}
+        self._merged_metrics_cache: Tuple[Tuple[str, ...], str] | None = None
 
     # -- single-process fallback ---------------------------------------
     @property
@@ -446,11 +475,17 @@ class ShardedMonitor:
         return "sharded" if self.n_shards > 1 else "single"
 
     async def _merged_snapshot(self) -> dict:
+        """Reference path: full per-shard refetch + merge per request."""
         snaps = []
         errors = []
         results = await asyncio.gather(
             *(
-                afetch_status(self._status_host, port, timeout=2.0, retries=1)
+                afetch_status(
+                    self._status_host,
+                    port,
+                    timeout=self._status_timeout,
+                    retries=self._status_retries,
+                )
                 for port in self._status_ports.values()
             ),
             return_exceptions=True,
@@ -474,12 +509,59 @@ class ShardedMonitor:
             merged["shard_errors"] = errors
         return merged
 
-    async def _merged_metrics(self) -> str:
-        """One exposition for the whole shard group (counters summed,
-        per-shard capacity gauges summed, latency gauges worst-case)."""
+    async def _refresh_view(self) -> None:
+        """One delta round: fetch each shard at its cursor, fold the lot.
+
+        A restarted (or newly seen) worker answers a cursor minted by its
+        predecessor with a full listing — instance ids don't match — so
+        only that shard pays the full-refetch cost; the rest keep folding
+        incrementally.  Unreachable shards surface in ``shard_errors``.
+        """
+        sids = list(self._status_ports)
         results = await asyncio.gather(
             *(
-                afetch_metrics(self._status_host, port, timeout=2.0, retries=1)
+                afetch_delta(
+                    self._status_host,
+                    self._status_ports[sid],
+                    *self._view.cursor(sid),
+                    timeout=self._status_timeout,
+                    retries=self._status_retries,
+                )
+                for sid in sids
+            ),
+            return_exceptions=True,
+        )
+        self._view.fold(dict(zip(sids, results)))
+
+    async def _view_snapshot(self) -> dict:
+        await self._refresh_view()
+        return self._view.document()
+
+    async def _view_delta(
+        self, since: int | None = None, instance: str | None = None
+    ) -> dict:
+        """The parent's own ``delta`` responses (hierarchy-stackable)."""
+        await self._refresh_view()
+        return self._view.delta_document(since, instance)
+
+    async def _merged_metrics(self) -> str:
+        """One exposition for the whole shard group (counters summed,
+        per-shard capacity gauges summed, latency gauges worst-case).
+
+        In delta mode the parse/merge/render pipeline is cached: each
+        shard's parsed document is reused while its text is unchanged
+        (worker-side family render caches make unchanged text the common
+        case), and the merged text is reused while *no* shard changed.
+        ``status_mode="full"`` keeps the uncached reference pipeline.
+        """
+        results = await asyncio.gather(
+            *(
+                afetch_metrics(
+                    self._status_host,
+                    port,
+                    timeout=self._status_timeout,
+                    retries=self._status_retries,
+                )
                 for port in self._status_ports.values()
             ),
             return_exceptions=True,
@@ -487,7 +569,26 @@ class ShardedMonitor:
         texts = [r for r in results if isinstance(r, str)]
         if not texts:
             raise RuntimeError("no shard served a metrics exposition")
-        return merge_expositions(texts, gauge_policy=_GAUGE_SUM_METRICS)
+        if self.status_mode == "full":
+            return merge_expositions(texts, gauge_policy=_GAUGE_SUM_METRICS)
+        key = tuple(texts)
+        held = self._merged_metrics_cache
+        if held is not None and held[0] == key:
+            return held[1]
+        parsed_docs = []
+        for sid, result in zip(self._status_ports, results):
+            if not isinstance(result, str):
+                continue
+            cached = self._parsed_cache.get(sid)
+            if cached is None or cached[0] != result:
+                cached = (result, parse_exposition(result))
+                self._parsed_cache[sid] = cached
+            parsed_docs.append(cached[1])
+        text = render_parsed(
+            merge_parsed(parsed_docs, gauge_policy=_GAUGE_SUM_METRICS)
+        )
+        self._merged_metrics_cache = (key, text)
+        return text
 
     async def start(self) -> Tuple[str, int]:
         """Bind the shared UDP port, start the workers, serve the merge."""
@@ -576,12 +677,19 @@ class ShardedMonitor:
             await self.stop()
             raise
         self._status_ports = dict(sorted(self._status_ports.items()))
+        # Fresh workers mean fresh cursors: discard any view/caches from a
+        # previous run of this aggregator.
+        self._view = MergedStatusView(n_shards=self.n_shards)
+        self._parsed_cache = {}
+        self._merged_metrics_cache = None
 
         if self._status_port is not None:
+            delta_mode = self.status_mode == "delta"
             self.status = StatusServer(
-                self._merged_snapshot,
+                self._view_snapshot if delta_mode else self._merged_snapshot,
                 host=self._status_host,
                 port=self._status_port,
+                delta=self._view_delta if delta_mode else None,
                 metrics=(
                     self._merged_metrics
                     if self._obs_kwargs is not None
@@ -606,6 +714,8 @@ class ShardedMonitor:
             merged = merge_snapshots([snap])
             merged["n_shards"] = 1
             return merged
+        if self.status_mode == "delta":
+            return await self._view_snapshot()
         return await self._merged_snapshot()
 
     async def metrics(self) -> str:

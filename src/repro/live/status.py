@@ -18,6 +18,16 @@ may optionally send one request line (then half-close) before reading:
   events past ``cursor`` as a JSON document (see
   :meth:`repro.obs.tracer.HeartbeatTracer.document`) — the transport
   behind ``repro-fd live trace --follow``;
+- ``delta\\n`` or ``delta <cursor> [instance]\\n`` — the incremental
+  snapshot: the constant-size summary head plus only the peer entries
+  changed after generation ``cursor`` (and the peers removed since),
+  with a ``delta`` block carrying the next cursor and this monitor's
+  instance id.  Without a cursor — or with one minted by another
+  instance (a restart), ahead of the current generation, or older than
+  a compacted removal tombstone — the listing is full (``delta.full``
+  is true), the same fallback discipline as everything else here.  A
+  server without a delta producer answers with the plain full snapshot
+  (no ``delta`` block), which clients treat as a full refresh;
 - ``events\\n`` or ``events <cursor>\\n`` — the retained fdaas events
   (transitions, SLA breaches) past ``cursor`` as one JSON document;
 - ``subscribe\\n`` or ``subscribe <cursor>\\n`` — the only *long-lived*
@@ -46,9 +56,11 @@ from typing import Callable, Tuple
 __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "StatusServer",
+    "afetch_delta",
     "afetch_metrics",
     "afetch_status",
     "afetch_trace",
+    "fetch_delta",
     "fetch_metrics",
     "fetch_status",
     "fetch_trace",
@@ -113,6 +125,7 @@ class StatusServer:
         port: int = 0,
         *,
         summary: Callable[[], dict] | None = None,
+        delta: Callable[..., dict] | None = None,
         metrics: Callable[[], str] | None = None,
         trace: Callable[[int], dict] | None = None,
         events: Callable[[int], dict] | None = None,
@@ -120,6 +133,10 @@ class StatusServer:
     ):
         self._snapshot = snapshot
         self._summary = summary
+        # ``delta(since, instance)`` — the incremental snapshot producer;
+        # commands against a server without one fall back to the full
+        # snapshot, which delta clients treat as a full refresh.
+        self._delta = delta
         self._metrics = metrics
         self._trace = trace
         self._events = events
@@ -168,6 +185,16 @@ class StatusServer:
             elif self._events is not None and request[:6] == b"events":
                 since = int(request[6:].strip() or 0)
                 doc = self._events(since)
+                if asyncio.iscoroutine(doc):
+                    doc = await doc
+                body = json.dumps(doc, sort_keys=True) + "\n"
+            elif self._delta is not None and request[:5] == b"delta":
+                parts = request[5:].split()
+                since = int(parts[0]) if parts else None
+                instance = (
+                    parts[1].decode("ascii") if len(parts) > 1 else None
+                )
+                doc = self._delta(since, instance)
                 if asyncio.iscoroutine(doc):
                     doc = await doc
                 body = json.dumps(doc, sort_keys=True) + "\n"
@@ -367,6 +394,60 @@ async def _retrying(coro_factory, retries: int):
                 raise
             await asyncio.sleep(_backoff_delay(attempt))
             attempt += 1
+
+
+async def afetch_delta(
+    host: str,
+    port: int,
+    since: int | None = None,
+    instance: str | None = None,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Fetch an incremental snapshot (``delta <cursor> [instance]``).
+
+    ``since``/``instance`` come from the ``delta`` block of the previous
+    response; pass ``None`` (or a cursor from a restarted server) to get
+    a full listing.  Servers predating the delta protocol answer with
+    the plain full snapshot — callers should treat a response without a
+    ``delta`` block as a full refresh
+    (:class:`repro.live.delta.SnapshotReplica` does).
+    """
+    if since is None:
+        request = b"delta\n"
+    elif instance is None:
+        request = f"delta {since}\n".encode("ascii")
+    else:
+        request = f"delta {since} {instance}\n".encode("ascii")
+    raw = await _retrying(
+        lambda: _fetch_raw(host, port, timeout, request), retries
+    )
+    return json.loads(raw.decode("utf-8"))
+
+
+def fetch_delta(
+    host: str,
+    port: int,
+    since: int | None = None,
+    instance: str | None = None,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Synchronous variant of :func:`afetch_delta`."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(
+            afetch_delta(
+                host, port, since, instance, timeout=timeout, retries=retries
+            )
+        )
+    raise RuntimeError(
+        "fetch_delta() is synchronous; inside an event loop await "
+        "status.afetch_delta(...) instead"
+    )
 
 
 async def afetch_metrics(

@@ -52,8 +52,10 @@ __all__ = [
     "MetricsRegistry",
     "log_buckets",
     "merge_expositions",
+    "merge_parsed",
     "parse_exposition",
     "render_exposition",
+    "render_parsed",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -126,10 +128,11 @@ def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str
 class Counter:
     """Monotonically non-decreasing count (one child of a family)."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_fam")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._fam: "MetricFamily | None" = None
 
     @property
     def value(self) -> float:
@@ -138,7 +141,10 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up; inc({amount}) rejected")
-        self._value += amount
+        if amount:
+            self._value += amount
+            if self._fam is not None:
+                self._fam._gen += 1
 
     def set_total(self, total: float) -> None:
         """Mirror an externally maintained monotone total (collect hooks).
@@ -151,29 +157,40 @@ class Counter:
             raise ValueError(
                 f"counter total regressed: {total} < {self._value}"
             )
-        self._value = float(total)
+        if total != self._value:
+            self._value = float(total)
+            if self._fam is not None:
+                self._fam._gen += 1
 
 
 class Gauge:
     """A value that can go up and down (one child of a family)."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_fam")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._fam: "MetricFamily | None" = None
 
     @property
     def value(self) -> float:
         return self._value
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        value = float(value)
+        if value != self._value:
+            self._value = value
+            if self._fam is not None:
+                self._fam._gen += 1
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        if amount:
+            self._value += amount
+            if self._fam is not None:
+                self._fam._gen += 1
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        self.inc(-amount)
 
 
 class Histogram:
@@ -184,9 +201,10 @@ class Histogram:
     a short, fixed ladder — fine at per-batch (not per-datagram) rates.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_fam")
 
     def __init__(self, buckets: Sequence[float]) -> None:
+        self._fam: "MetricFamily | None" = None
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one finite bucket bound")
@@ -208,6 +226,8 @@ class Histogram:
         self.counts[idx] += 1
         self.sum += value
         self.count += 1
+        if self._fam is not None:
+            self._fam._gen += 1
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -247,6 +267,15 @@ class MetricFamily:
         self.kind = kind
         self.labelnames = tuple(labelnames)
         self._children: Dict[Tuple[str, ...], object] = {}
+        # Exposition cache: every *observable* change (a child's value
+        # actually moving, a child created/removed) bumps ``_gen``;
+        # ``render`` re-serialises only when the generation moved since
+        # the cached text was produced.  No-op mutations — ``inc(0)``,
+        # ``set`` to the current value, ``set_total`` of an unchanged
+        # running total (the common collect-hook case between scrapes) —
+        # deliberately do not invalidate.
+        self._gen = 0
+        self._rendered: Tuple[int, str] | None = None
 
     def _make_child(self):
         if self.kind == "histogram":
@@ -264,15 +293,24 @@ class MetricFamily:
         child = self._children.get(key)
         if child is None:
             child = self._make_child()
+            child._fam = self
             self._children[key] = child
+            self._gen += 1
         return child
 
     def remove(self, *labelvalues: object) -> None:
         """Forget one child (e.g. a departed peer's series)."""
-        self._children.pop(tuple(str(v) for v in labelvalues), None)
+        gone = self._children.pop(tuple(str(v) for v in labelvalues), None)
+        if gone is not None:
+            gone._fam = None
+            self._gen += 1
 
     def clear(self) -> None:
-        self._children.clear()
+        if self._children:
+            for child in self._children.values():
+                child._fam = None
+            self._children.clear()
+            self._gen += 1
 
     @property
     def children(self) -> Dict[Tuple[str, ...], object]:
@@ -307,6 +345,21 @@ class MetricFamily:
 
     # -- exposition -----------------------------------------------------
     def render(self) -> str:
+        """The family's text block, served from cache while unchanged.
+
+        The returned string is *identical by object* across renders with
+        no intervening change, which lets callers (the registry, the
+        shard aggregator's parsed-document cache) detect "nothing moved"
+        with an ``is`` check instead of a byte compare.
+        """
+        held = self._rendered
+        if held is not None and held[0] == self._gen:
+            return held[1]
+        text = self._render_uncached()
+        self._rendered = (self._gen, text)
+        return text
+
+    def _render_uncached(self) -> str:
         lines = [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} {self.kind}",
@@ -491,26 +544,25 @@ def parse_exposition(text: str) -> Dict[str, dict]:
     return families
 
 
-def merge_expositions(
-    texts: Iterable[str],
+def merge_parsed(
+    documents: Iterable[Dict[str, dict]],
     *,
     gauge_policy: Mapping[str, str] | None = None,
-) -> str:
-    """Merge several exposition documents into one (shard aggregation).
+) -> Dict[str, dict]:
+    """Merge already-parsed exposition documents (shard aggregation core).
 
-    Counters and histogram series (``_bucket``/``_sum``/``_count``) are
-    summed per label set; gauges take the **max** per label set unless
-    ``gauge_policy[name] == "sum"`` (population-style gauges — peer
-    counts, heap sizes, rates — add across shards; latency-style gauges
-    do not).  Label sets unique to one document pass through, so
-    per-(peer, detector) series union naturally — a peer lives on one
-    shard.  Help/type metadata comes from the first document defining a
-    family.
+    Takes :func:`parse_exposition` outputs and combines them without
+    re-parsing — the shard parent caches each worker's parsed document
+    keyed on its (cached, identity-stable) text and only re-parses the
+    workers whose exposition actually changed.  Inputs are not mutated.
+    Merge rules are :func:`merge_expositions`'s: counters and histogram
+    series sum per label set; gauges take the max unless
+    ``gauge_policy[name] == "sum"``.
     """
     policy = dict(gauge_policy or {})
     merged: Dict[str, dict] = {}
-    for text in texts:
-        for name, family in parse_exposition(text).items():
+    for document in documents:
+        for name, family in document.items():
             held = merged.setdefault(
                 name,
                 {"type": family["type"], "help": family["help"], "samples": {}},
@@ -529,6 +581,11 @@ def merge_expositions(
                     held["samples"][key] += value
                 else:
                     held["samples"][key] = max(held["samples"][key], value)
+    return merged
+
+
+def render_parsed(merged: Dict[str, dict]) -> str:
+    """Serialise a parsed/merged document back to exposition text."""
     lines: List[str] = []
     for name in sorted(merged):
         family = merged[name]
@@ -540,3 +597,28 @@ def merge_expositions(
             )
             lines.append(f"{sample_name}{label_text} {_format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_expositions(
+    texts: Iterable[str],
+    *,
+    gauge_policy: Mapping[str, str] | None = None,
+) -> str:
+    """Merge several exposition documents into one (shard aggregation).
+
+    Counters and histogram series (``_bucket``/``_sum``/``_count``) are
+    summed per label set; gauges take the **max** per label set unless
+    ``gauge_policy[name] == "sum"`` (population-style gauges — peer
+    counts, heap sizes, rates — add across shards; latency-style gauges
+    do not).  Label sets unique to one document pass through, so
+    per-(peer, detector) series union naturally — a peer lives on one
+    shard.  Help/type metadata comes from the first document defining a
+    family.  Convenience composition of :func:`parse_exposition`,
+    :func:`merge_parsed` and :func:`render_parsed`.
+    """
+    return render_parsed(
+        merge_parsed(
+            (parse_exposition(text) for text in texts),
+            gauge_policy=gauge_policy,
+        )
+    )

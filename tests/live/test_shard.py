@@ -123,6 +123,59 @@ class TestMergeSnapshots:
         assert merged["monitor"]["n_peers"] == 5
 
 
+class TestMergeSnapshotsHeterogeneous:
+    """Inputs that are *almost* replicas: version skew and partial blocks."""
+
+    def test_mixed_schema_versions_rejected(self):
+        """A rolling upgrade that leaves workers on different snapshot
+        schemas must fail loudly, not merge incompatible documents."""
+        old = _snap()
+        old["schema"] = SNAPSHOT_SCHEMA_VERSION - 1
+        with pytest.raises(ValueError, match="schema"):
+            merge_snapshots([_snap(), old])
+
+    def test_shard_missing_admission_block_tolerated(self):
+        """fdaas workers carry an ``admission`` block; plain workers do
+        not — a mixed group merges the blocks that exist."""
+        with_adm = _snap(peers={"a": {"n_accepted": 1}})
+        with_adm["admission"] = {
+            "n_admitted": 10,
+            "n_rejected": 2,
+            "reject_reasons": {"auth": 2},
+            "tenants": {"t1": {"admitted": 10, "rejected": {"auth": 2}}},
+        }
+        without = _snap(peers={"b": {"n_accepted": 1}})
+        merged = merge_snapshots([with_adm, without])
+        assert merged["admission"]["n_admitted"] == 10
+        assert merged["admission"]["reject_reasons"] == {"auth": 2}
+        assert sorted(merged["peers"]) == ["a", "b"]
+        # No admission anywhere -> no block at all.
+        assert "admission" not in merge_snapshots([without])
+
+    def test_shard_missing_sla_block_tolerated(self):
+        """``sla`` is an fdaas enrichment outside the merge contract: it
+        neither merges nor breaks the merge."""
+        enriched = _snap()
+        enriched["sla"] = {"breaches": 0}
+        merged = merge_snapshots([enriched, _snap()])
+        assert merged["n_shards"] == 2
+        assert "sla" not in merged
+
+    def test_shard_missing_monitor_counters_tolerated(self):
+        """Load blocks missing optional keys (older workers) contribute
+        what they have; sums treat absent as zero."""
+        sparse = _snap()
+        del sparse["monitor"]["n_polls"]
+        del sparse["monitor"]["heartbeat_rate"]
+        merged = merge_snapshots([_snap(rate=10.0), sparse])
+        assert merged["monitor"]["heartbeat_rate"] == pytest.approx(10.0)
+        assert merged["monitor"]["n_polls"] == 7
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_snapshots([])
+
+
 class TestSingleProcessFallback:
     def test_n_shards_one_runs_in_process(self):
         async def scenario():
@@ -153,6 +206,21 @@ class TestSingleProcessFallback:
             ShardedMonitor(0.1, ["2w-fd"], n_shards=4)  # missing tuning param
         with pytest.raises(KeyError):
             ShardedMonitor(0.1, ["no-such-detector"], n_shards=4)
+
+    def test_status_plane_kwargs_validated(self):
+        with pytest.raises(ValueError, match="status_timeout"):
+            ShardedMonitor(0.1, ["2w-fd"], PARAMS, status_timeout=0.0)
+        with pytest.raises(ValueError, match="status_retries"):
+            ShardedMonitor(0.1, ["2w-fd"], PARAMS, status_retries=-1)
+        with pytest.raises(ValueError, match="status_mode"):
+            ShardedMonitor(0.1, ["2w-fd"], PARAMS, status_mode="cached")
+        mon = ShardedMonitor(
+            0.1, ["2w-fd"], PARAMS, status_timeout=0.5, status_retries=0,
+            status_mode="full",
+        )
+        assert mon._status_timeout == 0.5
+        assert mon._status_retries == 0
+        assert mon.status_mode == "full"
 
 
 @pytest.mark.skipif(
@@ -203,6 +271,83 @@ class TestShardedIntegration:
                 sum(s["n_peers"] for s in doc["shards"])
                 == doc["monitor"]["n_peers"]
             )
+
+    def test_delta_mode_parent_serves_cursor_resumed_deltas(self):
+        """The default delta aggregation end to end: the parent folds
+        per-worker deltas and serves its own delta protocol, and a
+        downstream replica's reconstruction matches the full fetch."""
+        from repro.live.delta import SnapshotReplica
+        from repro.live.status import afetch_delta
+
+        async def scenario():
+            mon = ShardedMonitor(
+                0.05, ["2w-fd"], PARAMS, n_shards=2, status_port=0,
+                status_retries=2,
+            )
+            async with mon:
+                socks = [
+                    socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                    for _ in range(4)
+                ]
+                for sock in socks:
+                    sock.connect(mon.address)
+                rep = SnapshotReplica()
+                try:
+                    for seq in range(1, 15):
+                        for i, sock in enumerate(socks):
+                            sock.send(
+                                Heartbeat(f"w{i}", seq, time.time()).encode()
+                            )
+                        await asyncio.sleep(0.01)
+                    await asyncio.sleep(0.2)
+                    first = await afetch_delta(*mon.status.address, retries=2)
+                    rep.apply(first)
+                    for seq in range(15, 20):
+                        for i, sock in enumerate(socks):
+                            sock.send(
+                                Heartbeat(f"w{i}", seq, time.time()).encode()
+                            )
+                        await asyncio.sleep(0.01)
+                    second = await afetch_delta(
+                        *mon.status.address, rep.cursor, rep.instance, retries=2
+                    )
+                    rep.apply(second)
+                    full = await afetch_status(*mon.status.address, retries=2)
+                finally:
+                    for sock in socks:
+                        sock.close()
+            return first, second, rep, full
+
+        first, second, rep, full = asyncio.run(scenario())
+        assert first["delta"]["full"] is True
+        assert second["delta"]["full"] is False
+        assert rep.n_delta == 1
+        assert full["mode"] == "sharded" and full["n_shards"] == 2
+        assert sorted(full["peers"]) == [f"w{i}" for i in range(4)]
+        assert set(rep.document()["peers"]) == set(full["peers"])
+
+    def test_full_mode_reference_path_still_serves(self):
+        async def scenario():
+            mon = ShardedMonitor(
+                0.05, ["2w-fd"], PARAMS, n_shards=2, status_port=0,
+                status_mode="full", status_retries=2,
+            )
+            async with mon:
+                sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                sock.connect(mon.address)
+                try:
+                    for seq in range(1, 8):
+                        sock.send(Heartbeat("p", seq, time.time()).encode())
+                        await asyncio.sleep(0.01)
+                    await asyncio.sleep(0.2)
+                    doc = await mon.snapshot()
+                finally:
+                    sock.close()
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["mode"] == "sharded"
+        assert "p" in doc["peers"]
 
     def test_stop_terminates_workers(self):
         async def scenario():

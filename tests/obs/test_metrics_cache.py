@@ -1,0 +1,165 @@
+"""Cached exposition: per-family render generations + parsed-merge split.
+
+``MetricFamily.render`` serves its previously rendered text while no
+*observable* change happened; the cached string is identity-stable (the
+same object across renders), which is what the shard parent's parsed-
+document cache keys on.  ``merge_parsed``/``render_parsed`` are the
+re-parse-free halves of ``merge_expositions`` and must compose to it
+exactly.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    log_buckets,
+    merge_expositions,
+    merge_parsed,
+    parse_exposition,
+    render_parsed,
+)
+
+
+class TestRenderCache:
+    def test_unchanged_family_serves_identical_object(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        counter.inc(3)
+        fam = reg.get("c_total")
+        first = fam.render()
+        assert fam.render() is first  # identity, not just equality
+
+    def test_counter_inc_invalidates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        fam = reg.get("c_total")
+        counter.inc()
+        first = fam.render()
+        counter.inc()
+        second = fam.render()
+        assert second is not first
+        assert "c_total 2" in second
+
+    def test_noop_mutations_do_not_invalidate(self):
+        """inc(0), set to the current value, and set_total of an
+        unchanged running total (the common collect-hook case between
+        scrapes) keep the cache warm."""
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        gauge = reg.gauge("g", "help")
+        counter.set_total(5)
+        gauge.set(2.5)
+        text_c = reg.get("c_total").render()
+        text_g = reg.get("g").render()
+        counter.inc(0)
+        counter.set_total(5)
+        gauge.set(2.5)
+        gauge.inc(0)
+        gauge.dec(0)
+        assert reg.get("c_total").render() is text_c
+        assert reg.get("g").render() is text_g
+
+    def test_gauge_set_and_dec_invalidate_on_change(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g", "help")
+        gauge.set(1.0)
+        fam = reg.get("g")
+        first = fam.render()
+        gauge.dec(0.5)
+        assert fam.render() is not first
+        assert "g 0.5" in fam.render()
+
+    def test_histogram_observe_invalidates(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", "help", buckets=log_buckets(0.001, 1.0))
+        hist.observe(0.01)
+        fam = reg.get("h")
+        first = fam.render()
+        hist.observe(0.02)
+        second = fam.render()
+        assert second is not first
+        assert "h_count 2" in second
+
+    def test_new_child_and_remove_and_clear_invalidate(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", "help", ("peer",))
+        fam.labels("a").set(1.0)
+        first = fam.render()
+        fam.labels("b").set(2.0)  # new label set
+        second = fam.render()
+        assert second is not first and 'peer="b"' in second
+        fam.remove("a")
+        third = fam.render()
+        assert third is not second and 'peer="a"' not in third
+        fam.remove("a")  # removing a ghost is a no-op
+        assert fam.render() is third
+        fam.clear()
+        assert 'peer="b"' not in fam.render()
+
+    def test_counter_regression_still_raises(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        counter.set_total(5)
+        with pytest.raises(ValueError, match="regressed"):
+            counter.set_total(4)
+
+    def test_cached_render_equals_fresh_content(self):
+        """The cache is an optimization: cached text must byte-equal what
+        an uncached serialisation produces."""
+        reg = MetricsRegistry()
+        fam = reg.histogram(
+            "h", "help", ("peer",), buckets=log_buckets(0.001, 0.1)
+        )
+        for i in range(5):
+            fam.labels(f"p{i}").observe(0.01 * (i + 1))
+        assert fam.render() == fam._render_uncached()
+
+    def test_detached_child_mutation_is_safe(self):
+        """A child removed from its family no longer holds a back-ref;
+        mutating it neither raises nor poisons the family cache."""
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", "help", ("peer",))
+        child = fam.labels("a")
+        fam.remove("a")
+        text = fam.render()
+        child.set(99.0)
+        assert fam.render() is text
+
+
+class TestParsedMergeSplit:
+    def _texts(self):
+        a = MetricsRegistry()
+        a.counter("c_total", "help").inc(3)
+        a.gauge("g", "gauge help", ("peer",)).labels("x").set(4.0)
+        h = a.histogram("h", "hist", buckets=log_buckets(0.001, 0.1))
+        h.observe(0.01)
+        b = MetricsRegistry()
+        b.counter("c_total", "help").inc(7)
+        b.gauge("g", "gauge help", ("peer",)).labels("y").set(9.0)
+        return a.render(), b.render()
+
+    def test_split_composes_to_merge_expositions(self):
+        texts = self._texts()
+        for policy in (None, {"g": "sum"}):
+            direct = merge_expositions(texts, gauge_policy=policy)
+            split = render_parsed(
+                merge_parsed(
+                    [parse_exposition(t) for t in texts], gauge_policy=policy
+                )
+            )
+            assert split == direct
+
+    def test_merge_parsed_does_not_mutate_inputs(self):
+        texts = self._texts()
+        docs = [parse_exposition(t) for t in texts]
+        import copy
+
+        originals = copy.deepcopy(docs)
+        merge_parsed(docs)
+        assert docs == originals
+
+    def test_render_parsed_round_trips(self):
+        text = self._texts()[0]
+        assert parse_exposition(render_parsed(parse_exposition(text))) == (
+            parse_exposition(text)
+        )
