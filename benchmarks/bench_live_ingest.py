@@ -51,6 +51,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --check BENCH_ingest.json
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --obs on --peers 50
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --guard BENCH_ingest.json
+    PYTHONPATH=src python benchmarks/bench_live_ingest.py --guard-diag 0.05
     PYTHONPATH=src python benchmarks/bench_live_ingest.py --profile
 
 ``--obs on`` runs the same workload through monitors carrying a full
@@ -64,7 +65,12 @@ never compares absolute throughput); ``--guard-min-vectorized`` adds an
 absolute floor on the vectorized-over-batched speedup at the largest
 measured peer count; ``--guard-min-adaptive`` adds an absolute floor on
 ``adaptive_vs_best_static`` at every measured peer count (the adaptive
-acceptance bar).  ``--profile`` cProfiles one extra round of the
+acceptance bar).  ``--guard-diag TOL`` measures the runtime-diagnostics
+overhead within the same run (vectorized, obs on vs obs diag,
+interleaved best-of-rounds; a below-floor attempt is independently
+remeasured up to twice, since host timing noise exceeds the ~1% effect)
+and fails if diagnostics cost more than ``TOL`` of the obs-on ingest
+rate.  ``--profile`` cProfiles one extra round of the
 batched and vectorized drivers at the largest peer count and records the
 top cumulative functions in the snapshot — the starting data for the next
 optimization round.
@@ -73,6 +79,7 @@ optimization round.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import multiprocessing
 import os
@@ -96,6 +103,7 @@ BEATS_PER_ROUND = 200  # heartbeats per peer per timing round
 # ratio isolates the engine, not the batching.
 TARGET_BATCH = 512
 WARMUP_BEATS = 5
+DIAG_GUARD_MIN_ROUNDS = 9  # --guard-diag measures a ~1% effect; see measure_diag_overhead
 SHARD_COUNTS = (1, 2, 4)
 SHARD_PEERS = 50  # peers per worker in the shard-scaling stage
 
@@ -112,13 +120,18 @@ MODES = {
 STATIC_MODES = ("batched", "vectorized")
 
 
-def _make_monitor(mode: str, obs: bool = False) -> LiveMonitor:
+def _make_monitor(mode: str, obs: str = "off") -> LiveMonitor:
     """``scalar`` = private estimation driven datagram-at-a-time (the
     pre-optimization baseline); ``batched`` = shared estimation via
     ``ingest_many``; ``vectorized`` = the columnar numpy engine.  ``obs``
     attaches a full observability bundle (metrics registry, tracer, QoS
-    health) — the ``--obs on`` overhead measurement."""
+    health) — the ``--obs on`` overhead measurement — and ``"diag"``
+    additionally arms the runtime diagnostics plane (sampled pipeline
+    stage timing + the drain flight recorder) at its default sampling."""
     estimation, ingest_mode = MODES[mode]
+    bundle = None
+    if obs != "off":
+        bundle = Observability(diagnostics=obs == "diag")
     return LiveMonitor(
         INTERVAL,
         DETECTORS,
@@ -126,7 +139,7 @@ def _make_monitor(mode: str, obs: bool = False) -> LiveMonitor:
         clock=lambda: 0.0,
         estimation=estimation,
         ingest_mode=ingest_mode,
-        obs=Observability() if obs else None,
+        obs=bundle,
     )
 
 
@@ -232,7 +245,7 @@ def assert_equivalent(n_peers: int, n_beats: int = 120) -> int:
 
 
 def bench_peer_count(
-    n_peers: int, rounds: int, obs: bool = False
+    n_peers: int, rounds: int, obs: str = "off"
 ) -> Dict[str, object]:
     """One ``peers_<n>`` result block (equivalence asserted first)."""
     n_equiv_events = assert_equivalent(n_peers)
@@ -630,16 +643,70 @@ def guard_regression(
     return problems
 
 
+def measure_diag_overhead(n_peers: int, rounds: int) -> Dict[str, object]:
+    """Same-run diagnostics overhead: the vectorized engine with a plain
+    observability bundle vs the same bundle plus the runtime diagnostics
+    plane (sampled stage timing + flight recorder) at default sampling.
+
+    Both monitors are timed back-to-back inside each round on identical
+    fresh-sequence workloads, so the ratio is host-relative by
+    construction — no committed baseline needed, which is the point: the
+    committed snapshot is measured with observability *off*, so a
+    cross-file guard could never isolate the diagnostics increment.
+    """
+    monitors = {
+        "obs_on": _make_monitor("vectorized", "on"),
+        "obs_diag": _make_monitor("vectorized", "diag"),
+    }
+    for mon in monitors.values():
+        mon.now()
+    seq = 1
+    warm = _round_payloads(n_peers, seq, WARMUP_BEATS)
+    warm_arr = _round_arrivals(n_peers, seq, WARMUP_BEATS)
+    for mon in monitors.values():
+        _drive_batched(mon, warm, warm_arr)
+    seq += WARMUP_BEATS
+    # Per-slice timings on a busy host vary far more than the ~1%
+    # effect being measured, so the estimator is min-over-many-slices
+    # per mode (the min converges on the noise-free floor) with a round
+    # floor independent of the sweep's --rounds.  Slices alternate
+    # which mode goes first (ABBA) and collect garbage beforehand, so a
+    # scheduler burst or GC pause cannot land asymmetrically.
+    best = dict.fromkeys(monitors, float("inf"))
+    order = list(monitors)
+    for i in range(max(rounds, DIAG_GUARD_MIN_ROUNDS)):
+        payloads = _round_payloads(n_peers, seq, BEATS_PER_ROUND)
+        arrivals = _round_arrivals(n_peers, seq, BEATS_PER_ROUND)
+        seq += BEATS_PER_ROUND
+        for name in order if i % 2 == 0 else reversed(order):
+            mon = monitors[name]
+            gc.collect()
+            best[name] = min(best[name], _drive_batched(mon, payloads, arrivals))
+    n_datagrams = n_peers * BEATS_PER_ROUND
+    diag = monitors["obs_diag"].observability.diag
+    return {
+        "n_peers": n_peers,
+        "mode": "vectorized",
+        "sample_every": diag.timer.sample_every,
+        "obs_on_datagrams_per_sec": n_datagrams / best["obs_on"],
+        "obs_diag_datagrams_per_sec": n_datagrams / best["obs_diag"],
+        "diag_vs_obs_on": best["obs_on"] / best["obs_diag"],
+        "n_flight_records": len(diag.recorder),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_ingest.json")
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
         "--obs",
-        choices=("off", "on"),
+        choices=("off", "on", "diag"),
         default="off",
         help="attach a full Observability bundle to the measured monitors "
-        "(default off, matching the committed baseline)",
+        "(default off, matching the committed baseline); 'diag' "
+        "additionally arms the runtime diagnostics plane at its default "
+        "sampling",
     )
     parser.add_argument(
         "--guard",
@@ -672,6 +739,17 @@ def main() -> int:
         help="with --guard: adaptive_vs_best_static must be at least X at "
         "EVERY measured peer count (e.g. 0.95 — adaptive within 5%% of "
         "the best static mode everywhere)",
+    )
+    parser.add_argument(
+        "--guard-diag",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="measure the runtime-diagnostics overhead in THIS run "
+        "(vectorized engine, obs on vs obs diag, back-to-back at the "
+        "largest peer count) and fail if diagnostics cost more than TOL "
+        "of the obs-on rate (e.g. 0.05); self-contained — needs no "
+        "committed snapshot and composes with any --obs setting",
     )
     parser.add_argument(
         "--profile",
@@ -709,14 +787,17 @@ def main() -> int:
         print(f"{args.check}: ok ({SCHEMA})")
         return 0
 
-    if args.guard is not None and args.obs == "on":
+    if args.guard is not None and args.obs != "off":
         # The committed baseline is measured with observability off; an
         # obs-on run would "regress" by its own instrumentation cost.
         print("--guard requires --obs off (the baseline's configuration)")
         return 2
+    if args.guard_diag is not None and not 0 < args.guard_diag < 1:
+        print(f"--guard-diag must be in (0, 1), got {args.guard_diag}")
+        return 2
 
     peer_counts = tuple(args.peers) if args.peers else DEFAULT_PEERS
-    obs = args.obs == "on"
+    obs = args.obs
     results: dict = {}
     for n in peer_counts:
         block = bench_peer_count(n, args.rounds, obs)
@@ -756,6 +837,34 @@ def main() -> int:
                 f"{block['aggregate_datagrams_per_sec']:.3g} dg/s aggregate "
                 f"({block['scaling_vs_one_worker']:.2f}x vs 1)"
             )
+
+    if args.guard_diag is not None:
+        # A below-floor first attempt is remeasured: the host's timing
+        # noise (null-experiment ratio of two identical monitors spans
+        # roughly +/-7% on a busy box) exceeds the ~1% effect under
+        # guard, so one independent best-of-rounds sample can land
+        # below any tight floor.  A real regression fails every
+        # attempt; noise does not.
+        floor = 1.0 - args.guard_diag
+        overhead = measure_diag_overhead(max(peer_counts), args.rounds)
+        for _ in range(2):
+            if overhead["diag_vs_obs_on"] >= floor:
+                break
+            print(
+                f"  diag overhead measured {overhead['diag_vs_obs_on']:.3f}x "
+                f"(< {floor:.3f}x floor) — remeasuring"
+            )
+            retry = measure_diag_overhead(max(peer_counts), args.rounds)
+            if retry["diag_vs_obs_on"] > overhead["diag_vs_obs_on"]:
+                overhead = retry
+        results["diag_overhead"] = overhead
+        print(
+            f"  diag overhead ({overhead['n_peers']} peers, vectorized): "
+            f"obs=on {overhead['obs_on_datagrams_per_sec']:.3g} dg/s, "
+            f"obs=diag {overhead['obs_diag_datagrams_per_sec']:.3g} dg/s "
+            f"({overhead['diag_vs_obs_on']:.3f}x, 1-in-"
+            f"{overhead['sample_every']} stage sampling)"
+        )
 
     snapshot = {
         "schema": SCHEMA,
@@ -799,6 +908,21 @@ def main() -> int:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    if args.guard_diag is not None:
+        ratio = results["diag_overhead"]["diag_vs_obs_on"]
+        floor = 1.0 - args.guard_diag
+        if ratio < floor:
+            print(
+                f"GUARD: diagnostics-enabled vectorized ingest runs at "
+                f"{ratio:.3f}x of the obs-on rate, below the required "
+                f"{floor:.3f}x ({args.guard_diag:.0%} overhead budget)"
+            )
+            return 1
+        print(
+            f"guard-diag: diagnostics keep {ratio:.3f}x of the obs-on "
+            f"ingest rate (floor {floor:.3f}x)"
+        )
 
     if args.guard is not None:
         regressions = guard_regression(

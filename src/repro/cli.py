@@ -14,6 +14,7 @@
     repro-fd live status --port 9998           # JSON snapshot of a monitor
     repro-fd live metrics --port 9998 --watch  # Prometheus text exposition
     repro-fd live trace --port 9998 --follow   # heartbeat lifecycle trace
+    repro-fd live diag --port 9998 --watch     # runtime diagnostics plane
     repro-fd report -o report.md --jobs 4      # parallel over experiments
     repro-fd cache info                        # on-disk trace/kernel cache
 
@@ -252,6 +253,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(suspect/trust transitions are always traced; default 1 = all)",
     )
     p_mon.add_argument(
+        "--diag",
+        choices=["on", "off"],
+        default="off",
+        help="runtime diagnostics: sampled pipeline stage timing, the "
+        "event-loop stall watchdog, and the drain flight recorder, served "
+        "via the status endpoint's 'diag' command and dumped to stderr on "
+        "SIGUSR1 (needs --obs on; default off)",
+    )
+    p_mon.add_argument(
+        "--diag-sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="time pipeline stages on every Nth drain/datagram only "
+        "(default 64; the flight recorder and watchdog are unsampled)",
+    )
+    p_mon.add_argument(
+        "--stall-threshold",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="event-loop lag that counts as a runtime stall and emits a "
+        "repro_runtime_stalled event (default 0.1s)",
+    )
+    p_mon.add_argument(
         "--tenants",
         default=None,
         metavar="CONFIG",
@@ -393,6 +419,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tr.add_argument("--timeout", type=float, default=5.0, metavar="S")
     p_tr.add_argument("--retries", type=int, default=0, metavar="N")
+
+    p_diag = live_sub.add_parser(
+        "diag",
+        help="fetch a monitor's runtime diagnostics (pipeline stage "
+        "timing, stall watchdog, flight recorder) as JSON",
+    )
+    p_diag.add_argument("--host", default="127.0.0.1")
+    p_diag.add_argument("--port", type=int, required=True, help="status port")
+    p_diag.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        metavar="CURSOR",
+        help="only flight-recorder records with id > CURSOR (default 0; "
+        "ignored by a sharded parent endpoint, which reports per-shard "
+        "cursors instead)",
+    )
+    p_diag.add_argument(
+        "--watch",
+        nargs="?",
+        type=float,
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="re-fetch and re-print every SECONDS (default 2) until "
+        "interrupted; the flight-recorder cursor is carried forward so "
+        "each record prints once",
+    )
+    p_diag.add_argument("--timeout", type=float, default=5.0, metavar="S")
+    p_diag.add_argument("--retries", type=int, default=0, metavar="N")
 
     p_fdaas = sub.add_parser(
         "fdaas", help="multi-tenant failure-detection-as-a-service tools"
@@ -706,10 +762,19 @@ def _cmd_live_monitor(args) -> int:
         ("--retain-transitions", args.retain_transitions),
         ("--shards", args.shards),
         ("--trace-sample", args.trace_sample),
+        ("--diag-sample", args.diag_sample),
     ):
         if value is not None and value < 1:
             print(f"{knob} must be positive, got {value}", file=sys.stderr)
             return 2
+    if args.stall_threshold <= 0:
+        print(f"--stall-threshold must be positive, got {args.stall_threshold}",
+              file=sys.stderr)
+        return 2
+    if args.diag == "on" and args.obs == "off":
+        print("--diag records into the observability registry; it requires "
+              "--obs on", file=sys.stderr)
+        return 2
     if args.status_timeout <= 0:
         print(f"--status-timeout must be positive, got {args.status_timeout}",
               file=sys.stderr)
@@ -757,7 +822,12 @@ def _cmd_live_monitor(args) -> int:
         if args.obs == "on":
             from repro.obs import Observability
 
-            obs = Observability(trace_sample_every=args.trace_sample)
+            obs = Observability(
+                trace_sample_every=args.trace_sample,
+                diagnostics=args.diag == "on",
+                diag_sample_every=args.diag_sample,
+                stall_threshold=args.stall_threshold,
+            )
         monitor = LiveMonitor(
             args.interval,
             names,
@@ -806,6 +876,9 @@ def _cmd_live_monitor(args) -> int:
                 if obs is not None:
                     print("  (send 'metrics' for Prometheus text, 'trace' "
                           "for the heartbeat trace)")
+                if obs is not None and obs.diag is not None:
+                    print("  (send 'diag' for runtime diagnostics; SIGUSR1 "
+                          "dumps them to stderr)")
                 if registry is not None:
                     print("  (send 'events <cursor>' or 'subscribe "
                           "<cursor>' for fdaas events)")
@@ -870,6 +943,9 @@ def _run_sharded_monitor(args, names, params, registry=None) -> int:
             transition_retention=args.retain_transitions,
             obs=args.obs == "on",
             trace_sample_every=args.trace_sample,
+            diagnostics=args.diag == "on",
+            diag_sample_every=args.diag_sample,
+            stall_threshold=args.stall_threshold,
             tenants_config=registry.to_config() if registry is not None else None,
             status_timeout=args.status_timeout,
             status_retries=args.status_retries,
@@ -1129,6 +1205,55 @@ def _cmd_live_trace(args) -> int:
             return 0
 
 
+def _cmd_live_diag(args) -> int:
+    import json
+    import time
+
+    from repro.live.status import fetch_diag
+
+    if args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
+        return 2
+    if args.watch is not None and args.watch <= 0:
+        print(f"--watch must be positive, got {args.watch}", file=sys.stderr)
+        return 2
+    if args.since < 0:
+        print(f"--since must be non-negative, got {args.since}", file=sys.stderr)
+        return 2
+    cursor = args.since
+    while True:
+        try:
+            doc = fetch_diag(
+                args.host,
+                args.port,
+                cursor,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            return _reach_error(args, exc)
+        if not doc.get("diagnostics"):
+            # Either an explicit diagnostics-off document, or the endpoint
+            # fell back to a status snapshot (no diag producer at all).
+            print(
+                "the monitor is running without runtime diagnostics "
+                "(start it with --obs on --diag on)",
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(doc, sort_keys=True))
+        recorder = doc.get("recorder", {})
+        if "cursor" in recorder:
+            cursor = recorder["cursor"]
+        if args.watch is None:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_fdaas_register(args) -> int:
     import os
     import secrets
@@ -1325,6 +1450,8 @@ def _dispatch(args) -> int:
             return _cmd_live_metrics(args)
         if args.live_command == "trace":
             return _cmd_live_trace(args)
+        if args.live_command == "diag":
+            return _cmd_live_diag(args)
         raise AssertionError(f"unhandled live command {args.live_command}")
     if args.command == "fdaas":
         if args.fdaas_command == "register":

@@ -166,6 +166,13 @@ class FdaasServer:
     async def start(self) -> Tuple[str, int]:
         """Start ingest, the SLA loop, and the status endpoint."""
         self.monitor.subscribe(self._on_transition)
+        # Attach the stall watchdog to the tenant event broker *before*
+        # the server starts it: runtime-degradation events then land on
+        # the same subscribe stream as SLA breaches.
+        obs = self.monitor.observability
+        diag = obs.diag if obs is not None else None
+        if diag is not None:
+            diag.watchdog.broker = self.broker
         self.address = await self._server.start()
         if self._status_port is not None:
             self.status = StatusServer(
@@ -178,6 +185,7 @@ class FdaasServer:
                 trace=self.monitor.trace_document,
                 events=self.broker.document,
                 broker=self.broker,
+                diag=self.monitor.diag_document if diag is not None else None,
             )
             await self.status.start()
         self._sla_task = asyncio.create_task(self._sla_loop())

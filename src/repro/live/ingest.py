@@ -79,6 +79,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from array import array
 from bisect import bisect_left, insort
 from typing import Dict, List, Mapping, Tuple
@@ -408,6 +409,12 @@ class VectorizedIngestEngine:
     #: UTF-8-invalid) — the monitor's reject-attribution hook.
     last_bad_rows: "List[int] | tuple" = ()
 
+    #: Per-stage seconds accumulator (``{"decode": s, "estimate": s,
+    #: "heap": s}``) the monitor sets for one *sampled* drain when a
+    #: :class:`repro.obs.diag.PipelineTimer` is attached, and ``None``
+    #: otherwise — unsampled drains pay one attribute read per batch.
+    stage_acc: "Dict[str, float] | None" = None
+
     def __init__(self, monitor, probe_detectors: Mapping[str, object]):
         self._mon = monitor
         self._interval = float(monitor.interval)
@@ -606,7 +613,13 @@ class VectorizedIngestEngine:
 
         Returns ``(n_decoded, n_accepted, n_stale, n_bad, last_arrival)``.
         """
+        acc = self.stage_acc
+        if acc is not None:
+            t0 = time.perf_counter()
         oidx, soff, slen, seq, ts, n_bad_wire = self._decode(buf, offs, lens)
+        if acc is not None:
+            t1 = time.perf_counter()
+            acc["decode"] += t1 - t0
         k = int(oidx.shape[0])
         # Rows the columnar decode rejected, by original batch index — the
         # monitor re-decodes just these through the scalar path to attribute
@@ -705,6 +718,11 @@ class VectorizedIngestEngine:
                 n_acc += acc
                 n_stl += stl
             start = end
+        acc = self.stage_acc
+        if acc is not None:
+            # Assembly + kernels since the decode boundary: the columnar
+            # estimation-push/detector-update stage.
+            acc["estimate"] += time.perf_counter() - t1
         # n_decoded counts rows that passed the full decode, including the
         # UTF-8 check applied in the assembly loop above.
         return n_good, n_acc, n_stl, n_bad_wire + n_bad_utf8, last_arrival
@@ -948,6 +966,9 @@ class VectorizedIngestEngine:
             self.last_fanin = 0
             self.last_touched = []
             return
+        acc = self.stage_acc
+        if acc is not None:
+            t0 = time.perf_counter()
         ups = sorted(set(self._touched))
         self._touched = []
         self.last_fanin = len(ups)
@@ -966,6 +987,8 @@ class VectorizedIngestEngine:
                 state.sched = b
             else:
                 state.sched = None
+        if acc is not None:
+            acc["heap"] += time.perf_counter() - t0
 
     # ------------------------------------------------------------------
     # Lazy columnar → object synchronization
@@ -1222,6 +1245,13 @@ class ArrayIngestEngine:
     #: Original batch row indices the last ingest call rejected.
     last_bad_rows: "List[int] | tuple" = ()
 
+    #: Per-stage seconds accumulator for one sampled drain (see the numpy
+    #: engine).  Heap pushes happen inline in ``_row`` here, so this
+    #: engine reports ``decode`` and folds everything else — estimation,
+    #: detector updates *and* the interleaved heap pushes — into
+    #: ``estimate``.
+    stage_acc: "Dict[str, float] | None" = None
+
     #: Always empty here: ``_row`` mutates the peer objects directly, so
     #: the delta-generation stamp happens inline (every decoded sender,
     #: stale rows included) and the monitor's post-batch stamp is a no-op.
@@ -1265,10 +1295,11 @@ class ArrayIngestEngine:
         n_dec = 0
         seen: set = set()
         self.last_bad_rows = bad_rows = []
+        decode, finish = self._staged_decoder(decode_fields)
         for i, data in enumerate(datagrams):
             a = next(arr_iter) if arr_iter is not None else now
             try:
-                sender, seq, ts = decode_fields(data)
+                sender, seq, ts = decode(data)
             except WireError:
                 n_bad += 1
                 bad_rows.append(i)
@@ -1281,6 +1312,7 @@ class ArrayIngestEngine:
                 n_acc += 1
             else:
                 n_stl += 1
+        finish()
         self.last_fanin = len(seen)
         return n_dec, n_acc, n_stl, n_bad, last_arrival
 
@@ -1293,9 +1325,10 @@ class ArrayIngestEngine:
         lengths = arena.lengths
         seen: set = set()
         self.last_bad_rows = bad_rows = []
+        decode_from, finish = self._staged_decoder(decode_fields_from)
         for i in range(arena.last_fill):
             try:
-                sender, seq, ts = decode_fields_from(buffer, i * slot, lengths[i])
+                sender, seq, ts = decode_from(buffer, i * slot, lengths[i])
             except WireError:
                 n_bad += 1
                 bad_rows.append(i)
@@ -1307,10 +1340,40 @@ class ArrayIngestEngine:
                 n_acc += 1
             else:
                 n_stl += 1
+        finish()
         self.last_fanin = len(seen)
         return n_dec, n_acc, n_stl, n_bad, last_arrival
 
     # ------------------------------------------------------------------
+    def _staged_decoder(self, decode):
+        """Wrap ``decode`` for stage accounting on a sampled drain.
+
+        With :attr:`stage_acc` unset (the common case) the raw decoder
+        comes back untouched and ``finish`` is a no-op — zero per-row
+        cost.  Otherwise the wrapper accumulates decode seconds per row
+        and ``finish`` books the drain's remainder as ``estimate``
+        (per-row estimation, detector updates, inline heap pushes).
+        """
+        acc = self.stage_acc
+        if acc is None:
+            return decode, lambda: None
+        pc = time.perf_counter
+        held = [0.0]
+        t_start = pc()
+
+        def timed(*parts):
+            t = pc()
+            try:
+                return decode(*parts)
+            finally:
+                held[0] += pc() - t
+
+        def finish():
+            acc["decode"] += held[0]
+            acc["estimate"] += (pc() - t_start) - held[0]
+
+        return timed, finish
+
     def _row(self, sender: str, seq: int, ts: float, arrival: float) -> bool:
         """One decoded heartbeat through the column-backed scalar path."""
         mon = self._mon

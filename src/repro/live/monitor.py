@@ -57,6 +57,7 @@ from repro.live.wire import (
     decode_fields,
     decode_fields_from,
 )
+from repro.obs.diag import install_sigusr1, restore_sigusr1
 from repro.obs.metrics import log_buckets
 from repro.obs.runtime import Observability
 from repro.qos.timeline import OutputTimeline
@@ -103,6 +104,9 @@ class _EventLog:
     def append(self, event: LiveEvent) -> None:
         self._events.append(event)
         self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
 
     @property
     def dropped(self) -> int:
@@ -477,6 +481,14 @@ class LiveMonitor:
         self.n_zero_copy_datagrams = 0
         self._obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        # Runtime diagnostics plane (repro.obs.diag): the sampled stage
+        # timer and the flight recorder, cached as attributes so the hot
+        # paths pay one None check when diagnostics are off.
+        diag = obs.diag if obs is not None else None
+        self._diag = diag
+        self._ptimer = diag.timer if diag is not None else None
+        self._recorder = diag.recorder if diag is not None else None
+        self.last_drain_mode: str | None = None
         self._m_batch_hist = None
         self._m_arena_hist = None
         self._m_mode_drains = None
@@ -763,6 +775,17 @@ class LiveMonitor:
             return {"cursor": 0, "dropped": 0, "events": [], "tracing": False}
         return self._obs.trace_document(since)
 
+    def diag_document(self, since: int = 0) -> dict:
+        """The ``diag`` response: stage timings, watchdog state, flight
+        records — plus the adaptive controller's view when that mode is
+        on (its mode choices explain the per-mode stage numbers)."""
+        if self._obs is None or self._obs.diag is None:
+            return {"diagnostics": False}
+        doc = self._obs.diag.document(since)
+        if self._adaptive is not None:
+            doc["controller"] = self._adaptive.as_dict()
+        return doc
+
     # ------------------------------------------------------------------
     @property
     def interval(self) -> float:
@@ -986,6 +1009,13 @@ class LiveMonitor:
             self.n_accepted_total += n_acc
             self.n_stale_total += n_stl
             return Heartbeat.decode(data)
+        # Sampled stage timing (diagnostics plane): one `is not None`
+        # check per datagram when diagnostics are off.
+        timer = self._ptimer
+        sampled = timer is not None and timer.sample()
+        if sampled:
+            pc = time.perf_counter
+            t0 = pc()
         try:
             hb = Heartbeat.decode(data)
         except WireError as exc:
@@ -993,6 +1023,8 @@ class LiveMonitor:
             self._count_reject(exc.reason, addr, arrival)
             logger.debug("dropping malformed datagram from %s: %s", addr, exc)
             return None
+        if sampled:
+            timer.observe("decode", pc() - t0)
         self._rate.update(arrival)
         self.n_received_total += 1
         tracer = self._tracer
@@ -1007,6 +1039,8 @@ class LiveMonitor:
             state = self._new_peer(hb.sender, arrival)
         state.n_datagrams += 1
         state.gen = self._status_gen
+        if sampled:
+            t1 = pc()
         if state.stats is not None:
             # Shared windows must hold this arrival *before* any sharing
             # detector computes its deadline (the private path pushes in
@@ -1015,6 +1049,10 @@ class LiveMonitor:
         accepted = False
         for det in state.detectors.values():
             accepted = det.receive(hb.seq, arrival) or accepted
+        if sampled:
+            # Estimation pushes + detector updates, together: the window
+            # push happens inside receive() on the private path.
+            timer.observe("estimate", pc() - t1)
         if accepted:
             state.n_accepted += 1
             self.n_accepted_total += 1
@@ -1026,6 +1064,8 @@ class LiveMonitor:
             # Schedule the earliest new freshness point — one entry per
             # peer, superseding the old one in place (lazy deletion: the
             # stale heap entry is discarded on pop via the sched check).
+            if sampled:
+                t2 = pc()
             best = math.inf
             for det in state.detectors.values():
                 deadline = det.suspicion_deadline
@@ -1036,6 +1076,8 @@ class LiveMonitor:
                 state.sched = best
             else:
                 state.sched = None
+            if sampled:
+                timer.observe("heap", pc() - t2)
             if traced:
                 tracer.record(
                     "fresh", time=arrival, peer=hb.sender, hb_seq=hb.seq,
@@ -1092,6 +1134,17 @@ class LiveMonitor:
         if addrs is not None and len(addrs) != n:
             raise ValueError(f"got {n} datagrams but {len(addrs)} addrs")
         self._status_gen += 1
+        if self._recorder is None:
+            return self._ingest_route(datagrams, arrivals, n, addrs)
+        # Flight recorder on: every drain leaves one ring record (two
+        # perf_counter reads, one tuple, one deque append).
+        t0 = time.perf_counter()
+        n_dec = self._ingest_route(datagrams, arrivals, n, addrs)
+        self._record_drain(n, time.perf_counter() - t0, None)
+        return n_dec
+
+    def _ingest_route(self, datagrams, arrivals, n: int, addrs=None) -> int:
+        """Dispatch one validated drain to the configured ingest path."""
         if self._adaptive is not None:
             return self._ingest_adaptive(datagrams, arrivals, n, addrs)
         if self._engine is not None:
@@ -1100,6 +1153,8 @@ class LiveMonitor:
             # The per-datagram reference: semantics of calling ingest()
             # in a loop, batch accounting (n_batches etc.) excluded.
             self.ingest_drains["scalar"] += 1
+            self.last_drain_mode = "scalar"
+            self.last_drain_fanin = None
             n_dec = 0
             if addrs is None:
                 addrs = repeat(None, n)
@@ -1115,10 +1170,24 @@ class LiveMonitor:
             return n_dec
         return self._ingest_batched(datagrams, arrivals, n, addrs)
 
+    def _record_drain(self, n: int, duration: float, arena_occ) -> None:
+        """One flight-recorder record per drain (recorder known non-None)."""
+        self._recorder.record(
+            time=self.now(),
+            mode=self.last_drain_mode,
+            n=n,
+            fanin=self.last_drain_fanin,
+            duration=duration,
+            heap=len(self._heap),
+            events=len(self._events),
+            arena=arena_occ,
+        )
+
     def _ingest_batched(self, datagrams, arrivals, n: int, addrs=None) -> int:
         """The batched scalar hot loop (``ingest_mode="batched"``, and the
         adaptive mode's low-fan-in phase)."""
         self.ingest_drains["batched"] += 1
+        self.last_drain_mode = "batched"
         serial = self._drain_serial + 1
         self._drain_serial = serial
         fanin = 0
@@ -1131,6 +1200,29 @@ class LiveMonitor:
         decode = decode_fields
         peers_get = self._peers.get
         heappush = heapq.heappush
+        # Sampled stage timing: on 1-in-N drains the hoisted decode and
+        # heappush locals are swapped for accumulating wrappers — the
+        # other N-1 drains run the raw loop untouched.
+        timer = self._ptimer
+        stage_acc = None
+        if timer is not None and timer.sample():
+            pc = time.perf_counter
+            stage_acc = {"decode": 0.0, "heap": 0.0}
+            raw_decode, raw_heappush = decode, heappush
+
+            def decode(data, _d=raw_decode, _pc=pc, _a=stage_acc):
+                t = _pc()
+                try:
+                    return _d(data)
+                finally:
+                    _a["decode"] += _pc() - t
+
+            def heappush(h, item, _h=raw_heappush, _pc=pc, _a=stage_acc):
+                t = _pc()
+                _h(h, item)
+                _a["heap"] += _pc() - t
+
+            t_start = pc()
         heap = self._heap
         drain = self._drain
         inf = math.inf
@@ -1318,6 +1410,17 @@ class LiveMonitor:
                 # Drained per datagram (not per batch) so interleaved
                 # transitions of different peers keep scalar-ingest order.
                 drain(sender, state)
+        if stage_acc is not None:
+            # The remainder between the drain's total and the measured
+            # decode/heap wrappers is the estimation-push + detector-update
+            # stage (plus per-datagram bookkeeping riding with it).
+            total = pc() - t_start
+            timer.observe("decode", stage_acc["decode"])
+            timer.observe("heap", stage_acc["heap"])
+            timer.observe(
+                "estimate",
+                max(0.0, total - stage_acc["decode"] - stage_acc["heap"]),
+            )
         if n_bad:
             self.n_malformed += n_bad
             logger.debug("dropped %d malformed datagrams in batch", n_bad)
@@ -1362,14 +1465,37 @@ class LiveMonitor:
         for pidx in engine.last_touched:
             peer_list[pidx].gen = gen
 
+    def _stage_acc_for(self, engine):
+        """Arm the engine's per-stage accumulator for a sampled drain
+        (``None`` on the unsampled ones — one attribute write per drain)."""
+        timer = self._ptimer
+        if timer is not None and timer.sample():
+            engine.stage_acc = {"decode": 0.0, "estimate": 0.0, "heap": 0.0}
+            return engine.stage_acc
+        engine.stage_acc = None
+        return None
+
+    def _flush_stage_acc(self, engine, acc) -> None:
+        """Disarm the engine and publish the sampled stage seconds."""
+        engine.stage_acc = None
+        timer = self._ptimer
+        for stage, seconds in acc.items():
+            timer.observe(stage, seconds)
+
     def _ingest_vectorized(self, datagrams, arrivals, n: int, addrs=None) -> int:
         self.ingest_drains["vectorized"] += 1
+        self.last_drain_mode = "vectorized"
         engine = self._engine
+        acc = None if self._ptimer is None else self._stage_acc_for(engine)
         now = self.now() if arrivals is None else None
-        n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_datagrams(
-            datagrams, arrivals, now
-        )
-        engine.finish_batch()
+        try:
+            n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_datagrams(
+                datagrams, arrivals, now
+            )
+            engine.finish_batch()
+        finally:
+            if acc is not None:
+                self._flush_stage_acc(engine, acc)
         self._stamp_touched(engine)
         self.last_drain_fanin = engine.last_fanin
         if n_bad:
@@ -1442,6 +1568,15 @@ class LiveMonitor:
             return 0
         self._status_gen += 1
         self.n_zero_copy_datagrams += k
+        if self._recorder is None:
+            return self._ingest_arena_route(arena, k)
+        t0 = time.perf_counter()
+        n_dec = self._ingest_arena_route(arena, k)
+        self._record_drain(k, time.perf_counter() - t0, arena.occupancy)
+        return n_dec
+
+    def _ingest_arena_route(self, arena, k: int) -> int:
+        """Dispatch one arena drain to the configured ingest path."""
         if self._adaptive is not None:
             ctl = self._adaptive
             mode = ctl.decide()
@@ -1460,17 +1595,26 @@ class LiveMonitor:
                 self._m_drain_hist.labels(mode).observe(dt)
             return n_dec
         if self._engine is None:
-            return self.ingest_many(arena.datagrams())
+            # Route directly (not via ingest_many): the generation bump
+            # and the flight-recorder record already happened upstream.
+            datagrams = arena.datagrams()
+            return self._ingest_route(datagrams, None, len(datagrams))
         return self._ingest_arena_vectorized(arena, k)
 
     def _ingest_arena_vectorized(self, arena, k: int) -> int:
         self.ingest_drains["vectorized"] += 1
+        self.last_drain_mode = "vectorized"
         engine = self._engine
+        acc = None if self._ptimer is None else self._stage_acc_for(engine)
         now = self.now()
-        n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_arena(
-            arena, now
-        )
-        engine.finish_batch()
+        try:
+            n_dec, n_acc, n_stl, n_bad, last_arrival = engine.ingest_arena(
+                arena, now
+            )
+            engine.finish_batch()
+        finally:
+            if acc is not None:
+                self._flush_stage_acc(engine, acc)
         self._stamp_touched(engine)
         self.last_drain_fanin = engine.last_fanin
         if n_bad:
@@ -1693,10 +1837,18 @@ class LiveMonitor:
             return snap
         if self._columnar:
             self._engine.sync_all()
+        # Render-stage timing is unsampled: snapshots run per status
+        # request, not per drain, so the two perf_counter reads are noise
+        # there — and sampling 1-in-64 would rarely catch one.
+        timer = self._ptimer
+        if timer is not None:
+            t0 = time.perf_counter()
         snap["peers"] = {
             peer: self._peer_entry(state, now)
             for peer, state in self._peers.items()
         }
+        if timer is not None:
+            timer.observe("render", time.perf_counter() - t0)
         return snap
 
     @staticmethod
@@ -1814,6 +1966,9 @@ class LiveMonitor:
             "cursor": gen,
             "full": full,
         }
+        timer = self._ptimer
+        if timer is not None:
+            t0 = time.perf_counter()
         if full:
             if self._columnar:
                 self._engine.sync_all()
@@ -1822,6 +1977,8 @@ class LiveMonitor:
                 for peer, state in self._peers.items()
             }
             doc["removed"] = []
+            if timer is not None:
+                timer.observe("render", time.perf_counter() - t0)
             return doc
         engine = self._engine if self._columnar else None
         peers = {}
@@ -1834,6 +1991,8 @@ class LiveMonitor:
         doc["removed"] = sorted(
             peer for peer, g in self._tombstones.items() if g > since
         )
+        if timer is not None:
+            timer.observe("render", time.perf_counter() - t0)
         return doc
 
     def summary(self, now: float | None = None) -> dict:
@@ -1990,6 +2149,13 @@ class LiveMonitorServer:
         self._poll_task: asyncio.Task | None = None
         self.status: StatusServer | None = None
         self.address: Tuple[str, int] | None = None
+        # Runtime diagnostics (when the monitor's obs bundle carries
+        # them): the server owns the watchdog lifecycle and the SIGUSR1
+        # dump; `_ptimer` mirrors the monitor's for the drain stage.
+        obs = monitor.observability
+        self._diag = obs.diag if obs is not None else None
+        self._ptimer = self._diag.timer if self._diag is not None else None
+        self._sig_token = None
 
     async def __aenter__(self) -> "LiveMonitorServer":
         await self.start()
@@ -2024,7 +2190,18 @@ class LiveMonitorServer:
         immediately with the remainder."""
         if self._arena_sock is None:  # racing a concurrent stop()
             return
-        if self._arena.drain(self._arena_sock):
+        # The drain stage proper is the recv_into burst; on sampled
+        # drains it gets its own perf_counter bracket.  (The batched
+        # protocol's socket reads happen inside asyncio's transport, so
+        # only the arena path can time this stage.)
+        timer = self._ptimer
+        if timer is not None and timer.sample():
+            t0 = time.perf_counter()
+            got = self._arena.drain(self._arena_sock)
+            timer.observe("drain", time.perf_counter() - t0)
+        else:
+            got = self._arena.drain(self._arena_sock)
+        if got:
             if self._admission is not None:
                 # recv_into has no source addresses, so admission screens
                 # slots in place (compacting accepted ones) by content only.
@@ -2078,8 +2255,12 @@ class LiveMonitorServer:
                 delta=self._status_delta,
                 metrics=self.monitor.render_metrics if has_obs else None,
                 trace=self.monitor.trace_document if has_obs else None,
+                diag=self.monitor.diag_document if has_obs else None,
             )
             await self.status.start()
+        if self._diag is not None:
+            self._diag.watchdog.start()
+            self._sig_token = install_sigusr1(self.monitor.diag_document)
         self._poll_task = asyncio.create_task(self._poll_loop())
         logger.info(
             structured(
@@ -2116,6 +2297,11 @@ class LiveMonitorServer:
 
     async def stop(self) -> None:
         """Shut everything down; one final poll flushes pending expiries."""
+        if self._diag is not None:
+            self._diag.watchdog.stop()
+            if self._sig_token is not None:
+                restore_sigusr1(self._sig_token)
+                self._sig_token = None
         if self._poll_task is not None:
             self._poll_task.cancel()
             try:

@@ -35,6 +35,7 @@ import asyncio
 import logging
 import multiprocessing
 import socket
+import time
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro._validation import ensure_int_at_least, ensure_positive
@@ -44,9 +45,15 @@ from repro.live.status import (
     SNAPSHOT_SCHEMA_VERSION,
     StatusServer,
     afetch_delta,
+    afetch_diag,
     afetch_metrics,
     afetch_status,
     structured,
+)
+from repro.obs.diag import (
+    DEFAULT_SAMPLE_EVERY,
+    DEFAULT_STALL_THRESHOLD,
+    merge_diag_documents,
 )
 from repro.obs.metrics import (
     merge_expositions,
@@ -101,13 +108,17 @@ def _bind_reuseport(host: str, port: int) -> socket.socket:
 # Snapshot merging (pure; unit-testable without any processes)
 # ----------------------------------------------------------------------
 
-#: Gauges that add across shards when merging metric expositions (every
-#: other gauge takes the worst case — e.g. poll latency).  Same shape as
-#: the snapshot merge: per-shard peer counts / rates sum, latencies max.
+#: Gauge merge policy for shard expositions: population-style gauges add
+#: across shards, identity gauges take the later document (same build
+#: everywhere, and a numeric fold of an *_info gauge is meaningless);
+#: every unlisted gauge takes the worst case — e.g. poll latency.  Same
+#: shape as the snapshot merge: peer counts / rates sum, latencies max.
 _GAUGE_SUM_METRICS = {
     "repro_monitor_peers": "sum",
     "repro_monitor_heap_size": "sum",
     "repro_heartbeat_rate": "sum",
+    "repro_build_info": "last",
+    "repro_process_start_time_seconds": "last",
 }
 
 #: ``monitor`` block counters that add across shards.
@@ -385,6 +396,9 @@ class ShardedMonitor:
         fallback: bool = True,
         obs: bool = False,
         trace_sample_every: int = 1,
+        diagnostics: bool = False,
+        diag_sample_every: int = DEFAULT_SAMPLE_EVERY,
+        stall_threshold: float = DEFAULT_STALL_THRESHOLD,
         tenants_config: dict | None = None,
         status_timeout: float = 2.0,
         status_retries: int = 1,
@@ -416,8 +430,16 @@ class ShardedMonitor:
         # (an Observability object holds collect hooks and can't cross the
         # fork); the parent merges the per-shard expositions.
         self._obs_kwargs = (
-            dict(trace_sample_every=trace_sample_every) if obs else None
+            dict(
+                trace_sample_every=trace_sample_every,
+                diagnostics=diagnostics,
+                diag_sample_every=diag_sample_every,
+                stall_threshold=stall_threshold,
+            )
+            if obs
+            else None
         )
+        self._diagnostics = bool(obs and diagnostics)
         # Validate the full monitor configuration up front (and in the
         # parent): a bad detector spec should raise here, not in a forked
         # worker ten seconds later.
@@ -467,6 +489,10 @@ class ShardedMonitor:
         self._view = MergedStatusView(n_shards=self.n_shards)
         self._parsed_cache: Dict[int, Tuple[str, dict]] = {}
         self._merged_metrics_cache: Tuple[Tuple[str, ...], str] | None = None
+        # Staleness ledger: shard id -> (last exposition text, monotonic
+        # time that text was first seen).  A wedged worker keeps serving
+        # its cached exposition, so its age grows while the others reset.
+        self._expo_change: Dict[int, Tuple[str, float]] = {}
 
     # -- single-process fallback ---------------------------------------
     @property
@@ -569,12 +595,20 @@ class ShardedMonitor:
         texts = [r for r in results if isinstance(r, str)]
         if not texts:
             raise RuntimeError("no shard served a metrics exposition")
+        now = time.monotonic()
+        for sid, result in zip(self._status_ports, results):
+            if not isinstance(result, str):
+                continue
+            held_text = self._expo_change.get(sid)
+            if held_text is None or held_text[0] != result:
+                self._expo_change[sid] = (result, now)
         if self.status_mode == "full":
-            return merge_expositions(texts, gauge_policy=_GAUGE_SUM_METRICS)
+            merged = merge_expositions(texts, gauge_policy=_GAUGE_SUM_METRICS)
+            return merged + self._staleness_fragment(now)
         key = tuple(texts)
         held = self._merged_metrics_cache
         if held is not None and held[0] == key:
-            return held[1]
+            return held[1] + self._staleness_fragment(now)
         parsed_docs = []
         for sid, result in zip(self._status_ports, results):
             if not isinstance(result, str):
@@ -588,7 +622,66 @@ class ShardedMonitor:
             merge_parsed(parsed_docs, gauge_policy=_GAUGE_SUM_METRICS)
         )
         self._merged_metrics_cache = (key, text)
-        return text
+        return text + self._staleness_fragment(now)
+
+    def _staleness_fragment(self, now: float) -> str:
+        """Per-shard exposition age, rendered *outside* the merge cache.
+
+        Appended after the (cached) merged text so the ages stay live even
+        when no shard's exposition changed — that standstill is exactly
+        the condition the gauge exists to surface: a wedged worker keeps
+        answering with its last cached exposition, indistinguishable from
+        a healthy idle one until its age keeps growing while the rest
+        reset on every real update.
+        """
+        if not self._expo_change:
+            return ""
+        lines = [
+            "# HELP repro_shard_exposition_age_seconds Seconds since this "
+            "shard's exposition text last changed.",
+            "# TYPE repro_shard_exposition_age_seconds gauge",
+        ]
+        for sid in sorted(self._expo_change):
+            age = max(0.0, now - self._expo_change[sid][1])
+            lines.append(
+                'repro_shard_exposition_age_seconds{shard="%d"} %.6f'
+                % (sid, age)
+            )
+        return "\n".join(lines) + "\n"
+
+    async def _merged_diag(self, since: int = 0) -> dict:
+        """One diagnostics document for the whole shard group.
+
+        ``since`` is accepted for protocol symmetry but ignored: one
+        cursor cannot address N independent flight-recorder rings, so the
+        parent always fetches each shard from cursor 0 and reports the
+        per-shard cursors under ``"shards"`` — resume against a specific
+        shard's status port directly if incremental tailing is needed.
+        """
+        results = await asyncio.gather(
+            *(
+                afetch_diag(
+                    self._status_host,
+                    port,
+                    0,
+                    timeout=self._status_timeout,
+                    retries=self._status_retries,
+                )
+                for port in self._status_ports.values()
+            ),
+            return_exceptions=True,
+        )
+        docs = {}
+        errors = []
+        for sid, result in zip(self._status_ports, results):
+            if isinstance(result, BaseException):
+                errors.append({"shard": sid, "error": str(result)})
+            else:
+                docs[sid] = result
+        merged = merge_diag_documents(docs)
+        if errors:
+            merged["shard_errors"] = errors
+        return merged
 
     async def start(self) -> Tuple[str, int]:
         """Bind the shared UDP port, start the workers, serve the merge."""
@@ -682,6 +775,7 @@ class ShardedMonitor:
         self._view = MergedStatusView(n_shards=self.n_shards)
         self._parsed_cache = {}
         self._merged_metrics_cache = None
+        self._expo_change = {}
 
         if self._status_port is not None:
             delta_mode = self.status_mode == "delta"
@@ -695,6 +789,7 @@ class ShardedMonitor:
                     if self._obs_kwargs is not None
                     else None
                 ),
+                diag=self._merged_diag if self._diagnostics else None,
             )
             await self.status.start()
         logger.info(

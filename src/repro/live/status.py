@@ -30,6 +30,10 @@ may optionally send one request line (then half-close) before reading:
   (no ``delta`` block), which clients treat as a full refresh;
 - ``events\\n`` or ``events <cursor>\\n`` — the retained fdaas events
   (transitions, SLA breaches) past ``cursor`` as one JSON document;
+- ``diag\\n`` or ``diag <cursor>\\n`` — the runtime diagnostics document
+  (pipeline stage timings, stall-watchdog state, flight-recorder drain
+  records past ``cursor``; see :mod:`repro.obs.diag`) — the transport
+  behind ``repro-fd live diag [--watch]``;
 - ``subscribe\\n`` or ``subscribe <cursor>\\n`` — the only *long-lived*
   command: the connection stays open and every event past ``cursor`` is
   pushed as one JSON line the moment it is published, no polling (see
@@ -57,10 +61,12 @@ __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "StatusServer",
     "afetch_delta",
+    "afetch_diag",
     "afetch_metrics",
     "afetch_status",
     "afetch_trace",
     "fetch_delta",
+    "fetch_diag",
     "fetch_metrics",
     "fetch_status",
     "fetch_trace",
@@ -129,6 +135,7 @@ class StatusServer:
         metrics: Callable[[], str] | None = None,
         trace: Callable[[int], dict] | None = None,
         events: Callable[[int], dict] | None = None,
+        diag: Callable[[int], dict] | None = None,
         broker=None,
     ):
         self._snapshot = snapshot
@@ -140,6 +147,9 @@ class StatusServer:
         self._metrics = metrics
         self._trace = trace
         self._events = events
+        # ``diag(since)`` — the runtime diagnostics producer (stage
+        # timings, watchdog, flight records past the cursor).
+        self._diag = diag
         # An EventBroker-like object (``document(since)`` + ``async
         # wait(since)``) enabling the long-lived ``subscribe`` command.
         self._broker = broker
@@ -204,6 +214,15 @@ class StatusServer:
                 if argument:
                     since = int(argument)
                 doc = self._trace(since)
+                if asyncio.iscoroutine(doc):
+                    doc = await doc
+                body = json.dumps(doc, sort_keys=True) + "\n"
+            elif self._diag is not None and request[:4] == b"diag":
+                since = 0
+                argument = request[4:].strip()
+                if argument:
+                    since = int(argument)
+                doc = self._diag(since)
                 if asyncio.iscoroutine(doc):
                     doc = await doc
                 body = json.dumps(doc, sort_keys=True) + "\n"
@@ -529,4 +548,48 @@ def fetch_trace(
     raise RuntimeError(
         "fetch_trace() is synchronous; inside an event loop await "
         "status.afetch_trace(...) instead"
+    )
+
+
+async def afetch_diag(
+    host: str,
+    port: int,
+    since: int = 0,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Fetch the runtime diagnostics document (``diag <cursor>``).
+
+    ``since`` is a flight-recorder cursor from a previous response's
+    ``recorder.cursor``; records with larger ids are returned along with
+    the stage-timing and watchdog summaries (which are not cursored —
+    they are constant-size).  A monitor running without diagnostics
+    answers ``{"diagnostics": false}``.
+    """
+    request = f"diag {since}\n".encode("ascii")
+    raw = await _retrying(
+        lambda: _fetch_raw(host, port, timeout, request), retries
+    )
+    return json.loads(raw.decode("utf-8"))
+
+
+def fetch_diag(
+    host: str,
+    port: int,
+    since: int = 0,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> dict:
+    """Synchronous variant of :func:`afetch_diag`."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(
+            afetch_diag(host, port, since, timeout=timeout, retries=retries)
+        )
+    raise RuntimeError(
+        "fetch_diag() is synchronous; inside an event loop await "
+        "status.afetch_diag(...) instead"
     )

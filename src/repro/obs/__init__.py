@@ -12,6 +12,10 @@ dependency-free observability layer every subsystem shares:
   sampling, and JSONL export;
 - :mod:`repro.obs.qos` — rolling live estimators of the paper's QoS
   metrics (T_MR, T_M, P_A) per ``(peer, detector)``;
+- :mod:`repro.obs.diag` — the runtime diagnostics plane: sampled
+  pipeline stage timing, the event-loop stall watchdog (loop lag, GC
+  pauses, edge-triggered stall events), and the flight recorder behind
+  the status endpoint's ``diag`` command and the SIGUSR1 dump;
 - :mod:`repro.obs.runtime` — the :class:`Observability` bundle the
   runtimes accept (``LiveMonitor(..., obs=...)``) and the process-wide
   default the sweep engine consults.
@@ -22,6 +26,14 @@ the committed benchmark numbers measure the undisturbed engines.  See
 ``docs/observability.md`` for the metric catalog and scrape quickstart.
 """
 
+from repro.obs.diag import (
+    PIPELINE_STAGES,
+    FlightRecorder,
+    PipelineTimer,
+    RuntimeDiagnostics,
+    StallWatchdog,
+    merge_diag_documents,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -44,17 +56,23 @@ from repro.obs.tracer import TRACE_KINDS, HeartbeatTracer, TraceEvent
 __all__ = [
     "Counter",
     "DEFAULT_WINDOW",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HeartbeatTracer",
     "MetricFamily",
     "MetricsRegistry",
     "Observability",
+    "PIPELINE_STAGES",
+    "PipelineTimer",
     "QoSHealth",
+    "RuntimeDiagnostics",
+    "StallWatchdog",
     "TRACE_KINDS",
     "TraceEvent",
     "default_observability",
     "log_buckets",
+    "merge_diag_documents",
     "merge_expositions",
     "parse_exposition",
     "render_exposition",

@@ -1,0 +1,565 @@
+"""Runtime self-diagnosis: stage timing, stall watchdog, flight recorder.
+
+The paper's QoS guarantees quantify the *detector*; this module
+quantifies the *process running it*.  A blocked event loop or a slow
+drain inflates detection time in ways none of the detector-side metrics
+attribute, so the runtime watches itself at three grains:
+
+- :class:`PipelineTimer` — per-stage latency histograms across the hot
+  path (``drain`` → ``decode`` → ``estimate`` → ``heap`` → ``render``),
+  sampled (default 1-in-64 drains) so the committed ingest bench floors
+  hold with diagnostics on;
+- :class:`StallWatchdog` — a monotonic heartbeat task measuring event
+  loop lag, counting GC pauses via :data:`gc.callbacks`, and emitting an
+  edge-triggered ``repro_runtime_stalled`` event into an
+  :class:`~repro.fdaas.subscribe.EventBroker` when the lag crosses a
+  threshold (default 100 ms) — fdaas subscribers see runtime degradation
+  next to SLA breaches;
+- :class:`FlightRecorder` — a bounded ring of recent drain records
+  (mode, batch size, fan-in, duration, arena occupancy, queue depths)
+  dumped on demand through the status endpoint's ``diag`` request line
+  or on ``SIGUSR1`` to stderr for post-mortem use.
+
+:class:`RuntimeDiagnostics` bundles the three; it attaches to an
+:class:`~repro.obs.runtime.Observability` via
+``Observability(diagnostics=True)`` and rides into the monitor with the
+``obs=`` argument every runtime component already takes.  Like the rest
+of :mod:`repro.obs`, everything here is opt-in and costs nothing when
+absent: the hot paths see a ``None`` attribute and skip out.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import time
+from collections import deque
+from typing import Callable, Dict, List, Mapping
+
+from repro._validation import ensure_positive
+from repro.obs.metrics import MetricsRegistry, log_buckets
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "FlightRecorder",
+    "PipelineTimer",
+    "RuntimeDiagnostics",
+    "StallWatchdog",
+    "install_sigusr1",
+    "merge_diag_documents",
+    "restore_sigusr1",
+]
+
+#: The hot-path stages, in pipeline order: socket drain → wire decode →
+#: estimation push (plus detector update) → deadline-heap update →
+#: snapshot/delta render.
+PIPELINE_STAGES = ("drain", "decode", "estimate", "heap", "render")
+
+#: Default stage-timing sampling: one drain in 64 pays the
+#: ``perf_counter`` boundaries; the other 63 run undisturbed.
+DEFAULT_SAMPLE_EVERY = 64
+
+#: Default loop-lag threshold (seconds) for the stall edge.
+DEFAULT_STALL_THRESHOLD = 0.1
+
+#: Default watchdog heartbeat period (seconds).
+DEFAULT_WATCHDOG_TICK = 0.05
+
+#: Default flight-recorder ring capacity (drain records).
+DEFAULT_RECORDER_CAPACITY = 256
+
+
+class PipelineTimer:
+    """Sampled per-stage latency accounting for the ingest pipeline.
+
+    The instrumented call sites ask :meth:`sample` once per drain —
+    one integer increment and a modulo — and only a sampled drain pays
+    the ``perf_counter`` stage boundaries.  Observations land twice:
+    in compact per-stage ``(count, total, max)`` accumulators (the
+    ``diag`` status document) and, when a registry is attached, in the
+    ``repro_pipeline_stage_seconds`` histogram family labeled by stage.
+    """
+
+    __slots__ = ("sample_every", "n_ticks", "_stats", "_observers")
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ):
+        ensure_positive(sample_every, "sample_every")
+        self.sample_every = int(sample_every)
+        self.n_ticks = 0
+        # stage -> [count, total_seconds, max_seconds]
+        self._stats: Dict[str, List[float]] = {
+            stage: [0, 0.0, 0.0] for stage in PIPELINE_STAGES
+        }
+        self._observers: Dict[str, Callable[[float], None]] | None = None
+        if registry is not None:
+            hist = registry.histogram(
+                "repro_pipeline_stage_seconds",
+                "Sampled wall time of one hot-path pipeline stage.",
+                ("stage",),
+                buckets=log_buckets(1e-7, 1.0, 3),
+            )
+            # Children resolved once; sampled observations skip .labels().
+            self._observers = {
+                stage: hist.labels(stage).observe for stage in PIPELINE_STAGES
+            }
+
+    def sample(self) -> bool:
+        """Should this drain be stage-timed?  (The hot-path guard.)"""
+        self.n_ticks += 1
+        return self.n_ticks % self.sample_every == 0
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one sampled stage duration."""
+        held = self._stats[stage]
+        held[0] += 1
+        held[1] += seconds
+        if seconds > held[2]:
+            held[2] = seconds
+        if self._observers is not None:
+            self._observers[stage](seconds)
+
+    def document(self) -> dict:
+        """JSON-able per-stage summary for the ``diag`` status command."""
+        return {
+            "sample_every": self.sample_every,
+            "n_ticks": self.n_ticks,
+            "stages": {
+                stage: {"count": held[0], "total": held[1], "max": held[2]}
+                for stage, held in self._stats.items()
+                if held[0]
+            },
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent drain records (the post-mortem black box).
+
+    One record per socket drain — mode, batch size, fan-in, wall time,
+    arena occupancy, queue depths — stored as a tuple (one deque append
+    on the drain path) and rendered to dicts only at dump time.  Ids are
+    monotone, so cursor-polling clients (``repro-fd live diag --watch``)
+    detect ring wrap exactly as trace clients do.
+    """
+
+    _FIELDS = (
+        "id", "time", "mode", "n", "fanin", "duration", "heap", "events",
+        "arena",
+    )
+
+    __slots__ = ("capacity", "_ring", "n_recorded")
+
+    def __init__(self, capacity: int = DEFAULT_RECORDER_CAPACITY):
+        ensure_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.n_recorded = 0  # total ever recorded (ids are 1..n_recorded)
+
+    @property
+    def n_dropped(self) -> int:
+        return self.n_recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(
+        self,
+        *,
+        time: float,
+        mode: str | None,
+        n: int,
+        fanin: int | None,
+        duration: float,
+        heap: int,
+        events: int,
+        arena: float | None = None,
+    ) -> None:
+        """Append one drain record (tuple-backed: cheap on the hot path)."""
+        self.n_recorded += 1
+        self._ring.append(
+            (self.n_recorded, time, mode, n, fanin, duration, heap, events,
+             arena)
+        )
+
+    def document(self, since: int = 0) -> dict:
+        """Records with ``id > since`` plus cursor/drop accounting."""
+        if since < 0:
+            raise ValueError(f"cursor must be non-negative, got {since}")
+        fields = self._FIELDS
+        records = [
+            dict(zip(fields, row)) for row in self._ring if row[0] > since
+        ]
+        oldest = records[0]["id"] if records else self.n_recorded + 1
+        return {
+            "cursor": self.n_recorded,
+            "dropped": max(0, oldest - since - 1),
+            "capacity": self.capacity,
+            "records": records,
+        }
+
+
+class StallWatchdog:
+    """Event-loop heartbeat: lag histogram, GC pauses, stall edge events.
+
+    An asyncio task wakes every ``tick`` seconds on an absolute-deadline
+    schedule (so sleep jitter never accumulates); the difference between
+    the scheduled and the actual wake instant is the loop lag — the time
+    some callback, GC pause, or scheduler stall held the loop hostage.
+    Crossing ``threshold`` publishes one edge-triggered
+    ``repro_runtime_stalled`` event into :attr:`broker` (when attached);
+    dropping back publishes ``repro_runtime_recovered``.  GC pauses are
+    measured via :data:`gc.callbacks` while the watchdog runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        threshold: float = DEFAULT_STALL_THRESHOLD,
+        tick: float = DEFAULT_WATCHDOG_TICK,
+        broker=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        ensure_positive(threshold, "threshold")
+        ensure_positive(tick, "tick")
+        self.threshold = float(threshold)
+        self.tick = float(tick)
+        #: EventBroker-like object (``publish(dict)``); attach before
+        #: :meth:`start` so stall edges reach subscribers.
+        self.broker = broker
+        self._clock = clock
+        self.stalled = False
+        self.n_stalls = 0
+        self.n_ticks = 0
+        self.max_lag = 0.0
+        self.last_lag = 0.0
+        self._lag_sum = 0.0
+        self.gc_collections: Dict[int, int] = {}
+        self.gc_pause_seconds = 0.0
+        self.last_gc_pause: float | None = None
+        self._gc_started: float | None = None
+        self._gc_installed = False
+        self._task = None
+        self._h_lag = self._m_stalls = self._g_stalled = None
+        self._m_gc = self._m_gc_seconds = None
+        if registry is not None:
+            self._h_lag = registry.histogram(
+                "repro_eventloop_lag_seconds",
+                "Observed event-loop lag per watchdog heartbeat.",
+                buckets=log_buckets(1e-4, 10.0, 3),
+            )
+            self._m_stalls = registry.counter(
+                "repro_runtime_stalls_total",
+                "Edge-triggered loop stalls (lag crossed the threshold).",
+            )
+            self._g_stalled = registry.gauge(
+                "repro_runtime_stalled",
+                "1 while the loop lag is above the stall threshold.",
+            )
+            self._m_gc = registry.counter(
+                "repro_gc_pauses_total",
+                "Garbage collections observed while the watchdog ran.",
+                ("generation",),
+            )
+            self._m_gc_seconds = registry.counter(
+                "repro_gc_pause_seconds_total",
+                "Total GC pause time observed while the watchdog ran.",
+            )
+
+    # ------------------------------------------------------------------
+    def _gc_callback(self, phase: str, info: Mapping) -> None:
+        if phase == "start":
+            self._gc_started = time.perf_counter()
+        elif phase == "stop" and self._gc_started is not None:
+            pause = time.perf_counter() - self._gc_started
+            self._gc_started = None
+            gen = int(info.get("generation", -1))
+            self.gc_collections[gen] = self.gc_collections.get(gen, 0) + 1
+            self.gc_pause_seconds += pause
+            self.last_gc_pause = pause
+            if self._m_gc is not None:
+                self._m_gc.labels(str(gen)).inc()
+                self._m_gc_seconds.inc(pause)
+
+    def observe_lag(self, lag: float, now: float) -> None:
+        """Record one heartbeat's lag; drive the edge-triggered stall state.
+
+        Factored out of the loop task so tests can exercise the edge
+        logic without an event loop.
+        """
+        self.n_ticks += 1
+        self.last_lag = lag
+        self._lag_sum += lag
+        if lag > self.max_lag:
+            self.max_lag = lag
+        if self._h_lag is not None:
+            self._h_lag.observe(lag)
+        if lag > self.threshold:
+            if not self.stalled:
+                self.stalled = True
+                self.n_stalls += 1
+                if self._m_stalls is not None:
+                    self._m_stalls.inc()
+                    self._g_stalled.set(1)
+                if self.broker is not None:
+                    self.broker.publish(
+                        {
+                            "type": "repro_runtime_stalled",
+                            "time": now,
+                            "lag": lag,
+                            "threshold": self.threshold,
+                        }
+                    )
+        elif self.stalled:
+            self.stalled = False
+            if self._g_stalled is not None:
+                self._g_stalled.set(0)
+            if self.broker is not None:
+                self.broker.publish(
+                    {
+                        "type": "repro_runtime_recovered",
+                        "time": now,
+                        "lag": lag,
+                        "threshold": self.threshold,
+                    }
+                )
+
+    async def _run(self) -> None:
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        k = 0
+        while True:
+            k += 1
+            target = start + k * self.tick
+            await asyncio.sleep(max(0.0, target - loop.time()))
+            now = loop.time()
+            lag = max(0.0, now - target)
+            self.observe_lag(lag, self._clock())
+            if now > target + self.tick:
+                # A stall ate whole heartbeat slots; skip them rather
+                # than firing a catch-up burst of zero-lag ticks.
+                k = int((now - start) / self.tick)
+
+    def start(self) -> None:
+        """Install the GC hooks and spawn the heartbeat task (idempotent;
+        requires a running event loop)."""
+        import asyncio
+        import gc
+
+        if not self._gc_installed:
+            gc.callbacks.append(self._gc_callback)
+            self._gc_installed = True
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def stop(self) -> None:
+        """Cancel the heartbeat task and remove the GC hooks (idempotent)."""
+        import gc
+
+        if self._gc_installed:
+            try:
+                gc.callbacks.remove(self._gc_callback)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._gc_installed = False
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def document(self) -> dict:
+        """JSON-able watchdog state for the ``diag`` status command."""
+        return {
+            "threshold": self.threshold,
+            "tick": self.tick,
+            "running": self._task is not None and not self._task.done(),
+            "stalled": self.stalled,
+            "n_stalls": self.n_stalls,
+            "lag": {
+                "count": self.n_ticks,
+                "last": self.last_lag,
+                "max": self.max_lag,
+                "mean": self._lag_sum / self.n_ticks if self.n_ticks else 0.0,
+            },
+            "gc": {
+                "collections": {
+                    str(gen): count
+                    for gen, count in sorted(self.gc_collections.items())
+                },
+                "pause_seconds": self.gc_pause_seconds,
+                "last_pause": self.last_gc_pause,
+            },
+        }
+
+
+class RuntimeDiagnostics:
+    """The diagnostics plane, bundled: timer + watchdog + flight recorder.
+
+    Construct via ``Observability(diagnostics=True)`` (which shares the
+    bundle's registry) or standalone for tests.  :meth:`document` is the
+    producer behind the status endpoint's ``diag`` request line.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        stall_threshold: float = DEFAULT_STALL_THRESHOLD,
+        watchdog_tick: float = DEFAULT_WATCHDOG_TICK,
+        recorder_capacity: int = DEFAULT_RECORDER_CAPACITY,
+    ):
+        self.timer = PipelineTimer(
+            registry=registry, sample_every=sample_every
+        )
+        self.watchdog = StallWatchdog(
+            registry=registry, threshold=stall_threshold, tick=watchdog_tick
+        )
+        self.recorder = FlightRecorder(recorder_capacity)
+
+    def document(self, since: int = 0) -> dict:
+        """The ``diag`` status-command response document."""
+        return {
+            "diagnostics": True,
+            "stages": self.timer.document(),
+            "watchdog": self.watchdog.document(),
+            "recorder": self.recorder.document(since),
+        }
+
+
+def merge_diag_documents(documents: Mapping[object, dict]) -> dict:
+    """Merge per-shard ``diag`` documents into one (parent aggregator).
+
+    ``documents`` maps shard id → that worker's diag document.  Stage
+    and lag accumulators merge like their metrics would (counts and
+    totals sum, maxima take the worst case, ``stalled`` is true if any
+    shard is stalled); flight-recorder records are tagged with their
+    shard id and interleaved by time.  Per-shard cursors are reported
+    under ``shards`` — one merged integer cursor cannot address N
+    independent rings, so the merged document always carries the full
+    retained window.
+    """
+    stages: Dict[str, dict] = {}
+    records: List[dict] = []
+    shards: Dict[str, dict] = {}
+    lag = {"count": 0, "last": 0.0, "max": 0.0, "mean": 0.0}
+    gc_collections: Dict[str, int] = {}
+    watchdog = {
+        "threshold": None,
+        "tick": None,
+        "running": False,
+        "stalled": False,
+        "n_stalls": 0,
+        "lag": lag,
+        "gc": {
+            "collections": gc_collections,
+            "pause_seconds": 0.0,
+            "last_pause": None,
+        },
+    }
+    sample_every = None
+    n_ticks = 0
+    lag_sum = 0.0
+    for sid in sorted(documents, key=str):
+        doc = documents[sid]
+        st = doc.get("stages", {})
+        if sample_every is None:
+            sample_every = st.get("sample_every")
+        n_ticks += st.get("n_ticks", 0)
+        for stage, held in (st.get("stages") or {}).items():
+            merged = stages.setdefault(
+                stage, {"count": 0, "total": 0.0, "max": 0.0}
+            )
+            merged["count"] += held.get("count", 0)
+            merged["total"] += held.get("total", 0.0)
+            merged["max"] = max(merged["max"], held.get("max", 0.0))
+        wd = doc.get("watchdog", {})
+        if watchdog["threshold"] is None:
+            watchdog["threshold"] = wd.get("threshold")
+            watchdog["tick"] = wd.get("tick")
+        watchdog["running"] = watchdog["running"] or wd.get("running", False)
+        watchdog["stalled"] = watchdog["stalled"] or wd.get("stalled", False)
+        watchdog["n_stalls"] += wd.get("n_stalls", 0)
+        wl = wd.get("lag", {})
+        lag["count"] += wl.get("count", 0)
+        lag["max"] = max(lag["max"], wl.get("max", 0.0))
+        lag["last"] = max(lag["last"], wl.get("last", 0.0))
+        lag_sum += wl.get("mean", 0.0) * wl.get("count", 0)
+        wgc = wd.get("gc", {})
+        for gen, count in (wgc.get("collections") or {}).items():
+            gc_collections[gen] = gc_collections.get(gen, 0) + count
+        watchdog["gc"]["pause_seconds"] += wgc.get("pause_seconds", 0.0)
+        if wgc.get("last_pause") is not None:
+            watchdog["gc"]["last_pause"] = wgc["last_pause"]
+        rec = doc.get("recorder", {})
+        for record in rec.get("records", ()):
+            records.append({**record, "shard": sid})
+        shards[str(sid)] = {
+            "cursor": rec.get("cursor", 0),
+            "dropped": rec.get("dropped", 0),
+            "n_stalls": wd.get("n_stalls", 0),
+        }
+    if lag["count"]:
+        lag["mean"] = lag_sum / lag["count"]
+    records.sort(key=lambda r: (r.get("time") or 0.0))
+    return {
+        "diagnostics": True,
+        "merged": True,
+        "n_shards": len(documents),
+        "stages": {
+            "sample_every": sample_every,
+            "n_ticks": n_ticks,
+            "stages": stages,
+        },
+        "watchdog": watchdog,
+        "recorder": {"records": records},
+        "shards": shards,
+    }
+
+
+#: Sentinel returned by :func:`install_sigusr1` when no handler could be
+#: installed (platform without SIGUSR1, or not the main thread).
+_SIG_UNAVAILABLE = object()
+
+
+def install_sigusr1(producer: Callable[[], dict], stream=None) -> object:
+    """Install a ``SIGUSR1`` handler dumping ``producer()`` as one JSON
+    line to ``stream`` (stderr by default) — the post-mortem flight dump.
+
+    Returns an opaque token for :func:`restore_sigusr1`.  Installation
+    failures (no ``SIGUSR1`` on this platform, calling thread is not the
+    main thread) are swallowed: diagnostics must never take the runtime
+    down, and the ``diag`` request line still serves the same document.
+    """
+    sig = getattr(signal, "SIGUSR1", None)
+    if sig is None:  # pragma: no cover - platform-dependent
+        return _SIG_UNAVAILABLE
+
+    def _handler(signum, frame):
+        try:
+            out = stream if stream is not None else sys.stderr
+            out.write(json.dumps(producer(), sort_keys=True) + "\n")
+            out.flush()
+        except Exception:  # a dump must never kill the process
+            pass
+
+    try:
+        return signal.signal(sig, _handler)
+    except ValueError:  # not the main thread
+        return _SIG_UNAVAILABLE
+
+
+def restore_sigusr1(token: object) -> None:
+    """Undo :func:`install_sigusr1` (no-op for an unavailable token)."""
+    if token is _SIG_UNAVAILABLE:
+        return
+    try:
+        signal.signal(signal.SIGUSR1, token)
+    except (ValueError, TypeError):  # pragma: no cover - defensive
+        pass

@@ -557,7 +557,9 @@ def merge_parsed(
     workers whose exposition actually changed.  Inputs are not mutated.
     Merge rules are :func:`merge_expositions`'s: counters and histogram
     series sum per label set; gauges take the max unless
-    ``gauge_policy[name] == "sum"``.
+    ``gauge_policy[name]`` is ``"sum"`` (add across documents) or
+    ``"last"`` (the later document wins — identity gauges such as
+    ``repro_build_info`` where a numeric fold is meaningless).
     """
     policy = dict(gauge_policy or {})
     merged: Dict[str, dict] = {}
@@ -571,11 +573,10 @@ def merge_parsed(
                 held["type"] = family["type"]
             if not held["help"]:
                 held["help"] = family["help"]
-            summing = held["type"] in ("counter", "histogram") or (
-                policy.get(name) == "sum"
-            )
+            rule = policy.get(name)
+            summing = held["type"] in ("counter", "histogram") or rule == "sum"
             for key, value in family["samples"].items():
-                if key not in held["samples"]:
+                if key not in held["samples"] or rule == "last":
                     held["samples"][key] = value
                 elif summing:
                     held["samples"][key] += value
@@ -608,9 +609,11 @@ def merge_expositions(
 
     Counters and histogram series (``_bucket``/``_sum``/``_count``) are
     summed per label set; gauges take the **max** per label set unless
-    ``gauge_policy[name] == "sum"`` (population-style gauges — peer
-    counts, heap sizes, rates — add across shards; latency-style gauges
-    do not).  Label sets unique to one document pass through, so
+    ``gauge_policy[name]`` says otherwise — ``"sum"`` for
+    population-style gauges (peer counts, heap sizes, rates — they add
+    across shards), ``"last"`` for identity gauges where the later
+    document simply wins (build info, process start time).  Label sets
+    unique to one document pass through, so
     per-(peer, detector) series union naturally — a peer lives on one
     shard.  Help/type metadata comes from the first document defining a
     family.  Convenience composition of :func:`parse_exposition`,

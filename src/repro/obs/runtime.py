@@ -18,8 +18,16 @@ attribute read per *call into the subsystem*, never per data point.
 
 from __future__ import annotations
 
+import importlib.util
+import sys
+import time
 from typing import Optional
 
+from repro.obs.diag import (
+    DEFAULT_SAMPLE_EVERY,
+    DEFAULT_STALL_THRESHOLD,
+    RuntimeDiagnostics,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.qos import DEFAULT_WINDOW, QoSHealth
 from repro.obs.tracer import DEFAULT_CAPACITY, HeartbeatTracer
@@ -29,6 +37,40 @@ __all__ = [
     "default_observability",
     "set_default_observability",
 ]
+
+
+def _bind_identity(registry: MetricsRegistry) -> None:
+    """Register the build-identity gauges every exposition carries.
+
+    ``repro_build_info`` follows the Prometheus ``*_info`` convention: a
+    constant ``1`` whose *labels* are the payload (package version,
+    python, numpy availability, ingest modes compiled in), so federated
+    scrapes can tell at a glance which build served which shard.
+    ``repro_process_start_time_seconds`` is stamped when the bundle is
+    created — for the runtimes, that is process start for all practical
+    purposes.  Both merge across shards with last-writer-wins (see
+    ``merge_parsed``'s ``"last"`` policy).
+    """
+    try:
+        from repro import __version__ as version
+    except Exception:  # pragma: no cover - defensive
+        version = "unknown"
+    py = "%d.%d.%d" % sys.version_info[:3]
+    have_numpy = importlib.util.find_spec("numpy") is not None
+    # The vectorized mode always exists (ArrayIngestEngine fallback);
+    # numpy decides which engine backs it, and the label says which.
+    modes = "scalar,batched,vectorized%s,adaptive" % (
+        "" if have_numpy else "(array)",
+    )
+    registry.gauge(
+        "repro_build_info",
+        "Build/runtime identity; constant 1, the labels are the payload.",
+        ("version", "python", "numpy", "ingest_modes"),
+    ).labels(version, py, "1" if have_numpy else "0", modes).set(1)
+    registry.gauge(
+        "repro_process_start_time_seconds",
+        "Unix time this observability bundle was created.",
+    ).set(time.time())
 
 
 class Observability:
@@ -43,6 +85,13 @@ class Observability:
         while keeping metrics.
     qos:
         Rolling QoS estimators; ``qos_health=False`` disables them.
+    diag:
+        Runtime diagnostics plane (:class:`~repro.obs.diag.RuntimeDiagnostics`
+        — pipeline stage timer, stall watchdog, flight recorder).  Off by
+        default even when observability is on: pass ``diagnostics=True``
+        (or a prebuilt ``diag``) to enable it.  ``diag_sample_every``
+        tunes the stage-timing sampling (1-in-N drains) and
+        ``stall_threshold`` the watchdog's loop-lag edge (seconds).
     """
 
     def __init__(
@@ -56,6 +105,10 @@ class Observability:
         trace_sample_every: int = 1,
         qos_health: bool = True,
         qos_window: float = DEFAULT_WINDOW,
+        diag: RuntimeDiagnostics | None = None,
+        diagnostics: bool = False,
+        diag_sample_every: int = DEFAULT_SAMPLE_EVERY,
+        stall_threshold: float = DEFAULT_STALL_THRESHOLD,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         if tracer is None and trace:
@@ -66,6 +119,14 @@ class Observability:
         if qos is None and qos_health:
             qos = QoSHealth(qos_window)
         self.qos = qos
+        if diag is None and diagnostics:
+            diag = RuntimeDiagnostics(
+                registry=self.registry,
+                sample_every=diag_sample_every,
+                stall_threshold=stall_threshold,
+            )
+        self.diag = diag
+        _bind_identity(self.registry)
 
     def render_metrics(self) -> str:
         """The Prometheus text document (runs collect hooks first)."""
@@ -76,6 +137,13 @@ class Observability:
         if self.tracer is None:
             return {"cursor": 0, "dropped": 0, "events": [], "tracing": False}
         return self.tracer.document(since)
+
+    def diag_document(self, since: int = 0) -> dict:
+        """The ``diag`` status-command response (stub when diagnostics
+        are off, so clients get an explanation instead of a snapshot)."""
+        if self.diag is None:
+            return {"diagnostics": False}
+        return self.diag.document(since)
 
 
 _default: Optional[Observability] = None

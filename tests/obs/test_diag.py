@@ -1,0 +1,400 @@
+"""repro.obs.diag: stage timer sampling, flight-recorder ring, stall
+watchdog edge logic, diag-document merging, and the SIGUSR1 dump."""
+
+import asyncio
+import gc
+import io
+import json
+import os
+import signal
+
+import pytest
+
+from repro.obs.diag import (
+    DEFAULT_SAMPLE_EVERY,
+    PIPELINE_STAGES,
+    FlightRecorder,
+    PipelineTimer,
+    RuntimeDiagnostics,
+    StallWatchdog,
+    install_sigusr1,
+    merge_diag_documents,
+    restore_sigusr1,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPipelineTimer:
+    def test_samples_one_drain_in_n(self):
+        timer = PipelineTimer(sample_every=4)
+        pattern = [timer.sample() for _ in range(12)]
+        assert pattern == [False, False, False, True] * 3
+        assert timer.n_ticks == 12
+
+    def test_sample_every_one_times_everything(self):
+        timer = PipelineTimer(sample_every=1)
+        assert all(timer.sample() for _ in range(5))
+
+    def test_default_sampling_is_sparse(self):
+        timer = PipelineTimer()
+        assert timer.sample_every == DEFAULT_SAMPLE_EVERY
+        assert sum(timer.sample() for _ in range(DEFAULT_SAMPLE_EVERY)) == 1
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PipelineTimer(sample_every=0)
+
+    def test_observe_accumulates_count_total_max(self):
+        timer = PipelineTimer()
+        timer.observe("decode", 0.002)
+        timer.observe("decode", 0.005)
+        timer.observe("heap", 0.001)
+        doc = timer.document()
+        assert doc["stages"]["decode"] == {
+            "count": 2,
+            "total": pytest.approx(0.007),
+            "max": pytest.approx(0.005),
+        }
+        assert doc["stages"]["heap"]["count"] == 1
+        # Unobserved stages stay out of the document entirely.
+        assert "render" not in doc["stages"]
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            PipelineTimer().observe("warp", 0.001)
+
+    def test_registry_histogram_labeled_by_stage(self):
+        registry = MetricsRegistry()
+        timer = PipelineTimer(registry=registry)
+        timer.observe("estimate", 0.003)
+        text = registry.render()
+        assert "repro_pipeline_stage_seconds" in text
+        assert 'stage="estimate"' in text
+
+    def test_stage_order_matches_the_pipeline(self):
+        assert PIPELINE_STAGES == ("drain", "decode", "estimate", "heap", "render")
+
+
+class TestFlightRecorder:
+    def _fill(self, rec, n):
+        for i in range(1, n + 1):
+            rec.record(
+                time=float(i), mode="batched", n=10, fanin=3,
+                duration=1e-4, heap=5, events=i,
+            )
+
+    def test_records_carry_the_drain_fields(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(
+            time=1.5, mode="vectorized", n=512, fanin=200,
+            duration=2e-3, heap=1000, events=7, arena=0.5,
+        )
+        (record,) = rec.document()["records"]
+        assert record == {
+            "id": 1, "time": 1.5, "mode": "vectorized", "n": 512,
+            "fanin": 200, "duration": 2e-3, "heap": 1000, "events": 7,
+            "arena": 0.5,
+        }
+
+    def test_ring_wrap_keeps_newest_and_counts_drops(self):
+        rec = FlightRecorder(capacity=4)
+        self._fill(rec, 10)
+        assert len(rec) == 4
+        assert rec.n_dropped == 6
+        doc = rec.document()
+        assert [r["id"] for r in doc["records"]] == [7, 8, 9, 10]
+        assert doc["dropped"] == 6
+        assert doc["cursor"] == 10
+
+    def test_cursor_resume_sees_each_record_once(self):
+        rec = FlightRecorder(capacity=16)
+        self._fill(rec, 3)
+        doc = rec.document(0)
+        assert [r["id"] for r in doc["records"]] == [1, 2, 3]
+        self._fill(rec, 2)
+        doc = rec.document(doc["cursor"])
+        assert [r["id"] for r in doc["records"]] == [4, 5]
+        assert rec.document(doc["cursor"])["records"] == []
+
+    def test_up_to_date_cursor_reports_no_drops(self):
+        rec = FlightRecorder(capacity=2)
+        self._fill(rec, 6)
+        doc = rec.document(6)
+        assert doc["records"] == [] and doc["dropped"] == 0
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder().document(-1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class _Broker:
+    def __init__(self):
+        self.published = []
+
+    def publish(self, event):
+        self.published.append(event)
+
+
+class TestStallWatchdogEdge:
+    def test_stall_is_edge_triggered_not_level_triggered(self):
+        broker = _Broker()
+        dog = StallWatchdog(threshold=0.1, broker=broker)
+        for lag in (0.01, 0.25, 0.3, 0.2):  # one excursion, three ticks over
+            dog.observe_lag(lag, now=1.0)
+        assert dog.n_stalls == 1
+        assert dog.stalled is True
+        assert [e["type"] for e in broker.published] == ["repro_runtime_stalled"]
+        assert broker.published[0]["lag"] == 0.25
+        assert broker.published[0]["threshold"] == 0.1
+
+    def test_recovery_publishes_its_own_edge(self):
+        broker = _Broker()
+        dog = StallWatchdog(threshold=0.1, broker=broker)
+        dog.observe_lag(0.5, now=1.0)
+        dog.observe_lag(0.01, now=2.0)
+        dog.observe_lag(0.4, now=3.0)  # a second excursion
+        assert dog.n_stalls == 2
+        assert [e["type"] for e in broker.published] == [
+            "repro_runtime_stalled",
+            "repro_runtime_recovered",
+            "repro_runtime_stalled",
+        ]
+
+    def test_no_broker_is_fine(self):
+        dog = StallWatchdog(threshold=0.1)
+        dog.observe_lag(0.5, now=0.0)
+        dog.observe_lag(0.0, now=0.1)
+        assert dog.n_stalls == 1 and not dog.stalled
+
+    def test_lag_statistics_accumulate(self):
+        dog = StallWatchdog(threshold=1.0)
+        for lag in (0.1, 0.3, 0.2):
+            dog.observe_lag(lag, now=0.0)
+        doc = dog.document()
+        assert doc["lag"]["count"] == 3
+        assert doc["lag"]["max"] == pytest.approx(0.3)
+        assert doc["lag"]["last"] == pytest.approx(0.2)
+        assert doc["lag"]["mean"] == pytest.approx(0.2)
+        assert doc["stalled"] is False and doc["running"] is False
+
+    def test_registry_metrics_track_the_edges(self):
+        registry = MetricsRegistry()
+        dog = StallWatchdog(registry=registry, threshold=0.1)
+        dog.observe_lag(0.5, now=0.0)
+        text = registry.render()
+        assert "repro_runtime_stalls_total 1" in text
+        assert "repro_runtime_stalled 1" in text
+        dog.observe_lag(0.0, now=0.1)
+        assert "repro_runtime_stalled 0" in registry.render()
+
+    def test_gc_callback_accounts_pauses_per_generation(self):
+        registry = MetricsRegistry()
+        dog = StallWatchdog(registry=registry)
+        dog._gc_callback("start", {"generation": 2})
+        dog._gc_callback("stop", {"generation": 2})
+        dog._gc_callback("start", {"generation": 0})
+        dog._gc_callback("stop", {"generation": 0})
+        doc = dog.document()
+        assert doc["gc"]["collections"] == {"0": 1, "2": 1}
+        assert doc["gc"]["pause_seconds"] > 0.0
+        assert doc["gc"]["last_pause"] is not None
+        assert 'repro_gc_pauses_total{generation="2"} 1' in registry.render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(threshold=0.0)
+        with pytest.raises(ValueError):
+            StallWatchdog(tick=0.0)
+
+
+class TestStallWatchdogLoop:
+    def test_detects_a_blocked_event_loop(self):
+        """An injected 250 ms synchronous block must register as lag well
+        above threshold and publish exactly one stall edge."""
+        broker = _Broker()
+        dog = StallWatchdog(threshold=0.1, tick=0.02, broker=broker)
+
+        async def scenario():
+            import time as _time
+
+            dog.start()
+            assert dog._gc_installed
+            await asyncio.sleep(0.08)  # a few clean heartbeats first
+            _time.sleep(0.25)  # hold the loop hostage
+            await asyncio.sleep(0.08)  # let the watchdog observe + recover
+            dog.stop()
+
+        asyncio.run(scenario())
+        assert dog.max_lag > 0.1
+        assert dog.n_stalls == 1
+        types = [e["type"] for e in broker.published]
+        assert types[0] == "repro_runtime_stalled"
+        assert dog._gc_installed is False
+        assert dog._gc_callback not in gc.callbacks
+
+    def test_start_is_idempotent_and_stop_twice_is_safe(self):
+        dog = StallWatchdog()
+
+        async def scenario():
+            dog.start()
+            task = dog._task
+            dog.start()
+            assert dog._task is task
+            dog.stop()
+            dog.stop()
+
+        asyncio.run(scenario())
+        assert dog._task is None
+
+
+class TestRuntimeDiagnostics:
+    def test_document_bundles_all_three_planes(self):
+        diag = RuntimeDiagnostics()
+        diag.timer.observe("decode", 0.001)
+        diag.recorder.record(
+            time=0.1, mode="batched", n=4, fanin=2,
+            duration=1e-4, heap=1, events=0,
+        )
+        doc = diag.document()
+        assert doc["diagnostics"] is True
+        assert doc["stages"]["stages"]["decode"]["count"] == 1
+        assert doc["watchdog"]["n_stalls"] == 0
+        assert len(doc["recorder"]["records"]) == 1
+        # The document must be JSON-serializable as served.
+        json.dumps(doc)
+
+    def test_knobs_reach_the_components(self):
+        diag = RuntimeDiagnostics(
+            sample_every=8, stall_threshold=0.5, recorder_capacity=3
+        )
+        assert diag.timer.sample_every == 8
+        assert diag.watchdog.threshold == 0.5
+        assert diag.recorder.capacity == 3
+
+    def test_shares_the_registry(self):
+        registry = MetricsRegistry()
+        diag = RuntimeDiagnostics(registry=registry)
+        diag.timer.observe("heap", 0.001)
+        diag.watchdog.observe_lag(0.0, now=0.0)
+        text = registry.render()
+        assert "repro_pipeline_stage_seconds" in text
+        assert "repro_eventloop_lag_seconds" in text
+
+
+class TestMergeDiagDocuments:
+    def _doc(self, *, n_ticks, decode_count, decode_max, n_stalls, stalled,
+             records, cursor, dropped=0):
+        return {
+            "diagnostics": True,
+            "stages": {
+                "sample_every": 64,
+                "n_ticks": n_ticks,
+                "stages": {
+                    "decode": {
+                        "count": decode_count,
+                        "total": decode_count * 1e-3,
+                        "max": decode_max,
+                    }
+                },
+            },
+            "watchdog": {
+                "threshold": 0.1,
+                "tick": 0.05,
+                "running": True,
+                "stalled": stalled,
+                "n_stalls": n_stalls,
+                "lag": {
+                    "count": 10,
+                    "last": 0.01,
+                    "max": 0.02 if not stalled else 0.5,
+                    "mean": 0.01,
+                },
+                "gc": {"collections": {"0": 2}, "pause_seconds": 0.001,
+                       "last_pause": 0.0005},
+            },
+            "recorder": {
+                "cursor": cursor,
+                "dropped": dropped,
+                "capacity": 256,
+                "records": records,
+            },
+        }
+
+    def test_merges_sums_maxima_and_interleaves_records(self):
+        docs = {
+            0: self._doc(
+                n_ticks=100, decode_count=2, decode_max=0.004, n_stalls=0,
+                stalled=False, cursor=2,
+                records=[{"id": 1, "time": 1.0, "mode": "batched"},
+                         {"id": 2, "time": 3.0, "mode": "batched"}],
+            ),
+            1: self._doc(
+                n_ticks=50, decode_count=1, decode_max=0.009, n_stalls=2,
+                stalled=True, cursor=1, dropped=4,
+                records=[{"id": 1, "time": 2.0, "mode": "vectorized"}],
+            ),
+        }
+        merged = merge_diag_documents(docs)
+        assert merged["merged"] is True and merged["n_shards"] == 2
+        assert merged["stages"]["n_ticks"] == 150
+        decode = merged["stages"]["stages"]["decode"]
+        assert decode["count"] == 3
+        assert decode["max"] == pytest.approx(0.009)
+        wd = merged["watchdog"]
+        assert wd["n_stalls"] == 2 and wd["stalled"] is True
+        assert wd["lag"]["count"] == 20
+        assert wd["lag"]["max"] == pytest.approx(0.5)
+        assert wd["gc"]["collections"] == {"0": 4}
+        # Records interleaved by time, each tagged with its shard.
+        assert [(r["shard"], r["time"]) for r in merged["recorder"]["records"]] == [
+            (0, 1.0), (1, 2.0), (0, 3.0),
+        ]
+        assert merged["shards"]["0"] == {"cursor": 2, "dropped": 0, "n_stalls": 0}
+        assert merged["shards"]["1"] == {"cursor": 1, "dropped": 4, "n_stalls": 2}
+        json.dumps(merged)
+
+    def test_empty_input_is_a_valid_empty_merge(self):
+        merged = merge_diag_documents({})
+        assert merged["n_shards"] == 0
+        assert merged["recorder"]["records"] == []
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGUSR1"), reason="platform lacks SIGUSR1"
+)
+class TestSigusr1Dump:
+    def test_signal_dumps_one_json_line(self):
+        sink = io.StringIO()
+        diag = RuntimeDiagnostics()
+        diag.timer.observe("render", 0.002)
+        token = install_sigusr1(diag.document, stream=sink)
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)
+            line = sink.getvalue()
+            assert line.endswith("\n")
+            doc = json.loads(line)
+            assert doc["diagnostics"] is True
+            assert doc["stages"]["stages"]["render"]["count"] == 1
+        finally:
+            restore_sigusr1(token)
+
+    def test_restore_reinstates_the_previous_handler(self):
+        before = signal.getsignal(signal.SIGUSR1)
+        token = install_sigusr1(lambda: {})
+        assert signal.getsignal(signal.SIGUSR1) is not before
+        restore_sigusr1(token)
+        assert signal.getsignal(signal.SIGUSR1) is before
+
+    def test_a_crashing_producer_never_raises(self):
+        def boom():
+            raise RuntimeError("diagnostics must not kill the process")
+
+        token = install_sigusr1(boom, stream=io.StringIO())
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)  # must not raise
+        finally:
+            restore_sigusr1(token)

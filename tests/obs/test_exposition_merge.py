@@ -110,6 +110,65 @@ class TestConflictingGaugePolicies:
         assert family["samples"][("repro_beats_total", ())] == 37.0
 
 
+class TestLastWriterPolicy:
+    """The ``"last"`` gauge policy behind the identity gauges: every
+    shard reports the same build, so the merged exposition should carry
+    one representative value, not a sum or a max of equal numbers."""
+
+    def _identity_shard(self, start_time, version="1.0"):
+        reg = MetricsRegistry()
+        reg.gauge(
+            "repro_build_info", "Identity.", ("version",)
+        ).labels(version).set(1)
+        reg.gauge(
+            "repro_process_start_time_seconds", "Start."
+        ).set(start_time)
+        return reg.render()
+
+    def test_last_takes_the_later_documents_value(self):
+        merged = parse_exposition(
+            merge_expositions(
+                [self._identity_shard(100.0), self._identity_shard(50.0)],
+                gauge_policy={"repro_process_start_time_seconds": "last"},
+            )
+        )
+        samples = merged["repro_process_start_time_seconds"]["samples"]
+        # max would keep 100.0; "last" keeps the later document's 50.0.
+        assert samples[("repro_process_start_time_seconds", ())] == 50.0
+
+    def test_info_gauge_stays_a_constant_one(self):
+        merged = parse_exposition(
+            merge_expositions(
+                [self._identity_shard(1.0), self._identity_shard(2.0)],
+                gauge_policy={"repro_build_info": "last"},
+            )
+        )
+        samples = merged["repro_build_info"]["samples"]
+        assert list(samples.values()) == [1.0]  # never summed into 2
+
+    def test_last_policy_only_touches_the_named_family(self):
+        shards = [_shard(2, 0.5), _shard(3, 0.25)]
+        merged = parse_exposition(
+            merge_expositions(
+                shards, gauge_policy={"repro_monitor_peers": "last"}
+            )
+        )
+        peers = merged["repro_monitor_peers"]["samples"]
+        assert peers[("repro_monitor_peers", ())] == 3.0  # later doc wins
+        latency = merged["repro_poll_seconds"]["samples"]
+        assert latency[("repro_poll_seconds", ())] == 0.5  # still max
+        beats = merged["repro_beats_total"]["samples"]
+        assert beats[("repro_beats_total", ())] == 50.0  # counters still sum
+
+    def test_observability_bundle_binds_the_identity_gauges(self):
+        from repro.obs import Observability
+
+        text = Observability(trace=False, qos_health=False).render_metrics()
+        assert "# TYPE repro_build_info gauge" in text
+        assert 'python="' in text and 'ingest_modes="' in text
+        assert "repro_process_start_time_seconds" in text
+
+
 class TestMalformedInput:
     def test_malformed_sample_line_is_loud(self):
         with pytest.raises(ValueError, match="malformed exposition line"):

@@ -104,6 +104,87 @@ class TestSampling:
             HeartbeatTracer(sample_every=0)
 
 
+class TestWraparoundCursors:
+    """Ring wrap with several independent pollers, with and without
+    sampling: each cursor must see every retained event exactly once and
+    an exact count of what aged out past *it* — drops are per-cursor
+    state, not a tracer-global number."""
+
+    def test_concurrent_cursors_account_drops_independently(self):
+        tracer = HeartbeatTracer(capacity=4)
+        _fill(tracer, 6)  # ring holds 3..6
+        # Client A polls now; client B is still at cursor 0.
+        doc_a = tracer.document(since=0)
+        assert [e["id"] for e in doc_a["events"]] == [3, 4, 5, 6]
+        assert doc_a["dropped"] == 2
+        cur_a = doc_a["cursor"]
+        _fill(tracer, 6)  # ids 7..12; ring now 9..12
+        # A lost 7..8 (2 events); B lost 1..8 (8 events).  Same ring,
+        # different gaps.
+        doc_a2 = tracer.document(since=cur_a)
+        assert [e["id"] for e in doc_a2["events"]] == [9, 10, 11, 12]
+        assert doc_a2["dropped"] == 2
+        doc_b = tracer.document(since=0)
+        assert [e["id"] for e in doc_b["events"]] == [9, 10, 11, 12]
+        assert doc_b["dropped"] == 8
+        # Both now current: further polls are empty with zero drops.
+        for cursor in (doc_a2["cursor"], doc_b["cursor"]):
+            follow_up = tracer.document(since=cursor)
+            assert follow_up["events"] == []
+            assert follow_up["dropped"] == 0
+
+    def test_interleaved_cursors_never_resurrect_or_skip(self):
+        tracer = HeartbeatTracer(capacity=8)
+        cursors = {"a": 0, "b": 0, "c": 0}
+        seen = {"a": [], "b": [], "c": []}
+        dropped = dict.fromkeys(cursors, 0)
+        total = 0
+        # Three pollers at different cadences across repeated wraps.
+        for burst in range(1, 13):
+            _fill(tracer, 5)
+            total += 5
+            for client in ("a",) + (("b",) if burst % 3 == 0 else ()) + (
+                ("c",) if burst % 5 == 0 else ()
+            ):
+                doc = tracer.document(since=cursors[client])
+                ids = [e["id"] for e in doc["events"]]
+                assert ids == sorted(set(ids)), "duplicate or unordered ids"
+                if seen[client]:
+                    assert ids[0] > seen[client][-1], "resurrected an event"
+                seen[client].extend(ids)
+                dropped[client] += doc["dropped"]
+                cursors[client] = doc["cursor"]
+        for client in cursors:
+            doc = tracer.document(since=cursors[client])
+            seen[client].extend(e["id"] for e in doc["events"])
+            dropped[client] += doc["dropped"]
+            # Every recorded id is either delivered to or dropped for
+            # each client — no double counting, no holes.
+            assert len(seen[client]) + dropped[client] == total
+
+    def test_sampled_recording_keeps_drop_accounting_exact_across_wrap(self):
+        # sample_every > 1 thins what gets *recorded*; ids stay dense over
+        # the recorded events, so wrap accounting must be unaffected by
+        # the sampling rate.
+        tracer = HeartbeatTracer(capacity=4, sample_every=3)
+        recorded = 0
+        for seq in range(1, 25):  # hb_seq 3,6,...,24 recorded -> 8 events
+            if tracer.wants(seq):
+                tracer.record("recv", time=float(seq), peer="p", hb_seq=seq)
+                recorded += 1
+        assert recorded == 8
+        assert tracer.n_recorded == 8
+        assert tracer.n_dropped == 4  # ids 1..4 pushed out of the ring
+        doc = tracer.document(since=0)
+        assert [e["id"] for e in doc["events"]] == [5, 6, 7, 8]
+        assert [e["hb_seq"] for e in doc["events"]] == [15, 18, 21, 24]
+        assert doc["dropped"] == 4
+        # A cursor minted mid-stream sees only the tail gap.
+        doc_mid = tracer.document(since=2)
+        assert doc_mid["dropped"] == 2  # ids 3..4 aged out past cursor 2
+        assert [e["id"] for e in doc_mid["events"]] == [5, 6, 7, 8]
+
+
 class TestExport:
     def test_to_jsonl_round_trips(self):
         tracer = HeartbeatTracer()
